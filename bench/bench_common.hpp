@@ -1,0 +1,49 @@
+#pragma once
+
+// Shared helpers for the experiment harnesses (see DESIGN.md §3 and
+// EXPERIMENTS.md). Every harness prints one or more tables whose final
+// columns compare a measured quantity against the paper's predicted bound.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "dag/builders.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+#include "support/table.hpp"
+
+namespace abp::bench {
+
+inline void banner(const char* experiment, const char* paper_artifact,
+                   const char* claim) {
+  std::printf("=============================================================="
+              "==================\n");
+  std::printf("%s — reproduces %s\n", experiment, paper_artifact);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("=============================================================="
+              "==================\n");
+}
+
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  return false;
+}
+
+inline bool csv_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  return false;
+}
+
+inline void emit(const Table& table, bool csv) {
+  table.print();
+  if (csv) std::fputs(table.to_csv().c_str(), stdout);
+}
+
+inline void verdict(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "REPRODUCED" : "MISMATCH", what.c_str());
+}
+
+}  // namespace abp::bench

@@ -1,0 +1,110 @@
+// Experiment E15 — deque microbenchmarks (google-benchmark). Hood coded
+// the deque methods in assembly because they are the scheduler's hot path;
+// here we measure the three implementations' operation costs: owner-side
+// push/pop cycles, owner throughput with concurrent thieves, and steal
+// throughput under contention.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+
+#include "deque/abp_deque.hpp"
+#include "deque/abp_growable_deque.hpp"
+#include "deque/chase_lev_deque.hpp"
+#include "deque/mutex_deque.hpp"
+#include "deque/spinlock_deque.hpp"
+
+namespace {
+
+using Item = std::uint64_t;
+
+template <typename D>
+void BM_OwnerPushPop(benchmark::State& state) {
+  D deque(1u << 16);
+  Item i = 0;
+  for (auto _ : state) {
+    deque.push_bottom(++i);
+    benchmark::DoNotOptimize(deque.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::AbpDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::AbpGrowableDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::MutexDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::SpinlockDeque<Item>);
+
+template <typename D>
+void BM_OwnerBurst(benchmark::State& state) {
+  // Push a burst of 64, drain it from the bottom — the spawn-heavy pattern
+  // of fork-join programs.
+  D deque(1u << 16);
+  for (auto _ : state) {
+    for (Item i = 0; i < 64; ++i) deque.push_bottom(i);
+    for (Item i = 0; i < 64; ++i)
+      benchmark::DoNotOptimize(deque.pop_bottom());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::AbpDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::AbpGrowableDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::MutexDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::SpinlockDeque<Item>);
+
+template <typename D>
+void BM_StealDrain(benchmark::State& state) {
+  // Thief-side cost: drain a pre-filled deque from the top.
+  const std::size_t n = 4096;
+  D deque(n + 8);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (Item i = 0; i < n; ++i) deque.push_bottom(i);
+    state.ResumeTiming();
+    for (Item i = 0; i < n; ++i) benchmark::DoNotOptimize(deque.pop_top());
+    state.PauseTiming();
+    // Reset the ABP deque's indices via an owner pop on the empty deque.
+    benchmark::DoNotOptimize(deque.pop_bottom());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::AbpDeque<Item>);
+BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::AbpGrowableDeque<Item>);
+BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::MutexDeque<Item>);
+BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::SpinlockDeque<Item>);
+
+template <typename D>
+void BM_OwnerWithThief(benchmark::State& state) {
+  // Owner push/pop throughput while one thief continuously attempts
+  // steals — measures the interference cost of the synchronization scheme
+  // (CAS traffic vs lock contention).
+  D deque(1u << 16);
+  std::atomic<bool> stop{false};
+  std::thread thief([&] {
+    while (!stop.load(std::memory_order_acquire))
+      benchmark::DoNotOptimize(deque.pop_top());
+  });
+  Item i = 0;
+  for (auto _ : state) {
+    deque.push_bottom(++i);
+    benchmark::DoNotOptimize(deque.pop_bottom());
+  }
+  stop.store(true, std::memory_order_release);
+  thief.join();
+  // Drain leftovers the thief missed.
+  while (deque.pop_bottom().has_value()) {
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::AbpDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::AbpGrowableDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::MutexDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::SpinlockDeque<Item>);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Experiment E1 — Figure 1: the example computation dag.
+//
+// Rebuilds the paper's running example (two threads; spawn, semaphore-sync
+// and join edges) and reports its structure and the measures the paper
+// derives from it: work T1, critical-path length Tinf, parallelism.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dag/enabling.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  const bool csv = bench::csv_mode(argc, argv);
+  bench::banner("E1: bench_fig1_dag", "Figure 1 (the example dag)",
+                "the example has 11 nodes in 2 threads; T1 = 11, Tinf = 8, "
+                "parallelism T1/Tinf = 1.375 (label-level reconstruction; "
+                "see DESIGN.md)");
+
+  const dag::Dag d = dag::figure1();
+
+  Table edges("Figure 1 edges", {"edge", "kind", "meaning"});
+  auto label = [](dag::NodeId n) { return "v" + std::to_string(n + 1); };
+  for (const dag::Edge& e : d.edges()) {
+    std::string meaning;
+    switch (e.kind) {
+      case dag::EdgeKind::kContinue:
+        meaning = "thread program order";
+        break;
+      case dag::EdgeKind::kSpawn:
+        meaning = "root thread spawns child thread";
+        break;
+      case dag::EdgeKind::kJoin:
+        meaning = "child joins root (enable-and-die at v11)";
+        break;
+      case dag::EdgeKind::kSync:
+        meaning = "semaphore: v4 executes V, v8 executes P (init 0)";
+        break;
+    }
+    edges.add_row({label(e.from) + " -> " + label(e.to),
+                   dag::to_string(e.kind), meaning});
+  }
+  bench::emit(edges, csv);
+
+  Table measures("Figure 1 measures", {"measure", "value", "paper"});
+  measures.add_row({"nodes (work T1)", Table::integer((long long)d.work()),
+                    "11"});
+  measures.add_row({"threads", Table::integer((long long)d.num_threads()),
+                    "2"});
+  measures.add_row({"critical path Tinf",
+                    Table::integer((long long)d.critical_path_length()),
+                    "8"});
+  measures.add_row({"parallelism T1/Tinf", Table::num(d.parallelism(), 3),
+                    "1.375"});
+  measures.add_row({"valid (1 root, 1 final, out-deg<=2)",
+                    d.is_valid() ? "yes" : "no", "yes"});
+  bench::emit(measures, csv);
+
+  // Serial depth-first execution order and the node weights it induces.
+  dag::EnablingTree tree(d);
+  tree.set_root(d.root());
+  // Execute serially, always preferring the spawned child (depth-first).
+  std::vector<std::uint32_t> remaining(d.num_nodes());
+  for (dag::NodeId n = 0; n < d.num_nodes(); ++n)
+    remaining[n] = d.in_degree(n);
+  std::vector<dag::NodeId> stack{d.root()};
+  Table exec("Serial depth-first execution (enabling-tree weights)",
+             {"step", "node", "enabling depth", "weight w = Tinf - depth"});
+  int step = 0;
+  while (!stack.empty()) {
+    const dag::NodeId n = stack.back();
+    stack.pop_back();
+    ++step;
+    exec.add_row({Table::integer(step), label(n),
+                  Table::integer(tree.depth(n)),
+                  Table::integer(tree.weight(n))});
+    for (const dag::NodeId s : d.successors(n)) {
+      if (--remaining[s] == 0) {
+        tree.record(n, s);
+        stack.push_back(s);
+      }
+    }
+  }
+  bench::emit(exec, csv);
+
+  bench::verdict(d.is_valid() && d.work() == 11 &&
+                     d.critical_path_length() == 8 && d.num_threads() == 2 &&
+                     tree.validate(11).empty(),
+                 "Figure 1 reconstruction: T1=11, Tinf=8, 2 threads, valid "
+                 "enabling tree");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Experiment E2 — Figure 2: an example kernel schedule and an execution
+// schedule for the Figure 1 dag with P = 3 processes.
+//
+// The scan garbles the exact check-mark matrix, so we reconstruct a kernel
+// schedule with the properties the prose states: 3 processes, a 10-step
+// window with idle steps and partial steps, processor average PA = 2.0
+// over the window, and a greedy execution schedule that observes all dag
+// dependencies. We print both tables in the paper's layout.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "sim/exec.hpp"
+#include "sim/offline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  using sim::ProcId;
+  const bool csv = bench::csv_mode(argc, argv);
+  bench::banner("E2: bench_fig2_schedules",
+                "Figure 2(a,b) (kernel + execution schedules)",
+                "a kernel schedule assigns a subset of the 3 processes to "
+                "each step (PA = 2.0 over the window); a greedy execution "
+                "schedule executes ready nodes and marks scheduled-but-idle "
+                "slots 'I'");
+
+  const dag::Dag d = dag::figure1();
+
+  // Reconstructed Figure 2(a): per-step scheduled process sets.
+  const std::vector<std::vector<ProcId>> kernel_rounds = {
+      {0, 1}, {0, 1, 2}, {}, {1, 2}, {0, 2},
+      {0, 1, 2}, {1}, {0, 1}, {0, 1, 2}, {1, 2},
+  };
+
+  Table ka("Figure 2(a): kernel schedule (step x process, '#' = scheduled)",
+           {"step", "q1", "q2", "q3", "p_i"});
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < kernel_rounds.size(); ++r) {
+    std::vector<std::string> row(5);
+    row[0] = Table::integer((long long)r + 1);
+    for (std::size_t q = 0; q < 3; ++q) row[q + 1] = " ";
+    for (ProcId q : kernel_rounds[r]) row[q + 1] = "#";
+    row[4] = Table::integer((long long)kernel_rounds[r].size());
+    total += kernel_rounds[r].size();
+    ka.add_row(std::move(row));
+  }
+  bench::emit(ka, csv);
+  const double pa_window = double(total) / double(kernel_rounds.size());
+  std::printf("\nProcessor average over the %zu-step window: %zu/%zu = %.2f "
+              "(paper: 2.0)\n",
+              kernel_rounds.size(), total, kernel_rounds.size(), pa_window);
+
+  // Figure 2(b): a greedy execution schedule for this kernel schedule. We
+  // drive the offline greedy scheduler with the per-step counts and map
+  // slots onto the scheduled processes.
+  sim::OfflineOptions opts;
+  opts.keep_record = true;
+  auto profile = [&](sim::Round r) -> std::size_t {
+    return kernel_rounds[(r - 1) % kernel_rounds.size()].size();
+  };
+  const auto result = sim::greedy_schedule(d, 3, profile, opts);
+
+  Table xb("Figure 2(b): greedy execution schedule ('I' = idle)",
+           {"step", "q1", "q2", "q3"});
+  {
+    std::size_t i = 0;
+    const auto& actions = result.record.actions();
+    for (sim::Round r = 1; r <= result.length; ++r) {
+      const auto& procs = kernel_rounds[(r - 1) % kernel_rounds.size()];
+      std::vector<std::string> row(4);
+      row[0] = Table::integer((long long)r);
+      for (std::size_t q = 0; q < 3; ++q) row[q + 1] = " ";
+      std::size_t slot = 0;
+      while (i < actions.size() && actions[i].round == r) {
+        const ProcId q = procs[slot % std::max<std::size_t>(procs.size(), 1)];
+        row[q + 1] = actions[i].kind == sim::ActionKind::kExecute
+                         ? "v" + std::to_string(actions[i].node + 1)
+                         : "I";
+        ++slot;
+        ++i;
+      }
+      xb.add_row(std::move(row));
+    }
+  }
+  bench::emit(xb, csv);
+
+  std::printf("\nExecution schedule length: %llu steps; PA over the "
+              "execution: %.2f; idle tokens: %llu\n",
+              (unsigned long long)result.length, result.processor_average,
+              (unsigned long long)result.idle_tokens);
+
+  const std::string err = result.record.validate(d);
+  bench::verdict(err.empty() && pa_window == 2.0,
+                 "valid greedy execution schedule for the Figure 1 dag under "
+                 "a 3-process kernel schedule with window PA = 2.0" +
+                     (err.empty() ? "" : (" [" + err + "]")));
+  return 0;
+}

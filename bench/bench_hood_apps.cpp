@@ -1,0 +1,183 @@
+// Experiment E16 — Hood-style application study ([9,10]): real fork-join
+// applications on the std::thread runtime. On the paper's SMP the headline
+// was PA-fold speedup; on this single-CPU host the multiprogrammed regime
+// is permanent (PA <= 1 <= P), so the reproduced claim is *robustness*:
+// execution time stays near the serial time no matter how oversubscribed
+// the process count gets, and background load degrades it only in
+// proportion to the CPU share it takes — there is no cliff.
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "runtime/algorithms.hpp"
+#include "runtime/background_load.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace abp;
+using runtime::TaskGroup;
+using runtime::Worker;
+
+long fib_serial(int n) {
+  return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+void fib_par(Worker& w, int n, long& out) {
+  if (n < 16) {
+    out = fib_serial(n);
+    return;
+  }
+  long a = 0, b = 0;
+  TaskGroup tg(w);
+  tg.spawn([&a, n](Worker& w2) { fib_par(w2, n - 1, a); });
+  fib_par(w, n - 2, b);
+  tg.wait();
+  out = a + b;
+}
+
+// N-queens: irregular parallel backtracking search (the "design verifier"
+// style workload from the paper's introduction).
+int nqueens_serial(int n, int row, unsigned cols, unsigned diag1,
+                   unsigned diag2) {
+  if (row == n) return 1;
+  int count = 0;
+  for (int c = 0; c < n; ++c) {
+    const unsigned bit = 1u << c;
+    if ((cols & bit) || (diag1 & (1u << (row + c))) ||
+        (diag2 & (1u << (row - c + n)))) {
+      continue;
+    }
+    count += nqueens_serial(n, row + 1, cols | bit, diag1 | (1u << (row + c)),
+                            diag2 | (1u << (row - c + n)));
+  }
+  return count;
+}
+
+void nqueens_par(Worker& w, int n, int row, unsigned cols, unsigned diag1,
+                 unsigned diag2, std::atomic<long>& total) {
+  if (row >= 2) {  // spawn only the top two levels
+    total.fetch_add(nqueens_serial(n, row, cols, diag1, diag2),
+                    std::memory_order_relaxed);
+    return;
+  }
+  TaskGroup tg(w);
+  for (int c = 0; c < n; ++c) {
+    const unsigned bit = 1u << c;
+    if ((cols & bit) || (diag1 & (1u << (row + c))) ||
+        (diag2 & (1u << (row - c + n)))) {
+      continue;
+    }
+    tg.spawn([=, &total](Worker& w2) {
+      nqueens_par(w2, n, row + 1, cols | bit, diag1 | (1u << (row + c)),
+                  diag2 | (1u << (row - c + n)), total);
+    });
+  }
+  tg.wait();
+}
+
+// Numerical integration via parallel_reduce.
+double integrate(Worker& w, std::size_t samples) {
+  const double h = 1.0 / double(samples);
+  return runtime::parallel_reduce<double>(
+             w, 0, samples, 2048, 0.0,
+             [h](std::size_t i) {
+               const double x = (double(i) + 0.5) * h;
+               return 4.0 / (1.0 + x * x);
+             },
+             [](double a, double b) { return a + b; }) *
+         h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E16: bench_hood_apps", "Hood application studies [9,10]",
+                "application performance conforms to T1/PA + ~1*Tinf*P/PA: "
+                "oversubscription (P > #cpus) costs almost nothing, and "
+                "background load only removes its own CPU share");
+
+  const int fib_n = quick ? 30 : 33;
+  const int queens_n = quick ? 10 : 12;
+  const std::size_t samples = quick ? 4'000'000 : 12'000'000;
+  const int reps = quick ? 2 : 3;
+
+  struct App {
+    const char* name;
+    std::function<void(runtime::Scheduler&)> run;
+  };
+  long fib_out = 0;
+  std::atomic<long> queens_out{0};
+  double pi_out = 0.0;
+  const std::vector<App> apps = {
+      {"fib", [&](runtime::Scheduler& s) {
+         s.run([&](Worker& w) { fib_par(w, fib_n, fib_out); });
+       }},
+      {"nqueens", [&](runtime::Scheduler& s) {
+         queens_out.store(0);
+         s.run([&](Worker& w) {
+           nqueens_par(w, queens_n, 0, 0, 0, 0, queens_out);
+         });
+       }},
+      {"integrate", [&](runtime::Scheduler& s) {
+         s.run([&](Worker& w) { pi_out = integrate(w, samples); });
+       }},
+  };
+
+  Table t("Hood-style application study (this host: single CPU => "
+          "multiprogrammed whenever P > 1)",
+          {"app", "P", "bg hogs", "mean secs", "vs P=1", "steals",
+           "steal attempts"});
+  bool robust = true;
+  for (const auto& app : apps) {
+    double base = 0.0;
+    for (const std::size_t p : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t hogs : (p == 4 ? std::vector<std::size_t>{0, 2}
+                                            : std::vector<std::size_t>{0})) {
+        runtime::BackgroundLoad load;
+        if (hogs) load.start(hogs, 1.0);
+        OnlineStats secs, steals, attempts;
+        for (int rep = 0; rep < reps; ++rep) {
+          runtime::SchedulerOptions opts;
+          opts.num_workers = p;
+          opts.yield = runtime::YieldPolicy::kYield;
+          opts.seed = 3 + rep;
+          runtime::Scheduler s(opts);
+          const auto t0 = std::chrono::steady_clock::now();
+          app.run(s);
+          const auto t1 = std::chrono::steady_clock::now();
+          secs.add(std::chrono::duration<double>(t1 - t0).count());
+          const auto st = s.total_stats();
+          steals.add(double(st.steals));
+          attempts.add(double(st.steal_attempts));
+        }
+        load.stop();
+        if (p == 1 && hogs == 0) base = secs.mean();
+        const double rel = base > 0 ? secs.mean() / base : 0.0;
+        // Robustness: oversubscription without hogs must not blow up.
+        if (hogs == 0 && rel > 2.5) robust = false;
+        t.add_row({app.name, Table::integer((long long)p),
+                   Table::integer((long long)hogs),
+                   Table::num(secs.mean(), 4), Table::num(rel, 2) + "x",
+                   Table::num(steals.mean(), 0),
+                   Table::num(attempts.mean(), 0)});
+      }
+    }
+  }
+  bench::emit(t, csv);
+  std::printf("\nResults sanity: fib(%d) = %ld, nqueens(%d) = %ld, "
+              "integral of 4/(1+x^2) = %.6f (pi).\n",
+              fib_n, fib_out, queens_n, queens_out.load(), pi_out);
+  std::printf("(Shape to compare with the paper: time is flat in P on a "
+              "fixed processor supply — the scheduler wastes nothing on "
+              "phantom processors — and adding CPU hogs costs roughly "
+              "their CPU share, not a collapse.)\n");
+  bench::verdict(robust, "oversubscribed runs stay within 2.5x of the "
+                         "1-worker time on this 1-CPU host (no "
+                         "multiprogramming cliff)");
+  return 0;
+}

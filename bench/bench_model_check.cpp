@@ -1,0 +1,171 @@
+// Experiment E17 — mechanized deque verification (§3.3 and the companion
+// verification report [11]): exhaustive exploration of every adversarial
+// interleaving of owner and thief instructions against the Figure 5 state
+// machine. Reports, per configuration: states explored, safety (each
+// pushed node consumed exactly once, none lost), the non-blocking
+// property (solo completion bounded from every reachable state), plus two
+// ablations — removing the age *tag* re-introduces the ABA duplicate the
+// paper warns about, and a spinlock implementation is blocking.
+
+#include "bench_common.hpp"
+#include "model/explorer.hpp"
+#include "model/linearize.hpp"
+#include "support/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  using namespace abp::model;
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E17: bench_model_check",
+                "§3.3 / verification report [11] (deque correctness)",
+                "the deque meets the relaxed semantics on any good set of "
+                "invocations; it is non-blocking; the tag prevents ABA");
+
+  auto push = [](std::uint8_t v) { return Op{Method::kPushBottom, v}; };
+  const Op popb{Method::kPopBottom, 0};
+  const Op popt{Method::kPopTop, 0};
+
+  struct Config {
+    const char* name;
+    std::vector<Script> scripts;
+    ExploreOptions opts;
+    bool expect_ok;
+    bool expect_nonblocking;
+  };
+  std::vector<Config> configs;
+
+  configs.push_back({"owner+1 thief, 4 ops",
+                     {{push(1), push(2), popb, popb}, {popt, popt}},
+                     {},
+                     true,
+                     true});
+  configs.push_back({"owner+2 thieves, races on last item",
+                     {{push(1), popb, push(2), popb}, {popt}, {popt}},
+                     {},
+                     true,
+                     true});
+  configs.push_back(
+      {"owner+2 thieves, 5 owner ops",
+       {{push(1), push(2), popb, push(3), popb}, {popt, popt}, {popt}},
+       {},
+       true,
+       true});
+  if (!quick) {
+    configs.push_back({"owner+3 thieves",
+                       {{push(1), push(2), push(3), popb, popb},
+                        {popt},
+                        {popt},
+                        {popt}},
+                       {},
+                       true,
+                       true});
+    configs.push_back({"owner+1 thief, long script",
+                       {{push(1), push(2), popb, push(3), popb, push(4),
+                         popb, popb},
+                        {popt, popt, popt}},
+                       {},
+                       true,
+                       true});
+  }
+  {
+    ExploreOptions no_tag;
+    no_tag.disable_tag = true;
+    configs.push_back({"ABLATION: tag disabled (ABA)",
+                       {{push(1), popb, push(2), popb}, {popt}},
+                       no_tag,
+                       false,
+                       true});
+  }
+  {
+    ExploreOptions spin;
+    spin.use_spinlock = true;
+    configs.push_back({"ABLATION: spinlock deque",
+                       {{push(1), push(2), popb}, {popt, popt}},
+                       spin,
+                       true,
+                       false});
+  }
+
+  Table t("Exhaustive interleaving exploration",
+          {"configuration", "states", "terminal", "safety", "non-blocking",
+           "max solo steps", "as predicted"});
+  bool all_as_predicted = true;
+  for (const auto& c : configs) {
+    const auto r = explore(c.scripts, c.opts);
+    const bool as_predicted =
+        !r.truncated && r.ok == c.expect_ok &&
+        r.nonblocking == c.expect_nonblocking;
+    all_as_predicted = all_as_predicted && as_predicted;
+    t.add_row({c.name, Table::integer((long long)r.states),
+               Table::integer((long long)r.terminal_states),
+               r.ok ? "ok" : ("VIOLATION: " + r.violation),
+               r.nonblocking ? "yes" : "NO (blocking state found)",
+               Table::integer(r.max_solo_steps),
+               as_predicted ? "yes" : "NO"});
+  }
+  bench::emit(t, csv);
+
+  // Part 2 — linearizability of the relaxed semantics (§3.2): random
+  // instruction-level executions, checked against a serial deque witness.
+  {
+    Xoshiro256 rng(99);
+    const int runs = quick ? 500 : 5000;
+    int linearizable = 0;
+    for (int i = 0; i < runs; ++i) {
+      Script owner;
+      std::uint8_t value = 1;
+      int live = 0;
+      for (int op = 0; op < 5; ++op) {
+        if (value < 6 && (live == 0 || rng.chance(0.6))) {
+          owner.push_back(Op{Method::kPushBottom, value++});
+          ++live;
+        } else {
+          owner.push_back(Op{Method::kPopBottom, 0});
+          if (live > 0) --live;
+        }
+      }
+      std::vector<Script> scripts{owner,
+                                  {Op{Method::kPopTop, 0},
+                                   Op{Method::kPopTop, 0}},
+                                  {Op{Method::kPopTop, 0}}};
+      linearizable += random_execution_is_linearizable(scripts, 1000 + i);
+    }
+    int aba_violations = 0;
+    const std::vector<Script> aba_scripts = {
+        {Op{Method::kPushBottom, 1}, Op{Method::kPopBottom, 0},
+         Op{Method::kPushBottom, 2}, Op{Method::kPopBottom, 0}},
+        {Op{Method::kPopTop, 0}},
+    };
+    const int aba_runs = quick ? 1000 : 5000;
+    for (int i = 0; i < aba_runs; ++i)
+      aba_violations += !random_execution_is_linearizable(
+          aba_scripts, 7000 + i, /*disable_tag=*/true);
+
+    Table lin("Relaxed-semantics linearizability (random executions)",
+              {"configuration", "runs", "linearizable", "note"});
+    lin.add_row({"ABP (tag enabled)", Table::integer(runs),
+                 Table::integer(linearizable), "must be all"});
+    lin.add_row({"ABP, tag disabled", Table::integer(aba_runs),
+                 Table::integer(aba_runs - aba_violations),
+                 Table::integer(aba_violations) +
+                     " ABA executions caught as non-linearizable"});
+    bench::emit(lin, csv);
+    all_as_predicted =
+        all_as_predicted && linearizable == runs && aba_violations > 0;
+  }
+
+  std::printf("\n(The Figure 5 machine passes every interleaving: pops "
+              "deliver each node exactly once and any invocation finishes "
+              "in <= %d solo steps from any reachable state — the "
+              "non-blocking property. Freezing the tag reproduces the "
+              "exact ABA failure §3.3 describes; the spinlock variant is "
+              "safe but has reachable states where a preempted lock holder "
+              "blocks everyone forever.)\n",
+              kAbpMaxSteps);
+  bench::verdict(all_as_predicted,
+                 "relaxed semantics + non-blockingness verified "
+                 "exhaustively; both ablations fail exactly as the paper "
+                 "predicts");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment E20 — the multiprogramming scenario of §1 and the kernel-
+// discipline comparison of §5: several computations, each running the
+// non-blocking work stealer, share one machine under four kernel
+// disciplines (static space partitioning, coscheduling/gang, dynamic
+// equipartition, process control). Two reproduced claims:
+//   1. §5: "a job mix consisting of one parallel computation and one
+//      serial computation cannot be coscheduled efficiently"; process
+//      control / dynamic sharing reclaims the waste.
+//   2. The paper's own guarantee is discipline-independent: EVERY job
+//      finishes within O(T1/PA + Tinf*P/PA) of the processor average PA
+//      it actually received — the work stealer makes "efficient use of
+//      whatever processor resources are provided by the kernel".
+
+#include "bench_common.hpp"
+#include "sched/multiprog.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  using sched::AllocationPolicy;
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E20: bench_multiprog",
+                "§1 job-mix scenario + §5 kernel disciplines",
+                "each job meets T1/PA + ~1*Tinf*P/PA under every kernel "
+                "discipline; coscheduling wastes the machine on serial "
+                "jobs, dynamic disciplines reclaim it");
+
+  const auto parallel_a = dag::fib_dag(quick ? 12 : 14);
+  const auto parallel_b = dag::wide(quick ? 48 : 96, 8);
+  const auto serial = dag::chain(quick ? 1500 : 4000);
+
+  struct Mix {
+    const char* name;
+    std::vector<sched::JobSpec> jobs;
+  };
+  sched::Options job_opts;
+  const std::vector<Mix> mixes = {
+      {"parallel + serial",
+       {{&parallel_a, 8, job_opts}, {&serial, 1, job_opts}}},
+      {"parallel + parallel",
+       {{&parallel_a, 8, job_opts}, {&parallel_b, 8, job_opts}}},
+      {"2 parallel + serial",
+       {{&parallel_a, 8, job_opts},
+        {&parallel_b, 8, job_opts},
+        {&serial, 1, job_opts}}},
+  };
+  const AllocationPolicy policies[] = {
+      AllocationPolicy::kSpacePartition,
+      AllocationPolicy::kCoschedule,
+      AllocationPolicy::kEquipartition,
+      AllocationPolicy::kProcessControl,
+  };
+
+  bool bounds_ok = true;
+  sim::Round gang_par_finish = 0, pc_par_finish = 0;
+  for (const Mix& mix : mixes) {
+    Table t(std::string("Job mix: ") + mix.name + "  (machine: 8 processors)",
+            {"kernel discipline", "makespan", "utilization",
+             "per-job finish rounds", "worst per-job bound ratio"});
+    for (const auto policy : policies) {
+      sched::MultiprogOptions mo;
+      mo.processors = 8;
+      mo.policy = policy;
+      mo.seed = 5;
+      const auto r = sched::run_multiprogrammed(mix.jobs, mo);
+      std::string finishes;
+      double worst_ratio = 0.0;
+      bool all_done = true;
+      for (const auto& job : r.jobs) {
+        all_done = all_done && job.completed;
+        if (!finishes.empty()) finishes += " / ";
+        finishes += Table::integer((long long)job.finish_round);
+        worst_ratio = std::max(worst_ratio, job.metrics.bound_ratio());
+      }
+      bounds_ok = bounds_ok && all_done && worst_ratio < 3.0;
+      if (std::string(mix.name) == "parallel + serial") {
+        if (policy == AllocationPolicy::kCoschedule)
+          gang_par_finish = r.jobs[0].finish_round;
+        if (policy == AllocationPolicy::kProcessControl)
+          pc_par_finish = r.jobs[0].finish_round;
+      }
+      t.add_row({to_string(policy), Table::integer((long long)r.makespan),
+                 Table::num(r.utilization, 3), finishes,
+                 Table::num(worst_ratio, 3)});
+    }
+    bench::emit(t, csv);
+  }
+
+  std::printf("\n(§5 separation on the parallel+serial mix: the parallel "
+              "job finishes at round %llu under coscheduling vs %llu under "
+              "process control — during the serial job's gang quanta 7 of "
+              "8 processors idle and the parallel job stalls outright. Yet "
+              "in every row the worst per-job bound ratio stays ~1: the "
+              "work stealer converts whatever PA each discipline yields "
+              "into proportional progress, which is the paper's thesis.)\n",
+              (unsigned long long)gang_par_finish,
+              (unsigned long long)pc_par_finish);
+  bench::verdict(bounds_ok && gang_par_finish > pc_par_finish * 13 / 10,
+                 "all jobs complete within the bound under every kernel "
+                 "discipline; coscheduling's serial-job waste reproduced");
+  return 0;
+}

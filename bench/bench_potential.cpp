@@ -1,0 +1,88 @@
+// Experiment E14 — the potential function (§4.2): Lemma 6 (Top-Heavy
+// Deques: the top node of every non-empty deque carries >= 3/4 of its
+// owner's potential) and the Lemma 8 phase mechanics (over every stretch of
+// >= P throws, the potential drops by >= 1/4 with probability > 1/4). We
+// trace the potential through live executions.
+
+#include "bench_common.hpp"
+#include "sched/potential.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E14: bench_potential", "§4.2 (Lemmas 6 and 8)",
+                "potential never increases; top deque node holds >= 3/4 of "
+                "its owner's potential; phases of >= P throws lose >= 1/4 "
+                "of the potential with probability > 1/4");
+
+  struct DagCase {
+    const char* name;
+    dag::Dag d;
+  };
+  std::vector<DagCase> dags;
+  dags.push_back({"fib(14)", dag::fib_dag(quick ? 12 : 14)});
+  dags.push_back({"wide(40x8)", dag::wide(40, 8)});
+  dags.push_back({"grid(20x20)", dag::grid_wavefront(20, 20)});
+  dags.push_back({"sp(1500)", dag::random_series_parallel(8, 1500)});
+
+  const std::size_t p = 8;
+  const int reps = quick ? 2 : 4;
+  Table t("Potential tracing (P = 8, dedicated; means over seeds)",
+          {"dag", "monotone?", "min top-fraction (Lemma 6: >= 0.75)",
+           "phases", "phase success rate (Lemma 8: > 0.25)"});
+  bool all_ok = true;
+  for (const auto& dc : dags) {
+    bool monotone = true;
+    long double min_top = 1.0L;
+    OnlineStats success;
+    std::size_t phase_count = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      sched::PhaseStats phases;
+      bool started = false;
+      std::uint64_t last_throws = 0;
+      long double last_total = -1.0L;
+      sched::Options opts;
+      opts.seed = 900 + rep;
+      opts.after_round = [&](const sched::EngineView& view) {
+        const auto b = sched::compute_potential(view);
+        if (last_total >= 0.0L && b.total > last_total + 1e-6L)
+          monotone = false;
+        last_total = b.total;
+        if (b.min_top_fraction < min_top) min_top = b.min_top_fraction;
+        if (!started) {
+          phases.start(b.total);
+          started = true;
+        } else if (view.throws >= last_throws + p) {
+          phases.boundary(b.total);
+          last_throws = view.throws;
+        }
+      };
+      sim::DedicatedKernel k(p);
+      const auto m = sched::run_work_stealer(dc.d, k, opts);
+      if (!m.completed) {
+        all_ok = false;
+        continue;
+      }
+      success.add(phases.success_fraction());
+      phase_count += phases.phases();
+    }
+    const bool ok = monotone && double(min_top) >= 0.75 - 1e-9 &&
+                    success.mean() > 0.25;
+    all_ok = all_ok && ok;
+    t.add_row({dc.name, monotone ? "yes" : "NO",
+               Table::num(double(min_top), 4),
+               Table::integer((long long)phase_count),
+               Table::num(success.mean(), 3)});
+  }
+  bench::emit(t, csv);
+  std::printf("\n(These are the three pillars of the §4 analysis, observed "
+              "live: monotone potential, top-heavy deques, and phases that "
+              "shed a constant potential fraction with constant "
+              "probability. In practice far more than 1/4 of phases "
+              "succeed.)\n");
+  bench::verdict(all_ok, "Lemma 6 and Lemma 8 mechanics hold on every "
+                         "traced execution");
+  return 0;
+}

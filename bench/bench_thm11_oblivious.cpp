@@ -1,0 +1,77 @@
+// Experiment E7 — Theorem 11: against an oblivious adversary (full schedule
+// fixed in advance, including *which* processes run), yieldToRandom
+// restores the O(T1/PA + Tinf*P/PA) bound. We run rotating-window
+// oblivious schedules that deny long stretches of service to individual
+// processes, with and without the yield.
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E7: bench_thm11_oblivious",
+                "Theorem 11 (oblivious adversary + yieldToRandom)",
+                "an off-line adversary choosing both p_i and the identities "
+                "is tamed by yieldToRandom: expected time "
+                "O(T1/PA + Tinf*P/PA)");
+
+  const dag::Dag d = dag::fib_dag(quick ? 13 : 16);
+  const std::size_t p = 16;
+  const int reps = quick ? 3 : 8;
+
+  struct ProfileCase {
+    const char* name;
+    sim::UtilizationProfile profile;
+  };
+  const std::vector<ProfileCase> profiles = {
+      {"window(4)", sim::constant_profile(4)},
+      {"window(8)", sim::constant_profile(8)},
+      {"bursty(16;10/50)", sim::bursty_profile(16, 10, 50)},
+      {"periodic(16;7hi,13lo2)", sim::periodic_profile(16, 7, 2, 13)},
+  };
+
+  Table t("Theorem 11: oblivious rotating-window adversary (P = 16)",
+          {"profile", "yield", "mean length", "mean PA", "ratio",
+           "completed"});
+  bool bound_ok = true;
+  for (const auto& pc : profiles) {
+    for (const auto yield :
+         {sim::YieldKind::kToRandom, sim::YieldKind::kNone}) {
+      OnlineStats len, pa, ratio;
+      int completed = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        sim::ObliviousKernel k(p, pc.profile, 50 + rep);
+        sched::Options opts;
+        opts.yield = yield;
+        opts.seed = 9000 + rep;
+        opts.max_rounds = 2'000'000;
+        const auto m = sched::run_work_stealer(d, k, opts);
+        if (!m.completed) continue;
+        ++completed;
+        len.add(double(m.length));
+        pa.add(m.processor_average);
+        ratio.add(m.bound_ratio());
+      }
+      if (yield == sim::YieldKind::kToRandom)
+        bound_ok = bound_ok && completed == reps && ratio.mean() < 3.0;
+      t.add_row({pc.name, sim::to_string(yield),
+                 completed ? Table::num(len.mean(), 1) : "-",
+                 completed ? Table::num(pa.mean(), 2) : "-",
+                 completed ? Table::num(ratio.mean(), 3) : "-",
+                 Table::integer(completed) + "/" + Table::integer(reps)});
+    }
+  }
+  bench::emit(t, csv);
+  std::printf("\n(With yieldToRandom every run completes within the bound. "
+              "The rotating-window adversary is oblivious, so even without "
+              "yields it cannot adapt to starve the work holder forever — "
+              "the paper's separation is between what can be *proven*: "
+              "without yields only benign adversaries are covered, and an "
+              "adaptive adversary defeats no-yield outright, see E8.)\n");
+  bench::verdict(bound_ok, "oblivious-adversary executions with "
+                           "yieldToRandom all complete within 3x of the "
+                           "bound");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Experiment E3 — Theorem 1: lower bounds on execution-schedule length.
+//
+// (a) T1/PA is a lower bound for every kernel schedule: we verify the best
+//     offline scheduler never beats it.
+// (b) There exist kernel schedules forcing length >= Tinf*P/PA, with PA
+//     ranging from P down to ~1. We realize the constructed schedule
+//     (p_i = 0 for k*Tinf rounds, P for Tinf rounds, then 1) for a sweep
+//     of k and confirm even the offline greedy scheduler cannot beat the
+//     bound.
+
+#include "bench_common.hpp"
+#include "sim/offline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E3: bench_thm1_lowerbound", "Theorem 1 (lower bounds)",
+                "every execution schedule has length >= T1/PA; constructed "
+                "kernel schedules force length >= Tinf*P/PA with PA from P "
+                "down to ~1");
+
+  const std::size_t p = 8;
+  struct DagCase {
+    const char* name;
+    dag::Dag d;
+  };
+  std::vector<DagCase> dags;
+  dags.push_back({"fib(14)", dag::fib_dag(quick ? 11 : 14)});
+  dags.push_back({"wide(64x16)", dag::wide(64, 16)});
+  dags.push_back({"grid(40x40)", dag::grid_wavefront(40, 40)});
+
+  Table t("Theorem 1: constructed kernel schedules (P = 8, greedy "
+          "adversary-best response)",
+          {"dag", "k", "T1", "Tinf", "length", "PA", "T1/PA",
+           "Tinf*P/PA", "len/max(bounds)"});
+  bool all_ok = true;
+  for (const auto& c : dags) {
+    const double t1 = double(c.d.work());
+    const double tinf = double(c.d.critical_path_length());
+    for (std::uint64_t k : {0u, 1u, 2u, 3u, 5u, 8u}) {
+      const auto profile =
+          sim::theorem1_profile(p, k, c.d.critical_path_length());
+      const auto r = sim::greedy_schedule(c.d, p, profile);
+      const double lb_work = t1 / r.processor_average;
+      const double lb_cp = tinf * double(p) / r.processor_average;
+      const double lb = std::max(lb_work, lb_cp);
+      const double ratio = double(r.length) / lb;
+      all_ok = all_ok && double(r.length) + 1e-6 >= lb;
+      t.add_row({c.name, Table::integer((long long)k),
+                 Table::integer((long long)t1),
+                 Table::integer((long long)tinf),
+                 Table::integer((long long)r.length),
+                 Table::num(r.processor_average, 2), Table::num(lb_work, 1),
+                 Table::num(lb_cp, 1), Table::num(ratio, 3)});
+    }
+  }
+  bench::emit(t, csv);
+
+  std::printf("\n(len/max(bounds) >= 1 everywhere means no schedule beats "
+              "the Theorem 1 lower bounds; values near 1 show the bounds "
+              "are tight.)\n");
+  bench::verdict(all_ok, "no execution schedule beat max(T1/PA, Tinf*P/PA) "
+                         "under the Theorem 1 construction");
+  return 0;
+}

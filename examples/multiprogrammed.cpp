@@ -1,0 +1,122 @@
+// Multiprogramming demo: two parallel computations plus a serial CPU hog
+// share one machine — the exact scenario from the paper's introduction
+// ("a parallel design verifier may execute concurrently with other serial
+// and parallel applications").
+//
+// Each computation runs on its own work-stealing scheduler with P workers;
+// the kernel (Linux here) decides who gets the processors. The point of
+// the paper's bound T1/PA + O(Tinf*P/PA) is that each computation makes
+// efficient use of whatever share PA it receives: the combined wall-clock
+// time stays near the sum of the serial times, with no collapse from
+// oversubscription.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "runtime/algorithms.hpp"
+#include "runtime/background_load.hpp"
+#include "runtime/scheduler.hpp"
+
+using namespace abp;
+using runtime::Worker;
+
+namespace {
+
+long fib_serial(int n) {
+  return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2);
+}
+
+long fib(Worker& w, int n) {
+  if (n < 16) return fib_serial(n);
+  long a = 0;
+  runtime::TaskGroup tg(w);
+  tg.spawn([&a, n](Worker& w2) { a = fib(w2, n - 1); });
+  const long b = fib(w, n - 2);
+  tg.wait();
+  return a + b;
+}
+
+double sum_sqrt(Worker& w, std::size_t n) {
+  return runtime::parallel_reduce<double>(
+      w, 0, n, 4096, 0.0,
+      [](std::size_t i) {
+        double x = double(i);
+        // a few Newton steps for sqrt, to make each iteration cost real work
+        double g = x * 0.5 + 1.0;
+        for (int it = 0; it < 4; ++it) g = 0.5 * (g + x / (g + 1e-12));
+        return g;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+double run_alone_fib(int n) {
+  runtime::Scheduler s(runtime::SchedulerOptions{});
+  long out = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run([&](Worker& w) { out = fib(w, n); });
+  const auto t1 = std::chrono::steady_clock::now();
+  std::printf("  [alone] fib(%d) = %ld in %.3f s\n", n, out,
+              std::chrono::duration<double>(t1 - t0).count());
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double run_alone_sum(std::size_t n) {
+  runtime::Scheduler s(runtime::SchedulerOptions{});
+  double out = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  s.run([&](Worker& w) { out = sum_sqrt(w, n); });
+  const auto t1 = std::chrono::steady_clock::now();
+  std::printf("  [alone] sum_sqrt(%zu) = %.3e in %.3f s\n", n, out,
+              std::chrono::duration<double>(t1 - t0).count());
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  const int fib_n = 27;
+  const std::size_t sum_n = 4'000'000;
+
+  std::printf("Phase 1: each computation alone\n");
+  const double t_fib = run_alone_fib(fib_n);
+  const double t_sum = run_alone_sum(sum_n);
+
+  std::printf("\nPhase 2: both computations + 1 serial CPU hog, "
+              "concurrently (the multiprogrammed mix)\n");
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 4;  // each app asks for 4 processes
+  opts.yield = runtime::YieldPolicy::kYield;
+
+  runtime::BackgroundLoad hog;
+  hog.start(1, 1.0);
+
+  long fib_out = 0;
+  double sum_out = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread app_a([&] {
+    runtime::Scheduler s(opts);
+    s.run([&](Worker& w) { fib_out = fib(w, fib_n); });
+  });
+  std::thread app_b([&] {
+    runtime::Scheduler s(opts);
+    s.run([&](Worker& w) { sum_out = sum_sqrt(w, sum_n); });
+  });
+  app_a.join();
+  app_b.join();
+  const auto t1 = std::chrono::steady_clock::now();
+  hog.stop();
+
+  const double together = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("  fib(%d) = %ld and sum_sqrt(%zu) = %.3e finished together "
+              "in %.3f s\n",
+              fib_n, fib_out, sum_n, sum_out, together);
+  std::printf("\nSerial-sum baseline (fib alone + sum alone): %.3f s\n",
+              t_fib + t_sum);
+  std::printf("Overhead of sharing the machine (with a hog taking ~1/3 of "
+              "it): %.2fx over the no-hog serial sum — efficient use of "
+              "whatever the kernel provides, with 9 runnable threads on "
+              "this host.\n",
+              together / (t_fib + t_sum));
+  return 0;
+}

@@ -1,0 +1,42 @@
+#pragma once
+
+// Umbrella header for the abp-workstealing library: one include for the
+// public API. Individual headers remain includable on their own; see
+// README.md for the module map.
+
+// Computation dags (the paper's model of multithreaded computations).
+#include "dag/builders.hpp"
+#include "dag/dag.hpp"
+#include "dag/dot.hpp"
+#include "dag/enabling.hpp"
+
+// The concurrent deques (Figures 4-5 and friends).
+#include "deque/abp_deque.hpp"
+#include "deque/abp_growable_deque.hpp"
+#include "deque/chase_lev_deque.hpp"
+#include "deque/deque_concept.hpp"
+#include "deque/mutex_deque.hpp"
+#include "deque/spinlock_deque.hpp"
+
+// Kernel model and simulated work stealer (§2, §4).
+#include "sched/engine.hpp"
+#include "sched/multiprog.hpp"
+#include "sched/potential.hpp"
+#include "sched/structural.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/exec.hpp"
+#include "sim/kernel.hpp"
+#include "sim/offline.hpp"
+#include "sim/profile.hpp"
+#include "sim/yield.hpp"
+
+// The real (std::thread) Hood-style runtime.
+#include "runtime/algorithms.hpp"
+#include "runtime/background_load.hpp"
+#include "runtime/dag_engine.hpp"
+#include "runtime/future.hpp"
+#include "runtime/scheduler.hpp"
+
+// User-level threads (fibers) with blocking synchronization.
+#include "fiber/channel.hpp"
+#include "fiber/fiber.hpp"

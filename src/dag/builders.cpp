@@ -1,0 +1,210 @@
+#include "dag/builders.hpp"
+
+#include <utility>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace abp::dag {
+
+Dag figure1() {
+  Dag d;
+  const ThreadId root = d.new_thread();
+  const ThreadId child = d.new_thread();
+
+  const NodeId v1 = d.append_to_thread(root);
+  const NodeId v2 = d.append_to_thread(root);
+  const NodeId v3 = d.append_to_thread(child);
+  const NodeId v4 = d.append_to_thread(child);
+  const NodeId v5 = d.append_to_thread(child);
+  [[maybe_unused]] const NodeId v6 = d.append_to_thread(root);
+  [[maybe_unused]] const NodeId v7 = d.append_to_thread(root);
+  const NodeId v8 = d.append_to_thread(root);
+  [[maybe_unused]] const NodeId v9 = d.append_to_thread(root);
+  [[maybe_unused]] const NodeId v10 = d.append_to_thread(root);
+  const NodeId v11 = d.append_to_thread(root);
+
+  ABP_ASSERT(v1 == 0 && v11 == 10);
+  d.add_edge(v2, v3, EdgeKind::kSpawn);  // v2 spawns the child thread
+  d.add_edge(v4, v8, EdgeKind::kSync);   // v4 = V (signal), v8 = P (wait)
+  d.add_edge(v5, v11, EdgeKind::kJoin);  // child joins the root thread
+  return d;
+}
+
+Dag chain(std::size_t n) {
+  ABP_ASSERT(n >= 1);
+  Dag d;
+  const ThreadId t = d.new_thread();
+  for (std::size_t i = 0; i < n; ++i) d.append_to_thread(t);
+  return d;
+}
+
+namespace {
+
+struct Segment {
+  NodeId entry;
+  NodeId exit;
+};
+
+Segment build_fjt(Dag& d, unsigned depth, std::size_t leaf_work) {
+  if (depth == 0) {
+    const ThreadId t = d.new_thread();
+    const NodeId entry = d.append_to_thread(t);
+    NodeId exit = entry;
+    for (std::size_t i = 1; i < leaf_work; ++i) exit = d.append_to_thread(t);
+    return {entry, exit};
+  }
+  const ThreadId t = d.new_thread();
+  const NodeId s1 = d.append_to_thread(t);  // spawns left subtree
+  const NodeId s2 = d.append_to_thread(t);  // spawns right subtree
+  const NodeId j1 = d.append_to_thread(t);  // join of left subtree
+  const NodeId j2 = d.append_to_thread(t);  // join of right subtree
+  const Segment left = build_fjt(d, depth - 1, leaf_work);
+  const Segment right = build_fjt(d, depth - 1, leaf_work);
+  d.add_edge(s1, left.entry, EdgeKind::kSpawn);
+  d.add_edge(s2, right.entry, EdgeKind::kSpawn);
+  d.add_edge(left.exit, j1, EdgeKind::kJoin);
+  d.add_edge(right.exit, j2, EdgeKind::kJoin);
+  return {s1, j2};
+}
+
+Segment build_fib(Dag& d, unsigned n) {
+  if (n < 2) {
+    const ThreadId t = d.new_thread();
+    const NodeId leaf = d.append_to_thread(t);
+    return {leaf, leaf};
+  }
+  const ThreadId t = d.new_thread();
+  const NodeId s1 = d.append_to_thread(t);
+  const NodeId s2 = d.append_to_thread(t);
+  const NodeId j1 = d.append_to_thread(t);
+  const NodeId j2 = d.append_to_thread(t);
+  const Segment a = build_fib(d, n - 1);
+  const Segment b = build_fib(d, n - 2);
+  d.add_edge(s1, a.entry, EdgeKind::kSpawn);
+  d.add_edge(s2, b.entry, EdgeKind::kSpawn);
+  d.add_edge(a.exit, j1, EdgeKind::kJoin);
+  d.add_edge(b.exit, j2, EdgeKind::kJoin);
+  return {s1, j2};
+}
+
+Segment build_imbalanced(Dag& d, unsigned depth, std::size_t leaf_work) {
+  if (depth == 0) {
+    const ThreadId t = d.new_thread();
+    const NodeId entry = d.append_to_thread(t);
+    NodeId exit = entry;
+    for (std::size_t i = 1; i < leaf_work; ++i) exit = d.append_to_thread(t);
+    return {entry, exit};
+  }
+  const ThreadId t = d.new_thread();
+  const NodeId s1 = d.append_to_thread(t);
+  const NodeId s2 = d.append_to_thread(t);
+  const NodeId j1 = d.append_to_thread(t);
+  const NodeId j2 = d.append_to_thread(t);
+  const Segment heavy = build_imbalanced(d, depth - 1, leaf_work);
+  const Segment light = build_imbalanced(d, depth / 2, leaf_work);
+  d.add_edge(s1, heavy.entry, EdgeKind::kSpawn);
+  d.add_edge(s2, light.entry, EdgeKind::kSpawn);
+  d.add_edge(heavy.exit, j1, EdgeKind::kJoin);
+  d.add_edge(light.exit, j2, EdgeKind::kJoin);
+  return {s1, j2};
+}
+
+Segment build_sp(Dag& d, Xoshiro256& rng, std::size_t budget, ThreadId t) {
+  if (budget <= 1) {
+    const NodeId n = d.append_to_thread(t);
+    return {n, n};
+  }
+  if (budget < 4 || rng.chance(0.45)) {
+    // Series composition within the same thread; append_to_thread links the
+    // two halves with a continuation edge automatically.
+    const Segment a = build_sp(d, rng, budget / 2, t);
+    const Segment b = build_sp(d, rng, budget - budget / 2, t);
+    return {a.entry, b.exit};
+  }
+  // Parallel composition: fork spawns a child thread, the other branch
+  // continues in this thread, and a join node closes the diamond.
+  const NodeId fork = d.append_to_thread(t);
+  const ThreadId child = d.new_thread();
+  const std::size_t inner = budget - 2;
+  const Segment a = build_sp(d, rng, inner / 2, child);
+  d.add_edge(fork, a.entry, EdgeKind::kSpawn);
+  const Segment b = build_sp(d, rng, inner - inner / 2, t);
+  (void)b;  // b is chained after fork by construction
+  const NodeId join = d.append_to_thread(t);
+  d.add_edge(a.exit, join, EdgeKind::kJoin);
+  return {fork, join};
+}
+
+}  // namespace
+
+Dag fork_join_tree(unsigned depth, std::size_t leaf_work) {
+  ABP_ASSERT(leaf_work >= 1);
+  Dag d;
+  build_fjt(d, depth, leaf_work);
+  return d;
+}
+
+Dag fib_dag(unsigned n) {
+  Dag d;
+  build_fib(d, n);
+  return d;
+}
+
+Dag wide(std::size_t width, std::size_t strand_len) {
+  ABP_ASSERT(width >= 1 && strand_len >= 1);
+  Dag d;
+  const ThreadId root = d.new_thread();
+  std::vector<NodeId> spawners(width);
+  for (std::size_t i = 0; i < width; ++i) spawners[i] = d.append_to_thread(root);
+  std::vector<NodeId> strand_exit(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const ThreadId t = d.new_thread();
+    NodeId first = d.append_to_thread(t);
+    NodeId last = first;
+    for (std::size_t k = 1; k < strand_len; ++k) last = d.append_to_thread(t);
+    d.add_edge(spawners[i], first, EdgeKind::kSpawn);
+    strand_exit[i] = last;
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId j = d.append_to_thread(root);
+    d.add_edge(strand_exit[i], j, EdgeKind::kJoin);
+  }
+  return d;
+}
+
+Dag grid_wavefront(std::size_t rows, std::size_t cols) {
+  ABP_ASSERT(rows >= 1 && cols >= 1);
+  Dag d;
+  std::vector<std::vector<NodeId>> node(rows, std::vector<NodeId>(cols));
+  for (std::size_t i = 0; i < rows; ++i) {
+    const ThreadId t = d.new_thread();
+    for (std::size_t j = 0; j < cols; ++j) node[i][j] = d.append_to_thread(t);
+  }
+  // Each row's first node spawns the next row.
+  for (std::size_t i = 0; i + 1 < rows; ++i)
+    d.add_edge(node[i][0], node[i + 1][0], EdgeKind::kSpawn);
+  // Wavefront synchronization edges (i-1,j) -> (i,j) for j >= 1.
+  for (std::size_t i = 1; i < rows; ++i)
+    for (std::size_t j = 1; j < cols; ++j)
+      d.add_edge(node[i - 1][j], node[i][j], EdgeKind::kSync);
+  return d;
+}
+
+Dag imbalanced_tree(unsigned depth, std::size_t leaf_work) {
+  ABP_ASSERT(leaf_work >= 1);
+  Dag d;
+  build_imbalanced(d, depth, leaf_work);
+  return d;
+}
+
+Dag random_series_parallel(std::uint64_t seed, std::size_t target_nodes) {
+  ABP_ASSERT(target_nodes >= 1);
+  Dag d;
+  Xoshiro256 rng(seed);
+  const ThreadId t = d.new_thread();
+  build_sp(d, rng, target_nodes, t);
+  return d;
+}
+
+}  // namespace abp::dag

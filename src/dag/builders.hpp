@@ -1,0 +1,68 @@
+#pragma once
+
+// Computation-dag builders.
+//
+// `figure1()` reconstructs the paper's running example; the other builders
+// generate the dag families used across the experiments: serial chains (no
+// parallelism), fork-join trees and fib dags (high parallelism), wide
+// flat dags, wavefront grids (synchronization-edge heavy), and random
+// series-parallel dags (property-test fodder). All builders produce dags
+// satisfying the paper's structural assumptions (out-degree <= 2, unique
+// root and final node) — tests verify this for every family.
+
+#include <cstdint>
+
+#include "dag/dag.hpp"
+
+namespace abp::dag {
+
+// The example computation of Figure 1: two threads (root + one child), a
+// spawn edge, a semaphore V->P synchronization edge, and a join edge.
+//
+// The scanned copy of the paper garbles the node labels inside the figure,
+// so this is a *reconstruction* that is consistent with every statement the
+// prose makes about the example: the spawn/enable/die walkthroughs of §3.1,
+// the semaphore example (initial value 0), and the join that enables the
+// blocked root thread ("enable and die simultaneously"). Layout:
+//
+//   root thread : v1 v2 v6 v7 v8 v9 v10 v11
+//   child thread: v3 v4 v5
+//   spawn edge  : v2 -> v3
+//   sync  edge  : v4 -> v8   (v4 executes V, v8 executes P)
+//   join  edge  : v5 -> v11
+//
+// Work T1 = 11, critical path T∞ = 8 (v1 v2 v3 v4 v8 v9 v10 v11).
+Dag figure1();
+
+// Serial chain of n nodes (one thread). T1 = n, Tinf = n, parallelism 1.
+Dag chain(std::size_t n);
+
+// Balanced binary fork-join spawn tree of the given depth; each leaf thread
+// runs `leaf_work` nodes. depth = 0 is a single leaf thread.
+Dag fork_join_tree(unsigned depth, std::size_t leaf_work = 1);
+
+// Dag mirroring the spawn structure of the recursive Fibonacci program
+// (spawn fib(n-1); spawn fib(n-2); sync; sync).
+Dag fib_dag(unsigned n);
+
+// Root thread spawns `width` independent leaf threads of `strand_len` nodes
+// each via a spawn spine, then joins them via a join spine.
+Dag wide(std::size_t width, std::size_t strand_len = 1);
+
+// n-by-m wavefront grid: node (i,j) depends on (i,j-1) (continuation) and
+// (i-1,j) (synchronization edge). Each row is a thread spawned by the row
+// above. T1 = n*m, Tinf = n+m-1.
+Dag grid_wavefront(std::size_t rows, std::size_t cols);
+
+// Random series-parallel dag of roughly `target_nodes` nodes, built by
+// recursive series/parallel composition (fork node with out-degree 2, join
+// node). Deterministic in `seed`.
+Dag random_series_parallel(std::uint64_t seed, std::size_t target_nodes);
+
+// Lopsided spawn tree: at every internal thread the left subtree has depth
+// d-1 and the right subtree depth d/2. Work is heavily skewed towards one
+// side, stressing the load balancer (static partitioning of such a tree is
+// hopeless; work stealing rebalances it dynamically).
+Dag imbalanced_tree(unsigned depth, std::size_t leaf_work = 1);
+
+}  // namespace abp::dag

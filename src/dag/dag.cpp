@@ -1,0 +1,139 @@
+#include "dag/dag.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace abp::dag {
+
+const char* to_string(EdgeKind kind) noexcept {
+  switch (kind) {
+    case EdgeKind::kContinue: return "continue";
+    case EdgeKind::kSpawn: return "spawn";
+    case EdgeKind::kJoin: return "join";
+    case EdgeKind::kSync: return "sync";
+  }
+  return "?";
+}
+
+NodeId Dag::add_node(ThreadId thread) {
+  ABP_ASSERT(nodes_.size() < kNoNode);
+  nodes_.push_back(Node{});
+  nodes_.back().thread = thread;
+  cached_root_ = cached_final_ = kNoNode;
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+ThreadId Dag::new_thread() {
+  thread_last_.push_back(kNoNode);
+  return static_cast<ThreadId>(thread_last_.size() - 1);
+}
+
+NodeId Dag::append_to_thread(ThreadId thread) {
+  ABP_ASSERT(thread < thread_last_.size());
+  const NodeId n = add_node(thread);
+  const NodeId prev = thread_last_[thread];
+  if (prev != kNoNode) add_edge(prev, n, EdgeKind::kContinue);
+  thread_last_[thread] = n;
+  return n;
+}
+
+void Dag::add_edge(NodeId from, NodeId to, EdgeKind kind) {
+  ABP_ASSERT(from < nodes_.size() && to < nodes_.size());
+  ABP_ASSERT_MSG(nodes_[from].nsucc < 2,
+                 "paper assumes out-degree at most 2 (one instruction)");
+  nodes_[from].succ[nodes_[from].nsucc++] = to;
+  nodes_[to].in_degree++;
+  edges_.push_back(Edge{from, to, kind});
+  cached_root_ = cached_final_ = kNoNode;
+}
+
+NodeId Dag::root() const {
+  if (cached_root_ == kNoNode) {
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (nodes_[n].in_degree == 0) {
+        ABP_ASSERT_MSG(cached_root_ == kNoNode, "multiple root nodes");
+        cached_root_ = n;
+      }
+    }
+    ABP_ASSERT_MSG(cached_root_ != kNoNode, "no root node");
+  }
+  return cached_root_;
+}
+
+NodeId Dag::final_node() const {
+  if (cached_final_ == kNoNode) {
+    for (NodeId n = 0; n < nodes_.size(); ++n) {
+      if (nodes_[n].nsucc == 0) {
+        ABP_ASSERT_MSG(cached_final_ == kNoNode, "multiple final nodes");
+        cached_final_ = n;
+      }
+    }
+    ABP_ASSERT_MSG(cached_final_ != kNoNode, "no final node");
+  }
+  return cached_final_;
+}
+
+std::string Dag::validate() const {
+  if (nodes_.empty()) return "dag has no nodes";
+  std::size_t roots = 0;
+  std::size_t finals = 0;
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    if (nodes_[n].in_degree == 0) ++roots;
+    if (nodes_[n].nsucc == 0) ++finals;
+    if (nodes_[n].nsucc > 2) return "node out-degree exceeds 2";
+  }
+  if (roots != 1) return "dag must have exactly one root node";
+  if (finals != 1) return "dag must have exactly one final node";
+
+  // Acyclicity + reachability via Kahn's algorithm.
+  std::vector<std::uint32_t> indeg(nodes_.size());
+  for (NodeId n = 0; n < nodes_.size(); ++n) indeg[n] = nodes_[n].in_degree;
+  std::vector<NodeId> queue;
+  queue.reserve(nodes_.size());
+  for (NodeId n = 0; n < nodes_.size(); ++n)
+    if (indeg[n] == 0) queue.push_back(n);
+  std::size_t seen = 0;
+  while (seen < queue.size()) {
+    const NodeId n = queue[seen++];
+    for (NodeId s : successors(n))
+      if (--indeg[s] == 0) queue.push_back(s);
+  }
+  if (seen != nodes_.size()) return "dag contains a cycle";
+  return {};
+}
+
+std::vector<NodeId> Dag::topological_order() const {
+  std::vector<std::uint32_t> indeg(nodes_.size());
+  for (NodeId n = 0; n < nodes_.size(); ++n) indeg[n] = nodes_[n].in_degree;
+  std::vector<NodeId> order;
+  order.reserve(nodes_.size());
+  for (NodeId n = 0; n < nodes_.size(); ++n)
+    if (indeg[n] == 0) order.push_back(n);
+  std::size_t seen = 0;
+  while (seen < order.size()) {
+    const NodeId n = order[seen++];
+    for (NodeId s : successors(n))
+      if (--indeg[s] == 0) order.push_back(s);
+  }
+  ABP_ASSERT_MSG(order.size() == nodes_.size(), "dag contains a cycle");
+  return order;
+}
+
+std::size_t Dag::critical_path_length() const {
+  const auto depth = longest_depth_from_root();
+  std::uint32_t max_depth = 0;
+  for (auto d : depth) max_depth = std::max(max_depth, d);
+  return static_cast<std::size_t>(max_depth) + 1;  // path length in nodes
+}
+
+std::vector<std::uint32_t> Dag::longest_depth_from_root() const {
+  std::vector<std::uint32_t> depth(nodes_.size(), 0);
+  for (const NodeId n : topological_order()) {
+    for (const NodeId s : successors(n))
+      depth[s] = std::max(depth[s], depth[n] + 1);
+  }
+  return depth;
+}
+
+}  // namespace abp::dag

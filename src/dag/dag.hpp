@@ -1,0 +1,122 @@
+#pragma once
+
+// The multithreaded-computation model of the paper (§1, Figure 1).
+//
+// A computation is a dag in which each node is one instruction and edges are
+// ordering constraints. Nodes belonging to one (user-level) thread form a
+// chain of "continuation" edges; an instruction may additionally have a
+// spawn edge (to the first node of a child thread), a join edge, or a
+// synchronization edge (e.g. a semaphore V -> P edge). Structural
+// assumptions from the paper:
+//   * every node has out-degree at most 2,
+//   * there is exactly one root node (in-degree 0) and one final node
+//     (out-degree 0).
+//
+// Measures: work T1 = number of nodes; critical-path length Tinf = number
+// of nodes on a longest directed path; parallelism = T1/Tinf.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace abp::dag {
+
+using NodeId = std::uint32_t;
+using ThreadId = std::uint32_t;
+
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+inline constexpr ThreadId kNoThread = std::numeric_limits<ThreadId>::max();
+
+// Classification of an edge, for documentation and validation only; the
+// scheduler treats all edges alike (they are ordering constraints).
+enum class EdgeKind : std::uint8_t {
+  kContinue,  // consecutive instructions of one thread
+  kSpawn,     // parent instruction -> first instruction of child thread
+  kJoin,      // last instruction of child -> instruction of parent
+  kSync,      // e.g. semaphore V -> P
+};
+
+const char* to_string(EdgeKind kind) noexcept;
+
+struct Edge {
+  NodeId from;
+  NodeId to;
+  EdgeKind kind;
+};
+
+class Dag {
+ public:
+  Dag() = default;
+
+  // --- construction ------------------------------------------------------
+  NodeId add_node(ThreadId thread = kNoThread);
+  // Appends a node to `thread`'s chain: adds the node and, if the thread
+  // already has nodes, a kContinue edge from its previous last node.
+  NodeId append_to_thread(ThreadId thread);
+  ThreadId new_thread();
+  void add_edge(NodeId from, NodeId to, EdgeKind kind = EdgeKind::kSync);
+
+  // --- accessors ----------------------------------------------------------
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  std::size_t num_threads() const noexcept { return thread_last_.size(); }
+
+  ThreadId thread_of(NodeId n) const { return nodes_[n].thread; }
+
+  // Successors of n (size <= 2, per the paper's out-degree assumption).
+  std::span<const NodeId> successors(NodeId n) const {
+    return {nodes_[n].succ, nodes_[n].nsucc};
+  }
+  unsigned in_degree(NodeId n) const { return nodes_[n].in_degree; }
+  unsigned out_degree(NodeId n) const { return nodes_[n].nsucc; }
+  std::span<const Edge> edges() const noexcept { return edges_; }
+
+  // The unique in-degree-0 / out-degree-0 nodes. Call validate() first (or
+  // rely on it having been called); these scan on first use and cache.
+  NodeId root() const;
+  NodeId final_node() const;
+
+  // --- validation & measures ----------------------------------------------
+  // Checks the paper's structural assumptions; returns an empty string when
+  // valid, otherwise a description of the first violation found.
+  std::string validate() const;
+  bool is_valid() const { return validate().empty(); }
+
+  // Work T1 (number of nodes).
+  std::size_t work() const noexcept { return nodes_.size(); }
+
+  // Critical-path length Tinf: nodes on a longest directed path.
+  std::size_t critical_path_length() const;
+
+  // Parallelism T1/Tinf.
+  double parallelism() const {
+    return static_cast<double>(work()) /
+           static_cast<double>(critical_path_length());
+  }
+
+  // Topological order (Kahn); asserts the graph is acyclic.
+  std::vector<NodeId> topological_order() const;
+
+  // Per-node "dag depth": length (in edges) of a longest path from the root
+  // to the node. Used by tests; note this is a *static* measure, whereas the
+  // enabling-tree depth of §3.4 depends on the execution.
+  std::vector<std::uint32_t> longest_depth_from_root() const;
+
+ private:
+  struct Node {
+    NodeId succ[2] = {kNoNode, kNoNode};
+    std::uint8_t nsucc = 0;
+    std::uint32_t in_degree = 0;
+    ThreadId thread = kNoThread;
+  };
+
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+  std::vector<NodeId> thread_last_;  // last node appended per thread
+  mutable NodeId cached_root_ = kNoNode;
+  mutable NodeId cached_final_ = kNoNode;
+};
+
+}  // namespace abp::dag

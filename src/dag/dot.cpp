@@ -1,0 +1,81 @@
+#include "dag/dot.hpp"
+
+#include <map>
+#include <vector>
+
+namespace abp::dag {
+
+namespace {
+
+const char* edge_style(EdgeKind kind) {
+  switch (kind) {
+    case EdgeKind::kContinue: return "solid";
+    case EdgeKind::kSpawn: return "dashed";
+    case EdgeKind::kJoin: return "dotted";
+    case EdgeKind::kSync: return "dotted";
+  }
+  return "solid";
+}
+
+std::string node_name(NodeId n) { return "v" + std::to_string(n + 1); }
+
+}  // namespace
+
+std::string to_dot(const Dag& d, const DotOptions& options) {
+  std::string out = "digraph computation {\n  rankdir=TB;\n"
+                    "  node [shape=circle, fontsize=10];\n";
+  if (options.label_measures) {
+    out += "  label=\"T1=" + std::to_string(d.work()) +
+           "  Tinf=" + std::to_string(d.critical_path_length()) +
+           "  parallelism=";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", d.parallelism());
+    out += buf;
+    out += "\";\n";
+  }
+
+  if (options.cluster_threads && d.num_threads() > 0) {
+    std::map<ThreadId, std::vector<NodeId>> by_thread;
+    for (NodeId n = 0; n < d.num_nodes(); ++n)
+      by_thread[d.thread_of(n)].push_back(n);
+    for (const auto& [thread, nodes] : by_thread) {
+      if (thread == kNoThread) {
+        for (NodeId n : nodes) out += "  " + node_name(n) + ";\n";
+        continue;
+      }
+      out += "  subgraph cluster_t" + std::to_string(thread) +
+             " {\n    style=rounded;\n    label=\"thread " +
+             std::to_string(thread) + "\";\n";
+      for (NodeId n : nodes) out += "    " + node_name(n) + ";\n";
+      out += "  }\n";
+    }
+  } else {
+    for (NodeId n = 0; n < d.num_nodes(); ++n)
+      out += "  " + node_name(n) + ";\n";
+  }
+
+  for (const Edge& e : d.edges()) {
+    out += "  " + node_name(e.from) + " -> " + node_name(e.to) +
+           " [style=" + edge_style(e.kind) + ", tooltip=\"" +
+           to_string(e.kind) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string to_dot(const Dag& d, const EnablingTree& tree) {
+  std::string out = "digraph enabling_tree {\n  rankdir=TB;\n"
+                    "  node [shape=circle, fontsize=10];\n";
+  for (NodeId n = 0; n < d.num_nodes(); ++n) {
+    if (!tree.known(n)) continue;
+    out += "  " + node_name(n) + " [label=\"" + node_name(n) + "\\nw=" +
+           std::to_string(tree.weight(n)) + "\"];\n";
+    if (tree.parent(n) != kNoNode)
+      out += "  " + node_name(tree.parent(n)) + " -> " + node_name(n) +
+             ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace abp::dag

@@ -1,0 +1,25 @@
+#pragma once
+
+// Graphviz export for computation dags: one cluster per thread, edge
+// styles by kind (continuation solid, spawn dashed, join/sync dotted) —
+// the rendering convention of the paper's Figure 1.
+
+#include <string>
+
+#include "dag/dag.hpp"
+#include "dag/enabling.hpp"
+
+namespace abp::dag {
+
+struct DotOptions {
+  bool cluster_threads = true;   // box the nodes of each thread together
+  bool label_measures = true;    // graph label with T1 / Tinf / parallelism
+};
+
+// Renders the dag as a Graphviz digraph.
+std::string to_dot(const Dag& d, const DotOptions& options = {});
+
+// Renders an enabling tree (from an execution) over the dag's nodes.
+std::string to_dot(const Dag& d, const EnablingTree& tree);
+
+}  // namespace abp::dag

@@ -1,0 +1,58 @@
+#include "dag/enabling.hpp"
+
+#include "support/assert.hpp"
+
+namespace abp::dag {
+
+EnablingTree::EnablingTree(const Dag& dag)
+    : tinf_(dag.critical_path_length()),
+      parent_(dag.num_nodes(), kNoNode),
+      depth_(dag.num_nodes(), kUnknownDepth) {}
+
+void EnablingTree::set_root(NodeId root) {
+  ABP_ASSERT(root < depth_.size());
+  ABP_ASSERT_MSG(depth_[root] == kUnknownDepth, "root recorded twice");
+  depth_[root] = 0;
+  ++recorded_;
+}
+
+void EnablingTree::record(NodeId parent, NodeId child) {
+  ABP_ASSERT(parent < depth_.size() && child < depth_.size());
+  ABP_ASSERT_MSG(depth_[parent] != kUnknownDepth,
+                 "designated parent must already be in the tree");
+  ABP_ASSERT_MSG(depth_[child] == kUnknownDepth,
+                 "a node is enabled exactly once");
+  parent_[child] = parent;
+  depth_[child] = depth_[parent] + 1;
+  ++recorded_;
+}
+
+std::uint32_t EnablingTree::depth(NodeId n) const {
+  ABP_ASSERT_MSG(depth_[n] != kUnknownDepth, "node not yet enabled");
+  return depth_[n];
+}
+
+std::uint32_t EnablingTree::weight(NodeId n) const {
+  const std::uint32_t d = depth(n);
+  ABP_ASSERT_MSG(d < tinf_, "enabling-tree depth must be below Tinf");
+  return static_cast<std::uint32_t>(tinf_) - d;
+}
+
+std::string EnablingTree::validate(std::size_t expected_nodes) const {
+  if (recorded_ != expected_nodes) return "not all nodes were enabled";
+  std::size_t roots = 0;
+  for (std::size_t n = 0; n < depth_.size(); ++n) {
+    if (depth_[n] == kUnknownDepth) continue;
+    if (depth_[n] >= tinf_) return "depth reaches or exceeds Tinf";
+    if (parent_[n] == kNoNode) {
+      if (depth_[n] != 0) return "non-root node without designated parent";
+      ++roots;
+    } else if (depth_[parent_[n]] + 1 != depth_[n]) {
+      return "child depth is not parent depth + 1";
+    }
+  }
+  if (roots != 1) return "enabling tree must have exactly one root";
+  return {};
+}
+
+}  // namespace abp::dag

@@ -1,0 +1,55 @@
+#pragma once
+
+// Enabling tree (§3.4 of the paper).
+//
+// During an execution, if executing node u makes node v ready, the edge
+// (u, v) is an *enabling edge* and u is the *designated parent* of v. The
+// enabling edges form a rooted tree over the executed nodes (every node
+// except the root has exactly one designated parent). The depth d(v) of a
+// node in this tree defines its weight w(v) = Tinf - d(v), the quantity the
+// potential-function analysis (§4.2) is built on. Different executions of
+// the same dag generally produce different enabling trees.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/dag.hpp"
+
+namespace abp::dag {
+
+class EnablingTree {
+ public:
+  explicit EnablingTree(const Dag& dag);
+
+  // Marks `root` as the tree root (depth 0).
+  void set_root(NodeId root);
+
+  // Records that executing `parent` enabled `child`.
+  void record(NodeId parent, NodeId child);
+
+  bool known(NodeId n) const { return depth_[n] != kUnknownDepth; }
+  std::uint32_t depth(NodeId n) const;
+  NodeId parent(NodeId n) const { return parent_[n]; }
+
+  // Weight w(n) = Tinf - depth(n); the root has weight Tinf and every
+  // recorded node has weight >= 1.
+  std::uint32_t weight(NodeId n) const;
+
+  std::size_t recorded() const noexcept { return recorded_; }
+  std::size_t tinf() const noexcept { return tinf_; }
+
+  // Returns empty string when the recorded structure is a consistent tree
+  // covering `expected_nodes` nodes with depths < Tinf; otherwise an error.
+  std::string validate(std::size_t expected_nodes) const;
+
+ private:
+  static constexpr std::uint32_t kUnknownDepth = 0xffffffffu;
+
+  std::size_t tinf_;
+  std::size_t recorded_ = 0;
+  std::vector<NodeId> parent_;
+  std::vector<std::uint32_t> depth_;
+};
+
+}  // namespace abp::dag

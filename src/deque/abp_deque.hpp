@@ -1,0 +1,158 @@
+#pragma once
+
+// The ABP non-blocking work-stealing deque (paper §3.2-3.3, Figures 4-5).
+//
+// One *owner* process pushes and pops at the bottom; any number of *thief*
+// processes pop at the top. The implementation is non-blocking: a process
+// that is preempted mid-operation cannot prevent other processes from
+// completing their operations (no locks are held, ever).
+//
+// State (Figure 4):
+//   deq  — array of items
+//   bot  — index *below* the bottom item (number of items ever at bottom)
+//   age  — a single machine word holding two fields:
+//            top — index of the top item
+//            tag — a "uniquifier" bumped every time top is reset, so that a
+//                  stalled thief whose CAS races a full drain-and-refill of
+//                  the deque cannot succeed with a stale top (ABA).
+//
+// Semantics (§3.2, "relaxed semantics"): push_bottom/pop_bottom (owner-only,
+// never concurrent with each other) and every pop_top that returns an item
+// are linearizable; a pop_top may return nothing if at some instant during
+// the invocation the deque was empty OR another process removed the topmost
+// item. That relaxed guarantee is exactly what the performance theorems
+// need.
+//
+// The paper's pseudocode assumes sequential consistency ("extra memory
+// operation ordering instructions may be needed" otherwise); we use
+// std::memory_order_seq_cst on the age/bot accesses, which is the direct
+// C++20 transliteration of that assumption. `cas` is
+// compare_exchange_strong.
+//
+// Tag width: the paper adapts the bounded-tags algorithm [Moir 97] because
+// mid-1990s machines had 32-bit words. On a 64-bit word we pack a 32-bit
+// tag with a 32-bit top; the tag is bumped only by pop_bottom's reset of an
+// *empty* deque, so wrapping requires 2^32 drain cycles to occur while a
+// single thief is stalled between its read of `age` and its CAS — we treat
+// that as impossible in practice and document it here, mirroring the
+// paper's reliance on bounded tags.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+
+#include "support/align.hpp"
+#include "support/assert.hpp"
+
+namespace abp::deque {
+
+template <typename T>
+class AbpDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "the ABP deque stores word-like items (nodes / thread "
+                "pointers in the paper)");
+
+ public:
+  explicit AbpDeque(std::size_t capacity = 8192)
+      : capacity_(capacity), deq_(std::make_unique<T[]>(capacity)) {
+    ABP_ASSERT(capacity >= 1);
+  }
+
+  AbpDeque(const AbpDeque&) = delete;
+  AbpDeque& operator=(const AbpDeque&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // pushBottom (Figure 5). Owner only.
+  void push_bottom(T node) {
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    ABP_ASSERT_MSG(local_bot < capacity_, "ABP deque overflow");
+    deq_[local_bot] = node;
+    bot_.value.store(local_bot + 1, std::memory_order_seq_cst);
+  }
+
+  // popTop (Figure 5). Any process. Returns nothing when the deque was
+  // empty or the topmost item was concurrently removed (relaxed semantics).
+  std::optional<T> pop_top() {
+    const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    if (local_bot <= top_of(old_age)) return std::nullopt;
+    const T node = deq_[top_of(old_age)];
+    const std::uint64_t new_age = make_age(tag_of(old_age), top_of(old_age) + 1);
+    std::uint64_t expected = old_age;
+    if (age_.value.compare_exchange_strong(expected, new_age,
+                                           std::memory_order_seq_cst)) {
+      return node;
+    }
+    return std::nullopt;
+  }
+
+  // popBottom (Figure 5). Owner only.
+  std::optional<T> pop_bottom() {
+    std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    if (local_bot == 0) return std::nullopt;
+    --local_bot;
+    bot_.value.store(local_bot, std::memory_order_seq_cst);
+    const T node = deq_[local_bot];
+    const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
+    if (local_bot > top_of(old_age)) return node;
+    // The deque had at most one item; reset it to the canonical empty state
+    // (bot = top = 0) and bump the tag so stalled thieves cannot ABA.
+    bot_.value.store(0, std::memory_order_seq_cst);
+    const std::uint64_t new_age = make_age(tag_of(old_age) + 1, 0);
+    if (local_bot == top_of(old_age)) {
+      std::uint64_t expected = old_age;
+      if (age_.value.compare_exchange_strong(expected, new_age,
+                                             std::memory_order_seq_cst)) {
+        return node;  // we won the race against any concurrent pop_top
+      }
+    }
+    // A thief took the last item (or top had already passed local_bot).
+    age_.value.store(new_age, std::memory_order_seq_cst);
+    return std::nullopt;
+  }
+
+  // Owner-only convenience: true iff bot == 0 at the moment of the load.
+  // (Used by tests and stats; the algorithm itself never needs it.)
+  bool empty_hint() const {
+    const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t a = age_.value.load(std::memory_order_seq_cst);
+    return b <= top_of(a);
+  }
+
+  // Approximate size (racy; for statistics only).
+  std::size_t size_hint() const {
+    const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t t = top_of(age_.value.load(std::memory_order_seq_cst));
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  // Exposed for the ABA/tag unit tests.
+  std::uint32_t tag_hint() const {
+    return static_cast<std::uint32_t>(
+        tag_of(age_.value.load(std::memory_order_seq_cst)));
+  }
+
+ private:
+  static constexpr std::uint64_t top_of(std::uint64_t age) noexcept {
+    return age & 0xffffffffULL;
+  }
+  static constexpr std::uint64_t tag_of(std::uint64_t age) noexcept {
+    return age >> 32;
+  }
+  static constexpr std::uint64_t make_age(std::uint64_t tag,
+                                          std::uint64_t top) noexcept {
+    return (tag << 32) | (top & 0xffffffffULL);
+  }
+
+  std::size_t capacity_;
+  std::unique_ptr<T[]> deq_;
+  // age and bot live on separate cache lines: thieves hammer `age` with CAS
+  // while the owner's push/pop traffic is on `bot`.
+  CacheAligned<std::atomic<std::uint64_t>> age_{};  // (tag << 32) | top
+  CacheAligned<std::atomic<std::uint64_t>> bot_{};
+};
+
+}  // namespace abp::deque

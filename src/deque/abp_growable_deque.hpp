@@ -1,0 +1,159 @@
+#pragma once
+
+// Growable variant of the ABP deque — an extension beyond the paper, which
+// fixes the array size and relies on "generous" sizing (the Hood library's
+// approach). The algorithm is unchanged (Figure 5, packed (tag, top) age
+// word, CAS); only the array is replaced:
+//
+//   * the owner, on a full push_bottom, allocates a buffer of twice the
+//     capacity and copies the live window [top, bot) to the SAME indices,
+//     then publishes the new buffer pointer;
+//   * thieves that raced the growth keep reading the old buffer: since
+//     indices are preserved and old buffers are retired (not freed) until
+//     destruction, the value at their saved top index is identical in
+//     both buffers, so the popTop CAS logic is unaffected.
+//
+// The array is flat, not a ring: the ABP age word only versions `top`, so
+// slots must never be reused while a stalled thief might still read them
+// within one (tag, top) epoch. Index space is reclaimed exactly as in the
+// fixed deque — popBottom's reset of the empty deque returns bot and top
+// to 0 (bumping the tag). Memory therefore grows with the high-water mark
+// of `bot` between resets, which for work-stealing usage is the maximum
+// number of simultaneously-live nodes pushed without fully draining.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "support/align.hpp"
+#include "support/assert.hpp"
+
+namespace abp::deque {
+
+template <typename T>
+class AbpGrowableDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), data(std::make_unique<T[]>(cap)) {}
+    std::size_t capacity;
+    std::unique_ptr<T[]> data;
+  };
+
+ public:
+  explicit AbpGrowableDeque(std::size_t initial_capacity = 64) {
+    auto first = std::make_unique<Buffer>(
+        initial_capacity < 8 ? 8 : initial_capacity);
+    buf_.store(first.get(), std::memory_order_release);
+    buffers_.push_back(std::move(first));
+  }
+
+  AbpGrowableDeque(const AbpGrowableDeque&) = delete;
+  AbpGrowableDeque& operator=(const AbpGrowableDeque&) = delete;
+
+  std::size_t capacity() const noexcept {
+    return buf_.load(std::memory_order_acquire)->capacity;
+  }
+
+  // pushBottom; owner only. Grows instead of overflowing.
+  void push_bottom(T node) {
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    Buffer* buf = buf_.load(std::memory_order_relaxed);  // owner-owned
+    if (local_bot == buf->capacity) buf = grow(buf, local_bot);
+    buf->data[local_bot] = node;
+    bot_.value.store(local_bot + 1, std::memory_order_seq_cst);
+  }
+
+  std::optional<T> pop_top() {
+    const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    if (local_bot <= top_of(old_age)) return std::nullopt;
+    // The buffer pointer is re-read after bot: if a growth raced us, both
+    // buffers hold the same value at this index.
+    Buffer* buf = buf_.load(std::memory_order_acquire);
+    const T node = buf->data[top_of(old_age)];
+    const std::uint64_t new_age = make_age(tag_of(old_age), top_of(old_age) + 1);
+    std::uint64_t expected = old_age;
+    if (age_.value.compare_exchange_strong(expected, new_age,
+                                           std::memory_order_seq_cst)) {
+      return node;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<T> pop_bottom() {
+    std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    if (local_bot == 0) return std::nullopt;
+    --local_bot;
+    bot_.value.store(local_bot, std::memory_order_seq_cst);
+    Buffer* buf = buf_.load(std::memory_order_relaxed);  // owner-owned
+    const T node = buf->data[local_bot];
+    const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
+    if (local_bot > top_of(old_age)) return node;
+    bot_.value.store(0, std::memory_order_seq_cst);
+    const std::uint64_t new_age = make_age(tag_of(old_age) + 1, 0);
+    if (local_bot == top_of(old_age)) {
+      std::uint64_t expected = old_age;
+      if (age_.value.compare_exchange_strong(expected, new_age,
+                                             std::memory_order_seq_cst)) {
+        return node;
+      }
+    }
+    age_.value.store(new_age, std::memory_order_seq_cst);
+    return std::nullopt;
+  }
+
+  bool empty_hint() const {
+    const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t a = age_.value.load(std::memory_order_seq_cst);
+    return b <= top_of(a);
+  }
+
+  std::size_t size_hint() const {
+    const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t t = top_of(age_.value.load(std::memory_order_seq_cst));
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  std::uint32_t tag_hint() const {
+    return static_cast<std::uint32_t>(
+        tag_of(age_.value.load(std::memory_order_seq_cst)));
+  }
+
+ private:
+  Buffer* grow(Buffer* old, std::uint64_t local_bot) {
+    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    // Copy the window that can still be referenced: [top, local_bot). A
+    // concurrently advancing top only shrinks the live window, so reading
+    // it once (possibly stale-low) copies a superset.
+    const std::uint64_t t = top_of(age_.value.load(std::memory_order_seq_cst));
+    for (std::uint64_t i = t; i < local_bot; ++i)
+      bigger->data[i] = old->data[i];
+    Buffer* raw = bigger.get();
+    buf_.store(raw, std::memory_order_release);
+    buffers_.push_back(std::move(bigger));  // retire; freed at destruction
+    return raw;
+  }
+
+  static constexpr std::uint64_t top_of(std::uint64_t age) noexcept {
+    return age & 0xffffffffULL;
+  }
+  static constexpr std::uint64_t tag_of(std::uint64_t age) noexcept {
+    return age >> 32;
+  }
+  static constexpr std::uint64_t make_age(std::uint64_t tag,
+                                          std::uint64_t top) noexcept {
+    return (tag << 32) | (top & 0xffffffffULL);
+  }
+
+  CacheAligned<std::atomic<std::uint64_t>> age_{};
+  CacheAligned<std::atomic<std::uint64_t>> bot_{};
+  std::atomic<Buffer*> buf_{nullptr};
+  std::vector<std::unique_ptr<Buffer>> buffers_;  // owner-only mutation
+};
+
+}  // namespace abp::deque

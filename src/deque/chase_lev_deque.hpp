@@ -1,0 +1,145 @@
+#pragma once
+
+// Chase-Lev work-stealing deque (SPAA 2005), the modern successor of the
+// ABP deque. Included as a comparator for the microbenchmarks (experiment
+// E15) and as an alternative deque policy in the runtime: it replaces the
+// (tag, top) packed word with an unbounded 64-bit `top` counter and a
+// growable circular buffer, eliminating both the fixed capacity and the
+// bounded-tag concern.
+//
+// Memory orderings follow Le, Pop, Cohen, Zappa Nardelli, "Correct and
+// Efficient Work-Stealing for Weak Memory Models" (PPoPP 2013), adapted to
+// C++20 std::atomic.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "support/align.hpp"
+#include "support/assert.hpp"
+
+namespace abp::deque {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  struct Buffer {
+    explicit Buffer(std::size_t cap)
+        : capacity(cap), mask(cap - 1), data(std::make_unique<T[]>(cap)) {
+      ABP_ASSERT((cap & (cap - 1)) == 0);
+    }
+    std::size_t capacity;
+    std::size_t mask;
+    std::unique_ptr<T[]> data;
+
+    T get(std::int64_t i) const noexcept {
+      return data[static_cast<std::size_t>(i) & mask];
+    }
+    void put(std::int64_t i, T v) noexcept {
+      data[static_cast<std::size_t>(i) & mask] = v;
+    }
+  };
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    buffer_.store(new Buffer(cap), std::memory_order_relaxed);
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* b : retired_) delete b;
+  }
+
+  // Owner only.
+  void push_bottom(T item) {
+    const std::int64_t b = bottom_.value.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.value.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.value.store(b + 1, std::memory_order_relaxed);
+  }
+
+  // Owner only.
+  std::optional<T> pop_bottom() {
+    const std::int64_t b = bottom_.value.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.value.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.value.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty; restore bottom.
+      bottom_.value.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.value.compare_exchange_strong(t, t + 1,
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_relaxed)) {
+        bottom_.value.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      bottom_.value.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any process.
+  std::optional<T> pop_top() {
+    std::int64_t t = top_.value.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T item = buf->get(t);
+    if (!top_.value.compare_exchange_strong(t, t + 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race (relaxed semantics, as in ABP)
+    }
+    return item;
+  }
+
+  bool empty_hint() const {
+    return top_.value.load(std::memory_order_acquire) >=
+           bottom_.value.load(std::memory_order_acquire);
+  }
+
+  std::size_t size_hint() const {
+    const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
+    const std::int64_t t = top_.value.load(std::memory_order_acquire);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+ private:
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    // Thieves may still be reading `old`; retire it until destruction
+    // (owner-only structure, so a simple retire list is safe).
+    retired_.push_back(old);
+    return bigger;
+  }
+
+  CacheAligned<std::atomic<std::int64_t>> top_{};
+  CacheAligned<std::atomic<std::int64_t>> bottom_{};
+  std::atomic<Buffer*> buffer_{nullptr};
+  std::vector<Buffer*> retired_;
+};
+
+}  // namespace abp::deque

@@ -1,0 +1,20 @@
+#pragma once
+
+// C++20 concept shared by the three deque implementations, so the runtime's
+// worker loop and the tests can be written once and instantiated per policy.
+
+#include <concepts>
+#include <optional>
+
+namespace abp::deque {
+
+template <typename D, typename T>
+concept WorkStealingDeque = requires(D d, const D cd, T item) {
+  { d.push_bottom(item) } -> std::same_as<void>;
+  { d.pop_bottom() } -> std::same_as<std::optional<T>>;
+  { d.pop_top() } -> std::same_as<std::optional<T>>;
+  { cd.empty_hint() } -> std::convertible_to<bool>;
+  { cd.size_hint() } -> std::convertible_to<std::size_t>;
+};
+
+}  // namespace abp::deque

@@ -1,0 +1,61 @@
+#pragma once
+
+// Blocking (lock-based) deque with the same interface as AbpDeque.
+//
+// This is the ablation baseline for the paper's claim (§1, §6) that the
+// *non-blocking* property is essential under multiprogramming: if the kernel
+// preempts a process while it holds the deque lock, every thief targeting
+// that deque — and the owner — spins or blocks until the lock holder runs
+// again. Experiment E10 measures exactly this effect.
+
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace abp::deque {
+
+template <typename T>
+class MutexDeque {
+ public:
+  explicit MutexDeque(std::size_t /*capacity*/ = 0) {}
+
+  MutexDeque(const MutexDeque&) = delete;
+  MutexDeque& operator=(const MutexDeque&) = delete;
+
+  void push_bottom(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.push_back(item);
+  }
+
+  std::optional<T> pop_bottom() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = items_.back();
+    items_.pop_back();
+    return item;
+  }
+
+  std::optional<T> pop_top() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = items_.front();
+    items_.pop_front();
+    return item;
+  }
+
+  bool empty_hint() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.empty();
+  }
+
+  std::size_t size_hint() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<T> items_;
+};
+
+}  // namespace abp::deque

@@ -1,0 +1,79 @@
+#pragma once
+
+// Blocking deque guarded by a test-and-set spinlock — the 1998-style
+// user-level lock the paper's non-blocking argument is aimed at (§1: "if
+// the kernel preempts a process, it does not hinder other processes, for
+// example by holding locks").
+//
+// Under multiprogramming this implementation exhibits exactly the
+// pathology the paper describes: when the kernel preempts a process inside
+// a deque operation, every other process that touches that deque spins
+// through its entire scheduling quantum waiting for a lock whose holder is
+// not running. The futex-based MutexDeque hides some of that cost by
+// sleeping its waiters; this one does not, which is what makes it the
+// honest ablation baseline for experiment E10.
+
+#include <atomic>
+#include <deque>
+#include <optional>
+
+#include "support/backoff.hpp"
+
+namespace abp::deque {
+
+template <typename T>
+class SpinlockDeque {
+ public:
+  explicit SpinlockDeque(std::size_t /*capacity*/ = 0) {}
+
+  SpinlockDeque(const SpinlockDeque&) = delete;
+  SpinlockDeque& operator=(const SpinlockDeque&) = delete;
+
+  void push_bottom(T item) {
+    lock();
+    items_.push_back(item);
+    unlock();
+  }
+
+  std::optional<T> pop_bottom() {
+    lock();
+    std::optional<T> out;
+    if (!items_.empty()) {
+      out = items_.back();
+      items_.pop_back();
+    }
+    unlock();
+    return out;
+  }
+
+  std::optional<T> pop_top() {
+    lock();
+    std::optional<T> out;
+    if (!items_.empty()) {
+      out = items_.front();
+      items_.pop_front();
+    }
+    unlock();
+    return out;
+  }
+
+  bool empty_hint() const {
+    // Racy read without the lock (hint only).
+    return items_.empty();
+  }
+
+  std::size_t size_hint() const { return items_.size(); }
+
+ private:
+  void lock() const {
+    // Pure test-and-set spin: no yielding, no sleeping — the behaviour of a
+    // 1990s user-level lock, and the worst case under preemption.
+    while (flag_.test_and_set(std::memory_order_acquire)) cpu_relax();
+  }
+  void unlock() const { flag_.clear(std::memory_order_release); }
+
+  mutable std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+  std::deque<T> items_;
+};
+
+}  // namespace abp::deque

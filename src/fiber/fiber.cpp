@@ -1,0 +1,325 @@
+#include "fiber/fiber.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "runtime/poly_deque.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace abp::fiber {
+
+// ---------------------------------------------------------------------------
+// Worker-side thread-local context.
+
+struct FiberScheduler::WorkerCtx {
+  FiberScheduler* sched = nullptr;
+  std::size_t id = 0;
+  ucontext_t sched_ctx{};
+  Fiber* current = nullptr;        // fiber running on this worker
+  Fiber* next_assigned = nullptr;  // enable-and-die direct hand-off
+  detail::SpinLock* pending_unlock = nullptr;  // released after swap-out
+  runtime::PolyDeque<Fiber*>* deque = nullptr;
+  runtime::WorkerStats* stats = nullptr;
+  Xoshiro256 rng{0};
+};
+
+namespace {
+thread_local FiberScheduler::WorkerCtx* tls_worker = nullptr;
+}  // namespace
+
+struct FiberScheduler::Impl {
+  std::vector<std::unique_ptr<runtime::PolyDeque<Fiber*>>> deques;
+  std::vector<runtime::PaddedWorkerStats> stats;
+  std::atomic<bool> done{true};
+  std::atomic<Fiber*> unclaimed_root{nullptr};
+  Fiber* root = nullptr;
+
+  std::mutex registry_mu;
+  std::vector<std::unique_ptr<Fiber>> registry;
+};
+
+// ---------------------------------------------------------------------------
+// Fiber
+
+Fiber::Fiber(std::function<void()> fn, std::size_t stack_bytes)
+    : fn_(std::move(fn)), stack_(std::make_unique<char[]>(stack_bytes)) {}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+
+void Semaphore::p() {
+  ABP_ASSERT_MSG(FiberScheduler::on_fiber(),
+                 "Semaphore::p must be called from a fiber");
+  lock_.lock();
+  if (count_ > 0) {
+    --count_;
+    lock_.unlock();
+    return;
+  }
+  // Block: enqueue ourselves, then swap out. The lock is released by our
+  // worker *after* the context switch completes, so a V cannot resume us
+  // before our stack is fully parked.
+  waiters_.push_back(tls_worker->current);
+  FiberScheduler::block_current(&lock_);
+}
+
+void Semaphore::v() {
+  ABP_ASSERT_MSG(FiberScheduler::on_fiber(),
+                 "Semaphore::v must be called from a fiber");
+  lock_.lock();
+  if (waiters_.empty()) {
+    ++count_;
+    lock_.unlock();
+    return;
+  }
+  Fiber* enabled = waiters_.back();
+  waiters_.pop_back();
+  lock_.unlock();
+  // Enable (§3.1): of the two ready fibers, keep running this one and push
+  // the newly enabled one onto our deque.
+  tls_worker->sched->make_ready(enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Event
+
+void Event::wait() {
+  ABP_ASSERT_MSG(FiberScheduler::on_fiber(),
+                 "Event::wait must be called from a fiber");
+  if (set_.load(std::memory_order_acquire)) return;
+  lock_.lock();
+  if (set_.load(std::memory_order_acquire)) {
+    lock_.unlock();
+    return;
+  }
+  waiters_.push_back(tls_worker->current);
+  FiberScheduler::block_current(&lock_);
+}
+
+void Event::set() {
+  ABP_ASSERT_MSG(FiberScheduler::on_fiber(),
+                 "Event::set must be called from a fiber");
+  lock_.lock();
+  set_.store(true, std::memory_order_release);
+  std::vector<Fiber*> woken;
+  woken.swap(waiters_);
+  lock_.unlock();
+  for (Fiber* f : woken) tls_worker->sched->make_ready(f);
+}
+
+// ---------------------------------------------------------------------------
+// FiberBarrier
+
+void FiberBarrier::arrive_and_wait() {
+  ABP_ASSERT_MSG(FiberScheduler::on_fiber(),
+                 "FiberBarrier::arrive_and_wait must be called from a fiber");
+  lock_.lock();
+  if (++arrived_ == parties_) {
+    // Last arriver: reset the generation and enable everyone else.
+    arrived_ = 0;
+    std::vector<Fiber*> woken;
+    woken.swap(waiters_);
+    lock_.unlock();
+    for (Fiber* f : woken) tls_worker->sched->make_ready(f);
+    return;
+  }
+  waiters_.push_back(tls_worker->current);
+  FiberScheduler::block_current(&lock_);
+}
+
+// ---------------------------------------------------------------------------
+// FiberScheduler
+
+FiberScheduler::FiberScheduler(runtime::SchedulerOptions opts)
+    : opts_(opts), impl_(std::make_unique<Impl>()) {
+  if (opts_.num_workers == 0) {
+    opts_.num_workers = std::thread::hardware_concurrency();
+    if (opts_.num_workers == 0) opts_.num_workers = 1;
+  }
+  impl_->deques.reserve(opts_.num_workers);
+  for (std::size_t i = 0; i < opts_.num_workers; ++i)
+    impl_->deques.push_back(std::make_unique<runtime::PolyDeque<Fiber*>>(
+        opts_.deque, opts_.deque_capacity));
+  impl_->stats.resize(opts_.num_workers);
+}
+
+FiberScheduler::~FiberScheduler() = default;
+
+bool FiberScheduler::on_fiber() noexcept {
+  return tls_worker != nullptr && tls_worker->current != nullptr;
+}
+
+Fiber* FiberScheduler::allocate(std::function<void()> fn) {
+  auto owned =
+      std::unique_ptr<Fiber>(new Fiber(std::move(fn), default_stack_bytes));
+  Fiber* f = owned.get();
+  getcontext(&f->ctx_);
+  f->ctx_.uc_stack.ss_sp = f->stack_.get();
+  f->ctx_.uc_stack.ss_size = default_stack_bytes;
+  f->ctx_.uc_link = nullptr;
+  const auto addr = reinterpret_cast<std::uintptr_t>(f);
+  makecontext(&f->ctx_, reinterpret_cast<void (*)()>(&trampoline_lo), 2,
+              static_cast<unsigned>(addr >> 32),
+              static_cast<unsigned>(addr & 0xffffffffu));
+  std::lock_guard<std::mutex> lock(impl_->registry_mu);
+  impl_->registry.push_back(std::move(owned));
+  return f;
+}
+
+Fiber* FiberScheduler::spawn(std::function<void()> fn) {
+  ABP_ASSERT_MSG(on_fiber(), "spawn must be called from a fiber");
+  WorkerCtx* w = tls_worker;
+  Fiber* child = w->sched->allocate(std::move(fn));
+  // Spawn (§3.1): the parent keeps running; the child is pushed onto the
+  // bottom of this worker's deque (parent-first order — the paper's bounds
+  // hold for either choice).
+  w->deque->push_bottom(child);
+  ++w->stats->spawns;
+  return child;
+}
+
+void FiberScheduler::join(Fiber* f) {
+  ABP_ASSERT_MSG(on_fiber(), "join must be called from a fiber");
+  ABP_ASSERT(f != nullptr && f != tls_worker->current);
+  f->lock_.lock();
+  if (f->state_.load(std::memory_order_acquire) == Fiber::State::kDone) {
+    f->lock_.unlock();
+    return;
+  }
+  ABP_ASSERT_MSG(f->joiner_ == nullptr, "a fiber supports a single joiner");
+  f->joiner_ = tls_worker->current;
+  block_current(&f->lock_);
+}
+
+void FiberScheduler::make_ready(Fiber* f) {
+  ABP_ASSERT(tls_worker != nullptr);
+  f->state_.store(Fiber::State::kReady, std::memory_order_release);
+  tls_worker->deque->push_bottom(f);
+}
+
+void FiberScheduler::block_current(detail::SpinLock* to_unlock) {
+  WorkerCtx* w = tls_worker;  // valid only until the swap below
+  Fiber* self = w->current;
+  self->state_.store(Fiber::State::kBlocked, std::memory_order_release);
+  w->pending_unlock = to_unlock;
+  swapcontext(&self->ctx_, &w->sched_ctx);
+  // Resumed — possibly on a different OS thread; do not touch `w`.
+}
+
+void FiberScheduler::trampoline_lo(unsigned hi, unsigned lo) {
+  auto* f = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  f->fn_();
+
+  // Die (§3.1). Under the fiber lock, publish kDone and collect a joiner;
+  // the lock ensures any joiner is fully parked before we read joiner_.
+  f->lock_.lock();
+  f->state_.store(Fiber::State::kDone, std::memory_order_release);
+  Fiber* joiner = f->joiner_;
+  f->lock_.unlock();
+
+  WorkerCtx* w = tls_worker;
+  if (joiner != nullptr) {
+    // Enable-and-die: the enabled fiber becomes the worker's next assigned
+    // fiber directly (§3.1's simultaneous case).
+    joiner->state_.store(Fiber::State::kReady, std::memory_order_release);
+    w->next_assigned = joiner;
+  }
+  if (f == w->sched->impl_->root)
+    w->sched->impl_->done.store(true, std::memory_order_release);
+  swapcontext(&f->ctx_, &w->sched_ctx);
+  ABP_ASSERT_MSG(false, "dead fiber resumed");
+}
+
+void FiberScheduler::worker_loop(std::size_t id) {
+  Impl& impl = *impl_;
+  WorkerCtx ctx;
+  ctx.sched = this;
+  ctx.id = id;
+  ctx.deque = impl.deques[id].get();
+  ctx.stats = &impl.stats[id].value;
+  ctx.rng.reseed(opts_.seed * 0x9e3779b97f4a7c15ULL + id + 1);
+  tls_worker = &ctx;
+
+  Fiber* assigned = impl.unclaimed_root.exchange(nullptr,
+                                                 std::memory_order_acq_rel);
+  while (!impl.done.load(std::memory_order_acquire)) {
+    if (assigned == nullptr) {
+      // Thief: yield, then one steal attempt at a random victim.
+      switch (opts_.yield) {
+        case runtime::YieldPolicy::kNone:
+          break;
+        case runtime::YieldPolicy::kYield:
+          ++ctx.stats->yields;
+          std::this_thread::yield();
+          break;
+        case runtime::YieldPolicy::kSleep:
+          ++ctx.stats->yields;
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(opts_.sleep_us));
+          break;
+      }
+      ++ctx.stats->steal_attempts;
+      const auto victim =
+          static_cast<std::size_t>(ctx.rng.below(opts_.num_workers));
+      if (victim != id) {
+        if (auto stolen = impl.deques[victim]->pop_top()) {
+          ++ctx.stats->steals;
+          assigned = *stolen;
+        }
+      }
+      continue;
+    }
+
+    // Resume the assigned fiber until it dies or blocks.
+    ctx.current = assigned;
+    assigned->state_.store(Fiber::State::kRunning,
+                           std::memory_order_release);
+    ++ctx.stats->jobs_executed;
+    swapcontext(&ctx.sched_ctx, &assigned->ctx_);
+    ctx.current = nullptr;
+    if (ctx.pending_unlock != nullptr) {
+      ctx.pending_unlock->unlock();
+      ctx.pending_unlock = nullptr;
+    }
+
+    assigned = ctx.next_assigned;  // enable-and-die hand-off
+    ctx.next_assigned = nullptr;
+    if (assigned == nullptr) {
+      if (auto popped = ctx.deque->pop_bottom()) {
+        ++ctx.stats->pop_bottom_hits;
+        assigned = *popped;
+      }
+    }
+  }
+  tls_worker = nullptr;
+}
+
+void FiberScheduler::run(std::function<void()> root) {
+  Impl& impl = *impl_;
+  ABP_ASSERT_MSG(impl.done.load(std::memory_order_acquire),
+                 "FiberScheduler::run is not reentrant");
+  impl.root = allocate(std::move(root));
+  impl.done.store(false, std::memory_order_release);
+  impl.unclaimed_root.store(impl.root, std::memory_order_release);
+
+  std::vector<std::thread> threads;
+  threads.reserve(opts_.num_workers);
+  for (std::size_t i = 0; i < opts_.num_workers; ++i)
+    threads.emplace_back([this, i] { worker_loop(i); });
+  for (auto& t : threads) t.join();
+
+  ABP_ASSERT(impl.root->done());
+  impl.root = nullptr;
+  std::lock_guard<std::mutex> lock(impl.registry_mu);
+  impl.registry.clear();
+}
+
+runtime::WorkerStats FiberScheduler::total_stats() const {
+  runtime::WorkerStats total;
+  for (const auto& s : impl_->stats) total += s.value;
+  return total;
+}
+
+}  // namespace abp::fiber

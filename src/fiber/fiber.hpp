@@ -1,0 +1,187 @@
+#pragma once
+
+// User-level threads ("threads" in the paper's vocabulary; "fibers" here to
+// avoid clashing with std::thread). This layer realizes the paper's actual
+// programming model, where the runtime/ layer provides only structured
+// fork-join:
+//
+//   * a fiber is a stackful user-level thread multiplexed onto the pool of
+//     processes (OS threads) by the work-stealing scheduler;
+//   * spawn  — the spawning fiber continues and the child is pushed onto
+//     the deque (or vice versa), the Spawn case of §3.1;
+//   * die    — a fiber returning from its entry function; its worker pops a
+//     new assigned fiber from the bottom of its deque;
+//   * block  — a fiber waiting on a semaphore with value 0, or joining an
+//     unfinished fiber; its worker pops a new assigned fiber;
+//   * enable — a V operation or a death that readies a blocked fiber; of
+//     the two ready fibers the worker keeps one assigned and pushes the
+//     other (§3.1's Enable case; on a simultaneous enable-and-die the
+//     enabled fiber becomes the assigned fiber directly).
+//
+// Semaphores are Dijkstra P/V, the synchronization primitive the paper uses
+// for its Figure 1 example (edge v4 -> v8, initial value 0).
+//
+// Contexts are POSIX ucontext; fibers may migrate across OS threads between
+// suspensions (they carry their own stacks and must not cache thread-local
+// state across blocking points — the same contract Hood imposed).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+#include <vector>
+
+#include "runtime/options.hpp"
+#include "runtime/stats.hpp"
+#include "support/backoff.hpp"
+
+namespace abp::fiber {
+
+class FiberScheduler;
+class Semaphore;
+
+namespace detail {
+
+// Tiny test-and-set spinlock guarding semaphore wait lists and fiber join
+// state. These are user-level synchronization objects (dag edges), not the
+// scheduler's own data structures — the deques stay non-blocking.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    Backoff backoff;
+    while (flag_.test_and_set(std::memory_order_acquire)) backoff.pause();
+  }
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+}  // namespace detail
+
+class Fiber {
+ public:
+  enum class State : std::uint8_t { kReady, kRunning, kBlocked, kDone };
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  bool done() const noexcept {
+    return state_.load(std::memory_order_acquire) == State::kDone;
+  }
+
+ private:
+  friend class FiberScheduler;
+  friend class Semaphore;
+
+  Fiber(std::function<void()> fn, std::size_t stack_bytes);
+
+  std::function<void()> fn_;
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_{};
+  std::atomic<State> state_{State::kReady};
+  detail::SpinLock lock_;     // guards joiner_ / done transition
+  Fiber* joiner_ = nullptr;   // fiber blocked joining us (at most one)
+};
+
+// Counting semaphore with P (wait) and V (signal), as in [Dijkstra 68].
+class Semaphore {
+ public:
+  explicit Semaphore(long initial = 0) : count_(initial) {}
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // P: decrement; blocks the calling fiber while the count is zero.
+  void p();
+  // V: increment; enables one waiting fiber if any. Callable from fibers.
+  void v();
+
+ private:
+  detail::SpinLock lock_;
+  long count_;
+  std::vector<Fiber*> waiters_;
+};
+
+// One-shot broadcast event: fibers wait() until some fiber set()s it; a
+// set() enables every current waiter and lets all future waiters through.
+class Event {
+ public:
+  Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  void wait();     // block until set (no-op when already set)
+  void set();      // enable all waiters; callable from fibers only
+  bool is_set() const noexcept {
+    return set_.load(std::memory_order_acquire);
+  }
+
+ private:
+  detail::SpinLock lock_;
+  std::atomic<bool> set_{false};
+  std::vector<Fiber*> waiters_;
+};
+
+// Reusable barrier for a fixed number of fibers: the last arriver of each
+// generation enables all the others.
+class FiberBarrier {
+ public:
+  explicit FiberBarrier(std::size_t parties) : parties_(parties) {}
+  FiberBarrier(const FiberBarrier&) = delete;
+  FiberBarrier& operator=(const FiberBarrier&) = delete;
+
+  void arrive_and_wait();
+
+ private:
+  detail::SpinLock lock_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::vector<Fiber*> waiters_;
+};
+
+class FiberScheduler {
+ public:
+  explicit FiberScheduler(runtime::SchedulerOptions opts = {});
+  ~FiberScheduler();
+
+  FiberScheduler(const FiberScheduler&) = delete;
+  FiberScheduler& operator=(const FiberScheduler&) = delete;
+
+  // Runs `root` as the root fiber to completion; blocks the caller. The
+  // root must join every fiber it (transitively) spawned.
+  void run(std::function<void()> root);
+
+  runtime::WorkerStats total_stats() const;
+
+  // --- callable from inside fibers only ----------------------------------
+  // Spawns a child fiber; the parent keeps running and the child is pushed
+  // onto the current worker's deque. The returned pointer stays valid until
+  // the scheduler's run() returns.
+  static Fiber* spawn(std::function<void()> fn);
+  // Blocks until `f` has died.
+  static void join(Fiber* f);
+  // True while running on a fiber.
+  static bool on_fiber() noexcept;
+
+  std::size_t default_stack_bytes = 256 * 1024;
+
+  struct WorkerCtx;  // implementation detail (public for TU-local access)
+
+ private:
+  friend class Semaphore;
+  friend class Event;
+  friend class FiberBarrier;
+
+  void worker_loop(std::size_t id);
+  Fiber* allocate(std::function<void()> fn);
+  void make_ready(Fiber* f);           // enable: push onto current deque
+  static void block_current(detail::SpinLock* to_unlock);  // swap out
+  static void trampoline_lo(unsigned hi, unsigned lo);
+
+  runtime::SchedulerOptions opts_;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace abp::fiber

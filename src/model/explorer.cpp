@@ -1,0 +1,192 @@
+#include "model/explorer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+
+namespace abp::model {
+
+namespace {
+
+constexpr std::uint8_t kNil = SharedDeque::kEmptySlot;
+
+struct SysState {
+  SharedDeque mem;
+  std::vector<Invocation> inv;
+  std::vector<std::uint8_t> next_op;
+  std::uint64_t claimed = 0;  // bitmask of values already returned by a pop
+
+  std::string key() const {
+    std::string k;
+    k.reserve(16 + inv.size() * 12);
+    auto put = [&k](std::uint8_t b) { k.push_back(static_cast<char>(b)); };
+    put(mem.top);
+    put(mem.tag);
+    put(mem.bot);
+    put(mem.lock);
+    for (std::uint8_t b : mem.deq) put(b);
+    for (const Invocation& i : inv) {
+      put(static_cast<std::uint8_t>(i.method));
+      put(i.pc);
+      put(i.arg);
+      put(i.local_bot);
+      put(i.old_top);
+      put(i.old_tag);
+      put(i.new_top);
+      put(i.new_tag);
+      put(i.node);
+      put(i.result);
+    }
+    for (std::uint8_t b : next_op) put(b);
+    for (int shift = 0; shift < 64; shift += 8)
+      put(static_cast<std::uint8_t>(claimed >> shift));
+    return k;
+  }
+};
+
+StepOutcome do_step(SysState& s, std::size_t p, const ExploreOptions& opts) {
+  return opts.use_spinlock ? step_spin(s.mem, s.inv[p])
+                           : step_abp(s.mem, s.inv[p], opts.disable_tag);
+}
+
+// Runs process p alone until its invocation completes; returns the number
+// of steps, or -1 if it fails to complete within the limit (blocking).
+int solo_completion_steps(SysState s, std::size_t p,
+                          const ExploreOptions& opts) {
+  int steps = 0;
+  while (!s.inv[p].idle()) {
+    if (steps >= opts.solo_step_limit) return -1;
+    do_step(s, p, opts);
+    ++steps;
+  }
+  return steps;
+}
+
+}  // namespace
+
+ExploreResult explore(const std::vector<Script>& scripts,
+                      const ExploreOptions& opts) {
+  ExploreResult result;
+
+  // Collect (and sanity-check) the pushed values.
+  std::uint64_t pushed = 0;
+  for (std::size_t p = 0; p < scripts.size(); ++p) {
+    for (const Op& op : scripts[p]) {
+      if (op.method == Method::kPushBottom) {
+        ABP_ASSERT_MSG(p == 0, "only process 0 (the owner) may pushBottom");
+        ABP_ASSERT_MSG(op.value < 64, "model values must be < 64");
+        ABP_ASSERT_MSG(!(pushed & (1ULL << op.value)),
+                       "model pushes must use distinct values");
+        pushed |= 1ULL << op.value;
+      } else if (op.method == Method::kPopBottom) {
+        ABP_ASSERT_MSG(p == 0, "only process 0 (the owner) may popBottom");
+      }
+    }
+  }
+
+  SysState initial;
+  initial.inv.resize(scripts.size());
+  initial.next_op.resize(scripts.size(), 0);
+
+  std::unordered_set<std::string> visited;
+  std::deque<SysState> frontier;
+  visited.insert(initial.key());
+  frontier.push_back(std::move(initial));
+
+  auto fail = [&](std::string why) {
+    if (result.ok) {
+      result.ok = false;
+      result.violation = std::move(why);
+    }
+  };
+
+  while (!frontier.empty() && result.ok) {
+    if (visited.size() > opts.max_states) {
+      result.truncated = true;
+      break;
+    }
+    SysState state = std::move(frontier.front());
+    frontier.pop_front();
+    ++result.states;
+
+    bool any_transition = false;
+    for (std::size_t p = 0; p < scripts.size(); ++p) {
+      SysState next = state;
+      if (next.inv[p].idle()) {
+        if (next.next_op[p] >= scripts[p].size()) continue;
+        const Op& op = scripts[p][next.next_op[p]++];
+        next.inv[p].start(op.method, op.value);
+        // Fold the start (purely local) into the first instruction.
+      }
+      const StepOutcome outcome = do_step(next, p, opts);
+      ++result.transitions;
+      any_transition = true;
+
+      if (outcome == StepOutcome::kDone) {
+        const Invocation& done = next.inv[p];
+        // Note: start() reset the invocation, so read the completed result
+        // before it is reused; Invocation stays until the next start.
+        if (done.result != kNil &&
+            (done.method == Method::kIdle)) {  // a pop completed
+          const std::uint8_t v = done.result;
+          if (v >= 64 || !(pushed & (1ULL << v))) {
+            fail("pop returned a value that was never pushed");
+          } else if (next.claimed & (1ULL << v)) {
+            fail("value returned twice (exactly-once violated)");
+          } else {
+            next.claimed |= 1ULL << v;
+          }
+        }
+      }
+
+      if (!result.ok) break;
+      auto [it, inserted] = visited.insert(next.key());
+      (void)it;
+      if (!inserted) continue;
+
+      // Non-blocking check on the new state.
+      if (opts.check_nonblocking) {
+        for (std::size_t q = 0; q < scripts.size(); ++q) {
+          if (next.inv[q].idle()) continue;
+          const int steps = solo_completion_steps(next, q, opts);
+          if (steps < 0) {
+            result.nonblocking = false;
+          } else {
+            result.max_solo_steps = std::max(result.max_solo_steps, steps);
+          }
+        }
+      }
+      frontier.push_back(std::move(next));
+    }
+
+    if (!any_transition) {
+      // Terminal (quiescent) state: conservation check.
+      ++result.terminal_states;
+      std::uint64_t remaining = 0;
+      for (std::uint8_t i = state.mem.top; i < state.mem.bot; ++i) {
+        const std::uint8_t v = state.mem.deq[i];
+        if (v == kNil || v >= 64 || !(pushed & (1ULL << v))) {
+          fail("deque contains a value that was never pushed");
+          break;
+        }
+        if (remaining & (1ULL << v)) {
+          fail("deque contains a value twice");
+          break;
+        }
+        remaining |= 1ULL << v;
+      }
+      if (result.ok) {
+        if ((state.claimed & remaining) != 0)
+          fail("value both returned and still in the deque");
+        else if ((state.claimed | remaining) != pushed)
+          fail("value lost: neither returned nor in the deque");
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace abp::model

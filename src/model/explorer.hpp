@@ -1,0 +1,65 @@
+#pragma once
+
+// Exhaustive interleaving explorer for the deque state machines.
+//
+// Given one script of operations per process (a "good" set: only process 0
+// performs pushBottom / popBottom, matching the work stealer's usage), the
+// explorer enumerates every state reachable under an adversarial scheduler
+// that may interleave the processes' instructions arbitrarily and checks:
+//
+//   1. Exactly-once delivery — no pushed value is ever returned by two
+//      different (or the same) pop invocations. (This is where the age
+//      tag earns its keep: remove the tag bump and the explorer finds the
+//      ABA duplicate, see tests/test_model.cpp.)
+//   2. Conservation — in every terminal (quiescent) state, the values
+//      returned by pops plus the values still in the deque are exactly
+//      the values pushed.
+//   3. Non-blockingness — from every reachable state, every in-flight
+//      invocation run *solo* (all other processes suspended forever, the
+//      kernel-adversary worst case) completes within a bounded number of
+//      steps. The ABP machine passes (its methods are loop-free); the
+//      spinlock machine fails as soon as any state has one process
+//      suspended inside its critical section.
+//
+// This mechanizes, at model scale, the interleaving case analysis the
+// paper defers to the verification report [11], plus the non-blocking
+// property (§1, §3) itself.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/machine.hpp"
+
+namespace abp::model {
+
+struct Op {
+  Method method;
+  std::uint8_t value = 0;  // pushBottom argument
+};
+
+using Script = std::vector<Op>;
+
+struct ExploreOptions {
+  bool use_spinlock = false;      // step_spin instead of step_abp
+  bool check_nonblocking = true;  // solo-completion from every state
+  bool disable_tag = false;       // ablation: freeze the age tag (ABA bug)
+  int solo_step_limit = 64;
+  std::size_t max_states = 5'000'000;
+};
+
+struct ExploreResult {
+  std::size_t states = 0;           // distinct states explored
+  std::size_t transitions = 0;
+  std::size_t terminal_states = 0;
+  bool ok = true;                   // no violation found
+  std::string violation;            // description of the first violation
+  bool nonblocking = true;          // property 3
+  int max_solo_steps = 0;           // worst-case solo completion length
+  bool truncated = false;           // hit max_states
+};
+
+ExploreResult explore(const std::vector<Script>& scripts,
+                      const ExploreOptions& options = {});
+
+}  // namespace abp::model

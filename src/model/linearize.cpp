@@ -1,0 +1,139 @@
+#include "model/linearize.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace abp::model {
+
+namespace {
+
+constexpr std::uint8_t kNil = SharedDeque::kEmptySlot;
+
+// Serial deque used as the linearization specification.
+struct SpecDeque {
+  std::deque<std::uint8_t> items;
+
+  // Applies `e` serially; returns false if the result is inconsistent.
+  bool apply(const HistoryEvent& e) {
+    switch (e.method) {
+      case Method::kPushBottom:
+        items.push_back(e.arg);
+        return true;
+      case Method::kPopBottom:
+        if (items.empty()) return e.result == kNil;
+        if (e.result != items.back()) return false;
+        items.pop_back();
+        return true;
+      case Method::kPopTop:
+        // NIL popTops were dropped from the history.
+        if (items.empty() || e.result != items.front()) return false;
+        items.pop_front();
+        return true;
+      case Method::kIdle:
+        return true;
+    }
+    return false;
+  }
+
+  std::string key() const {
+    return std::string(items.begin(), items.end());
+  }
+};
+
+// Backtracking search for a linearization (Wing & Gong): at each step we
+// may linearize any not-yet-linearized event that is real-time minimal —
+// no other pending event *completed* before it *started*. Memoized on
+// (linearized set, spec state).
+struct Searcher {
+  const std::vector<HistoryEvent>& history;
+  std::unordered_set<std::string> failed;  // memo of dead configurations
+
+  explicit Searcher(const std::vector<HistoryEvent>& h) : history(h) {}
+
+  bool search(std::uint64_t done_mask, const SpecDeque& spec) {
+    const std::size_t n = history.size();
+    if (done_mask == (n >= 64 ? ~0ull : ((1ull << n) - 1))) return true;
+    std::string memo_key = std::to_string(done_mask) + '|' + spec.key();
+    if (failed.count(memo_key)) return false;
+
+    // The earliest completion among pending events bounds which events may
+    // be linearized next (real-time order must be respected).
+    std::uint64_t earliest_end = ~0ull;
+    for (std::size_t i = 0; i < n; ++i)
+      if (!(done_mask & (1ull << i)))
+        earliest_end = std::min(earliest_end, history[i].end);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done_mask & (1ull << i)) continue;
+      if (history[i].start > earliest_end) continue;  // not minimal
+      SpecDeque next = spec;
+      if (!next.apply(history[i])) continue;
+      if (search(done_mask | (1ull << i), next)) return true;
+    }
+    failed.insert(std::move(memo_key));
+    return false;
+  }
+};
+
+}  // namespace
+
+bool check_relaxed_linearizable(std::vector<HistoryEvent> history) {
+  // Drop NIL-returning popTops: under the relaxed semantics they carry no
+  // linearizability obligation (and touch no shared state).
+  history.erase(std::remove_if(history.begin(), history.end(),
+                               [](const HistoryEvent& e) {
+                                 return e.method == Method::kPopTop &&
+                                        e.result == kNil;
+                               }),
+                history.end());
+  ABP_ASSERT_MSG(history.size() < 64, "history too long for the checker");
+  Searcher searcher(history);
+  return searcher.search(0, SpecDeque{});
+}
+
+bool random_execution_is_linearizable(const std::vector<Script>& scripts,
+                                      std::uint64_t seed, bool disable_tag) {
+  SharedDeque mem;
+  std::vector<Invocation> inv(scripts.size());
+  std::vector<std::size_t> next_op(scripts.size(), 0);
+  std::vector<HistoryEvent> history;
+  std::vector<std::size_t> open_event(scripts.size(), ~0ull);
+  Xoshiro256 rng(seed);
+  std::uint64_t clock = 0;
+
+  auto runnable = [&](std::size_t p) {
+    return !inv[p].idle() || next_op[p] < scripts[p].size();
+  };
+
+  for (;;) {
+    std::vector<std::size_t> candidates;
+    for (std::size_t p = 0; p < scripts.size(); ++p)
+      if (runnable(p)) candidates.push_back(p);
+    if (candidates.empty()) break;
+    const std::size_t p =
+        candidates[static_cast<std::size_t>(rng.below(candidates.size()))];
+
+    ++clock;
+    if (inv[p].idle()) {
+      const Op& op = scripts[p][next_op[p]++];
+      inv[p].start(op.method, op.value);
+      open_event[p] = history.size();
+      history.push_back(HistoryEvent{op.method, op.value, kNil, clock, 0});
+    }
+    const StepOutcome outcome = step_abp(mem, inv[p], disable_tag);
+    if (outcome == StepOutcome::kDone) {
+      HistoryEvent& e = history[open_event[p]];
+      e.end = clock;
+      e.result = inv[p].result;
+      open_event[p] = ~0ull;
+    }
+  }
+  return check_relaxed_linearizable(std::move(history));
+}
+
+}  // namespace abp::model

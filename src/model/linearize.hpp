@@ -1,0 +1,51 @@
+#pragma once
+
+// Linearizability checking for the relaxed deque semantics (§3.2).
+//
+// The paper's specification: a set of invocations meets the *ideal*
+// semantics if each invocation can be assigned a linearization point
+// between its initiation and completion such that the return values are
+// consistent with a serial deque execution in linearization order. The
+// *relaxed* semantics weaken exactly one case: a popTop may return NIL
+// if, at some point during the invocation, the deque was empty or the
+// topmost item was removed by another process. Since a NIL-returning
+// popTop does not modify shared memory, the paper treats the remaining
+// invocations — all owner operations and every successful popTop — as the
+// ones that must be linearizable (§3.3, last paragraph).
+//
+// check_relaxed_linearizable() therefore takes a complete history of
+// invocations with their (start, end) instruction timestamps and results,
+// drops NIL-returning popTops, and searches (Wing & Gong-style
+// backtracking over real-time-minimal candidates, memoized on
+// (linearized-set, deque-state)) for a witness ordering.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/explorer.hpp"
+#include "model/machine.hpp"
+
+namespace abp::model {
+
+struct HistoryEvent {
+  Method method = Method::kIdle;
+  std::uint8_t arg = 0;     // pushBottom argument
+  std::uint8_t result = SharedDeque::kEmptySlot;  // pops; kEmptySlot = NIL
+  std::uint64_t start = 0;  // global instruction index of the first step
+  std::uint64_t end = 0;    // global instruction index of the last step
+};
+
+// True iff the successful sub-history is linearizable against a serial
+// deque (pushes at the bottom, popBottom from the back — NIL on empty —
+// popTop from the front).
+bool check_relaxed_linearizable(std::vector<HistoryEvent> history);
+
+// Convenience: runs the instruction-level ABP machine on `scripts` under a
+// pseudo-random interleaving (seeded), records the history, and returns
+// whether it is relaxed-linearizable. `disable_tag` reproduces the ABA
+// ablation.
+bool random_execution_is_linearizable(const std::vector<Script>& scripts,
+                                      std::uint64_t seed,
+                                      bool disable_tag = false);
+
+}  // namespace abp::model

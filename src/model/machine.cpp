@@ -1,0 +1,197 @@
+#include "model/machine.hpp"
+
+#include "support/assert.hpp"
+
+namespace abp::model {
+
+namespace {
+
+constexpr std::uint8_t kNil = SharedDeque::kEmptySlot;
+
+}  // namespace
+
+// Program counters follow Figure 5's line structure; local-only
+// instructions are folded into the adjacent shared-memory instruction
+// (local instructions commute with other processes' steps, §3.4, so the
+// interleaving semantics are unchanged).
+StepOutcome step_abp(SharedDeque& mem, Invocation& inv,
+                     bool disable_tag) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0:  // load localBot <- bot
+          inv.local_bot = mem.bot;
+          inv.pc = 1;
+          return StepOutcome::kRunning;
+        case 1:  // store node -> deq[localBot]
+          ABP_ASSERT_MSG(inv.local_bot < SharedDeque::kCapacity,
+                         "model deque overflow");
+          mem.deq[inv.local_bot] = inv.arg;
+          inv.pc = 2;
+          return StepOutcome::kRunning;
+        case 2:  // store localBot + 1 -> bot
+          mem.bot = static_cast<std::uint8_t>(inv.local_bot + 1);
+          inv.method = Method::kIdle;
+          return StepOutcome::kDone;
+        default: break;
+      }
+      break;
+
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0:  // load oldAge <- age
+          inv.old_top = mem.top;
+          inv.old_tag = mem.tag;
+          inv.pc = 1;
+          return StepOutcome::kRunning;
+        case 1:  // load localBot <- bot; if localBot <= oldAge.top: NIL
+          inv.local_bot = mem.bot;
+          if (inv.local_bot <= inv.old_top) {
+            inv.result = kNil;
+            inv.method = Method::kIdle;
+            return StepOutcome::kDone;
+          }
+          inv.pc = 2;
+          return StepOutcome::kRunning;
+        case 2:  // load node <- deq[oldAge.top]
+          inv.node = mem.deq[inv.old_top];
+          inv.pc = 3;
+          return StepOutcome::kRunning;
+        case 3:  // cas(age, oldAge, (oldAge.tag, oldAge.top + 1))
+          if (mem.top == inv.old_top && mem.tag == inv.old_tag) {
+            mem.top = static_cast<std::uint8_t>(inv.old_top + 1);
+            inv.result = inv.node;
+          } else {
+            inv.result = kNil;
+          }
+          inv.method = Method::kIdle;
+          return StepOutcome::kDone;
+        default: break;
+      }
+      break;
+
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0:  // load localBot <- bot; if 0: NIL
+          inv.local_bot = mem.bot;
+          if (inv.local_bot == 0) {
+            inv.result = kNil;
+            inv.method = Method::kIdle;
+            return StepOutcome::kDone;
+          }
+          inv.pc = 1;
+          return StepOutcome::kRunning;
+        case 1:  // localBot--; store localBot -> bot
+          --inv.local_bot;
+          mem.bot = inv.local_bot;
+          inv.pc = 2;
+          return StepOutcome::kRunning;
+        case 2:  // load node <- deq[localBot]
+          inv.node = mem.deq[inv.local_bot];
+          inv.pc = 3;
+          return StepOutcome::kRunning;
+        case 3:  // load oldAge <- age; if localBot > oldAge.top: return node
+          inv.old_top = mem.top;
+          inv.old_tag = mem.tag;
+          if (inv.local_bot > inv.old_top) {
+            inv.result = inv.node;
+            inv.method = Method::kIdle;
+            return StepOutcome::kDone;
+          }
+          inv.new_top = 0;
+          inv.new_tag = disable_tag
+                            ? inv.old_tag
+                            : static_cast<std::uint8_t>(inv.old_tag + 1);
+          inv.pc = 4;
+          return StepOutcome::kRunning;
+        case 4:  // store 0 -> bot
+          mem.bot = 0;
+          inv.pc = 5;
+          return StepOutcome::kRunning;
+        case 5:  // if localBot == oldAge.top: cas(age, oldAge, newAge)
+          if (inv.local_bot == inv.old_top && mem.top == inv.old_top &&
+              mem.tag == inv.old_tag) {
+            mem.top = inv.new_top;
+            mem.tag = inv.new_tag;
+            inv.result = inv.node;  // won the race for the last item
+            inv.method = Method::kIdle;
+            return StepOutcome::kDone;
+          }
+          inv.pc = 6;
+          return StepOutcome::kRunning;
+        case 6:  // store newAge -> age; return NIL
+          mem.top = inv.new_top;
+          mem.tag = inv.new_tag;
+          inv.result = kNil;
+          inv.method = Method::kIdle;
+          return StepOutcome::kDone;
+        default: break;
+      }
+      break;
+
+    case Method::kIdle:
+      break;
+  }
+  ABP_ASSERT_MSG(false, "step_abp: invalid machine state");
+  return StepOutcome::kDone;
+}
+
+// Spinlock-guarded deque: lock (spin), one combined critical-section step,
+// unlock. The spin at pc 0 is the blocking behaviour the paper excludes.
+StepOutcome step_spin(SharedDeque& mem, Invocation& inv) {
+  ABP_ASSERT(inv.method != Method::kIdle);
+  switch (inv.pc) {
+    case 0:  // test-and-set
+      if (mem.lock != 0) return StepOutcome::kBlockedLoop;  // spin
+      mem.lock = 1;
+      inv.pc = 1;
+      return StepOutcome::kRunning;
+    case 1:  // critical section (single step: the op on the sequential deque)
+      switch (inv.method) {
+        case Method::kPushBottom:
+          ABP_ASSERT_MSG(mem.bot < SharedDeque::kCapacity,
+                         "model deque overflow");
+          mem.deq[mem.bot] = inv.arg;
+          ++mem.bot;
+          break;
+        case Method::kPopBottom:
+          if (mem.bot == mem.top) {
+            inv.result = kNil;
+          } else {
+            --mem.bot;
+            inv.result = mem.deq[mem.bot];
+            if (mem.bot == mem.top) {
+              mem.bot = 0;
+              mem.top = 0;
+            }
+          }
+          break;
+        case Method::kPopTop:
+          if (mem.bot == mem.top) {
+            inv.result = kNil;
+          } else {
+            inv.result = mem.deq[mem.top];
+            ++mem.top;
+            if (mem.bot == mem.top) {
+              mem.bot = 0;
+              mem.top = 0;
+            }
+          }
+          break;
+        case Method::kIdle:
+          break;
+      }
+      inv.pc = 2;
+      return StepOutcome::kRunning;
+    case 2:  // unlock
+      mem.lock = 0;
+      inv.method = Method::kIdle;
+      return StepOutcome::kDone;
+    default:
+      break;
+  }
+  ABP_ASSERT_MSG(false, "step_spin: invalid machine state");
+  return StepOutcome::kDone;
+}
+
+}  // namespace abp::model

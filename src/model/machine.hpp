@@ -1,0 +1,99 @@
+#pragma once
+
+// Instruction-level state machines for deque implementations.
+//
+// The paper's correctness argument for the deque (§3.3) is deferred to a
+// separate verification report [Blumofe, Plaxton, Ray, TR-99-11], which
+// "reduces the problem to establishing the correctness of a rather large
+// number of sequential program fragments" — i.e. it reasons about every
+// possible interleaving of the owner's and thieves' instructions. This
+// module mechanizes that argument in miniature: each deque method is
+// compiled into an explicit program-counter machine in which every shared
+// load / store / CAS is one atomic step, and src/model/explorer.hpp
+// exhaustively explores the interleavings an adversarial kernel could
+// produce.
+//
+// Two machines are provided:
+//   * AbpMachine   — Figure 5, line by line (loop-free: each invocation is
+//                    a bounded straight-line sequence, which is what makes
+//                    the implementation non-blocking);
+//   * SpinMachine  — the same deque guarded by a test-and-set spinlock,
+//                    whose lock() loop is exactly the blocking behaviour
+//                    the paper bans (a preempted lock holder leaves the
+//                    spinning process stuck forever).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace abp::model {
+
+// Shared memory of one deque instance. Small fixed capacity keeps state
+// spaces enumerable; values are small non-negative integers and kEmptySlot
+// marks never-written array cells.
+struct SharedDeque {
+  static constexpr std::size_t kCapacity = 6;
+  static constexpr std::uint8_t kEmptySlot = 0xff;
+
+  // ABP fields (Figure 4).
+  std::uint8_t top = 0;
+  std::uint8_t tag = 0;
+  std::uint8_t bot = 0;
+  std::array<std::uint8_t, kCapacity> deq{};
+
+  // Spinlock field (SpinMachine only).
+  std::uint8_t lock = 0;
+
+  SharedDeque() { deq.fill(kEmptySlot); }
+
+  bool operator==(const SharedDeque&) const = default;
+};
+
+enum class Method : std::uint8_t { kPushBottom, kPopBottom, kPopTop, kIdle };
+
+enum class StepOutcome : std::uint8_t {
+  kRunning,   // took a step, invocation still in flight
+  kDone,      // invocation completed this step
+  kBlockedLoop,  // took a step but looped back (spinlock only)
+};
+
+// One in-flight method invocation, advanced one shared-memory instruction
+// at a time. Registers (private variables of Figure 5) live here.
+struct Invocation {
+  Method method = Method::kIdle;
+  std::uint8_t pc = 0;
+  // registers
+  std::uint8_t arg = 0;        // pushBottom argument
+  std::uint8_t local_bot = 0;
+  std::uint8_t old_top = 0, old_tag = 0;
+  std::uint8_t new_top = 0, new_tag = 0;
+  std::uint8_t node = 0;
+  // result of a completed pop (kEmptySlot encodes NIL)
+  std::uint8_t result = SharedDeque::kEmptySlot;
+
+  bool operator==(const Invocation&) const = default;
+
+  void start(Method m, std::uint8_t argument = 0) {
+    *this = Invocation{};
+    method = m;
+    arg = argument;
+  }
+  bool idle() const noexcept { return method == Method::kIdle; }
+};
+
+// Advances `inv` by one instruction against `mem`, Figure 5 semantics.
+// `disable_tag` freezes the age tag (popBottom's reset keeps the old tag):
+// the ablation that re-introduces the ABA bug the tag exists to prevent.
+StepOutcome step_abp(SharedDeque& mem, Invocation& inv,
+                     bool disable_tag = false);
+
+// Same operations via a test-and-set spinlock (lock; do op; unlock).
+StepOutcome step_spin(SharedDeque& mem, Invocation& inv);
+
+// Upper bound on the number of steps a single ABP invocation can take —
+// the machine is loop-free, so this is a small constant (wait-free per
+// invocation; the *algorithm* is non-blocking because a failed popTop
+// retries at the scheduler level, not inside the method).
+inline constexpr int kAbpMaxSteps = 16;
+
+}  // namespace abp::model

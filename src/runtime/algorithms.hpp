@@ -1,0 +1,175 @@
+#pragma once
+
+// Structured parallel algorithms built on the TaskGroup fork-join API.
+// These generate the recursive divide-and-conquer dags (work T1 = O(n),
+// critical path Tinf = O(log n + grain)) that the paper's speedup analysis
+// presumes: parallelism is controlled by `grain`.
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace abp::runtime {
+
+// Runs f and g potentially in parallel (g is spawned, f runs inline), and
+// waits for both.
+template <typename F, typename G>
+void parallel_invoke(Worker& w, F&& f, G&& g) {
+  TaskGroup tg(w);
+  tg.spawn([g = std::forward<G>(g)](Worker& wg) mutable { g(wg); });
+  f(w);
+  tg.wait();
+}
+
+namespace detail {
+
+template <typename Body>
+void parallel_for_rec(Worker& w, std::size_t begin, std::size_t end,
+                      std::size_t grain, const Body& body) {
+  if (end - begin <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  TaskGroup tg(w);
+  tg.spawn([mid, end, grain, &body](Worker& wg) {
+    parallel_for_rec(wg, mid, end, grain, body);
+  });
+  parallel_for_rec(w, begin, mid, grain, body);
+  tg.wait();
+}
+
+template <typename T, typename Map, typename Combine>
+T parallel_reduce_rec(Worker& w, std::size_t begin, std::size_t end,
+                      std::size_t grain, T identity, const Map& map,
+                      const Combine& combine) {
+  if (end - begin <= grain) {
+    T acc = identity;
+    for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+    return acc;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  T right = identity;
+  TaskGroup tg(w);
+  tg.spawn([&, mid, end, grain](Worker& wg) {
+    right = parallel_reduce_rec(wg, mid, end, grain, identity, map, combine);
+  });
+  T left = parallel_reduce_rec(w, begin, mid, grain, identity, map, combine);
+  tg.wait();
+  return combine(left, right);
+}
+
+}  // namespace detail
+
+// Applies body(i) for i in [begin, end); ranges of at most `grain` indices
+// run sequentially.
+template <typename Body>
+void parallel_for(Worker& w, std::size_t begin, std::size_t end,
+                  std::size_t grain, const Body& body) {
+  ABP_ASSERT(grain >= 1);
+  if (begin >= end) return;
+  detail::parallel_for_rec(w, begin, end, grain, body);
+}
+
+// Reduction of map(i) over [begin, end) with an associative combine.
+template <typename T, typename Map, typename Combine>
+T parallel_reduce(Worker& w, std::size_t begin, std::size_t end,
+                  std::size_t grain, T identity, const Map& map,
+                  const Combine& combine) {
+  ABP_ASSERT(grain >= 1);
+  if (begin >= end) return identity;
+  return detail::parallel_reduce_rec(w, begin, end, grain, identity, map,
+                                     combine);
+}
+
+// out[i] = fn(in[i]) for i in [0, n).
+template <typename In, typename Out, typename Fn>
+void parallel_transform(Worker& w, const In* in, Out* out, std::size_t n,
+                        std::size_t grain, const Fn& fn) {
+  parallel_for(w, 0, n, grain, [&](std::size_t i) { out[i] = fn(in[i]); });
+}
+
+// Inclusive prefix scan of `data` in place under an associative combine,
+// via the classic two-pass block algorithm: (1) reduce each block in
+// parallel, (2) serial prefix over the per-block sums, (3) rescan each
+// block in parallel with its offset. Work O(n), critical path
+// O(n/num_blocks + num_blocks).
+template <typename T, typename Combine>
+void parallel_inclusive_scan(Worker& w, T* data, std::size_t n,
+                             std::size_t grain, const Combine& combine) {
+  ABP_ASSERT(grain >= 1);
+  if (n <= grain) {
+    for (std::size_t i = 1; i < n; ++i)
+      data[i] = combine(data[i - 1], data[i]);
+    return;
+  }
+  const std::size_t blocks = (n + grain - 1) / grain;
+  std::vector<T> block_sum(blocks);
+  parallel_for(w, 0, blocks, 1, [&](std::size_t b) {
+    const std::size_t lo = b * grain;
+    const std::size_t hi = std::min(lo + grain, n);
+    T acc = data[lo];
+    for (std::size_t i = lo + 1; i < hi; ++i) acc = combine(acc, data[i]);
+    block_sum[b] = acc;
+  });
+  for (std::size_t b = 1; b < blocks; ++b)
+    block_sum[b] = combine(block_sum[b - 1], block_sum[b]);
+  parallel_for(w, 0, blocks, 1, [&](std::size_t b) {
+    const std::size_t lo = b * grain;
+    const std::size_t hi = std::min(lo + grain, n);
+    T acc = b == 0 ? data[lo] : combine(block_sum[b - 1], data[lo]);
+    data[lo] = acc;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      acc = combine(acc, data[i]);
+      data[i] = acc;
+    }
+  });
+}
+
+namespace detail {
+
+template <typename T, typename Less>
+void merge_into(const T* a, std::size_t na, const T* b, std::size_t nb,
+                T* out, const Less& less) {
+  std::size_t i = 0, j = 0, k = 0;
+  while (i < na && j < nb) out[k++] = less(b[j], a[i]) ? b[j++] : a[i++];
+  while (i < na) out[k++] = a[i++];
+  while (j < nb) out[k++] = b[j++];
+}
+
+template <typename T, typename Less>
+void parallel_msort(Worker& w, T* data, T* scratch, std::size_t n,
+                    std::size_t grain, const Less& less) {
+  if (n <= grain) {
+    std::sort(data, data + n, less);
+    return;
+  }
+  const std::size_t mid = n / 2;
+  TaskGroup tg(w);
+  tg.spawn([=, &less](Worker& w2) {
+    parallel_msort(w2, data + mid, scratch + mid, n - mid, grain, less);
+  });
+  parallel_msort(w, data, scratch, mid, grain, less);
+  tg.wait();
+  merge_into(data, mid, data + mid, n - mid, scratch, less);
+  std::copy(scratch, scratch + n, data);
+}
+
+}  // namespace detail
+
+// Stable-ish parallel merge sort (recursive halves in parallel, serial
+// merge). Allocates one scratch buffer of n elements.
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(Worker& w, T* data, std::size_t n, std::size_t grain,
+                   const Less& less = Less{}) {
+  ABP_ASSERT(grain >= 1);
+  if (n <= 1) return;
+  std::vector<T> scratch(n);
+  detail::parallel_msort(w, data, scratch.data(), n, grain, less);
+}
+
+}  // namespace abp::runtime

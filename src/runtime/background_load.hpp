@@ -1,0 +1,60 @@
+#pragma once
+
+// Background load generator: spins CPU-hog threads so that the work
+// stealer's processes receive fewer processors than P — the
+// multiprogrammed regime (PA < P) the paper targets. A duty cycle below
+// 1.0 makes the hogs alternate spin/sleep, modulating how much of the
+// machine they consume.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace abp::runtime {
+
+class BackgroundLoad {
+ public:
+  BackgroundLoad() = default;
+  BackgroundLoad(const BackgroundLoad&) = delete;
+  BackgroundLoad& operator=(const BackgroundLoad&) = delete;
+  ~BackgroundLoad() { stop(); }
+
+  void start(std::size_t num_threads, double duty_cycle = 1.0) {
+    ABP_ASSERT(duty_cycle > 0.0 && duty_cycle <= 1.0);
+    stop();
+    stop_.store(false, std::memory_order_release);
+    threads_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this, duty_cycle] {
+        using namespace std::chrono;
+        const auto period = milliseconds(10);
+        const auto spin_time =
+            duration_cast<steady_clock::duration>(period * duty_cycle);
+        while (!stop_.load(std::memory_order_acquire)) {
+          const auto start = steady_clock::now();
+          while (steady_clock::now() - start < spin_time &&
+                 !stop_.load(std::memory_order_acquire)) {
+          }
+          if (duty_cycle < 1.0) std::this_thread::sleep_for(period - spin_time);
+        }
+      });
+    }
+  }
+
+  void stop() {
+    stop_.store(true, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  std::size_t active() const noexcept { return threads_.size(); }
+
+ private:
+  std::atomic<bool> stop_{true};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace abp::runtime

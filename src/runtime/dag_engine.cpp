@@ -1,0 +1,139 @@
+#include "runtime/dag_engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/poly_deque.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace abp::runtime {
+
+namespace {
+
+void spin(std::uint32_t iterations) {
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    asm volatile("" ::: "memory");  // opaque no-op: the loop must survive -O
+  }
+}
+
+}  // namespace
+
+DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
+                     std::uint32_t spin_per_node) {
+  ABP_ASSERT_MSG(d.is_valid(), "dag must satisfy structural assumptions");
+  std::size_t num_workers = opts.num_workers;
+  if (num_workers == 0) num_workers = 1;
+
+  // Structural lemma: a deque never holds more than Tinf nodes (weights in
+  // a deque are strictly decreasing), so this capacity cannot overflow.
+  const std::size_t capacity = d.critical_path_length() + 8;
+
+  const auto n = d.num_nodes();
+  auto remaining = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+  for (dag::NodeId v = 0; v < n; ++v)
+    remaining[v].store(d.in_degree(v), std::memory_order_relaxed);
+
+  std::vector<std::unique_ptr<PolyDeque<dag::NodeId>>> deques;
+  deques.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i)
+    deques.push_back(
+        std::make_unique<PolyDeque<dag::NodeId>>(opts.deque, capacity));
+
+  std::vector<PaddedWorkerStats> stats(num_workers);
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> executed{0};
+  const dag::NodeId root = d.root();
+  const dag::NodeId final_node = d.final_node();
+
+  auto worker_fn = [&](std::size_t id) {
+    Xoshiro256 rng(opts.seed * 0x9e3779b97f4a7c15ULL + id + 1);
+    WorkerStats& st = stats[id].value;
+    PolyDeque<dag::NodeId>& self = *deques[id];
+    dag::NodeId assigned = (id == 0) ? root : dag::kNoNode;
+
+    while (!done.load(std::memory_order_acquire)) {
+      if (assigned != dag::kNoNode) {
+        // Execute the assigned node.
+        spin(spin_per_node);
+        ++st.jobs_executed;
+        executed.fetch_add(1, std::memory_order_relaxed);
+
+        dag::NodeId child[2];
+        int num_children = 0;
+        for (const dag::NodeId s : d.successors(assigned)) {
+          if (remaining[s].fetch_sub(1, std::memory_order_acq_rel) == 1)
+            child[num_children++] = s;
+        }
+        if (assigned == final_node) {
+          done.store(true, std::memory_order_release);
+          break;
+        }
+        if (num_children == 0) {
+          auto popped = self.pop_bottom();
+          if (popped) ++st.pop_bottom_hits;
+          assigned = popped ? *popped : dag::kNoNode;
+        } else if (num_children == 1) {
+          assigned = child[0];
+        } else {
+          // Two children enabled: push one, keep executing the other. The
+          // default is the depth-first child-first order; dag_parent_first
+          // keeps following the current thread instead (§3.1: the bounds
+          // hold for either choice).
+          int cont = -1;
+          for (int i = 0; i < 2; ++i)
+            if (d.thread_of(child[i]) == d.thread_of(assigned)) cont = i;
+          const int to_assign =
+              (cont == -1) ? 1 : (opts.dag_parent_first ? cont : 1 - cont);
+          ++st.spawns;
+          self.push_bottom(child[1 - to_assign]);
+          assigned = child[to_assign];
+        }
+      } else {
+        // Thief: yield, then one steal attempt at a random victim.
+        switch (opts.yield) {
+          case YieldPolicy::kNone:
+            break;
+          case YieldPolicy::kYield:
+            ++st.yields;
+            std::this_thread::yield();
+            break;
+          case YieldPolicy::kSleep:
+            ++st.yields;
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(opts.sleep_us));
+            break;
+        }
+        ++st.steal_attempts;
+        const auto victim = static_cast<std::size_t>(rng.below(num_workers));
+        if (victim != id) {
+          auto stolen = deques[victim]->pop_top();
+          if (stolen) {
+            ++st.steals;
+            assigned = *stolen;
+          }
+        }
+      }
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(num_workers);
+  for (std::size_t i = 0; i < num_workers; ++i)
+    threads.emplace_back(worker_fn, i);
+  for (auto& t : threads) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  DagRunResult result;
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& s : stats) result.totals += s.value;
+  result.executed_nodes = executed.load(std::memory_order_relaxed);
+  result.ok = result.executed_nodes == d.num_nodes();
+  return result;
+}
+
+}  // namespace abp::runtime

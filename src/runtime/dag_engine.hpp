@@ -1,0 +1,38 @@
+#pragma once
+
+// Direct execution of a computation dag (dag::Dag) on real threads — the
+// closest faithful implementation of the paper's Figure 3 loop:
+//
+//   * nodes are the scheduling unit (the deques hold ready nodes),
+//   * executing a node enables 0, 1 or 2 children (discovered by atomically
+//     decrementing the children's indegree counters),
+//   * a process whose pop_bottom comes up empty becomes a thief: yield,
+//     random victim, pop_top,
+//   * the execution of the final node sets computationDone.
+//
+// This engine cross-validates the discrete-round simulator (src/sched)
+// against real concurrency, and powers the real-machine ablation
+// experiments (deque policy and yield policy under multiprogramming).
+
+#include <cstdint>
+
+#include "dag/dag.hpp"
+#include "runtime/options.hpp"
+#include "runtime/stats.hpp"
+
+namespace abp::runtime {
+
+struct DagRunResult {
+  double seconds = 0.0;
+  WorkerStats totals;
+  std::uint64_t executed_nodes = 0;
+  bool ok = false;  // all nodes executed exactly once
+};
+
+// Executes `d` with opts.num_workers processes. `spin_per_node` busy-loop
+// iterations emulate the cost of the instruction a node represents (so that
+// scheduling overhead does not dominate microscopic dags).
+DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
+                     std::uint32_t spin_per_node = 0);
+
+}  // namespace abp::runtime

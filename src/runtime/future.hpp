@@ -1,0 +1,65 @@
+#pragma once
+
+// Single-value futures on top of TaskGroup: spawn a computation, keep
+// working, collect the result (or the exception) later. Non-movable —
+// a Future pins the fork-join structure to the scope that created it,
+// like TaskGroup itself (structured concurrency).
+
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/scheduler.hpp"
+
+namespace abp::runtime {
+
+template <typename T>
+class Future {
+ public:
+  // Spawns fn(worker) immediately; the result is available after get().
+  template <typename F>
+  Future(Worker& w, F&& fn) : group_(w) {
+    static_assert(std::is_invocable_r_v<T, F, Worker&>,
+                  "future function must return T given a Worker&");
+    group_.spawn([this, f = std::forward<F>(fn)](Worker& w2) mutable {
+      value_.emplace(f(w2));
+    });
+  }
+
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  // Blocks (helping: pops/steals) until the value is ready; rethrows the
+  // computation's exception if it threw. Callable once or repeatedly.
+  T& get() {
+    group_.wait();  // rethrows on failure
+    ABP_ASSERT(value_.has_value());
+    return *value_;
+  }
+
+  bool ready() const noexcept { return group_.pending() == 0; }
+
+ private:
+  TaskGroup group_;
+  std::optional<T> value_;
+};
+
+template <>
+class Future<void> {
+ public:
+  template <typename F>
+  Future(Worker& w, F&& fn) : group_(w) {
+    group_.spawn([f = std::forward<F>(fn)](Worker& w2) mutable { f(w2); });
+  }
+
+  Future(const Future&) = delete;
+  Future& operator=(const Future&) = delete;
+
+  void get() { group_.wait(); }
+  bool ready() const noexcept { return group_.pending() == 0; }
+
+ private:
+  TaskGroup group_;
+};
+
+}  // namespace abp::runtime

@@ -1,0 +1,93 @@
+#pragma once
+
+// Jobs: the runtime's unit of scheduled work.
+//
+// A Job is a fixed-size, cache-line-aligned record holding a trampoline
+// function pointer and inline closure storage (no heap allocation, no
+// std::function on the hot path). Jobs are allocated from per-worker pools
+// and recycled by whichever worker finishes them.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/align.hpp"
+#include "support/assert.hpp"
+
+namespace abp::runtime {
+
+class Worker;
+class TaskGroup;
+
+struct alignas(kCacheLineSize) Job {
+  using Fn = void (*)(Job*, Worker&);
+
+  static constexpr std::size_t kInlineBytes = 88;
+
+  Fn fn = nullptr;
+  TaskGroup* group = nullptr;  // notified when the job completes
+  Job* next_free = nullptr;    // pool freelist link
+  bool pooled = false;         // false for stack-allocated root jobs
+  alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Decayed = std::decay_t<F>;
+    static_assert(sizeof(Decayed) <= kInlineBytes,
+                  "closure too large for inline job storage; capture less "
+                  "or box the state");
+    static_assert(alignof(Decayed) <= alignof(std::max_align_t));
+    ::new (static_cast<void*>(storage)) Decayed(std::forward<F>(f));
+    fn = [](Job* self, Worker& w) {
+      auto* callable = std::launder(reinterpret_cast<Decayed*>(self->storage));
+      (*callable)(w);
+      callable->~Decayed();
+    };
+  }
+
+  void run(Worker& w) { fn(this, w); }
+};
+
+static_assert(std::is_trivially_copyable_v<Job*>);
+
+// Per-worker job allocator: arena blocks plus a freelist. The freelist is
+// touched only by the owning worker, but it may receive jobs that were
+// *allocated* by other workers (the finisher recycles); that is safe
+// because arena blocks live until every pool is destroyed, which the
+// scheduler guarantees by joining all workers first.
+class JobPool {
+ public:
+  JobPool() = default;
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  Job* alloc() {
+    if (free_ != nullptr) {
+      Job* j = free_;
+      free_ = j->next_free;
+      return j;
+    }
+    if (next_in_block_ == kBlockSize) {
+      blocks_.push_back(std::make_unique<Job[]>(kBlockSize));
+      next_in_block_ = 0;
+    }
+    return &blocks_.back()[next_in_block_++];
+  }
+
+  void free(Job* j) {
+    j->next_free = free_;
+    free_ = j;
+  }
+
+ private:
+  static constexpr std::size_t kBlockSize = 256;
+  std::vector<std::unique_ptr<Job[]>> blocks_;
+  std::size_t next_in_block_ = kBlockSize;
+  Job* free_ = nullptr;
+};
+
+}  // namespace abp::runtime

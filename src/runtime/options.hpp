@@ -1,0 +1,49 @@
+#pragma once
+
+// Configuration knobs for the real (std::thread-based) runtime. These are
+// the ablation axes of experiments E10/E11/E16: the paper's claim is that
+// the non-blocking deque and the yield discipline are both essential in
+// practice whenever the machine is multiprogrammed (PA < P).
+
+#include <cstddef>
+#include <cstdint>
+
+namespace abp::runtime {
+
+enum class DequePolicy : std::uint8_t {
+  kAbp,          // the paper's non-blocking deque (Figures 4-5)
+  kAbpGrowable,  // extension: same algorithm over a growable buffer
+  kChaseLev,     // modern growable non-blocking deque (comparator)
+  kMutex,     // blocking deque, futex-based (waiters sleep)
+  kSpinlock,  // blocking deque, test-and-set spinlock (1998-style; the
+              // ablation baseline that exhibits lock-holder preemption)
+};
+
+enum class YieldPolicy : std::uint8_t {
+  kNone,   // spin between steal attempts (ablation baseline)
+  kYield,  // std::this_thread::yield() between steal attempts (the paper's
+           // yield system call; on Linux, sched_yield)
+  kSleep,  // yield + short sleep — our portable stand-in for the
+           // priocntl-based yieldToAll of the Hood prototype: sleeping
+           // guarantees every runnable process gets the processor before
+           // the sleeper returns, at the cost of latency
+};
+
+const char* to_string(DequePolicy p) noexcept;
+const char* to_string(YieldPolicy p) noexcept;
+
+struct SchedulerOptions {
+  std::size_t num_workers = 0;  // 0 = hardware_concurrency()
+  // Dag engine only (§3.1's two-children case): execute the current
+  // thread's continuation and push the newly enabled node, instead of the
+  // default depth-first child-first order. The paper's bounds hold either
+  // way (see experiment E18).
+  bool dag_parent_first = false;
+  DequePolicy deque = DequePolicy::kAbp;
+  YieldPolicy yield = YieldPolicy::kYield;
+  std::size_t deque_capacity = 1u << 16;  // for the fixed-size ABP deque
+  std::uint64_t seed = 0x5eed;
+  std::uint32_t sleep_us = 50;  // kSleep pause between steal attempts
+};
+
+}  // namespace abp::runtime

@@ -1,0 +1,67 @@
+#pragma once
+
+// Runtime-selectable deque: wraps the three implementations behind one
+// concrete type so the worker loop stays non-templated. The dispatch is a
+// perfectly predicted branch on a per-instance constant; the experiments
+// that compare deque policies (E10, E15) measure whole workloads, where
+// this overhead is identical across policies.
+
+#include <optional>
+#include <variant>
+
+#include "deque/abp_deque.hpp"
+#include "deque/abp_growable_deque.hpp"
+#include "deque/chase_lev_deque.hpp"
+#include "deque/mutex_deque.hpp"
+#include "deque/spinlock_deque.hpp"
+#include "runtime/options.hpp"
+
+namespace abp::runtime {
+
+template <typename T>
+class PolyDeque {
+ public:
+  PolyDeque(DequePolicy policy, std::size_t capacity) {
+    switch (policy) {
+      case DequePolicy::kAbp:
+        impl_.template emplace<deque::AbpDeque<T>>(capacity);
+        break;
+      case DequePolicy::kAbpGrowable:
+        impl_.template emplace<deque::AbpGrowableDeque<T>>(capacity);
+        break;
+      case DequePolicy::kChaseLev:
+        impl_.template emplace<deque::ChaseLevDeque<T>>();
+        break;
+      case DequePolicy::kMutex:
+        impl_.template emplace<deque::MutexDeque<T>>();
+        break;
+      case DequePolicy::kSpinlock:
+        impl_.template emplace<deque::SpinlockDeque<T>>();
+        break;
+    }
+  }
+
+  void push_bottom(T item) {
+    std::visit([&](auto& d) { d.push_bottom(item); }, impl_);
+  }
+  std::optional<T> pop_bottom() {
+    return std::visit([](auto& d) { return d.pop_bottom(); }, impl_);
+  }
+  std::optional<T> pop_top() {
+    return std::visit([](auto& d) { return d.pop_top(); }, impl_);
+  }
+  bool empty_hint() const {
+    return std::visit([](const auto& d) { return d.empty_hint(); }, impl_);
+  }
+  std::size_t size_hint() const {
+    return std::visit([](const auto& d) { return d.size_hint(); }, impl_);
+  }
+
+ private:
+  std::variant<deque::AbpDeque<T>, deque::AbpGrowableDeque<T>,
+               deque::ChaseLevDeque<T>, deque::MutexDeque<T>,
+               deque::SpinlockDeque<T>>
+      impl_;
+};
+
+}  // namespace abp::runtime

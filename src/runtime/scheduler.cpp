@@ -1,0 +1,126 @@
+#include "runtime/scheduler.hpp"
+
+namespace abp::runtime {
+
+const char* to_string(DequePolicy p) noexcept {
+  switch (p) {
+    case DequePolicy::kAbp: return "abp";
+    case DequePolicy::kAbpGrowable: return "abp-growable";
+    case DequePolicy::kChaseLev: return "chase-lev";
+    case DequePolicy::kMutex: return "mutex";
+    case DequePolicy::kSpinlock: return "spinlock";
+  }
+  return "?";
+}
+
+const char* to_string(YieldPolicy p) noexcept {
+  switch (p) {
+    case YieldPolicy::kNone: return "none";
+    case YieldPolicy::kYield: return "yield";
+    case YieldPolicy::kSleep: return "sleep";
+  }
+  return "?";
+}
+
+Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts) {
+  std::size_t n = opts_.num_workers;
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  opts_.num_workers = n;
+
+  deques_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    deques_.push_back(std::make_unique<PolyDeque<Job*>>(
+        opts_.deque, opts_.deque_capacity));
+  stats_.resize(n);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->id_ = i;
+    w->sched_ = this;
+    w->deque_ = deques_[i].get();
+    w->stats_ = &stats_[i];
+    w->rng_.reseed(opts_.seed * 0x9e3779b97f4a7c15ULL + i + 1);
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_workers_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Scheduler::run_root(Job* root) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ABP_ASSERT_MSG(done_.load(std::memory_order_acquire),
+                 "Scheduler::run is not reentrant");
+  parked_ = 0;
+  done_.store(false, std::memory_order_release);
+  root_job_.store(root, std::memory_order_release);
+  ++epoch_;
+  cv_workers_.notify_all();
+  cv_main_.wait(lock, [this] { return parked_ == num_workers(); });
+}
+
+void Scheduler::worker_main(std::size_t id) {
+  Worker& self = *workers_[id];
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_workers_.wait(lock,
+                       [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+    }
+    work_loop(self);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++parked_;
+      if (parked_ == num_workers()) cv_main_.notify_one();
+    }
+  }
+}
+
+void Scheduler::work_loop(Worker& w) {
+  // The Figure 3 scheduling loop. The assigned job is `j`; termination is
+  // the computationDone flag (here: completion of the root job).
+  Job* j = nullptr;
+  for (;;) {
+    if (j != nullptr) {
+      w.execute(j);
+      j = w.pop_bottom();
+      continue;
+    }
+    if (done()) return;
+    // Thief: claim the root job if it is still unclaimed, otherwise yield
+    // and attempt a steal from a random victim.
+    j = root_job_.exchange(nullptr, std::memory_order_acq_rel);
+    if (j != nullptr) continue;
+    w.yield_between_steals();
+    j = w.try_steal();
+  }
+}
+
+WorkerStats Scheduler::total_stats() const {
+  WorkerStats total;
+  for (const auto& s : stats_) total += s.value;
+  return total;
+}
+
+void Scheduler::reset_stats() {
+  ABP_ASSERT_MSG(done_.load(std::memory_order_acquire),
+                 "reset_stats while running");
+  for (auto& s : stats_) s.value.reset();
+}
+
+}  // namespace abp::runtime

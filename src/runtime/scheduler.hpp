@@ -1,0 +1,296 @@
+#pragma once
+
+// The Hood-style runtime: P persistent worker threads ("processes" in the
+// paper's vocabulary — the kernel schedules them onto however many
+// processors it likes), each owning a work-stealing deque of jobs and
+// running the Figure 3 scheduling loop:
+//
+//   * execute the assigned job; obtain the next assigned job by popping the
+//     bottom of the own deque;
+//   * with an empty deque, become a thief: perform the configured yield
+//     call, pick a uniformly random victim, and attempt to pop the top of
+//     the victim's deque.
+//
+// On top of the raw loop we provide a structured fork-join API (TaskGroup),
+// which is how the Hood prototype's applications were written. The heavier
+// "user-level threads that block and get re-enabled" model lives in
+// src/fiber; a direct executor of computation dags lives in dag_engine.hpp.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/job.hpp"
+#include "runtime/options.hpp"
+#include "runtime/poly_deque.hpp"
+#include "runtime/stats.hpp"
+#include "support/assert.hpp"
+#include "support/backoff.hpp"
+#include "support/rng.hpp"
+
+namespace abp::runtime {
+
+class Scheduler;
+
+// Execution context handed to every job; one per worker thread.
+class Worker {
+ public:
+  std::size_t id() const noexcept { return id_; }
+  Scheduler& scheduler() noexcept { return *sched_; }
+  Xoshiro256& rng() noexcept { return rng_; }
+  WorkerStats& stats() noexcept { return stats_->value; }
+  JobPool& pool() noexcept { return pool_; }
+
+  // Defined after Scheduler (they need its internals).
+  inline void push(Job* j);
+  inline Job* pop_bottom();
+  inline Job* try_steal();
+  inline void execute(Job* j);
+  inline void yield_between_steals();
+
+ private:
+  friend class Scheduler;
+  std::size_t id_ = 0;
+  Scheduler* sched_ = nullptr;
+  PolyDeque<Job*>* deque_ = nullptr;
+  PaddedWorkerStats* stats_ = nullptr;
+  Xoshiro256 rng_;
+  JobPool pool_;
+};
+
+// Structured fork-join scope. spawn() pushes children onto the calling
+// worker's deque; wait() participates in the scheduling loop (pops own
+// deque, then steals) until every spawned child has completed. This is the
+// standard blocking-join formulation used by work-stealing runtimes; the
+// deque traffic it generates is exactly the paper's push_bottom /
+// pop_bottom / pop_top pattern.
+//
+// Exceptions: a child throwing is captured (first one wins) and rethrown
+// from wait(). The destructor drains outstanding children without
+// rethrowing, so a TaskGroup unwinding through an exception stays safe.
+class TaskGroup {
+ public:
+  explicit TaskGroup(Worker& w) : worker_(w) {}
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+  ~TaskGroup() { drain(); }
+
+  template <typename F>
+  inline void spawn(F&& f);
+
+  // Drains until every child completed, then rethrows the first captured
+  // child exception, if any.
+  inline void wait();
+
+  std::int64_t pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+  bool has_exception() const noexcept {
+    return exception_state_.load(std::memory_order_acquire) == 2;
+  }
+
+ private:
+  friend class Worker;
+  inline void drain();
+
+  void on_complete() noexcept {
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  void capture_exception(std::exception_ptr eptr) noexcept {
+    int expected = 0;
+    if (exception_state_.compare_exchange_strong(
+            expected, 1, std::memory_order_acq_rel)) {
+      exception_ = std::move(eptr);
+      exception_state_.store(2, std::memory_order_release);
+    }
+  }
+
+  Worker& worker_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<int> exception_state_{0};  // 0 none, 1 storing, 2 stored
+  std::exception_ptr exception_;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions opts = {});
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  std::size_t num_workers() const noexcept { return workers_.size(); }
+  const SchedulerOptions& options() const noexcept { return opts_; }
+
+  // Runs `f(worker)` as the root job and blocks until it returns; an
+  // exception escaping `f` is rethrown here, on the calling thread. Must
+  // not be called from inside the pool. `f` should wait on its TaskGroups
+  // before returning (structured parallelism).
+  template <typename F>
+  void run(F&& f) {
+    Job root;  // stack-allocated: it never enters a pool
+    std::atomic<bool>* done = &done_;
+    std::exception_ptr root_exception;
+    auto* eptr = &root_exception;
+    root.group = nullptr;
+    root.pooled = false;
+    root.emplace([fn = std::forward<F>(f), done, eptr](Worker& w) mutable {
+      try {
+        fn(w);
+      } catch (...) {
+        *eptr = std::current_exception();
+      }
+      done->store(true, std::memory_order_release);
+    });
+    run_root(&root);
+    if (root_exception) std::rethrow_exception(root_exception);
+  }
+
+  WorkerStats total_stats() const;
+  const WorkerStats& worker_stats(std::size_t i) const {
+    return stats_[i].value;
+  }
+  void reset_stats();
+
+ private:
+  friend class Worker;
+  friend class TaskGroup;
+
+  void run_root(Job* root);
+  void worker_main(std::size_t id);
+  void work_loop(Worker& w);
+
+  bool done() const noexcept {
+    return done_.load(std::memory_order_acquire);
+  }
+
+  SchedulerOptions opts_;
+  std::vector<std::unique_ptr<PolyDeque<Job*>>> deques_;
+  std::vector<PaddedWorkerStats> stats_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::atomic<Job*> root_job_{nullptr};
+  std::atomic<bool> done_{true};
+
+  std::mutex mu_;
+  std::condition_variable cv_workers_;
+  std::condition_variable cv_main_;
+  std::uint64_t epoch_ = 0;
+  std::size_t parked_ = 0;
+  bool shutdown_ = false;
+};
+
+// ---- inline implementations ------------------------------------------------
+
+inline void Worker::push(Job* j) {
+  // The ABP deque has fixed capacity; if a program spawns without bound,
+  // degrade gracefully by running the job inline (serializing it), which
+  // preserves correctness.
+  if (deque_->size_hint() + 1 >= sched_->opts_.deque_capacity &&
+      sched_->opts_.deque == DequePolicy::kAbp) {
+    ++stats().overflow_inline_runs;
+    execute(j);
+    return;
+  }
+  ++stats().spawns;
+  deque_->push_bottom(j);
+}
+
+inline Job* Worker::pop_bottom() {
+  auto j = deque_->pop_bottom();
+  if (j) {
+    ++stats().pop_bottom_hits;
+    return *j;
+  }
+  return nullptr;
+}
+
+inline Job* Worker::try_steal() {
+  Scheduler& s = *sched_;
+  const std::size_t p = s.num_workers();
+  ++stats().steal_attempts;
+  const auto victim = static_cast<std::size_t>(rng_.below(p));
+  if (victim == id_) return nullptr;  // own deque is empty (we are a thief)
+  auto j = s.deques_[victim]->pop_top();
+  if (j) {
+    ++stats().steals;
+    return *j;
+  }
+  return nullptr;
+}
+
+inline void Worker::execute(Job* j) {
+  ++stats().jobs_executed;
+  TaskGroup* group = j->group;
+  const bool pooled = j->pooled;
+  j->run(*this);
+  if (pooled) pool_.free(j);
+  if (group != nullptr) group->on_complete();
+}
+
+inline void Worker::yield_between_steals() {
+  switch (sched_->opts_.yield) {
+    case YieldPolicy::kNone:
+      break;
+    case YieldPolicy::kYield:
+      ++stats().yields;
+      std::this_thread::yield();
+      break;
+    case YieldPolicy::kSleep:
+      ++stats().yields;
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(sched_->opts_.sleep_us));
+      break;
+  }
+}
+
+template <typename F>
+inline void TaskGroup::spawn(F&& f) {
+  Job* j = worker_.pool().alloc();
+  j->group = this;
+  j->pooled = true;
+  j->emplace([this, fn = std::forward<F>(f)](Worker& w) mutable {
+    try {
+      fn(w);
+    } catch (...) {
+      capture_exception(std::current_exception());
+    }
+  });
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  worker_.push(j);
+}
+
+inline void TaskGroup::drain() {
+  Worker& w = worker_;
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    if (Job* j = w.pop_bottom()) {
+      w.execute(j);
+      continue;
+    }
+    // Own deque empty: help by stealing, with the configured yield first
+    // (Figure 3, lines 14-17).
+    w.yield_between_steals();
+    if (Job* j = w.try_steal()) w.execute(j);
+  }
+}
+
+inline void TaskGroup::wait() {
+  drain();
+  if (exception_state_.load(std::memory_order_acquire) == 2) {
+    // Reset so a reused group can capture again; rethrow the first.
+    std::exception_ptr eptr = exception_;
+    exception_ = nullptr;
+    exception_state_.store(0, std::memory_order_release);
+    std::rethrow_exception(eptr);
+  }
+}
+
+}  // namespace abp::runtime

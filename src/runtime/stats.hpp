@@ -1,0 +1,39 @@
+#pragma once
+
+// Per-worker and aggregated scheduler statistics. Counters are plain (not
+// atomic): each worker mutates only its own cache-line-padded slot; they
+// are read after the pool quiesces.
+
+#include <cstdint>
+#include <vector>
+
+#include "support/align.hpp"
+
+namespace abp::runtime {
+
+struct WorkerStats {
+  std::uint64_t jobs_executed = 0;
+  std::uint64_t spawns = 0;
+  std::uint64_t pop_bottom_hits = 0;
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t overflow_inline_runs = 0;
+
+  void reset() { *this = WorkerStats{}; }
+
+  WorkerStats& operator+=(const WorkerStats& o) {
+    jobs_executed += o.jobs_executed;
+    spawns += o.spawns;
+    pop_bottom_hits += o.pop_bottom_hits;
+    steal_attempts += o.steal_attempts;
+    steals += o.steals;
+    yields += o.yields;
+    overflow_inline_runs += o.overflow_inline_runs;
+    return *this;
+  }
+};
+
+using PaddedWorkerStats = CacheAligned<WorkerStats>;
+
+}  // namespace abp::runtime

@@ -1,0 +1,159 @@
+#include "sched/engine.hpp"
+
+#include "support/assert.hpp"
+
+namespace abp::sched {
+
+WorkStealerEngine::WorkStealerEngine(const dag::Dag& d,
+                                     std::size_t num_processes,
+                                     const Options& opts)
+    : dag_(d),
+      opts_(opts),
+      remaining_(d.num_nodes()),
+      tree_(d),
+      procs_(num_processes),
+      ledger_(num_processes, opts.yield),
+      rng_(opts.seed),
+      views_(num_processes) {
+  ABP_ASSERT(num_processes >= 1);
+  ABP_ASSERT_MSG(d.is_valid(), "dag must satisfy the structural assumptions");
+  final_node_ = d.final_node();
+  for (dag::NodeId n = 0; n < d.num_nodes(); ++n)
+    remaining_[n] = d.in_degree(n);
+  const dag::NodeId root = d.root();
+  procs_[0].assigned = root;  // "processZero" gets the root node (Figure 3)
+  tree_.set_root(root);
+
+  metrics_.t1 = static_cast<double>(d.work());
+  metrics_.tinf = static_cast<double>(d.critical_path_length());
+  metrics_.p = static_cast<double>(num_processes);
+  metrics_.record = sim::ExecutionRecord(opts.keep_record);
+}
+
+const std::vector<sim::ProcessView>& WorkStealerEngine::views() {
+  for (std::size_t q = 0; q < procs_.size(); ++q) {
+    views_[q].has_assigned_node = procs_[q].assigned != dag::kNoNode;
+    views_[q].deque_size = procs_[q].dq.size();
+  }
+  return views_;
+}
+
+std::size_t WorkStealerEngine::busy_processes() const {
+  std::size_t busy = 0;
+  for (const ProcState& q : procs_)
+    busy += (q.assigned != dag::kNoNode || !q.dq.empty()) ? 1 : 0;
+  return busy;
+}
+
+void WorkStealerEngine::process_action(sim::ProcId p) {
+  ProcState& self = procs_[p];
+  RunMetrics& m = metrics_;
+  if (self.assigned != dag::kNoNode) {
+    // Execute the assigned node (Figure 3, lines 5-13).
+    const dag::NodeId node = self.assigned;
+    dag::NodeId child[2];
+    int num_children = 0;
+    for (const dag::NodeId s : dag_.successors(node)) {
+      if (--remaining_[s] == 0) {
+        tree_.record(node, s);  // (node, s) is an enabling edge
+        child[num_children++] = s;
+      }
+    }
+    m.record.record_execute(p, node);
+    ++executed_;
+    if (node == final_node_) done_ = true;
+
+    if (num_children == 0) {
+      // Assigned thread died or blocked: pop a new assigned node.
+      ++m.pop_bottom_calls;
+      if (self.dq.empty()) {
+        self.assigned = dag::kNoNode;
+      } else {
+        self.assigned = self.dq.back();
+        self.dq.pop_back();
+      }
+    } else if (num_children == 1) {
+      self.assigned = child[0];
+    } else {
+      // Enable or spawn: push one child, assign the other. Identify the
+      // same-thread continuation to honour the configured order; if
+      // neither child continues this thread, the choice is immaterial
+      // (the bounds hold for either, §3.1).
+      int cont = -1;
+      for (int i = 0; i < 2; ++i)
+        if (dag_.thread_of(child[i]) == dag_.thread_of(node)) cont = i;
+      int to_assign;
+      if (cont == -1) {
+        to_assign = 1;
+      } else {
+        to_assign = opts_.spawn_order == SpawnOrder::kParent ? cont : 1 - cont;
+      }
+      ++m.push_bottom_calls;
+      self.dq.push_back(child[1 - to_assign]);
+      self.assigned = child[to_assign];
+    }
+  } else {
+    // Thief (Figure 3, lines 14-17): yield, then one steal attempt.
+    ++m.yields;
+    const auto num_procs = procs_.size();
+    if (opts_.yield == sim::YieldKind::kToRandom) {
+      // Uniform random target among the other processes.
+      sim::ProcId target = p;
+      if (num_procs > 1) {
+        target = static_cast<sim::ProcId>(rng_.below(num_procs - 1));
+        if (target >= p) ++target;
+      }
+      ledger_.on_yield(p, round_, target);
+    } else if (opts_.yield == sim::YieldKind::kToAll) {
+      ledger_.on_yield(p, round_, p);
+    }
+
+    // Victim chosen uniformly at random over all P processes (balls into
+    // P bins, as in Lemma 7; stealing from oneself just fails).
+    const auto victim = static_cast<sim::ProcId>(rng_.below(num_procs));
+    ++m.steal_attempts;
+    ProcState& v = procs_[victim];
+    if (victim != p && !v.dq.empty()) {
+      self.assigned = v.dq.front();  // popTop succeeded
+      v.dq.pop_front();
+      ++m.successful_steals;
+    }
+    m.record.record_idle(p);
+  }
+}
+
+std::size_t WorkStealerEngine::round(std::vector<sim::ProcId> proposed) {
+  ABP_ASSERT_MSG(!done_, "round() called on a finished engine");
+  ++round_;
+  const std::uint64_t executed_before = executed_;
+  std::vector<sim::ProcId> scheduled =
+      ledger_.enforce(std::move(proposed), round_);
+  metrics_.record.begin_round(scheduled.size());
+  // The paper serializes the instructions of concurrently scheduled
+  // processes in an arbitrary kernel-chosen order; we use the order the
+  // kernel produced them in.
+  for (const sim::ProcId p : scheduled) {
+    ABP_ASSERT(p < procs_.size());
+    process_action(p);
+  }
+  ledger_.note_scheduled(scheduled, round_);
+  metrics_.length = round_;
+  return static_cast<std::size_t>(executed_ - executed_before);
+}
+
+const RunMetrics& WorkStealerEngine::metrics() {
+  RunMetrics& m = metrics_;
+  m.completed = done_;
+  m.executed_nodes = executed_;
+  m.length = round_;
+  m.total_scheduled = m.record.total_scheduled();
+  m.processor_average = m.record.processor_average();
+  if (m.completed) {
+    ABP_ASSERT_MSG(executed_ == dag_.num_nodes(),
+                   "final node executed before the rest of the dag");
+    m.enabling_violation = tree_.validate(dag_.num_nodes());
+  }
+  return metrics_;
+}
+
+}  // namespace abp::sched

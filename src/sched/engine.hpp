@@ -1,0 +1,71 @@
+#pragma once
+
+// Resumable work-stealer engine: the Figure 3 scheduling loop exposed one
+// round at a time, so that callers other than run_work_stealer() can drive
+// it — in particular the multiprogramming co-scheduler (multiprog.hpp),
+// which interleaves several computations under one kernel.
+//
+// The engine owns the per-process state (deques, assigned nodes), the
+// enabling tree, the yield ledger, and the metrics; the caller supplies,
+// per round, the set of its processes the kernel chose to schedule.
+
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "dag/enabling.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/exec.hpp"
+#include "sim/kernel.hpp"
+#include "sim/yield.hpp"
+#include "support/rng.hpp"
+
+namespace abp::sched {
+
+class WorkStealerEngine {
+ public:
+  WorkStealerEngine(const dag::Dag& d, std::size_t num_processes,
+                    const Options& opts);
+
+  std::size_t num_processes() const noexcept { return procs_.size(); }
+  bool done() const noexcept { return done_; }
+
+  // Observable per-process state for (adaptive) kernels; refreshed on call.
+  const std::vector<sim::ProcessView>& views();
+
+  // Executes one round: applies the yield-constraint enforcement to
+  // `proposed`, then lets each scheduled process take one scheduling-loop
+  // action. Returns the number of nodes executed this round.
+  std::size_t round(std::vector<sim::ProcId> proposed);
+
+  // How many of this computation's processes currently hold work (an
+  // assigned node or a non-empty deque); >= 1 while unfinished. Used by
+  // the process-control allocation policy.
+  std::size_t busy_processes() const;
+
+  // Finalizes and returns the metrics (completed flag, PA, etc.). The
+  // engine may be queried mid-run; `length` then reflects rounds so far.
+  const RunMetrics& metrics();
+
+  const dag::EnablingTree& tree() const noexcept { return tree_; }
+  const std::vector<ProcState>& procs() const noexcept { return procs_; }
+  sim::Round rounds_run() const noexcept { return round_; }
+
+ private:
+  void process_action(sim::ProcId p);
+
+  const dag::Dag& dag_;
+  Options opts_;
+  std::vector<std::uint32_t> remaining_;
+  dag::EnablingTree tree_;
+  std::vector<ProcState> procs_;
+  sim::YieldLedger ledger_;
+  Xoshiro256 rng_;
+  std::vector<sim::ProcessView> views_;
+  dag::NodeId final_node_ = dag::kNoNode;
+  bool done_ = false;
+  sim::Round round_ = 0;
+  std::uint64_t executed_ = 0;
+  RunMetrics metrics_;
+};
+
+}  // namespace abp::sched

@@ -1,0 +1,327 @@
+#include "sched/lockstep.hpp"
+
+#include <vector>
+
+#include "sim/yield.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace abp::sched {
+
+namespace {
+
+using dag::kNoNode;
+using dag::NodeId;
+
+// Instruction-level ABP deque over NodeIds (the Figure 5 machine, sized
+// for real dags). All accesses are serialized by the engine, which models
+// the shared memory one instruction at a time.
+struct LsDeque {
+  std::uint32_t top = 0;
+  std::uint32_t tag = 0;  // together with top: the 'age' word
+  std::uint64_t bot = 0;
+  std::vector<NodeId> deq;
+};
+
+struct DequeOp {
+  enum class Kind : std::uint8_t { kNone, kPush, kPopBottom, kPopTop };
+  Kind kind = Kind::kNone;
+  int pc = 0;
+  NodeId arg = kNoNode;
+  NodeId node = kNoNode;
+  NodeId result = kNoNode;  // valid when an op completes
+  bool cas_failed = false;  // popTop lost its CAS this completion
+  std::uint64_t local_bot = 0;
+  std::uint32_t old_top = 0, old_tag = 0, new_top = 0, new_tag = 0;
+
+  void start(Kind k, NodeId argument = kNoNode) {
+    *this = DequeOp{};
+    kind = k;
+    arg = argument;
+  }
+};
+
+// Executes one instruction of `op` against `q`; returns true when the
+// invocation completed (result/cas_failed are then valid).
+bool step_deque(LsDeque& q, DequeOp& op) {
+  switch (op.kind) {
+    case DequeOp::Kind::kPush:
+      switch (op.pc) {
+        case 0:
+          op.local_bot = q.bot;
+          op.pc = 1;
+          return false;
+        case 1:
+          ABP_ASSERT_MSG(op.local_bot < q.deq.size(),
+                         "lockstep deque overflow");
+          q.deq[op.local_bot] = op.arg;
+          op.pc = 2;
+          return false;
+        case 2:
+          q.bot = op.local_bot + 1;
+          return true;
+      }
+      break;
+    case DequeOp::Kind::kPopTop:
+      switch (op.pc) {
+        case 0:
+          op.old_top = q.top;
+          op.old_tag = q.tag;
+          op.pc = 1;
+          return false;
+        case 1:
+          op.local_bot = q.bot;
+          if (op.local_bot <= op.old_top) {
+            op.result = kNoNode;
+            return true;
+          }
+          op.pc = 2;
+          return false;
+        case 2:
+          op.node = q.deq[op.old_top];
+          op.pc = 3;
+          return false;
+        case 3:
+          if (q.top == op.old_top && q.tag == op.old_tag) {
+            q.top = op.old_top + 1;
+            op.result = op.node;
+          } else {
+            op.result = kNoNode;
+            op.cas_failed = true;
+          }
+          return true;
+      }
+      break;
+    case DequeOp::Kind::kPopBottom:
+      switch (op.pc) {
+        case 0:
+          op.local_bot = q.bot;
+          if (op.local_bot == 0) {
+            op.result = kNoNode;
+            return true;
+          }
+          op.pc = 1;
+          return false;
+        case 1:
+          --op.local_bot;
+          q.bot = op.local_bot;
+          op.pc = 2;
+          return false;
+        case 2:
+          op.node = q.deq[op.local_bot];
+          op.pc = 3;
+          return false;
+        case 3:
+          op.old_top = q.top;
+          op.old_tag = q.tag;
+          if (op.local_bot > op.old_top) {
+            op.result = op.node;
+            return true;
+          }
+          op.new_top = 0;
+          op.new_tag = op.old_tag + 1;
+          op.pc = 4;
+          return false;
+        case 4:
+          q.bot = 0;
+          op.pc = 5;
+          return false;
+        case 5:
+          if (op.local_bot == op.old_top && q.top == op.old_top &&
+              q.tag == op.old_tag) {
+            q.top = op.new_top;
+            q.tag = op.new_tag;
+            op.result = op.node;
+            return true;
+          }
+          op.pc = 6;
+          return false;
+        case 6:
+          q.top = op.new_top;
+          q.tag = op.new_tag;
+          op.result = kNoNode;
+          return true;
+      }
+      break;
+    case DequeOp::Kind::kNone:
+      break;
+  }
+  ABP_ASSERT_MSG(false, "step_deque: invalid state");
+  return true;
+}
+
+struct Proc {
+  enum class State : std::uint8_t {
+    kExecute,     // has an assigned node to execute
+    kOwnDeque,    // running a push_bottom / pop_bottom on the own deque
+    kThiefYield,  // about to perform the yield system call
+    kThiefPick,   // about to pick a random victim
+    kStealing,    // running pop_top on the victim's deque
+  };
+  State state = State::kThiefYield;
+  NodeId assigned = kNoNode;
+  DequeOp op;
+  sim::ProcId victim = 0;
+  int milestones_this_round = 0;
+};
+
+}  // namespace
+
+LockstepMetrics run_lockstep_work_stealer(const dag::Dag& d,
+                                          sim::Kernel& kernel,
+                                          const LockstepOptions& opts) {
+  ABP_ASSERT_MSG(d.is_valid(), "dag must satisfy structural assumptions");
+  const std::size_t num_procs = kernel.num_processes();
+  ABP_ASSERT(num_procs >= 1);
+
+  LockstepMetrics m;
+  m.t1 = static_cast<double>(d.work());
+  m.tinf = static_cast<double>(d.critical_path_length());
+  m.p = static_cast<double>(num_procs);
+
+  std::vector<std::uint32_t> remaining(d.num_nodes());
+  for (NodeId n = 0; n < d.num_nodes(); ++n) remaining[n] = d.in_degree(n);
+  dag::EnablingTree tree(d);
+
+  // Deque bot never exceeds Tinf between resets: items pushed along one
+  // assigned chain have strictly decreasing weights (Lemma 3), so at most
+  // Tinf pushes can occur before the owner's pop empties and resets it.
+  const std::size_t capacity = d.critical_path_length() + 8;
+  std::vector<LsDeque> deques(num_procs);
+  for (auto& q : deques) q.deq.assign(capacity, kNoNode);
+
+  std::vector<Proc> procs(num_procs);
+  const NodeId root = d.root();
+  const NodeId final_node = d.final_node();
+  procs[0].state = Proc::State::kExecute;
+  procs[0].assigned = root;
+  tree.set_root(root);
+
+  sim::YieldLedger ledger(num_procs, opts.yield);
+  Xoshiro256 rng(opts.seed);
+  std::vector<sim::ProcessView> views(num_procs);
+  bool done = false;
+  sim::Round round = 0;
+
+  auto milestone = [&](Proc& self) { ++self.milestones_this_round; };
+
+  // One instruction of process p.
+  auto instruction = [&](sim::ProcId p, sim::Round now) {
+    Proc& self = procs[p];
+    ++m.instructions;
+    switch (self.state) {
+      case Proc::State::kExecute: {
+        const NodeId node = self.assigned;
+        ABP_ASSERT(node != kNoNode);
+        NodeId child[2];
+        int num_children = 0;
+        for (const NodeId s : d.successors(node)) {
+          if (--remaining[s] == 0) {
+            tree.record(node, s);
+            child[num_children++] = s;
+          }
+        }
+        ++m.executed_nodes;
+        milestone(self);
+        if (node == final_node) done = true;
+        if (num_children == 0) {
+          self.assigned = kNoNode;
+          self.op.start(DequeOp::Kind::kPopBottom);
+          self.state = Proc::State::kOwnDeque;
+        } else if (num_children == 1) {
+          self.assigned = child[0];
+        } else {
+          int cont = -1;
+          for (int i = 0; i < 2; ++i)
+            if (d.thread_of(child[i]) == d.thread_of(node)) cont = i;
+          const int to_assign = (cont == -1) ? 1 : 1 - cont;  // child-first
+          self.assigned = child[to_assign];
+          self.op.start(DequeOp::Kind::kPush, child[1 - to_assign]);
+          self.state = Proc::State::kOwnDeque;
+        }
+        return;
+      }
+      case Proc::State::kOwnDeque: {
+        if (!step_deque(deques[p], self.op)) return;
+        if (self.op.kind == DequeOp::Kind::kPush) {
+          self.state = Proc::State::kExecute;
+        } else if (self.op.result != kNoNode) {
+          self.assigned = self.op.result;
+          self.state = Proc::State::kExecute;
+        } else {
+          self.state = Proc::State::kThiefYield;
+        }
+        return;
+      }
+      case Proc::State::kThiefYield: {
+        if (opts.yield == sim::YieldKind::kToRandom) {
+          sim::ProcId target = p;
+          if (num_procs > 1) {
+            target = static_cast<sim::ProcId>(rng.below(num_procs - 1));
+            if (target >= p) ++target;
+          }
+          ledger.on_yield(p, now, target);
+        } else if (opts.yield == sim::YieldKind::kToAll) {
+          ledger.on_yield(p, now, p);
+        }
+        self.state = Proc::State::kThiefPick;
+        return;
+      }
+      case Proc::State::kThiefPick: {
+        self.victim = static_cast<sim::ProcId>(rng.below(num_procs));
+        self.op.start(DequeOp::Kind::kPopTop);
+        self.state = Proc::State::kStealing;
+        return;
+      }
+      case Proc::State::kStealing: {
+        if (!step_deque(deques[self.victim], self.op)) return;
+        ++m.steal_attempts;
+        if (self.op.cas_failed) ++m.cas_failures;
+        milestone(self);
+        // §4.1: this attempt is a throw iff it completes at the process's
+        // second milestone in the round.
+        if (self.milestones_this_round == 2) ++m.throws;
+        if (self.op.result != kNoNode) {
+          self.assigned = self.op.result;
+          self.state = Proc::State::kExecute;
+        } else {
+          self.state = Proc::State::kThiefYield;
+        }
+        return;
+      }
+    }
+  };
+
+  while (!done) {
+    if (round >= opts.max_rounds) break;
+    ++round;
+    for (std::size_t q = 0; q < num_procs; ++q) {
+      views[q].has_assigned_node = procs[q].assigned != kNoNode;
+      const auto& dq = deques[q];
+      views[q].deque_size =
+          dq.bot > dq.top ? static_cast<std::size_t>(dq.bot - dq.top) : 0;
+      procs[q].milestones_this_round = 0;
+    }
+    const std::vector<sim::ProcId> scheduled =
+        ledger.enforce(kernel.schedule(round, views), round);
+    m.total_scheduled += scheduled.size();
+    // Round-robin in-round interleaving: one instruction per scheduled
+    // process per pass, 2c passes.
+    for (int k = 0; k < kInstructionsPerRound && !done; ++k)
+      for (const sim::ProcId p : scheduled) {
+        if (done) break;
+        instruction(p, round);
+      }
+    ledger.note_scheduled(scheduled, round);
+  }
+
+  m.completed = done;
+  m.rounds = round;
+  m.processor_average =
+      round > 0 ? static_cast<double>(m.total_scheduled) /
+                      static_cast<double>(round)
+                : 0.0;
+  return m;
+}
+
+}  // namespace abp::sched

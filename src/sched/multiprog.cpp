@@ -1,0 +1,185 @@
+#include "sched/multiprog.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "sched/engine.hpp"
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace abp::sched {
+
+const char* to_string(AllocationPolicy policy) noexcept {
+  switch (policy) {
+    case AllocationPolicy::kSpacePartition: return "space-partition";
+    case AllocationPolicy::kCoschedule: return "coschedule";
+    case AllocationPolicy::kEquipartition: return "equipartition";
+    case AllocationPolicy::kProcessControl: return "process-control";
+  }
+  return "?";
+}
+
+namespace {
+
+// Splits `total` processors among jobs: each job i receives at most
+// cap[i]; live jobs share evenly, leftovers go round-robin to jobs with
+// spare capacity. Finished jobs have cap[i] == 0.
+std::vector<std::size_t> waterfill(std::size_t total,
+                                   const std::vector<std::size_t>& cap) {
+  const std::size_t k = cap.size();
+  std::vector<std::size_t> give(k, 0);
+  std::size_t live = 0;
+  for (std::size_t c : cap) live += c > 0 ? 1 : 0;
+  if (live == 0) return give;
+  std::size_t remaining = total;
+  // Even base share.
+  const std::size_t base = total / live;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (cap[i] == 0) continue;
+    give[i] = std::min(base, cap[i]);
+    remaining -= give[i];
+  }
+  // Redistribute leftovers one at a time to jobs with spare capacity.
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < k && remaining > 0; ++i) {
+      if (give[i] < cap[i]) {
+        ++give[i];
+        --remaining;
+        progress = true;
+      }
+    }
+  }
+  return give;
+}
+
+}  // namespace
+
+MultiprogResult run_multiprogrammed(const std::vector<JobSpec>& jobs,
+                                    const MultiprogOptions& options) {
+  ABP_ASSERT(!jobs.empty());
+  ABP_ASSERT(options.processors >= 1);
+  const std::size_t k = jobs.size();
+
+  std::vector<std::unique_ptr<WorkStealerEngine>> engines;
+  engines.reserve(k);
+  for (const JobSpec& job : jobs) {
+    ABP_ASSERT(job.dag != nullptr && job.dag->is_valid());
+    engines.push_back(std::make_unique<WorkStealerEngine>(
+        *job.dag, job.num_processes, job.opts));
+  }
+
+  MultiprogResult result;
+  result.jobs.resize(k);
+  Xoshiro256 rng(options.seed);
+
+  // Static shares for space partitioning (fixed for the whole run).
+  std::vector<std::size_t> static_share(k, options.processors / k);
+  for (std::size_t i = 0; i < options.processors % k; ++i) ++static_share[i];
+
+  std::size_t gang_turn = 0;  // coscheduling: whose quantum is it
+  sim::Round quantum_left = options.gang_quantum;
+
+  sim::Round round = 0;
+  std::size_t unfinished = k;
+  auto live = [&](std::size_t i) {
+    return round > jobs[i].arrival_round && !engines[i]->done();
+  };
+  while (unfinished > 0 && round < options.max_rounds) {
+    ++round;
+
+    // 1. Decide each job's processor count for this round.
+    std::vector<std::size_t> counts(k, 0);
+    switch (options.policy) {
+      case AllocationPolicy::kSpacePartition:
+        ABP_ASSERT_MSG(options.processors >= k,
+                       "space partitioning needs at least one processor "
+                       "per job");
+        for (std::size_t i = 0; i < k; ++i)
+          if (live(i))
+            counts[i] = std::min(static_share[i], jobs[i].num_processes);
+        break;
+      case AllocationPolicy::kCoschedule: {
+        // Advance to the next live job's quantum if needed. (If nothing is
+        // live yet — all jobs still to arrive — the machine idles.)
+        std::size_t probes = 0;
+        while (!live(gang_turn) && probes < k) {
+          gang_turn = (gang_turn + 1) % k;
+          quantum_left = options.gang_quantum;
+          ++probes;
+        }
+        if (live(gang_turn)) {
+          counts[gang_turn] =
+              std::min(jobs[gang_turn].num_processes, options.processors);
+          if (--quantum_left == 0) {
+            gang_turn = (gang_turn + 1) % k;
+            quantum_left = options.gang_quantum;
+          }
+        }
+        break;
+      }
+      case AllocationPolicy::kEquipartition: {
+        std::vector<std::size_t> cap(k, 0);
+        for (std::size_t i = 0; i < k; ++i)
+          if (live(i)) cap[i] = jobs[i].num_processes;
+        counts = waterfill(options.processors, cap);
+        break;
+      }
+      case AllocationPolicy::kProcessControl: {
+        // Cap by the job's current parallelism: the kernel-level analogue
+        // of the application shrinking/growing its process count [36].
+        // The cap is twice the number of processes currently holding work
+        // so the job can still unfold parallelism (thieves need processor
+        // time to create busy processes); a serial job is pinned to 1.
+        std::vector<std::size_t> cap(k, 0);
+        for (std::size_t i = 0; i < k; ++i) {
+          if (!live(i)) continue;
+          const std::size_t busy = engines[i]->busy_processes();
+          cap[i] = std::min(jobs[i].num_processes,
+                            std::max<std::size_t>(2 * busy, 1));
+        }
+        counts = waterfill(options.processors, cap);
+        break;
+      }
+    }
+
+    // 2. Run one round of every unfinished job with its allocation; the
+    //    processes scheduled within a job are chosen uniformly at random
+    //    (a benign kernel from each job's point of view).
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!live(i)) continue;
+      const std::size_t count =
+          std::min(counts[i], jobs[i].num_processes);
+      result.granted_slots += count;
+      std::vector<sim::ProcId> scheduled;
+      scheduled.reserve(count);
+      for (std::size_t idx :
+           rng.sample_without_replacement(jobs[i].num_processes, count))
+        scheduled.push_back(static_cast<sim::ProcId>(idx));
+      engines[i]->round(std::move(scheduled));
+      if (engines[i]->done()) {
+        result.jobs[i].completed = true;
+        result.jobs[i].finish_round = round;
+        result.jobs[i].response_rounds = round - jobs[i].arrival_round;
+        --unfinished;
+      }
+    }
+  }
+
+  result.makespan = round;
+  result.capacity_slots =
+      static_cast<std::uint64_t>(options.processors) * round;
+  double total_work = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    result.jobs[i].metrics = engines[i]->metrics();
+    total_work += static_cast<double>(jobs[i].dag->work());
+  }
+  result.utilization =
+      result.capacity_slots > 0
+          ? total_work / static_cast<double>(result.capacity_slots)
+          : 0.0;
+  return result;
+}
+
+}  // namespace abp::sched

@@ -1,0 +1,58 @@
+#include "sched/potential.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace abp::sched {
+
+long double node_potential(std::uint32_t weight, bool assigned) {
+  ABP_ASSERT_MSG(weight >= 1 && weight <= 4900,
+                 "potential tracing supports Tinf <= 4900 (long double "
+                 "range); run the tracer on smaller dags");
+  const int exponent = assigned ? static_cast<int>(2 * weight) - 1
+                                : static_cast<int>(2 * weight);
+  return std::pow(3.0L, static_cast<long double>(exponent));
+}
+
+PotentialBreakdown compute_potential(const EngineView& view) {
+  PotentialBreakdown out;
+  for (const ProcState& q : view.procs) {
+    long double phi_q = 0.0L;
+    long double phi_top = 0.0L;
+    if (q.assigned != dag::kNoNode)
+      phi_q += node_potential(view.tree.weight(q.assigned), /*assigned=*/true);
+    for (dag::NodeId n : q.dq)
+      phi_q += node_potential(view.tree.weight(n), /*assigned=*/false);
+    if (!q.dq.empty())
+      phi_top = node_potential(view.tree.weight(q.dq.front()), false);
+
+    out.total += phi_q;
+    if (q.dq.empty()) {
+      out.empty_deque_part += phi_q;
+    } else {
+      out.nonempty_deque_part += phi_q;
+      ++out.nonempty_deques;
+      if (phi_q > 0.0L) {
+        const long double frac = phi_top / phi_q;
+        if (frac < out.min_top_fraction) out.min_top_fraction = frac;
+      }
+    }
+  }
+  return out;
+}
+
+void PhaseStats::start(long double initial_potential) {
+  started_ = true;
+  last_ = initial_potential;
+}
+
+void PhaseStats::boundary(long double potential_now) {
+  ABP_ASSERT(started_);
+  if (last_ <= 0.0L) return;  // execution effectively over
+  ++phases_;
+  if (potential_now <= 0.75L * last_) ++successful_;
+  last_ = potential_now;
+}
+
+}  // namespace abp::sched

@@ -1,0 +1,64 @@
+#pragma once
+
+// The potential function of §4.2.
+//
+// Each ready node u has weight w(u) = Tinf - depth(u) (enabling-tree
+// depth). Its potential is
+//     phi(u) = 3^(2w(u)-1)  if u is assigned,
+//              3^(2w(u))    if u is in a deque.
+// The run starts with potential 3^(2*Tinf - 1) (the root, assigned) and
+// ends at 0; it never increases. Lemma 6 (Top-Heavy Deques): for a process
+// q with non-empty deque, the topmost node contributes >= 3/4 of q's
+// potential. Lemma 8: over any stretch containing >= P throws, the
+// potential of the non-empty-deque processes drops by >= 1/4 with
+// probability > 1/4.
+//
+// We evaluate phi in long double; with Tinf <= ~4900 the largest term
+// 3^(2*Tinf) still fits in the extended range (~1e4932). Callers that trace
+// potential use dags within that range; an assert guards it.
+
+#include <vector>
+
+#include "sched/work_stealer.hpp"
+
+namespace abp::sched {
+
+struct PotentialBreakdown {
+  long double total = 0.0L;
+  long double empty_deque_part = 0.0L;     // Phi(A_i): deque empty
+  long double nonempty_deque_part = 0.0L;  // Phi(D_i): deque non-empty
+  // min over processes with non-empty deque of phi(top)/Phi(q);
+  // Lemma 6 asserts this is >= 3/4. = 1 when no process qualifies.
+  long double min_top_fraction = 1.0L;
+  std::size_t nonempty_deques = 0;
+};
+
+long double node_potential(std::uint32_t weight, bool assigned);
+
+PotentialBreakdown compute_potential(const EngineView& view);
+
+// Phase accounting for the Lemma 8 experiment: the caller feeds the
+// potential at each phase boundary (every >= P throws); we count the
+// fraction of phases in which Phi(D) — plus the assigned-node executions'
+// share — dropped by at least 1/4.
+class PhaseStats {
+ public:
+  void start(long double initial_potential);
+  void boundary(long double potential_now);
+
+  std::size_t phases() const noexcept { return phases_; }
+  std::size_t successful() const noexcept { return successful_; }
+  double success_fraction() const noexcept {
+    return phases_ > 0 ? static_cast<double>(successful_) /
+                             static_cast<double>(phases_)
+                       : 0.0;
+  }
+
+ private:
+  bool started_ = false;
+  long double last_ = 0.0L;
+  std::size_t phases_ = 0;
+  std::size_t successful_ = 0;
+};
+
+}  // namespace abp::sched

@@ -1,0 +1,75 @@
+#include "sched/structural.hpp"
+
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace abp::sched {
+
+namespace {
+
+// Is `anc` an ancestor of `node` (inclusive) in the enabling tree?
+bool is_ancestor_or_equal(const dag::EnablingTree& tree, dag::NodeId anc,
+                          dag::NodeId node) {
+  // Climb from `node` until depth(anc) is reached.
+  const std::uint32_t target_depth = tree.depth(anc);
+  dag::NodeId cur = node;
+  while (tree.depth(cur) > target_depth) cur = tree.parent(cur);
+  return cur == anc;
+}
+
+}  // namespace
+
+std::string check_structural_lemma(const ProcState& proc,
+                                   const dag::EnablingTree& tree,
+                                   const dag::Dag& d) {
+  (void)d;
+  if (proc.dq.empty()) return {};  // lemma holds vacuously
+
+  // v[0] = assigned node (if any), v[1..k] = deque bottom..top.
+  std::vector<dag::NodeId> v;
+  const bool has_assigned = proc.assigned != dag::kNoNode;
+  if (has_assigned) v.push_back(proc.assigned);
+  for (auto it = proc.dq.rbegin(); it != proc.dq.rend(); ++it)
+    v.push_back(*it);  // dq back = bottom
+
+  // Designated parents. Every deque node was enabled (recorded) before
+  // being pushed; the root never coexists with a non-empty deque owner's
+  // assigned slot after its execution, but be defensive anyway.
+  std::vector<dag::NodeId> u(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (!tree.known(v[i])) return "deque/assigned node not in enabling tree";
+    u[i] = tree.parent(v[i]);
+    if (u[i] == dag::kNoNode && tree.depth(v[i]) != 0)
+      return "non-root node without designated parent";
+  }
+
+  // With no assigned node, the lemma's indices shift: treat the bottom
+  // deque node as v1 with no v0, i.e. only check v1..vk among themselves
+  // (all relationships proper).
+  const std::size_t first_checked = 1;
+  for (std::size_t i = first_checked; i < v.size(); ++i) {
+    if (u[i] == dag::kNoNode || u[i - 1] == dag::kNoNode)
+      return "root node unexpectedly inside a non-empty deque chain";
+    if (!is_ancestor_or_equal(tree, u[i], u[i - 1]))
+      return "designated parents not on a root-to-leaf path";
+    // Proper except possibly between the assigned node and the bottom
+    // deque node (u1 may equal u0).
+    const bool equality_allowed = has_assigned && i == 1;
+    if (!equality_allowed && u[i] == u[i - 1])
+      return "ancestor relationship not proper";
+  }
+
+  // Corollary 4: w(v0) <= w(v1) < w(v2) < ... < w(vk); equivalently depths
+  // strictly decrease from bottom to top (non-strictly between v0 and v1).
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const bool equality_allowed = has_assigned && i == 1;
+    const auto d_prev = tree.depth(v[i - 1]);
+    const auto d_cur = tree.depth(v[i]);
+    if (equality_allowed ? d_cur > d_prev : d_cur >= d_prev)
+      return "weights not strictly decreasing from top to bottom";
+  }
+  return {};
+}
+
+}  // namespace abp::sched

@@ -1,0 +1,23 @@
+#pragma once
+
+// Checker for the structural lemma (Lemma 3) and its corollary.
+//
+// For a process with assigned node v0 and deque nodes v1..vk (bottom to
+// top), let u_i be the designated parent of v_i in the enabling tree. Then
+// u_1, ..., u_k lie on a root-to-leaf path: u_i is an ancestor of u_{i-1},
+// properly for i >= 2 (u_1 may equal u_0). Corollary 4: the weights satisfy
+// w(v0) <= w(v1) < w(v2) < ... < w(vk).
+
+#include <string>
+
+#include "sched/work_stealer.hpp"
+
+namespace abp::sched {
+
+// Returns "" if the process's deque+assigned state satisfies Lemma 3 and
+// Corollary 4 against the (partial) enabling tree; otherwise a description.
+std::string check_structural_lemma(const ProcState& proc,
+                                   const dag::EnablingTree& tree,
+                                   const dag::Dag& d);
+
+}  // namespace abp::sched

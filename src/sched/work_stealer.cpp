@@ -1,0 +1,53 @@
+#include "sched/work_stealer.hpp"
+
+#include <utility>
+
+#include "sched/engine.hpp"
+#include "sched/structural.hpp"
+#include "support/assert.hpp"
+
+namespace abp::sched {
+
+const char* to_string(SpawnOrder order) noexcept {
+  switch (order) {
+    case SpawnOrder::kChild: return "child-first";
+    case SpawnOrder::kParent: return "parent-first";
+  }
+  return "?";
+}
+
+RunMetrics run_work_stealer(const dag::Dag& d, sim::Kernel& kernel,
+                            const Options& opts) {
+  ABP_ASSERT_MSG(d.is_valid(),
+                 "dag must satisfy the structural assumptions");
+  WorkStealerEngine engine(d, kernel.num_processes(), opts);
+  RunMetrics out;
+
+  while (!engine.done()) {
+    if (engine.rounds_run() >= opts.max_rounds) break;  // starved
+    engine.round(kernel.schedule(engine.rounds_run() + 1, engine.views()));
+
+    if (opts.check_structural_lemma && out.structural_violation.empty()) {
+      for (const ProcState& q : engine.procs()) {
+        std::string err = check_structural_lemma(q, engine.tree(), d);
+        if (!err.empty()) {
+          out.structural_violation = std::move(err);
+          break;
+        }
+      }
+    }
+    if (opts.after_round) {
+      EngineView view{std::span<const ProcState>(engine.procs()),
+                      engine.tree(), engine.rounds_run(),
+                      engine.metrics().steal_attempts};
+      opts.after_round(view);
+    }
+  }
+
+  std::string structural = std::move(out.structural_violation);
+  out = engine.metrics();
+  out.structural_violation = std::move(structural);
+  return out;
+}
+
+}  // namespace abp::sched

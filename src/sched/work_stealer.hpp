@@ -1,0 +1,114 @@
+#pragma once
+
+// The non-blocking work stealer of §3 (Figure 3), executed inside the
+// round-based kernel model of §2/§4.1.
+//
+// Each process owns a deque of ready nodes and an assigned node. At every
+// round the kernel (an adversary, see sim/kernel.hpp) schedules a subset of
+// processes; each scheduled process performs one scheduling-loop action:
+//
+//   * if it has an assigned node: execute it, then follow Figure 3's cases
+//     — 0 enabled children: pop_bottom for a new assigned node;
+//       1 child: the child becomes the assigned node;
+//       2 children: push one, assign the other;
+//   * otherwise it is a thief: it performs its yield call, picks a uniform
+//     random victim, and attempts pop_top on the victim's deque.
+//
+// Rounds in the paper consist of 2C..3C instructions, enough for at least
+// two milestones; our unit of time is one such round, i.e. one node
+// execution or one completed steal attempt per scheduled process. Under
+// that identification *every* completed steal attempt is a throw (§4.1: at
+// most one throw per process per round, completing in the round in which
+// the victim is drawn), so the throw count equals the steal-attempt count.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+
+#include "dag/dag.hpp"
+#include "dag/enabling.hpp"
+#include "sim/exec.hpp"
+#include "sim/kernel.hpp"
+#include "sim/yield.hpp"
+
+namespace abp::sched {
+
+// Which of the two enabled nodes becomes the new assigned node when an
+// execution enables two children (Figure 3 lines 11-13). The paper proves
+// its bounds for either choice; kChild is the depth-first order "often
+// used" by Cilk-style systems.
+enum class SpawnOrder : std::uint8_t {
+  kChild,   // assign the child / newly enabled node, push the other
+  kParent,  // keep following the current thread, push the newly enabled node
+};
+
+const char* to_string(SpawnOrder order) noexcept;
+
+// Per-process scheduler state, exposed read-only to hooks and invariant
+// checkers.
+struct ProcState {
+  std::deque<dag::NodeId> dq;  // bottom = back, top = front
+  dag::NodeId assigned = dag::kNoNode;
+};
+
+struct EngineView {
+  std::span<const ProcState> procs;
+  const dag::EnablingTree& tree;
+  sim::Round round = 0;
+  std::uint64_t throws = 0;
+};
+
+using RoundHook = std::function<void(const EngineView&)>;
+
+struct Options {
+  sim::YieldKind yield = sim::YieldKind::kToRandom;
+  SpawnOrder spawn_order = SpawnOrder::kChild;
+  std::uint64_t seed = 1;
+  std::uint64_t max_rounds = 1ull << 32;
+  bool keep_record = false;
+  // Check the structural lemma (Lemma 3 / Corollary 4) after every action.
+  // O(deque length * tree depth) per action — test-sized runs only.
+  bool check_structural_lemma = false;
+  RoundHook after_round;  // optional; called at the end of every round
+};
+
+struct RunMetrics {
+  bool completed = false;  // false: hit max_rounds (e.g. starved, no yield)
+  sim::Round length = 0;
+  std::uint64_t total_scheduled = 0;
+  double processor_average = 0.0;
+  std::uint64_t executed_nodes = 0;
+  std::uint64_t steal_attempts = 0;  // == throws in the round model
+  std::uint64_t successful_steals = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t pop_bottom_calls = 0;
+  std::uint64_t push_bottom_calls = 0;
+
+  double t1 = 0.0;
+  double tinf = 0.0;
+  double p = 0.0;
+
+  // O(T1/PA + Tinf*P/PA) with constant 1, the paper's bound shape.
+  double bound() const noexcept {
+    return processor_average > 0.0
+               ? (t1 + tinf * p) / processor_average
+               : 0.0;
+  }
+  // length / bound(): the empirical "constant hidden in the big-Oh".
+  double bound_ratio() const noexcept {
+    const double b = bound();
+    return b > 0.0 ? static_cast<double>(length) / b : 0.0;
+  }
+
+  sim::ExecutionRecord record{false};
+  std::string structural_violation;  // empty when the invariant held
+  std::string enabling_violation;    // empty when the enabling tree is valid
+};
+
+// Executes `d` with `num_processes`-many processes under `kernel`.
+RunMetrics run_work_stealer(const dag::Dag& d, sim::Kernel& kernel,
+                            const Options& opts = {});
+
+}  // namespace abp::sched

@@ -1,0 +1,45 @@
+#include "sim/exec.hpp"
+
+#include "support/assert.hpp"
+
+namespace abp::sim {
+
+void ExecutionRecord::begin_round(std::size_t scheduled_count) {
+  ++rounds_;
+  total_scheduled_ += scheduled_count;
+}
+
+void ExecutionRecord::record_execute(ProcId proc, dag::NodeId node) {
+  ++executed_;
+  if (keep_actions_)
+    actions_.push_back(Action{rounds_, proc, ActionKind::kExecute, node});
+}
+
+void ExecutionRecord::record_idle(ProcId proc) {
+  ++idle_;
+  if (keep_actions_)
+    actions_.push_back(Action{rounds_, proc, ActionKind::kIdle, dag::kNoNode});
+}
+
+std::string ExecutionRecord::validate(const dag::Dag& d) const {
+  if (!keep_actions_) return "record did not keep actions";
+  std::vector<std::uint32_t> remaining(d.num_nodes());
+  std::vector<bool> executed(d.num_nodes(), false);
+  for (dag::NodeId n = 0; n < d.num_nodes(); ++n)
+    remaining[n] = d.in_degree(n);
+  std::size_t count = 0;
+  for (const Action& a : actions_) {
+    if (a.kind != ActionKind::kExecute) continue;
+    if (a.node >= d.num_nodes()) return "action references unknown node";
+    if (executed[a.node]) return "node executed twice";
+    if (remaining[a.node] != 0) return "node executed before a predecessor";
+    executed[a.node] = true;
+    ++count;
+    for (dag::NodeId s : d.successors(a.node)) --remaining[s];
+  }
+  if (count != d.num_nodes()) return "not every node was executed";
+  if (count != executed_) return "executed counter mismatch";
+  return {};
+}
+
+}  // namespace abp::sim

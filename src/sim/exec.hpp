@@ -1,0 +1,73 @@
+#pragma once
+
+// Execution schedules (§2) and their validation.
+//
+// An execution schedule specifies, for each round, which scheduled process
+// executed which ready node (or was idle). Its *length* is the number of
+// rounds; the processor average PA is (sum of p_i)/length, Equation (1).
+//
+// Recording every action is optional (tests and the Figure 2 harness use
+// it; the large bound-conformance sweeps only need the aggregate counters).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "sim/kernel.hpp"
+
+namespace abp::sim {
+
+enum class ActionKind : std::uint8_t {
+  kExecute,  // the process executed a node this round
+  kIdle,     // scheduled, but executed no node (e.g. a steal attempt)
+};
+
+struct Action {
+  Round round;
+  ProcId proc;
+  ActionKind kind;
+  dag::NodeId node;  // valid when kind == kExecute
+};
+
+class ExecutionRecord {
+ public:
+  // `keep_actions` = false records only the aggregate counters.
+  explicit ExecutionRecord(bool keep_actions = true)
+      : keep_actions_(keep_actions) {}
+
+  void begin_round(std::size_t scheduled_count);
+  void record_execute(ProcId proc, dag::NodeId node);
+  void record_idle(ProcId proc);
+
+  // Aggregates.
+  Round length() const noexcept { return rounds_; }
+  std::uint64_t total_scheduled() const noexcept { return total_scheduled_; }
+  std::uint64_t executed_nodes() const noexcept { return executed_; }
+  std::uint64_t idle_tokens() const noexcept { return idle_; }
+  double processor_average() const noexcept {
+    return rounds_ > 0
+               ? static_cast<double>(total_scheduled_) /
+                     static_cast<double>(rounds_)
+               : 0.0;
+  }
+
+  bool keeps_actions() const noexcept { return keep_actions_; }
+  const std::vector<Action>& actions() const noexcept { return actions_; }
+
+  // Validates a fully recorded execution against `d`: every node executed
+  // exactly once, and each node only after all its predecessors (in the
+  // serialized action order, which is how the paper resolves intra-step
+  // concurrency). Requires keep_actions. Returns "" when valid.
+  std::string validate(const dag::Dag& d) const;
+
+ private:
+  bool keep_actions_;
+  Round rounds_ = 0;
+  std::uint64_t total_scheduled_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t idle_ = 0;
+  std::vector<Action> actions_;
+};
+
+}  // namespace abp::sim

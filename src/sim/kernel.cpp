@@ -1,0 +1,130 @@
+#include "sim/kernel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace abp::sim {
+
+namespace {
+
+ProcCount clamp_count(ProcCount count, std::size_t p) {
+  return std::min<ProcCount>(count, p);
+}
+
+}  // namespace
+
+DedicatedKernel::DedicatedKernel(std::size_t num_processes)
+    : p_(num_processes), all_(num_processes) {
+  ABP_ASSERT(num_processes >= 1);
+  std::iota(all_.begin(), all_.end(), ProcId{0});
+}
+
+std::vector<ProcId> DedicatedKernel::schedule(Round,
+                                              std::span<const ProcessView>) {
+  return all_;
+}
+
+BenignKernel::BenignKernel(std::size_t num_processes,
+                           UtilizationProfile profile, std::uint64_t seed)
+    : p_(num_processes), profile_(std::move(profile)), rng_(seed) {
+  ABP_ASSERT(num_processes >= 1);
+}
+
+std::vector<ProcId> BenignKernel::schedule(Round round,
+                                           std::span<const ProcessView>) {
+  const ProcCount count = clamp_count(profile_(round), p_);
+  const auto idx = rng_.sample_without_replacement(p_, count);
+  std::vector<ProcId> out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    out[i] = static_cast<ProcId>(idx[i]);
+  return out;
+}
+
+ObliviousKernel::ObliviousKernel(std::size_t num_processes,
+                                 UtilizationProfile profile,
+                                 std::uint64_t seed)
+    : p_(num_processes), profile_(std::move(profile)), seed_(seed) {
+  ABP_ASSERT(num_processes >= 1);
+}
+
+std::vector<ProcId> ObliviousKernel::schedule(Round round,
+                                              std::span<const ProcessView>) {
+  // Deterministic function of (round, seed) only — this is what makes the
+  // kernel oblivious: the entire schedule is fixed before execution begins.
+  // Strategy: schedule a contiguous window of processes whose start rotates
+  // slowly (one position every `p_` rounds), so each process sees long
+  // stretches of denial.
+  const ProcCount count = clamp_count(profile_(round), p_);
+  const std::size_t start =
+      static_cast<std::size_t>((seed_ + round / p_) % p_);
+  std::vector<ProcId> out;
+  out.reserve(count);
+  for (ProcCount i = 0; i < count; ++i)
+    out.push_back(static_cast<ProcId>((start + i) % p_));
+  return out;
+}
+
+ExplicitKernel::ExplicitKernel(std::size_t num_processes,
+                               std::vector<std::vector<ProcId>> rounds)
+    : p_(num_processes), rounds_(std::move(rounds)) {
+  ABP_ASSERT(num_processes >= 1);
+  ABP_ASSERT(!rounds_.empty());
+  for (const auto& r : rounds_)
+    for (ProcId q : r) ABP_ASSERT(q < num_processes);
+}
+
+std::vector<ProcId> ExplicitKernel::schedule(Round round,
+                                             std::span<const ProcessView>) {
+  return rounds_[static_cast<std::size_t>((round - 1) % rounds_.size())];
+}
+
+StarveBusyKernel::StarveBusyKernel(std::size_t num_processes,
+                                   UtilizationProfile profile,
+                                   std::uint64_t seed)
+    : p_(num_processes), profile_(std::move(profile)), rng_(seed) {
+  ABP_ASSERT(num_processes >= 1);
+}
+
+std::vector<ProcId> StarveBusyKernel::schedule(
+    Round round, std::span<const ProcessView> view) {
+  const ProcCount count = clamp_count(profile_(round), p_);
+  // Rank processes: work-less thieves first (these get scheduled), then
+  // busy processes (these get starved). Random tie-break so the starvation
+  // is not trivially periodic.
+  std::vector<ProcId> order(p_);
+  std::iota(order.begin(), order.end(), ProcId{0});
+  rng_.shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](ProcId a, ProcId b) {
+    const bool busy_a = view[a].has_assigned_node || view[a].deque_size > 0;
+    const bool busy_b = view[b].has_assigned_node || view[b].deque_size > 0;
+    return busy_a < busy_b;
+  });
+  order.resize(count);
+  return order;
+}
+
+FavorBusyKernel::FavorBusyKernel(std::size_t num_processes,
+                                 UtilizationProfile profile,
+                                 std::uint64_t seed)
+    : p_(num_processes), profile_(std::move(profile)), rng_(seed) {
+  ABP_ASSERT(num_processes >= 1);
+}
+
+std::vector<ProcId> FavorBusyKernel::schedule(
+    Round round, std::span<const ProcessView> view) {
+  const ProcCount count = clamp_count(profile_(round), p_);
+  std::vector<ProcId> order(p_);
+  std::iota(order.begin(), order.end(), ProcId{0});
+  rng_.shuffle(order);
+  std::stable_sort(order.begin(), order.end(), [&](ProcId a, ProcId b) {
+    const bool busy_a = view[a].has_assigned_node || view[a].deque_size > 0;
+    const bool busy_b = view[b].has_assigned_node || view[b].deque_size > 0;
+    return busy_a > busy_b;
+  });
+  order.resize(count);
+  return order;
+}
+
+}  // namespace abp::sim

@@ -1,0 +1,159 @@
+#pragma once
+
+// Kernel adversaries (§2, §4.4).
+//
+// The kernel operates in rounds; at each round it schedules some subset of
+// the P processes. We model the three adversary classes of §4.4:
+//
+//   * benign    — chooses only the *number* p_i of scheduled processes; the
+//                 processes themselves are chosen uniformly at random
+//                 (Theorem 10);
+//   * oblivious — chooses both the number and the identity of scheduled
+//                 processes, but commits to the whole schedule before the
+//                 execution begins (Theorem 11);
+//   * adaptive  — chooses on-line, seeing the scheduler's state
+//                 (Theorem 12).
+//
+// A dedicated machine (Theorem 9) is the special kernel that schedules all
+// P processes every round.
+//
+// Yield constraints are enforced outside the kernel, by sim::YieldLedger,
+// using the paper's replacement rule; see yield.hpp.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "sim/profile.hpp"
+#include "support/rng.hpp"
+
+namespace abp::sim {
+
+using ProcId = std::uint32_t;
+
+// What an adaptive adversary may observe about each process. (A real kernel
+// can see anything in shared memory; these two fields are what our concrete
+// adversaries need.)
+struct ProcessView {
+  bool has_assigned_node = false;
+  std::size_t deque_size = 0;
+};
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  // The set of processes scheduled at `round` (1-based). `view` describes
+  // current per-process scheduler state; only adaptive kernels may use it.
+  virtual std::vector<ProcId> schedule(Round round,
+                                       std::span<const ProcessView> view) = 0;
+
+  virtual std::size_t num_processes() const noexcept = 0;
+  virtual const char* name() const noexcept = 0;
+};
+
+// Dedicated environment: all P processes run every round (Theorem 9).
+class DedicatedKernel final : public Kernel {
+ public:
+  explicit DedicatedKernel(std::size_t num_processes);
+  std::vector<ProcId> schedule(Round round,
+                               std::span<const ProcessView> view) override;
+  std::size_t num_processes() const noexcept override { return p_; }
+  const char* name() const noexcept override { return "dedicated"; }
+
+ private:
+  std::size_t p_;
+  std::vector<ProcId> all_;
+};
+
+// Benign adversary: the profile picks p_i; identities are uniform random.
+class BenignKernel final : public Kernel {
+ public:
+  BenignKernel(std::size_t num_processes, UtilizationProfile profile,
+               std::uint64_t seed);
+  std::vector<ProcId> schedule(Round round,
+                               std::span<const ProcessView> view) override;
+  std::size_t num_processes() const noexcept override { return p_; }
+  const char* name() const noexcept override { return "benign"; }
+
+ private:
+  std::size_t p_;
+  UtilizationProfile profile_;
+  Xoshiro256 rng_;
+};
+
+// Oblivious adversary: the whole schedule is a deterministic function of
+// (round, its own private seed) fixed before execution; it never looks at
+// the view. The default strategy rotates a contiguous window of processes
+// so particular processes are repeatedly denied service for long stretches.
+class ObliviousKernel final : public Kernel {
+ public:
+  ObliviousKernel(std::size_t num_processes, UtilizationProfile profile,
+                  std::uint64_t seed);
+  std::vector<ProcId> schedule(Round round,
+                               std::span<const ProcessView> view) override;
+  std::size_t num_processes() const noexcept override { return p_; }
+  const char* name() const noexcept override { return "oblivious"; }
+
+ private:
+  std::size_t p_;
+  UtilizationProfile profile_;
+  std::uint64_t seed_;
+};
+
+// Oblivious kernel given by an explicit per-round process list (used for
+// the Figure 2 reproduction); cycles when the list is exhausted.
+class ExplicitKernel final : public Kernel {
+ public:
+  explicit ExplicitKernel(std::size_t num_processes,
+                          std::vector<std::vector<ProcId>> rounds);
+  std::vector<ProcId> schedule(Round round,
+                               std::span<const ProcessView> view) override;
+  std::size_t num_processes() const noexcept override { return p_; }
+  const char* name() const noexcept override { return "explicit"; }
+
+ private:
+  std::size_t p_;
+  std::vector<std::vector<ProcId>> rounds_;
+};
+
+// Adaptive adversary that starves whichever processes currently hold work
+// (an assigned node or a non-empty deque) and runs the work-less thieves
+// instead. Without yieldToAll this can stall the computation indefinitely
+// while racking up scheduled-process tokens — the scenario Theorem 12's
+// yieldToAll defends against.
+class StarveBusyKernel final : public Kernel {
+ public:
+  StarveBusyKernel(std::size_t num_processes, UtilizationProfile profile,
+                   std::uint64_t seed);
+  std::vector<ProcId> schedule(Round round,
+                               std::span<const ProcessView> view) override;
+  std::size_t num_processes() const noexcept override { return p_; }
+  const char* name() const noexcept override { return "adaptive-starve-busy"; }
+
+ private:
+  std::size_t p_;
+  UtilizationProfile profile_;
+  Xoshiro256 rng_;
+};
+
+// Adaptive adversary that always runs the busiest processes (a "helpful"
+// adaptive kernel; used to sanity-check that adaptivity per se is not what
+// costs performance).
+class FavorBusyKernel final : public Kernel {
+ public:
+  FavorBusyKernel(std::size_t num_processes, UtilizationProfile profile,
+                  std::uint64_t seed);
+  std::vector<ProcId> schedule(Round round,
+                               std::span<const ProcessView> view) override;
+  std::size_t num_processes() const noexcept override { return p_; }
+  const char* name() const noexcept override { return "adaptive-favor-busy"; }
+
+ private:
+  std::size_t p_;
+  UtilizationProfile profile_;
+  Xoshiro256 rng_;
+};
+
+}  // namespace abp::sim

@@ -1,0 +1,124 @@
+#include "sim/offline.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/assert.hpp"
+
+namespace abp::sim {
+
+namespace {
+
+// Shared driver: `pick` pops the next node to execute or returns kNoNode if
+// the discipline refuses to run anything this step (greedy never refuses
+// while ready nodes exist; Brent refuses nodes beyond the current level).
+template <typename PickFn, typename PushFn, typename AnyReadyFn>
+OfflineResult drive(const dag::Dag& d, std::size_t num_processes,
+                    const UtilizationProfile& profile,
+                    const OfflineOptions& opts, PickFn&& pick, PushFn&& push,
+                    AnyReadyFn&& any_ready) {
+  OfflineResult result;
+  result.record = ExecutionRecord(opts.keep_record);
+
+  std::vector<std::uint32_t> remaining(d.num_nodes());
+  for (dag::NodeId n = 0; n < d.num_nodes(); ++n)
+    remaining[n] = d.in_degree(n);
+  push(d.root());
+
+  std::size_t executed = 0;
+  Round round = 0;
+  // Nodes enabled during step i become ready at step i+1: an execution
+  // schedule requires every predecessor to execute at a *prior* step (§2).
+  std::vector<dag::NodeId> enabled_this_round;
+  while (executed < d.num_nodes()) {
+    ++round;
+    ABP_ASSERT_MSG(round <= opts.max_rounds,
+                   "offline scheduler exceeded max_rounds (profile starves "
+                   "the computation?)");
+    const ProcCount p_i =
+        std::min<ProcCount>(profile(round), num_processes);
+    result.record.begin_round(p_i);
+    enabled_this_round.clear();
+    for (ProcCount slot = 0; slot < p_i; ++slot) {
+      const dag::NodeId n = pick();
+      if (n == dag::kNoNode) {
+        result.record.record_idle(static_cast<ProcId>(slot));
+        continue;
+      }
+      result.record.record_execute(static_cast<ProcId>(slot), n);
+      ++executed;
+      for (dag::NodeId s : d.successors(n))
+        if (--remaining[s] == 0) enabled_this_round.push_back(s);
+    }
+    for (dag::NodeId s : enabled_this_round) push(s);
+    (void)any_ready;
+  }
+
+  result.length = result.record.length();
+  result.processor_average = result.record.processor_average();
+  result.idle_tokens = result.record.idle_tokens();
+  const auto t1 = static_cast<double>(d.work());
+  const auto tinf = static_cast<double>(d.critical_path_length());
+  const auto p = static_cast<double>(num_processes);
+  result.lower_bound_work = work_lower_bound(t1, result.processor_average);
+  result.greedy_upper_bound =
+      greedy_bound(t1, tinf, p, result.processor_average);
+  return result;
+}
+
+}  // namespace
+
+OfflineResult greedy_schedule(const dag::Dag& d, std::size_t num_processes,
+                              const UtilizationProfile& profile,
+                              const OfflineOptions& opts) {
+  ABP_ASSERT(num_processes >= 1);
+  std::deque<dag::NodeId> ready;
+  auto pick = [&]() -> dag::NodeId {
+    if (ready.empty()) return dag::kNoNode;
+    dag::NodeId n;
+    if (opts.order == OfflineOptions::Order::kFifo) {
+      n = ready.front();
+      ready.pop_front();
+    } else {
+      n = ready.back();
+      ready.pop_back();
+    }
+    return n;
+  };
+  auto push = [&](dag::NodeId n) { ready.push_back(n); };
+  auto any_ready = [&]() { return !ready.empty(); };
+  return drive(d, num_processes, profile, opts, pick, push, any_ready);
+}
+
+OfflineResult brent_schedule(const dag::Dag& d, std::size_t num_processes,
+                             const UtilizationProfile& profile,
+                             const OfflineOptions& opts) {
+  ABP_ASSERT(num_processes >= 1);
+  const auto depth = d.longest_depth_from_root();
+  std::uint32_t max_level = 0;
+  for (auto dl : depth) max_level = std::max(max_level, dl);
+
+  // Bucket the ready nodes by level; only the current level is eligible.
+  std::vector<std::vector<dag::NodeId>> buckets(max_level + 1);
+  std::vector<std::size_t> level_total(max_level + 1, 0);
+  for (dag::NodeId n = 0; n < d.num_nodes(); ++n) ++level_total[depth[n]];
+  std::uint32_t level = 0;
+  std::size_t done_in_level = 0;
+
+  auto pick = [&]() -> dag::NodeId {
+    while (level <= max_level && done_in_level == level_total[level]) {
+      ++level;
+      done_in_level = 0;
+    }
+    if (level > max_level || buckets[level].empty()) return dag::kNoNode;
+    const dag::NodeId n = buckets[level].back();
+    buckets[level].pop_back();
+    ++done_in_level;
+    return n;
+  };
+  auto push = [&](dag::NodeId n) { buckets[depth[n]].push_back(n); };
+  auto any_ready = [&]() { return true; };
+  return drive(d, num_processes, profile, opts, pick, push, any_ready);
+}
+
+}  // namespace abp::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+// Offline user-level scheduling (§2): greedy execution schedules
+// (Theorem 2) and level-by-level (Brent) schedules, computed for a given
+// dag and kernel schedule. These are the baselines the on-line work stealer
+// is measured against, plus helpers for the paper's bounds.
+
+#include <cstdint>
+#include <functional>
+
+#include "dag/dag.hpp"
+#include "sim/exec.hpp"
+#include "sim/profile.hpp"
+
+namespace abp::sim {
+
+struct OfflineOptions {
+  bool keep_record = false;
+  // Safety valve against profiles that never schedule anyone.
+  std::uint64_t max_rounds = 1ull << 34;
+  // Ready-queue discipline for the greedy scheduler; both are greedy in the
+  // paper's sense (execute min(p_i, #ready) nodes per step).
+  enum class Order : std::uint8_t { kFifo, kLifo } order = Order::kFifo;
+};
+
+struct OfflineResult {
+  ExecutionRecord record{false};
+  Round length = 0;
+  double processor_average = 0.0;
+  std::uint64_t idle_tokens = 0;
+
+  // The paper's bounds instantiated for this run.
+  double lower_bound_work = 0.0;    // T1/PA            (Theorem 1)
+  double greedy_upper_bound = 0.0;  // T1/PA + Tinf(P-1)/PA (Theorem 2)
+};
+
+// Greedy schedule: at each step execute min(p_i, #ready) ready nodes.
+OfflineResult greedy_schedule(const dag::Dag& d, std::size_t num_processes,
+                              const UtilizationProfile& profile,
+                              const OfflineOptions& opts = {});
+
+// Brent / level-by-level schedule: nodes of dag-depth L are only executed
+// once every node of depth < L has been executed. Satisfies the same bound
+// as greedy (Theorem 2, "with only trivial changes to the proof").
+OfflineResult brent_schedule(const dag::Dag& d, std::size_t num_processes,
+                             const UtilizationProfile& profile,
+                             const OfflineOptions& opts = {});
+
+// Bound helpers.
+inline double work_lower_bound(double t1, double pa) { return t1 / pa; }
+inline double critpath_lower_bound(double tinf, double p, double pa) {
+  return tinf * p / pa;
+}
+inline double greedy_bound(double t1, double tinf, double p, double pa) {
+  return t1 / pa + tinf * (p - 1.0) / pa;
+}
+// The non-blocking work stealer's bound shape O(T1/PA + Tinf*P/PA); used as
+// the normalizer when fitting the empirical constant (experiment E9).
+inline double work_stealer_bound(double t1, double tinf, double p, double pa) {
+  return t1 / pa + tinf * p / pa;
+}
+
+}  // namespace abp::sim

@@ -1,0 +1,80 @@
+#pragma once
+
+// Utilization profiles: how many processes the kernel schedules per round.
+//
+// The paper's kernel chooses any p_i in [0, P] at each step; a profile is
+// the adversary's choice of the *number* scheduled (the choice of *which*
+// processes is a separate concern, see kernel.hpp). Profiles are plain
+// functions round -> count so that oblivious kernels can commit to them
+// ahead of time.
+
+#include <cstdint>
+#include <functional>
+
+#include "support/assert.hpp"
+
+namespace abp::sim {
+
+using Round = std::uint64_t;
+using ProcCount = std::size_t;
+
+// Maps a (1-based) round number to the number of processes scheduled.
+using UtilizationProfile = std::function<ProcCount(Round)>;
+
+inline UtilizationProfile constant_profile(ProcCount count) {
+  return [count](Round) { return count; };
+}
+
+// Alternates `hi` for `hi_len` rounds then `lo` for `lo_len` rounds.
+inline UtilizationProfile periodic_profile(ProcCount hi, Round hi_len,
+                                           ProcCount lo, Round lo_len) {
+  ABP_ASSERT(hi_len + lo_len > 0);
+  return [=](Round r) {
+    const Round phase = (r - 1) % (hi_len + lo_len);
+    return phase < hi_len ? hi : lo;
+  };
+}
+
+// Full machine for `burst_len` rounds out of every `period` rounds, one
+// process otherwise — models a co-scheduled serial job hogging the machine.
+inline UtilizationProfile bursty_profile(ProcCount p, Round burst_len,
+                                         Round period) {
+  ABP_ASSERT(period >= burst_len && period > 0);
+  return [=](Round r) -> ProcCount {
+    return ((r - 1) % period) < burst_len ? p : 1;
+  };
+}
+
+// Starts at P and sheds one processor every `step` rounds down to `floor` —
+// models other applications launching over time (§1's design-verifier
+// story).
+inline UtilizationProfile ramp_down_profile(ProcCount p, Round step,
+                                            ProcCount floor = 1) {
+  ABP_ASSERT(step > 0 && floor >= 1);
+  return [=](Round r) {
+    const Round shed = (r - 1) / step;
+    return shed >= p - floor ? floor : p - static_cast<ProcCount>(shed);
+  };
+}
+
+// The Theorem 1 lower-bound construction (§2). For a nonnegative integer k:
+//   p_i = 0 for rounds 1 .. k*Tinf          (nothing may run),
+//   p_i = P for rounds k*Tinf+1 .. (k+1)*Tinf,
+//   p_i = 1 afterwards.
+// Every execution needs >= Tinf rounds once processors appear, so the sum
+// of p_i over the execution is >= Tinf*P, i.e. length >= Tinf*P/PA; and PA
+// over the first (k+1)*Tinf rounds is exactly P/(k+1), trending towards 1
+// afterwards. (The scanned paper garbles the exact phase lengths; this
+// reconstruction realizes the theorem statement and is validated by the E3
+// experiment and tests.)
+inline UtilizationProfile theorem1_profile(ProcCount p, std::uint64_t k,
+                                           std::uint64_t tinf) {
+  ABP_ASSERT(p >= 1 && tinf >= 1);
+  return [=](Round r) -> ProcCount {
+    if (r <= k * tinf) return 0;
+    if (r <= (k + 1) * tinf) return p;
+    return 1;
+  };
+}
+
+}  // namespace abp::sim

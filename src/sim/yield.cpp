@@ -1,0 +1,140 @@
+#include "sim/yield.hpp"
+
+#include "support/assert.hpp"
+
+namespace abp::sim {
+
+const char* to_string(YieldKind kind) noexcept {
+  switch (kind) {
+    case YieldKind::kNone: return "none";
+    case YieldKind::kToRandom: return "yieldToRandom";
+    case YieldKind::kToAll: return "yieldToAll";
+  }
+  return "?";
+}
+
+YieldLedger::YieldLedger(std::size_t num_processes, YieldKind kind)
+    : p_(num_processes), kind_(kind), state_(num_processes),
+      last_scheduled_(num_processes, 0) {
+  if (kind_ == YieldKind::kToAll)
+    for (auto& s : state_) s.seen.assign(p_, false);
+}
+
+void YieldLedger::on_yield(ProcId p, Round now, ProcId random_target) {
+  switch (kind_) {
+    case YieldKind::kNone:
+      return;
+    case YieldKind::kToRandom:
+      ABP_ASSERT(random_target < p_);
+      state_[p].yield_round = now;
+      state_[p].target = random_target;
+      return;
+    case YieldKind::kToAll:
+      state_[p].yield_round = now;
+      state_[p].seen.assign(p_, false);
+      state_[p].seen[p] = true;  // p itself need not be re-scheduled
+      state_[p].missing = p_ - 1;
+      return;
+  }
+}
+
+bool YieldLedger::satisfied(ProcId p, const std::vector<bool>& in_set) const {
+  const State& s = state_[p];
+  if (s.yield_round == 0) return true;  // no pending constraint
+  switch (kind_) {
+    case YieldKind::kNone:
+      return true;
+    case YieldKind::kToRandom:
+      // q scheduled strictly after the yield round, or in this same round.
+      return last_scheduled_[s.target] > s.yield_round || in_set[s.target];
+    case YieldKind::kToAll:
+      if (s.missing == 0) return true;
+      for (ProcId q = 0; q < p_; ++q)
+        if (!s.seen[q] && !in_set[q]) return false;
+      return true;
+  }
+  return true;
+}
+
+ProcId YieldLedger::pick_replacement(ProcId p, const std::vector<bool>& in_set,
+                                     const std::vector<bool>& removed) const {
+  const State& s = state_[p];
+  if (kind_ == YieldKind::kToRandom) return s.target;
+  // kToAll: pick a process p is still waiting on that is not already in the
+  // scheduled set — preferring one that was not itself just removed for a
+  // violated constraint (re-adding such a process would be self-defeating,
+  // though the kernel may be forced to when no other candidate exists).
+  ProcId fallback = p;
+  for (ProcId q = 0; q < p_; ++q) {
+    if (s.seen[q] || in_set[q]) continue;
+    if (!removed[q]) return q;
+    fallback = q;
+  }
+  ABP_ASSERT_MSG(fallback != p,
+                 "pick_replacement called with satisfied constraint");
+  return fallback;
+}
+
+std::vector<ProcId> YieldLedger::enforce(std::vector<ProcId> proposed,
+                                         Round now) {
+  (void)now;
+  std::vector<bool> in_set(p_, false);
+  // Deduplicate while preserving order.
+  std::vector<ProcId> unique;
+  unique.reserve(proposed.size());
+  for (ProcId q : proposed) {
+    ABP_ASSERT(q < p_);
+    if (!in_set[q]) {
+      in_set[q] = true;
+      unique.push_back(q);
+    }
+  }
+  if (kind_ == YieldKind::kNone) return unique;
+
+  std::vector<ProcId> result;
+  result.reserve(unique.size());
+  std::vector<ProcId> replacements;
+  std::vector<bool> removed(p_, false);
+  for (ProcId p : unique) {
+    if (satisfied(p, in_set)) {
+      result.push_back(p);
+      continue;
+    }
+    // Replacement rule: run the blocking process in place of p. The
+    // replacement is exempt from its own constraint check (the kernel was
+    // forced to schedule it).
+    const ProcId q = pick_replacement(p, in_set, removed);
+    in_set[p] = false;
+    removed[p] = true;
+    in_set[q] = true;
+    replacements.push_back(q);
+  }
+  for (ProcId q : replacements) result.push_back(q);
+  return result;
+}
+
+void YieldLedger::note_scheduled(const std::vector<ProcId>& scheduled,
+                                 Round now) {
+  for (ProcId q : scheduled) last_scheduled_[q] = now;
+  if (kind_ != YieldKind::kToAll) return;
+  for (ProcId p = 0; p < p_; ++p) {
+    State& s = state_[p];
+    // Only rounds strictly after the yield round count towards the
+    // constraint ("there exists j' with i < j' <= j").
+    if (s.yield_round == 0 || s.yield_round >= now || s.missing == 0) continue;
+    for (ProcId q : scheduled) {
+      if (!s.seen[q]) {
+        s.seen[q] = true;
+        --s.missing;
+      }
+    }
+  }
+}
+
+bool YieldLedger::blocked(ProcId p) const {
+  if (state_[p].yield_round == 0) return false;
+  const std::vector<bool> none(p_, false);
+  return !satisfied(p, none);
+}
+
+}  // namespace abp::sim

@@ -1,0 +1,79 @@
+#pragma once
+
+// Yield system calls and their kernel-side enforcement (§3.1, §4.4).
+//
+// The work stealer calls yield between consecutive steal attempts. Yields
+// never change *how many* processes the kernel schedules — only *which*
+// (§4.4: "The use of yield system calls never constrains the kernel in its
+// choice of the number of processes"). Three disciplines:
+//
+//   kNone     — yield is a no-op (sufficient against a benign adversary,
+//               Theorem 10);
+//   kToRandom — yieldToRandom(): after process p yields at round i with
+//               random target q, the kernel cannot schedule p at round
+//               j > i unless q is scheduled at some round j' with
+//               i < j' <= j (Theorem 11);
+//   kToAll    — yieldToAll(): p cannot be scheduled again until every other
+//               process has been scheduled at least once since the yield
+//               (Theorem 12).
+//
+// Enforcement uses the paper's replacement rule: if the kernel's schedule
+// calls for p while p's constraint is unsatisfied, the blocking process q
+// is scheduled *in place of* p, preserving p_i. Replacement processes are
+// exempt from further constraint checking in that round (the kernel was
+// forced to run them; the paper's rule does not chain).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/profile.hpp"
+#include "support/rng.hpp"
+
+namespace abp::sim {
+
+enum class YieldKind : std::uint8_t { kNone, kToRandom, kToAll };
+
+const char* to_string(YieldKind kind) noexcept;
+
+class YieldLedger {
+ public:
+  explicit YieldLedger(std::size_t num_processes, YieldKind kind);
+
+  YieldKind kind() const noexcept { return kind_; }
+
+  // Process p performed its yield call at round `now`; for kToRandom the
+  // caller supplies the uniformly random target process q != p.
+  void on_yield(ProcId p, Round now, ProcId random_target);
+
+  // Adjusts the kernel's proposed set for round `now` so that every yield
+  // constraint is honoured (replacement rule). Also deduplicates.
+  std::vector<ProcId> enforce(std::vector<ProcId> proposed, Round now);
+
+  // Records that `scheduled` ran at round `now`; must be called once per
+  // round with the post-enforcement set.
+  void note_scheduled(const std::vector<ProcId>& scheduled, Round now);
+
+  // True iff p currently has an unsatisfied constraint (ignoring the
+  // same-round allowance).
+  bool blocked(ProcId p) const;
+
+ private:
+  struct State {
+    Round yield_round = 0;        // 0 = no pending constraint
+    ProcId target = 0;            // kToRandom target
+    std::size_t missing = 0;      // kToAll: #processes not yet seen
+    std::vector<bool> seen;       // kToAll: seen since yield
+  };
+
+  bool satisfied(ProcId p, const std::vector<bool>& in_set) const;
+  ProcId pick_replacement(ProcId p, const std::vector<bool>& in_set,
+                          const std::vector<bool>& removed) const;
+
+  std::size_t p_;
+  YieldKind kind_;
+  std::vector<State> state_;
+  std::vector<Round> last_scheduled_;
+};
+
+}  // namespace abp::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+// Cache-line utilities used by the concurrent deques and the runtime.
+//
+// The ABP deque keeps `age` and `bot` on separate cache lines so that the
+// owner's pushBottom/popBottom traffic does not false-share with thieves'
+// popTop CAS traffic; per-worker counters are padded for the same reason.
+
+#include <cstddef>
+#include <new>
+
+namespace abp {
+
+// 64 bytes on every mainstream 64-bit target; pinned to a constant rather
+// than std::hardware_destructive_interference_size so struct layouts do not
+// silently change across compiler flags (GCC's -Winterference-size
+// rationale).
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// Wraps a value in its own cache line.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace abp

@@ -1,0 +1,32 @@
+#pragma once
+
+// Lightweight always-on assertion macros.
+//
+// Unlike <cassert>, these fire in release builds too: the simulator and the
+// concurrent deques guard algorithmic invariants (structural lemma, deque
+// bounds) that we want checked in every configuration, including the
+// benchmark builds that reproduce the paper's experiments.
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace abp {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ABP assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace abp
+
+#define ABP_ASSERT(expr)                                         \
+  do {                                                           \
+    if (!(expr)) ::abp::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ABP_ASSERT_MSG(expr, msg)                                \
+  do {                                                           \
+    if (!(expr)) ::abp::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,40 @@
+#pragma once
+
+// Exponential backoff used by the real runtime's steal loop between failed
+// steal attempts (in addition to the yield discipline the paper analyzes).
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace abp {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t max_spins = 1024) noexcept
+      : max_spins_(max_spins) {}
+
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+    if (spins_ < max_spins_) spins_ *= 2;
+  }
+
+  void reset() noexcept { spins_ = 1; }
+
+ private:
+  std::uint32_t spins_ = 1;
+  std::uint32_t max_spins_;
+};
+
+}  // namespace abp

@@ -1,0 +1,40 @@
+#include "support/rng.hpp"
+
+#include "support/assert.hpp"
+
+namespace abp {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  ABP_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::size_t> Xoshiro256::sample_without_replacement(std::size_t n,
+                                                                std::size_t k) {
+  ABP_ASSERT(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) setup, fine for the
+  // process counts (P <= a few hundred) we deal with.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    using std::swap;
+    swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace abp

@@ -1,0 +1,105 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace abp {
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> sample, double p) {
+  ABP_ASSERT(!sample.empty());
+  ABP_ASSERT(p >= 0.0 && p <= 100.0);
+  std::sort(sample.begin(), sample.end());
+  if (sample.size() == 1) return sample.front();
+  const double rank = p / 100.0 * static_cast<double>(sample.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sample.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] * (1.0 - frac) + sample[hi] * frac;
+}
+
+double fit_through_origin(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  ABP_ASSERT(x.size() == y.size());
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += x[i] * y[i];
+    sxx += x[i] * x[i];
+  }
+  return sxx > 0.0 ? sxy / sxx : 0.0;
+}
+
+TwoVarFit fit_two_regressors(const std::vector<double>& x1,
+                             const std::vector<double>& x2,
+                             const std::vector<double>& y) {
+  ABP_ASSERT(x1.size() == y.size() && x2.size() == y.size());
+  // Normal equations for the 2x2 system:
+  //   [s11 s12] [a]   [s1y]
+  //   [s12 s22] [b] = [s2y]
+  double s11 = 0, s12 = 0, s22 = 0, s1y = 0, s2y = 0, syy = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    s11 += x1[i] * x1[i];
+    s12 += x1[i] * x2[i];
+    s22 += x2[i] * x2[i];
+    s1y += x1[i] * y[i];
+    s2y += x2[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  TwoVarFit fit;
+  const double det = s11 * s22 - s12 * s12;
+  if (std::abs(det) < 1e-12) {
+    // Degenerate design matrix: fall back to a single-regressor fit.
+    fit.a = fit_through_origin(x1, y);
+    fit.b = 0.0;
+  } else {
+    fit.a = (s22 * s1y - s12 * s2y) / det;
+    fit.b = (s11 * s2y - s12 * s1y) / det;
+  }
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double r = y[i] - fit.a * x1[i] - fit.b * x2[i];
+    ss_res += r * r;
+  }
+  fit.r2 = syy > 0.0 ? 1.0 - ss_res / syy : 0.0;
+  return fit;
+}
+
+}  // namespace abp

@@ -1,0 +1,53 @@
+#pragma once
+
+// Statistics helpers for the experiment harnesses: online moments (Welford),
+// percentiles, and the small least-squares fits used to recover the paper's
+// "constant hidden inside the big-Oh" (§6: empirically ~1).
+
+#include <cstddef>
+#include <vector>
+
+namespace abp {
+
+// Online mean/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;   // sample variance (n-1 denominator)
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample (p in [0,100]); uses linear interpolation between
+// order statistics. Copies and sorts internally.
+double percentile(std::vector<double> sample, double p);
+
+// Least-squares fit of y ~ a*x (single regressor through the origin).
+double fit_through_origin(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+// Least-squares fit of y ~ a*x1 + b*x2 (no intercept). This is exactly the
+// regression used in experiment E9: T ~ c1*(T1/PA) + cinf*(Tinf*P/PA).
+struct TwoVarFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;  // coefficient of determination vs. zero model
+};
+TwoVarFit fit_two_regressors(const std::vector<double>& x1,
+                             const std::vector<double>& x2,
+                             const std::vector<double>& y);
+
+}  // namespace abp

@@ -1,0 +1,84 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+
+#include "support/assert.hpp"
+
+namespace abp {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  ABP_ASSERT(!columns_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  ABP_ASSERT_MSG(cells.size() == columns_.size(),
+                 "row width must match column count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 3;
+
+  std::fprintf(out, "\n== %s ==\n", title_.c_str());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    std::fprintf(out, "%-*s   ", static_cast<int>(width[c]), columns_[c].c_str());
+  std::fprintf(out, "\n");
+  for (std::size_t i = 0; i < total; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      std::fprintf(out, "%-*s   ", static_cast<int>(width[c]), row[c].c_str());
+    std::fprintf(out, "\n");
+  }
+  std::fflush(out);
+}
+
+std::string Table::to_csv() const {
+  std::string out;
+  auto escape = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string e = "\"";
+    for (char ch : s) {
+      if (ch == '"') e += '"';
+      e += ch;
+    }
+    e += '"';
+    return e;
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ',';
+    out += escape(columns_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace abp

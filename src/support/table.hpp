@@ -1,0 +1,39 @@
+#pragma once
+
+// ASCII/CSV table writer for the benchmark harnesses. Every experiment in
+// EXPERIMENTS.md prints its rows through this so the output format is
+// uniform: a titled, column-aligned table, optionally mirrored to CSV.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace abp {
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  // Row cells; call once per row with exactly columns().size() cells.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience formatters.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+
+  const std::string& title() const noexcept { return title_; }
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  // Render the table, column-aligned, to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  // Render as CSV (header + rows).
+  std::string to_csv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace abp

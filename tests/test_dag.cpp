@@ -1,0 +1,167 @@
+// Unit tests for the computation-dag model (§1-2 of the paper).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dag/builders.hpp"
+#include "dag/dag.hpp"
+
+namespace abp::dag {
+namespace {
+
+TEST(Dag, EmptyIsInvalid) {
+  Dag d;
+  EXPECT_FALSE(d.is_valid());
+}
+
+TEST(Dag, SingleNodeIsValid) {
+  Dag d;
+  const ThreadId t = d.new_thread();
+  const NodeId n = d.append_to_thread(t);
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_EQ(d.root(), n);
+  EXPECT_EQ(d.final_node(), n);
+  EXPECT_EQ(d.work(), 1u);
+  EXPECT_EQ(d.critical_path_length(), 1u);
+}
+
+TEST(Dag, AppendToThreadChains) {
+  Dag d;
+  const ThreadId t = d.new_thread();
+  const NodeId a = d.append_to_thread(t);
+  const NodeId b = d.append_to_thread(t);
+  const NodeId c = d.append_to_thread(t);
+  EXPECT_EQ(d.num_edges(), 2u);
+  ASSERT_EQ(d.successors(a).size(), 1u);
+  EXPECT_EQ(d.successors(a)[0], b);
+  ASSERT_EQ(d.successors(b).size(), 1u);
+  EXPECT_EQ(d.successors(b)[0], c);
+  EXPECT_EQ(d.in_degree(c), 1u);
+  EXPECT_EQ(d.out_degree(c), 0u);
+}
+
+TEST(Dag, ThreadOfTracksOwnership) {
+  Dag d;
+  const ThreadId t0 = d.new_thread();
+  const ThreadId t1 = d.new_thread();
+  const NodeId a = d.append_to_thread(t0);
+  const NodeId b = d.append_to_thread(t1);
+  EXPECT_EQ(d.thread_of(a), t0);
+  EXPECT_EQ(d.thread_of(b), t1);
+  EXPECT_EQ(d.num_threads(), 2u);
+}
+
+TEST(Dag, TwoRootsInvalid) {
+  Dag d;
+  const NodeId a = d.add_node();
+  const NodeId b = d.add_node();
+  const NodeId c = d.add_node();
+  d.add_edge(a, c);
+  d.add_edge(b, c);
+  EXPECT_NE(d.validate().find("root"), std::string::npos);
+}
+
+TEST(Dag, TwoFinalsInvalid) {
+  Dag d;
+  const NodeId a = d.add_node();
+  const NodeId b = d.add_node();
+  const NodeId c = d.add_node();
+  d.add_edge(a, b);
+  d.add_edge(a, c);
+  EXPECT_NE(d.validate().find("final"), std::string::npos);
+}
+
+TEST(Dag, CycleDetected) {
+  Dag d;
+  const NodeId a = d.add_node();
+  const NodeId b = d.add_node();
+  const NodeId c = d.add_node();
+  const NodeId e = d.add_node();
+  // a -> b -> c -> b is a cycle; add a tail so root/final counts pass.
+  d.add_edge(a, b);
+  d.add_edge(b, c);
+  d.add_edge(c, b);
+  d.add_edge(c, e);
+  EXPECT_NE(d.validate().find("cycle"), std::string::npos);
+}
+
+TEST(Dag, OutDegreeLimitEnforced) {
+  Dag d;
+  const NodeId a = d.add_node();
+  d.add_edge(a, d.add_node());
+  d.add_edge(a, d.add_node());
+  // The paper assumes out-degree at most 2; a third edge must abort.
+  EXPECT_DEATH(d.add_edge(a, 1), "out-degree");
+}
+
+TEST(Dag, DiamondMeasures) {
+  // a -> b, a -> c, b -> d, c -> d
+  Dag d;
+  const NodeId a = d.add_node();
+  const NodeId b = d.add_node();
+  const NodeId c = d.add_node();
+  const NodeId e = d.add_node();
+  d.add_edge(a, b);
+  d.add_edge(a, c);
+  d.add_edge(b, e);
+  d.add_edge(c, e);
+  EXPECT_TRUE(d.is_valid());
+  EXPECT_EQ(d.work(), 4u);
+  EXPECT_EQ(d.critical_path_length(), 3u);
+  EXPECT_DOUBLE_EQ(d.parallelism(), 4.0 / 3.0);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag d = fib_dag(8);
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), d.num_nodes());
+  std::vector<std::size_t> pos(d.num_nodes());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId n = 0; n < d.num_nodes(); ++n)
+    for (NodeId s : d.successors(n)) EXPECT_LT(pos[n], pos[s]);
+}
+
+TEST(Dag, LongestDepthMonotoneAlongEdges) {
+  const Dag d = random_series_parallel(5, 300);
+  const auto depth = d.longest_depth_from_root();
+  for (NodeId n = 0; n < d.num_nodes(); ++n)
+    for (NodeId s : d.successors(n)) EXPECT_GE(depth[s], depth[n] + 1);
+  EXPECT_EQ(depth[d.root()], 0u);
+}
+
+TEST(Dag, CriticalPathOfChainEqualsWork) {
+  for (std::size_t n : {1u, 2u, 17u, 100u}) {
+    const Dag d = chain(n);
+    EXPECT_EQ(d.work(), n);
+    EXPECT_EQ(d.critical_path_length(), n);
+    EXPECT_DOUBLE_EQ(d.parallelism(), 1.0);
+  }
+}
+
+TEST(Dag, EdgeKindsRecorded) {
+  const Dag d = figure1();
+  std::size_t spawns = 0, joins = 0, syncs = 0, continues = 0;
+  for (const Edge& e : d.edges()) {
+    switch (e.kind) {
+      case EdgeKind::kSpawn: ++spawns; break;
+      case EdgeKind::kJoin: ++joins; break;
+      case EdgeKind::kSync: ++syncs; break;
+      case EdgeKind::kContinue: ++continues; break;
+    }
+  }
+  EXPECT_EQ(spawns, 1u);
+  EXPECT_EQ(joins, 1u);
+  EXPECT_EQ(syncs, 1u);
+  EXPECT_EQ(continues, 9u);  // 7 within root thread + 2 within child
+}
+
+TEST(Dag, EdgeKindNames) {
+  EXPECT_STREQ(to_string(EdgeKind::kSpawn), "spawn");
+  EXPECT_STREQ(to_string(EdgeKind::kJoin), "join");
+  EXPECT_STREQ(to_string(EdgeKind::kSync), "sync");
+  EXPECT_STREQ(to_string(EdgeKind::kContinue), "continue");
+}
+
+}  // namespace
+}  // namespace abp::dag

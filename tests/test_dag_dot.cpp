@@ -1,0 +1,76 @@
+// Tests for the Graphviz export.
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "dag/dot.hpp"
+
+namespace abp::dag {
+namespace {
+
+TEST(Dot, Figure1ContainsAllNodesAndEdgeStyles) {
+  const Dag d = figure1();
+  const std::string dot = to_dot(d);
+  EXPECT_NE(dot.find("digraph computation"), std::string::npos);
+  for (NodeId n = 0; n < d.num_nodes(); ++n) {
+    const std::string name = "v" + std::to_string(n + 1);
+    EXPECT_NE(dot.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // spawn
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);  // join/sync
+  EXPECT_NE(dot.find("style=solid"), std::string::npos);   // continuation
+  EXPECT_NE(dot.find("T1=11"), std::string::npos);
+  EXPECT_NE(dot.find("Tinf=8"), std::string::npos);
+}
+
+TEST(Dot, ClusersPerThread) {
+  const Dag d = figure1();
+  const std::string dot = to_dot(d);
+  EXPECT_NE(dot.find("cluster_t0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_t1"), std::string::npos);
+}
+
+TEST(Dot, OptionsDisableClustersAndLabel) {
+  const Dag d = figure1();
+  DotOptions o;
+  o.cluster_threads = false;
+  o.label_measures = false;
+  const std::string dot = to_dot(d, o);
+  EXPECT_EQ(dot.find("cluster_t"), std::string::npos);
+  EXPECT_EQ(dot.find("T1="), std::string::npos);
+}
+
+TEST(Dot, EdgeCountMatches) {
+  const Dag d = fib_dag(6);
+  const std::string dot = to_dot(d);
+  std::size_t arrows = 0;
+  for (std::size_t i = dot.find("->"); i != std::string::npos;
+       i = dot.find("->", i + 2))
+    ++arrows;
+  EXPECT_EQ(arrows, d.num_edges());
+}
+
+TEST(Dot, EnablingTreeExport) {
+  const Dag d = chain(4);
+  EnablingTree tree(d);
+  tree.set_root(0);
+  tree.record(0, 1);
+  tree.record(1, 2);
+  tree.record(2, 3);
+  const std::string dot = to_dot(d, tree);
+  EXPECT_NE(dot.find("digraph enabling_tree"), std::string::npos);
+  EXPECT_NE(dot.find("w=4"), std::string::npos);  // root weight = Tinf
+  EXPECT_NE(dot.find("v1 -> v2"), std::string::npos);
+}
+
+TEST(Dot, PartialEnablingTreeOmitsUnknownNodes) {
+  const Dag d = chain(4);
+  EnablingTree tree(d);
+  tree.set_root(0);
+  tree.record(0, 1);
+  const std::string dot = to_dot(d, tree);
+  EXPECT_EQ(dot.find("v4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abp::dag

@@ -1,0 +1,179 @@
+// Concurrency stress tests for the deques: one owner (push_bottom /
+// pop_bottom) plus thieves (pop_top), as in the paper's "good" invocation
+// sets. Core property: every pushed item is consumed exactly once, across
+// owner pops and steals, under the relaxed semantics (§3.2).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "deque/abp_deque.hpp"
+#include "deque/abp_growable_deque.hpp"
+#include "deque/chase_lev_deque.hpp"
+#include "deque/mutex_deque.hpp"
+#include "deque/spinlock_deque.hpp"
+
+namespace abp::deque {
+namespace {
+
+using Item = std::uint64_t;
+
+template <typename D>
+class DequeConcurrent : public ::testing::Test {};
+
+using DequeTypes =
+    ::testing::Types<AbpDeque<Item>, AbpGrowableDeque<Item>,
+                     ChaseLevDeque<Item>, MutexDeque<Item>,
+                     SpinlockDeque<Item>>;
+TYPED_TEST_SUITE(DequeConcurrent, DequeTypes);
+
+// Owner pushes kItems and pops nothing; thieves drain from the top.
+TYPED_TEST(DequeConcurrent, ThievesDrainEverythingExactlyOnce) {
+  constexpr std::size_t kItems = 20000;
+  constexpr std::size_t kThieves = 3;
+  TypeParam deque(kItems + 8);
+
+  std::vector<std::atomic<std::uint32_t>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> consumed{0};
+
+  std::vector<std::thread> thieves;
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) ||
+             !deque.empty_hint()) {
+        if (auto v = deque.pop_top()) {
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (Item i = 0; i < kItems; ++i) deque.push_bottom(i);
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.load(), kItems);
+  for (std::size_t i = 0; i < kItems; ++i)
+    EXPECT_EQ(seen[i].load(), 1u) << "item " << i;
+}
+
+// Owner pushes and pops concurrently with thieves; the owner-popped and
+// stolen sets must partition the pushed set.
+TYPED_TEST(DequeConcurrent, OwnerAndThievesPartitionItems) {
+  constexpr std::size_t kItems = 60000;
+  constexpr std::size_t kThieves = 3;
+  TypeParam deque(kItems + 8);
+
+  std::vector<std::atomic<std::uint32_t>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> consumed{0};
+
+  std::vector<std::thread> thieves;
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) ||
+             !deque.empty_hint()) {
+        if (auto v = deque.pop_top()) {
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // Owner: bursts of pushes, then bursts of pops — the work stealer's
+  // actual access pattern (push on spawn/enable, pop on die/block).
+  std::size_t owner_got = 0;
+  Item next = 0;
+  while (next < kItems) {
+    const std::size_t burst = std::min<std::size_t>(37, kItems - next);
+    for (std::size_t i = 0; i < burst; ++i) deque.push_bottom(next++);
+    for (std::size_t i = 0; i < burst / 2; ++i) {
+      if (auto v = deque.pop_bottom()) {
+        seen[*v].fetch_add(1, std::memory_order_relaxed);
+        ++owner_got;
+      }
+    }
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(consumed.load() + owner_got, kItems);
+  for (std::size_t i = 0; i < kItems; ++i)
+    EXPECT_EQ(seen[i].load(), 1u) << "item " << i;
+}
+
+// Heavy contention on a near-empty deque: thieves and owner race for
+// single items; nothing may be lost or duplicated.
+TYPED_TEST(DequeConcurrent, SingleItemRaces) {
+  constexpr std::size_t kRounds = 30000;
+  constexpr std::size_t kThieves = 3;
+  TypeParam deque(64);
+
+  std::vector<std::atomic<std::uint32_t>> seen(kRounds);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (auto v = deque.pop_top())
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (Item i = 0; i < kRounds; ++i) {
+    deque.push_bottom(i);
+    if (auto v = deque.pop_bottom())
+      seen[*v].fetch_add(1, std::memory_order_relaxed);
+  }
+  // Drain whatever the owner lost to thieves that are now asleep.
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  while (auto v = deque.pop_top())
+    seen[*v].fetch_add(1, std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < kRounds; ++i)
+    EXPECT_EQ(seen[i].load(), 1u) << "item " << i;
+}
+
+// The ABP relaxed semantics allow pop_top to return nothing when the
+// topmost item was concurrently removed — but a *successful* pop_top must
+// be unique per item even when many thieves hit one victim.
+TYPED_TEST(DequeConcurrent, ManyThievesNoDuplicates) {
+  constexpr std::size_t kItems = 4096;
+  constexpr std::size_t kThieves = 6;
+  TypeParam deque(kItems + 8);
+  for (Item i = 0; i < kItems; ++i) deque.push_bottom(i);
+
+  std::vector<std::atomic<std::uint32_t>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> thieves;
+  std::atomic<std::size_t> total{0};
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::size_t got = 0;
+      while (total.load(std::memory_order_acquire) < kItems) {
+        if (auto v = deque.pop_top()) {
+          seen[*v].fetch_add(1, std::memory_order_relaxed);
+          ++got;
+          total.fetch_add(1, std::memory_order_acq_rel);
+        }
+      }
+      (void)got;
+    });
+  }
+  for (auto& t : thieves) t.join();
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(seen[i].load(), 1u);
+}
+
+}  // namespace
+}  // namespace abp::deque

@@ -1,0 +1,96 @@
+// Tests for the enabling tree (§3.4).
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "dag/enabling.hpp"
+
+namespace abp::dag {
+namespace {
+
+TEST(EnablingTree, RootDepthZeroWeightTinf) {
+  const Dag d = figure1();
+  EnablingTree t(d);
+  t.set_root(d.root());
+  EXPECT_TRUE(t.known(d.root()));
+  EXPECT_EQ(t.depth(d.root()), 0u);
+  EXPECT_EQ(t.weight(d.root()), d.critical_path_length());
+}
+
+TEST(EnablingTree, RecordIncrementsDepth) {
+  const Dag d = chain(5);
+  EnablingTree t(d);
+  t.set_root(0);
+  for (NodeId n = 1; n < 5; ++n) t.record(n - 1, n);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(t.depth(n), n);
+    EXPECT_EQ(t.weight(n), 5 - n);
+  }
+  EXPECT_TRUE(t.validate(5).empty()) << t.validate(5);
+}
+
+TEST(EnablingTree, ParentTracked) {
+  const Dag d = chain(3);
+  EnablingTree t(d);
+  t.set_root(0);
+  t.record(0, 1);
+  t.record(1, 2);
+  EXPECT_EQ(t.parent(1), 0u);
+  EXPECT_EQ(t.parent(2), 1u);
+}
+
+TEST(EnablingTree, ValidateDetectsMissingNodes) {
+  const Dag d = chain(4);
+  EnablingTree t(d);
+  t.set_root(0);
+  t.record(0, 1);
+  EXPECT_FALSE(t.validate(4).empty());
+  EXPECT_TRUE(t.validate(2).empty());
+}
+
+TEST(EnablingTree, DepthBoundedByTinf) {
+  // In the figure-1 dag (Tinf = 8), any execution's enabling tree has
+  // depth < 8. Simulate the serial depth-first execution by hand along the
+  // longest enabling chain.
+  const Dag d = figure1();
+  EnablingTree t(d);
+  t.set_root(0);
+  // Enabling edges of the serial execution v1 v2 v3 v4 v5 v6 ... v11:
+  t.record(0, 1);   // v1 -> v2
+  t.record(1, 2);   // v2 -> v3 (spawn)
+  t.record(1, 5);   // v2 -> v6 (continuation)
+  t.record(2, 3);   // v3 -> v4
+  t.record(3, 4);   // v4 -> v5
+  t.record(5, 6);   // v6 -> v7
+  t.record(3, 7);   // v4 -> v8 enabled by semaphore V if v7 came first?
+  // (one consistent enabling choice; depth must stay < 8 regardless)
+  t.record(7, 8);   // v8 -> v9
+  t.record(8, 9);   // v9 -> v10
+  t.record(9, 10);  // v10 -> v11
+  EXPECT_TRUE(t.validate(11).empty()) << t.validate(11);
+  for (NodeId n = 0; n < 11; ++n) EXPECT_LT(t.depth(n), 8u);
+}
+
+TEST(EnablingTreeDeath, DoubleRecordAborts) {
+  const Dag d = chain(3);
+  EnablingTree t(d);
+  t.set_root(0);
+  t.record(0, 1);
+  EXPECT_DEATH(t.record(0, 1), "exactly once");
+}
+
+TEST(EnablingTreeDeath, RecordFromUnknownParentAborts) {
+  const Dag d = chain(3);
+  EnablingTree t(d);
+  t.set_root(0);
+  EXPECT_DEATH(t.record(2, 1), "already");
+}
+
+TEST(EnablingTreeDeath, UnknownDepthQueryAborts) {
+  const Dag d = chain(3);
+  EnablingTree t(d);
+  EXPECT_DEATH(t.depth(1), "not yet enabled");
+}
+
+}  // namespace
+}  // namespace abp::dag

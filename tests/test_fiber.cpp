@@ -1,0 +1,266 @@
+// Tests for the user-level thread (fiber) layer: spawn/die/join semantics,
+// semaphore block/enable (the paper's P/V synchronization), and stressed
+// migration across OS threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "fiber/fiber.hpp"
+
+namespace abp::fiber {
+namespace {
+
+runtime::SchedulerOptions opts(std::size_t workers) {
+  runtime::SchedulerOptions o;
+  o.num_workers = workers;
+  o.yield = runtime::YieldPolicy::kYield;
+  return o;
+}
+
+TEST(Fiber, RootRunsToCompletion) {
+  FiberScheduler fs(opts(1));
+  int x = 0;
+  fs.run([&] { x = 7; });
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Fiber, SpawnAndJoinSingleChild) {
+  FiberScheduler fs(opts(2));
+  int child = 0;
+  fs.run([&] {
+    Fiber* c = FiberScheduler::spawn([&] { child = 1; });
+    FiberScheduler::join(c);
+    EXPECT_EQ(child, 1);
+    EXPECT_TRUE(c->done());
+  });
+  EXPECT_EQ(child, 1);
+}
+
+TEST(Fiber, JoinAlreadyDeadChildReturnsImmediately) {
+  FiberScheduler fs(opts(1));
+  fs.run([&] {
+    Fiber* c = FiberScheduler::spawn([] {});
+    // With one worker the child runs only when we block or finish; join
+    // forces it.
+    FiberScheduler::join(c);
+    FiberScheduler::join(c);  // second join on a dead fiber: no-op? No —
+    // single-joiner design: joining a done fiber returns immediately.
+    EXPECT_TRUE(c->done());
+  });
+}
+
+TEST(Fiber, ManyChildrenAllRun) {
+  FiberScheduler fs(opts(4));
+  constexpr int kChildren = 200;
+  std::vector<std::atomic<int>> ran(kChildren);
+  for (auto& r : ran) r.store(0);
+  fs.run([&] {
+    std::vector<Fiber*> kids;
+    kids.reserve(kChildren);
+    for (int i = 0; i < kChildren; ++i)
+      kids.push_back(
+          FiberScheduler::spawn([&ran, i] { ran[i].fetch_add(1); }));
+    for (Fiber* k : kids) FiberScheduler::join(k);
+  });
+  for (int i = 0; i < kChildren; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(Fiber, RecursiveFibCorrect) {
+  FiberScheduler fs(opts(4));
+  struct F {
+    static long fib(int n) {
+      if (n < 2) return n;
+      long a = 0;
+      Fiber* c = FiberScheduler::spawn([&a, n] { a = fib(n - 1); });
+      const long b = fib(n - 2);
+      FiberScheduler::join(c);
+      return a + b;
+    }
+  };
+  long out = 0;
+  fs.run([&] { out = F::fib(16); });
+  EXPECT_EQ(out, 987);
+}
+
+TEST(Semaphore, InitialCountAllowsImmediateP) {
+  FiberScheduler fs(opts(1));
+  int stage = 0;
+  fs.run([&] {
+    Semaphore sem(2);
+    sem.p();
+    sem.p();
+    stage = 1;
+  });
+  EXPECT_EQ(stage, 1);
+}
+
+TEST(Semaphore, VThenPNoBlock) {
+  FiberScheduler fs(opts(1));
+  fs.run([&] {
+    Semaphore sem(0);
+    sem.v();
+    sem.p();  // must not block
+  });
+  SUCCEED();
+}
+
+TEST(Semaphore, BlocksUntilSignal) {
+  FiberScheduler fs(opts(2));
+  std::atomic<int> order{0};
+  int p_saw = -1;
+  fs.run([&] {
+    Semaphore sem(0);
+    Fiber* signaller = FiberScheduler::spawn([&] {
+      order.store(1);
+      sem.v();
+    });
+    sem.p();  // blocks until the child's V
+    p_saw = order.load();
+    FiberScheduler::join(signaller);
+  });
+  EXPECT_EQ(p_saw, 1);
+}
+
+TEST(Semaphore, Figure1Pattern) {
+  // The paper's running example: root spawns child; child executes V (v4)
+  // then one more node (v5) and dies; root waits at P (v8), continues, and
+  // joins the child at v11.
+  FiberScheduler fs(opts(3));
+  std::vector<int> trace;
+  detail::SpinLock trace_lock;
+  auto log = [&](int v) {
+    trace_lock.lock();
+    trace.push_back(v);
+    trace_lock.unlock();
+  };
+  fs.run([&] {
+    Semaphore sem(0);
+    log(1);
+    log(2);
+    Fiber* child = FiberScheduler::spawn([&] {
+      log(3);
+      log(4);
+      sem.v();
+      log(5);
+    });
+    log(6);
+    log(7);
+    sem.p();  // v8
+    log(8);
+    log(9);
+    log(10);
+    FiberScheduler::join(child);
+    log(11);
+  });
+  // v8 must come after v4 (the V), and v11 after v5 (child death).
+  auto pos = [&](int v) {
+    for (std::size_t i = 0; i < trace.size(); ++i)
+      if (trace[i] == v) return i;
+    return trace.size();
+  };
+  ASSERT_EQ(trace.size(), 11u);
+  EXPECT_LT(pos(4), pos(8));
+  EXPECT_LT(pos(5), pos(11));
+  EXPECT_LT(pos(1), pos(2));
+}
+
+TEST(Semaphore, ProducerConsumerCounts) {
+  FiberScheduler fs(opts(4));
+  constexpr int kItems = 500;
+  std::atomic<int> produced{0}, consumed{0};
+  fs.run([&] {
+    Semaphore items(0);
+    Fiber* producer = FiberScheduler::spawn([&] {
+      for (int i = 0; i < kItems; ++i) {
+        produced.fetch_add(1);
+        items.v();
+      }
+    });
+    for (int i = 0; i < kItems; ++i) {
+      items.p();
+      consumed.fetch_add(1);
+    }
+    FiberScheduler::join(producer);
+  });
+  EXPECT_EQ(produced.load(), kItems);
+  EXPECT_EQ(consumed.load(), kItems);
+}
+
+TEST(Semaphore, MutualExclusionViaBinarySemaphore) {
+  FiberScheduler fs(opts(4));
+  int shared = 0;  // protected by the binary semaphore
+  constexpr int kFibers = 8;
+  constexpr int kIncrements = 200;
+  fs.run([&] {
+    Semaphore mutex(1);
+    std::vector<Fiber*> kids;
+    for (int f = 0; f < kFibers; ++f) {
+      kids.push_back(FiberScheduler::spawn([&] {
+        for (int i = 0; i < kIncrements; ++i) {
+          mutex.p();
+          ++shared;  // critical section
+          mutex.v();
+        }
+      }));
+    }
+    for (Fiber* k : kids) FiberScheduler::join(k);
+  });
+  EXPECT_EQ(shared, kFibers * kIncrements);
+}
+
+TEST(Fiber, DeepSpawnChain) {
+  // Each fiber spawns the next; joins unwind in reverse. Exercises the
+  // enable-and-die direct hand-off.
+  FiberScheduler fs(opts(2));
+  std::atomic<int> depth_reached{0};
+  struct Chain {
+    static void go(int depth, std::atomic<int>& out) {
+      if (depth == 0) return;
+      out.fetch_add(1);
+      Fiber* c = FiberScheduler::spawn(
+          [depth, &out] { go(depth - 1, out); });
+      FiberScheduler::join(c);
+    }
+  };
+  fs.run([&] { Chain::go(150, depth_reached); });
+  EXPECT_EQ(depth_reached.load(), 150);
+}
+
+TEST(Fiber, StatsAccumulate) {
+  FiberScheduler fs(opts(4));
+  fs.run([&] {
+    std::vector<Fiber*> kids;
+    for (int i = 0; i < 50; ++i)
+      kids.push_back(FiberScheduler::spawn([] {}));
+    for (Fiber* k : kids) FiberScheduler::join(k);
+  });
+  const auto st = fs.total_stats();
+  EXPECT_GT(st.jobs_executed, 0u);
+  EXPECT_GE(st.spawns, 50u);
+}
+
+TEST(Fiber, SchedulerReusableAcrossRuns) {
+  FiberScheduler fs(opts(2));
+  for (int i = 0; i < 5; ++i) {
+    int x = 0;
+    fs.run([&] {
+      Fiber* c = FiberScheduler::spawn([&] { x = i; });
+      FiberScheduler::join(c);
+    });
+    EXPECT_EQ(x, i);
+  }
+}
+
+TEST(Fiber, OnFiberDetection) {
+  EXPECT_FALSE(FiberScheduler::on_fiber());
+  FiberScheduler fs(opts(1));
+  bool inside = false;
+  fs.run([&] { inside = FiberScheduler::on_fiber(); });
+  EXPECT_TRUE(inside);
+  EXPECT_FALSE(FiberScheduler::on_fiber());
+}
+
+}  // namespace
+}  // namespace abp::fiber

@@ -1,0 +1,222 @@
+// Tests for the fiber synchronization extensions: Event (one-shot
+// broadcast), FiberBarrier (reusable), and Channel<T> (bounded MPMC).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "fiber/channel.hpp"
+#include "fiber/fiber.hpp"
+
+namespace abp::fiber {
+namespace {
+
+runtime::SchedulerOptions opts(std::size_t workers) {
+  runtime::SchedulerOptions o;
+  o.num_workers = workers;
+  o.yield = runtime::YieldPolicy::kYield;
+  return o;
+}
+
+// ---- Event -------------------------------------------------------------------
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  FiberScheduler fs(opts(2));
+  int stage = 0;
+  fs.run([&] {
+    Event e;
+    e.set();
+    EXPECT_TRUE(e.is_set());
+    e.wait();
+    stage = 1;
+  });
+  EXPECT_EQ(stage, 1);
+}
+
+TEST(Event, BroadcastWakesAllWaiters) {
+  FiberScheduler fs(opts(4));
+  constexpr int kWaiters = 20;
+  std::atomic<int> woken{0};
+  fs.run([&] {
+    Event e;
+    std::vector<Fiber*> kids;
+    for (int i = 0; i < kWaiters; ++i) {
+      kids.push_back(FiberScheduler::spawn([&] {
+        e.wait();
+        woken.fetch_add(1);
+      }));
+    }
+    auto* setter = FiberScheduler::spawn([&] { e.set(); });
+    for (Fiber* k : kids) FiberScheduler::join(k);
+    FiberScheduler::join(setter);
+  });
+  EXPECT_EQ(woken.load(), kWaiters);
+}
+
+TEST(Event, OrderingGuarantee) {
+  FiberScheduler fs(opts(3));
+  int before_set = -1;
+  fs.run([&] {
+    Event e;
+    int data = 0;
+    auto* producer = FiberScheduler::spawn([&] {
+      data = 99;
+      e.set();
+    });
+    e.wait();
+    before_set = data;  // must observe the write before set()
+    FiberScheduler::join(producer);
+  });
+  EXPECT_EQ(before_set, 99);
+}
+
+// ---- FiberBarrier -------------------------------------------------------------
+
+TEST(Barrier, AllPartiesPassTogether) {
+  FiberScheduler fs(opts(4));
+  constexpr std::size_t kParties = 8;
+  std::atomic<int> before{0}, after{0};
+  std::atomic<bool> phase_violation{false};
+  fs.run([&] {
+    FiberBarrier barrier(kParties);
+    std::vector<Fiber*> kids;
+    for (std::size_t i = 0; i < kParties; ++i) {
+      kids.push_back(FiberScheduler::spawn([&] {
+        before.fetch_add(1);
+        barrier.arrive_and_wait();
+        // Everyone must have arrived before anyone proceeds.
+        if (before.load() != kParties) phase_violation.store(true);
+        after.fetch_add(1);
+      }));
+    }
+    for (Fiber* k : kids) FiberScheduler::join(k);
+  });
+  EXPECT_EQ(after.load(), (int)kParties);
+  EXPECT_FALSE(phase_violation.load());
+}
+
+TEST(Barrier, ReusableAcrossGenerations) {
+  FiberScheduler fs(opts(4));
+  constexpr std::size_t kParties = 4;
+  constexpr int kRounds = 10;
+  std::atomic<int> counters[kRounds];
+  for (auto& c : counters) c.store(0);
+  std::atomic<bool> violation{false};
+  fs.run([&] {
+    FiberBarrier barrier(kParties);
+    std::vector<Fiber*> kids;
+    for (std::size_t i = 0; i < kParties; ++i) {
+      kids.push_back(FiberScheduler::spawn([&] {
+        for (int r = 0; r < kRounds; ++r) {
+          counters[r].fetch_add(1);
+          barrier.arrive_and_wait();
+          // After the barrier, the whole round's counter must be complete.
+          if (counters[r].load() != (int)kParties) violation.store(true);
+        }
+      }));
+    }
+    for (Fiber* k : kids) FiberScheduler::join(k);
+  });
+  EXPECT_FALSE(violation.load());
+  for (const auto& c : counters) EXPECT_EQ(c.load(), (int)kParties);
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  FiberScheduler fs(opts(1));
+  int passes = 0;
+  fs.run([&] {
+    FiberBarrier barrier(1);
+    for (int i = 0; i < 5; ++i) {
+      barrier.arrive_and_wait();
+      ++passes;
+    }
+  });
+  EXPECT_EQ(passes, 5);
+}
+
+// ---- Channel ------------------------------------------------------------------
+
+TEST(ChannelTest, SingleProducerSingleConsumer) {
+  FiberScheduler fs(opts(2));
+  constexpr int kItems = 2000;
+  long long sum = 0;
+  fs.run([&] {
+    Channel<int> ch(16);
+    auto* producer = FiberScheduler::spawn([&] {
+      for (int i = 1; i <= kItems; ++i) ch.send(i);
+    });
+    for (int i = 0; i < kItems; ++i) sum += ch.receive();
+    FiberScheduler::join(producer);
+  });
+  EXPECT_EQ(sum, (long long)kItems * (kItems + 1) / 2);
+}
+
+TEST(ChannelTest, CapacityOneIsRendezvousLike) {
+  FiberScheduler fs(opts(2));
+  std::vector<int> received;
+  fs.run([&] {
+    Channel<int> ch(1);
+    auto* producer = FiberScheduler::spawn([&] {
+      for (int i = 0; i < 50; ++i) ch.send(i);
+    });
+    for (int i = 0; i < 50; ++i) received.push_back(ch.receive());
+    FiberScheduler::join(producer);
+  });
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(received[i], i);  // FIFO
+}
+
+TEST(ChannelTest, MultiProducerMultiConsumer) {
+  FiberScheduler fs(opts(4));
+  constexpr int kProducers = 4, kConsumers = 3;
+  constexpr int kPerProducer = 300;
+  constexpr int kTotal = kProducers * kPerProducer;
+  std::atomic<long long> sum{0};
+  std::atomic<int> received{0};
+  fs.run([&] {
+    Channel<int> ch(8);
+    std::vector<Fiber*> fibers;
+    for (int p = 0; p < kProducers; ++p) {
+      fibers.push_back(FiberScheduler::spawn([&, p] {
+        for (int i = 0; i < kPerProducer; ++i)
+          ch.send(p * kPerProducer + i);
+      }));
+    }
+    for (int c = 0; c < kConsumers; ++c) {
+      fibers.push_back(FiberScheduler::spawn([&] {
+        // Consumers split the total among themselves via the shared
+        // counter; each receive is guaranteed to be matched by a send.
+        while (true) {
+          int mine = received.fetch_add(1);
+          if (mine >= kTotal) break;
+          sum.fetch_add(ch.receive());
+        }
+      }));
+    }
+    for (Fiber* f : fibers) FiberScheduler::join(f);
+  });
+  EXPECT_EQ(sum.load(), (long long)kTotal * (kTotal - 1) / 2);
+}
+
+TEST(ChannelTest, MovesValuesThrough) {
+  FiberScheduler fs(opts(2));
+  std::vector<std::vector<int>> got;
+  fs.run([&] {
+    Channel<std::vector<int>> ch(4);
+    auto* producer = FiberScheduler::spawn([&] {
+      for (int i = 0; i < 10; ++i) ch.send(std::vector<int>(i, i));
+    });
+    for (int i = 0; i < 10; ++i) got.push_back(ch.receive());
+    FiberScheduler::join(producer);
+  });
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(got[i].size(), (std::size_t)i);
+    if (i > 0) {
+      EXPECT_EQ(got[i][0], i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace abp::fiber

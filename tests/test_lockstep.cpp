@@ -1,0 +1,177 @@
+// Tests for the instruction-granular lockstep work stealer (§4.1's round/
+// milestone model implemented exactly): correctness, bound shape, the §4.1
+// throw accounting, genuine CAS contention, and agreement with the coarse
+// engine.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "dag/builders.hpp"
+#include "sched/lockstep.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+
+namespace abp::sched {
+namespace {
+
+using sim::YieldKind;
+
+TEST(Lockstep, SingleProcessExecutesEverything) {
+  const auto d = dag::fib_dag(10);
+  sim::DedicatedKernel k(1);
+  const auto m = run_lockstep_work_stealer(d, k, {});
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.executed_nodes, d.num_nodes());
+  EXPECT_EQ(m.successful_steals, 0u);
+  EXPECT_EQ(m.cas_failures, 0u);
+}
+
+struct LsCase {
+  std::string name;
+  std::function<dag::Dag()> build;
+  std::function<std::unique_ptr<sim::Kernel>()> kernel;
+  YieldKind yield;
+};
+
+class LockstepSweep : public ::testing::TestWithParam<LsCase> {};
+
+TEST_P(LockstepSweep, ExecutesDagCompletely) {
+  const auto& param = GetParam();
+  const auto d = param.build();
+  auto kernel = param.kernel();
+  LockstepOptions opts;
+  opts.yield = param.yield;
+  opts.seed = 77;
+  const auto m = run_lockstep_work_stealer(d, *kernel, opts);
+  ASSERT_TRUE(m.completed) << param.name;
+  EXPECT_EQ(m.executed_nodes, d.num_nodes()) << param.name;
+  EXPECT_LE(m.bound_ratio(), 1.0) << param.name;  // several instr per node
+  // §4.1: at most one throw per scheduled process per round.
+  EXPECT_LE(m.throws, m.total_scheduled) << param.name;
+  EXPECT_LE(m.throws, m.steal_attempts) << param.name;
+}
+
+std::vector<LsCase> cases() {
+  std::vector<LsCase> cs;
+  const std::vector<std::pair<std::string, std::function<dag::Dag()>>> dags =
+      {
+          {"fig1", [] { return dag::figure1(); }},
+          {"fib11", [] { return dag::fib_dag(11); }},
+          {"wide32", [] { return dag::wide(32, 4); }},
+          {"grid10x10", [] { return dag::grid_wavefront(10, 10); }},
+          {"sp800", [] { return dag::random_series_parallel(6, 800); }},
+      };
+  const std::vector<
+      std::pair<std::string, std::function<std::unique_ptr<sim::Kernel>()>>>
+      kernels = {
+          {"ded4", [] { return std::make_unique<sim::DedicatedKernel>(4); }},
+          {"ben8",
+           [] {
+             return std::make_unique<sim::BenignKernel>(
+                 8, sim::bursty_profile(8, 5, 15), 3);
+           }},
+          {"starve8",
+           [] {
+             return std::make_unique<sim::StarveBusyKernel>(
+                 8, sim::constant_profile(4), 9);
+           }},
+      };
+  for (const auto& [dn, db] : dags)
+    for (const auto& [kn, kb] : kernels) {
+      const YieldKind y =
+          kn == "starve8" ? YieldKind::kToAll : YieldKind::kToRandom;
+      cs.push_back(LsCase{dn + "_" + kn, db, kb, y});
+    }
+  return cs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LockstepSweep, ::testing::ValuesIn(cases()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Lockstep, BoundRatioStableAcrossP) {
+  // The per-round constant (instructions per node / 2c) is independent of
+  // P: the normalized ratio varies by < 2x across a 16x range of P.
+  const auto d = dag::fib_dag(14);
+  double lo = 1e9, hi = 0;
+  for (std::size_t p : {1u, 2u, 4u, 8u, 16u}) {
+    sim::DedicatedKernel k(p);
+    LockstepOptions opts;
+    opts.yield = YieldKind::kNone;
+    opts.seed = p;
+    const auto m = run_lockstep_work_stealer(d, k, opts);
+    ASSERT_TRUE(m.completed);
+    lo = std::min(lo, m.bound_ratio());
+    hi = std::max(hi, m.bound_ratio());
+  }
+  EXPECT_LT(hi, 2.0 * lo);
+}
+
+TEST(Lockstep, CasContentionAppearsWithManyThieves) {
+  // With many processes hammering few busy deques, some popTop CASes must
+  // lose races — the behaviour the coarse round model cannot express.
+  const auto d = dag::fib_dag(14);
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::DedicatedKernel k(16);
+    LockstepOptions opts;
+    opts.yield = YieldKind::kNone;
+    opts.seed = seed;
+    const auto m = run_lockstep_work_stealer(d, k, opts);
+    ASSERT_TRUE(m.completed);
+    failures += m.cas_failures;
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(Lockstep, ThrowsOrderPTimesTinf) {
+  const auto d = dag::fib_dag(13);
+  const double tinf = double(d.critical_path_length());
+  for (std::size_t p : {4u, 8u, 16u}) {
+    sim::DedicatedKernel k(p);
+    LockstepOptions opts;
+    opts.yield = YieldKind::kNone;
+    opts.seed = 3 * p;
+    const auto m = run_lockstep_work_stealer(d, k, opts);
+    ASSERT_TRUE(m.completed);
+    EXPECT_LT(double(m.throws) / (double(p) * tinf), 4.0) << "P=" << p;
+  }
+}
+
+TEST(Lockstep, StarvationWithoutYieldMatchesCoarseModel) {
+  const auto d = dag::fib_dag(11);
+  sim::StarveBusyKernel k(8, sim::constant_profile(4), 5);
+  LockstepOptions opts;
+  opts.yield = YieldKind::kNone;
+  opts.max_rounds = 50'000;
+  const auto m = run_lockstep_work_stealer(d, k, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.executed_nodes, 0u);  // the starver never runs process 0
+}
+
+TEST(Lockstep, AgreesWithCoarseEngineOnShape) {
+  // Both models measure the same computation; their lengths differ by the
+  // instructions-per-action constant but their *shapes* (scaling in P)
+  // must agree: ratio of lengths stays within a band across P.
+  const auto d = dag::fib_dag(14);
+  double lo = 1e9, hi = 0;
+  for (std::size_t p : {2u, 4u, 8u}) {
+    sim::DedicatedKernel k1(p), k2(p);
+    Options copts;
+    copts.seed = p;
+    const auto coarse = run_work_stealer(d, k1, copts);
+    LockstepOptions lopts;
+    lopts.yield = YieldKind::kToRandom;
+    lopts.seed = p;
+    const auto fine = run_lockstep_work_stealer(d, k2, lopts);
+    ASSERT_TRUE(coarse.completed && fine.completed);
+    const double ratio = double(coarse.length) / double(fine.rounds);
+    lo = std::min(lo, ratio);
+    hi = std::max(hi, ratio);
+  }
+  EXPECT_LT(hi, 2.0 * lo);  // a stable constant, not a different shape
+}
+
+}  // namespace
+}  // namespace abp::sched

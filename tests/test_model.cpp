@@ -1,0 +1,189 @@
+// Model-checking tests for the ABP deque (§3.3 and the verification report
+// [11] it defers to): exhaustive exploration of adversarial interleavings
+// at instruction granularity.
+
+#include <gtest/gtest.h>
+
+#include "model/explorer.hpp"
+
+namespace abp::model {
+namespace {
+
+Script owner_script(std::initializer_list<Op> ops) { return Script(ops); }
+
+Op push(std::uint8_t v) { return Op{Method::kPushBottom, v}; }
+Op pop_bottom() { return Op{Method::kPopBottom, 0}; }
+Op pop_top() { return Op{Method::kPopTop, 0}; }
+
+// ---- machine sanity (serial) ------------------------------------------------
+
+TEST(Machine, SerialPushPop) {
+  SharedDeque mem;
+  Invocation inv;
+  inv.start(Method::kPushBottom, 7);
+  while (step_abp(mem, inv) != StepOutcome::kDone) {
+  }
+  EXPECT_EQ(mem.bot, 1);
+  inv.start(Method::kPopBottom);
+  while (step_abp(mem, inv) != StepOutcome::kDone) {
+  }
+  EXPECT_EQ(inv.result, 7);
+  EXPECT_EQ(mem.tag, 1);  // emptying pop bumps the tag
+}
+
+TEST(Machine, SerialPopTopFifo) {
+  SharedDeque mem;
+  Invocation inv;
+  for (std::uint8_t v : {1, 2, 3}) {
+    inv.start(Method::kPushBottom, v);
+    while (step_abp(mem, inv) != StepOutcome::kDone) {
+    }
+  }
+  for (std::uint8_t v : {1, 2, 3}) {
+    inv.start(Method::kPopTop);
+    while (step_abp(mem, inv) != StepOutcome::kDone) {
+    }
+    EXPECT_EQ(inv.result, v);
+  }
+  inv.start(Method::kPopTop);
+  while (step_abp(mem, inv) != StepOutcome::kDone) {
+  }
+  EXPECT_EQ(inv.result, SharedDeque::kEmptySlot);  // NIL
+}
+
+TEST(Machine, EveryAbpInvocationIsShort) {
+  // Loop-free code: a serial invocation never exceeds a handful of steps.
+  SharedDeque mem;
+  Invocation inv;
+  int steps = 0;
+  inv.start(Method::kPushBottom, 1);
+  while (step_abp(mem, inv) != StepOutcome::kDone) ++steps;
+  EXPECT_LE(steps, kAbpMaxSteps);
+}
+
+// ---- exhaustive interleavings: ABP ------------------------------------------
+
+TEST(ModelCheck, OwnerPlusOneThief) {
+  const std::vector<Script> scripts = {
+      owner_script({push(1), push(2), pop_bottom(), pop_bottom()}),
+      {pop_top(), pop_top()},
+  };
+  const auto r = explore(scripts);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.nonblocking);
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GT(r.states, 100u);
+  EXPECT_GT(r.terminal_states, 0u);
+  EXPECT_LE(r.max_solo_steps, kAbpMaxSteps);
+}
+
+TEST(ModelCheck, OwnerPlusTwoThieves) {
+  const std::vector<Script> scripts = {
+      owner_script({push(1), push(2), push(3), pop_bottom()}),
+      {pop_top(), pop_top()},
+      {pop_top()},
+  };
+  const auto r = explore(scripts);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.nonblocking);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(ModelCheck, InterleavedPushesAndSteals) {
+  const std::vector<Script> scripts = {
+      owner_script({push(1), pop_bottom(), push(2), pop_bottom(), push(3),
+                    pop_bottom()}),
+      {pop_top(), pop_top(), pop_top()},
+  };
+  const auto r = explore(scripts);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.nonblocking);
+}
+
+TEST(ModelCheck, ThievesOnlyOnEmptyDeque) {
+  const std::vector<Script> scripts = {
+      owner_script({}),
+      {pop_top(), pop_top()},
+      {pop_top()},
+  };
+  const auto r = explore(scripts);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.nonblocking);
+}
+
+TEST(ModelCheck, SingleItemThreeWayRace) {
+  // The hardest case in the paper's proof sketch: popBottom and popTop
+  // racing for the last item while another thief interferes.
+  const std::vector<Script> scripts = {
+      owner_script({push(1), pop_bottom(), push(2), pop_bottom()}),
+      {pop_top()},
+      {pop_top()},
+  };
+  const auto r = explore(scripts);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.nonblocking);
+}
+
+// ---- the tag ablation: ABA --------------------------------------------------
+
+TEST(ModelCheck, DisablingTagExposesAbaDuplicate) {
+  // §3.3: "Subsequent operations may empty the deque and then build it up
+  // again so that the top index points to the same location. When the
+  // thief process resumes and executes [the cas], the cas will succeed...
+  // But the node that the thief obtained is no longer the correct node.
+  // The tag field eliminates this problem."
+  const std::vector<Script> scripts = {
+      owner_script({push(1), pop_bottom(), push(2), pop_bottom()}),
+      {pop_top()},
+  };
+  ExploreOptions opts;
+  opts.disable_tag = true;
+  const auto r = explore(scripts, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.violation.find("twice"), std::string::npos) << r.violation;
+}
+
+TEST(ModelCheck, SameScriptWithTagIsCorrect) {
+  const std::vector<Script> scripts = {
+      owner_script({push(1), pop_bottom(), push(2), pop_bottom()}),
+      {pop_top()},
+  };
+  const auto r = explore(scripts);
+  EXPECT_TRUE(r.ok) << r.violation;
+}
+
+// ---- the spinlock machine: blocking -----------------------------------------
+
+TEST(ModelCheck, SpinlockDequeIsCorrectButBlocking) {
+  const std::vector<Script> scripts = {
+      owner_script({push(1), push(2), pop_bottom()}),
+      {pop_top(), pop_top()},
+  };
+  ExploreOptions opts;
+  opts.use_spinlock = true;
+  const auto r = explore(scripts, opts);
+  // Mutual exclusion keeps it correct...
+  EXPECT_TRUE(r.ok) << r.violation;
+  // ...but there are reachable states in which a process suspended inside
+  // its critical section blocks everyone else forever.
+  EXPECT_FALSE(r.nonblocking);
+}
+
+TEST(ModelCheck, AbpSoloCompletionBounded) {
+  // The quantitative non-blocking statement: from *every* reachable state,
+  // an invocation finishes within kAbpMaxSteps of its own steps, no matter
+  // where every other process was suspended.
+  const std::vector<Script> scripts = {
+      owner_script({push(1), push(2), pop_bottom(), push(3), pop_bottom(),
+                    pop_bottom()}),
+      {pop_top(), pop_top()},
+  };
+  const auto r = explore(scripts);
+  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.nonblocking);
+  EXPECT_LE(r.max_solo_steps, kAbpMaxSteps);
+  EXPECT_GT(r.max_solo_steps, 0);
+}
+
+}  // namespace
+}  // namespace abp::model

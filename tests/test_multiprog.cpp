@@ -1,0 +1,224 @@
+// Tests for the multiprogrammed job-mix simulator (§1 scenario, §5
+// kernel-discipline comparison): every job completes under every policy,
+// each job individually meets the paper's bound with respect to its own
+// measured PA, and the qualitative §5 separations hold (coscheduling
+// wastes the machine on serial jobs; process control reclaims it).
+
+#include <gtest/gtest.h>
+
+#include "dag/builders.hpp"
+#include "sched/multiprog.hpp"
+
+namespace abp::sched {
+namespace {
+
+const AllocationPolicy kAllPolicies[] = {
+    AllocationPolicy::kSpacePartition,
+    AllocationPolicy::kCoschedule,
+    AllocationPolicy::kEquipartition,
+    AllocationPolicy::kProcessControl,
+};
+
+TEST(Multiprog, PolicyNames) {
+  EXPECT_STREQ(to_string(AllocationPolicy::kSpacePartition),
+               "space-partition");
+  EXPECT_STREQ(to_string(AllocationPolicy::kCoschedule), "coschedule");
+  EXPECT_STREQ(to_string(AllocationPolicy::kEquipartition),
+               "equipartition");
+  EXPECT_STREQ(to_string(AllocationPolicy::kProcessControl),
+               "process-control");
+}
+
+TEST(Multiprog, SingleJobDedicatedEquivalence) {
+  // One job on the whole machine behaves like a dedicated run.
+  const auto d = dag::fib_dag(12);
+  JobSpec job{&d, 8, Options{}};
+  MultiprogOptions mo;
+  mo.processors = 8;
+  mo.policy = AllocationPolicy::kEquipartition;
+  const auto r = run_multiprogrammed({job}, mo);
+  ASSERT_TRUE(r.jobs[0].completed);
+  EXPECT_EQ(r.makespan, r.jobs[0].finish_round);
+  EXPECT_NEAR(r.jobs[0].metrics.processor_average, 8.0, 1e-9);
+  EXPECT_LT(r.jobs[0].metrics.bound_ratio(), 3.0);
+}
+
+class MultiprogPolicies
+    : public ::testing::TestWithParam<AllocationPolicy> {};
+
+TEST_P(MultiprogPolicies, AllJobsCompleteAndMeetTheirBound) {
+  const auto parallel_a = dag::fib_dag(12);
+  const auto parallel_b = dag::wide(48, 6);
+  const auto serial = dag::chain(400);
+  Options job_opts;
+  const std::vector<JobSpec> jobs = {
+      {&parallel_a, 8, job_opts},
+      {&parallel_b, 8, job_opts},
+      {&serial, 1, job_opts},
+  };
+  MultiprogOptions mo;
+  mo.processors = 8;
+  mo.policy = GetParam();
+  mo.seed = 11;
+  const auto r = run_multiprogrammed(jobs, mo);
+  ASSERT_EQ(r.jobs.size(), 3u);
+  for (std::size_t i = 0; i < r.jobs.size(); ++i) {
+    ASSERT_TRUE(r.jobs[i].completed) << "job " << i;
+    EXPECT_TRUE(r.jobs[i].metrics.enabling_violation.empty());
+    // The paper's per-job guarantee: T = O(T1/PA + Tinf*P/PA) with PA the
+    // share this job actually received under this kernel discipline.
+    EXPECT_LT(r.jobs[i].metrics.bound_ratio(), 3.0)
+        << "job " << i << " under " << to_string(GetParam());
+  }
+  EXPECT_GT(r.utilization, 0.0);
+  EXPECT_LE(r.utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, MultiprogPolicies,
+                         ::testing::ValuesIn(kAllPolicies),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(Multiprog, CoschedulingWastesMachineOnSerialJob) {
+  // §5: "a job mix consisting of one parallel computation and one serial
+  // computation cannot be coscheduled efficiently." During the serial
+  // job's quanta, Q-1 of Q processors idle.
+  const auto parallel = dag::fib_dag(13);
+  const auto serial = dag::chain(2000);
+  Options job_opts;
+  const std::vector<JobSpec> jobs = {
+      {&parallel, 8, job_opts},
+      {&serial, 1, job_opts},
+  };
+  MultiprogOptions gang, pc;
+  gang.processors = pc.processors = 8;
+  gang.policy = AllocationPolicy::kCoschedule;
+  pc.policy = AllocationPolicy::kProcessControl;
+  const auto r_gang = run_multiprogrammed(jobs, gang);
+  const auto r_pc = run_multiprogrammed(jobs, pc);
+  ASSERT_TRUE(r_gang.jobs[0].completed && r_gang.jobs[1].completed);
+  ASSERT_TRUE(r_pc.jobs[0].completed && r_pc.jobs[1].completed);
+  // The serial job bounds the makespan for every policy (its chain runs
+  // one node per round regardless); the coscheduling waste shows in the
+  // *parallel* job, which stalls completely during the serial job's gang
+  // quanta. Under process control it overlaps the serial job instead.
+  EXPECT_GT(r_gang.jobs[0].finish_round,
+            r_pc.jobs[0].finish_round * 1.3);
+}
+
+TEST(Multiprog, ProcessControlReclaimsIdleShares) {
+  // Equipartition gives the serial job Q/2 processors it cannot use;
+  // process control caps it at its busy-process count.
+  const auto parallel = dag::fib_dag(13);
+  const auto serial = dag::chain(1200);
+  Options job_opts;
+  const std::vector<JobSpec> jobs = {
+      {&parallel, 8, job_opts},
+      {&serial, 8, job_opts},  // a "parallel" app with no parallelism
+  };
+  MultiprogOptions equi, pc;
+  equi.processors = pc.processors = 8;
+  equi.policy = AllocationPolicy::kEquipartition;
+  pc.policy = AllocationPolicy::kProcessControl;
+  const auto r_equi = run_multiprogrammed(jobs, equi);
+  const auto r_pc = run_multiprogrammed(jobs, pc);
+  ASSERT_TRUE(r_pc.jobs[0].completed && r_pc.jobs[1].completed);
+  // The parallel job finishes sooner under process control because the
+  // serial job's unused share is redistributed to it.
+  EXPECT_LT(r_pc.jobs[0].finish_round, r_equi.jobs[0].finish_round);
+}
+
+TEST(Multiprog, SpacePartitionHoldsShareAfterFinish) {
+  // A tiny job finishes early; its static share then idles, hurting the
+  // mix relative to equipartition.
+  const auto big = dag::fib_dag(13);
+  const auto tiny = dag::chain(10);
+  Options job_opts;
+  const std::vector<JobSpec> jobs = {
+      {&big, 8, job_opts},
+      {&tiny, 4, job_opts},
+  };
+  MultiprogOptions space, equi;
+  space.processors = equi.processors = 8;
+  space.policy = AllocationPolicy::kSpacePartition;
+  equi.policy = AllocationPolicy::kEquipartition;
+  const auto r_space = run_multiprogrammed(jobs, space);
+  const auto r_equi = run_multiprogrammed(jobs, equi);
+  ASSERT_TRUE(r_space.jobs[0].completed);
+  ASSERT_TRUE(r_equi.jobs[0].completed);
+  EXPECT_LT(r_equi.makespan, r_space.makespan);
+}
+
+TEST(Multiprog, GrantedSlotsNeverExceedCapacity) {
+  const auto a = dag::fib_dag(11);
+  const auto b = dag::grid_wavefront(20, 20);
+  Options job_opts;
+  for (const auto policy : kAllPolicies) {
+    MultiprogOptions mo;
+    mo.processors = 6;
+    mo.policy = policy;
+    const auto r = run_multiprogrammed(
+        {{&a, 6, job_opts}, {&b, 6, job_opts}}, mo);
+    EXPECT_LE(r.granted_slots, r.capacity_slots) << to_string(policy);
+  }
+}
+
+TEST(Multiprog, MidRunArrivalShrinksShare) {
+  // §1's scenario verbatim: a parallel computation starts alone on the
+  // whole machine; later a serial computation launches and takes one
+  // processor; when it terminates, the parallel computation resumes its
+  // use of all processors. The work stealer adapts throughout, and the
+  // parallel job still meets its bound w.r.t. its measured PA.
+  const auto parallel = dag::fib_dag(13);
+  const auto serial = dag::chain(300);
+  Options job_opts;
+  std::vector<JobSpec> jobs = {
+      {&parallel, 8, job_opts, /*arrival=*/0},
+      {&serial, 1, job_opts, /*arrival=*/50},
+  };
+  MultiprogOptions mo;
+  mo.processors = 8;
+  mo.policy = AllocationPolicy::kProcessControl;
+  const auto r = run_multiprogrammed(jobs, mo);
+  ASSERT_TRUE(r.jobs[0].completed && r.jobs[1].completed);
+  EXPECT_GT(r.jobs[1].finish_round, 50u);
+  EXPECT_EQ(r.jobs[1].response_rounds, r.jobs[1].finish_round - 50);
+  // The parallel job saw less than the full machine on average...
+  EXPECT_LT(r.jobs[0].metrics.processor_average, 8.0);
+  // ...but still within the bound for the PA it got.
+  EXPECT_LT(r.jobs[0].metrics.bound_ratio(), 3.0);
+}
+
+TEST(Multiprog, LateArrivalWaitsForLaunch) {
+  const auto a = dag::chain(20);
+  Options job_opts;
+  std::vector<JobSpec> jobs = {{&a, 1, job_opts, /*arrival=*/100}};
+  MultiprogOptions mo;
+  mo.processors = 2;
+  mo.policy = AllocationPolicy::kEquipartition;
+  const auto r = run_multiprogrammed(jobs, mo);
+  ASSERT_TRUE(r.jobs[0].completed);
+  EXPECT_EQ(r.jobs[0].finish_round, 120u);  // 100 waiting + 20 executing
+  EXPECT_EQ(r.jobs[0].response_rounds, 20u);
+}
+
+TEST(MultiprogDeath, SpacePartitionNeedsProcessorPerJob) {
+  const auto a = dag::chain(5);
+  const auto b = dag::chain(5);
+  const auto c = dag::chain(5);
+  Options job_opts;
+  MultiprogOptions mo;
+  mo.processors = 2;  // 3 jobs, 2 processors
+  mo.policy = AllocationPolicy::kSpacePartition;
+  EXPECT_DEATH(run_multiprogrammed(
+                   {{&a, 1, job_opts}, {&b, 1, job_opts}, {&c, 1, job_opts}},
+                   mo),
+               "space partitioning");
+}
+
+}  // namespace
+}  // namespace abp::sched

@@ -1,0 +1,199 @@
+// Tests for the potential-function machinery of §4.2: the potential never
+// increases and starts/ends at the right values; Lemma 6 (Top-Heavy
+// Deques); Lemma 7 (Balls and Weighted Bins, Monte Carlo); and the phase
+// accounting used for the Lemma 8 experiment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "dag/builders.hpp"
+#include "sched/potential.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+#include "support/rng.hpp"
+
+namespace abp::sched {
+namespace {
+
+TEST(NodePotential, Formula) {
+  EXPECT_DOUBLE_EQ(static_cast<double>(node_potential(1, false)), 9.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(node_potential(1, true)), 3.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(node_potential(3, false)), 729.0);
+  EXPECT_DOUBLE_EQ(static_cast<double>(node_potential(3, true)), 243.0);
+}
+
+TEST(NodePotential, AssignedIsOneThirdOfDequePotential) {
+  for (std::uint32_t w : {1u, 5u, 40u, 300u}) {
+    EXPECT_NEAR(static_cast<double>(node_potential(w, true) /
+                                    node_potential(w, false)),
+                1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(NodePotential, OutOfRangeAborts) {
+  EXPECT_DEATH(node_potential(0, false), "Tinf");
+  EXPECT_DEATH(node_potential(5000, false), "Tinf");
+}
+
+struct PotentialTrace {
+  std::vector<long double> totals;
+  long double min_top_fraction = 1.0L;
+  bool increased = false;
+};
+
+PotentialTrace trace_run(const dag::Dag& d, sim::Kernel& kernel,
+                         std::uint64_t seed) {
+  PotentialTrace trace;
+  Options opts;
+  opts.seed = seed;
+  opts.after_round = [&](const EngineView& view) {
+    const auto b = compute_potential(view);
+    if (!trace.totals.empty() && b.total > trace.totals.back() + 1e-6L)
+      trace.increased = true;
+    trace.totals.push_back(b.total);
+    if (b.min_top_fraction < trace.min_top_fraction)
+      trace.min_top_fraction = b.min_top_fraction;
+  };
+  const auto m = run_work_stealer(d, kernel, opts);
+  EXPECT_TRUE(m.completed);
+  return trace;
+}
+
+TEST(Potential, NeverIncreasesAndEndsAtZero) {
+  const auto d = dag::fib_dag(11);
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    sim::DedicatedKernel k(4);
+    const auto trace = trace_run(d, k, seed);
+    EXPECT_FALSE(trace.increased);
+    ASSERT_FALSE(trace.totals.empty());
+    EXPECT_EQ(trace.totals.back(), 0.0L);
+  }
+}
+
+TEST(Potential, InitialValueIsRootPotential) {
+  // Before any round the potential is 3^(2*Tinf - 1); after the first
+  // round the root has been executed, so the first recorded value is
+  // already below that.
+  const auto d = dag::fib_dag(9);
+  sim::DedicatedKernel k(2);
+  const auto trace = trace_run(d, k, 7);
+  const long double initial =
+      std::pow(3.0L, 2.0L * static_cast<long double>(
+                                d.critical_path_length()) - 1.0L);
+  ASSERT_FALSE(trace.totals.empty());
+  EXPECT_LT(trace.totals.front(), initial);
+}
+
+// Lemma 6: for every process with a non-empty deque, the top node holds at
+// least 3/4 of that process's potential.
+TEST(Potential, TopHeavyDequesLemma) {
+  const std::vector<std::function<dag::Dag()>> dags = {
+      [] { return dag::fib_dag(12); },
+      [] { return dag::wide(20, 4); },
+      [] { return dag::grid_wavefront(10, 10); },
+      [] { return dag::random_series_parallel(11, 800); },
+  };
+  for (const auto& build : dags) {
+    const auto d = build();
+    for (std::uint64_t seed : {1u, 5u}) {
+      sim::BenignKernel k(6, sim::periodic_profile(6, 4, 2, 4), seed);
+      const auto trace = trace_run(d, k, seed * 13);
+      EXPECT_GE(static_cast<double>(trace.min_top_fraction), 0.75 - 1e-9);
+    }
+  }
+}
+
+// Lemma 8 empirically: phases of >= P throws lose >= 1/4 of the potential
+// with probability > 1/4. We measure the success fraction over a run.
+TEST(Potential, PhasesLoseConstantFractionOften) {
+  const auto d = dag::fib_dag(14);
+  const std::size_t p = 8;
+  sim::DedicatedKernel k(p);
+  Options opts;
+  opts.seed = 3;
+  PhaseStats phases;
+  bool started = false;
+  std::uint64_t last_phase_throws = 0;
+  opts.after_round = [&](const EngineView& view) {
+    const auto b = compute_potential(view);
+    if (!started) {
+      phases.start(b.total);
+      started = true;
+      return;
+    }
+    if (view.throws >= last_phase_throws + p) {
+      phases.boundary(b.total);
+      last_phase_throws = view.throws;
+    }
+  };
+  const auto m = run_work_stealer(d, k, opts);
+  ASSERT_TRUE(m.completed);
+  ASSERT_GT(phases.phases(), 10u);
+  EXPECT_GT(phases.success_fraction(), 0.25);
+}
+
+TEST(PhaseStats, CountsSuccesses) {
+  PhaseStats s;
+  s.start(100.0L);
+  s.boundary(80.0L);   // dropped 20% -> not successful
+  s.boundary(50.0L);   // dropped 37.5% -> successful
+  s.boundary(50.0L);   // no drop -> not successful
+  s.boundary(0.0L);    // dropped 100% -> successful
+  s.boundary(0.0L);    // potential exhausted -> ignored
+  EXPECT_EQ(s.phases(), 4u);
+  EXPECT_EQ(s.successful(), 2u);
+  EXPECT_DOUBLE_EQ(s.success_fraction(), 0.5);
+}
+
+// Lemma 7 (Balls and Weighted Bins): throwing P balls u.a.r. into P
+// weighted bins hits at least beta*W total weight with failure probability
+// < 1/((1-beta)e).
+TEST(BallsAndWeightedBins, MonteCarloMatchesBound) {
+  Xoshiro256 rng(2718);
+  const std::size_t p = 16;
+  // Adversarial-ish weights: geometric (top-heavy, like deque potentials).
+  std::vector<double> weight(p);
+  double total = 0.0;
+  for (std::size_t i = 0; i < p; ++i) {
+    weight[i] = std::pow(0.5, static_cast<double>(i));
+    total += weight[i];
+  }
+  for (double beta : {0.25, 0.5, 0.75}) {
+    const double bound = 1.0 / ((1.0 - beta) * std::exp(1.0));
+    int failures = 0;
+    constexpr int kTrials = 20000;
+    for (int t = 0; t < kTrials; ++t) {
+      std::vector<bool> hit(p, false);
+      for (std::size_t b = 0; b < p; ++b)
+        hit[rng.below(p)] = true;
+      double got = 0.0;
+      for (std::size_t i = 0; i < p; ++i)
+        if (hit[i]) got += weight[i];
+      if (got < beta * total) ++failures;
+    }
+    const double failure_rate = failures / double(kTrials);
+    EXPECT_LT(failure_rate, bound + 0.01) << "beta=" << beta;
+  }
+}
+
+TEST(BallsAndWeightedBins, UniformWeightsRarelyFailAtQuarter) {
+  // With uniform weights and beta = 1/4 the failure probability is far
+  // below the lemma's bound; sanity-check the Monte Carlo harness.
+  Xoshiro256 rng(3141);
+  const std::size_t p = 32;
+  int failures = 0;
+  constexpr int kTrials = 5000;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<bool> hit(p, false);
+    for (std::size_t b = 0; b < p; ++b) hit[rng.below(p)] = true;
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < p; ++i) hits += hit[i];
+    if (hits < p / 4) ++failures;
+  }
+  EXPECT_LT(failures / double(kTrials), 0.01);
+}
+
+}  // namespace
+}  // namespace abp::potential_tests

@@ -1,0 +1,351 @@
+// Tests for the real (std::thread) Hood-style runtime: scheduler lifecycle,
+// TaskGroup fork-join, parallel algorithms, and correctness under every
+// deque policy x yield policy combination.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "runtime/algorithms.hpp"
+#include "runtime/background_load.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace abp::runtime {
+namespace {
+
+long serial_fib(int n) { return n < 2 ? n : serial_fib(n - 1) + serial_fib(n - 2); }
+
+void parallel_fib(Worker& w, int n, long& out) {
+  if (n < 12) {  // sequential cutoff
+    out = serial_fib(n);
+    return;
+  }
+  long a = 0, b = 0;
+  TaskGroup tg(w);
+  tg.spawn([&a, n](Worker& w2) { parallel_fib(w2, n - 1, a); });
+  parallel_fib(w, n - 2, b);
+  tg.wait();
+  out = a + b;
+}
+
+TEST(Scheduler, ConstructAndDestroyIdle) {
+  SchedulerOptions o;
+  o.num_workers = 3;
+  Scheduler s(o);
+  EXPECT_EQ(s.num_workers(), 3u);
+}
+
+TEST(Scheduler, ZeroWorkersResolvesToHardware) {
+  SchedulerOptions o;
+  o.num_workers = 0;
+  Scheduler s(o);
+  EXPECT_GE(s.num_workers(), 1u);
+}
+
+TEST(Scheduler, RunsRootClosure) {
+  SchedulerOptions o;
+  o.num_workers = 2;
+  Scheduler s(o);
+  int x = 0;
+  s.run([&](Worker&) { x = 42; });
+  EXPECT_EQ(x, 42);
+}
+
+TEST(Scheduler, SequentialRunsReuseWorkers) {
+  SchedulerOptions o;
+  o.num_workers = 3;
+  Scheduler s(o);
+  for (int i = 0; i < 20; ++i) {
+    int x = 0;
+    s.run([&](Worker&) { x = i; });
+    EXPECT_EQ(x, i);
+  }
+}
+
+TEST(Scheduler, RootSeesValidWorker) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  std::size_t id = 999;
+  s.run([&](Worker& w) {
+    id = w.id();
+    EXPECT_EQ(&w.scheduler(), &s);
+  });
+  EXPECT_LT(id, 4u);
+}
+
+TEST(TaskGroup, SpawnAndWaitSingleChild) {
+  SchedulerOptions o;
+  o.num_workers = 2;
+  Scheduler s(o);
+  int child_ran = 0;
+  s.run([&](Worker& w) {
+    TaskGroup tg(w);
+    tg.spawn([&](Worker&) { child_ran = 1; });
+    tg.wait();
+    EXPECT_EQ(tg.pending(), 0);
+  });
+  EXPECT_EQ(child_ran, 1);
+}
+
+TEST(TaskGroup, ManyFlatChildren) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  constexpr int kChildren = 500;
+  std::vector<std::atomic<int>> ran(kChildren);
+  for (auto& r : ran) r.store(0);
+  s.run([&](Worker& w) {
+    TaskGroup tg(w);
+    for (int i = 0; i < kChildren; ++i)
+      tg.spawn([&ran, i](Worker&) { ran[i].fetch_add(1); });
+    tg.wait();
+  });
+  for (int i = 0; i < kChildren; ++i) EXPECT_EQ(ran[i].load(), 1) << i;
+}
+
+TEST(TaskGroup, NestedGroups) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  std::atomic<int> count{0};
+  s.run([&](Worker& w) {
+    TaskGroup outer(w);
+    for (int i = 0; i < 8; ++i) {
+      outer.spawn([&count](Worker& w2) {
+        TaskGroup inner(w2);
+        for (int j = 0; j < 8; ++j)
+          inner.spawn([&count](Worker&) { count.fetch_add(1); });
+        inner.wait();
+      });
+    }
+    outer.wait();
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(Runtime, SingleWorkerRunsEverythingInline) {
+  SchedulerOptions o;
+  o.num_workers = 1;
+  Scheduler s(o);
+  long out = 0;
+  s.run([&](Worker& w) { parallel_fib(w, 18, out); });
+  EXPECT_EQ(out, serial_fib(18));
+  // One worker cannot steal from anyone.
+  EXPECT_EQ(s.total_stats().steals, 0u);
+}
+
+TEST(Runtime, SingleWorkerParallelAlgorithms) {
+  SchedulerOptions o;
+  o.num_workers = 1;
+  Scheduler s(o);
+  long long sum = 0;
+  s.run([&](Worker& w) {
+    sum = parallel_reduce<long long>(
+        w, 0, 10000, 64, 0, [](std::size_t i) { return (long long)i; },
+        [](long long a, long long b) { return a + b; });
+  });
+  EXPECT_EQ(sum, 10000LL * 9999 / 2);
+}
+
+TEST(Runtime, FibMatchesSerial) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  long out = 0;
+  s.run([&](Worker& w) { parallel_fib(w, 22, out); });
+  EXPECT_EQ(out, serial_fib(22));
+}
+
+struct PolicyCase {
+  DequePolicy deque;
+  YieldPolicy yield;
+};
+
+class RuntimePolicies : public ::testing::TestWithParam<PolicyCase> {};
+
+TEST_P(RuntimePolicies, FibCorrectUnderPolicy) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  o.deque = GetParam().deque;
+  o.yield = GetParam().yield;
+  o.sleep_us = 10;
+  Scheduler s(o);
+  long out = 0;
+  s.run([&](Worker& w) { parallel_fib(w, 20, out); });
+  EXPECT_EQ(out, serial_fib(20));
+  const auto st = s.total_stats();
+  EXPECT_GT(st.jobs_executed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RuntimePolicies,
+    ::testing::Values(PolicyCase{DequePolicy::kAbp, YieldPolicy::kNone},
+                      PolicyCase{DequePolicy::kAbp, YieldPolicy::kYield},
+                      PolicyCase{DequePolicy::kAbp, YieldPolicy::kSleep},
+                      PolicyCase{DequePolicy::kChaseLev, YieldPolicy::kYield},
+                      PolicyCase{DequePolicy::kChaseLev, YieldPolicy::kNone},
+                      PolicyCase{DequePolicy::kMutex, YieldPolicy::kYield},
+                      PolicyCase{DequePolicy::kMutex, YieldPolicy::kNone},
+                      PolicyCase{DequePolicy::kSpinlock, YieldPolicy::kYield},
+                      PolicyCase{DequePolicy::kSpinlock, YieldPolicy::kNone},
+                      PolicyCase{DequePolicy::kAbpGrowable,
+                                 YieldPolicy::kYield},
+                      PolicyCase{DequePolicy::kAbpGrowable,
+                                 YieldPolicy::kNone}),
+    [](const auto& info) {
+      std::string name = std::string(to_string(info.param.deque)) + "_" +
+                         to_string(info.param.yield);
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  constexpr std::size_t kN = 100000;
+  std::vector<std::atomic<std::uint8_t>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  s.run([&](Worker& w) {
+    parallel_for(w, 0, kN, 512,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1u) << i;
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  SchedulerOptions o;
+  o.num_workers = 2;
+  Scheduler s(o);
+  int count = 0;
+  s.run([&](Worker& w) {
+    parallel_for(w, 5, 5, 16, [&](std::size_t) { ++count; });
+    parallel_for(w, 0, 1, 16, [&](std::size_t) { ++count; });
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  constexpr std::size_t kN = 200000;
+  long long sum = -1;
+  s.run([&](Worker& w) {
+    sum = parallel_reduce<long long>(
+        w, 0, kN, 256, 0, [](std::size_t i) { return (long long)i; },
+        [](long long a, long long b) { return a + b; });
+  });
+  EXPECT_EQ(sum, (long long)kN * (kN - 1) / 2);
+}
+
+TEST(ParallelReduce, NonCommutativeSafeWithAssociativity) {
+  // String-length style reduction: max of prefix maxima (associative).
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  std::vector<int> data(5000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<int>((i * 2654435761u) % 10007);
+  int expected = *std::max_element(data.begin(), data.end());
+  int got = -1;
+  s.run([&](Worker& w) {
+    got = parallel_reduce<int>(
+        w, 0, data.size(), 64, -1, [&](std::size_t i) { return data[i]; },
+        [](int a, int b) { return a > b ? a : b; });
+  });
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ParallelInvoke, RunsBoth) {
+  SchedulerOptions o;
+  o.num_workers = 2;
+  Scheduler s(o);
+  int a = 0, b = 0;
+  s.run([&](Worker& w) {
+    parallel_invoke(w, [&](Worker&) { a = 1; }, [&](Worker&) { b = 2; });
+  });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(Stats, CountJobsAndSteals) {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  Scheduler s(o);
+  long out = 0;
+  s.run([&](Worker& w) { parallel_fib(w, 20, out); });
+  const auto st = s.total_stats();
+  EXPECT_GT(st.jobs_executed, 50u);
+  EXPECT_GE(st.steal_attempts, st.steals);
+  s.reset_stats();
+  EXPECT_EQ(s.total_stats().jobs_executed, 0u);
+}
+
+TEST(Overflow, TinyAbpDequeSerializesInline) {
+  SchedulerOptions o;
+  o.num_workers = 2;
+  o.deque = DequePolicy::kAbp;
+  o.deque_capacity = 4;
+  Scheduler s(o);
+  std::atomic<int> count{0};
+  s.run([&](Worker& w) {
+    TaskGroup tg(w);
+    for (int i = 0; i < 100; ++i)
+      tg.spawn([&count](Worker&) { count.fetch_add(1); });
+    tg.wait();
+  });
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_GT(s.total_stats().overflow_inline_runs, 0u);
+}
+
+TEST(BackgroundLoadTest, StartStop) {
+  BackgroundLoad load;
+  EXPECT_EQ(load.active(), 0u);
+  load.start(2, 0.5);
+  EXPECT_EQ(load.active(), 2u);
+  load.stop();
+  EXPECT_EQ(load.active(), 0u);
+}
+
+TEST(Runtime, WorksUnderBackgroundLoad) {
+  BackgroundLoad load;
+  load.start(2, 0.8);
+  SchedulerOptions o;
+  o.num_workers = 4;
+  o.yield = YieldPolicy::kYield;
+  Scheduler s(o);
+  long out = 0;
+  s.run([&](Worker& w) { parallel_fib(w, 20, out); });
+  load.stop();
+  EXPECT_EQ(out, serial_fib(20));
+}
+
+TEST(JobPoolTest, RecyclesJobs) {
+  JobPool pool;
+  Job* a = pool.alloc();
+  Job* b = pool.alloc();
+  EXPECT_NE(a, b);
+  pool.free(a);
+  Job* c = pool.alloc();
+  EXPECT_EQ(c, a);  // LIFO freelist
+}
+
+TEST(OptionNames, Stable) {
+  EXPECT_STREQ(to_string(DequePolicy::kAbp), "abp");
+  EXPECT_STREQ(to_string(DequePolicy::kChaseLev), "chase-lev");
+  EXPECT_STREQ(to_string(DequePolicy::kMutex), "mutex");
+  EXPECT_STREQ(to_string(DequePolicy::kSpinlock), "spinlock");
+  EXPECT_STREQ(to_string(DequePolicy::kAbpGrowable), "abp-growable");
+  EXPECT_STREQ(to_string(YieldPolicy::kNone), "none");
+  EXPECT_STREQ(to_string(YieldPolicy::kYield), "yield");
+  EXPECT_STREQ(to_string(YieldPolicy::kSleep), "sleep");
+}
+
+}  // namespace
+}  // namespace abp::runtime

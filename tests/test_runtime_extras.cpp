@@ -1,0 +1,256 @@
+// Tests for the runtime extensions: exception propagation through
+// TaskGroup and Scheduler::run, futures, and the extended parallel
+// algorithms (transform / inclusive scan / sort).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/algorithms.hpp"
+#include "runtime/future.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/rng.hpp"
+
+namespace abp::runtime {
+namespace {
+
+SchedulerOptions opts4() {
+  SchedulerOptions o;
+  o.num_workers = 4;
+  return o;
+}
+
+// ---- exceptions -------------------------------------------------------------
+
+TEST(Exceptions, RootExceptionReachesCaller) {
+  Scheduler s(opts4());
+  EXPECT_THROW(
+      s.run([](Worker&) { throw std::runtime_error("root boom"); }),
+      std::runtime_error);
+  // The scheduler remains usable afterwards.
+  int x = 0;
+  s.run([&](Worker&) { x = 1; });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Exceptions, ChildExceptionRethrownAtWait) {
+  Scheduler s(opts4());
+  bool caught = false;
+  s.run([&](Worker& w) {
+    TaskGroup tg(w);
+    tg.spawn([](Worker&) { throw std::logic_error("child boom"); });
+    try {
+      tg.wait();
+    } catch (const std::logic_error& e) {
+      caught = std::string(e.what()) == "child boom";
+    }
+  });
+  EXPECT_TRUE(caught);
+}
+
+TEST(Exceptions, FirstOfManyChildExceptionsWins) {
+  Scheduler s(opts4());
+  int caught = 0;
+  s.run([&](Worker& w) {
+    TaskGroup tg(w);
+    for (int i = 0; i < 16; ++i)
+      tg.spawn([](Worker&) { throw std::runtime_error("boom"); });
+    try {
+      tg.wait();
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+  });
+  EXPECT_EQ(caught, 1);  // exactly one rethrow; all children still drained
+}
+
+TEST(Exceptions, SiblingsStillRunAfterOneThrows) {
+  Scheduler s(opts4());
+  std::atomic<int> ran{0};
+  s.run([&](Worker& w) {
+    TaskGroup tg(w);
+    tg.spawn([](Worker&) { throw 42; });
+    for (int i = 0; i < 8; ++i)
+      tg.spawn([&](Worker&) { ran.fetch_add(1); });
+    EXPECT_THROW(tg.wait(), int);
+  });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(Exceptions, DestructorDrainsWithoutRethrow) {
+  Scheduler s(opts4());
+  std::atomic<int> ran{0};
+  s.run([&](Worker& w) {
+    {
+      TaskGroup tg(w);
+      tg.spawn([&](Worker&) {
+        ran.fetch_add(1);
+        throw std::runtime_error("ignored by dtor");
+      });
+      // No wait(): the destructor must drain and swallow.
+    }
+  });
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Exceptions, ParallelForBodyThrowPropagates) {
+  Scheduler s(opts4());
+  EXPECT_THROW(s.run([](Worker& w) {
+    parallel_for(w, 0, 10000, 64, [](std::size_t i) {
+      if (i == 7777) throw std::out_of_range("index");
+    });
+  }),
+               std::out_of_range);
+}
+
+// ---- futures ---------------------------------------------------------------
+
+TEST(FutureTest, DeliversValue) {
+  Scheduler s(opts4());
+  s.run([](Worker& w) {
+    Future<int> f(w, [](Worker&) { return 41 + 1; });
+    EXPECT_EQ(f.get(), 42);
+    EXPECT_TRUE(f.ready());
+  });
+}
+
+TEST(FutureTest, GetIsIdempotent) {
+  Scheduler s(opts4());
+  s.run([](Worker& w) {
+    Future<std::vector<int>> f(w, [](Worker&) {
+      return std::vector<int>{1, 2, 3};
+    });
+    EXPECT_EQ(f.get().size(), 3u);
+    EXPECT_EQ(f.get()[2], 3);
+  });
+}
+
+TEST(FutureTest, VoidFuture) {
+  Scheduler s(opts4());
+  int side_effect = 0;
+  s.run([&](Worker& w) {
+    Future<void> f(w, [&](Worker&) { side_effect = 5; });
+    f.get();
+  });
+  EXPECT_EQ(side_effect, 5);
+}
+
+TEST(FutureTest, ExceptionRethrownAtGet) {
+  Scheduler s(opts4());
+  s.run([](Worker& w) {
+    Future<int> f(w, [](Worker&) -> int { throw std::runtime_error("f"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+  });
+}
+
+TEST(FutureTest, ManyConcurrentFutures) {
+  Scheduler s(opts4());
+  s.run([](Worker& w) {
+    std::vector<std::unique_ptr<Future<int>>> futs;
+    for (int i = 0; i < 32; ++i)
+      futs.push_back(std::make_unique<Future<int>>(
+          w, [i](Worker&) { return i * i; }));
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(futs[i]->get(), i * i);
+  });
+}
+
+// ---- algorithms ------------------------------------------------------------
+
+TEST(ParallelTransform, MapsEveryElement) {
+  Scheduler s(opts4());
+  std::vector<int> in(10000), out(10000);
+  std::iota(in.begin(), in.end(), 0);
+  s.run([&](Worker& w) {
+    parallel_transform(w, in.data(), out.data(), in.size(), 128,
+                       [](int x) { return 2 * x + 1; });
+  });
+  for (std::size_t i = 0; i < in.size(); ++i)
+    ASSERT_EQ(out[i], 2 * (int)i + 1);
+}
+
+TEST(ParallelScan, MatchesSerialPrefixSum) {
+  Scheduler s(opts4());
+  for (std::size_t n : {0u, 1u, 5u, 100u, 4097u, 100000u}) {
+    std::vector<long long> data(n), expect(n);
+    Xoshiro256 rng(n + 1);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = static_cast<long long>(rng.below(1000)) - 500;
+    expect = data;
+    std::partial_sum(expect.begin(), expect.end(), expect.begin());
+    s.run([&](Worker& w) {
+      parallel_inclusive_scan(w, data.data(), n, 512,
+                              [](long long a, long long b) { return a + b; });
+    });
+    EXPECT_EQ(data, expect) << "n=" << n;
+  }
+}
+
+TEST(ParallelScan, NonCommutativeCombine) {
+  // String-concatenation-like combine (associative, not commutative),
+  // modeled as affine function composition: f(x) = a*x + b.
+  struct Affine {
+    long long a = 1, b = 0;
+    bool operator==(const Affine&) const = default;
+  };
+  auto compose = [](const Affine& f, const Affine& g) {
+    return Affine{f.a * g.a, g.a * f.b + g.b};
+  };
+  Scheduler s(opts4());
+  std::vector<Affine> data(3000), expect;
+  Xoshiro256 rng(9);
+  for (auto& f : data) f = Affine{(long long)rng.range(1, 3),
+                                  (long long)rng.below(5)};
+  expect = data;
+  for (std::size_t i = 1; i < expect.size(); ++i)
+    expect[i] = compose(expect[i - 1], expect[i]);
+  s.run([&](Worker& w) {
+    parallel_inclusive_scan(w, data.data(), data.size(), 64, compose);
+  });
+  EXPECT_EQ(data, expect);
+}
+
+TEST(ParallelSort, SortsRandomData) {
+  Scheduler s(opts4());
+  for (std::size_t n : {0u, 1u, 2u, 1000u, 50000u}) {
+    std::vector<std::uint64_t> data(n);
+    Xoshiro256 rng(n + 7);
+    for (auto& x : data) x = rng.below(1u << 20);
+    auto expect = data;
+    std::sort(expect.begin(), expect.end());
+    s.run([&](Worker& w) { parallel_sort(w, data.data(), n, 256); });
+    EXPECT_EQ(data, expect) << "n=" << n;
+  }
+}
+
+TEST(ParallelSort, CustomComparator) {
+  Scheduler s(opts4());
+  std::vector<int> data(20000);
+  Xoshiro256 rng(77);
+  for (auto& x : data) x = static_cast<int>(rng.below(1000));
+  auto expect = data;
+  std::sort(expect.begin(), expect.end(), std::greater<int>());
+  s.run([&](Worker& w) {
+    parallel_sort(w, data.data(), data.size(), 128, std::greater<int>());
+  });
+  EXPECT_EQ(data, expect);
+}
+
+TEST(ParallelSort, AlreadySortedAndReversed) {
+  Scheduler s(opts4());
+  std::vector<int> asc(10000), desc(10000);
+  std::iota(asc.begin(), asc.end(), 0);
+  for (std::size_t i = 0; i < desc.size(); ++i)
+    desc[i] = static_cast<int>(desc.size() - i);
+  s.run([&](Worker& w) {
+    parallel_sort(w, asc.data(), asc.size(), 64);
+    parallel_sort(w, desc.data(), desc.size(), 64);
+  });
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+  EXPECT_TRUE(std::is_sorted(desc.begin(), desc.end()));
+}
+
+}  // namespace
+}  // namespace abp::runtime

@@ -1,0 +1,222 @@
+// Correctness tests for the simulated non-blocking work stealer (Figure 3
+// under the round-based kernel model): every node executes exactly once,
+// dependencies are respected, the enabling tree is consistent, and the
+// structural lemma holds throughout — across dag families, kernels, yield
+// disciplines and spawn orders.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "dag/builders.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+
+namespace abp::sched {
+namespace {
+
+using sim::YieldKind;
+
+struct Case {
+  std::string name;
+  std::function<dag::Dag()> build;
+  std::function<std::unique_ptr<sim::Kernel>()> kernel;
+  YieldKind yield;
+  SpawnOrder order;
+};
+
+class StealerCorrectness : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StealerCorrectness, ExecutesDagCompletely) {
+  const auto& param = GetParam();
+  const auto d = param.build();
+  auto kernel = param.kernel();
+  Options opts;
+  opts.yield = param.yield;
+  opts.spawn_order = param.order;
+  opts.seed = 1234;
+  opts.keep_record = true;
+  opts.check_structural_lemma = true;
+  const auto m = run_work_stealer(d, *kernel, opts);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.executed_nodes, d.num_nodes());
+  EXPECT_TRUE(m.structural_violation.empty()) << m.structural_violation;
+  EXPECT_TRUE(m.enabling_violation.empty()) << m.enabling_violation;
+  EXPECT_TRUE(m.record.validate(d).empty()) << m.record.validate(d);
+  EXPECT_EQ(m.record.executed_nodes(), d.num_nodes());
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  const std::vector<
+      std::pair<std::string, std::function<dag::Dag()>>>
+      dags = {
+          {"fig1", [] { return dag::figure1(); }},
+          {"chain40", [] { return dag::chain(40); }},
+          {"fib10", [] { return dag::fib_dag(10); }},
+          {"fjt4", [] { return dag::fork_join_tree(4, 2); }},
+          {"wide24", [] { return dag::wide(24, 3); }},
+          {"grid12x7", [] { return dag::grid_wavefront(12, 7); }},
+          {"sp600", [] { return dag::random_series_parallel(4, 600); }},
+          {"imb8", [] { return dag::imbalanced_tree(8, 2); }},
+      };
+  const std::vector<std::pair<
+      std::string, std::function<std::unique_ptr<sim::Kernel>()>>>
+      kernels = {
+          {"ded1", [] { return std::make_unique<sim::DedicatedKernel>(1); }},
+          {"ded4", [] { return std::make_unique<sim::DedicatedKernel>(4); }},
+          {"ben6",
+           [] {
+             return std::make_unique<sim::BenignKernel>(
+                 6, sim::periodic_profile(6, 4, 2, 4), 17);
+           }},
+          {"obl6",
+           [] {
+             return std::make_unique<sim::ObliviousKernel>(
+                 6, sim::bursty_profile(6, 5, 12), 23);
+           }},
+          {"fav4",
+           [] {
+             return std::make_unique<sim::FavorBusyKernel>(
+                 4, sim::constant_profile(2), 29);
+           }},
+          {"starve4",
+           [] {
+             return std::make_unique<sim::StarveBusyKernel>(
+                 4, sim::constant_profile(2), 31);
+           }},
+      };
+  for (const auto& [dname, dbuild] : dags) {
+    for (const auto& [kname, kbuild] : kernels) {
+      // yieldToAll guarantees progress even against the starver; the other
+      // kernels are paired with the yield their theorem prescribes plus a
+      // second discipline for coverage.
+      std::vector<YieldKind> yields;
+      if (kname == "starve4") {
+        yields = {YieldKind::kToAll};
+      } else if (kname == "obl6") {
+        yields = {YieldKind::kToRandom, YieldKind::kToAll};
+      } else {
+        yields = {YieldKind::kNone, YieldKind::kToRandom};
+      }
+      for (YieldKind y : yields) {
+        for (SpawnOrder order : {SpawnOrder::kChild, SpawnOrder::kParent}) {
+          Case c;
+          c.name = dname + "_" + kname + "_" + sim::to_string(y) + "_" +
+                   to_string(order);
+          for (char& ch : c.name)
+            if (ch == '-') ch = '_';
+          c.build = dbuild;
+          c.kernel = kbuild;
+          c.yield = y;
+          c.order = order;
+          cases.push_back(std::move(c));
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StealerCorrectness,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Stealer, DeterministicForFixedSeed) {
+  const auto d = dag::fib_dag(12);
+  Options opts;
+  opts.seed = 99;
+  sim::BenignKernel k1(4, sim::constant_profile(3), 5);
+  sim::BenignKernel k2(4, sim::constant_profile(3), 5);
+  const auto a = run_work_stealer(d, k1, opts);
+  const auto b = run_work_stealer(d, k2, opts);
+  EXPECT_EQ(a.length, b.length);
+  EXPECT_EQ(a.steal_attempts, b.steal_attempts);
+  EXPECT_EQ(a.successful_steals, b.successful_steals);
+}
+
+TEST(Stealer, DifferentSeedsUsuallyDiffer) {
+  const auto d = dag::fib_dag(12);
+  sim::DedicatedKernel k(8);
+  Options a_opts, b_opts;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  const auto a = run_work_stealer(d, k, a_opts);
+  const auto b = run_work_stealer(d, k, b_opts);
+  EXPECT_TRUE(a.steal_attempts != b.steal_attempts || a.length != b.length);
+}
+
+TEST(Stealer, SingleProcessNeverSteals) {
+  const auto d = dag::fib_dag(10);
+  sim::DedicatedKernel k(1);
+  const auto m = run_work_stealer(d, k, {});
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.successful_steals, 0u);
+  EXPECT_EQ(m.length, d.num_nodes());  // one node per round, no idling
+  EXPECT_DOUBLE_EQ(m.processor_average, 1.0);
+}
+
+TEST(Stealer, SerialChainGivesNoParallelism) {
+  const auto d = dag::chain(50);
+  sim::DedicatedKernel k(8);
+  const auto m = run_work_stealer(d, k, {});
+  ASSERT_TRUE(m.completed);
+  // Exactly one node is ready at any time; length is T1 regardless of P.
+  EXPECT_EQ(m.length, 50u);
+  EXPECT_EQ(m.successful_steals, 0u);
+}
+
+TEST(Stealer, MaxRoundsStopsStarvedRun) {
+  const auto d = dag::fib_dag(8);
+  sim::StarveBusyKernel k(4, sim::constant_profile(2), 3);
+  Options opts;
+  opts.yield = YieldKind::kNone;
+  opts.max_rounds = 5000;
+  const auto m = run_work_stealer(d, k, opts);
+  EXPECT_FALSE(m.completed);
+  EXPECT_EQ(m.length, 5000u);
+  EXPECT_LT(m.executed_nodes, d.num_nodes());
+}
+
+TEST(Stealer, CountsYieldsForThieves) {
+  const auto d = dag::fib_dag(10);
+  sim::DedicatedKernel k(4);
+  Options opts;
+  opts.yield = YieldKind::kToRandom;
+  const auto m = run_work_stealer(d, k, opts);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.yields, m.steal_attempts);  // one yield before every attempt
+}
+
+TEST(Stealer, StealAttemptsMatchIdleTokens) {
+  const auto d = dag::fib_dag(10);
+  sim::DedicatedKernel k(4);
+  Options opts;
+  opts.keep_record = true;
+  const auto m = run_work_stealer(d, k, opts);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.record.idle_tokens(), m.steal_attempts);
+}
+
+TEST(Stealer, SpawnOrderChangesScheduleNotResult) {
+  const auto d = dag::fib_dag(11);
+  Options child_opts, parent_opts;
+  child_opts.spawn_order = SpawnOrder::kChild;
+  parent_opts.spawn_order = SpawnOrder::kParent;
+  sim::DedicatedKernel k1(4), k2(4);
+  const auto a = run_work_stealer(d, k1, child_opts);
+  const auto b = run_work_stealer(d, k2, parent_opts);
+  ASSERT_TRUE(a.completed && b.completed);
+  EXPECT_EQ(a.executed_nodes, b.executed_nodes);
+}
+
+TEST(Stealer, InvalidDagAborts) {
+  dag::Dag d;  // empty
+  sim::DedicatedKernel k(2);
+  EXPECT_DEATH(run_work_stealer(d, k, {}), "structural");
+}
+
+}  // namespace
+}  // namespace abp::sched

@@ -1,0 +1,175 @@
+// Tests for utilization profiles and kernel adversaries (§2, §4.4).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/kernel.hpp"
+#include "sim/profile.hpp"
+
+namespace abp::sim {
+namespace {
+
+std::vector<ProcessView> idle_views(std::size_t p) {
+  return std::vector<ProcessView>(p);
+}
+
+TEST(Profiles, Constant) {
+  auto f = constant_profile(5);
+  for (Round r = 1; r <= 10; ++r) EXPECT_EQ(f(r), 5u);
+}
+
+TEST(Profiles, Periodic) {
+  auto f = periodic_profile(8, 3, 2, 2);
+  // rounds 1..3 -> 8, rounds 4..5 -> 2, then repeats
+  EXPECT_EQ(f(1), 8u);
+  EXPECT_EQ(f(3), 8u);
+  EXPECT_EQ(f(4), 2u);
+  EXPECT_EQ(f(5), 2u);
+  EXPECT_EQ(f(6), 8u);
+  EXPECT_EQ(f(10), 2u);
+}
+
+TEST(Profiles, Bursty) {
+  auto f = bursty_profile(16, 4, 10);
+  for (Round r = 1; r <= 4; ++r) EXPECT_EQ(f(r), 16u);
+  for (Round r = 5; r <= 10; ++r) EXPECT_EQ(f(r), 1u);
+  EXPECT_EQ(f(11), 16u);
+}
+
+TEST(Profiles, RampDown) {
+  auto f = ramp_down_profile(4, 10, 1);
+  for (Round r = 1; r <= 10; ++r) EXPECT_EQ(f(r), 4u);
+  for (Round r = 11; r <= 20; ++r) EXPECT_EQ(f(r), 3u);
+  for (Round r = 21; r <= 30; ++r) EXPECT_EQ(f(r), 2u);
+  for (Round r = 31; r <= 100; ++r) EXPECT_EQ(f(r), 1u);
+}
+
+TEST(Profiles, Theorem1Phases) {
+  const std::size_t p = 6;
+  const std::uint64_t k = 2, tinf = 10;
+  auto f = theorem1_profile(p, k, tinf);
+  for (Round r = 1; r <= k * tinf; ++r) EXPECT_EQ(f(r), 0u);
+  for (Round r = k * tinf + 1; r <= (k + 1) * tinf; ++r) EXPECT_EQ(f(r), p);
+  for (Round r = (k + 1) * tinf + 1; r <= (k + 3) * tinf; ++r)
+    EXPECT_EQ(f(r), 1u);
+}
+
+TEST(Profiles, Theorem1KZeroHasNoStarvationPhase) {
+  auto f = theorem1_profile(4, 0, 5);
+  EXPECT_EQ(f(1), 4u);
+  EXPECT_EQ(f(5), 4u);
+  EXPECT_EQ(f(6), 1u);
+}
+
+TEST(DedicatedKernel, SchedulesEveryoneEveryRound) {
+  DedicatedKernel k(4);
+  EXPECT_EQ(k.num_processes(), 4u);
+  const auto views = idle_views(4);
+  for (Round r = 1; r <= 5; ++r) {
+    const auto s = k.schedule(r, views);
+    EXPECT_EQ(s.size(), 4u);
+    std::set<ProcId> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 4u);
+  }
+}
+
+TEST(BenignKernel, HonoursProfileCountAndDistinctness) {
+  BenignKernel k(8, constant_profile(3), 42);
+  const auto views = idle_views(8);
+  for (Round r = 1; r <= 200; ++r) {
+    const auto s = k.schedule(r, views);
+    ASSERT_EQ(s.size(), 3u);
+    std::set<ProcId> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    for (ProcId q : s) EXPECT_LT(q, 8u);
+  }
+}
+
+TEST(BenignKernel, ClampsCountToP) {
+  BenignKernel k(4, constant_profile(100), 1);
+  EXPECT_EQ(k.schedule(1, idle_views(4)).size(), 4u);
+}
+
+TEST(BenignKernel, ChoicesAreUniform) {
+  BenignKernel k(6, constant_profile(2), 7);
+  const auto views = idle_views(6);
+  std::vector<int> counts(6, 0);
+  constexpr int kRounds = 30000;
+  for (Round r = 1; r <= kRounds; ++r)
+    for (ProcId q : k.schedule(r, views)) ++counts[q];
+  for (int c : counts)
+    EXPECT_NEAR(c / double(kRounds), 2.0 / 6.0, 0.02);
+}
+
+TEST(ObliviousKernel, DeterministicAndIgnoresView) {
+  ObliviousKernel k1(8, periodic_profile(8, 5, 2, 5), 9);
+  ObliviousKernel k2(8, periodic_profile(8, 5, 2, 5), 9);
+  auto busy = idle_views(8);
+  for (auto& v : busy) v.has_assigned_node = true;
+  for (Round r = 1; r <= 100; ++r)
+    EXPECT_EQ(k1.schedule(r, idle_views(8)), k2.schedule(r, busy));
+}
+
+TEST(ObliviousKernel, WindowCoversAllProcessesOverTime) {
+  ObliviousKernel k(5, constant_profile(2), 3);
+  std::set<ProcId> covered;
+  for (Round r = 1; r <= 200; ++r)
+    for (ProcId q : k.schedule(r, idle_views(5))) covered.insert(q);
+  EXPECT_EQ(covered.size(), 5u);
+}
+
+TEST(ExplicitKernel, ReplaysAndCycles) {
+  ExplicitKernel k(3, {{0, 1}, {2}, {}});
+  const auto views = idle_views(3);
+  EXPECT_EQ(k.schedule(1, views), (std::vector<ProcId>{0, 1}));
+  EXPECT_EQ(k.schedule(2, views), (std::vector<ProcId>{2}));
+  EXPECT_TRUE(k.schedule(3, views).empty());
+  EXPECT_EQ(k.schedule(4, views), (std::vector<ProcId>{0, 1}));
+}
+
+TEST(StarveBusyKernel, PrefersWorklessProcesses) {
+  StarveBusyKernel k(4, constant_profile(2), 5);
+  std::vector<ProcessView> views(4);
+  views[1].has_assigned_node = true;
+  views[3].deque_size = 7;
+  for (Round r = 1; r <= 50; ++r) {
+    const auto s = k.schedule(r, views);
+    ASSERT_EQ(s.size(), 2u);
+    std::set<ProcId> chosen(s.begin(), s.end());
+    EXPECT_TRUE(chosen.count(0));
+    EXPECT_TRUE(chosen.count(2));
+  }
+}
+
+TEST(StarveBusyKernel, SchedulesBusyOnlyWhenForced) {
+  StarveBusyKernel k(2, constant_profile(2), 5);
+  std::vector<ProcessView> views(2);
+  views[0].has_assigned_node = true;
+  const auto s = k.schedule(1, views);
+  EXPECT_EQ(s.size(), 2u);  // both scheduled: count exceeds workless pool
+}
+
+TEST(FavorBusyKernel, PrefersBusyProcesses) {
+  FavorBusyKernel k(4, constant_profile(2), 5);
+  std::vector<ProcessView> views(4);
+  views[1].has_assigned_node = true;
+  views[2].deque_size = 3;
+  for (Round r = 1; r <= 50; ++r) {
+    const auto s = k.schedule(r, views);
+    ASSERT_EQ(s.size(), 2u);
+    std::set<ProcId> chosen(s.begin(), s.end());
+    EXPECT_TRUE(chosen.count(1));
+    EXPECT_TRUE(chosen.count(2));
+  }
+}
+
+TEST(KernelNames, AreStable) {
+  EXPECT_STREQ(DedicatedKernel(1).name(), "dedicated");
+  EXPECT_STREQ(BenignKernel(1, constant_profile(1), 0).name(), "benign");
+  EXPECT_STREQ(ObliviousKernel(1, constant_profile(1), 0).name(),
+               "oblivious");
+}
+
+}  // namespace
+}  // namespace abp::sim

@@ -1,0 +1,245 @@
+// Tests for execution records, the offline greedy / Brent schedulers
+// (Theorem 2), and the Theorem 1 lower-bound construction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "dag/builders.hpp"
+#include "sim/offline.hpp"
+#include "sim/profile.hpp"
+
+namespace abp::sim {
+namespace {
+
+// ---- ExecutionRecord ---------------------------------------------------------
+
+TEST(ExecutionRecord, Aggregates) {
+  ExecutionRecord r(true);
+  r.begin_round(3);
+  r.record_execute(0, 0);
+  r.record_idle(1);
+  r.record_execute(2, 1);
+  r.begin_round(1);
+  r.record_execute(0, 2);
+  EXPECT_EQ(r.length(), 2u);
+  EXPECT_EQ(r.total_scheduled(), 4u);
+  EXPECT_EQ(r.executed_nodes(), 3u);
+  EXPECT_EQ(r.idle_tokens(), 1u);
+  EXPECT_DOUBLE_EQ(r.processor_average(), 2.0);
+}
+
+TEST(ExecutionRecord, ValidateAcceptsSerialChain) {
+  const auto d = dag::chain(3);
+  ExecutionRecord r(true);
+  r.begin_round(1);
+  r.record_execute(0, 0);
+  r.begin_round(1);
+  r.record_execute(0, 1);
+  r.begin_round(1);
+  r.record_execute(0, 2);
+  EXPECT_TRUE(r.validate(d).empty()) << r.validate(d);
+}
+
+TEST(ExecutionRecord, ValidateRejectsOutOfOrder) {
+  const auto d = dag::chain(2);
+  ExecutionRecord r(true);
+  r.begin_round(2);
+  r.record_execute(0, 1);
+  r.record_execute(1, 0);
+  EXPECT_NE(r.validate(d).find("predecessor"), std::string::npos);
+}
+
+TEST(ExecutionRecord, ValidateRejectsDoubleExecution) {
+  const auto d = dag::chain(2);
+  ExecutionRecord r(true);
+  r.begin_round(3);
+  r.record_execute(0, 0);
+  r.record_execute(1, 1);
+  r.record_execute(2, 1);
+  EXPECT_NE(r.validate(d).find("twice"), std::string::npos);
+}
+
+TEST(ExecutionRecord, ValidateRejectsIncomplete) {
+  const auto d = dag::chain(2);
+  ExecutionRecord r(true);
+  r.begin_round(1);
+  r.record_execute(0, 0);
+  EXPECT_NE(r.validate(d).find("every node"), std::string::npos);
+}
+
+TEST(ExecutionRecord, WithoutActionsValidateRefuses) {
+  const auto d = dag::chain(1);
+  ExecutionRecord r(false);
+  r.begin_round(1);
+  r.record_execute(0, 0);
+  EXPECT_FALSE(r.validate(d).empty());
+  EXPECT_TRUE(r.actions().empty());
+}
+
+// ---- greedy schedules (Theorem 2) -------------------------------------------
+
+TEST(Greedy, SerialChainTakesExactlyT1Rounds) {
+  const auto d = dag::chain(20);
+  const auto r = greedy_schedule(d, 4, constant_profile(4));
+  EXPECT_EQ(r.length, 20u);
+}
+
+TEST(Greedy, DedicatedExecutionIsValid) {
+  const auto d = dag::fib_dag(10);
+  OfflineOptions opts;
+  opts.keep_record = true;
+  const auto r = greedy_schedule(d, 4, constant_profile(4), opts);
+  EXPECT_TRUE(r.record.validate(d).empty()) << r.record.validate(d);
+}
+
+TEST(Greedy, LifoOrderAlsoValid) {
+  const auto d = dag::fib_dag(9);
+  OfflineOptions opts;
+  opts.keep_record = true;
+  opts.order = OfflineOptions::Order::kLifo;
+  const auto r = greedy_schedule(d, 3, constant_profile(3), opts);
+  EXPECT_TRUE(r.record.validate(d).empty());
+}
+
+TEST(Greedy, RespectsWorkLowerBound) {
+  const auto d = dag::fib_dag(12);
+  const auto r = greedy_schedule(d, 8, constant_profile(8));
+  EXPECT_GE(static_cast<double>(r.length) + 1e-9, r.lower_bound_work);
+}
+
+struct GreedyCase {
+  std::string name;
+  std::function<dag::Dag()> build;
+  std::size_t p;
+  std::function<UtilizationProfile()> profile;
+};
+
+class GreedyBound : public ::testing::TestWithParam<GreedyCase> {};
+
+// Theorem 2: every greedy schedule has length <= T1/PA + Tinf(P-1)/PA.
+TEST_P(GreedyBound, WithinTheorem2Bound) {
+  const auto& param = GetParam();
+  const auto d = param.build();
+  for (const auto order :
+       {OfflineOptions::Order::kFifo, OfflineOptions::Order::kLifo}) {
+    OfflineOptions opts;
+    opts.order = order;
+    const auto r = greedy_schedule(d, param.p, param.profile(), opts);
+    EXPECT_LE(static_cast<double>(r.length), r.greedy_upper_bound + 1e-6)
+        << param.name;
+    EXPECT_GE(static_cast<double>(r.length) + 1e-9, r.lower_bound_work);
+  }
+}
+
+// Brent (level-by-level) schedules satisfy the same bound.
+TEST_P(GreedyBound, BrentWithinTheorem2Bound) {
+  const auto& param = GetParam();
+  const auto d = param.build();
+  OfflineOptions opts;
+  opts.keep_record = true;
+  const auto r = brent_schedule(d, param.p, param.profile(), opts);
+  EXPECT_LE(static_cast<double>(r.length), r.greedy_upper_bound + 1e-6)
+      << param.name;
+  EXPECT_TRUE(r.record.validate(d).empty()) << param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GreedyBound,
+    ::testing::Values(
+        GreedyCase{"fib12_p1_full", [] { return dag::fib_dag(12); }, 1,
+                   [] { return constant_profile(1); }},
+        GreedyCase{"fib12_p8_full", [] { return dag::fib_dag(12); }, 8,
+                   [] { return constant_profile(8); }},
+        GreedyCase{"fib12_p8_bursty", [] { return dag::fib_dag(12); }, 8,
+                   [] { return bursty_profile(8, 7, 20); }},
+        GreedyCase{"fib12_p16_periodic", [] { return dag::fib_dag(12); }, 16,
+                   [] { return periodic_profile(16, 3, 2, 9); }},
+        GreedyCase{"grid_p4_ramp", [] { return dag::grid_wavefront(30, 30); },
+                   4, [] { return ramp_down_profile(4, 50); }},
+        GreedyCase{"wide_p8_full", [] { return dag::wide(64, 8); }, 8,
+                   [] { return constant_profile(8); }},
+        GreedyCase{"chain_p8_bursty", [] { return dag::chain(200); }, 8,
+                   [] { return bursty_profile(8, 3, 10); }},
+        GreedyCase{"sp_p6_periodic",
+                   [] { return dag::random_series_parallel(9, 2000); }, 6,
+                   [] { return periodic_profile(6, 11, 1, 5); }},
+        GreedyCase{"fig1_p3_full", [] { return dag::figure1(); }, 3,
+                   [] { return constant_profile(3); }}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(Brent, ExecutesLevelsInOrder) {
+  const auto d = dag::fork_join_tree(4);
+  OfflineOptions opts;
+  opts.keep_record = true;
+  const auto r = brent_schedule(d, 4, constant_profile(4), opts);
+  const auto depth = d.longest_depth_from_root();
+  std::uint32_t max_seen = 0;
+  for (const auto& a : r.record.actions()) {
+    if (a.kind != ActionKind::kExecute) continue;
+    // Levels are non-decreasing: level L starts only when all of L-1 done.
+    EXPECT_GE(depth[a.node], max_seen)
+        << "node of level " << depth[a.node] << " after level " << max_seen;
+    max_seen = std::max(max_seen, depth[a.node]);
+  }
+}
+
+TEST(Greedy, IdleOnlyWhenNoReadyNodes) {
+  // In a greedy schedule, an idle slot implies every ready node was
+  // executed that round (we can only verify the weaker consequence: the
+  // number of executed nodes in an idle round is below p_i).
+  const auto d = dag::chain(10);
+  OfflineOptions opts;
+  opts.keep_record = true;
+  const auto r = greedy_schedule(d, 3, constant_profile(3), opts);
+  EXPECT_EQ(r.length, 10u);
+  EXPECT_EQ(r.idle_tokens, 20u);  // 2 idle slots per round
+}
+
+// ---- Theorem 1 lower bound ---------------------------------------------------
+
+class Theorem1 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1, ConstructionForcesCritPathLowerBound) {
+  const std::uint64_t k = GetParam();
+  const std::size_t p = 8;
+  const auto d = dag::fib_dag(12);
+  const auto tinf = d.critical_path_length();
+  const auto profile = theorem1_profile(p, k, tinf);
+  // Use the strongest offline scheduler we have — greedy — as the
+  // adversary's best response; even it cannot beat Tinf * P / PA.
+  const auto r = greedy_schedule(d, p, profile);
+  const double bound =
+      critpath_lower_bound(static_cast<double>(tinf), static_cast<double>(p),
+                           r.processor_average);
+  EXPECT_GE(static_cast<double>(r.length) + 1e-6, bound) << "k=" << k;
+  // And the processor average lies between P/(k+1) (its value when the
+  // execution ends exactly at round (k+1)*Tinf) and 1 (its limit as the
+  // single-processor tail phase extends the schedule).
+  const double pk = static_cast<double>(p) / static_cast<double>(k + 1);
+  EXPECT_LE(r.processor_average, std::max(pk, 1.0) + 1e-9);
+  EXPECT_GE(r.processor_average, std::min(pk, 1.0) - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, Theorem1,
+                         ::testing::Values(0u, 1u, 2u, 3u, 5u, 9u));
+
+TEST(Bounds, HelperFormulas) {
+  EXPECT_DOUBLE_EQ(work_lower_bound(100, 4), 25.0);
+  EXPECT_DOUBLE_EQ(critpath_lower_bound(10, 8, 2), 40.0);
+  EXPECT_DOUBLE_EQ(greedy_bound(100, 10, 5, 2), 70.0);
+  EXPECT_DOUBLE_EQ(work_stealer_bound(100, 10, 5, 2), 75.0);
+}
+
+TEST(OfflineDeath, StarvationProfileHitsMaxRounds) {
+  const auto d = dag::chain(4);
+  OfflineOptions opts;
+  opts.max_rounds = 100;
+  EXPECT_DEATH(greedy_schedule(d, 2, constant_profile(0), opts),
+               "max_rounds");
+}
+
+}  // namespace
+}  // namespace abp::sim

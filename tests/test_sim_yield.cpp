@@ -1,0 +1,162 @@
+// Tests for the yield-constraint ledger (§4.4): yieldToRandom and
+// yieldToAll semantics, including the paper's replacement rule and the
+// "strictly after the yield round" requirement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/yield.hpp"
+
+namespace abp::sim {
+namespace {
+
+bool contains(const std::vector<ProcId>& v, ProcId p) {
+  return std::find(v.begin(), v.end(), p) != v.end();
+}
+
+TEST(YieldNames, Stable) {
+  EXPECT_STREQ(to_string(YieldKind::kNone), "none");
+  EXPECT_STREQ(to_string(YieldKind::kToRandom), "yieldToRandom");
+  EXPECT_STREQ(to_string(YieldKind::kToAll), "yieldToAll");
+}
+
+TEST(YieldLedger, NoneNeverConstrains) {
+  YieldLedger ledger(4, YieldKind::kNone);
+  ledger.on_yield(0, 1, 1);
+  EXPECT_FALSE(ledger.blocked(0));
+  const auto s = ledger.enforce({0, 1, 2}, 2);
+  EXPECT_EQ(s, (std::vector<ProcId>{0, 1, 2}));
+}
+
+TEST(YieldLedger, EnforceDeduplicates) {
+  YieldLedger ledger(4, YieldKind::kNone);
+  const auto s = ledger.enforce({2, 2, 1, 2}, 1);
+  EXPECT_EQ(s, (std::vector<ProcId>{2, 1}));
+}
+
+TEST(YieldToRandom, BlocksUntilTargetScheduled) {
+  YieldLedger ledger(4, YieldKind::kToRandom);
+  ledger.on_yield(0, /*now=*/5, /*target=*/3);
+  EXPECT_TRUE(ledger.blocked(0));
+
+  // Round 6: kernel proposes {0, 1}; 0 is blocked on 3, so 3 replaces 0.
+  const auto s = ledger.enforce({0, 1}, 6);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(contains(s, 1));
+  EXPECT_TRUE(contains(s, 3));
+  EXPECT_FALSE(contains(s, 0));
+  ledger.note_scheduled(s, 6);
+
+  // Round 7: 3 ran at round 6 > 5, so 0 is free again.
+  EXPECT_FALSE(ledger.blocked(0));
+  const auto s2 = ledger.enforce({0, 1}, 7);
+  EXPECT_TRUE(contains(s2, 0));
+}
+
+TEST(YieldToRandom, SameRoundSatisfaction) {
+  // The constraint allows j' == j: if the kernel schedules p and its target
+  // together, p may run.
+  YieldLedger ledger(4, YieldKind::kToRandom);
+  ledger.on_yield(0, 5, 3);
+  const auto s = ledger.enforce({0, 3}, 6);
+  EXPECT_TRUE(contains(s, 0));
+  EXPECT_TRUE(contains(s, 3));
+}
+
+TEST(YieldToRandom, TargetRunAtYieldRoundDoesNotCount) {
+  // q scheduled at the yield round itself (j' == i) does not satisfy
+  // i < j' <= j.
+  YieldLedger ledger(4, YieldKind::kToRandom);
+  ledger.note_scheduled({3}, 5);
+  ledger.on_yield(0, 5, 3);
+  EXPECT_TRUE(ledger.blocked(0));
+  const auto s = ledger.enforce({0}, 6);
+  EXPECT_EQ(s, (std::vector<ProcId>{3}));
+}
+
+TEST(YieldToRandom, ReplacementPreservesCount) {
+  YieldLedger ledger(8, YieldKind::kToRandom);
+  ledger.on_yield(0, 1, 4);
+  ledger.on_yield(1, 1, 5);
+  const auto s = ledger.enforce({0, 1, 2}, 2);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_TRUE(contains(s, 2));
+  EXPECT_TRUE(contains(s, 4));
+  EXPECT_TRUE(contains(s, 5));
+}
+
+TEST(YieldToRandom, NewYieldSupersedesOldConstraint) {
+  YieldLedger ledger(4, YieldKind::kToRandom);
+  ledger.on_yield(0, 1, 3);
+  ledger.note_scheduled({3}, 2);  // satisfies the first constraint
+  EXPECT_FALSE(ledger.blocked(0));
+  ledger.on_yield(0, 3, 2);  // new constraint on a different target
+  EXPECT_TRUE(ledger.blocked(0));
+  ledger.note_scheduled({2}, 4);
+  EXPECT_FALSE(ledger.blocked(0));
+}
+
+TEST(YieldToAll, RequiresEveryOtherProcess) {
+  YieldLedger ledger(4, YieldKind::kToAll);
+  ledger.on_yield(0, 10, 0);
+  EXPECT_TRUE(ledger.blocked(0));
+  ledger.note_scheduled({1}, 11);
+  EXPECT_TRUE(ledger.blocked(0));
+  ledger.note_scheduled({2}, 12);
+  EXPECT_TRUE(ledger.blocked(0));
+  ledger.note_scheduled({3}, 13);
+  EXPECT_FALSE(ledger.blocked(0));
+}
+
+TEST(YieldToAll, YieldRoundItselfDoesNotCount) {
+  YieldLedger ledger(3, YieldKind::kToAll);
+  ledger.on_yield(0, 10, 0);
+  ledger.note_scheduled({1, 2}, 10);  // same round as the yield: ignored
+  EXPECT_TRUE(ledger.blocked(0));
+  ledger.note_scheduled({1, 2}, 11);
+  EXPECT_FALSE(ledger.blocked(0));
+}
+
+TEST(YieldToAll, ReplacementPicksMissingProcess) {
+  YieldLedger ledger(4, YieldKind::kToAll);
+  ledger.on_yield(0, 1, 0);
+  ledger.note_scheduled({1, 2}, 2);
+  // Only process 3 is still missing; scheduling {0} must yield {3}.
+  const auto s = ledger.enforce({0}, 3);
+  EXPECT_EQ(s, (std::vector<ProcId>{3}));
+  ledger.note_scheduled(s, 3);
+  EXPECT_FALSE(ledger.blocked(0));
+}
+
+TEST(YieldToAll, SameRoundCompletionAllowsScheduling) {
+  // If the kernel schedules p together with every process p still waits
+  // on, the constraint is satisfied within that round.
+  YieldLedger ledger(3, YieldKind::kToAll);
+  ledger.on_yield(0, 1, 0);
+  const auto s = ledger.enforce({0, 1, 2}, 2);
+  EXPECT_TRUE(contains(s, 0));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(YieldToAll, SelfDoesNotBlockItself) {
+  // A single-process system: yieldToAll with P=1 is trivially satisfied.
+  YieldLedger ledger(1, YieldKind::kToAll);
+  ledger.on_yield(0, 1, 0);
+  EXPECT_FALSE(ledger.blocked(0));
+}
+
+TEST(YieldToAll, MultipleYieldersAllHandled) {
+  YieldLedger ledger(4, YieldKind::kToAll);
+  ledger.on_yield(0, 1, 0);
+  ledger.on_yield(1, 1, 1);
+  // Kernel wants {0, 1}: both blocked; each gets replaced by a missing
+  // process, preserving the count.
+  const auto s = ledger.enforce({0, 1}, 2);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(contains(s, 0));
+  EXPECT_FALSE(contains(s, 1));
+}
+
+}  // namespace
+}  // namespace abp::sim

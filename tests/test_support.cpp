@@ -1,0 +1,309 @@
+// Unit tests for the support layer: RNG, statistics, tables.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace abp {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, ReseedRestartsSequence) {
+  Xoshiro256 a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(10, 12);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 12u);
+  }
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(42);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(6);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceProbability) {
+  Xoshiro256 rng(8);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Xoshiro256, ShuffleIsPermutation) {
+  Xoshiro256 rng(11);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Xoshiro256, SampleWithoutReplacementDistinct) {
+  Xoshiro256 rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = rng.sample_without_replacement(20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (auto x : s) EXPECT_LT(x, 20u);
+  }
+}
+
+TEST(Xoshiro256, SampleFullRangeIsPermutation) {
+  Xoshiro256 rng(14);
+  const auto s = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(Xoshiro256, SampleZeroIsEmpty) {
+  Xoshiro256 rng(15);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Xoshiro256, SampleIsUnbiased) {
+  // Each element of [0,6) should appear in a 3-sample with prob 1/2.
+  Xoshiro256 rng(16);
+  int counts[6] = {};
+  constexpr int kTrials = 30000;
+  for (int t = 0; t < kTrials; ++t)
+    for (auto x : rng.sample_without_replacement(6, 3)) ++counts[x];
+  for (int c : counts) EXPECT_NEAR(c / double(kTrials), 0.5, 0.02);
+}
+
+// ---- statistics ------------------------------------------------------------
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  Xoshiro256 rng(20);
+  std::vector<double> xs;
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform() * 100.0 - 50.0;
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= xs.size();
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= (xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+  EXPECT_DOUBLE_EQ(s.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_DOUBLE_EQ(s.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+  Xoshiro256 rng(21);
+  OnlineStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform();
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(FitThroughOrigin, ExactLinear) {
+  std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y{3, 6, 9, 12};
+  EXPECT_NEAR(fit_through_origin(x, y), 3.0, 1e-12);
+}
+
+TEST(FitThroughOrigin, ZeroDesign) {
+  EXPECT_DOUBLE_EQ(fit_through_origin({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(TwoVarFit, RecoversPlantedCoefficients) {
+  Xoshiro256 rng(30);
+  std::vector<double> x1, x2, y;
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform() * 10;
+    const double b = rng.uniform() * 5;
+    x1.push_back(a);
+    x2.push_back(b);
+    y.push_back(2.5 * a + 0.75 * b);
+  }
+  const auto fit = fit_two_regressors(x1, x2, y);
+  EXPECT_NEAR(fit.a, 2.5, 1e-9);
+  EXPECT_NEAR(fit.b, 0.75, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(TwoVarFit, NoisyStillClose) {
+  Xoshiro256 rng(31);
+  std::vector<double> x1, x2, y;
+  for (int i = 0; i < 2000; ++i) {
+    const double a = rng.uniform() * 10 + 1;
+    const double b = rng.uniform() * 5 + 1;
+    y.push_back(1.0 * a + 2.0 * b + (rng.uniform() - 0.5) * 0.1);
+    x1.push_back(a);
+    x2.push_back(b);
+  }
+  const auto fit = fit_two_regressors(x1, x2, y);
+  EXPECT_NEAR(fit.a, 1.0, 0.05);
+  EXPECT_NEAR(fit.b, 2.0, 0.05);
+  EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(TwoVarFit, DegenerateFallsBackToSingleRegressor) {
+  // x2 identically proportional to x1 makes the 2x2 system singular.
+  std::vector<double> x1{1, 2, 3};
+  std::vector<double> x2{2, 4, 6};
+  std::vector<double> y{5, 10, 15};
+  const auto fit = fit_two_regressors(x1, x2, y);
+  EXPECT_NEAR(fit.a, 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(fit.b, 0.0);
+}
+
+// ---- tables ----------------------------------------------------------------
+
+TEST(Table, RowCountAndTitle) {
+  Table t("demo", {"a", "b"});
+  EXPECT_EQ(t.title(), "demo");
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t("x", {"col1", "col2"});
+  t.add_row({"a", "1.5"});
+  t.add_row({"b,with,commas", "2"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("col1,col2\n"), std::string::npos);
+  EXPECT_NE(csv.find("a,1.5\n"), std::string::npos);
+  EXPECT_NE(csv.find("\"b,with,commas\",2\n"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(-42), "-42");
+}
+
+TEST(Table, PrintDoesNotCrash) {
+  Table t("print", {"k", "v"});
+  t.add_row({"key", "value"});
+  std::FILE* devnull = std::fopen("/dev/null", "w");
+  ASSERT_NE(devnull, nullptr);
+  t.print(devnull);
+  std::fclose(devnull);
+}
+
+}  // namespace
+}  // namespace abp
