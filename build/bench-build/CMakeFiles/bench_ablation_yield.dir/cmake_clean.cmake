@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_yield"
+  "../bench/bench_ablation_yield.pdb"
+  "CMakeFiles/bench_ablation_yield.dir/bench_ablation_yield.cpp.o"
+  "CMakeFiles/bench_ablation_yield.dir/bench_ablation_yield.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_constant_fit"
+  "../bench/bench_constant_fit.pdb"
+  "CMakeFiles/bench_constant_fit.dir/bench_constant_fit.cpp.o"
+  "CMakeFiles/bench_constant_fit.dir/bench_constant_fit.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constant_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_deque_micro"
+  "../bench/bench_deque_micro.pdb"
+  "CMakeFiles/bench_deque_micro.dir/bench_deque_micro.cpp.o"
+  "CMakeFiles/bench_deque_micro.dir/bench_deque_micro.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deque_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

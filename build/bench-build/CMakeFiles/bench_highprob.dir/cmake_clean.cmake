@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_highprob"
+  "../bench/bench_highprob.pdb"
+  "CMakeFiles/bench_highprob.dir/bench_highprob.cpp.o"
+  "CMakeFiles/bench_highprob.dir/bench_highprob.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_highprob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

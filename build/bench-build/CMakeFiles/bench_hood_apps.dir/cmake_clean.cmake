@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hood_apps"
+  "../bench/bench_hood_apps.pdb"
+  "CMakeFiles/bench_hood_apps.dir/bench_hood_apps.cpp.o"
+  "CMakeFiles/bench_hood_apps.dir/bench_hood_apps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hood_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

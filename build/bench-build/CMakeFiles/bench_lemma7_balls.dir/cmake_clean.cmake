@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lemma7_balls"
+  "../bench/bench_lemma7_balls.pdb"
+  "CMakeFiles/bench_lemma7_balls.dir/bench_lemma7_balls.cpp.o"
+  "CMakeFiles/bench_lemma7_balls.dir/bench_lemma7_balls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma7_balls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lockstep"
+  "../bench/bench_lockstep.pdb"
+  "CMakeFiles/bench_lockstep.dir/bench_lockstep.cpp.o"
+  "CMakeFiles/bench_lockstep.dir/bench_lockstep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lockstep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multiprog"
+  "../bench/bench_multiprog.pdb"
+  "CMakeFiles/bench_multiprog.dir/bench_multiprog.cpp.o"
+  "CMakeFiles/bench_multiprog.dir/bench_multiprog.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiprog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_spawn_order"
+  "../bench/bench_spawn_order.pdb"
+  "CMakeFiles/bench_spawn_order.dir/bench_spawn_order.cpp.o"
+  "CMakeFiles/bench_spawn_order.dir/bench_spawn_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spawn_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm10_benign"
+  "../bench/bench_thm10_benign.pdb"
+  "CMakeFiles/bench_thm10_benign.dir/bench_thm10_benign.cpp.o"
+  "CMakeFiles/bench_thm10_benign.dir/bench_thm10_benign.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm10_benign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm11_oblivious"
+  "../bench/bench_thm11_oblivious.pdb"
+  "CMakeFiles/bench_thm11_oblivious.dir/bench_thm11_oblivious.cpp.o"
+  "CMakeFiles/bench_thm11_oblivious.dir/bench_thm11_oblivious.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm11_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm1_lowerbound"
+  "../bench/bench_thm1_lowerbound.pdb"
+  "CMakeFiles/bench_thm1_lowerbound.dir/bench_thm1_lowerbound.cpp.o"
+  "CMakeFiles/bench_thm1_lowerbound.dir/bench_thm1_lowerbound.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

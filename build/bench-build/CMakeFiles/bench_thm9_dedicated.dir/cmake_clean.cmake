@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm9_dedicated"
+  "../bench/bench_thm9_dedicated.pdb"
+  "CMakeFiles/bench_thm9_dedicated.dir/bench_thm9_dedicated.cpp.o"
+  "CMakeFiles/bench_thm9_dedicated.dir/bench_thm9_dedicated.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm9_dedicated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_throws"
+  "../bench/bench_throws.pdb"
+  "CMakeFiles/bench_throws.dir/bench_throws.cpp.o"
+  "CMakeFiles/bench_throws.dir/bench_throws.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataproc.dir/dataproc.cpp.o"
+  "CMakeFiles/dataproc.dir/dataproc.cpp.o.d"
+  "dataproc"
+  "dataproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

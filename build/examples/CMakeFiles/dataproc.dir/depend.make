@@ -1,0 +1,2 @@
+# Empty dependencies file for dataproc.
+# This may be replaced when dependencies are built.

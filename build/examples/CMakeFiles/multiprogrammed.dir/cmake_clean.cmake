@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiprogrammed.dir/multiprogrammed.cpp.o"
+  "CMakeFiles/multiprogrammed.dir/multiprogrammed.cpp.o.d"
+  "multiprogrammed"
+  "multiprogrammed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiprogrammed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_adversary.dir/simulate_adversary.cpp.o"
+  "CMakeFiles/simulate_adversary.dir/simulate_adversary.cpp.o.d"
+  "simulate_adversary"
+  "simulate_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/builders.cpp" "src/dag/CMakeFiles/abp_dag.dir/builders.cpp.o" "gcc" "src/dag/CMakeFiles/abp_dag.dir/builders.cpp.o.d"
+  "/root/repo/src/dag/dag.cpp" "src/dag/CMakeFiles/abp_dag.dir/dag.cpp.o" "gcc" "src/dag/CMakeFiles/abp_dag.dir/dag.cpp.o.d"
+  "/root/repo/src/dag/dot.cpp" "src/dag/CMakeFiles/abp_dag.dir/dot.cpp.o" "gcc" "src/dag/CMakeFiles/abp_dag.dir/dot.cpp.o.d"
+  "/root/repo/src/dag/enabling.cpp" "src/dag/CMakeFiles/abp_dag.dir/enabling.cpp.o" "gcc" "src/dag/CMakeFiles/abp_dag.dir/enabling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/abp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

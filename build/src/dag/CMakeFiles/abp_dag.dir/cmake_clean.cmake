@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_dag.dir/builders.cpp.o"
+  "CMakeFiles/abp_dag.dir/builders.cpp.o.d"
+  "CMakeFiles/abp_dag.dir/dag.cpp.o"
+  "CMakeFiles/abp_dag.dir/dag.cpp.o.d"
+  "CMakeFiles/abp_dag.dir/dot.cpp.o"
+  "CMakeFiles/abp_dag.dir/dot.cpp.o.d"
+  "CMakeFiles/abp_dag.dir/enabling.cpp.o"
+  "CMakeFiles/abp_dag.dir/enabling.cpp.o.d"
+  "libabp_dag.a"
+  "libabp_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

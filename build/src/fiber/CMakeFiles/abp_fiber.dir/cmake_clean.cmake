@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_fiber.dir/fiber.cpp.o"
+  "CMakeFiles/abp_fiber.dir/fiber.cpp.o.d"
+  "libabp_fiber.a"
+  "libabp_fiber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_fiber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

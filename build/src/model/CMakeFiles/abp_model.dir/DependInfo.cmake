@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/explorer.cpp" "src/model/CMakeFiles/abp_model.dir/explorer.cpp.o" "gcc" "src/model/CMakeFiles/abp_model.dir/explorer.cpp.o.d"
+  "/root/repo/src/model/linearize.cpp" "src/model/CMakeFiles/abp_model.dir/linearize.cpp.o" "gcc" "src/model/CMakeFiles/abp_model.dir/linearize.cpp.o.d"
+  "/root/repo/src/model/machine.cpp" "src/model/CMakeFiles/abp_model.dir/machine.cpp.o" "gcc" "src/model/CMakeFiles/abp_model.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/abp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

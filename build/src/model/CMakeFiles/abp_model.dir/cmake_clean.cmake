@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_model.dir/explorer.cpp.o"
+  "CMakeFiles/abp_model.dir/explorer.cpp.o.d"
+  "CMakeFiles/abp_model.dir/linearize.cpp.o"
+  "CMakeFiles/abp_model.dir/linearize.cpp.o.d"
+  "CMakeFiles/abp_model.dir/machine.cpp.o"
+  "CMakeFiles/abp_model.dir/machine.cpp.o.d"
+  "libabp_model.a"
+  "libabp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dag_engine.cpp" "src/runtime/CMakeFiles/abp_runtime.dir/dag_engine.cpp.o" "gcc" "src/runtime/CMakeFiles/abp_runtime.dir/dag_engine.cpp.o.d"
+  "/root/repo/src/runtime/scheduler.cpp" "src/runtime/CMakeFiles/abp_runtime.dir/scheduler.cpp.o" "gcc" "src/runtime/CMakeFiles/abp_runtime.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/abp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/abp_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

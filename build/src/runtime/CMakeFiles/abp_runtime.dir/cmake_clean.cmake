@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_runtime.dir/dag_engine.cpp.o"
+  "CMakeFiles/abp_runtime.dir/dag_engine.cpp.o.d"
+  "CMakeFiles/abp_runtime.dir/scheduler.cpp.o"
+  "CMakeFiles/abp_runtime.dir/scheduler.cpp.o.d"
+  "libabp_runtime.a"
+  "libabp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/engine.cpp" "src/sched/CMakeFiles/abp_sched.dir/engine.cpp.o" "gcc" "src/sched/CMakeFiles/abp_sched.dir/engine.cpp.o.d"
+  "/root/repo/src/sched/lockstep.cpp" "src/sched/CMakeFiles/abp_sched.dir/lockstep.cpp.o" "gcc" "src/sched/CMakeFiles/abp_sched.dir/lockstep.cpp.o.d"
+  "/root/repo/src/sched/multiprog.cpp" "src/sched/CMakeFiles/abp_sched.dir/multiprog.cpp.o" "gcc" "src/sched/CMakeFiles/abp_sched.dir/multiprog.cpp.o.d"
+  "/root/repo/src/sched/potential.cpp" "src/sched/CMakeFiles/abp_sched.dir/potential.cpp.o" "gcc" "src/sched/CMakeFiles/abp_sched.dir/potential.cpp.o.d"
+  "/root/repo/src/sched/structural.cpp" "src/sched/CMakeFiles/abp_sched.dir/structural.cpp.o" "gcc" "src/sched/CMakeFiles/abp_sched.dir/structural.cpp.o.d"
+  "/root/repo/src/sched/work_stealer.cpp" "src/sched/CMakeFiles/abp_sched.dir/work_stealer.cpp.o" "gcc" "src/sched/CMakeFiles/abp_sched.dir/work_stealer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/abp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/abp_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/abp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

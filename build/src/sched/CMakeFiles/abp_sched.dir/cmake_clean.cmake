@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_sched.dir/engine.cpp.o"
+  "CMakeFiles/abp_sched.dir/engine.cpp.o.d"
+  "CMakeFiles/abp_sched.dir/lockstep.cpp.o"
+  "CMakeFiles/abp_sched.dir/lockstep.cpp.o.d"
+  "CMakeFiles/abp_sched.dir/multiprog.cpp.o"
+  "CMakeFiles/abp_sched.dir/multiprog.cpp.o.d"
+  "CMakeFiles/abp_sched.dir/potential.cpp.o"
+  "CMakeFiles/abp_sched.dir/potential.cpp.o.d"
+  "CMakeFiles/abp_sched.dir/structural.cpp.o"
+  "CMakeFiles/abp_sched.dir/structural.cpp.o.d"
+  "CMakeFiles/abp_sched.dir/work_stealer.cpp.o"
+  "CMakeFiles/abp_sched.dir/work_stealer.cpp.o.d"
+  "libabp_sched.a"
+  "libabp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

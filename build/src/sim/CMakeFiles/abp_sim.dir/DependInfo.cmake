@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/exec.cpp" "src/sim/CMakeFiles/abp_sim.dir/exec.cpp.o" "gcc" "src/sim/CMakeFiles/abp_sim.dir/exec.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/abp_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/abp_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/offline.cpp" "src/sim/CMakeFiles/abp_sim.dir/offline.cpp.o" "gcc" "src/sim/CMakeFiles/abp_sim.dir/offline.cpp.o.d"
+  "/root/repo/src/sim/yield.cpp" "src/sim/CMakeFiles/abp_sim.dir/yield.cpp.o" "gcc" "src/sim/CMakeFiles/abp_sim.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/abp_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/abp_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

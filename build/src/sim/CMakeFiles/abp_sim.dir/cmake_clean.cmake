@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_sim.dir/exec.cpp.o"
+  "CMakeFiles/abp_sim.dir/exec.cpp.o.d"
+  "CMakeFiles/abp_sim.dir/kernel.cpp.o"
+  "CMakeFiles/abp_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/abp_sim.dir/offline.cpp.o"
+  "CMakeFiles/abp_sim.dir/offline.cpp.o.d"
+  "CMakeFiles/abp_sim.dir/yield.cpp.o"
+  "CMakeFiles/abp_sim.dir/yield.cpp.o.d"
+  "libabp_sim.a"
+  "libabp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abp_support.dir/rng.cpp.o"
+  "CMakeFiles/abp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/abp_support.dir/stats.cpp.o"
+  "CMakeFiles/abp_support.dir/stats.cpp.o.d"
+  "CMakeFiles/abp_support.dir/table.cpp.o"
+  "CMakeFiles/abp_support.dir/table.cpp.o.d"
+  "libabp_support.a"
+  "libabp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_builders.dir/test_dag_builders.cpp.o"
+  "CMakeFiles/test_dag_builders.dir/test_dag_builders.cpp.o.d"
+  "test_dag_builders"
+  "test_dag_builders.pdb"
+  "test_dag_builders[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_dot.dir/test_dag_dot.cpp.o"
+  "CMakeFiles/test_dag_dot.dir/test_dag_dot.cpp.o.d"
+  "test_dag_dot"
+  "test_dag_dot.pdb"
+  "test_dag_dot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deque_concurrent.dir/test_deque_concurrent.cpp.o"
+  "CMakeFiles/test_deque_concurrent.dir/test_deque_concurrent.cpp.o.d"
+  "test_deque_concurrent"
+  "test_deque_concurrent.pdb"
+  "test_deque_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deque_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

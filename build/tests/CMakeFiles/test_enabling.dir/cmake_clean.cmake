@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_enabling.dir/test_enabling.cpp.o"
+  "CMakeFiles/test_enabling.dir/test_enabling.cpp.o.d"
+  "test_enabling"
+  "test_enabling.pdb"
+  "test_enabling[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_enabling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fiber_sync.dir/test_fiber_sync.cpp.o"
+  "CMakeFiles/test_fiber_sync.dir/test_fiber_sync.cpp.o.d"
+  "test_fiber_sync"
+  "test_fiber_sync.pdb"
+  "test_fiber_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fiber_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_offline.dir/test_sim_offline.cpp.o"
+  "CMakeFiles/test_sim_offline.dir/test_sim_offline.cpp.o.d"
+  "test_sim_offline"
+  "test_sim_offline.pdb"
+  "test_sim_offline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

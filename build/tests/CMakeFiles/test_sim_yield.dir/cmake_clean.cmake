@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_yield.dir/test_sim_yield.cpp.o"
+  "CMakeFiles/test_sim_yield.dir/test_sim_yield.cpp.o.d"
+  "test_sim_yield"
+  "test_sim_yield.pdb"
+  "test_sim_yield[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

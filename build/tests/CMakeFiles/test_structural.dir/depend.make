@@ -1,0 +1,2 @@
+# Empty dependencies file for test_structural.
+# This may be replaced when dependencies are built.

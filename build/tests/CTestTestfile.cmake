@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_dag[1]_include.cmake")
+include("/root/repo/build/tests/test_dag_builders[1]_include.cmake")
+include("/root/repo/build/tests/test_dag_dot[1]_include.cmake")
+include("/root/repo/build/tests/test_enabling[1]_include.cmake")
+include("/root/repo/build/tests/test_deque_serial[1]_include.cmake")
+include("/root/repo/build/tests/test_deque_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_model_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_linearize[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_yield[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_offline[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_bounds[1]_include.cmake")
+include("/root/repo/build/tests/test_multiprog[1]_include.cmake")
+include("/root/repo/build/tests/test_lockstep[1]_include.cmake")
+include("/root/repo/build/tests/test_structural[1]_include.cmake")
+include("/root/repo/build/tests/test_potential[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_extras[1]_include.cmake")
+include("/root/repo/build/tests/test_dag_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_fiber[1]_include.cmake")
+include("/root/repo/build/tests/test_fiber_sync[1]_include.cmake")
