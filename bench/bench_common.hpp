@@ -3,20 +3,103 @@
 // Shared helpers for the experiment harnesses (see DESIGN.md §3 and
 // EXPERIMENTS.md). Every harness prints one or more tables whose final
 // columns compare a measured quantity against the paper's predicted bound.
+//
+// Machine-readable output: banner()/emit()/verdict() additionally feed a
+// per-process collector, and at exit every harness prints one JSON line
+//     BENCH_JSON {"bench":...,"ok":...,"verdicts":[...],"tables":[...]}
+// so the perf-trajectory tooling can consume every bench without parsing
+// the human tables. Set ABP_BENCH_JSON=<path> to also append the line
+// (without the prefix) to a file, e.g. BENCH_fig1.json.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "dag/builders.hpp"
+#include "obs/export.hpp"
 #include "sched/work_stealer.hpp"
 #include "sim/kernel.hpp"
 #include "support/table.hpp"
 
 namespace abp::bench {
 
+// Collects everything the harness reported; flushed by atexit so no bench
+// needs explicit shutdown code.
+class JsonLineCollector {
+ public:
+  static JsonLineCollector& instance() {
+    static JsonLineCollector c;
+    return c;
+  }
+
+  void set_bench(std::string name) {
+    arm();
+    bench_ = std::move(name);
+  }
+  void add_table(const Table& t) {
+    arm();
+    tables_.push_back(t.to_json());
+  }
+  void add_verdict(bool ok, const std::string& what) {
+    arm();
+    obs::JsonObjectWriter v;
+    v.add("ok", ok);
+    v.add("what", what);
+    verdicts_.push_back(v.str());
+    all_ok_ = all_ok_ && ok;
+  }
+
+  std::string line() const {
+    auto join = [](const std::vector<std::string>& parts) {
+      std::string out = "[";
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i) out += ',';
+        out += parts[i];
+      }
+      out += ']';
+      return out;
+    };
+    obs::JsonObjectWriter w;
+    w.add("bench", bench_);
+    w.add("ok", all_ok_);
+    w.add_raw("verdicts", join(verdicts_));
+    w.add_raw("tables", join(tables_));
+    return w.str();
+  }
+
+ private:
+  JsonLineCollector() = default;
+
+  void arm() {
+    if (armed_) return;
+    armed_ = true;
+    std::atexit(&JsonLineCollector::flush);
+  }
+
+  static void flush() {
+    const JsonLineCollector& c = instance();
+    const std::string line = c.line();
+    std::printf("BENCH_JSON %s\n", line.c_str());
+    if (const char* path = std::getenv("ABP_BENCH_JSON")) {
+      if (std::FILE* f = std::fopen(path, "a")) {
+        std::fprintf(f, "%s\n", line.c_str());
+        std::fclose(f);
+      }
+    }
+  }
+
+  bool armed_ = false;
+  bool all_ok_ = true;
+  std::string bench_;
+  std::vector<std::string> verdicts_;
+  std::vector<std::string> tables_;
+};
+
 inline void banner(const char* experiment, const char* paper_artifact,
                    const char* claim) {
+  JsonLineCollector::instance().set_bench(experiment);
   std::printf("=============================================================="
               "==================\n");
   std::printf("%s — reproduces %s\n", experiment, paper_artifact);
@@ -38,11 +121,13 @@ inline bool csv_mode(int argc, char** argv) {
 }
 
 inline void emit(const Table& table, bool csv) {
+  JsonLineCollector::instance().add_table(table);
   table.print();
   if (csv) std::fputs(table.to_csv().c_str(), stdout);
 }
 
 inline void verdict(bool ok, const std::string& what) {
+  JsonLineCollector::instance().add_verdict(ok, what);
   std::printf("[%s] %s\n", ok ? "REPRODUCED" : "MISMATCH", what.c_str());
 }
 

@@ -43,6 +43,7 @@
 #include <optional>
 #include <type_traits>
 
+#include "deque/pop_top.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
 
@@ -75,18 +76,24 @@ class AbpDeque {
 
   // popTop (Figure 5). Any process. Returns nothing when the deque was
   // empty or the topmost item was concurrently removed (relaxed semantics).
-  std::optional<T> pop_top() {
+  std::optional<T> pop_top() { return pop_top_ex().item; }
+
+  // popTop with the failure reason preserved (empty vs. lost CAS race);
+  // identical algorithm, the status is free information the plain
+  // interface discards.
+  PopTopResult<T> pop_top_ex() {
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
-    if (local_bot <= top_of(old_age)) return std::nullopt;
+    if (local_bot <= top_of(old_age))
+      return {std::nullopt, PopTopStatus::kEmpty};
     const T node = deq_[top_of(old_age)];
     const std::uint64_t new_age = make_age(tag_of(old_age), top_of(old_age) + 1);
     std::uint64_t expected = old_age;
     if (age_.value.compare_exchange_strong(expected, new_age,
                                            std::memory_order_seq_cst)) {
-      return node;
+      return {node, PopTopStatus::kSuccess};
     }
-    return std::nullopt;
+    return {std::nullopt, PopTopStatus::kLostRace};
   }
 
   // popBottom (Figure 5). Owner only.

@@ -28,6 +28,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "deque/pop_top.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
 
@@ -68,10 +69,13 @@ class AbpGrowableDeque {
     bot_.value.store(local_bot + 1, std::memory_order_seq_cst);
   }
 
-  std::optional<T> pop_top() {
+  std::optional<T> pop_top() { return pop_top_ex().item; }
+
+  PopTopResult<T> pop_top_ex() {
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
-    if (local_bot <= top_of(old_age)) return std::nullopt;
+    if (local_bot <= top_of(old_age))
+      return {std::nullopt, PopTopStatus::kEmpty};
     // The buffer pointer is re-read after bot: if a growth raced us, both
     // buffers hold the same value at this index.
     Buffer* buf = buf_.load(std::memory_order_acquire);
@@ -80,9 +84,9 @@ class AbpGrowableDeque {
     std::uint64_t expected = old_age;
     if (age_.value.compare_exchange_strong(expected, new_age,
                                            std::memory_order_seq_cst)) {
-      return node;
+      return {node, PopTopStatus::kSuccess};
     }
-    return std::nullopt;
+    return {std::nullopt, PopTopStatus::kLostRace};
   }
 
   std::optional<T> pop_bottom() {

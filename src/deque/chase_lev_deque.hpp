@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "deque/pop_top.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
 
@@ -99,19 +100,22 @@ class ChaseLevDeque {
   }
 
   // Any process.
-  std::optional<T> pop_top() {
+  std::optional<T> pop_top() { return pop_top_ex().item; }
+
+  PopTopResult<T> pop_top_ex() {
     std::int64_t t = top_.value.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
-    if (t >= b) return std::nullopt;
+    if (t >= b) return {std::nullopt, PopTopStatus::kEmpty};
     Buffer* buf = buffer_.load(std::memory_order_consume);
     T item = buf->get(t);
     if (!top_.value.compare_exchange_strong(t, t + 1,
                                             std::memory_order_seq_cst,
                                             std::memory_order_relaxed)) {
-      return std::nullopt;  // lost the race (relaxed semantics, as in ABP)
+      // Lost the race (relaxed semantics, as in ABP).
+      return {std::nullopt, PopTopStatus::kLostRace};
     }
-    return item;
+    return {item, PopTopStatus::kSuccess};
   }
 
   bool empty_hint() const {

@@ -6,6 +6,8 @@
 #include <concepts>
 #include <optional>
 
+#include "deque/pop_top.hpp"
+
 namespace abp::deque {
 
 template <typename D, typename T>
@@ -13,6 +15,7 @@ concept WorkStealingDeque = requires(D d, const D cd, T item) {
   { d.push_bottom(item) } -> std::same_as<void>;
   { d.pop_bottom() } -> std::same_as<std::optional<T>>;
   { d.pop_top() } -> std::same_as<std::optional<T>>;
+  { d.pop_top_ex() } -> std::same_as<PopTopResult<T>>;
   { cd.empty_hint() } -> std::convertible_to<bool>;
   { cd.size_hint() } -> std::convertible_to<std::size_t>;
 };

@@ -12,6 +12,8 @@
 #include <mutex>
 #include <optional>
 
+#include "deque/pop_top.hpp"
+
 namespace abp::deque {
 
 template <typename T>
@@ -41,6 +43,12 @@ class MutexDeque {
     T item = items_.front();
     items_.pop_front();
     return item;
+  }
+
+  // The lock serializes thieves, so a failure is always "empty".
+  PopTopResult<T> pop_top_ex() {
+    auto item = pop_top();
+    return {item, item ? PopTopStatus::kSuccess : PopTopStatus::kEmpty};
   }
 
   bool empty_hint() const {

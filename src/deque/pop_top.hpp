@@ -1,0 +1,39 @@
+#pragma once
+
+// Outcome classification for popTop.
+//
+// The paper's relaxed semantics (§3.2) fold two distinct popTop failures
+// into one "returns nothing": the deque was empty, or the topmost item was
+// concurrently removed (the thief lost the age CAS). Telemetry wants them
+// separate — a CAS loss means contention on a non-empty victim, an empty
+// victim means the thief's victim draw found no work — so every deque also
+// exposes pop_top_ex() returning the item plus the reason for failure.
+// The lock-based deques can never lose a race (the lock serializes), so
+// they only ever report kSuccess or kEmpty.
+
+#include <optional>
+
+namespace abp::deque {
+
+enum class PopTopStatus : unsigned char {
+  kSuccess,   // item returned
+  kEmpty,     // deque observed empty (bot <= top)
+  kLostRace,  // non-empty, but another process removed the top item (CAS)
+};
+
+constexpr const char* to_string(PopTopStatus s) noexcept {
+  switch (s) {
+    case PopTopStatus::kSuccess: return "success";
+    case PopTopStatus::kEmpty: return "empty";
+    case PopTopStatus::kLostRace: return "lost-race";
+  }
+  return "?";
+}
+
+template <typename T>
+struct PopTopResult {
+  std::optional<T> item;
+  PopTopStatus status = PopTopStatus::kEmpty;
+};
+
+}  // namespace abp::deque

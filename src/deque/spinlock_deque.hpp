@@ -17,6 +17,7 @@
 #include <deque>
 #include <optional>
 
+#include "deque/pop_top.hpp"
 #include "support/backoff.hpp"
 
 namespace abp::deque {
@@ -55,6 +56,12 @@ class SpinlockDeque {
     }
     unlock();
     return out;
+  }
+
+  // The lock serializes thieves, so a failure is always "empty".
+  PopTopResult<T> pop_top_ex() {
+    auto item = pop_top();
+    return {item, item ? PopTopStatus::kSuccess : PopTopStatus::kEmpty};
   }
 
   bool empty_hint() const {

@@ -1,0 +1,390 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace abp::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// JSON numbers must be finite; Chrome rejects NaN/Infinity literals.
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// ---- strict JSON validator (recursive descent over RFC 8259) -------------
+
+class JsonLint {
+ public:
+  explicit JsonLint(std::string_view text) : text_(text) {}
+
+  bool run(std::string* err) {
+    skip_ws();
+    if (!value()) return fail(err);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      msg_ = "trailing content";
+      return fail(err);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* err) {
+    if (msg_.empty()) return true;
+    if (err)
+      *err = msg_ + " at byte " + std::to_string(pos_);
+    return false;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') ++pos_;
+      else break;
+    }
+  }
+
+  bool error(const char* m) {
+    if (msg_.empty()) msg_ = m;
+    return false;
+  }
+
+  bool value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return error("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') return error("expected object key");
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return error("expected ':'");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return error("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return error("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return error("raw control character in string");
+      if (c == '\\') {
+        ++pos_;
+        const char e = peek();
+        if (e == 'u') {
+          ++pos_;
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(peek())))
+              return error("bad \\u escape");
+            ++pos_;
+          }
+        } else if (e == '"' || e == '\\' || e == '/' || e == 'b' ||
+                   e == 'f' || e == 'n' || e == 'r' || e == 't') {
+          ++pos_;
+        } else {
+          return error("bad escape");
+        }
+      } else {
+        ++pos_;
+      }
+    }
+    return error("unterminated string");
+  }
+
+  bool digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      return error("expected digit");
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      if (!digits()) return false;
+    }
+    if (eat('.')) {
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string msg_;
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text, std::string* err) {
+  return JsonLint(text).run(err);
+}
+
+// ---- JsonObjectWriter ----------------------------------------------------
+
+void JsonObjectWriter::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(k);
+  body_ += "\":";
+}
+
+void JsonObjectWriter::add(std::string_view k, std::uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+}
+void JsonObjectWriter::add(std::string_view k, std::int64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+}
+void JsonObjectWriter::add(std::string_view k, double v) {
+  key(k);
+  body_ += format_double(v);
+}
+void JsonObjectWriter::add(std::string_view k, std::string_view v) {
+  key(k);
+  body_ += '"';
+  body_ += json_escape(v);
+  body_ += '"';
+}
+void JsonObjectWriter::add_raw(std::string_view k, std::string_view raw) {
+  key(k);
+  body_ += raw;
+}
+void JsonObjectWriter::add(std::string_view k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+}
+
+std::string JsonObjectWriter::str() const { return "{" + body_ + "}"; }
+
+std::string histogram_summary_json(const LatencyHistogram& h, double scale) {
+  JsonObjectWriter w;
+  w.add("count", h.count());
+  w.add("mean", h.mean() * scale);
+  w.add("min", static_cast<double>(h.min()) * scale);
+  w.add("max", static_cast<double>(h.max()) * scale);
+  w.add("p50", h.percentile(50.0) * scale);
+  w.add("p95", h.percentile(95.0) * scale);
+  w.add("p99", h.percentile(99.0) * scale);
+  return w.str();
+}
+
+// ---- ChromeTraceBuilder --------------------------------------------------
+
+namespace {
+
+std::string event_prefix(const char* ph, int pid, int tid,
+                         std::string_view name, double ts_us) {
+  std::string e = "{\"ph\":\"";
+  e += ph;
+  e += "\",\"pid\":" + std::to_string(pid);
+  e += ",\"tid\":" + std::to_string(tid);
+  e += ",\"name\":\"" + json_escape(name) + "\"";
+  e += ",\"ts\":" + format_double(ts_us);
+  return e;
+}
+
+}  // namespace
+
+void ChromeTraceBuilder::complete(int pid, int tid, std::string_view name,
+                                  double ts_us, double dur_us,
+                                  std::string_view args_json) {
+  std::string e = event_prefix("X", pid, tid, name, ts_us);
+  e += ",\"dur\":" + format_double(dur_us);
+  if (!args_json.empty()) e += ",\"args\":" + std::string(args_json);
+  e += "}";
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceBuilder::instant(int pid, int tid, std::string_view name,
+                                 double ts_us, std::string_view args_json) {
+  std::string e = event_prefix("i", pid, tid, name, ts_us);
+  e += ",\"s\":\"t\"";
+  if (!args_json.empty()) e += ",\"args\":" + std::string(args_json);
+  e += "}";
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceBuilder::counter(int pid, std::string_view name, double ts_us,
+                                 std::string_view series_json) {
+  std::string e = event_prefix("C", pid, 0, name, ts_us);
+  e += ",\"args\":" + std::string(series_json);
+  e += "}";
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceBuilder::process_name(int pid, std::string_view name) {
+  std::string e = "{\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  e += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+  e += json_escape(name);
+  e += "\"}}";
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceBuilder::thread_name(int pid, int tid, std::string_view name) {
+  std::string e = "{\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  e += ",\"tid\":" + std::to_string(tid);
+  e += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+  e += json_escape(name);
+  e += "\"}}";
+  events_.push_back(std::move(e));
+}
+
+std::string ChromeTraceBuilder::build() const {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i) out += ",\n";
+    out += events_[i];
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+void append_snapshots_to_trace(
+    ChromeTraceBuilder& out,
+    const std::vector<std::vector<TraceEvent>>& snapshots,
+    const TscCalibration& cal, int pid) {
+  for (std::size_t w = 0; w < snapshots.size(); ++w) {
+    const int tid = static_cast<int>(w);
+    out.thread_name(pid, tid, "worker " + std::to_string(w));
+    std::uint64_t open_job_tsc = 0;
+    bool job_open = false;
+    for (const TraceEvent& e : snapshots[w]) {
+      const double ts = cal.to_us(e.tsc);
+      switch (e.type) {
+        case EventType::kJobBegin:
+          open_job_tsc = e.tsc;
+          job_open = true;
+          break;
+        case EventType::kJobEnd: {
+          // Prefer the matching begin seen in this ring; a wrapped ring may
+          // have dropped it, in which case reconstruct from the duration
+          // payload carried by the end event.
+          const double dur_ticks = static_cast<double>(
+              job_open ? e.tsc - open_job_tsc : e.arg);
+          const double dur_us = dur_ticks * cal.ns_per_tick / 1e3;
+          out.complete(pid, tid, "job", ts - dur_us, dur_us);
+          job_open = false;
+          break;
+        }
+        case EventType::kStealSuccess: {
+          JsonObjectWriter args;
+          args.add("latency_ns", cal.ticks_to_ns(e.arg));
+          out.instant(pid, tid, "steal", ts, args.str());
+          break;
+        }
+        case EventType::kStealAbortCas: {
+          JsonObjectWriter args;
+          args.add("victim", e.arg);
+          out.instant(pid, tid, "steal_abort_cas", ts, args.str());
+          break;
+        }
+        case EventType::kStealAbortEmpty: {
+          JsonObjectWriter args;
+          args.add("victim", e.arg);
+          out.instant(pid, tid, "steal_abort_empty", ts, args.str());
+          break;
+        }
+        case EventType::kSpawn:
+          out.instant(pid, tid, "spawn", ts);
+          break;
+        case EventType::kYield:
+          out.instant(pid, tid, "yield", ts);
+          break;
+        case EventType::kPopBottomHit:
+        case EventType::kPopBottomMiss:
+        case EventType::kStealAttempt:
+          // High-frequency bookkeeping events; represented in the stats
+          // JSON rather than drawn individually.
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace abp::obs

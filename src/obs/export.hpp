@@ -1,0 +1,87 @@
+#pragma once
+
+// Exporters: Chrome-trace JSON (loadable in chrome://tracing / Perfetto)
+// and compact single-line stats JSON, plus the small JSON utilities the
+// tests use to parse exported documents back.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_ring.hpp"
+
+namespace abp::obs {
+
+// Escapes `s` for inclusion inside a JSON string literal (quotes not
+// included).
+std::string json_escape(std::string_view s);
+
+// Minimal strict JSON syntax checker (RFC 8259 grammar, no limits). Used by
+// tests to prove exported documents are well-formed without an external
+// dependency. Returns true on success; on failure `err` (if non-null) gets
+// a message with the byte offset.
+bool json_validate(std::string_view text, std::string* err = nullptr);
+
+// Single-line JSON object writer: add() in order, str() to finish.
+class JsonObjectWriter {
+ public:
+  void add(std::string_view key, std::uint64_t v);
+  void add(std::string_view key, std::int64_t v);
+  void add(std::string_view key, double v);
+  void add(std::string_view key, std::string_view v);  // quoted + escaped
+  void add_raw(std::string_view key, std::string_view raw);  // pre-rendered
+  void add(std::string_view key, bool v);
+
+  bool empty() const noexcept { return body_.empty(); }
+  std::string str() const;  // "{...}" on one line
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+// Renders "count/mean/min/max/p50/p95/p99" for one histogram as a JSON
+// object. `scale` multiplies every value (e.g. ns_per_tick to convert TSC
+// ticks to nanoseconds); pass 1.0 for dimensionless quantities.
+std::string histogram_summary_json(const LatencyHistogram& h,
+                                   double scale = 1.0);
+
+// Chrome trace event format ("JSON Object Format": {"traceEvents":[...]}).
+// Timestamps and durations are in microseconds, as the format requires.
+class ChromeTraceBuilder {
+ public:
+  // Complete event (ph:"X"): a span on row `tid` of process `pid`.
+  void complete(int pid, int tid, std::string_view name, double ts_us,
+                double dur_us, std::string_view args_json = {});
+  // Instant event (ph:"i", thread scope).
+  void instant(int pid, int tid, std::string_view name, double ts_us,
+               std::string_view args_json = {});
+  // Counter event (ph:"C"); `series_json` is the args object, e.g.
+  // {"p_i":4}. Chrome plots one stacked chart per (pid, name).
+  void counter(int pid, std::string_view name, double ts_us,
+               std::string_view series_json);
+  // Metadata: names the process / thread rows in the viewer.
+  void process_name(int pid, std::string_view name);
+  void thread_name(int pid, int tid, std::string_view name);
+
+  std::size_t num_events() const noexcept { return events_.size(); }
+  std::string build() const;  // the complete JSON document
+
+ private:
+  std::vector<std::string> events_;
+};
+
+// Converts quiesced worker-ring snapshots (snapshots[w] = worker w's events,
+// oldest first) into a Chrome trace filed under process `pid`:
+// kJobBegin/kJobEnd pairs become "job" spans on row tid=w, steal / spawn /
+// yield events become instants on the same row.
+void append_snapshots_to_trace(
+    ChromeTraceBuilder& out,
+    const std::vector<std::vector<TraceEvent>>& snapshots,
+    const TscCalibration& cal, int pid);
+
+}  // namespace abp::obs

@@ -1,0 +1,173 @@
+#pragma once
+
+// Latency histograms and the metrics registry.
+//
+// LatencyHistogram buckets non-negative 64-bit samples by power of two
+// (bucket i>=1 holds values v with bit_width(v)==i, i.e. [2^(i-1), 2^i);
+// bucket 0 holds v==0), so record() is a bit_width + increment — cheap
+// enough for per-steal and per-job instrumentation. Quantiles are
+// reconstructed by linear interpolation inside the winning bucket, with
+// the tracked exact min/max tightening the extreme buckets.
+//
+// The registry is a name -> histogram map used by the exporters; workers
+// each own their histograms (no sharing) and are merged after quiesce.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace abp::obs {
+
+class LatencyHistogram {
+ public:
+  // Buckets: index 0 for v==0, index i in [1,64] for bit_width(v)==i.
+  static constexpr int kNumBuckets = 65;
+
+  static int bucket_index(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : std::bit_width(v);
+  }
+  // Inclusive lower bound of bucket i.
+  static std::uint64_t bucket_lower(int i) noexcept {
+    return i <= 0 ? 0 : (i == 1 ? 1 : std::uint64_t{1} << (i - 1));
+  }
+  // Inclusive upper bound of bucket i.
+  static std::uint64_t bucket_upper(int i) noexcept {
+    if (i <= 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void record(std::uint64_t v) noexcept {
+    ++buckets_[bucket_index(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return count_ ? max_ : 0; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  std::uint64_t bucket_count(int i) const noexcept {
+    return (i >= 0 && i < kNumBuckets) ? buckets_[i] : 0;
+  }
+
+  // Quantile estimate for p in [0,100]. Exact for the bucket (the winning
+  // sample's power-of-two range), linearly interpolated within it.
+  double percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Rank in [1, count]: the smallest k such that cum(k) covers p% of
+    // the samples.
+    const double target = p / 100.0 * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      const std::uint64_t c = buckets_[i];
+      if (c == 0) continue;
+      if (static_cast<double>(cum + c) >= target) {
+        // Interpolate within [lo, hi] by the fraction of the bucket's
+        // samples below the target rank.
+        double lo = static_cast<double>(bucket_lower(i));
+        double hi = static_cast<double>(bucket_upper(i));
+        lo = std::max(lo, static_cast<double>(min()));
+        hi = std::min(hi, static_cast<double>(max()));
+        if (hi <= lo) return lo;
+        const double frac =
+            (target - static_cast<double>(cum)) / static_cast<double>(c);
+        return lo + frac * (hi - lo);
+      }
+      cum += c;
+    }
+    return static_cast<double>(max());
+  }
+
+  void merge(const LatencyHistogram& o) noexcept {
+    if (o.count_ == 0) return;
+    for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += o.buckets_[i];
+    if (count_ == 0) {
+      min_ = o.min_;
+      max_ = o.max_;
+    } else {
+      min_ = std::min(min_, o.min_);
+      max_ = std::max(max_, o.max_);
+    }
+    count_ += o.count_;
+    sum_ += o.sum_;
+  }
+
+  void reset() noexcept { *this = LatencyHistogram{}; }
+
+ private:
+  std::uint64_t buckets_[kNumBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// The per-worker latency metrics the runtime records (units: TSC ticks;
+// convert with TscCalibration at export time).
+struct WorkerTelemetry {
+  LatencyHistogram steal_latency;        // per successful steal attempt
+  LatencyHistogram job_run;              // per job execution
+  LatencyHistogram time_to_first_steal;  // work_loop entry -> first steal
+
+  void merge(const WorkerTelemetry& o) noexcept {
+    steal_latency.merge(o.steal_latency);
+    job_run.merge(o.job_run);
+    time_to_first_steal.merge(o.time_to_first_steal);
+  }
+  void reset() noexcept {
+    steal_latency.reset();
+    job_run.reset();
+    time_to_first_steal.reset();
+  }
+};
+
+// Name -> histogram map for ad-hoc metrics and for handing a uniform view
+// to the exporters.
+class MetricsRegistry {
+ public:
+  LatencyHistogram& histogram(std::string_view name) {
+    auto it = by_name_.find(name);
+    if (it == by_name_.end())
+      it = by_name_.emplace(std::string(name), LatencyHistogram{}).first;
+    return it->second;
+  }
+
+  const LatencyHistogram* find(std::string_view name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &it->second;
+  }
+
+  struct Entry {
+    std::string name;
+    const LatencyHistogram* hist;
+  };
+  std::vector<Entry> entries() const {
+    std::vector<Entry> out;
+    out.reserve(by_name_.size());
+    for (const auto& [name, hist] : by_name_) out.push_back({name, &hist});
+    return out;
+  }
+
+  std::size_t size() const noexcept { return by_name_.size(); }
+
+ private:
+  std::map<std::string, LatencyHistogram, std::less<>> by_name_;
+};
+
+}  // namespace abp::obs

@@ -1,0 +1,107 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+
+#include "obs/export.hpp"
+
+namespace abp::obs {
+
+RoundSample& SimTimeline::at_round(std::uint64_t round) {
+  // Rounds arrive in nondecreasing order from each writer; the common case
+  // is "same as last" or "append".
+  if (!samples_.empty() && samples_.back().round == round)
+    return samples_.back();
+  for (auto it = samples_.rbegin(); it != samples_.rend(); ++it)
+    if (it->round == round) return *it;
+  samples_.emplace_back();
+  samples_.back().round = round;
+  return samples_.back();
+}
+
+void SimTimeline::note_kernel_choice(std::uint64_t round, std::uint32_t p_i) {
+  at_round(round).proposed = p_i;
+}
+
+void SimTimeline::end_round(std::uint64_t round, std::uint32_t scheduled,
+                            std::uint32_t executed,
+                            std::uint64_t cumulative_throws) {
+  RoundSample& s = at_round(round);
+  s.scheduled = scheduled;
+  s.executed = executed;
+  s.throws = cumulative_throws;
+}
+
+void SimTimeline::sample_potential(std::uint64_t round, double phi_log10) {
+  at_round(round).phi_log10 = phi_log10;
+}
+
+std::string SimTimeline::chrome_trace_json(int pid) const {
+  std::vector<const RoundSample*> ordered;
+  ordered.reserve(samples_.size());
+  for (const RoundSample& s : samples_) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const RoundSample* a, const RoundSample* b) {
+                     return a->round < b->round;
+                   });
+
+  ChromeTraceBuilder b;
+  b.process_name(pid, "sim: " + name_);
+  for (const RoundSample* s : ordered) {
+    const double ts = static_cast<double>(s->round);  // 1 round = 1us
+    {
+      JsonObjectWriter args;
+      args.add("p_i", static_cast<std::uint64_t>(s->proposed));
+      b.counter(pid, "p_i", ts, args.str());
+    }
+    {
+      JsonObjectWriter args;
+      args.add("scheduled", static_cast<std::uint64_t>(s->scheduled));
+      args.add("executed", static_cast<std::uint64_t>(s->executed));
+      b.counter(pid, "progress", ts, args.str());
+    }
+    {
+      JsonObjectWriter args;
+      args.add("throws", s->throws);
+      b.counter(pid, "throws", ts, args.str());
+    }
+    if (s->phi_log10 >= 0.0) {
+      JsonObjectWriter args;
+      args.add("log10(phi)", s->phi_log10);
+      b.counter(pid, "potential", ts, args.str());
+    }
+  }
+  return b.build();
+}
+
+std::string SimTimeline::stats_json() const {
+  std::uint64_t max_round = 0, throws = 0, executed = 0, proposed_sum = 0,
+                scheduled_sum = 0;
+  double phi_first = -1.0, phi_last = -1.0;
+  for (const RoundSample& s : samples_) {
+    max_round = std::max(max_round, s.round);
+    throws = std::max(throws, s.throws);
+    executed += s.executed;
+    proposed_sum += s.proposed;
+    scheduled_sum += s.scheduled;
+    if (s.phi_log10 >= 0.0) {
+      if (phi_first < 0.0) phi_first = s.phi_log10;
+      phi_last = s.phi_log10;
+    }
+  }
+  JsonObjectWriter w;
+  w.add("name", name_);
+  w.add("rounds", max_round);
+  w.add("samples", static_cast<std::uint64_t>(samples_.size()));
+  w.add("executed_nodes", executed);
+  w.add("throws", throws);
+  const double n = samples_.empty() ? 1.0 : double(samples_.size());
+  w.add("mean_p_i", static_cast<double>(proposed_sum) / n);
+  w.add("mean_scheduled", static_cast<double>(scheduled_sum) / n);
+  if (phi_first >= 0.0) {
+    w.add("phi_log10_first", phi_first);
+    w.add("phi_log10_last", phi_last);
+  }
+  return w.str();
+}
+
+}  // namespace abp::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+// Round-resolution timeline for the *simulated* executions (sched/ engine
+// under a sim/ kernel), exporting the same Chrome-trace format as the real
+// runtime so both can be inspected with one viewer.
+//
+// Per round i the engine records p_i as chosen by the kernel, the subset
+// actually scheduled after yield-ledger enforcement, the nodes executed,
+// the cumulative throw (steal-attempt) count, and — optionally — the
+// potential Φ of §4.2. Φ reaches 3^(2·T∞), far beyond double range, so it
+// is stored as log10(Φ); the exported counter series is log-scaled too,
+// which is also how the potential-decay argument is naturally read.
+//
+// Simulated time: one round = one microsecond in the exported trace, so
+// round numbers read directly off the chrome://tracing time axis.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace abp::obs {
+
+struct RoundSample {
+  std::uint64_t round = 0;     // 1-based, as in sim::Round
+  std::uint32_t proposed = 0;  // p_i: processes the kernel chose
+  std::uint32_t scheduled = 0; // after yield-constraint replacement
+  std::uint32_t executed = 0;  // dag nodes executed this round
+  std::uint64_t throws = 0;    // cumulative steal attempts
+  double phi_log10 = -1.0;     // log10(Φ) sampled after the round; <0 = none
+};
+
+class SimTimeline {
+ public:
+  void set_name(std::string name) { name_ = std::move(name); }
+  const std::string& name() const noexcept { return name_; }
+
+  // Kernels report their raw choice (before enforcement); engines report
+  // the full sample at end of round. Rounds may be recorded out of order
+  // across computations sharing one kernel; export sorts by round.
+  void note_kernel_choice(std::uint64_t round, std::uint32_t p_i);
+  void end_round(std::uint64_t round, std::uint32_t scheduled,
+                 std::uint32_t executed, std::uint64_t cumulative_throws);
+  void sample_potential(std::uint64_t round, double phi_log10);
+
+  const std::vector<RoundSample>& samples() const noexcept { return samples_; }
+  std::size_t rounds() const noexcept { return samples_.size(); }
+  void clear() { samples_.clear(); }
+
+  // Counter series "p_i", "scheduled", "executed", "throws", "log10(phi)"
+  // under one trace process; 1 round = 1us of trace time.
+  std::string chrome_trace_json(int pid = 1) const;
+
+  // One-line JSON summary: rounds, totals, and min/max of Φ.
+  std::string stats_json() const;
+
+ private:
+  RoundSample& at_round(std::uint64_t round);
+
+  std::string name_ = "sim";
+  std::vector<RoundSample> samples_;
+};
+
+}  // namespace abp::obs

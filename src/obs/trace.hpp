@@ -1,0 +1,90 @@
+#pragma once
+
+// Compile-time switch and timestamp source for the telemetry subsystem.
+//
+// The runtime's hot-path instrumentation (deque hooks, steal-latency
+// timestamps, per-worker event rings) is wrapped in WHEN_TRACE(...) in the
+// style of Cilk's WHEN_FIBER_STATS: with -DABP_TRACE=OFF the macro expands
+// to nothing and the scheduler compiles to exactly the untraced code — no
+// branches, no loads, no ring storage. The cold-path machinery (histograms,
+// exporters, the simulator timeline) is always available; only the
+// per-operation hooks in runtime/scheduler.hpp are gated.
+//
+// ABP_TRACE_ENABLED is injected globally by CMake (option ABP_TRACE,
+// default ON) so every translation unit sees one consistent definition;
+// a header compiled without it defaults to OFF.
+
+#include <chrono>
+#include <cstdint>
+
+#if !defined(ABP_TRACE_ENABLED)
+#define ABP_TRACE_ENABLED 0
+#endif
+
+#if ABP_TRACE_ENABLED
+#define WHEN_TRACE(...) __VA_ARGS__
+#else
+#define WHEN_TRACE(...)
+#endif
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace abp::obs {
+
+// Raw timestamp counter: one instruction on x86-64 (rdtsc) and aarch64
+// (cntvct_el0), steady_clock elsewhere. Values are in *ticks*; use
+// TscCalibration to convert to nanoseconds at export time.
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#elif defined(__aarch64__)
+  std::uint64_t v;
+  asm volatile("mrs %0, cntvct_el0" : "=r"(v));
+  return v;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+// Tick → nanosecond conversion, measured once per process (the counters we
+// use are invariant/constant-rate on every mainstream 64-bit target).
+struct TscCalibration {
+  std::uint64_t origin = 0;     // tick value taken at calibration time
+  double ns_per_tick = 1.0;
+
+  double to_ns(std::uint64_t tsc) const noexcept {
+    return static_cast<double>(tsc - origin) * ns_per_tick;
+  }
+  double to_us(std::uint64_t tsc) const noexcept { return to_ns(tsc) / 1e3; }
+  double ticks_to_ns(std::uint64_t ticks) const noexcept {
+    return static_cast<double>(ticks) * ns_per_tick;
+  }
+};
+
+// Spins for ~2ms against steady_clock to measure the tick rate. Cheap
+// enough to call once per export; cache the result if exporting repeatedly.
+inline TscCalibration calibrate_tsc() {
+  using Clock = std::chrono::steady_clock;
+  TscCalibration cal;
+  const std::uint64_t t0 = rdtsc();
+  const auto c0 = Clock::now();
+  // Busy-wait a fixed wall-clock window; long enough to dwarf the
+  // measurement overhead, short enough to be unnoticeable.
+  while (Clock::now() - c0 < std::chrono::milliseconds(2)) {
+  }
+  const std::uint64_t t1 = rdtsc();
+  const auto c1 = Clock::now();
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              c1 - c0)
+                              .count());
+  const double ticks = static_cast<double>(t1 - t0);
+  cal.origin = t0;
+  cal.ns_per_tick = ticks > 0.0 ? ns / ticks : 1.0;
+  return cal;
+}
+
+}  // namespace abp::obs

@@ -1,0 +1,127 @@
+#pragma once
+
+// Per-worker event ring buffer.
+//
+// Each worker owns one TraceRing and is its only writer, so recording is a
+// store + index bump with no synchronization — the same single-owner
+// discipline as the WorkerStats counters. The ring has fixed power-of-two
+// capacity and overwrites the oldest events when full (tracing must never
+// block or allocate on the hot path); `dropped()` reports how many events
+// were lost to wraparound. Readers snapshot after the pool quiesces.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "support/assert.hpp"
+
+namespace abp::obs {
+
+// Typed scheduler events; `arg` is event-specific (see comments).
+enum class EventType : std::uint8_t {
+  kSpawn,           // push_bottom of a new job; arg = deque size hint
+  kPopBottomHit,    // own deque produced the next assigned job
+  kPopBottomMiss,   // own deque empty -> become a thief
+  kStealAttempt,    // arg = victim worker id
+  kStealSuccess,    // arg = attempt latency in ticks
+  kStealAbortCas,   // popTop lost the CAS race; arg = victim id
+  kStealAbortEmpty, // victim deque was empty; arg = victim id
+  kYield,           // yield call between steal attempts
+  kJobBegin,        // execution of a job starts
+  kJobEnd,          // arg = job run time in ticks
+};
+
+constexpr const char* to_string(EventType t) noexcept {
+  switch (t) {
+    case EventType::kSpawn: return "spawn";
+    case EventType::kPopBottomHit: return "pop_bottom_hit";
+    case EventType::kPopBottomMiss: return "pop_bottom_miss";
+    case EventType::kStealAttempt: return "steal_attempt";
+    case EventType::kStealSuccess: return "steal_success";
+    case EventType::kStealAbortCas: return "steal_abort_cas";
+    case EventType::kStealAbortEmpty: return "steal_abort_empty";
+    case EventType::kYield: return "yield";
+    case EventType::kJobBegin: return "job_begin";
+    case EventType::kJobEnd: return "job_end";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  std::uint64_t tsc = 0;  // rdtsc() at record time
+  std::uint64_t arg = 0;  // event-specific payload
+  EventType type = EventType::kSpawn;
+};
+
+class TraceRing {
+ public:
+  // Capacity is rounded up to a power of two (index masking on the hot
+  // path). Default 16Ki events = 384KiB per worker.
+  explicit TraceRing(std::size_t capacity = 1u << 14)
+      : capacity_(round_up_pow2(capacity)),
+        mask_(capacity_ - 1),
+        buf_(std::make_unique<TraceEvent[]>(capacity_)) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Owner only; never blocks, never allocates.
+  void record(EventType type, std::uint64_t arg = 0) noexcept {
+    TraceEvent& e = buf_[head_ & mask_];
+    e.tsc = rdtsc();
+    e.arg = arg;
+    e.type = type;
+    ++head_;
+  }
+
+  // Same, with a caller-supplied timestamp (used when the caller already
+  // read the clock, e.g. to timestamp an event at its *start*).
+  void record_at(std::uint64_t tsc, EventType type,
+                 std::uint64_t arg = 0) noexcept {
+    TraceEvent& e = buf_[head_ & mask_];
+    e.tsc = tsc;
+    e.arg = arg;
+    e.type = type;
+    ++head_;
+  }
+
+  std::uint64_t total_recorded() const noexcept { return head_; }
+  std::uint64_t dropped() const noexcept {
+    return head_ > capacity_ ? head_ - capacity_ : 0;
+  }
+  std::size_t size() const noexcept {
+    return head_ > capacity_ ? capacity_ : static_cast<std::size_t>(head_);
+  }
+
+  void clear() noexcept { head_ = 0; }
+
+  // The retained events, oldest first. Call only after the owning worker
+  // has quiesced (there is no synchronization with a concurrent writer).
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    const std::size_t n = size();
+    out.reserve(n);
+    const std::uint64_t first = head_ - n;
+    for (std::uint64_t i = first; i < head_; ++i)
+      out.push_back(buf_[i & mask_]);
+    return out;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) noexcept {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::unique_ptr<TraceEvent[]> buf_;
+  std::uint64_t head_ = 0;  // monotonic event count; write index = head & mask
+};
+
+}  // namespace abp::obs

@@ -44,6 +44,9 @@ struct SchedulerOptions {
   std::size_t deque_capacity = 1u << 16;  // for the fixed-size ABP deque
   std::uint64_t seed = 0x5eed;
   std::uint32_t sleep_us = 50;  // kSleep pause between steal attempts
+  // Per-worker telemetry ring capacity (events; rounded up to a power of
+  // two). Only consulted when the WHEN_TRACE hooks are compiled in.
+  std::size_t trace_ring_capacity = 1u << 14;
 };
 
 }  // namespace abp::runtime

@@ -50,6 +50,9 @@ class PolyDeque {
   std::optional<T> pop_top() {
     return std::visit([](auto& d) { return d.pop_top(); }, impl_);
   }
+  deque::PopTopResult<T> pop_top_ex() {
+    return std::visit([](auto& d) { return d.pop_top_ex(); }, impl_);
+  }
   bool empty_hint() const {
     return std::visit([](const auto& d) { return d.empty_hint(); }, impl_);
   }

@@ -1,5 +1,9 @@
 #include "runtime/scheduler.hpp"
 
+#include <algorithm>
+
+#include "obs/export.hpp"
+
 namespace abp::runtime {
 
 const char* to_string(DequePolicy p) noexcept {
@@ -35,6 +39,13 @@ Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts) {
     deques_.push_back(std::make_unique<PolyDeque<Job*>>(
         opts_.deque, opts_.deque_capacity));
   stats_.resize(n);
+#if ABP_TRACE_ENABLED
+  rings_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    rings_.push_back(std::make_unique<obs::TraceRing>(
+        opts_.trace_ring_capacity));
+  telemetry_.resize(n);
+#endif
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     auto w = std::make_unique<Worker>();
@@ -42,6 +53,10 @@ Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts) {
     w->sched_ = this;
     w->deque_ = deques_[i].get();
     w->stats_ = &stats_[i];
+#if ABP_TRACE_ENABLED
+    w->ring_ = rings_[i].get();
+    w->telemetry_ = &telemetry_[i];
+#endif
     w->rng_.reseed(opts_.seed * 0x9e3779b97f4a7c15ULL + i + 1);
     workers_.push_back(std::move(w));
   }
@@ -94,6 +109,7 @@ void Scheduler::worker_main(std::size_t id) {
 void Scheduler::work_loop(Worker& w) {
   // The Figure 3 scheduling loop. The assigned job is `j`; termination is
   // the computationDone flag (here: completion of the root job).
+  WHEN_TRACE(w.loop_start_tsc_ = obs::rdtsc(); w.first_steal_recorded_ = false;)
   Job* j = nullptr;
   for (;;) {
     if (j != nullptr) {
@@ -121,6 +137,93 @@ void Scheduler::reset_stats() {
   ABP_ASSERT_MSG(done_.load(std::memory_order_acquire),
                  "reset_stats while running");
   for (auto& s : stats_) s.value.reset();
+#if ABP_TRACE_ENABLED
+  for (auto& r : rings_) r->clear();
+  for (auto& t : telemetry_) t.value.reset();
+#endif
 }
+
+#if ABP_TRACE_ENABLED
+
+obs::WorkerTelemetry Scheduler::aggregate_telemetry() const {
+  obs::WorkerTelemetry total;
+  for (const auto& t : telemetry_) total.merge(t.value);
+  return total;
+}
+
+std::string Scheduler::chrome_trace_json() const {
+  const obs::TscCalibration cal = obs::calibrate_tsc();
+  obs::ChromeTraceBuilder b;
+  b.process_name(0, "abp runtime");
+  std::vector<std::vector<obs::TraceEvent>> snaps;
+  snaps.reserve(rings_.size());
+  for (const auto& r : rings_) snaps.push_back(r->snapshot());
+  // Anchor the time axis at the earliest retained event so traces start
+  // near t=0 regardless of process uptime.
+  obs::TscCalibration anchored = cal;
+  std::uint64_t first = ~std::uint64_t{0};
+  for (const auto& s : snaps)
+    if (!s.empty()) first = std::min(first, s.front().tsc);
+  if (first != ~std::uint64_t{0}) anchored.origin = first;
+  append_snapshots_to_trace(b, snaps, anchored, 0);
+  return b.build();
+}
+
+std::string Scheduler::stats_json() const {
+  const obs::TscCalibration cal = obs::calibrate_tsc();
+  const WorkerStats t = total_stats();
+  const obs::WorkerTelemetry tel = aggregate_telemetry();
+  std::uint64_t recorded = 0, dropped = 0;
+  for (const auto& r : rings_) {
+    recorded += r->total_recorded();
+    dropped += r->dropped();
+  }
+  obs::JsonObjectWriter w;
+  w.add("workers", static_cast<std::uint64_t>(num_workers()));
+  w.add("jobs_executed", t.jobs_executed);
+  w.add("spawns", t.spawns);
+  w.add("pop_bottom_hits", t.pop_bottom_hits);
+  w.add("steal_attempts", t.steal_attempts);
+  w.add("steals", t.steals);
+  w.add("steal_cas_failures", t.steal_cas_failures);
+  w.add("steal_empty_victim", t.steal_empty_victim);
+  w.add("yields", t.yields);
+  w.add("overflow_inline_runs", t.overflow_inline_runs);
+  w.add("trace_events", recorded);
+  w.add("trace_dropped", dropped);
+  w.add_raw("steal_latency_ns",
+            obs::histogram_summary_json(tel.steal_latency, cal.ns_per_tick));
+  w.add_raw("job_run_ns",
+            obs::histogram_summary_json(tel.job_run, cal.ns_per_tick));
+  w.add_raw("time_to_first_steal_ns",
+            obs::histogram_summary_json(tel.time_to_first_steal,
+                                        cal.ns_per_tick));
+  return w.str();
+}
+
+#else  // !ABP_TRACE_ENABLED
+
+std::string Scheduler::chrome_trace_json() const {
+  return "{\"traceEvents\":[]}";
+}
+
+std::string Scheduler::stats_json() const {
+  const WorkerStats t = total_stats();
+  obs::JsonObjectWriter w;
+  w.add("workers", static_cast<std::uint64_t>(num_workers()));
+  w.add("jobs_executed", t.jobs_executed);
+  w.add("spawns", t.spawns);
+  w.add("pop_bottom_hits", t.pop_bottom_hits);
+  w.add("steal_attempts", t.steal_attempts);
+  w.add("steals", t.steals);
+  w.add("steal_cas_failures", t.steal_cas_failures);
+  w.add("steal_empty_victim", t.steal_empty_victim);
+  w.add("yields", t.yields);
+  w.add("overflow_inline_runs", t.overflow_inline_runs);
+  w.add("trace_events", std::uint64_t{0});
+  return w.str();
+}
+
+#endif  // ABP_TRACE_ENABLED
 
 }  // namespace abp::runtime

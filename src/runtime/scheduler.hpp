@@ -22,9 +22,15 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+#if ABP_TRACE_ENABLED
+#include "obs/metrics.hpp"
+#include "obs/trace_ring.hpp"
+#endif
 #include "runtime/job.hpp"
 #include "runtime/options.hpp"
 #include "runtime/poly_deque.hpp"
@@ -45,6 +51,10 @@ class Worker {
   Xoshiro256& rng() noexcept { return rng_; }
   WorkerStats& stats() noexcept { return stats_->value; }
   JobPool& pool() noexcept { return pool_; }
+#if ABP_TRACE_ENABLED
+  obs::TraceRing& trace() noexcept { return *ring_; }
+  obs::WorkerTelemetry& telemetry() noexcept { return telemetry_->value; }
+#endif
 
   // Defined after Scheduler (they need its internals).
   inline void push(Job* j);
@@ -59,6 +69,12 @@ class Worker {
   Scheduler* sched_ = nullptr;
   PolyDeque<Job*>* deque_ = nullptr;
   PaddedWorkerStats* stats_ = nullptr;
+#if ABP_TRACE_ENABLED
+  obs::TraceRing* ring_ = nullptr;
+  CacheAligned<obs::WorkerTelemetry>* telemetry_ = nullptr;
+  std::uint64_t loop_start_tsc_ = 0;  // work_loop entry, for time-to-first-steal
+  bool first_steal_recorded_ = false;
+#endif
   Xoshiro256 rng_;
   JobPool pool_;
 };
@@ -159,6 +175,23 @@ class Scheduler {
   }
   void reset_stats();
 
+  // ---- telemetry (src/obs) ----
+  // True when the WHEN_TRACE hooks were compiled in (-DABP_TRACE=ON).
+  static constexpr bool trace_compiled() noexcept {
+    return ABP_TRACE_ENABLED != 0;
+  }
+  // Chrome-trace JSON of the per-worker event rings ({"traceEvents":[]}
+  // when hooks are compiled out). Call only while quiesced.
+  std::string chrome_trace_json() const;
+  // One-line JSON: aggregated counters plus (when tracing) steal-latency /
+  // job-run / time-to-first-steal histogram summaries in nanoseconds.
+  std::string stats_json() const;
+#if ABP_TRACE_ENABLED
+  const obs::TraceRing& worker_trace(std::size_t i) const { return *rings_[i]; }
+  // Histograms merged across workers. Call only while quiesced.
+  obs::WorkerTelemetry aggregate_telemetry() const;
+#endif
+
  private:
   friend class Worker;
   friend class TaskGroup;
@@ -174,6 +207,10 @@ class Scheduler {
   SchedulerOptions opts_;
   std::vector<std::unique_ptr<PolyDeque<Job*>>> deques_;
   std::vector<PaddedWorkerStats> stats_;
+#if ABP_TRACE_ENABLED
+  std::vector<std::unique_ptr<obs::TraceRing>> rings_;
+  std::vector<CacheAligned<obs::WorkerTelemetry>> telemetry_;
+#endif
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
 
@@ -201,6 +238,7 @@ inline void Worker::push(Job* j) {
     return;
   }
   ++stats().spawns;
+  WHEN_TRACE(ring_->record(obs::EventType::kSpawn, deque_->size_hint());)
   deque_->push_bottom(j);
 }
 
@@ -208,8 +246,10 @@ inline Job* Worker::pop_bottom() {
   auto j = deque_->pop_bottom();
   if (j) {
     ++stats().pop_bottom_hits;
+    WHEN_TRACE(ring_->record(obs::EventType::kPopBottomHit);)
     return *j;
   }
+  WHEN_TRACE(ring_->record(obs::EventType::kPopBottomMiss);)
   return nullptr;
 }
 
@@ -217,13 +257,39 @@ inline Job* Worker::try_steal() {
   Scheduler& s = *sched_;
   const std::size_t p = s.num_workers();
   ++stats().steal_attempts;
+  WHEN_TRACE(const std::uint64_t t0 = obs::rdtsc();)
   const auto victim = static_cast<std::size_t>(rng_.below(p));
-  if (victim == id_) return nullptr;  // own deque is empty (we are a thief)
-  auto j = s.deques_[victim]->pop_top();
-  if (j) {
-    ++stats().steals;
-    return *j;
+  WHEN_TRACE(ring_->record_at(t0, obs::EventType::kStealAttempt, victim);)
+  if (victim == id_) {
+    // Own deque is empty (we are a thief); counts as an empty victim.
+    ++stats().steal_empty_victim;
+    WHEN_TRACE(ring_->record(obs::EventType::kStealAbortEmpty, victim);)
+    return nullptr;
   }
+  auto r = s.deques_[victim]->pop_top_ex();
+  switch (r.status) {
+    case deque::PopTopStatus::kSuccess: {
+      ++stats().steals;
+      WHEN_TRACE({
+        const std::uint64_t latency = obs::rdtsc() - t0;
+        ring_->record(obs::EventType::kStealSuccess, latency);
+        telemetry_->value.steal_latency.record(latency);
+        if (!first_steal_recorded_) {
+          first_steal_recorded_ = true;
+          telemetry_->value.time_to_first_steal.record(t0 - loop_start_tsc_);
+        }
+      })
+      return *r.item;
+    }
+    case deque::PopTopStatus::kLostRace:
+      ++stats().steal_cas_failures;
+      WHEN_TRACE(ring_->record(obs::EventType::kStealAbortCas, victim);)
+      return nullptr;
+    case deque::PopTopStatus::kEmpty:
+      break;
+  }
+  ++stats().steal_empty_victim;
+  WHEN_TRACE(ring_->record(obs::EventType::kStealAbortEmpty, victim);)
   return nullptr;
 }
 
@@ -231,7 +297,14 @@ inline void Worker::execute(Job* j) {
   ++stats().jobs_executed;
   TaskGroup* group = j->group;
   const bool pooled = j->pooled;
+  WHEN_TRACE(const std::uint64_t t0 = obs::rdtsc();
+             ring_->record_at(t0, obs::EventType::kJobBegin);)
   j->run(*this);
+  WHEN_TRACE({
+    const std::uint64_t dt = obs::rdtsc() - t0;
+    ring_->record(obs::EventType::kJobEnd, dt);
+    telemetry_->value.job_run.record(dt);
+  })
   if (pooled) pool_.free(j);
   if (group != nullptr) group->on_complete();
 }
@@ -242,10 +315,12 @@ inline void Worker::yield_between_steals() {
       break;
     case YieldPolicy::kYield:
       ++stats().yields;
+      WHEN_TRACE(ring_->record(obs::EventType::kYield);)
       std::this_thread::yield();
       break;
     case YieldPolicy::kSleep:
       ++stats().yields;
+      WHEN_TRACE(ring_->record(obs::EventType::kYield);)
       std::this_thread::sleep_for(
           std::chrono::microseconds(sched_->opts_.sleep_us));
       break;

@@ -17,6 +17,13 @@ struct WorkerStats {
   std::uint64_t pop_bottom_hits = 0;
   std::uint64_t steal_attempts = 0;
   std::uint64_t steals = 0;
+  // Failed attempts, split by reason: the victim's popTop lost a CAS race
+  // (contended, non-empty victim) vs. the victim deque was empty — the two
+  // failure modes §3.2's relaxed semantics deliberately fold together.
+  // Invariant: steal_attempts == steals + steal_cas_failures +
+  // steal_empty_victim (a self-steal counts as an empty victim).
+  std::uint64_t steal_cas_failures = 0;
+  std::uint64_t steal_empty_victim = 0;
   std::uint64_t yields = 0;
   std::uint64_t overflow_inline_runs = 0;
 
@@ -28,6 +35,8 @@ struct WorkerStats {
     pop_bottom_hits += o.pop_bottom_hits;
     steal_attempts += o.steal_attempts;
     steals += o.steals;
+    steal_cas_failures += o.steal_cas_failures;
+    steal_empty_victim += o.steal_empty_victim;
     yields += o.yields;
     overflow_inline_runs += o.overflow_inline_runs;
     return *this;

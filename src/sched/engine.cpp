@@ -1,5 +1,8 @@
 #include "sched/engine.hpp"
 
+#include <cmath>
+
+#include "sched/potential.hpp"
 #include "support/assert.hpp"
 
 namespace abp::sched {
@@ -126,6 +129,7 @@ std::size_t WorkStealerEngine::round(std::vector<sim::ProcId> proposed) {
   ABP_ASSERT_MSG(!done_, "round() called on a finished engine");
   ++round_;
   const std::uint64_t executed_before = executed_;
+  const std::size_t num_proposed = proposed.size();
   std::vector<sim::ProcId> scheduled =
       ledger_.enforce(std::move(proposed), round_);
   metrics_.record.begin_round(scheduled.size());
@@ -138,7 +142,30 @@ std::size_t WorkStealerEngine::round(std::vector<sim::ProcId> proposed) {
   }
   ledger_.note_scheduled(scheduled, round_);
   metrics_.length = round_;
-  return static_cast<std::size_t>(executed_ - executed_before);
+  const std::size_t executed_now =
+      static_cast<std::size_t>(executed_ - executed_before);
+  if (opts_.timeline != nullptr) {
+    // p_i as handed to us may already carry the kernel's choice via
+    // note_kernel_choice; record the engine-side view regardless, since in
+    // multiprogrammed runs this engine sees only its own slice.
+    opts_.timeline->note_kernel_choice(round_,
+                                       static_cast<std::uint32_t>(num_proposed));
+    opts_.timeline->end_round(round_,
+                              static_cast<std::uint32_t>(scheduled.size()),
+                              static_cast<std::uint32_t>(executed_now),
+                              metrics_.steal_attempts);
+    if (opts_.sample_potential) {
+      const EngineView view{std::span<const ProcState>(procs_), tree_, round_,
+                            metrics_.steal_attempts};
+      const PotentialBreakdown phi = compute_potential(view);
+      const double log10_phi =
+          phi.total > 0.0L
+              ? static_cast<double>(std::log10(phi.total))
+              : 0.0;
+      opts_.timeline->sample_potential(round_, log10_phi);
+    }
+  }
+  return executed_now;
 }
 
 const RunMetrics& WorkStealerEngine::metrics() {

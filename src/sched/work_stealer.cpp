@@ -21,6 +21,10 @@ RunMetrics run_work_stealer(const dag::Dag& d, sim::Kernel& kernel,
   ABP_ASSERT_MSG(d.is_valid(),
                  "dag must satisfy the structural assumptions");
   WorkStealerEngine engine(d, kernel.num_processes(), opts);
+  // Single-computation run: the engine's timeline doubles as the kernel's
+  // p_i sink unless the caller wired the kernel to its own.
+  if (opts.timeline != nullptr && kernel.timeline() == nullptr)
+    kernel.attach_timeline(opts.timeline);
   RunMetrics out;
 
   while (!engine.done()) {

@@ -29,6 +29,7 @@
 
 #include "dag/dag.hpp"
 #include "dag/enabling.hpp"
+#include "obs/timeline.hpp"
 #include "sim/exec.hpp"
 #include "sim/kernel.hpp"
 #include "sim/yield.hpp"
@@ -72,6 +73,13 @@ struct Options {
   // O(deque length * tree depth) per action — test-sized runs only.
   bool check_structural_lemma = false;
   RoundHook after_round;  // optional; called at the end of every round
+  // Observability sink: when set, the engine records per-round p_i /
+  // scheduled / executed / cumulative-throw samples into it, exportable as
+  // a Chrome trace in the same format as the real runtime's.
+  obs::SimTimeline* timeline = nullptr;
+  // Additionally sample the potential Φ of §4.2 each round (stored as
+  // log10 Φ). O(nodes held) per round — simulation-sized runs only.
+  bool sample_potential = false;
 };
 
 struct RunMetrics {

@@ -21,8 +21,9 @@ DedicatedKernel::DedicatedKernel(std::size_t num_processes)
   std::iota(all_.begin(), all_.end(), ProcId{0});
 }
 
-std::vector<ProcId> DedicatedKernel::schedule(Round,
+std::vector<ProcId> DedicatedKernel::schedule(Round round,
                                               std::span<const ProcessView>) {
+  note_choice(round, all_.size());
   return all_;
 }
 
@@ -39,6 +40,7 @@ std::vector<ProcId> BenignKernel::schedule(Round round,
   std::vector<ProcId> out(idx.size());
   for (std::size_t i = 0; i < idx.size(); ++i)
     out[i] = static_cast<ProcId>(idx[i]);
+  note_choice(round, out.size());
   return out;
 }
 
@@ -63,6 +65,7 @@ std::vector<ProcId> ObliviousKernel::schedule(Round round,
   out.reserve(count);
   for (ProcCount i = 0; i < count; ++i)
     out.push_back(static_cast<ProcId>((start + i) % p_));
+  note_choice(round, out.size());
   return out;
 }
 
@@ -77,7 +80,10 @@ ExplicitKernel::ExplicitKernel(std::size_t num_processes,
 
 std::vector<ProcId> ExplicitKernel::schedule(Round round,
                                              std::span<const ProcessView>) {
-  return rounds_[static_cast<std::size_t>((round - 1) % rounds_.size())];
+  const auto& out =
+      rounds_[static_cast<std::size_t>((round - 1) % rounds_.size())];
+  note_choice(round, out.size());
+  return out;
 }
 
 StarveBusyKernel::StarveBusyKernel(std::size_t num_processes,
@@ -102,6 +108,7 @@ std::vector<ProcId> StarveBusyKernel::schedule(
     return busy_a < busy_b;
   });
   order.resize(count);
+  note_choice(round, order.size());
   return order;
 }
 
@@ -124,6 +131,7 @@ std::vector<ProcId> FavorBusyKernel::schedule(
     return busy_a > busy_b;
   });
   order.resize(count);
+  note_choice(round, order.size());
   return order;
 }
 

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/timeline.hpp"
 #include "sim/profile.hpp"
 #include "support/rng.hpp"
 
@@ -51,6 +52,21 @@ class Kernel {
 
   virtual std::size_t num_processes() const noexcept = 0;
   virtual const char* name() const noexcept = 0;
+
+  // Observability: when attached, every schedule() reports its p_i choice
+  // to the timeline — the kernel-side record of processor supply, which in
+  // multiprogrammed runs differs from any single engine's view.
+  void attach_timeline(obs::SimTimeline* t) noexcept { timeline_ = t; }
+  obs::SimTimeline* timeline() const noexcept { return timeline_; }
+
+ protected:
+  void note_choice(Round round, std::size_t p_i) const {
+    if (timeline_ != nullptr)
+      timeline_->note_kernel_choice(round, static_cast<std::uint32_t>(p_i));
+  }
+
+ private:
+  obs::SimTimeline* timeline_ = nullptr;
 };
 
 // Dedicated environment: all P processes run every round (Theorem 9).

@@ -81,4 +81,48 @@ std::string Table::to_csv() const {
   return out;
 }
 
+std::string Table::to_json() const {
+  auto quote = [](const std::string& s) {
+    std::string e = "\"";
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': e += "\\\""; break;
+        case '\\': e += "\\\\"; break;
+        case '\n': e += "\\n"; break;
+        case '\r': e += "\\r"; break;
+        case '\t': e += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(ch)));
+            e += buf;
+          } else {
+            e += ch;
+          }
+      }
+    }
+    e += '"';
+    return e;
+  };
+  std::string out = "{\"title\":" + quote(title_) + ",\"columns\":[";
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) out += ',';
+    out += quote(columns_[c]);
+  }
+  out += "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out += ',';
+    out += '[';
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      if (c) out += ',';
+      out += quote(rows_[r][c]);
+    }
+    out += ']';
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace abp

@@ -30,6 +30,10 @@ class Table {
   // Render as CSV (header + rows).
   std::string to_csv() const;
 
+  // Render as a one-line JSON object {"title","columns","rows"}; cells are
+  // kept as strings (the formatted values the human table shows).
+  std::string to_json() const;
+
  private:
   std::string title_;
   std::vector<std::string> columns_;

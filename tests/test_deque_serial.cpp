@@ -65,6 +65,23 @@ TYPED_TEST(DequeSerial, PopTopIsFifo) {
   EXPECT_FALSE(this->deque.pop_top().has_value());
 }
 
+TYPED_TEST(DequeSerial, PopTopExReportsStatus) {
+  // Single-threaded there is no CAS race to lose: pop_top_ex() returns
+  // kEmpty or kSuccess, and agrees with pop_top()'s item semantics.
+  auto r = this->deque.pop_top_ex();
+  EXPECT_FALSE(r.item.has_value());
+  EXPECT_EQ(r.status, PopTopStatus::kEmpty);
+
+  for (Item i = 0; i < 3; ++i) this->deque.push_bottom(i);
+  for (Item i = 0; i < 3; ++i) {
+    auto s = this->deque.pop_top_ex();
+    EXPECT_EQ(s.status, PopTopStatus::kSuccess);
+    ASSERT_TRUE(s.item.has_value());
+    EXPECT_EQ(*s.item, i);
+  }
+  EXPECT_EQ(this->deque.pop_top_ex().status, PopTopStatus::kEmpty);
+}
+
 TYPED_TEST(DequeSerial, MixedEndsMeetInMiddle) {
   for (Item i = 0; i < 6; ++i) this->deque.push_bottom(i);
   EXPECT_EQ(*this->deque.pop_top(), 0u);

@@ -1,0 +1,436 @@
+// Telemetry subsystem (src/obs): ring wraparound, histogram bucket
+// boundaries and quantiles, Chrome-trace / stats JSON well-formedness
+// (parsed back with the strict validator), the simulator timeline, and
+// cross-worker aggregation after the real runtime quiesces.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "dag/builders.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_ring.hpp"
+#include "runtime/scheduler.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+#include "sim/profile.hpp"
+
+namespace {
+
+using namespace abp;
+using obs::EventType;
+using obs::LatencyHistogram;
+using obs::TraceRing;
+
+// ---- trace ring ----------------------------------------------------------
+
+TEST(TraceRing, RecordsInOrderBelowCapacity) {
+  TraceRing ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ring.record(EventType::kSpawn, i);
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(snap[i].arg, i);
+    EXPECT_EQ(snap[i].type, EventType::kSpawn);
+  }
+  // Timestamps are nondecreasing (monotonic counter read per record).
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_GE(snap[i].tsc, snap[i - 1].tsc);
+}
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDropped) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i)
+    ring.record(EventType::kYield, i);
+  EXPECT_EQ(ring.total_recorded(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  EXPECT_EQ(ring.size(), 8u);
+  const auto snap = ring.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  // Oldest retained is #12, newest is #19.
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(snap[i].arg, 12 + i);
+}
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  TraceRing ring1(1);
+  EXPECT_EQ(ring1.capacity(), 1u);
+  // A capacity-1 ring holds exactly the newest event.
+  ring1.record(EventType::kSpawn, 1);
+  ring1.record(EventType::kSpawn, 2);
+  const auto snap = ring1.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].arg, 2u);
+}
+
+TEST(TraceRing, ClearResets) {
+  TraceRing ring(4);
+  ring.record(EventType::kSpawn);
+  ring.clear();
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.snapshot().empty());
+}
+
+// ---- histogram -----------------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly v==0; bucket i>=1 holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_index(3), 2);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4), 3);
+  EXPECT_EQ(LatencyHistogram::bucket_index((1ull << 20) - 1), 20);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1ull << 20), 21);
+  EXPECT_EQ(LatencyHistogram::bucket_index(~0ull), 64);
+
+  for (int i = 1; i <= 64; ++i) {
+    // Each bucket's bounds map back to that bucket, and bounds tile the
+    // value space with no gaps.
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_lower(i)),
+              i)
+        << i;
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_upper(i)),
+              i)
+        << i;
+    if (i < 64) {
+      EXPECT_EQ(LatencyHistogram::bucket_upper(i) + 1,
+                LatencyHistogram::bucket_lower(i + 1))
+          << i;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, CountsAndMoments) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 60u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  EXPECT_EQ(h.bucket_count(LatencyHistogram::bucket_index(10)), 1u);
+}
+
+TEST(LatencyHistogramTest, PercentilesOrderedAndBounded) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const double p50 = h.percentile(50);
+  const double p95 = h.percentile(95);
+  const double p99 = h.percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, 1.0);
+  EXPECT_LE(p99, 1000.0);
+  // With log buckets the p50 of uniform [1,1000] lands in the 512-1000
+  // bucket's lower half; just require the right order of magnitude.
+  EXPECT_GT(p50, 100.0);
+  // p0/p100 clamp to min/max.
+  EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 1000.0);
+}
+
+TEST(LatencyHistogramTest, SingleValueAllPercentilesEqual) {
+  LatencyHistogram h;
+  h.record(42);
+  EXPECT_DOUBLE_EQ(h.percentile(50), 42.0);
+  EXPECT_DOUBLE_EQ(h.percentile(99), 42.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesCombinedRecording) {
+  LatencyHistogram a, b, both;
+  for (std::uint64_t v = 1; v <= 100; ++v) {
+    (v % 2 ? a : b).record(v * 7);
+    both.record(v * 7);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.sum(), both.sum());
+  EXPECT_EQ(a.min(), both.min());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_DOUBLE_EQ(a.percentile(95), both.percentile(95));
+}
+
+TEST(MetricsRegistryTest, NamedHistograms) {
+  obs::MetricsRegistry reg;
+  reg.histogram("steal_latency").record(5);
+  reg.histogram("steal_latency").record(6);
+  reg.histogram("job_run").record(7);
+  EXPECT_EQ(reg.size(), 2u);
+  ASSERT_NE(reg.find("steal_latency"), nullptr);
+  EXPECT_EQ(reg.find("steal_latency")->count(), 2u);
+  EXPECT_EQ(reg.find("missing"), nullptr);
+  EXPECT_EQ(reg.entries().size(), 2u);
+}
+
+// ---- JSON utilities ------------------------------------------------------
+
+TEST(JsonTest, ValidatorAcceptsAndRejects) {
+  std::string err;
+  EXPECT_TRUE(obs::json_validate("{}"));
+  EXPECT_TRUE(obs::json_validate("[1,2.5,-3e2,\"x\",true,false,null]"));
+  EXPECT_TRUE(obs::json_validate("{\"a\":{\"b\":[{}]}}"));
+  EXPECT_FALSE(obs::json_validate("{", &err));
+  EXPECT_FALSE(obs::json_validate("{\"a\":}", &err));
+  EXPECT_FALSE(obs::json_validate("[1,]", &err));
+  EXPECT_FALSE(obs::json_validate("01", &err));
+  EXPECT_FALSE(obs::json_validate("\"unterminated", &err));
+  EXPECT_FALSE(obs::json_validate("{} trailing", &err));
+}
+
+TEST(JsonTest, EscapeAndWriter) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  obs::JsonObjectWriter w;
+  w.add("s", std::string_view("x\"y"));
+  w.add("n", std::uint64_t{7});
+  w.add("d", 1.5);
+  w.add("b", true);
+  const std::string out = w.str();
+  EXPECT_TRUE(obs::json_validate(out)) << out;
+  EXPECT_NE(out.find("\"s\":\"x\\\"y\""), std::string::npos);
+}
+
+TEST(JsonTest, HistogramSummaryValidates) {
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v < 64; ++v) h.record(v);
+  const std::string s = obs::histogram_summary_json(h, 0.5);
+  EXPECT_TRUE(obs::json_validate(s)) << s;
+  EXPECT_NE(s.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(s.find("\"p99\":"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, BuilderProducesWellFormedDocument) {
+  obs::ChromeTraceBuilder b;
+  b.process_name(0, "test \"proc\"");
+  b.thread_name(0, 1, "worker 1");
+  b.complete(0, 1, "job", 1.0, 2.5);
+  b.instant(0, 1, "steal", 3.0, "{\"victim\":2}");
+  b.counter(0, "p_i", 4.0, "{\"p_i\":3}");
+  const std::string doc = b.build();
+  std::string err;
+  EXPECT_TRUE(obs::json_validate(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_EQ(b.num_events(), 5u);
+}
+
+// ---- simulator timeline --------------------------------------------------
+
+TEST(SimTimelineTest, EngineRecordsRoundsAndPotential) {
+  const auto d = dag::fib_dag(10);
+  const std::size_t p = 4;
+  sim::BenignKernel kernel(p, sim::constant_profile(p), 3);
+  obs::SimTimeline timeline;
+  timeline.set_name("fib(10)");
+  sched::Options opts;
+  opts.seed = 5;
+  opts.timeline = &timeline;
+  opts.sample_potential = true;
+  const auto m = sched::run_work_stealer(d, kernel, opts);
+  ASSERT_TRUE(m.completed);
+
+  ASSERT_EQ(timeline.rounds(), static_cast<std::size_t>(m.length));
+  std::uint64_t prev_throws = 0;
+  for (const auto& s : timeline.samples()) {
+    EXPECT_LE(s.proposed, p);
+    EXPECT_LE(s.scheduled, p);
+    EXPECT_GE(s.throws, prev_throws);  // cumulative
+    prev_throws = s.throws;
+    EXPECT_GE(s.phi_log10, 0.0);  // sampled every round
+  }
+  EXPECT_EQ(prev_throws, m.steal_attempts);
+  // Potential never increases (§4.2) — compare consecutive samples.
+  for (std::size_t i = 1; i < timeline.samples().size(); ++i)
+    EXPECT_LE(timeline.samples()[i].phi_log10,
+              timeline.samples()[i - 1].phi_log10 + 1e-9);
+
+  std::string err;
+  const std::string trace = timeline.chrome_trace_json();
+  EXPECT_TRUE(obs::json_validate(trace, &err)) << err;
+  EXPECT_NE(trace.find("\"p_i\""), std::string::npos);
+  EXPECT_NE(trace.find("potential"), std::string::npos);
+  const std::string stats = timeline.stats_json();
+  EXPECT_TRUE(obs::json_validate(stats, &err)) << err;
+  EXPECT_NE(stats.find("\"throws\""), std::string::npos);
+}
+
+TEST(SimTimelineTest, KernelNoteChoiceFeedsTimeline) {
+  obs::SimTimeline timeline;
+  sim::DedicatedKernel kernel(3);
+  kernel.attach_timeline(&timeline);
+  (void)kernel.schedule(1, {});
+  (void)kernel.schedule(2, {});
+  ASSERT_EQ(timeline.rounds(), 2u);
+  EXPECT_EQ(timeline.samples()[0].proposed, 3u);
+  EXPECT_EQ(timeline.samples()[1].proposed, 3u);
+}
+
+// ---- real runtime: counters, aggregation, export -------------------------
+
+runtime::WorkerStats run_spawn_heavy(runtime::Scheduler& sched, int depth) {
+  sched.run([&](runtime::Worker& w) {
+    // Balanced spawn tree: plenty of steals for every worker.
+    struct Rec {
+      static void go(runtime::Worker& w, int d) {
+        if (d == 0) return;
+        runtime::TaskGroup tg(w);
+        tg.spawn([d](runtime::Worker& w2) { go(w2, d - 1); });
+        go(w, d - 1);
+        tg.wait();
+      }
+    };
+    Rec::go(w, depth);
+  });
+  return sched.total_stats();
+}
+
+TEST(RuntimeTelemetryTest, StealFailureReasonsPartitionAttempts) {
+  for (const auto policy :
+       {runtime::DequePolicy::kAbp, runtime::DequePolicy::kChaseLev,
+        runtime::DequePolicy::kMutex}) {
+    runtime::SchedulerOptions o;
+    o.num_workers = 4;
+    o.deque = policy;
+    runtime::Scheduler sched(o);
+    const auto t = run_spawn_heavy(sched, 12);
+    EXPECT_GT(t.jobs_executed, 0u);
+    // Every attempt ends in exactly one of: success, CAS loss, empty
+    // victim (self-steals count as empty).
+    EXPECT_EQ(t.steal_attempts,
+              t.steals + t.steal_cas_failures + t.steal_empty_victim)
+        << to_string(policy);
+    if (policy == runtime::DequePolicy::kMutex) {
+      EXPECT_EQ(t.steal_cas_failures, 0u);  // lock serializes thieves
+    }
+  }
+}
+
+TEST(RuntimeTelemetryTest, StatsJsonIsWellFormed) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 3;
+  runtime::Scheduler sched(o);
+  run_spawn_heavy(sched, 10);
+  const std::string stats = sched.stats_json();
+  std::string err;
+  EXPECT_TRUE(obs::json_validate(stats, &err)) << err << "\n" << stats;
+  EXPECT_NE(stats.find("\"steal_attempts\""), std::string::npos);
+  EXPECT_NE(stats.find("\"steal_cas_failures\""), std::string::npos);
+  EXPECT_EQ(stats.find('\n'), std::string::npos);  // single line
+}
+
+#if ABP_TRACE_ENABLED
+
+TEST(RuntimeTelemetryTest, AggregationAcrossWorkersAfterQuiesce) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 4;
+  runtime::Scheduler sched(o);
+  // On a single-core host a small spawn tree can finish inside one OS
+  // quantum with the root worker doing all of it and the thieves never
+  // running. Spin in the leaves so each run spans a few quanta, and rerun
+  // (stats accumulate) until at least one steal has landed.
+  int runs = 0;
+  do {
+    ++runs;
+    sched.run([](runtime::Worker& w) {
+      struct Rec {
+        static void go(runtime::Worker& w2, int d) {
+          if (d == 0) {
+            unsigned x = 1u;
+            for (int i = 0; i < 20000; ++i) x = x * 1664525u + 1013904223u;
+            if (x == 0xdeadbeef) std::abort();  // keep the spin alive
+            return;
+          }
+          runtime::TaskGroup tg(w2);
+          tg.spawn([d](runtime::Worker& w3) { go(w3, d - 1); });
+          go(w2, d - 1);
+          tg.wait();
+        }
+      };
+      Rec::go(w, 10);
+    });
+  } while (sched.total_stats().steals == 0 && runs < 100);
+  const auto t = sched.total_stats();
+  ASSERT_GT(t.steals, 0u);
+
+  // Per-worker histogram counts sum to the aggregate, and the aggregate
+  // matches the plain counters: one job_run sample per executed job, one
+  // steal_latency sample per successful steal.
+  const obs::WorkerTelemetry total = sched.aggregate_telemetry();
+  std::uint64_t steal_sum = 0, job_sum = 0;
+  for (std::size_t i = 0; i < sched.num_workers(); ++i) {
+    const auto& ws = sched.worker_stats(i);
+    steal_sum += ws.steals;
+    job_sum += ws.jobs_executed;
+  }
+  EXPECT_EQ(total.steal_latency.count(), steal_sum);
+  EXPECT_EQ(total.steal_latency.count(), t.steals);
+  EXPECT_EQ(total.job_run.count(), job_sum);
+  EXPECT_EQ(total.job_run.count(), t.jobs_executed);
+  // Each worker records time-to-first-steal at most once per work_loop
+  // entry (one entry per run()).
+  EXPECT_LE(total.time_to_first_steal.count(),
+            sched.num_workers() * static_cast<std::uint64_t>(runs));
+
+  // Ring events were recorded by every worker that executed jobs.
+  std::uint64_t ring_events = 0;
+  for (std::size_t i = 0; i < sched.num_workers(); ++i)
+    ring_events += sched.worker_trace(i).total_recorded();
+  EXPECT_GE(ring_events, t.jobs_executed);  // at least the kJobBegin events
+
+  // The stats JSON carries the percentile summaries.
+  const std::string stats = sched.stats_json();
+  EXPECT_NE(stats.find("\"steal_latency_ns\""), std::string::npos);
+  EXPECT_NE(stats.find("\"p95\""), std::string::npos);
+
+  // reset_stats clears telemetry too.
+  sched.reset_stats();
+  EXPECT_EQ(sched.aggregate_telemetry().job_run.count(), 0u);
+  EXPECT_EQ(sched.worker_trace(0).total_recorded(), 0u);
+}
+
+TEST(RuntimeTelemetryTest, ChromeTraceExportParsesBack) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.trace_ring_capacity = 1u << 10;
+  runtime::Scheduler sched(o);
+  run_spawn_heavy(sched, 11);
+  const std::string doc = sched.chrome_trace_json();
+  std::string err;
+  ASSERT_TRUE(obs::json_validate(doc, &err)) << err;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"name\":\"job\""), std::string::npos);
+}
+
+TEST(RuntimeTelemetryTest, RingWraparoundUnderLoad) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.trace_ring_capacity = 64;  // tiny: guaranteed wraparound
+  runtime::Scheduler sched(o);
+  run_spawn_heavy(sched, 12);
+  std::uint64_t dropped = 0;
+  for (std::size_t i = 0; i < sched.num_workers(); ++i) {
+    const auto& ring = sched.worker_trace(i);
+    EXPECT_LE(ring.size(), ring.capacity());
+    dropped += ring.dropped();
+  }
+  EXPECT_GT(dropped, 0u);
+  // Export still produces a well-formed document from partial rings.
+  std::string err;
+  EXPECT_TRUE(obs::json_validate(sched.chrome_trace_json(), &err)) << err;
+}
+
+#endif  // ABP_TRACE_ENABLED
+
+}  // namespace
