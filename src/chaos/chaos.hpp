@@ -1,0 +1,150 @@
+#pragma once
+
+// Adversarial fault injection — the paper's kernel-as-adversary (§2, §4)
+// made executable against the *real* runtime.
+//
+// The correctness story of the ABP deque rests on tolerating a kernel that
+// may preempt any process between any two instructions. The exhaustive
+// model::Explorer proves that at model scale (every interleaving of the
+// Figure 5 machine), but the production std::atomic code is only ever
+// exercised under whatever interleavings the host OS happens to produce —
+// on an idle machine, almost none of the interesting ones. This subsystem
+// plants named *injection points* at every linearization-critical window
+// (the popTop/popBottom CAS sites, pushBottom's bottom-store, the growable
+// deque's buffer publish, the scheduler's steal loop) where a seeded,
+// per-thread engine can deterministically inject preemption-shaped stalls:
+// yields, spins, or sleeps, as chosen by a pluggable Policy.
+//
+// Compile-out: every site is wrapped in CHAOS_POINT("name"), which expands
+// to nothing unless the build sets -DABP_CHAOS=ON (mirroring WHEN_TRACE
+// from src/obs/trace.hpp). ABP_CHAOS_ENABLED is injected globally by CMake
+// so all translation units agree. With the hooks compiled in but no
+// ChaosScope installed, each site costs one relaxed atomic load.
+//
+// Threading model: hooks may fire from any thread. A thread binds to the
+// installed scope lazily on its first hit, receiving a registration
+// ordinal (0, 1, 2, … in binding order) and a private RNG seeded from
+// (scope seed, ordinal) — so a given (seed, policy, workload) is
+// reproducible up to the OS's choice of which thread binds first, and
+// exactly reproducible on the single-CPU hosts the differential fuzzer
+// targets. Policies are shared across threads and must be thread-safe.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/rng.hpp"
+
+#if !defined(ABP_CHAOS_ENABLED)
+#define ABP_CHAOS_ENABLED 0
+#endif
+
+namespace abp::chaos {
+
+// Interned identifier of an injection point. Sites intern their name once
+// (function-local static), so the per-hit cost is an ID lookup, not a
+// string compare.
+using PointId = std::uint16_t;
+inline constexpr PointId kInvalidPoint = 0xffff;
+inline constexpr std::size_t kMaxPoints = 64;
+
+// What the engine does at a point when the policy injects.
+enum class Action : std::uint8_t {
+  kNone,   // pass through
+  kYield,  // repeat × std::this_thread::yield() — a forced preemption
+  kSpin,   // repeat × cpu_relax() busy-iterations — a delay that keeps the
+           // processor (models a cache-miss-shaped stall, not a context
+           // switch)
+  kSleep,  // repeat microseconds of sleep — a long de-scheduling, the
+           // "process loses its processor for a while" of §2
+};
+
+struct Decision {
+  Action action = Action::kNone;
+  std::uint32_t repeat = 1;
+};
+
+// A fault-injection policy: called on the hitting thread at every armed
+// point. `thread_ordinal` is the thread's binding order in this scope,
+// `hit_index` counts the thread's hits so far, `rng` is the thread's
+// private seeded generator. decide() may itself block (gate-style test
+// policies synchronize threads this way); it must be thread-safe.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual Decision decide(PointId point, std::uint64_t thread_ordinal,
+                          std::uint64_t hit_index, Xoshiro256& rng) = 0;
+  virtual const char* name() const noexcept = 0;
+};
+
+// ---- registry / engine (implemented in engine.cpp) -------------------------
+
+// True iff a ChaosScope is currently installed. The CHAOS_POINT macro
+// checks this before anything else.
+bool armed() noexcept;
+
+// Interns `name` (a string literal; the pointer is retained) and returns
+// its id; the same name always maps to the same id.
+PointId intern_point(const char* name) noexcept;
+
+// Name of an interned point; "?" for an unknown id.
+const char* point_name(PointId id) noexcept;
+
+// Id of a previously interned point, kInvalidPoint if never seen. Points
+// intern on first *hit*, so a site never reached is not findable.
+PointId find_point(const char* name) noexcept;
+
+// The hot entry: consults the installed policy and performs its decision.
+void hit(PointId id) noexcept;
+
+// Per-point counters, reset when a ChaosScope installs.
+struct PointSnapshot {
+  const char* name;
+  PointId id;
+  std::uint64_t hits;        // times the point fired while armed
+  std::uint64_t injections;  // times the policy chose an action != kNone
+};
+std::vector<PointSnapshot> snapshot_points();
+std::uint64_t injections_at(const char* name);
+std::uint64_t hits_at(const char* name);
+
+// Installs a policy + seed for its lifetime (RAII; at most one at a time).
+// Threads bind lazily on first hit; destroying the scope disarms all of
+// them (a thread inside a stall finishes that stall, then goes quiet).
+class ChaosScope {
+ public:
+  ChaosScope(std::shared_ptr<Policy> policy, std::uint64_t seed);
+  ~ChaosScope();
+  ChaosScope(const ChaosScope&) = delete;
+  ChaosScope& operator=(const ChaosScope&) = delete;
+};
+
+}  // namespace abp::chaos
+
+// The injection-point macro. Catalog of planted names (DESIGN.md §9):
+//   deque.pushbottom.pre_item_store — after reading bot, before the item
+//   deque.pushbottom.pre_bot_store  — item written, bottom not yet published
+//   deque.poptop.pre_read           — popTop entry, before reading age
+//   deque.poptop.pre_cas            — item read, CAS not yet issued (the
+//                                     stalled-thief / ABA window)
+//   deque.popbottom.post_bot_store  — bottom decremented, age not yet read
+//   deque.popbottom.pre_cas         — last-item race, CAS not yet issued
+//   deque.grow.pre_publish          — resized buffer filled, not yet visible
+//   deque.lock.in_critical          — blocking deque holding its lock
+//   sched.steal.pre_poptop          — thief chose a victim, popTop pending
+//   sched.loop.steal_iter           — one iteration of the Figure 3 loop
+//   sched.loop.pre_yield            — before the configured yield call
+#if ABP_CHAOS_ENABLED
+#define CHAOS_POINT(name)                                      \
+  do {                                                         \
+    if (::abp::chaos::armed()) {                               \
+      static const ::abp::chaos::PointId abp_chaos_pid_ =      \
+          ::abp::chaos::intern_point(name);                    \
+      ::abp::chaos::hit(abp_chaos_pid_);                       \
+    }                                                          \
+  } while (0)
+#else
+#define CHAOS_POINT(name) \
+  do {                    \
+  } while (0)
+#endif

@@ -1,0 +1,182 @@
+#include "chaos/chaos.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "support/assert.hpp"
+#include "support/backoff.hpp"
+
+namespace abp::chaos {
+
+namespace {
+
+// ---- point registry --------------------------------------------------------
+// Append-only table of interned names. Sites intern once through a
+// function-local static, so the mutex is off the per-hit path.
+
+struct Registry {
+  std::mutex mu;
+  const char* names[kMaxPoints] = {};
+  std::atomic<std::size_t> count{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+// ---- installed scope -------------------------------------------------------
+
+struct Global {
+  std::atomic<bool> armed{false};
+  // Bumped on every install/uninstall; thread-local engines detect staleness
+  // by comparing generations and rebind (or go quiet) lazily.
+  std::atomic<std::uint64_t> generation{0};
+  std::mutex mu;  // guards policy/seed/next_ordinal against binding threads
+  std::shared_ptr<Policy> policy;
+  std::uint64_t seed = 0;
+  std::uint64_t next_ordinal = 0;
+  std::atomic<std::uint64_t> hits[kMaxPoints] = {};
+  std::atomic<std::uint64_t> injections[kMaxPoints] = {};
+};
+
+Global& global() {
+  static Global g;
+  return g;
+}
+
+// ---- per-thread engine -----------------------------------------------------
+
+struct ThreadEngine {
+  std::uint64_t generation = 0;  // matches Global::generation when bound
+  std::shared_ptr<Policy> policy;
+  std::uint64_t ordinal = 0;
+  std::uint64_t hit_index = 0;
+  Xoshiro256 rng;
+};
+
+thread_local ThreadEngine tls_engine;
+
+void act(const Decision& d) {
+  switch (d.action) {
+    case Action::kNone:
+      break;
+    case Action::kYield:
+      for (std::uint32_t i = 0; i < d.repeat; ++i) std::this_thread::yield();
+      break;
+    case Action::kSpin:
+      for (std::uint32_t i = 0; i < d.repeat; ++i) cpu_relax();
+      break;
+    case Action::kSleep:
+      std::this_thread::sleep_for(std::chrono::microseconds(d.repeat));
+      break;
+  }
+}
+
+}  // namespace
+
+bool armed() noexcept { return global().armed.load(std::memory_order_relaxed); }
+
+PointId intern_point(const char* name) noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  const std::size_t n = r.count.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::strcmp(r.names[i], name) == 0) return static_cast<PointId>(i);
+  ABP_ASSERT_MSG(n < kMaxPoints, "chaos point table full");
+  r.names[n] = name;
+  r.count.store(n + 1, std::memory_order_release);
+  return static_cast<PointId>(n);
+}
+
+const char* point_name(PointId id) noexcept {
+  Registry& r = registry();
+  if (id >= r.count.load(std::memory_order_acquire)) return "?";
+  return r.names[id];
+}
+
+PointId find_point(const char* name) noexcept {
+  Registry& r = registry();
+  const std::size_t n = r.count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::strcmp(r.names[i], name) == 0) return static_cast<PointId>(i);
+  return kInvalidPoint;
+}
+
+void hit(PointId id) noexcept {
+  Global& g = global();
+  const std::uint64_t gen = g.generation.load(std::memory_order_acquire);
+  ThreadEngine& e = tls_engine;
+  if (e.generation != gen) {
+    // First hit under this scope (or a stale binding): (re)bind.
+    std::lock_guard<std::mutex> lock(g.mu);
+    e.generation = g.generation.load(std::memory_order_relaxed);
+    e.policy = g.policy;
+    e.hit_index = 0;
+    if (e.policy != nullptr) {
+      e.ordinal = g.next_ordinal++;
+      // Decorrelate per-thread streams: splitmix the (seed, ordinal) pair.
+      e.rng.reseed(SplitMix64(g.seed + 0x9e3779b97f4a7c15ULL * (e.ordinal + 1))
+                       .next());
+    }
+  }
+  if (e.policy == nullptr) return;
+  g.hits[id].fetch_add(1, std::memory_order_relaxed);
+  const Decision d = e.policy->decide(id, e.ordinal, e.hit_index++, e.rng);
+  if (d.action == Action::kNone) return;
+  g.injections[id].fetch_add(1, std::memory_order_relaxed);
+  act(d);
+}
+
+std::vector<PointSnapshot> snapshot_points() {
+  Registry& r = registry();
+  Global& g = global();
+  const std::size_t n = r.count.load(std::memory_order_acquire);
+  std::vector<PointSnapshot> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back({r.names[i], static_cast<PointId>(i),
+                   g.hits[i].load(std::memory_order_relaxed),
+                   g.injections[i].load(std::memory_order_relaxed)});
+  return out;
+}
+
+std::uint64_t injections_at(const char* name) {
+  const PointId id = find_point(name);
+  if (id == kInvalidPoint) return 0;
+  return global().injections[id].load(std::memory_order_relaxed);
+}
+
+std::uint64_t hits_at(const char* name) {
+  const PointId id = find_point(name);
+  if (id == kInvalidPoint) return 0;
+  return global().hits[id].load(std::memory_order_relaxed);
+}
+
+ChaosScope::ChaosScope(std::shared_ptr<Policy> policy, std::uint64_t seed) {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  ABP_ASSERT_MSG(g.policy == nullptr, "nested ChaosScope");
+  g.policy = std::move(policy);
+  g.seed = seed;
+  g.next_ordinal = 0;
+  for (std::size_t i = 0; i < kMaxPoints; ++i) {
+    g.hits[i].store(0, std::memory_order_relaxed);
+    g.injections[i].store(0, std::memory_order_relaxed);
+  }
+  g.generation.fetch_add(1, std::memory_order_release);
+  g.armed.store(true, std::memory_order_release);
+}
+
+ChaosScope::~ChaosScope() {
+  Global& g = global();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.armed.store(false, std::memory_order_release);
+  g.policy = nullptr;
+  g.generation.fetch_add(1, std::memory_order_release);
+}
+
+}  // namespace abp::chaos

@@ -1,0 +1,44 @@
+#pragma once
+
+// Bridge between the simulated kernel adversaries (src/sim) and the chaos
+// engine: capture the schedule a sim::Kernel would produce — which procs
+// run in which round — and replay it against the real std::thread runtime
+// via KernelReplayPolicy. Header-only so abp_chaos itself does not link
+// abp_sim; include this from tests that use both.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "chaos/policy.hpp"
+#include "sim/kernel.hpp"
+
+namespace abp::chaos {
+
+// Runs `kernel` for `rounds` rounds with an empty process view (the view
+// only matters to adaptive kernels, which see every process as idle — the
+// conservative reading, since the chaos engine cannot expose real runtime
+// state at schedule-capture time).
+inline std::vector<std::vector<std::uint32_t>> capture_kernel_schedule(
+    sim::Kernel& kernel, std::size_t rounds) {
+  std::vector<sim::ProcessView> view(kernel.num_processes());
+  std::vector<std::vector<std::uint32_t>> out;
+  out.reserve(rounds);
+  for (std::size_t r = 1; r <= rounds; ++r) {
+    std::vector<std::uint32_t> procs;
+    for (sim::ProcId p : kernel.schedule(r, view)) procs.push_back(p);
+    out.push_back(std::move(procs));
+  }
+  return out;
+}
+
+inline std::shared_ptr<KernelReplayPolicy> make_kernel_replay(
+    sim::Kernel& kernel, std::size_t rounds, std::uint64_t hits_per_round,
+    std::uint32_t yields_when_descheduled = 4) {
+  return std::make_shared<KernelReplayPolicy>(
+      capture_kernel_schedule(kernel, rounds), kernel.num_processes(),
+      hits_per_round, yields_when_descheduled);
+}
+
+}  // namespace abp::chaos

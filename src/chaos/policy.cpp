@@ -1,0 +1,39 @@
+#include "chaos/policy.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace abp::chaos {
+
+KernelReplayPolicy::KernelReplayPolicy(
+    std::vector<std::vector<std::uint32_t>> rounds, std::size_t num_procs,
+    std::uint64_t hits_per_round, std::uint32_t yields_when_descheduled)
+    : rounds_(std::move(rounds)),
+      num_procs_(num_procs),
+      hits_per_round_(hits_per_round),
+      yields_(yields_when_descheduled) {
+  ABP_ASSERT(!rounds_.empty());
+  ABP_ASSERT(num_procs_ > 0);
+  ABP_ASSERT(hits_per_round_ > 0);
+  name_ = "kernel-replay(" + std::to_string(rounds_.size()) + " rounds, p=" +
+          std::to_string(num_procs_) + ", " +
+          std::to_string(hits_per_round_) + " hits/round)";
+}
+
+Decision KernelReplayPolicy::decide(PointId, std::uint64_t thread_ordinal,
+                                    std::uint64_t, Xoshiro256&) {
+  // Every hit — scheduled or not — advances global time, so a schedule
+  // that deschedules everybody still terminates.
+  const std::uint64_t step = step_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t round =
+      static_cast<std::size_t>((step / hits_per_round_) % rounds_.size());
+  const std::uint32_t proc =
+      static_cast<std::uint32_t>(thread_ordinal % num_procs_);
+  const std::vector<std::uint32_t>& scheduled = rounds_[round];
+  if (std::find(scheduled.begin(), scheduled.end(), proc) != scheduled.end())
+    return {};
+  return {Action::kYield, yields_};
+}
+
+}  // namespace abp::chaos

@@ -1,0 +1,147 @@
+#pragma once
+
+// The built-in fault-injection policies — each one is a concrete reading of
+// the paper's kernel adversary (§2, §4.4) at instruction granularity:
+//
+//   * RandomPolicy       — the benign adversary: preemptions land uniformly
+//                          at random across injection points, like quantum
+//                          expiries that ignore scheduler state.
+//   * TargetedPolicy     — the adaptive adversary: it knows exactly which
+//                          window hurts (e.g. a thief between its read of
+//                          `age` and its CAS) and stalls precisely there,
+//                          every time (or every nth time).
+//   * KernelReplayPolicy — the oblivious adversary: a round-based schedule
+//                          fixed up front (typically captured from a
+//                          sim::Kernel, see kernel_replay.hpp) replayed
+//                          against the real runtime — threads that are not
+//                          scheduled in the current round are forced to
+//                          yield at every point they cross.
+//
+// All policies are deterministic functions of (scope seed, thread ordinal,
+// hit index), so a failing verdict reproduces from its printed seed.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+
+namespace abp::chaos {
+
+// Uniform-random chaos: at every point, with probability `p_inject`, pick
+// one of yield/spin/sleep (weighted toward yield) and a random small
+// repeat count.
+class RandomPolicy final : public Policy {
+ public:
+  struct Config {
+    double p_inject = 0.05;
+    std::uint32_t max_yields = 4;
+    std::uint32_t max_spins = 256;
+    std::uint32_t max_sleep_us = 50;
+    double p_sleep = 0.02;  // of injections; sleeps are expensive
+  };
+
+  RandomPolicy() : RandomPolicy(Config()) {}
+  explicit RandomPolicy(Config cfg) : cfg_(cfg) {}
+
+  Decision decide(PointId, std::uint64_t, std::uint64_t,
+                  Xoshiro256& rng) override {
+    if (!rng.chance(cfg_.p_inject)) return {};
+    if (rng.chance(cfg_.p_sleep))
+      return {Action::kSleep,
+              static_cast<std::uint32_t>(rng.range(1, cfg_.max_sleep_us))};
+    if (rng.chance(0.5))
+      return {Action::kYield,
+              static_cast<std::uint32_t>(rng.range(1, cfg_.max_yields))};
+    return {Action::kSpin,
+            static_cast<std::uint32_t>(rng.range(1, cfg_.max_spins))};
+  }
+
+  const char* name() const noexcept override { return "random"; }
+
+ private:
+  Config cfg_;
+};
+
+// Targeted stall: inject only at one named point — canonically
+// "deque.poptop.pre_cas", the stalled-thief-mid-CAS window the age tag
+// exists to defend. `every_n` = 1 stalls every crossing; higher values
+// leave some crossings clean so the operation mix stays varied.
+class TargetedPolicy final : public Policy {
+ public:
+  struct Config {
+    const char* point = "deque.poptop.pre_cas";
+    Action action = Action::kYield;
+    std::uint32_t repeat = 16;
+    std::uint64_t every_n = 1;  // inject on every nth crossing per thread
+  };
+
+  explicit TargetedPolicy(Config cfg) : cfg_(cfg) { name_ = describe(cfg_); }
+
+  Decision decide(PointId point, std::uint64_t, std::uint64_t hit_index,
+                  Xoshiro256&) override {
+    if (!matches(point)) return {};
+    if (cfg_.every_n > 1 && hit_index % cfg_.every_n != 0) return {};
+    return {cfg_.action, cfg_.repeat};
+  }
+
+  const char* name() const noexcept override { return name_.c_str(); }
+
+ private:
+  bool matches(PointId point) {
+    // Resolve the target name to an id lazily: points intern on first hit,
+    // so the id may not exist when the policy is constructed.
+    PointId cached = target_.load(std::memory_order_relaxed);
+    if (cached != kInvalidPoint) return point == cached;
+    const PointId found = find_point(cfg_.point);
+    if (found == kInvalidPoint) return false;
+    target_.store(found, std::memory_order_relaxed);
+    return point == found;
+  }
+
+  static std::string describe(const Config& cfg) {
+    return std::string("targeted(") + cfg.point + " x" +
+           std::to_string(cfg.repeat) + " every " +
+           std::to_string(cfg.every_n) + ")";
+  }
+
+  Config cfg_;
+  std::string name_;
+  std::atomic<PointId> target_{kInvalidPoint};
+};
+
+// Round-based schedule replay: `rounds[r]` lists the proc ids scheduled in
+// round r (cycled when exhausted); a thread's proc id is its binding
+// ordinal mod num_procs. Global time advances by one step per hit across
+// all threads; every `hits_per_round` steps begin a new round. A thread
+// crossing a point while descheduled yields once per crossing — it loses
+// the processor, exactly like the paper's kernel denying it a round —
+// but never blocks, so liveness is unconditional even if the schedule
+// starves a proc forever.
+class KernelReplayPolicy final : public Policy {
+ public:
+  KernelReplayPolicy(std::vector<std::vector<std::uint32_t>> rounds,
+                     std::size_t num_procs, std::uint64_t hits_per_round,
+                     std::uint32_t yields_when_descheduled = 4);
+
+  Decision decide(PointId point, std::uint64_t thread_ordinal,
+                  std::uint64_t hit_index, Xoshiro256& rng) override;
+
+  const char* name() const noexcept override { return name_.c_str(); }
+
+  std::uint64_t rounds_replayed() const noexcept {
+    return step_.load(std::memory_order_relaxed) / hits_per_round_;
+  }
+
+ private:
+  std::vector<std::vector<std::uint32_t>> rounds_;
+  std::size_t num_procs_;
+  std::uint64_t hits_per_round_;
+  std::uint32_t yields_;
+  std::string name_;
+  std::atomic<std::uint64_t> step_{0};
+};
+
+}  // namespace abp::chaos

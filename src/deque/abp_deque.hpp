@@ -37,27 +37,45 @@
 // that as impossible in practice and document it here, mirroring the
 // paper's reliance on bounded tags.
 
+// Item slots are relaxed std::atomic<T>: the algorithm tolerates a stalled
+// thief reading a slot the owner has since recycled (the CAS rejects the
+// stale value), but in C++ that racing plain access would be UB — and a
+// TSan report. Relaxed atomic loads/stores compile to plain moves on every
+// mainstream target, so this costs nothing; ordering still comes entirely
+// from the seq_cst age/bot accesses, as in the paper.
+//
+// The kTagged template parameter exists for the chaos harness only: with
+// kTagged = false, popBottom's reset keeps the old tag — the exact ABA
+// ablation of model::ExploreOptions::disable_tag, compiled into the real
+// std::atomic code so tests/chaos_driver.hpp can demonstrate that the
+// fault-injection harness catches the duplicate/lost items the tag
+// prevents (see tests/test_chaos_deques.cpp).
+
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <type_traits>
 
+#include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
 
 namespace abp::deque {
 
-template <typename T>
+template <typename T, bool kTagged = true>
 class AbpDeque {
   static_assert(std::is_trivially_copyable_v<T>,
                 "the ABP deque stores word-like items (nodes / thread "
                 "pointers in the paper)");
+  static_assert(std::atomic<T>::is_always_lock_free,
+                "item slots must be plain machine words");
 
  public:
   explicit AbpDeque(std::size_t capacity = 8192)
-      : capacity_(capacity), deq_(std::make_unique<T[]>(capacity)) {
+      : capacity_(capacity),
+        deq_(std::make_unique<std::atomic<T>[]>(capacity)) {
     ABP_ASSERT(capacity >= 1);
   }
 
@@ -70,7 +88,9 @@ class AbpDeque {
   void push_bottom(T node) {
     const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
     ABP_ASSERT_MSG(local_bot < capacity_, "ABP deque overflow");
-    deq_[local_bot] = node;
+    CHAOS_POINT("deque.pushbottom.pre_item_store");
+    deq_[local_bot].store(node, std::memory_order_relaxed);
+    CHAOS_POINT("deque.pushbottom.pre_bot_store");
     bot_.value.store(local_bot + 1, std::memory_order_seq_cst);
   }
 
@@ -82,13 +102,15 @@ class AbpDeque {
   // identical algorithm, the status is free information the plain
   // interface discards.
   PopTopResult<T> pop_top_ex() {
+    CHAOS_POINT("deque.poptop.pre_read");
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
     if (local_bot <= top_of(old_age))
       return {std::nullopt, PopTopStatus::kEmpty};
-    const T node = deq_[top_of(old_age)];
+    const T node = deq_[top_of(old_age)].load(std::memory_order_relaxed);
     const std::uint64_t new_age = make_age(tag_of(old_age), top_of(old_age) + 1);
     std::uint64_t expected = old_age;
+    CHAOS_POINT("deque.poptop.pre_cas");
     if (age_.value.compare_exchange_strong(expected, new_age,
                                            std::memory_order_seq_cst)) {
       return {node, PopTopStatus::kSuccess};
@@ -102,15 +124,21 @@ class AbpDeque {
     if (local_bot == 0) return std::nullopt;
     --local_bot;
     bot_.value.store(local_bot, std::memory_order_seq_cst);
-    const T node = deq_[local_bot];
+    CHAOS_POINT("deque.popbottom.post_bot_store");
+    const T node = deq_[local_bot].load(std::memory_order_relaxed);
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     if (local_bot > top_of(old_age)) return node;
     // The deque had at most one item; reset it to the canonical empty state
     // (bot = top = 0) and bump the tag so stalled thieves cannot ABA.
+    // (kTagged = false is the chaos harness's ABA ablation: the reset keeps
+    // the old tag, so a stalled thief's CAS can succeed against a recycled
+    // (tag, top) pair.)
     bot_.value.store(0, std::memory_order_seq_cst);
-    const std::uint64_t new_age = make_age(tag_of(old_age) + 1, 0);
+    const std::uint64_t new_age =
+        make_age(tag_of(old_age) + (kTagged ? 1 : 0), 0);
     if (local_bot == top_of(old_age)) {
       std::uint64_t expected = old_age;
+      CHAOS_POINT("deque.popbottom.pre_cas");
       if (age_.value.compare_exchange_strong(expected, new_age,
                                              std::memory_order_seq_cst)) {
         return node;  // we won the race against any concurrent pop_top
@@ -155,11 +183,15 @@ class AbpDeque {
   }
 
   std::size_t capacity_;
-  std::unique_ptr<T[]> deq_;
+  std::unique_ptr<std::atomic<T>[]> deq_;
   // age and bot live on separate cache lines: thieves hammer `age` with CAS
   // while the owner's push/pop traffic is on `bot`.
   CacheAligned<std::atomic<std::uint64_t>> age_{};  // (tag << 32) | top
   CacheAligned<std::atomic<std::uint64_t>> bot_{};
 };
+
+// The ABA ablation, for the chaos harness only — never a runtime policy.
+template <typename T>
+using TagAblatedAbpDeque = AbpDeque<T, /*kTagged=*/false>;
 
 }  // namespace abp::deque

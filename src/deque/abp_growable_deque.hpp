@@ -28,6 +28,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
@@ -37,12 +38,16 @@ namespace abp::deque {
 template <typename T>
 class AbpGrowableDeque {
   static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(std::atomic<T>::is_always_lock_free);
 
+  // Relaxed atomic slots for the same reason as AbpDeque: a stalled thief
+  // may read a slot the owner is concurrently recycling; the CAS discards
+  // the stale value, but the access itself must not be a data race.
   struct Buffer {
     explicit Buffer(std::size_t cap)
-        : capacity(cap), data(std::make_unique<T[]>(cap)) {}
+        : capacity(cap), data(std::make_unique<std::atomic<T>[]>(cap)) {}
     std::size_t capacity;
-    std::unique_ptr<T[]> data;
+    std::unique_ptr<std::atomic<T>[]> data;
   };
 
  public:
@@ -65,13 +70,16 @@ class AbpGrowableDeque {
     const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
     Buffer* buf = buf_.load(std::memory_order_relaxed);  // owner-owned
     if (local_bot == buf->capacity) buf = grow(buf, local_bot);
-    buf->data[local_bot] = node;
+    CHAOS_POINT("deque.pushbottom.pre_item_store");
+    buf->data[local_bot].store(node, std::memory_order_relaxed);
+    CHAOS_POINT("deque.pushbottom.pre_bot_store");
     bot_.value.store(local_bot + 1, std::memory_order_seq_cst);
   }
 
   std::optional<T> pop_top() { return pop_top_ex().item; }
 
   PopTopResult<T> pop_top_ex() {
+    CHAOS_POINT("deque.poptop.pre_read");
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
     if (local_bot <= top_of(old_age))
@@ -79,9 +87,10 @@ class AbpGrowableDeque {
     // The buffer pointer is re-read after bot: if a growth raced us, both
     // buffers hold the same value at this index.
     Buffer* buf = buf_.load(std::memory_order_acquire);
-    const T node = buf->data[top_of(old_age)];
+    const T node = buf->data[top_of(old_age)].load(std::memory_order_relaxed);
     const std::uint64_t new_age = make_age(tag_of(old_age), top_of(old_age) + 1);
     std::uint64_t expected = old_age;
+    CHAOS_POINT("deque.poptop.pre_cas");
     if (age_.value.compare_exchange_strong(expected, new_age,
                                            std::memory_order_seq_cst)) {
       return {node, PopTopStatus::kSuccess};
@@ -94,14 +103,16 @@ class AbpGrowableDeque {
     if (local_bot == 0) return std::nullopt;
     --local_bot;
     bot_.value.store(local_bot, std::memory_order_seq_cst);
+    CHAOS_POINT("deque.popbottom.post_bot_store");
     Buffer* buf = buf_.load(std::memory_order_relaxed);  // owner-owned
-    const T node = buf->data[local_bot];
+    const T node = buf->data[local_bot].load(std::memory_order_relaxed);
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     if (local_bot > top_of(old_age)) return node;
     bot_.value.store(0, std::memory_order_seq_cst);
     const std::uint64_t new_age = make_age(tag_of(old_age) + 1, 0);
     if (local_bot == top_of(old_age)) {
       std::uint64_t expected = old_age;
+      CHAOS_POINT("deque.popbottom.pre_cas");
       if (age_.value.compare_exchange_strong(expected, new_age,
                                              std::memory_order_seq_cst)) {
         return node;
@@ -136,8 +147,10 @@ class AbpGrowableDeque {
     // it once (possibly stale-low) copies a superset.
     const std::uint64_t t = top_of(age_.value.load(std::memory_order_seq_cst));
     for (std::uint64_t i = t; i < local_bot; ++i)
-      bigger->data[i] = old->data[i];
+      bigger->data[i].store(old->data[i].load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
     Buffer* raw = bigger.get();
+    CHAOS_POINT("deque.grow.pre_publish");
     buf_.store(raw, std::memory_order_release);
     buffers_.push_back(std::move(bigger));  // retire; freed at destruction
     return raw;

@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
@@ -27,21 +28,30 @@ namespace abp::deque {
 template <typename T>
 class ChaseLevDeque {
   static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(std::atomic<T>::is_always_lock_free);
 
+  // Relaxed atomic slots, as in the Le et al. formulation: a thief's read
+  // of a ring slot can race the owner's store into the same slot one lap
+  // later; the top CAS rejects the stale read, but the access itself must
+  // be atomic to avoid UB (and TSan reports).
   struct Buffer {
     explicit Buffer(std::size_t cap)
-        : capacity(cap), mask(cap - 1), data(std::make_unique<T[]>(cap)) {
+        : capacity(cap),
+          mask(cap - 1),
+          data(std::make_unique<std::atomic<T>[]>(cap)) {
       ABP_ASSERT((cap & (cap - 1)) == 0);
     }
     std::size_t capacity;
     std::size_t mask;
-    std::unique_ptr<T[]> data;
+    std::unique_ptr<std::atomic<T>[]> data;
 
     T get(std::int64_t i) const noexcept {
-      return data[static_cast<std::size_t>(i) & mask];
+      return data[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
     }
     void put(std::int64_t i, T v) noexcept {
-      data[static_cast<std::size_t>(i) & mask] = v;
+      data[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
     }
   };
 
@@ -68,33 +78,46 @@ class ChaseLevDeque {
     if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
       buf = grow(buf, t, b);
     }
+    CHAOS_POINT("deque.pushbottom.pre_item_store");
     buf->put(b, item);
     std::atomic_thread_fence(std::memory_order_release);
-    bottom_.value.store(b + 1, std::memory_order_relaxed);
+    CHAOS_POINT("deque.pushbottom.pre_bot_store");
+    // Le et al. publish with the fence above plus a relaxed store; we
+    // strengthen the store itself to release (same codegen on x86/ARM
+    // LDAR-free paths) because TSan does not model fence-based
+    // synchronization — without this, every Job field written before
+    // push_bottom() is reported as racing the stealer's reads.
+    bottom_.value.store(b + 1, std::memory_order_release);
   }
 
   // Owner only.
   std::optional<T> pop_bottom() {
     const std::int64_t b = bottom_.value.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
-    bottom_.value.store(b, std::memory_order_relaxed);
+    // Every bottom store is release (not the paper's relaxed) for the same
+    // TSan-visibility reason as in push_bottom: a thief may acquire-read
+    // any of these values and go on to read a slot published by an
+    // earlier push, so each store must carry the happens-before edge.
+    bottom_.value.store(b, std::memory_order_release);
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    CHAOS_POINT("deque.popbottom.post_bot_store");
     std::int64_t t = top_.value.load(std::memory_order_relaxed);
     if (t > b) {
       // Deque was already empty; restore bottom.
-      bottom_.value.store(b + 1, std::memory_order_relaxed);
+      bottom_.value.store(b + 1, std::memory_order_release);
       return std::nullopt;
     }
     T item = buf->get(b);
     if (t == b) {
       // Last element: race against thieves via CAS on top.
+      CHAOS_POINT("deque.popbottom.pre_cas");
       if (!top_.value.compare_exchange_strong(t, t + 1,
                                               std::memory_order_seq_cst,
                                               std::memory_order_relaxed)) {
-        bottom_.value.store(b + 1, std::memory_order_relaxed);
+        bottom_.value.store(b + 1, std::memory_order_release);
         return std::nullopt;
       }
-      bottom_.value.store(b + 1, std::memory_order_relaxed);
+      bottom_.value.store(b + 1, std::memory_order_release);
     }
     return item;
   }
@@ -103,12 +126,14 @@ class ChaseLevDeque {
   std::optional<T> pop_top() { return pop_top_ex().item; }
 
   PopTopResult<T> pop_top_ex() {
+    CHAOS_POINT("deque.poptop.pre_read");
     std::int64_t t = top_.value.load(std::memory_order_acquire);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
     if (t >= b) return {std::nullopt, PopTopStatus::kEmpty};
-    Buffer* buf = buffer_.load(std::memory_order_consume);
+    Buffer* buf = buffer_.load(std::memory_order_acquire);
     T item = buf->get(t);
+    CHAOS_POINT("deque.poptop.pre_cas");
     if (!top_.value.compare_exchange_strong(t, t + 1,
                                             std::memory_order_seq_cst,
                                             std::memory_order_relaxed)) {
@@ -133,6 +158,7 @@ class ChaseLevDeque {
   Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
     auto* bigger = new Buffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    CHAOS_POINT("deque.grow.pre_publish");
     buffer_.store(bigger, std::memory_order_release);
     // Thieves may still be reading `old`; retire it until destruction
     // (owner-only structure, so a simple retire list is safe).

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <optional>
 
+#include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
 
 namespace abp::deque {
@@ -24,13 +25,19 @@ class MutexDeque {
   MutexDeque(const MutexDeque&) = delete;
   MutexDeque& operator=(const MutexDeque&) = delete;
 
+  // The chaos point sits inside the critical section (same placement as
+  // SpinlockDeque): injecting there is §1's lock-holder preemption. The
+  // futex-based waiters sleep instead of spinning, which is exactly the
+  // behavioral difference E10 measures.
   void push_bottom(T item) {
     std::lock_guard<std::mutex> lock(mu_);
+    CHAOS_POINT("deque.lock.in_critical");
     items_.push_back(item);
   }
 
   std::optional<T> pop_bottom() {
     std::lock_guard<std::mutex> lock(mu_);
+    CHAOS_POINT("deque.lock.in_critical");
     if (items_.empty()) return std::nullopt;
     T item = items_.back();
     items_.pop_back();
@@ -39,6 +46,7 @@ class MutexDeque {
 
   std::optional<T> pop_top() {
     std::lock_guard<std::mutex> lock(mu_);
+    CHAOS_POINT("deque.lock.in_critical");
     if (items_.empty()) return std::nullopt;
     T item = items_.front();
     items_.pop_front();

@@ -17,6 +17,7 @@
 #include <deque>
 #include <optional>
 
+#include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
 #include "support/backoff.hpp"
 
@@ -30,14 +31,20 @@ class SpinlockDeque {
   SpinlockDeque(const SpinlockDeque&) = delete;
   SpinlockDeque& operator=(const SpinlockDeque&) = delete;
 
+  // The chaos point sits *inside* the critical section: injecting a yield
+  // there is precisely the lock-holder preemption of §1 that the
+  // non-blocking deque exists to survive — every other process touching
+  // this deque then spins until the holder runs again.
   void push_bottom(T item) {
     lock();
+    CHAOS_POINT("deque.lock.in_critical");
     items_.push_back(item);
     unlock();
   }
 
   std::optional<T> pop_bottom() {
     lock();
+    CHAOS_POINT("deque.lock.in_critical");
     std::optional<T> out;
     if (!items_.empty()) {
       out = items_.back();
@@ -49,6 +56,7 @@ class SpinlockDeque {
 
   std::optional<T> pop_top() {
     lock();
+    CHAOS_POINT("deque.lock.in_critical");
     std::optional<T> out;
     if (!items_.empty()) {
       out = items_.front();
@@ -64,12 +72,22 @@ class SpinlockDeque {
     return {item, item ? PopTopStatus::kSuccess : PopTopStatus::kEmpty};
   }
 
+  // Hints take the lock too: std::deque has no racy-read-tolerant
+  // representation — an unlocked empty()/size() is a genuine data race
+  // (TSan reports it), not a benign stale read like the ABP index loads.
   bool empty_hint() const {
-    // Racy read without the lock (hint only).
-    return items_.empty();
+    lock();
+    const bool empty = items_.empty();
+    unlock();
+    return empty;
   }
 
-  std::size_t size_hint() const { return items_.size(); }
+  std::size_t size_hint() const {
+    lock();
+    const std::size_t n = items_.size();
+    unlock();
+    return n;
+  }
 
  private:
   void lock() const {

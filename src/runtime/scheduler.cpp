@@ -120,6 +120,7 @@ void Scheduler::work_loop(Worker& w) {
     if (done()) return;
     // Thief: claim the root job if it is still unclaimed, otherwise yield
     // and attempt a steal from a random victim.
+    CHAOS_POINT("sched.loop.steal_iter");
     j = root_job_.exchange(nullptr, std::memory_order_acq_rel);
     if (j != nullptr) continue;
     w.yield_between_steals();

@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos.hpp"
 #include "obs/trace.hpp"
 #if ABP_TRACE_ENABLED
 #include "obs/metrics.hpp"
@@ -266,6 +267,7 @@ inline Job* Worker::try_steal() {
     WHEN_TRACE(ring_->record(obs::EventType::kStealAbortEmpty, victim);)
     return nullptr;
   }
+  CHAOS_POINT("sched.steal.pre_poptop");
   auto r = s.deques_[victim]->pop_top_ex();
   switch (r.status) {
     case deque::PopTopStatus::kSuccess: {
@@ -310,6 +312,7 @@ inline void Worker::execute(Job* j) {
 }
 
 inline void Worker::yield_between_steals() {
+  CHAOS_POINT("sched.loop.pre_yield");
   switch (sched_->opts_.yield) {
     case YieldPolicy::kNone:
       break;

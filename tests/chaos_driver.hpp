@@ -1,0 +1,309 @@
+#pragma once
+
+// Differential stress driver for the chaos harness (tests only).
+//
+// One owner (the calling thread) and N persistent thief threads run an
+// identical seeded op-sequence against any deque with the AbpDeque
+// interface, in barrier-separated rounds. Every value is tagged
+// (round << 8) | index, so after each round the driver can check the two
+// invariants every deque in this repo promises regardless of relaxed
+// popTop semantics:
+//
+//   * exactly-once delivery — no value is returned twice (a duplicate is
+//     the ABA symptom the age tag exists to prevent, §3.3), and no value
+//     from another round ever appears (stale);
+//   * conservation — every pushed value is returned by exactly one of the
+//     owner pops / thief steals before the round barrier (a lost item is
+//     the other half of the ABA symptom: a stale popTop CAS advances top
+//     past an unconsumed slot).
+//
+// Running the same (config, policy, seed) through AbpDeque,
+// AbpGrowableDeque, ChaseLevDeque and MutexDeque is the differential
+// check: the lock-based deque is the trivially-correct reference, and all
+// four must produce a clean Verdict. TagAblatedAbpDeque must NOT — see
+// test_chaos_deques.cpp, which asserts the harness catches it.
+//
+// Round protocol (safe barrier even with stalled thieves): the owner bumps
+// `round_seq` to open a round, pushes all items (occasionally draining its
+// own bottom, which is what recycles ABP indices and bumps the tag),
+// publishes `pushing_done`, drains the rest, then waits until every thief
+// has observed (empty deque AND pushing_done) and parked in `arrived`. A
+// thief that is mid-popTop — even one held inside an injected stall — must
+// finish that operation before it can park, so every steal lands in the
+// round that issued it and the accounting below is exact.
+//
+// Failures print a one-line repro: deque, policy, seed, config. Re-running
+// the same template instantiation with the same config reproduces the
+// interleaving up to OS noise — on the single-CPU CI hosts, reliably.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "deque/pop_top.hpp"
+#include "model/linearize.hpp"
+#include "support/rng.hpp"
+
+namespace abp::chaostest {
+
+// The sanitizer presets run these same suites through the `sanitize`
+// ctest label. The instrumentation costs ~15x (TSan) / ~3x (ASan) and its
+// value is per-interleaving, not per-round, so tests divide their round
+// counts by this scale to stay inside the ctest timeout.
+#if defined(__SANITIZE_THREAD__)
+inline constexpr std::size_t kSanitizerRoundScale = 20;
+#elif defined(__SANITIZE_ADDRESS__)
+inline constexpr std::size_t kSanitizerRoundScale = 4;
+#else
+inline constexpr std::size_t kSanitizerRoundScale = 1;
+#endif
+
+struct DriverConfig {
+  std::size_t num_thieves = 2;
+  std::size_t rounds = 10'000;
+  std::size_t items_per_round = 16;  // <= 255 (index lives in the low byte)
+  std::size_t deque_capacity = 512;
+  // After each push, chance that the owner drains its own bottom to empty —
+  // the drain-and-refill cycle that resets ABP indices (and, with the tag
+  // compiled out, arms the ABA trap for any thief stalled mid-CAS).
+  double p_owner_drain = 0.25;
+  // After each owner op, chance that the owner yields the processor — the
+  // kernel preempting the owner mid-round. Without this, a single-CPU host
+  // lets the owner push and drain entire rounds uninterrupted and the
+  // thieves only ever see an empty deque (zero steals, vacuous fuzz).
+  double p_owner_yield = 0.25;
+  std::uint64_t seed = 1;
+  bool stop_at_first_bad_round = true;
+};
+
+struct Verdict {
+  bool ok = true;
+  std::uint64_t duplicates = 0;  // value returned more than once
+  std::uint64_t lost = 0;        // value pushed but never returned
+  std::uint64_t stale = 0;       // value from a different round
+  std::uint64_t owner_pops = 0;
+  std::uint64_t thief_steals = 0;
+  std::uint64_t rounds_run = 0;
+  std::uint64_t first_bad_round = 0;  // 1-based; 0 = none
+  std::string deque;
+  std::string policy;
+  DriverConfig config;
+
+  // One line that identifies the failing interleaving for replay.
+  std::string repro() const {
+    std::ostringstream os;
+    os << (ok ? "differential OK" : "differential FAILED") << ": deque="
+       << deque << " policy=\"" << policy << "\" seed=" << config.seed
+       << " thieves=" << config.num_thieves << " rounds=" << rounds_run
+       << "/" << config.rounds << " items=" << config.items_per_round
+       << " p_drain=" << config.p_owner_drain
+       << " | duplicates=" << duplicates << " lost=" << lost << " stale="
+       << stale << " first_bad_round=" << first_bad_round
+       << " owner_pops=" << owner_pops << " thief_steals=" << thief_steals;
+    return os.str();
+  }
+};
+
+// Runs the differential protocol on a fresh `Deque` under `policy`.
+// The calling thread is the owner; `cfg.num_thieves` threads steal.
+template <typename Deque>
+Verdict run_differential(const char* deque_name, const DriverConfig& cfg,
+                         std::shared_ptr<chaos::Policy> policy) {
+  Verdict v;
+  v.deque = deque_name;
+  v.policy = policy->name();
+  v.config = cfg;
+
+  Deque dq(cfg.deque_capacity);
+  std::atomic<std::uint64_t> round_seq{0};
+  std::atomic<bool> pushing_done{false};
+  std::atomic<std::size_t> arrived{0};
+  std::atomic<bool> quit{false};
+  std::vector<std::vector<std::uint32_t>> thief_popped(cfg.num_thieves);
+
+  chaos::ChaosScope scope(policy, cfg.seed);
+
+  auto thief_fn = [&](std::size_t me) {
+    std::uint64_t seen_round = 0;
+    for (;;) {
+      while (round_seq.load(std::memory_order_acquire) == seen_round) {
+        if (quit.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+      seen_round = round_seq.load(std::memory_order_acquire);
+      for (;;) {
+        auto r = dq.pop_top_ex();
+        if (r.item) {
+          thief_popped[me].push_back(*r.item);
+          continue;
+        }
+        if (r.status == deque::PopTopStatus::kEmpty &&
+            pushing_done.load(std::memory_order_acquire)) {
+          break;
+        }
+        std::this_thread::yield();  // lost race / owner still pushing
+      }
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+    }
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(cfg.num_thieves);
+  for (std::size_t i = 0; i < cfg.num_thieves; ++i)
+    thieves.emplace_back(thief_fn, i);
+
+  // The owner's op-mix RNG is split from the scope seed so the workload and
+  // the injection schedule reproduce from the one printed seed.
+  Xoshiro256 owner_rng;
+  owner_rng.reseed(SplitMix64(cfg.seed ^ 0x6f7764656571ULL).next());
+
+  std::vector<std::uint32_t> owner_popped;
+  std::vector<std::uint8_t> seen(cfg.items_per_round);
+
+  for (std::uint64_t r = 1; r <= cfg.rounds; ++r) {
+    for (auto& t : thief_popped) t.clear();
+    owner_popped.clear();
+    pushing_done.store(false, std::memory_order_release);
+    arrived.store(0, std::memory_order_release);
+    round_seq.store(r, std::memory_order_release);
+
+    for (std::size_t i = 0; i < cfg.items_per_round; ++i) {
+      dq.push_bottom(static_cast<std::uint32_t>((r << 8) | i));
+      if (owner_rng.chance(cfg.p_owner_yield)) std::this_thread::yield();
+      if (owner_rng.chance(cfg.p_owner_drain)) {
+        while (auto item = dq.pop_bottom()) owner_popped.push_back(*item);
+        if (owner_rng.chance(cfg.p_owner_yield)) std::this_thread::yield();
+      }
+    }
+    pushing_done.store(true, std::memory_order_release);
+    while (auto item = dq.pop_bottom()) owner_popped.push_back(*item);
+    while (arrived.load(std::memory_order_acquire) != cfg.num_thieves)
+      std::this_thread::yield();
+    v.rounds_run = r;
+
+    // Reconcile: every (round, index) exactly once across owner + thieves.
+    std::fill(seen.begin(), seen.end(), std::uint8_t{0});
+    auto account = [&](std::uint32_t value) {
+      const std::uint64_t value_round = value >> 8;
+      const std::size_t index = value & 0xff;
+      if (value_round != r || index >= cfg.items_per_round) {
+        ++v.stale;
+        return;
+      }
+      if (seen[index] != 0xff) ++seen[index];
+      if (seen[index] > 1) ++v.duplicates;
+    };
+    v.owner_pops += owner_popped.size();
+    for (std::uint32_t x : owner_popped) account(x);
+    for (const auto& t : thief_popped) {
+      v.thief_steals += t.size();
+      for (std::uint32_t x : t) account(x);
+    }
+    std::uint64_t lost_this_round = 0;
+    for (std::size_t i = 0; i < cfg.items_per_round; ++i)
+      if (seen[i] == 0) ++lost_this_round;
+    v.lost += lost_this_round;
+
+    if (v.duplicates + v.lost + v.stale > 0) {
+      if (v.first_bad_round == 0) v.first_bad_round = r;
+      v.ok = false;
+      if (cfg.stop_at_first_bad_round) break;
+    }
+  }
+
+  quit.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  return v;
+}
+
+// ---- linearizability mode --------------------------------------------------
+//
+// A small-history variant that records every operation with (start, end)
+// stamps from a global atomic clock and feeds the completed history into
+// model::check_relaxed_linearizable — the §3.2 specification checker built
+// for the instruction-level model, here applied to the real std::atomic
+// deque under injected stalls. Histories are kept small (the checker's
+// memoized search keys on a 64-bit linearized-set bitmask).
+
+struct HistoryConfig {
+  std::size_t num_thieves = 2;
+  std::size_t pushes = 14;              // <= 255; values are 0..pushes-1
+  std::size_t pop_top_attempts = 7;     // per thief
+  double p_owner_pop = 0.3;             // chance of a popBottom after a push
+  double p_owner_yield = 0.3;           // owner preemption between ops
+  std::uint64_t seed = 1;
+};
+
+// Runs one seeded concurrent round and returns the recorded history
+// (already merged; order is irrelevant to the checker).
+template <typename Deque>
+std::vector<model::HistoryEvent> record_history(
+    const HistoryConfig& cfg, std::shared_ptr<chaos::Policy> policy) {
+  Deque dq(256);
+  std::atomic<std::uint64_t> clock{0};
+  std::atomic<bool> go{false};
+  std::vector<std::vector<model::HistoryEvent>> per_thief(cfg.num_thieves);
+
+  chaos::ChaosScope scope(policy, cfg.seed);
+
+  auto thief_fn = [&](std::size_t me) {
+    while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (std::size_t i = 0; i < cfg.pop_top_attempts; ++i) {
+      model::HistoryEvent e;
+      e.method = model::Method::kPopTop;
+      e.start = clock.fetch_add(1, std::memory_order_acq_rel);
+      auto r = dq.pop_top();
+      e.end = clock.fetch_add(1, std::memory_order_acq_rel);
+      e.result = r ? static_cast<std::uint8_t>(*r)
+                   : model::SharedDeque::kEmptySlot;
+      per_thief[me].push_back(e);
+    }
+  };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(cfg.num_thieves);
+  for (std::size_t i = 0; i < cfg.num_thieves; ++i)
+    thieves.emplace_back(thief_fn, i);
+
+  Xoshiro256 owner_rng;
+  owner_rng.reseed(SplitMix64(cfg.seed ^ 0x686973746fULL).next());
+  std::vector<model::HistoryEvent> history;
+  go.store(true, std::memory_order_release);
+  for (std::size_t i = 0; i < cfg.pushes; ++i) {
+    model::HistoryEvent push;
+    push.method = model::Method::kPushBottom;
+    push.arg = static_cast<std::uint8_t>(i);
+    push.start = clock.fetch_add(1, std::memory_order_acq_rel);
+    dq.push_bottom(static_cast<std::uint32_t>(i));
+    push.end = clock.fetch_add(1, std::memory_order_acq_rel);
+    history.push_back(push);
+    if (owner_rng.chance(cfg.p_owner_yield)) std::this_thread::yield();
+    if (owner_rng.chance(cfg.p_owner_pop)) {
+      model::HistoryEvent pop;
+      pop.method = model::Method::kPopBottom;
+      pop.start = clock.fetch_add(1, std::memory_order_acq_rel);
+      auto r = dq.pop_bottom();
+      pop.end = clock.fetch_add(1, std::memory_order_acq_rel);
+      pop.result = r ? static_cast<std::uint8_t>(*r)
+                     : model::SharedDeque::kEmptySlot;
+      history.push_back(pop);
+    }
+  }
+  for (auto& t : thieves) t.join();
+  for (const auto& tv : per_thief)
+    history.insert(history.end(), tv.begin(), tv.end());
+  return history;
+}
+
+template <typename Deque>
+bool history_is_relaxed_linearizable(const HistoryConfig& cfg,
+                                     std::shared_ptr<chaos::Policy> policy) {
+  return model::check_relaxed_linearizable(record_history<Deque>(cfg, policy));
+}
+
+}  // namespace abp::chaostest
