@@ -1,4 +1,5 @@
 #pragma once
+// atomics-lint: allow(synchronizes the chaos engine's own bookkeeping, not modeled algorithm state)
 
 // The built-in fault-injection policies — each one is a concrete reading of
 // the paper's kernel adversary (§2, §4.4) at instruction granularity:

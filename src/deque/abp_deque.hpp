@@ -24,9 +24,13 @@
 // need.
 //
 // The paper's pseudocode assumes sequential consistency ("extra memory
-// operation ordering instructions may be needed" otherwise); we use
-// std::memory_order_seq_cst on the age/bot accesses, which is the direct
-// C++20 transliteration of that assumption. `cas` is
+// operation ordering instructions may be needed" otherwise). Every atomic
+// access below names the weakest memory_order the model checker proves
+// sufficient (src/model/weak_machine.cpp kOrderTable; explored under TSO
+// and C11 release/acquire by tests/test_model_weak.cpp, which also shows
+// a counterexample trace for each ordering we must NOT relax). Each
+// access carries a `model-site:` anchor naming its row in that table;
+// tools/atomics_lint.py fails the build if the two drift apart. `cas` is
 // compare_exchange_strong.
 //
 // Tag width: the paper adapts the bounded-tags algorithm [Moir 97] because
@@ -86,12 +90,19 @@ class AbpDeque {
 
   // pushBottom (Figure 5). Owner only.
   void push_bottom(T node) {
-    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    // bot is written by the owner only; its own program order suffices.
+    // model-site: abp.push_bottom.bottom_load
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_relaxed);
     ABP_ASSERT_MSG(local_bot < capacity_, "ABP deque overflow");
     CHAOS_POINT("deque.pushbottom.pre_item_store");
+    // Ordering comes entirely from the release bot store below.
+    // model-site: abp.push_bottom.item_store
     deq_[local_bot].store(node, std::memory_order_relaxed);
     CHAOS_POINT("deque.pushbottom.pre_bot_store");
-    bot_.value.store(local_bot + 1, std::memory_order_seq_cst);
+    // Release publishes the item store above: a thief whose acquire load
+    // of bot sees the new count also sees the cell contents.
+    // model-site: abp.push_bottom.bottom_store
+    bot_.value.store(local_bot + 1, std::memory_order_release);
   }
 
   // popTop (Figure 5). Any process. Returns nothing when the deque was
@@ -103,14 +114,26 @@ class AbpDeque {
   // interface discards.
   PopTopResult<T> pop_top_ex() {
     CHAOS_POINT("deque.poptop.pre_read");
-    const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
-    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    // Acquire pairs with the release members of age's release sequence
+    // (age_store / winning CASes): top's cell is visible when top is.
+    // model-site: abp.pop_top.age_load
+    const std::uint64_t old_age = age_.value.load(std::memory_order_acquire);
+    // Acquire pairs with push_bottom's release bot store: seeing the new
+    // bot implies seeing the pushed item.
+    // model-site: abp.pop_top.bottom_load
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_acquire);
     if (local_bot <= top_of(old_age))
       return {std::nullopt, PopTopStatus::kEmpty};
+    // A stale read is harmless: the CAS fails unless age is unchanged,
+    // and an unchanged (tag, top) means the cell was not recycled.
+    // model-site: abp.pop_top.item_load
     const T node = deq_[top_of(old_age)].load(std::memory_order_relaxed);
     const std::uint64_t new_age = make_age(tag_of(old_age), top_of(old_age) + 1);
     std::uint64_t expected = old_age;
     CHAOS_POINT("deque.poptop.pre_cas");
+    // seq_cst: the steal's linearization point must totally order against
+    // popBottom's bot store / age load window (see that site).
+    // model-site: abp.pop_top.cas
     if (age_.value.compare_exchange_strong(expected, new_age,
                                            std::memory_order_seq_cst)) {
       return {node, PopTopStatus::kSuccess};
@@ -120,12 +143,25 @@ class AbpDeque {
 
   // popBottom (Figure 5). Owner only.
   std::optional<T> pop_bottom() {
-    std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    // Owner-only counter: reads back the owner's own latest store.
+    // model-site: abp.pop_bottom.bottom_load
+    std::uint64_t local_bot = bot_.value.load(std::memory_order_relaxed);
     if (local_bot == 0) return std::nullopt;
     --local_bot;
+    // seq_cst store→load barrier: the age load below must not be ordered
+    // before this store (TSO would do exactly that with anything weaker),
+    // or the owner and a thief can both take the last item.
+    // model-site: abp.pop_bottom.bottom_store
     bot_.value.store(local_bot, std::memory_order_seq_cst);
     CHAOS_POINT("deque.popbottom.post_bot_store");
+    // Once bot has moved below the cell the owner owns it; the CAS below
+    // arbitrates the only contended case (last item).
+    // model-site: abp.pop_bottom.item_load
     const T node = deq_[local_bot].load(std::memory_order_relaxed);
+    // seq_cst: must observe any steal that linearized before the bot
+    // store above became visible; an acquire load can read a stale top
+    // and hand out the stolen item a second time.
+    // model-site: abp.pop_bottom.age_load
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     if (local_bot > top_of(old_age)) return node;
     // The deque had at most one item; reset it to the canonical empty state
@@ -133,39 +169,54 @@ class AbpDeque {
     // (kTagged = false is the chaos harness's ABA ablation: the reset keeps
     // the old tag, so a stalled thief's CAS can succeed against a recycled
     // (tag, top) pair.)
-    bot_.value.store(0, std::memory_order_seq_cst);
+    //
+    // Owner-only bookkeeping: published to thieves by the CAS / release
+    // age store below, never read before then.
+    // model-site: abp.pop_bottom.bottom_reset
+    bot_.value.store(0, std::memory_order_relaxed);
     const std::uint64_t new_age =
         make_age(tag_of(old_age) + (kTagged ? 1 : 0), 0);
     if (local_bot == top_of(old_age)) {
       std::uint64_t expected = old_age;
       CHAOS_POINT("deque.popbottom.pre_cas");
+      // seq_cst: linearization point of the last-item race against the
+      // thief's steal CAS.
+      // model-site: abp.pop_bottom.cas
       if (age_.value.compare_exchange_strong(expected, new_age,
                                              std::memory_order_seq_cst)) {
         return node;  // we won the race against any concurrent pop_top
       }
     }
     // A thief took the last item (or top had already passed local_bot).
-    age_.value.store(new_age, std::memory_order_seq_cst);
+    // Release publishes the bot reset above before thieves can observe
+    // the new (tag, top); nothing later depends on this store's order.
+    // model-site: abp.pop_bottom.age_store
+    age_.value.store(new_age, std::memory_order_release);
     return std::nullopt;
   }
 
   // Owner-only convenience: true iff bot == 0 at the moment of the load.
   // (Used by tests and stats; the algorithm itself never needs it.)
   bool empty_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t a = age_.value.load(std::memory_order_seq_cst);
     return b <= top_of(a);
   }
 
   // Approximate size (racy; for statistics only).
   std::size_t size_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t t = top_of(age_.value.load(std::memory_order_seq_cst));
     return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
 
   // Exposed for the ABA/tag unit tests.
   std::uint32_t tag_hint() const {
+    // model-site: none(test-only inspection of the tag field)
     return static_cast<std::uint32_t>(
         tag_of(age_.value.load(std::memory_order_seq_cst)));
   }

@@ -54,6 +54,7 @@ class AbpGrowableDeque {
   explicit AbpGrowableDeque(std::size_t initial_capacity = 64) {
     auto first = std::make_unique<Buffer>(
         initial_capacity < 8 ? 8 : initial_capacity);
+    // model-site: none(constructor; no concurrent readers exist yet)
     buf_.store(first.get(), std::memory_order_release);
     buffers_.push_back(std::move(first));
   }
@@ -62,35 +63,58 @@ class AbpGrowableDeque {
   AbpGrowableDeque& operator=(const AbpGrowableDeque&) = delete;
 
   std::size_t capacity() const noexcept {
+    // model-site: none(racy observability hint, not part of the algorithm)
     return buf_.load(std::memory_order_acquire)->capacity;
   }
 
   // pushBottom; owner only. Grows instead of overflowing.
   void push_bottom(T node) {
-    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
-    Buffer* buf = buf_.load(std::memory_order_relaxed);  // owner-owned
+    // Owner-only counter; the owner's program order suffices.
+    // model-site: growable.push_bottom.bottom_load
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_relaxed);
+    // The owner is the only writer of buf_; it reads its own last publish.
+    // model-site: growable.push_bottom.buffer_load
+    Buffer* buf = buf_.load(std::memory_order_relaxed);
     if (local_bot == buf->capacity) buf = grow(buf, local_bot);
     CHAOS_POINT("deque.pushbottom.pre_item_store");
+    // Ordering comes entirely from the release bot store below.
+    // model-site: growable.push_bottom.item_store
     buf->data[local_bot].store(node, std::memory_order_relaxed);
     CHAOS_POINT("deque.pushbottom.pre_bot_store");
-    bot_.value.store(local_bot + 1, std::memory_order_seq_cst);
+    // Release publishes the item store (and any growth) to thieves that
+    // acquire-load the new bot.
+    // model-site: growable.push_bottom.bottom_store
+    bot_.value.store(local_bot + 1, std::memory_order_release);
   }
 
   std::optional<T> pop_top() { return pop_top_ex().item; }
 
   PopTopResult<T> pop_top_ex() {
     CHAOS_POINT("deque.poptop.pre_read");
-    const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
-    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    // Acquire pairs with age's release sequence (age_store / winning
+    // CASes): top's cell is visible when top is.
+    // model-site: growable.pop_top.age_load
+    const std::uint64_t old_age = age_.value.load(std::memory_order_acquire);
+    // Acquire pairs with push_bottom's release bot store: seeing the new
+    // bot implies seeing the item AND the buffer that holds it.
+    // model-site: growable.pop_top.bottom_load
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_acquire);
     if (local_bot <= top_of(old_age))
       return {std::nullopt, PopTopStatus::kEmpty};
     // The buffer pointer is re-read after bot: if a growth raced us, both
-    // buffers hold the same value at this index.
+    // buffers hold the same value at this index. Acquire pairs with the
+    // release publish in grow() so the copied cells are visible.
+    // model-site: growable.pop_top.buffer_load
     Buffer* buf = buf_.load(std::memory_order_acquire);
+    // Stale reads are rejected by the CAS (age unchanged => cell valid).
+    // model-site: growable.pop_top.item_load
     const T node = buf->data[top_of(old_age)].load(std::memory_order_relaxed);
     const std::uint64_t new_age = make_age(tag_of(old_age), top_of(old_age) + 1);
     std::uint64_t expected = old_age;
     CHAOS_POINT("deque.poptop.pre_cas");
+    // seq_cst: the steal must totally order against popBottom's bot
+    // store / age load window (see abp_deque.hpp).
+    // model-site: growable.pop_top.cas
     if (age_.value.compare_exchange_strong(expected, new_age,
                                            std::memory_order_seq_cst)) {
       return {node, PopTopStatus::kSuccess};
@@ -99,42 +123,66 @@ class AbpGrowableDeque {
   }
 
   std::optional<T> pop_bottom() {
-    std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    // Owner-only counter: reads back the owner's own latest store.
+    // model-site: growable.pop_bottom.bottom_load
+    std::uint64_t local_bot = bot_.value.load(std::memory_order_relaxed);
     if (local_bot == 0) return std::nullopt;
     --local_bot;
+    // seq_cst store->load barrier against the age load below; anything
+    // weaker lets owner and thief both take the last item (TSO).
+    // model-site: growable.pop_bottom.bottom_store
     bot_.value.store(local_bot, std::memory_order_seq_cst);
     CHAOS_POINT("deque.popbottom.post_bot_store");
-    Buffer* buf = buf_.load(std::memory_order_relaxed);  // owner-owned
+    // The owner is the only writer of buf_; it reads its own last publish.
+    // model-site: growable.pop_bottom.buffer_load
+    Buffer* buf = buf_.load(std::memory_order_relaxed);
+    // Owner owns the cell once bot has moved below it; the CAS below
+    // arbitrates the only contended case (last item).
+    // model-site: growable.pop_bottom.item_load
     const T node = buf->data[local_bot].load(std::memory_order_relaxed);
+    // seq_cst: must observe any steal that linearized before the bot
+    // store above became visible (see abp_deque.hpp).
+    // model-site: growable.pop_bottom.age_load
     const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
     if (local_bot > top_of(old_age)) return node;
-    bot_.value.store(0, std::memory_order_seq_cst);
+    // Owner-only bookkeeping; published by the CAS / age store below.
+    // model-site: growable.pop_bottom.bottom_reset
+    bot_.value.store(0, std::memory_order_relaxed);
     const std::uint64_t new_age = make_age(tag_of(old_age) + 1, 0);
     if (local_bot == top_of(old_age)) {
       std::uint64_t expected = old_age;
       CHAOS_POINT("deque.popbottom.pre_cas");
+      // seq_cst: linearization point of the last-item race.
+      // model-site: growable.pop_bottom.cas
       if (age_.value.compare_exchange_strong(expected, new_age,
                                              std::memory_order_seq_cst)) {
         return node;
       }
     }
-    age_.value.store(new_age, std::memory_order_seq_cst);
+    // Release publishes the bot reset before the new (tag, top) is seen.
+    // model-site: growable.pop_bottom.age_store
+    age_.value.store(new_age, std::memory_order_release);
     return std::nullopt;
   }
 
   bool empty_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t a = age_.value.load(std::memory_order_seq_cst);
     return b <= top_of(a);
   }
 
   std::size_t size_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t b = bot_.value.load(std::memory_order_seq_cst);
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::uint64_t t = top_of(age_.value.load(std::memory_order_seq_cst));
     return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
 
   std::uint32_t tag_hint() const {
+    // model-site: none(test-only inspection of the tag field)
     return static_cast<std::uint32_t>(
         tag_of(age_.value.load(std::memory_order_seq_cst)));
   }
@@ -143,14 +191,22 @@ class AbpGrowableDeque {
   Buffer* grow(Buffer* old, std::uint64_t local_bot) {
     auto bigger = std::make_unique<Buffer>(old->capacity * 2);
     // Copy the window that can still be referenced: [top, local_bot). A
-    // concurrently advancing top only shrinks the live window, so reading
-    // it once (possibly stale-low) copies a superset.
-    const std::uint64_t t = top_of(age_.value.load(std::memory_order_seq_cst));
-    for (std::uint64_t i = t; i < local_bot; ++i)
-      bigger->data[i].store(old->data[i].load(std::memory_order_relaxed),
-                            std::memory_order_relaxed);
+    // concurrently advancing top only shrinks the live window, so a
+    // relaxed (possibly stale-low) read copies a superset.
+    // model-site: growable.grow.age_load
+    const std::uint64_t t = top_of(age_.value.load(std::memory_order_relaxed));
+    for (std::uint64_t i = t; i < local_bot; ++i) {
+      // Cells in [top, bot) were written by this owner before this call.
+      // model-site: growable.grow.item_load
+      const T v = old->data[i].load(std::memory_order_relaxed);
+      // Published to thieves by the release buf_ store below.
+      // model-site: growable.grow.item_store
+      bigger->data[i].store(v, std::memory_order_relaxed);
+    }
     Buffer* raw = bigger.get();
     CHAOS_POINT("deque.grow.pre_publish");
+    // Release publishes the copied cells with the new buffer pointer.
+    // model-site: growable.grow.publish
     buf_.store(raw, std::memory_order_release);
     buffers_.push_back(std::move(bigger));  // retire; freed at destruction
     return raw;

@@ -46,10 +46,15 @@ class ChaseLevDeque {
     std::unique_ptr<std::atomic<T>[]> data;
 
     T get(std::int64_t i) const noexcept {
+      // Stale reads are rejected by the top CAS at every caller.
+      // model-site: chase_lev.pop_bottom.item_load, chase_lev.pop_top.item_load
       return data[static_cast<std::size_t>(i) & mask].load(
           std::memory_order_relaxed);
     }
     void put(std::int64_t i, T v) noexcept {
+      // Published by the release fence/store in push_bottom (or the
+      // release buffer publish in grow).
+      // model-site: chase_lev.push_bottom.item_store
       data[static_cast<std::size_t>(i) & mask].store(
           v, std::memory_order_relaxed);
     }
@@ -59,6 +64,7 @@ class ChaseLevDeque {
   explicit ChaseLevDeque(std::size_t initial_capacity = 64) {
     std::size_t cap = 1;
     while (cap < initial_capacity) cap <<= 1;
+    // model-site: none(constructor; no concurrent readers exist yet)
     buffer_.store(new Buffer(cap), std::memory_order_relaxed);
   }
 
@@ -66,20 +72,28 @@ class ChaseLevDeque {
   ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
 
   ~ChaseLevDeque() {
+    // model-site: none(destructor; all other processes have quiesced)
     delete buffer_.load(std::memory_order_relaxed);
     for (Buffer* b : retired_) delete b;
   }
 
   // Owner only.
   void push_bottom(T item) {
+    // model-site: chase_lev.push_bottom.bottom_load
     const std::int64_t b = bottom_.value.load(std::memory_order_relaxed);
+    // Acquire: the capacity check must see steals' top advances, or the
+    // owner grows (or overwrites) needlessly/us wrongly.
+    // model-site: chase_lev.push_bottom.top_load
     const std::int64_t t = top_.value.load(std::memory_order_acquire);
+    // model-site: none(owner is the only writer of buffer_)
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
       buf = grow(buf, t, b);
     }
     CHAOS_POINT("deque.pushbottom.pre_item_store");
     buf->put(b, item);
+    // model-site: none(subsumed by the release bottom store below; the
+    // model carries this edge on the store itself)
     std::atomic_thread_fence(std::memory_order_release);
     CHAOS_POINT("deque.pushbottom.pre_bot_store");
     // Le et al. publish with the fence above plus a relaxed store; we
@@ -87,36 +101,50 @@ class ChaseLevDeque {
     // LDAR-free paths) because TSan does not model fence-based
     // synchronization — without this, every Job field written before
     // push_bottom() is reported as racing the stealer's reads.
+    // model-site: chase_lev.push_bottom.bottom_store
     bottom_.value.store(b + 1, std::memory_order_release);
   }
 
   // Owner only.
   std::optional<T> pop_bottom() {
+    // model-site: chase_lev.pop_bottom.bottom_load
     const std::int64_t b = bottom_.value.load(std::memory_order_relaxed) - 1;
+    // model-site: none(owner is the only writer of buffer_)
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
     // Every bottom store is release (not the paper's relaxed) for the same
     // TSan-visibility reason as in push_bottom: a thief may acquire-read
     // any of these values and go on to read a slot published by an
     // earlier push, so each store must carry the happens-before edge.
+    // model-site: chase_lev.pop_bottom.bottom_store
     bottom_.value.store(b, std::memory_order_release);
+    // The take/steal store-buffering fence pair (Le et al. Fig. 6); the
+    // relaxed top load below is safe only because of it.
+    // model-site: chase_lev.pop_bottom.fence
     std::atomic_thread_fence(std::memory_order_seq_cst);
     CHAOS_POINT("deque.popbottom.post_bot_store");
+    // model-site: chase_lev.pop_bottom.top_load
     std::int64_t t = top_.value.load(std::memory_order_relaxed);
     if (t > b) {
       // Deque was already empty; restore bottom.
+      // model-site: chase_lev.pop_bottom.bottom_restore
       bottom_.value.store(b + 1, std::memory_order_release);
       return std::nullopt;
     }
     T item = buf->get(b);
     if (t == b) {
-      // Last element: race against thieves via CAS on top.
+      // Last element: race against thieves via CAS on top. seq_cst is
+      // load-bearing under C11-as-published fences (P0668): see
+      // tests/test_model_weak.cpp ChaseLevRelaxedCas*.
       CHAOS_POINT("deque.popbottom.pre_cas");
+      // model-site: chase_lev.pop_bottom.cas
       if (!top_.value.compare_exchange_strong(t, t + 1,
                                               std::memory_order_seq_cst,
                                               std::memory_order_relaxed)) {
+        // model-site: chase_lev.pop_bottom.bottom_reset
         bottom_.value.store(b + 1, std::memory_order_release);
         return std::nullopt;
       }
+      // model-site: chase_lev.pop_bottom.bottom_reset
       bottom_.value.store(b + 1, std::memory_order_release);
     }
     return item;
@@ -127,13 +155,25 @@ class ChaseLevDeque {
 
   PopTopResult<T> pop_top_ex() {
     CHAOS_POINT("deque.poptop.pre_read");
+    // model-site: chase_lev.pop_top.top_load
     std::int64_t t = top_.value.load(std::memory_order_acquire);
+    // Steal side of the store-buffering fence pair (Le et al. Fig. 6).
+    // model-site: chase_lev.pop_top.fence
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Acquire pairs with the owner's release bottom stores: seeing the
+    // new bottom implies seeing the pushed slot. The model proves relaxed
+    // here loses items (ChaseLevNoStealAcquireCaughtUnderRa).
+    // model-site: chase_lev.pop_top.bottom_load
     const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
     if (t >= b) return {std::nullopt, PopTopStatus::kEmpty};
+    // model-site: none(buffer growth is not modeled; acquire pairs with
+    // grow()'s release publish so copied slots are visible)
     Buffer* buf = buffer_.load(std::memory_order_acquire);
     T item = buf->get(t);
     CHAOS_POINT("deque.poptop.pre_cas");
+    // seq_cst is load-bearing under C11-as-published fences (P0668): see
+    // tests/test_model_weak.cpp ChaseLevRelaxedCas*.
+    // model-site: chase_lev.pop_top.cas
     if (!top_.value.compare_exchange_strong(t, t + 1,
                                             std::memory_order_seq_cst,
                                             std::memory_order_relaxed)) {
@@ -144,12 +184,15 @@ class ChaseLevDeque {
   }
 
   bool empty_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
     return top_.value.load(std::memory_order_acquire) >=
            bottom_.value.load(std::memory_order_acquire);
   }
 
   std::size_t size_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::int64_t b = bottom_.value.load(std::memory_order_acquire);
+    // model-site: none(racy observability hint, not part of the algorithm)
     const std::int64_t t = top_.value.load(std::memory_order_acquire);
     return b > t ? static_cast<std::size_t>(b - t) : 0;
   }
@@ -159,6 +202,8 @@ class ChaseLevDeque {
     auto* bigger = new Buffer(old->capacity * 2);
     for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
     CHAOS_POINT("deque.grow.pre_publish");
+    // model-site: none(buffer growth is not modeled; release publishes
+    // the copied slots to thieves' acquire load)
     buffer_.store(bigger, std::memory_order_release);
     // Thieves may still be reading `old`; retire it until destruction
     // (owner-only structure, so a simple retire list is safe).

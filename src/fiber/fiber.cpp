@@ -1,4 +1,5 @@
 #include "fiber/fiber.hpp"
+// atomics-lint: allow(fiber lifecycle flags; synchronization proven by the scheduler join protocol, not the deque model)
 
 #include <mutex>
 #include <thread>

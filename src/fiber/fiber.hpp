@@ -1,4 +1,5 @@
 #pragma once
+// atomics-lint: allow(fiber lifecycle flags; synchronization proven by the scheduler join protocol, not the deque model)
 
 // User-level threads ("threads" in the paper's vocabulary; "fibers" here to
 // avoid clashing with std::thread). This layer realizes the paper's actual

@@ -105,6 +105,12 @@ ExploreResult explore(const std::vector<Script>& scripts,
   while (!frontier.empty() && result.ok) {
     if (visited.size() > opts.max_states) {
       result.truncated = true;
+      // Not a verdict: make sure a caller that prints `violation` on
+      // failure sees why `passed()` is false even though ok is true.
+      result.violation =
+          "exploration truncated at max_states = " +
+          std::to_string(opts.max_states) +
+          " — the state space was NOT exhausted; no verdict";
       break;
     }
     SysState state = std::move(frontier.front());

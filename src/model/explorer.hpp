@@ -57,6 +57,12 @@ struct ExploreResult {
   bool nonblocking = true;          // property 3
   int max_solo_steps = 0;           // worst-case solo completion length
   bool truncated = false;           // hit max_states
+
+  // A truncated exploration proves nothing: `ok` only means "no
+  // violation in the states visited". Callers asserting correctness
+  // must check passed(), never ok alone (when truncated, `violation`
+  // also carries a loud explanation so `<< r.violation` shows it).
+  bool passed() const noexcept { return ok && !truncated; }
 };
 
 ExploreResult explore(const std::vector<Script>& scripts,

@@ -1,0 +1,100 @@
+#pragma once
+
+// Dynamic partial-order reduction primitives for the weak-memory
+// explorer (weak_explorer.cpp).
+//
+// Two classic reductions, composed:
+//
+//   * Sleep sets (Godefroid). After exploring transition t from state s,
+//     t is added to the sleep set for s's remaining branches; a child
+//     state inherits the sleeping transitions that are independent of
+//     the executed one. A sleeping transition's trace was already
+//     covered through a sibling, so re-exploring it is redundant.
+//     Sound for the properties checked here because a violation is a
+//     function of the execution's Mazurkiewicz trace (return values are
+//     unchanged by commuting independent transitions), and sleep sets
+//     keep at least one interleaving per trace.
+//
+//   * Singleton persistent sets ("persistent-set-lite"). If every
+//     transition some process p can ever execute from s is independent
+//     of every transition every other process can ever execute (checked
+//     conservatively against whole-method footprints, wm_footprint),
+//     then exploring only p's transitions from s is sufficient. This is
+//     cheap and fires mostly in quiescent tails, where it collapses the
+//     remaining schedule to one path; the sleep sets do the heavy
+//     lifting mid-flight.
+//
+// Transition identity is (proc, is_flush): at a fixed state, a process
+// has at most one pending instruction and at most one flushable store,
+// so the pair names the transition unambiguously.
+
+#include <cstdint>
+#include <vector>
+
+#include "model/weak.hpp"
+#include "model/weak_machine.hpp"
+
+namespace abp::model {
+
+// What one transition touches, recorded when it was enabled.
+struct TransAccess {
+  std::uint8_t proc = 0;
+  bool is_flush = false;  // TSO store-buffer flush, not an instruction
+  bool has_loc = true;    // fences touch no location
+  Loc loc = 0;
+  bool write = false;
+  bool sc = false;  // participates in the global SC order
+};
+
+// Conservative dependency relation: same process (program order), both
+// seq_cst (they order against the global SC view / drain buffers), or a
+// read/write conflict on one location.
+inline bool dependent(const TransAccess& a, const TransAccess& b) noexcept {
+  if (a.proc == b.proc) {
+    // An instruction commutes with the same process's own store-buffer
+    // flush under TSO: loads forward from the newest buffered store
+    // (same value either way), stores append while flushes pop, and
+    // drain-gated instructions are never co-enabled with a pending
+    // flush. Everything else a process does is program-ordered.
+    return a.is_flush == b.is_flush;
+  }
+  if (a.sc && b.sc) return true;
+  return a.has_loc && b.has_loc && a.loc == b.loc && (a.write || b.write);
+}
+
+// Does a single access conflict with a whole-process future footprint?
+inline bool conflicts(const TransAccess& a, const Footprint& f) noexcept {
+  if (a.sc && f.sc) return true;
+  if (!a.has_loc) return false;
+  const std::uint32_t bit = 1u << a.loc;
+  if (a.write) return ((f.reads | f.writes) & bit) != 0;
+  return (f.writes & bit) != 0;
+}
+
+class SleepSet {
+ public:
+  bool contains(std::uint8_t proc, bool is_flush) const noexcept {
+    for (const TransAccess& t : entries_)
+      if (t.proc == proc && t.is_flush == is_flush) return true;
+    return false;
+  }
+
+  // The sleep set a child inherits after executing `t`: the entries
+  // independent of t (a dependent sleeper must be re-explored, since
+  // executing t may have changed what it does).
+  SleepSet after(const TransAccess& t) const {
+    SleepSet child;
+    child.entries_.reserve(entries_.size());
+    for (const TransAccess& u : entries_)
+      if (!dependent(u, t)) child.entries_.push_back(u);
+    return child;
+  }
+
+  void insert(const TransAccess& t) { entries_.push_back(t); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::vector<TransAccess> entries_;
+};
+
+}  // namespace abp::model

@@ -1,0 +1,260 @@
+#include "model/weak.hpp"
+
+namespace abp::model {
+
+const char* to_string(MemOrder order) noexcept {
+  switch (order) {
+    case MemOrder::kRelaxed: return "relaxed";
+    case MemOrder::kAcquire: return "acquire";
+    case MemOrder::kRelease: return "release";
+    case MemOrder::kAcqRel: return "acq_rel";
+    case MemOrder::kSeqCst: return "seq_cst";
+  }
+  return "?";
+}
+
+const char* to_string(MemModel model) noexcept {
+  switch (model) {
+    case MemModel::kSC: return "SC";
+    case MemModel::kTSO: return "TSO";
+    case MemModel::kRA: return "RA";
+  }
+  return "?";
+}
+
+void WeakMemory::init(MemModel model, std::size_t nprocs,
+                      const std::vector<std::pair<Loc, std::uint8_t>>& initial,
+                      bool strong_sc_fences) {
+  ABP_ASSERT(nprocs <= kMaxProcs);
+  model_ = model;
+  strong_sc_fences_ = strong_sc_fences;
+  procs_.assign(nprocs, Proc{});
+  sc_view_ = View{};
+  for (auto& m : msgs_) {
+    m.clear();
+    m.push_back(Message{});  // ts 0: initial value 0, visible to everyone
+  }
+  for (const auto& [loc, value] : initial) {
+    ABP_ASSERT(loc < kMaxLocs);
+    msgs_[loc][0].value = value;
+  }
+}
+
+void WeakMemory::load_candidates(std::size_t p, Loc loc, MemOrder order,
+                                 std::vector<Ts>& out) const {
+  out.clear();
+  const auto& history = msgs_[loc];
+  if (model_ == MemModel::kTSO) {
+    // Store-to-load forwarding: the newest buffered store to loc, if any,
+    // otherwise the latest flushed message. Reads are never stale in TSO.
+    const auto& buf = procs_[p].buffer;
+    for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+      if (it->loc == loc) {
+        out.push_back(0xff);  // sentinel: forwarded from own buffer
+        return;
+      }
+    }
+    out.push_back(static_cast<Ts>(history.size() - 1));
+    return;
+  }
+  if (model_ == MemModel::kSC) {
+    out.push_back(static_cast<Ts>(history.size() - 1));
+    return;
+  }
+  // kRA: any message at or after the process's view; seq_cst loads are
+  // additionally bounded below by the global SC view.
+  Ts lb = procs_[p].view.ts[loc];
+  if (order == MemOrder::kSeqCst && sc_view_.ts[loc] > lb)
+    lb = sc_view_.ts[loc];
+  for (Ts ts = lb; ts < history.size(); ++ts) out.push_back(ts);
+}
+
+std::uint8_t WeakMemory::commit_load(std::size_t p, Loc loc, MemOrder order,
+                                     Ts ts) {
+  Proc& proc = procs_[p];
+  if (model_ == MemModel::kTSO) {
+    if (ts == 0xff) {  // forwarded from own buffer
+      const auto& buf = proc.buffer;
+      for (auto it = buf.rbegin(); it != buf.rend(); ++it)
+        if (it->loc == loc) return it->value;
+      ABP_ASSERT_MSG(false, "forwarding sentinel without a buffered store");
+    }
+    return msgs_[loc][ts].value;
+  }
+  if (model_ == MemModel::kSC) return msgs_[loc][ts].value;
+
+  // Weak (C11) fences: reads never enter the SC order, so an sc load
+  // only honours the per-location lower bound already applied in
+  // load_candidates; it neither imports nor exports the global view.
+  if (strong_sc_fences_ && order == MemOrder::kSeqCst)
+    proc.view.join(sc_view_);
+  ABP_ASSERT(ts < msgs_[loc].size() && ts >= proc.view.ts[loc]);
+  const Message& m = msgs_[loc][ts];
+  if (ts > proc.view.ts[loc]) proc.view.ts[loc] = ts;
+  if (acquires(order) && m.has_view) proc.view.join(m.view);
+  if (strong_sc_fences_ && order == MemOrder::kSeqCst)
+    sc_view_.join(proc.view);
+  return m.value;
+}
+
+void WeakMemory::append_message(std::size_t p, Loc loc, std::uint8_t value,
+                                MemOrder order) {
+  auto& history = msgs_[loc];
+  ABP_ASSERT_MSG(history.size() < 250, "model message history overflow");
+  Proc& proc = procs_[p];
+  const Ts ts = static_cast<Ts>(history.size());
+  proc.view.ts[loc] = ts;
+  proc.write_view.ts[loc] = ts;
+  Message m;
+  m.value = value;
+  if (model_ == MemModel::kRA && releases(order)) {
+    m.has_view = true;
+    m.view = proc.view;  // includes the new message's own timestamp
+  }
+  history.push_back(std::move(m));
+}
+
+void WeakMemory::store(std::size_t p, Loc loc, std::uint8_t value,
+                       MemOrder order) {
+  if (model_ == MemModel::kTSO && order != MemOrder::kSeqCst) {
+    procs_[p].buffer.push_back(PendingStore{loc, value});
+    return;
+  }
+  if (model_ == MemModel::kTSO) {
+    // seq_cst store: the explorer drained the buffer via flush
+    // transitions; the store itself is immediately visible (store+mfence).
+    ABP_ASSERT_MSG(buffer_empty(p), "seq_cst store with a non-empty buffer");
+  }
+  if (model_ == MemModel::kRA && order == MemOrder::kSeqCst &&
+      strong_sc_fences_)
+    procs_[p].view.join(sc_view_);
+  append_message(p, loc, value, order);
+  if (model_ == MemModel::kRA && order == MemOrder::kSeqCst) {
+    if (strong_sc_fences_) {
+      sc_view_.join(procs_[p].view);
+    } else if (latest_ts(loc) > sc_view_.ts[loc]) {
+      // C11 p5: an sc write enters the SC order at its own location only.
+      sc_view_.ts[loc] = latest_ts(loc);
+    }
+  }
+}
+
+WeakMemory::CasResult WeakMemory::cas(std::size_t p, Loc loc,
+                                      std::uint8_t expected,
+                                      std::uint8_t desired, MemOrder success,
+                                      MemOrder failure) {
+  if (model_ == MemModel::kTSO)
+    ABP_ASSERT_MSG(buffer_empty(p), "CAS with a non-empty store buffer");
+  Proc& proc = procs_[p];
+  auto& history = msgs_[loc];
+  const Ts latest = static_cast<Ts>(history.size() - 1);
+  // RMWs always read the latest message: atomicity leaves no room for a
+  // stale read-modify-write.
+  const Message read = history[latest];
+  if (read.value != expected) {
+    // Failure path is a plain load of the latest message.
+    if (model_ == MemModel::kRA) {
+      if (failure == MemOrder::kSeqCst && strong_sc_fences_)
+        proc.view.join(sc_view_);
+      if (latest > proc.view.ts[loc]) proc.view.ts[loc] = latest;
+      if (acquires(failure) && read.has_view) proc.view.join(read.view);
+      if (failure == MemOrder::kSeqCst && strong_sc_fences_)
+        sc_view_.join(proc.view);
+    }
+    return {false, read.value};
+  }
+  if (model_ == MemModel::kRA) {
+    if (success == MemOrder::kSeqCst && strong_sc_fences_)
+      proc.view.join(sc_view_);
+    if (latest > proc.view.ts[loc]) proc.view.ts[loc] = latest;
+    if (acquires(success) && read.has_view) proc.view.join(read.view);
+  }
+  const Ts ts = static_cast<Ts>(history.size());
+  ABP_ASSERT_MSG(history.size() < 250, "model message history overflow");
+  proc.view.ts[loc] = ts;
+  proc.write_view.ts[loc] = ts;
+  Message m;
+  m.value = desired;
+  if (model_ == MemModel::kRA) {
+    // Release-sequence continuation: the RMW's message inherits the view
+    // of the message it replaced, so acquire readers still synchronize
+    // with the original release store even through relaxed RMWs.
+    if (read.has_view) {
+      m.has_view = true;
+      m.view = read.view;
+    }
+    if (releases(success)) {
+      m.has_view = true;
+      m.view.join(proc.view);
+    }
+  }
+  history.push_back(std::move(m));
+  if (model_ == MemModel::kRA && success == MemOrder::kSeqCst) {
+    if (strong_sc_fences_) {
+      sc_view_.join(proc.view);
+    } else if (ts > sc_view_.ts[loc]) {
+      // C11 p5: the sc RMW enters the SC order at its own location only.
+      sc_view_.ts[loc] = ts;
+    }
+  }
+  return {true, read.value};
+}
+
+void WeakMemory::fence(std::size_t p, MemOrder order) {
+  ABP_ASSERT_MSG(order == MemOrder::kSeqCst,
+                 "only seq_cst fences are modeled (the deques use no other)");
+  if (model_ == MemModel::kTSO) {
+    ABP_ASSERT_MSG(buffer_empty(p), "seq_cst fence with a non-empty buffer");
+    return;
+  }
+  if (model_ == MemModel::kRA) {
+    // Import first, then export. Strong (C++20) fences publish the whole
+    // view — reads included; weak (C11) fences publish only the thread's
+    // own writes, which is exactly the read-coherence hole P0668 closed.
+    procs_[p].view.join(sc_view_);
+    sc_view_.join(strong_sc_fences_ ? procs_[p].view
+                                    : procs_[p].write_view);
+  }
+}
+
+void WeakMemory::flush_one(std::size_t p) {
+  auto& buf = procs_[p].buffer;
+  ABP_ASSERT(!buf.empty());
+  const PendingStore s = buf.front();
+  buf.erase(buf.begin());
+  append_message(p, s.loc, s.value, MemOrder::kRelaxed);
+}
+
+bool WeakMemory::all_buffers_empty() const noexcept {
+  for (const Proc& proc : procs_)
+    if (!proc.buffer.empty()) return false;
+  return true;
+}
+
+void WeakMemory::key(std::string& out) const {
+  auto put = [&out](std::uint8_t b) { out.push_back(static_cast<char>(b)); };
+  for (Loc loc = 0; loc < kMaxLocs; ++loc) {
+    put(static_cast<std::uint8_t>(msgs_[loc].size()));
+    for (const Message& m : msgs_[loc]) {
+      put(m.value);
+      put(m.has_view ? 1 : 0);
+      if (m.has_view)
+        for (Ts t : m.view.ts) put(t);
+    }
+  }
+  for (const Proc& proc : procs_) {
+    for (Ts t : proc.view.ts) put(t);
+    // write_view is live state only under the weak fence semantics;
+    // including it unconditionally would split equivalent strong states.
+    if (!strong_sc_fences_)
+      for (Ts t : proc.write_view.ts) put(t);
+    put(static_cast<std::uint8_t>(proc.buffer.size()));
+    for (const PendingStore& s : proc.buffer) {
+      put(s.loc);
+      put(s.value);
+    }
+  }
+  for (Ts t : sc_view_.ts) put(t);
+}
+
+}  // namespace abp::model

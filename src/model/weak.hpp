@@ -1,0 +1,215 @@
+#pragma once
+
+// Weak-memory layer for the model checker.
+//
+// The paper's pseudocode (Figure 5) assumes sequential consistency and
+// notes that on real machines "extra memory operation ordering
+// instructions may be needed". src/model/machine.cpp mechanizes the SC
+// argument; this module supplies the missing half: an operational
+// weak-memory semantics under which every shared load / store / CAS of a
+// machine carries a declared memory_order (the same order the production
+// deque names at the matching source line — tools/atomics_lint.py
+// cross-checks the two), and the explorer enumerates exactly the
+// reorderings that ordering permits.
+//
+// Three models, increasing in weakness:
+//
+//   kSC  — every access sees the latest store (the old explorer's world).
+//   kTSO — per-process FIFO store buffers (x86): a store becomes visible
+//          to other processes only when flushed; the owner reads its own
+//          buffered stores (forwarding). CASes, seq_cst fences and seq_cst
+//          stores drain the buffer first. This is the classic store->load
+//          reordering that breaks popBottom's "store bot, then read age"
+//          window.
+//   kRA  — C11 release/acquire visibility edges, in the timestamp-and-view
+//          style of operational C11 models (cf. the promising semantics):
+//          each location keeps its full message history; each process
+//          keeps a per-location view (the oldest message it may still
+//          read). A release store attaches the writer's view to the
+//          message; an acquire load that reads it joins that view —
+//          that is the happens-before edge. Relaxed accesses move values
+//          with no view transfer, so stale reads stay possible. seq_cst
+//          accesses and fences additionally make a two-way join with a
+//          global SC view, which is what forbids the store-buffering
+//          outcome between two fenced processes (Chase-Lev's take/steal
+//          fences, Lê et al. PPoPP 2013).
+//
+// Successful RMWs always read the latest message (atomicity) and continue
+// release sequences: the new message inherits the view attached to the
+// message it replaced, so an acquire reader of the RMW still synchronizes
+// with the original release store.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace abp::model {
+
+enum class MemOrder : std::uint8_t {
+  kRelaxed,
+  kAcquire,
+  kRelease,
+  kAcqRel,
+  kSeqCst,
+};
+
+enum class MemModel : std::uint8_t { kSC, kTSO, kRA };
+
+const char* to_string(MemOrder order) noexcept;
+const char* to_string(MemModel model) noexcept;
+
+inline constexpr bool acquires(MemOrder o) noexcept {
+  return o == MemOrder::kAcquire || o == MemOrder::kAcqRel ||
+         o == MemOrder::kSeqCst;
+}
+inline constexpr bool releases(MemOrder o) noexcept {
+  return o == MemOrder::kRelease || o == MemOrder::kAcqRel ||
+         o == MemOrder::kSeqCst;
+}
+
+// Shared-memory locations of one machine instance (top/bot/cells/...).
+using Loc = std::uint8_t;
+inline constexpr Loc kMaxLocs = 16;
+
+// Per-location timestamp: index into that location's message history.
+using Ts = std::uint8_t;
+
+inline constexpr std::size_t kMaxProcs = 6;
+
+// A process's (or message's) per-location lower bound on readable
+// timestamps.
+struct View {
+  std::array<Ts, kMaxLocs> ts{};
+
+  void join(const View& o) noexcept {
+    for (std::size_t i = 0; i < kMaxLocs; ++i)
+      if (o.ts[i] > ts[i]) ts[i] = o.ts[i];
+  }
+  bool operator==(const View&) const = default;
+};
+
+struct Message {
+  std::uint8_t value = 0;
+  bool has_view = false;  // set by release/seq_cst stores and by RMWs that
+                          // continue a release sequence
+  View view{};
+
+  bool operator==(const Message&) const = default;
+};
+
+// One pending entry of a TSO store buffer.
+struct PendingStore {
+  Loc loc = 0;
+  std::uint8_t value = 0;
+
+  bool operator==(const PendingStore&) const = default;
+};
+
+class WeakMemory {
+ public:
+  // `strong_sc_fences` selects between two seq_cst-fence semantics under
+  // kRA:
+  //   true  — C++20 (post-P0668): a fence publishes the thread's whole
+  //           view (reads included) into the global SC view and imports
+  //           it back; read-read coherence holds across fence pairs.
+  //   false — C11 as published: fences relate only WRITES ([atomics.order]
+  //           p5-p7 of C++11) — a fence exports the thread's own writes
+  //           and imports sc writes/exports, but what a thread has READ
+  //           never enters the SC order. This is the weakness P0668
+  //           repaired, and the semantics under which Chase-Lev's steal
+  //           CAS must itself be seq_cst (tests/test_model_weak.cpp
+  //           demonstrates both sides).
+  void init(MemModel model, std::size_t nprocs,
+            const std::vector<std::pair<Loc, std::uint8_t>>& initial,
+            bool strong_sc_fences = true);
+
+  MemModel model() const noexcept { return model_; }
+
+  // ---- loads ---------------------------------------------------------------
+  // All timestamps process p may read from `loc` with `order` (always at
+  // least one: the latest). Under kSC/kTSO this is a single candidate.
+  void load_candidates(std::size_t p, Loc loc, MemOrder order,
+                       std::vector<Ts>& out) const;
+  // Commits the read of message `ts` and returns its value, applying the
+  // acquire / seq_cst view effects.
+  std::uint8_t commit_load(std::size_t p, Loc loc, MemOrder order, Ts ts);
+
+  // ---- stores / RMW / fences ----------------------------------------------
+  // Under kTSO a relaxed/release store enters p's buffer; under kSC/kRA it
+  // is applied immediately. seq_cst stores require an empty buffer (the
+  // explorer drains via flush transitions first).
+  void store(std::size_t p, Loc loc, std::uint8_t value, MemOrder order);
+
+  struct CasResult {
+    bool ok = false;
+    std::uint8_t observed = 0;
+  };
+  CasResult cas(std::size_t p, Loc loc, std::uint8_t expected,
+                std::uint8_t desired, MemOrder success, MemOrder failure);
+
+  void fence(std::size_t p, MemOrder order);
+
+  // ---- TSO store buffers ---------------------------------------------------
+  bool buffer_empty(std::size_t p) const noexcept {
+    return procs_[p].buffer.empty();
+  }
+  // True iff `order` on an access of the given kind forces a drained
+  // buffer first (CAS / seq_cst fence / seq_cst store under kTSO).
+  bool needs_drain(std::size_t p, bool is_cas_or_fence, MemOrder order) const
+      noexcept {
+    if (model_ != MemModel::kTSO) return false;
+    if (buffer_empty(p)) return false;
+    return is_cas_or_fence || order == MemOrder::kSeqCst;
+  }
+  Loc flush_loc(std::size_t p) const noexcept {
+    return procs_[p].buffer.front().loc;
+  }
+  // Locations p's buffered stores will still write when flushed (bitmask);
+  // part of p's future footprint for the persistent-set check.
+  std::uint32_t buffered_writes(std::size_t p) const noexcept {
+    std::uint32_t mask = 0;
+    for (const PendingStore& s : procs_[p].buffer) mask |= 1u << s.loc;
+    return mask;
+  }
+  void flush_one(std::size_t p);
+  bool all_buffers_empty() const noexcept;
+
+  // ---- inspection ----------------------------------------------------------
+  std::uint8_t latest(Loc loc) const noexcept {
+    return msgs_[loc].empty() ? 0 : msgs_[loc].back().value;
+  }
+  Ts latest_ts(Loc loc) const noexcept {
+    return static_cast<Ts>(msgs_[loc].empty() ? 0 : msgs_[loc].size() - 1);
+  }
+
+  // Serializes the full memory state (messages, views, buffers) for
+  // distinct-state counting.
+  void key(std::string& out) const;
+
+  bool operator==(const WeakMemory&) const = default;
+
+ private:
+  struct Proc {
+    View view{};
+    View write_view{};  // timestamps of this process's own stores (used
+                        // by the weak C11 fence semantics: a fence may
+                        // only export what the thread has WRITTEN)
+    std::vector<PendingStore> buffer;  // kTSO only, FIFO
+
+    bool operator==(const Proc&) const = default;
+  };
+
+  void append_message(std::size_t p, Loc loc, std::uint8_t value,
+                      MemOrder order);
+
+  MemModel model_ = MemModel::kSC;
+  bool strong_sc_fences_ = true;
+  std::array<std::vector<Message>, kMaxLocs> msgs_{};
+  std::vector<Proc> procs_;
+  View sc_view_{};  // kRA: the global SC view (see init for semantics)
+};
+
+}  // namespace abp::model

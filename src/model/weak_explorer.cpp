@@ -1,0 +1,420 @@
+#include "model/weak_explorer.hpp"
+
+#include <unordered_set>
+
+#include "model/por.hpp"
+#include "support/assert.hpp"
+
+namespace abp::model {
+
+namespace {
+
+struct WState {
+  WeakMemory mem;
+  std::vector<WInvocation> inv;
+  std::vector<std::uint8_t> next_op;
+  std::uint64_t claimed = 0;  // values already returned by a pop
+};
+
+// One DFS edge, kept raw on the path; formatted only on a violation.
+struct RawStep {
+  std::uint8_t proc = 0;
+  bool is_flush = false;
+  Insn insn{};
+  std::uint8_t loaded = 0;  // load value / CAS observed / flushed value
+  bool cas_ok = false;
+  Loc flush_loc = 0;
+};
+
+struct Ctx {
+  const std::vector<Script>& scripts;
+  const WExploreOptions& opts;
+  WExploreResult res;
+  std::uint64_t pushed = 0;
+  std::unordered_set<std::string> seen;
+  std::vector<RawStep> path;
+  std::vector<Ts> cand;  // scratch for load_candidates
+
+  Ctx(const std::vector<Script>& s, const WExploreOptions& o)
+      : scripts(s), opts(o) {}
+};
+
+struct Transition {
+  TransAccess access;
+  bool needs_start = false;
+  Insn insn{};  // valid when !access.is_flush
+};
+
+void append_step(std::string& out, const RawStep& s) {
+  auto num = [&out](unsigned v) { out += std::to_string(v); };
+  out += 'P';
+  num(s.proc);
+  out += ' ';
+  if (s.is_flush) {
+    out += "tso-flush loc";
+    num(s.flush_loc);
+    out += " := ";
+    num(s.loaded);
+    return;
+  }
+  out += order_spec(s.insn.site).site;
+  out += ' ';
+  switch (s.insn.kind) {
+    case InsnKind::kLoad:
+      out += "load[";
+      out += to_string(s.insn.order);
+      out += "] loc";
+      num(s.insn.loc);
+      out += " -> ";
+      num(s.loaded);
+      break;
+    case InsnKind::kStore:
+      out += "store[";
+      out += to_string(s.insn.order);
+      out += "] loc";
+      num(s.insn.loc);
+      out += " := ";
+      num(s.insn.value);
+      break;
+    case InsnKind::kCas:
+      out += "cas[";
+      out += to_string(s.insn.order);
+      out += "] loc";
+      num(s.insn.loc);
+      out += ' ';
+      num(s.insn.expected);
+      out += "->";
+      num(s.insn.value);
+      out += s.cas_ok ? " ok" : " failed(read ";
+      if (!s.cas_ok) {
+        num(s.loaded);
+        out += ')';
+      }
+      break;
+    case InsnKind::kFence:
+      out += "fence[";
+      out += to_string(s.insn.order);
+      out += ']';
+      break;
+  }
+}
+
+void fail(Ctx& c, std::string why) {
+  if (!c.res.ok) return;
+  c.res.ok = false;
+  c.res.violation = std::move(why);
+  c.res.trace.clear();
+  c.res.trace.reserve(c.path.size());
+  for (const RawStep& s : c.path) {
+    WTraceStep t;
+    t.proc = s.proc;
+    append_step(t.what, s);
+    c.res.trace.push_back(std::move(t));
+  }
+}
+
+void state_key(const WState& s, std::string& k) {
+  s.mem.key(k);
+  auto put = [&k](std::uint8_t b) { k.push_back(static_cast<char>(b)); };
+  for (const WInvocation& i : s.inv) {
+    put(static_cast<std::uint8_t>(i.method));
+    put(i.pc);
+    put(i.arg);
+    put(i.b);
+    put(i.t);
+    put(i.g);
+    put(i.x);
+    put(i.bf);
+    put(i.i);
+    put(i.ok);
+    put(i.result);
+  }
+  for (std::uint8_t b : s.next_op) put(b);
+  for (int shift = 0; shift < 64; shift += 8)
+    put(static_cast<std::uint8_t>(s.claimed >> shift));
+}
+
+// The next instruction of process p (starting its next scripted method if
+// idle), or false when p's script is exhausted and it is idle.
+bool next_insn(const Ctx& c, const WState& s, std::size_t p, Transition& t) {
+  WInvocation inv = s.inv[p];
+  t.needs_start = false;
+  if (inv.idle()) {
+    if (s.next_op[p] >= c.scripts[p].size()) return false;
+    const Op& op = c.scripts[p][s.next_op[p]];
+    inv.start(op.method, op.value);
+    t.needs_start = true;
+  }
+  t.insn = wm_peek(c.opts.machine, inv, c.opts.ablation);
+  t.access.proc = static_cast<std::uint8_t>(p);
+  t.access.is_flush = false;
+  t.access.has_loc = t.insn.kind != InsnKind::kFence;
+  t.access.loc = t.insn.loc;
+  t.access.write =
+      t.insn.kind == InsnKind::kStore || t.insn.kind == InsnKind::kCas;
+  t.access.sc = t.insn.order == MemOrder::kSeqCst;
+  return true;
+}
+
+void enabled_transitions(const Ctx& c, const WState& s,
+                         std::vector<Transition>& out) {
+  out.clear();
+  for (std::size_t p = 0; p < c.scripts.size(); ++p) {
+    if (c.opts.model == MemModel::kTSO && !s.mem.buffer_empty(p)) {
+      // The buffer may flush asynchronously at any moment.
+      Transition f;
+      f.access.proc = static_cast<std::uint8_t>(p);
+      f.access.is_flush = true;
+      f.access.has_loc = true;
+      f.access.loc = s.mem.flush_loc(p);
+      f.access.write = true;
+      f.access.sc = false;
+      out.push_back(f);
+    }
+    Transition t;
+    if (!next_insn(c, s, p, t)) continue;
+    const bool cas_or_fence =
+        t.insn.kind == InsnKind::kCas || t.insn.kind == InsnKind::kFence;
+    // A CAS / seq_cst fence / seq_cst store drains the buffer first, so
+    // the instruction itself is disabled until the flushes have run.
+    if (s.mem.needs_drain(p, cas_or_fence, t.insn.order)) continue;
+    out.push_back(t);
+  }
+}
+
+// Everything process p may still touch from this state: its in-flight
+// method, every scripted method after it, and its pending buffered
+// stores.
+Footprint remaining_footprint(const Ctx& c, const WState& s, std::size_t p) {
+  Footprint f;
+  auto merge = [&f](const Footprint& g) {
+    f.reads |= g.reads;
+    f.writes |= g.writes;
+    f.sc = f.sc || g.sc;
+  };
+  if (!s.inv[p].idle()) merge(wm_footprint(c.opts.machine, s.inv[p].method));
+  for (std::size_t i = s.next_op[p]; i < c.scripts[p].size(); ++i)
+    merge(wm_footprint(c.opts.machine, c.scripts[p][i].method));
+  if (c.opts.model == MemModel::kTSO) f.writes |= s.mem.buffered_writes(p);
+  return f;
+}
+
+void check_retired(Ctx& c, WState& s, std::size_t p, Method method) {
+  const WInvocation& inv = s.inv[p];
+  if (!inv.idle()) return;  // still mid-method
+  if (method == Method::kPushBottom) return;
+  if (inv.result == kWNil) return;
+  const std::uint8_t v = inv.result;
+  std::string who = "P" + std::to_string(p) + " " +
+                    (method == Method::kPopTop ? "popTop" : "popBottom");
+  if (v >= 64 || !(c.pushed & (1ULL << v))) {
+    fail(c, who + " returned " + std::to_string(v) +
+                ", a value that was never pushed");
+  } else if (s.claimed & (1ULL << v)) {
+    fail(c, who + " returned " + std::to_string(v) +
+                " twice (exactly-once violated)");
+  } else {
+    s.claimed |= 1ULL << v;
+  }
+}
+
+void check_terminal(Ctx& c, const WState& s) {
+  ABP_ASSERT_MSG(s.mem.all_buffers_empty(),
+                 "terminal state with pending store buffers");
+  const std::uint64_t remaining = wm_remaining(c.opts.machine, s.mem);
+  if (remaining & ~c.pushed)
+    fail(c, "deque contains a value that was never pushed");
+  else if (s.claimed & remaining)
+    fail(c, "value both returned and still in the deque");
+  else if ((s.claimed | remaining) != c.pushed)
+    fail(c, "value lost: neither returned nor in the deque");
+}
+
+void dfs(Ctx& c, const WState& s, const SleepSet& sleep);
+
+// Executes one (non-flush) instruction branch and recurses.
+void run_insn_branch(Ctx& c, const WState& s, const Transition& t,
+                     const SleepSet& child_sleep, Ts load_ts) {
+  const std::size_t p = t.access.proc;
+  WState n = s;
+  if (t.needs_start) {
+    const Op& op = c.scripts[p][n.next_op[p]++];
+    n.inv[p].start(op.method, op.value);
+  }
+  const Method method = n.inv[p].method;
+  RawStep step;
+  step.proc = t.access.proc;
+  step.insn = t.insn;
+  bool cas_ok = false;
+  std::uint8_t loaded = 0;
+  switch (t.insn.kind) {
+    case InsnKind::kLoad:
+      loaded = n.mem.commit_load(p, t.insn.loc, t.insn.order, load_ts);
+      break;
+    case InsnKind::kStore:
+      n.mem.store(p, t.insn.loc, t.insn.value, t.insn.order);
+      break;
+    case InsnKind::kCas: {
+      const WeakMemory::CasResult r =
+          n.mem.cas(p, t.insn.loc, t.insn.expected, t.insn.value,
+                    t.insn.order, t.insn.failure_order);
+      cas_ok = r.ok;
+      loaded = r.observed;
+      break;
+    }
+    case InsnKind::kFence:
+      n.mem.fence(p, t.insn.order);
+      break;
+  }
+  step.loaded = loaded;
+  step.cas_ok = cas_ok;
+  wm_advance(c.opts.machine, n.inv[p], t.insn, loaded, cas_ok,
+             c.opts.ablation);
+  check_retired(c, n, p, method);
+
+  ++c.res.nodes;
+  if (c.res.nodes >= c.opts.max_nodes) c.res.truncated = true;
+  if (!c.res.ok || c.res.truncated) return;
+  c.path.push_back(step);
+  dfs(c, n, child_sleep);
+  c.path.pop_back();
+}
+
+void dfs(Ctx& c, const WState& s, const SleepSet& sleep) {
+  if (!c.res.ok || c.res.truncated) return;
+  if (c.opts.track_distinct) {
+    std::string k;
+    state_key(s, k);
+    if (c.seen.insert(std::move(k)).second) ++c.res.distinct_states;
+  }
+
+  std::vector<Transition> enabled;
+  enabled_transitions(c, s, enabled);
+  if (enabled.empty()) {
+    ++c.res.terminal_states;
+    check_terminal(c, s);
+    return;
+  }
+
+  // Singleton persistent set: if some process's whole future is
+  // independent of every other process's future, its transitions alone
+  // cover everything reachable from here.
+  std::size_t lo = 0, hi = enabled.size();
+  if (c.opts.use_dpor) {
+    for (std::size_t i = 0; i < enabled.size();) {
+      const std::uint8_t p = enabled[i].access.proc;
+      std::size_t j = i;
+      bool independent = true;
+      for (; j < enabled.size() && enabled[j].access.proc == p; ++j) {
+        for (std::size_t q = 0; independent && q < c.scripts.size(); ++q) {
+          if (q == p) continue;
+          if (conflicts(enabled[j].access, remaining_footprint(c, s, q)))
+            independent = false;
+        }
+      }
+      if (independent) {
+        lo = i;
+        hi = j;
+        break;
+      }
+      i = j;
+    }
+  }
+
+  SleepSet current = sleep;
+  for (std::size_t i = lo; i < hi; ++i) {
+    const Transition& t = enabled[i];
+    if (c.opts.use_dpor &&
+        current.contains(t.access.proc, t.access.is_flush)) {
+      ++c.res.sleep_pruned;
+      continue;
+    }
+    const SleepSet child = c.opts.use_dpor ? current.after(t.access)
+                                           : SleepSet{};
+    if (t.access.is_flush) {
+      WState n = s;
+      RawStep step;
+      step.proc = t.access.proc;
+      step.is_flush = true;
+      step.flush_loc = n.mem.flush_loc(t.access.proc);
+      step.loaded = 0;
+      n.mem.flush_one(t.access.proc);
+      step.loaded = n.mem.latest(step.flush_loc);
+      ++c.res.nodes;
+      if (c.res.nodes >= c.opts.max_nodes) c.res.truncated = true;
+      if (!c.res.ok || c.res.truncated) return;
+      c.path.push_back(step);
+      dfs(c, n, child);
+      c.path.pop_back();
+    } else if (t.insn.kind == InsnKind::kLoad) {
+      // A load branches over every message the memory model lets p read.
+      c.cand.clear();
+      s.mem.load_candidates(t.access.proc, t.insn.loc, t.insn.order, c.cand);
+      const std::vector<Ts> candidates = c.cand;  // dfs below reuses c.cand
+      for (Ts ts : candidates) {
+        run_insn_branch(c, s, t, child, ts);
+        if (!c.res.ok || c.res.truncated) return;
+      }
+    } else {
+      run_insn_branch(c, s, t, child, 0);
+      if (!c.res.ok || c.res.truncated) return;
+    }
+    if (c.opts.use_dpor) current.insert(t.access);
+  }
+}
+
+}  // namespace
+
+WExploreResult wexplore(const std::vector<Script>& scripts,
+                        const WExploreOptions& opts) {
+  ABP_ASSERT_MSG(scripts.size() >= 1 && scripts.size() <= kMaxProcs,
+                 "1..kMaxProcs processes");
+  Ctx c(scripts, opts);
+
+  int pushes = 0;
+  for (std::size_t p = 0; p < scripts.size(); ++p) {
+    for (const Op& op : scripts[p]) {
+      if (op.method == Method::kPushBottom) {
+        ABP_ASSERT_MSG(p == 0, "only process 0 (the owner) may pushBottom");
+        ABP_ASSERT_MSG(op.value < kWPoison,
+                       "model values must be < 62 (62 is the poison cell)");
+        ABP_ASSERT_MSG(!(c.pushed & (1ULL << op.value)),
+                       "model pushes must use distinct values");
+        c.pushed |= 1ULL << op.value;
+        ++pushes;
+      } else if (op.method == Method::kPopBottom) {
+        ABP_ASSERT_MSG(p == 0, "only process 0 (the owner) may popBottom");
+      }
+    }
+  }
+  const int cap = opts.machine == WMachine::kChaseLev ? kClCap
+                  : opts.machine == WMachine::kAbp    ? kAbpCap
+                                                      : kGrowCap1;
+  ABP_ASSERT_MSG(pushes <= cap, "script pushes exceed the model capacity");
+
+  WState initial;
+  initial.mem.init(opts.model, scripts.size(), wm_initial(opts.machine),
+                   !opts.weak_sc_fences);
+  initial.inv.resize(scripts.size());
+  initial.next_op.resize(scripts.size(), 0);
+
+  dfs(c, initial, SleepSet{});
+  return c.res;
+}
+
+std::string format_trace(const WExploreResult& result) {
+  std::string out;
+  if (result.ok) return out;
+  out += "violation: " + result.violation + "\n";
+  for (std::size_t i = 0; i < result.trace.size(); ++i) {
+    out += "  ";
+    if (i < 9) out += ' ';
+    out += std::to_string(i + 1);
+    out += ". ";
+    out += result.trace[i].what;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace abp::model

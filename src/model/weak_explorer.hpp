@@ -1,0 +1,70 @@
+#pragma once
+
+// Stateless DPOR explorer over the weak machines.
+//
+// Same script/verdict conventions as explorer.hpp (process 0 is the
+// owner; exactly-once + conservation checked), but the state now
+// includes the weak-memory layer (weak.hpp): under kRA a load branches
+// over every message the process's view permits, and under kTSO each
+// pending store-buffer entry adds an asynchronous flush transition. The
+// search is a depth-first enumeration of interleavings WITHOUT a state
+// cache — so `nodes` (transitions executed) is directly comparable
+// between the DPOR and the unreduced run, and a counterexample is simply
+// the DFS path at the first violation.
+//
+// With `use_dpor` the search prunes with sleep sets plus a singleton
+// persistent set (por.hpp); verdicts are identical, nodes shrink
+// (tests/test_model_weak.cpp asserts >= 5x on the longest passing
+// script; EXPERIMENTS.md E23 tabulates the counts).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/explorer.hpp"  // Op, Script
+#include "model/weak.hpp"
+#include "model/weak_machine.hpp"
+
+namespace abp::model {
+
+struct WExploreOptions {
+  WMachine machine = WMachine::kAbp;
+  MemModel model = MemModel::kRA;
+  WAblation ablation{};
+  // kRA only: use the C11-as-published seq_cst-fence semantics (fences
+  // relate writes only) instead of the C++20/P0668 strengthening. Under
+  // the weak semantics Chase-Lev's steal CAS must itself be seq_cst;
+  // under the strong one the surrounding fences subsume it. See weak.hpp.
+  bool weak_sc_fences = false;
+  bool use_dpor = true;
+  bool track_distinct = true;  // count deduplicated states (informational)
+  std::size_t max_nodes = 20'000'000;
+};
+
+struct WTraceStep {
+  std::uint8_t proc = 0;
+  std::string what;  // "chase_lev.pop_top.cas cas[seq_cst] loc2 4->5 ok"
+};
+
+struct WExploreResult {
+  std::size_t nodes = 0;            // transitions executed (DFS edges)
+  std::size_t distinct_states = 0;  // deduplicated states (informational)
+  std::size_t terminal_states = 0;
+  std::size_t sleep_pruned = 0;     // transitions skipped by the sleep set
+  bool ok = true;                   // no violation found
+  std::string violation;
+  std::vector<WTraceStep> trace;  // counterexample interleaving (on !ok)
+  bool truncated = false;         // hit max_nodes
+
+  // A capped exploration proves nothing: callers must check passed(),
+  // not ok, so truncation can never read as a pass.
+  bool passed() const noexcept { return ok && !truncated; }
+};
+
+WExploreResult wexplore(const std::vector<Script>& scripts,
+                        const WExploreOptions& options = {});
+
+// Human-readable counterexample: one numbered line per trace step.
+std::string format_trace(const WExploreResult& result);
+
+}  // namespace abp::model

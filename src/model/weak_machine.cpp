@@ -1,0 +1,651 @@
+#include "model/weak_machine.hpp"
+
+#include "support/assert.hpp"
+
+namespace abp::model {
+
+namespace {
+
+// Shared-location layout (all machines fit in kMaxLocs = 16):
+//   0  age     — ABP/growable packed (tag << 4) | top
+//   1  bot     — ABP/growable bottom; Chase-Lev bottom counter
+//   2  top     — Chase-Lev top counter
+//   3  bufptr  — growable buffer id (0 or 1)
+//   4+ cells   — ABP: 4+i (cap 6); Chase-Lev: 4+(i&3) (ring of 4);
+//                growable: buffer 0 at 4+i (cap 2), buffer 1 at 8+i (cap 6)
+constexpr Loc kLocAge = 0;
+constexpr Loc kLocBot = 1;
+constexpr Loc kLocTop = 2;
+constexpr Loc kLocBuf = 3;
+constexpr Loc kLocCell = 4;
+
+constexpr std::uint8_t pack_age(std::uint8_t tag, std::uint8_t top) noexcept {
+  return static_cast<std::uint8_t>((tag << 4) | (top & 0x0f));
+}
+constexpr std::uint8_t top_of(std::uint8_t age) noexcept { return age & 0x0f; }
+constexpr std::uint8_t tag_of(std::uint8_t age) noexcept { return age >> 4; }
+
+constexpr Loc abp_cell(std::uint8_t i) noexcept {
+  return static_cast<Loc>(kLocCell + i);
+}
+constexpr Loc cl_cell(std::uint8_t i) noexcept {
+  return static_cast<Loc>(kLocCell + (i & (kClCap - 1)));
+}
+constexpr Loc grow_cell(std::uint8_t buf, std::uint8_t i) noexcept {
+  return static_cast<Loc>(buf == 0 ? kLocCell + i : kLocCell + 4 + i);
+}
+
+// ATOMICS-LINT-TABLE-BEGIN
+// Declared memory_order of every shared access, indexed by Site. The
+// site string doubles as the `// model-site:` anchor in src/deque;
+// tools/atomics_lint.py compares each anchored source line's
+// memory_order against this table (drift = lint failure).
+constexpr OrderSpec kOrderTable[] = {
+    {"abp.push_bottom.bottom_load", MemOrder::kRelaxed},
+    {"abp.push_bottom.item_store", MemOrder::kRelaxed},
+    {"abp.push_bottom.bottom_store", MemOrder::kRelease},
+    {"abp.pop_top.age_load", MemOrder::kAcquire},
+    {"abp.pop_top.bottom_load", MemOrder::kAcquire},
+    {"abp.pop_top.item_load", MemOrder::kRelaxed},
+    {"abp.pop_top.cas", MemOrder::kSeqCst},
+    {"abp.pop_bottom.bottom_load", MemOrder::kRelaxed},
+    {"abp.pop_bottom.bottom_store", MemOrder::kSeqCst},
+    {"abp.pop_bottom.item_load", MemOrder::kRelaxed},
+    {"abp.pop_bottom.age_load", MemOrder::kSeqCst},
+    {"abp.pop_bottom.bottom_reset", MemOrder::kRelaxed},
+    {"abp.pop_bottom.cas", MemOrder::kSeqCst},
+    {"abp.pop_bottom.age_store", MemOrder::kRelease},
+    {"growable.push_bottom.bottom_load", MemOrder::kRelaxed},
+    {"growable.push_bottom.buffer_load", MemOrder::kRelaxed},
+    {"growable.grow.age_load", MemOrder::kRelaxed},
+    {"growable.grow.item_load", MemOrder::kRelaxed},
+    {"growable.grow.item_store", MemOrder::kRelaxed},
+    {"growable.grow.publish", MemOrder::kRelease},
+    {"growable.push_bottom.item_store", MemOrder::kRelaxed},
+    {"growable.push_bottom.bottom_store", MemOrder::kRelease},
+    {"growable.pop_top.age_load", MemOrder::kAcquire},
+    {"growable.pop_top.bottom_load", MemOrder::kAcquire},
+    {"growable.pop_top.buffer_load", MemOrder::kAcquire},
+    {"growable.pop_top.item_load", MemOrder::kRelaxed},
+    {"growable.pop_top.cas", MemOrder::kSeqCst},
+    {"growable.pop_bottom.bottom_load", MemOrder::kRelaxed},
+    {"growable.pop_bottom.bottom_store", MemOrder::kSeqCst},
+    {"growable.pop_bottom.buffer_load", MemOrder::kRelaxed},
+    {"growable.pop_bottom.item_load", MemOrder::kRelaxed},
+    {"growable.pop_bottom.age_load", MemOrder::kSeqCst},
+    {"growable.pop_bottom.bottom_reset", MemOrder::kRelaxed},
+    {"growable.pop_bottom.cas", MemOrder::kSeqCst},
+    {"growable.pop_bottom.age_store", MemOrder::kRelease},
+    {"chase_lev.push_bottom.bottom_load", MemOrder::kRelaxed},
+    {"chase_lev.push_bottom.top_load", MemOrder::kAcquire},
+    {"chase_lev.push_bottom.item_store", MemOrder::kRelaxed},
+    {"chase_lev.push_bottom.bottom_store", MemOrder::kRelease},
+    {"chase_lev.pop_bottom.bottom_load", MemOrder::kRelaxed},
+    {"chase_lev.pop_bottom.bottom_store", MemOrder::kRelease},
+    {"chase_lev.pop_bottom.fence", MemOrder::kSeqCst},
+    {"chase_lev.pop_bottom.top_load", MemOrder::kRelaxed},
+    {"chase_lev.pop_bottom.bottom_restore", MemOrder::kRelease},
+    {"chase_lev.pop_bottom.item_load", MemOrder::kRelaxed},
+    {"chase_lev.pop_bottom.cas", MemOrder::kSeqCst},
+    {"chase_lev.pop_bottom.bottom_reset", MemOrder::kRelease},
+    {"chase_lev.pop_top.top_load", MemOrder::kAcquire},
+    {"chase_lev.pop_top.fence", MemOrder::kSeqCst},
+    {"chase_lev.pop_top.bottom_load", MemOrder::kAcquire},
+    {"chase_lev.pop_top.item_load", MemOrder::kRelaxed},
+    {"chase_lev.pop_top.cas", MemOrder::kSeqCst},
+};
+// ATOMICS-LINT-TABLE-END
+
+static_assert(sizeof(kOrderTable) / sizeof(kOrderTable[0]) ==
+              static_cast<std::size_t>(Site::kSiteCount));
+
+Insn load(Site s, Loc loc) {
+  return Insn{InsnKind::kLoad, loc, order_spec(s).order, MemOrder::kRelaxed,
+              0, 0, s};
+}
+Insn store(Site s, Loc loc, std::uint8_t v) {
+  return Insn{InsnKind::kStore, loc, order_spec(s).order, MemOrder::kRelaxed,
+              v, 0, s};
+}
+Insn cas(Site s, Loc loc, std::uint8_t expected, std::uint8_t desired) {
+  return Insn{InsnKind::kCas, loc, order_spec(s).order, MemOrder::kRelaxed,
+              desired, expected, s};
+}
+Insn fence(Site s) {
+  return Insn{InsnKind::kFence, 0, order_spec(s).order, MemOrder::kRelaxed,
+              0, 0, s};
+}
+
+void retire(WInvocation& inv, std::uint8_t result) {
+  inv.method = Method::kIdle;
+  inv.result = result;
+}
+
+// ---- ABP (Figure 5, weakest proven orders) ---------------------------------
+
+Insn abp_peek(const WInvocation& inv, const WAblation&) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kAbpPushBotLoad, kLocBot);
+        case 1:
+          ABP_ASSERT_MSG(inv.b < kAbpCap, "ABP model overflow");
+          return store(Site::kAbpPushItemStore, abp_cell(inv.b), inv.arg);
+        case 2:
+          return store(Site::kAbpPushBotStore, kLocBot,
+                       static_cast<std::uint8_t>(inv.b + 1));
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0: return load(Site::kAbpTopAgeLoad, kLocAge);
+        case 1: return load(Site::kAbpTopBotLoad, kLocBot);
+        case 2: return load(Site::kAbpTopItemLoad, abp_cell(inv.t));
+        case 3:
+          return cas(Site::kAbpTopCas, kLocAge, pack_age(inv.g, inv.t),
+                     pack_age(inv.g, static_cast<std::uint8_t>(inv.t + 1)));
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kAbpBotBotLoad, kLocBot);
+        case 1: return store(Site::kAbpBotBotStore, kLocBot, inv.b);
+        case 2: return load(Site::kAbpBotItemLoad, abp_cell(inv.b));
+        case 3: return load(Site::kAbpBotAgeLoad, kLocAge);
+        case 4: return store(Site::kAbpBotBotReset, kLocBot, 0);
+        case 5:
+          return cas(Site::kAbpBotCas, kLocAge, pack_age(inv.g, inv.t),
+                     pack_age(inv.x == 0 ? inv.g  // x reused: new tag below
+                                         : inv.x,
+                              0));
+        case 6:
+          return store(Site::kAbpBotAgeStore, kLocAge,
+                       pack_age(inv.x == 0 ? inv.g : inv.x, 0));
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  ABP_ASSERT_MSG(false, "abp_peek: invalid machine state");
+  return Insn{};
+}
+
+void abp_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
+                 bool cas_ok, const WAblation& abl) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0: inv.b = loaded; inv.pc = 1; return;
+        case 1: inv.pc = 2; return;
+        case 2: retire(inv, kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0:
+          inv.t = top_of(loaded);
+          inv.g = tag_of(loaded);
+          inv.pc = 1;
+          return;
+        case 1:
+          inv.b = loaded;
+          if (inv.b <= inv.t) { retire(inv, kWNil); return; }
+          inv.pc = 2;
+          return;
+        case 2: inv.x = loaded; inv.pc = 3; return;
+        case 3: retire(inv, cas_ok ? inv.x : kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0:
+          inv.b = loaded;
+          if (inv.b == 0) { retire(inv, kWNil); return; }
+          --inv.b;
+          inv.pc = 1;
+          return;
+        case 1: inv.pc = 2; return;
+        case 2: inv.x = loaded; inv.pc = 3; return;
+        case 3: {
+          inv.t = top_of(loaded);
+          inv.g = tag_of(loaded);
+          if (inv.b > inv.t) { retire(inv, inv.x); return; }
+          // Stash the item in `arg` (push-only register) and reuse `x`
+          // for the new tag so pc 5/6 can emit it.
+          inv.arg = inv.x;
+          inv.x = abl.frozen_tag
+                      ? inv.g
+                      : static_cast<std::uint8_t>((inv.g + 1) & 0x0f);
+          if (inv.x == 0 && !abl.frozen_tag) inv.x = inv.g;  // avoid 0 wrap
+          inv.pc = 4;
+          return;
+        }
+        case 4: inv.pc = inv.b == inv.t ? 5 : 6; return;
+        case 5:
+          if (cas_ok) { retire(inv, inv.arg); return; }
+          inv.pc = 6;
+          return;
+        case 6: retire(inv, kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  (void)insn;
+  ABP_ASSERT_MSG(false, "abp_advance: invalid machine state");
+}
+
+// ---- growable ABP ----------------------------------------------------------
+
+Insn grow_peek(const WInvocation& inv, const WAblation& abl) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kGrowPushBotLoad, kLocBot);
+        case 1: return load(Site::kGrowPushBufLoad, kLocBuf);
+        case 2: return load(Site::kGrowGrowAgeLoad, kLocAge);
+        case 3: return load(Site::kGrowGrowItemLoad, grow_cell(0, inv.i));
+        case 4: return store(Site::kGrowGrowItemStore, grow_cell(1, inv.i),
+                             inv.x);
+        case 5: {
+          Insn p = store(Site::kGrowGrowPublish, kLocBuf, 1);
+          if (abl.grow_relaxed_publish) p.order = MemOrder::kRelaxed;
+          return p;
+        }
+        case 6:
+          ABP_ASSERT_MSG(inv.b < (inv.bf == 0 ? kGrowCap0 : kGrowCap1),
+                         "growable model overflow");
+          return store(Site::kGrowPushItemStore, grow_cell(inv.bf, inv.b),
+                       inv.arg);
+        case 7:
+          return store(Site::kGrowPushBotStore, kLocBot,
+                       static_cast<std::uint8_t>(inv.b + 1));
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0: return load(Site::kGrowTopAgeLoad, kLocAge);
+        case 1: return load(Site::kGrowTopBotLoad, kLocBot);
+        case 2: return load(Site::kGrowTopBufLoad, kLocBuf);
+        case 3: return load(Site::kGrowTopItemLoad, grow_cell(inv.bf, inv.t));
+        case 4:
+          return cas(Site::kGrowTopCas, kLocAge, pack_age(inv.g, inv.t),
+                     pack_age(inv.g, static_cast<std::uint8_t>(inv.t + 1)));
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kGrowBotBotLoad, kLocBot);
+        case 1: return store(Site::kGrowBotBotStore, kLocBot, inv.b);
+        case 2: return load(Site::kGrowBotBufLoad, kLocBuf);
+        case 3: return load(Site::kGrowBotItemLoad, grow_cell(inv.bf, inv.b));
+        case 4: return load(Site::kGrowBotAgeLoad, kLocAge);
+        case 5: return store(Site::kGrowBotBotReset, kLocBot, 0);
+        case 6:
+          return cas(Site::kGrowBotCas, kLocAge, pack_age(inv.g, inv.t),
+                     pack_age(inv.x, 0));
+        case 7:
+          return store(Site::kGrowBotAgeStore, kLocAge, pack_age(inv.x, 0));
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  ABP_ASSERT_MSG(false, "grow_peek: invalid machine state");
+  return Insn{};
+}
+
+void grow_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
+                  bool cas_ok, const WAblation& abl) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0: inv.b = loaded; inv.pc = 1; return;
+        case 1:
+          inv.bf = loaded;
+          if (inv.b == (inv.bf == 0 ? kGrowCap0 : kGrowCap1)) {
+            ABP_ASSERT_MSG(inv.bf == 0, "growable model: second grow");
+            inv.pc = 2;  // grow: read the copy window start
+          } else {
+            inv.pc = 6;
+          }
+          return;
+        case 2:
+          inv.i = top_of(loaded);  // copy [top, b) — stale-low copies more
+          inv.pc = inv.i < inv.b ? 3 : 5;
+          return;
+        case 3: inv.x = loaded; inv.pc = 4; return;
+        case 4:
+          ++inv.i;
+          inv.pc = inv.i < inv.b ? 3 : 5;
+          return;
+        case 5: inv.bf = 1; inv.pc = 6; return;
+        case 6: inv.pc = 7; return;
+        case 7: retire(inv, kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0:
+          inv.t = top_of(loaded);
+          inv.g = tag_of(loaded);
+          inv.pc = 1;
+          return;
+        case 1:
+          inv.b = loaded;
+          if (inv.b <= inv.t) { retire(inv, kWNil); return; }
+          inv.pc = 2;
+          return;
+        case 2: inv.bf = loaded; inv.pc = 3; return;
+        case 3: inv.x = loaded; inv.pc = 4; return;
+        case 4: retire(inv, cas_ok ? inv.x : kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0:
+          inv.b = loaded;
+          if (inv.b == 0) { retire(inv, kWNil); return; }
+          --inv.b;
+          inv.pc = 1;
+          return;
+        case 1: inv.pc = 2; return;
+        case 2: inv.bf = loaded; inv.pc = 3; return;
+        case 3: inv.x = loaded; inv.pc = 4; return;
+        case 4:
+          inv.t = top_of(loaded);
+          inv.g = tag_of(loaded);
+          if (inv.b > inv.t) { retire(inv, inv.x); return; }
+          inv.arg = inv.x;
+          inv.x = abl.frozen_tag
+                      ? inv.g
+                      : static_cast<std::uint8_t>((inv.g + 1) & 0x0f);
+          if (inv.x == 0 && !abl.frozen_tag) inv.x = inv.g;
+          inv.pc = 5;
+          return;
+        case 5: inv.pc = inv.b == inv.t ? 6 : 7; return;
+        case 6:
+          if (cas_ok) { retire(inv, inv.arg); return; }
+          inv.pc = 7;
+          return;
+        case 7: retire(inv, kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  (void)insn;
+  ABP_ASSERT_MSG(false, "grow_advance: invalid machine state");
+}
+
+// ---- Chase-Lev -------------------------------------------------------------
+
+Insn cl_peek(const WInvocation& inv, const WAblation& abl) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kClPushBotLoad, kLocBot);
+        case 1: return load(Site::kClPushTopLoad, kLocTop);
+        case 2: return store(Site::kClPushItemStore, cl_cell(inv.b), inv.arg);
+        case 3: {
+          Insn p = store(Site::kClPushBotStore, kLocBot,
+                         static_cast<std::uint8_t>(inv.b + 1));
+          if (abl.cl_relaxed_bottom_store) p.order = MemOrder::kRelaxed;
+          return p;
+        }
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kClBotBotLoad, kLocBot);
+        case 1: return store(Site::kClBotBotStore, kLocBot, inv.b);
+        case 2: return fence(Site::kClBotFence);
+        case 3: return load(Site::kClBotTopLoad, kLocTop);
+        case 4: return store(Site::kClBotBotRestore, kLocBot,
+                             static_cast<std::uint8_t>(inv.b + 1));
+        case 5: return load(Site::kClBotItemLoad, cl_cell(inv.b));
+        case 6:
+          return cas(Site::kClBotCas, kLocTop, inv.t,
+                     static_cast<std::uint8_t>(inv.t + 1));
+        case 7: return store(Site::kClBotBotReset, kLocBot,
+                             static_cast<std::uint8_t>(inv.b + 1));
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0: return load(Site::kClTopTopLoad, kLocTop);
+        case 1: return fence(Site::kClTopFence);
+        case 2: {
+          Insn p = load(Site::kClTopBotLoad, kLocBot);
+          if (abl.cl_no_steal_acquire) p.order = MemOrder::kRelaxed;
+          return p;
+        }
+        case 3: return load(Site::kClTopItemLoad, cl_cell(inv.t));
+        case 4: {
+          Insn p = cas(Site::kClTopCas, kLocTop, inv.t,
+                       static_cast<std::uint8_t>(inv.t + 1));
+          if (abl.cl_relaxed_cas) p.order = MemOrder::kRelaxed;
+          return p;
+        }
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  ABP_ASSERT_MSG(false, "cl_peek: invalid machine state");
+  return Insn{};
+}
+
+void cl_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
+                bool cas_ok, const WAblation&) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0: inv.b = loaded; inv.pc = 1; return;
+        case 1:
+          inv.t = loaded;
+          ABP_ASSERT_MSG(inv.b - inv.t < kClCap, "Chase-Lev model overflow");
+          inv.pc = 2;
+          return;
+        case 2: inv.pc = 3; return;
+        case 3: retire(inv, kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0:
+          inv.b = loaded;
+          ABP_ASSERT_MSG(inv.b > 0, "Chase-Lev counters must stay positive");
+          --inv.b;
+          inv.pc = 1;
+          return;
+        case 1: inv.pc = 2; return;
+        case 2: inv.pc = 3; return;
+        case 3:
+          inv.t = loaded;
+          if (inv.t > inv.b) { inv.pc = 4; return; }   // empty: restore
+          inv.pc = 5;
+          return;
+        case 4: retire(inv, kWNil); return;
+        case 5:
+          inv.x = loaded;
+          if (inv.t < inv.b) { retire(inv, inv.x); return; }  // plain path
+          inv.pc = 6;  // t == b: race for the last element
+          return;
+        case 6: inv.ok = cas_ok ? 1 : 0; inv.pc = 7; return;
+        case 7: retire(inv, inv.ok ? inv.x : kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0: inv.t = loaded; inv.pc = 1; return;
+        case 1: inv.pc = 2; return;
+        case 2:
+          inv.b = loaded;
+          if (inv.t >= inv.b) { retire(inv, kWNil); return; }
+          inv.pc = 3;
+          return;
+        case 3: inv.x = loaded; inv.pc = 4; return;
+        case 4: retire(inv, cas_ok ? inv.x : kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  (void)insn;
+  ABP_ASSERT_MSG(false, "cl_advance: invalid machine state");
+}
+
+}  // namespace
+
+const char* to_string(WMachine m) noexcept {
+  switch (m) {
+    case WMachine::kAbp: return "abp";
+    case WMachine::kChaseLev: return "chase_lev";
+    case WMachine::kGrowable: return "growable";
+  }
+  return "?";
+}
+
+const OrderSpec& order_spec(Site site) noexcept {
+  return kOrderTable[static_cast<std::size_t>(site)];
+}
+
+std::vector<std::pair<Loc, std::uint8_t>> wm_initial(WMachine m) {
+  std::vector<std::pair<Loc, std::uint8_t>> init;
+  switch (m) {
+    case WMachine::kAbp:
+      for (int i = 0; i < kAbpCap; ++i)
+        init.emplace_back(abp_cell(static_cast<std::uint8_t>(i)), kWPoison);
+      break;
+    case WMachine::kChaseLev:
+      // top/bottom start at kClBase so popBottom's decrement never wraps.
+      init.emplace_back(kLocTop, kClBase);
+      init.emplace_back(kLocBot, kClBase);
+      for (int i = 0; i < kClCap; ++i)
+        init.emplace_back(static_cast<Loc>(kLocCell + i), kWPoison);
+      break;
+    case WMachine::kGrowable:
+      for (int i = 0; i < kGrowCap0; ++i)
+        init.emplace_back(grow_cell(0, static_cast<std::uint8_t>(i)),
+                          kWPoison);
+      for (int i = 0; i < kGrowCap1; ++i)
+        init.emplace_back(grow_cell(1, static_cast<std::uint8_t>(i)),
+                          kWPoison);
+      break;
+  }
+  return init;
+}
+
+Insn wm_peek(WMachine m, const WInvocation& inv, const WAblation& abl) {
+  switch (m) {
+    case WMachine::kAbp: return abp_peek(inv, abl);
+    case WMachine::kChaseLev: return cl_peek(inv, abl);
+    case WMachine::kGrowable: return grow_peek(inv, abl);
+  }
+  ABP_ASSERT(false);
+  return Insn{};
+}
+
+void wm_advance(WMachine m, WInvocation& inv, const Insn& insn,
+                std::uint8_t loaded, bool cas_ok, const WAblation& abl) {
+  switch (m) {
+    case WMachine::kAbp: abp_advance(inv, insn, loaded, cas_ok, abl); return;
+    case WMachine::kChaseLev: cl_advance(inv, insn, loaded, cas_ok, abl);
+      return;
+    case WMachine::kGrowable: grow_advance(inv, insn, loaded, cas_ok, abl);
+      return;
+  }
+  ABP_ASSERT(false);
+}
+
+Footprint wm_footprint(WMachine m, Method method) {
+  Footprint f;
+  auto r = [&f](Loc l) { f.reads |= 1u << l; };
+  auto w = [&f](Loc l) { f.writes |= 1u << l; };
+  std::uint32_t cells = 0;
+  const int ncells = m == WMachine::kChaseLev ? kClCap
+                     : m == WMachine::kAbp    ? kAbpCap
+                                              : kGrowCap0 + kGrowCap1 + 4;
+  for (int i = 0; i < ncells && kLocCell + i < kMaxLocs; ++i)
+    cells |= 1u << (kLocCell + i);
+  const bool cl = m == WMachine::kChaseLev;
+  const Loc idx = cl ? kLocTop : kLocAge;  // the CAS word
+  switch (method) {
+    case Method::kPushBottom:
+      r(kLocBot);
+      if (cl) r(kLocTop);
+      if (m == WMachine::kGrowable) {
+        r(kLocBuf);
+        w(kLocBuf);
+        r(kLocAge);
+        f.reads |= cells;
+      }
+      w(kLocBot);
+      f.writes |= cells;
+      break;
+    case Method::kPopTop:
+      r(idx);
+      r(kLocBot);
+      if (m == WMachine::kGrowable) r(kLocBuf);
+      f.reads |= cells;
+      w(idx);
+      f.sc = true;  // the CAS (and Chase-Lev's fence)
+      break;
+    case Method::kPopBottom:
+      r(kLocBot);
+      w(kLocBot);
+      if (m == WMachine::kGrowable) r(kLocBuf);
+      f.reads |= cells;
+      r(idx);
+      w(idx);
+      f.sc = true;  // seq_cst bottom store / fence / CAS
+      break;
+    case Method::kIdle: break;
+  }
+  return f;
+}
+
+std::uint64_t wm_remaining(WMachine m, const WeakMemory& mem) {
+  std::uint64_t remaining = 0;
+  auto add = [&remaining](std::uint8_t v) {
+    if (v < 64) remaining |= 1ull << v;
+    else remaining |= 1ull << 63;  // poison/unwritten counts as "a value"
+  };
+  switch (m) {
+    case WMachine::kAbp: {
+      const std::uint8_t age = mem.latest(kLocAge);
+      for (std::uint8_t i = top_of(age); i < mem.latest(kLocBot); ++i)
+        add(mem.latest(abp_cell(i)));
+      break;
+    }
+    case WMachine::kGrowable: {
+      const std::uint8_t age = mem.latest(kLocAge);
+      const std::uint8_t bf = mem.latest(kLocBuf);
+      for (std::uint8_t i = top_of(age); i < mem.latest(kLocBot); ++i)
+        add(mem.latest(grow_cell(bf, i)));
+      break;
+    }
+    case WMachine::kChaseLev: {
+      const std::uint8_t t = mem.latest(kLocTop);
+      const std::uint8_t b = mem.latest(kLocBot);
+      for (std::uint8_t i = t; i < b; ++i) add(mem.latest(cl_cell(i)));
+      break;
+    }
+  }
+  return remaining;
+}
+
+}  // namespace abp::model

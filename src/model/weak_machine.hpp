@@ -1,0 +1,205 @@
+#pragma once
+
+// Instruction machines for the weak-memory explorer.
+//
+// Three deques, each compiled into a program-counter machine in which
+// every shared access is one instruction carrying its declared
+// memory_order (kOrderTable). The orders are the ones the production
+// headers in src/deque name at the matching `// model-site:` anchor —
+// tools/atomics_lint.py parses kOrderTable out of weak_machine.cpp and
+// fails the build when the two drift.
+//
+//   * AbpMachine      — Figure 5 with the weakest orders the explorer
+//                       proves sufficient (the paper assumes SC; the
+//                       relaxations are justified per-site in
+//                       src/deque/abp_deque.hpp).
+//   * ChaseLevMachine — the circular-buffer take/steal pair with the
+//                       fence placement of Lê et al. (PPoPP 2013); the
+//                       machine is a fixed ring (growth is modeled by
+//                       GrowableMachine's publish window).
+//   * GrowableMachine — abp_growable_deque's buffer-publish protocol:
+//                       copy the live window, release-publish the new
+//                       buffer pointer, keep pushing.
+//
+// Ablations demote one declared order (or freeze the ABP tag) so the
+// explorer can produce the concrete violating interleaving that proves
+// the order is load-bearing.
+
+#include <cstdint>
+
+#include "model/machine.hpp"  // Method
+#include "model/weak.hpp"
+
+namespace abp::model {
+
+enum class WMachine : std::uint8_t { kAbp, kChaseLev, kGrowable };
+
+const char* to_string(WMachine m) noexcept;
+
+struct WAblation {
+  // ABP / growable: popBottom's reset keeps the old tag (the ABA bug;
+  // same semantics as ExploreOptions::disable_tag, now under weak memory).
+  bool frozen_tag = false;
+  // Chase-Lev: pushBottom publishes bottom with relaxed instead of
+  // release — a thief can observe the new bottom but not the item.
+  bool cl_relaxed_bottom_store = false;
+  // Chase-Lev: steal's bottom load is relaxed instead of acquire — the
+  // thief observes bottom without joining the publishing view.
+  bool cl_no_steal_acquire = false;
+  // Chase-Lev: steal's CAS success order is relaxed instead of seq_cst —
+  // the owner's fenced top read may miss a committed steal.
+  bool cl_relaxed_cas = false;
+  // Growable: the grown buffer pointer is published relaxed instead of
+  // release — a thief can observe the new buffer but stale cell copies.
+  bool grow_relaxed_publish = false;
+
+  bool any() const noexcept {
+    return frozen_tag || cl_relaxed_bottom_store || cl_no_steal_acquire ||
+           cl_relaxed_cas || grow_relaxed_publish;
+  }
+};
+
+// Every (machine, shared access) site, in kOrderTable order.
+enum class Site : std::uint8_t {
+  kAbpPushBotLoad,
+  kAbpPushItemStore,
+  kAbpPushBotStore,
+  kAbpTopAgeLoad,
+  kAbpTopBotLoad,
+  kAbpTopItemLoad,
+  kAbpTopCas,
+  kAbpBotBotLoad,
+  kAbpBotBotStore,
+  kAbpBotItemLoad,
+  kAbpBotAgeLoad,
+  kAbpBotBotReset,
+  kAbpBotCas,
+  kAbpBotAgeStore,
+  kGrowPushBotLoad,
+  kGrowPushBufLoad,
+  kGrowGrowAgeLoad,
+  kGrowGrowItemLoad,
+  kGrowGrowItemStore,
+  kGrowGrowPublish,
+  kGrowPushItemStore,
+  kGrowPushBotStore,
+  kGrowTopAgeLoad,
+  kGrowTopBotLoad,
+  kGrowTopBufLoad,
+  kGrowTopItemLoad,
+  kGrowTopCas,
+  kGrowBotBotLoad,
+  kGrowBotBotStore,
+  kGrowBotBufLoad,
+  kGrowBotItemLoad,
+  kGrowBotAgeLoad,
+  kGrowBotBotReset,
+  kGrowBotCas,
+  kGrowBotAgeStore,
+  kClPushBotLoad,
+  kClPushTopLoad,
+  kClPushItemStore,
+  kClPushBotStore,
+  kClBotBotLoad,
+  kClBotBotStore,
+  kClBotFence,
+  kClBotTopLoad,
+  kClBotBotRestore,
+  kClBotItemLoad,
+  kClBotCas,
+  kClBotBotReset,
+  kClTopTopLoad,
+  kClTopFence,
+  kClTopBotLoad,
+  kClTopItemLoad,
+  kClTopCas,
+  kSiteCount,
+};
+
+struct OrderSpec {
+  const char* site;  // "machine.method.access", the anchor name in src/deque
+  MemOrder order;
+};
+
+// Declared order of every site (indexed by Site). Parsed by
+// tools/atomics_lint.py; see ATOMICS-LINT-TABLE markers in
+// weak_machine.cpp.
+const OrderSpec& order_spec(Site site) noexcept;
+
+enum class InsnKind : std::uint8_t { kLoad, kStore, kCas, kFence };
+
+// One shared-memory instruction, fully resolved against the invocation's
+// registers. `order` already reflects any active ablation.
+struct Insn {
+  InsnKind kind = InsnKind::kLoad;
+  Loc loc = 0;
+  MemOrder order = MemOrder::kSeqCst;
+  MemOrder failure_order = MemOrder::kRelaxed;
+  std::uint8_t value = 0;     // store value / CAS desired
+  std::uint8_t expected = 0;  // CAS expected
+  Site site = Site::kSiteCount;
+
+  const char* name() const noexcept { return order_spec(site).site; }
+};
+
+// Model constants shared with the explorer and tests.
+inline constexpr std::uint8_t kWNil = 0xff;     // "no result" / NIL
+inline constexpr std::uint8_t kWPoison = 62;    // never-pushed cell value
+inline constexpr std::uint8_t kClBase = 4;      // Chase-Lev counter offset
+inline constexpr int kAbpCap = 6;               // ABP model capacity
+inline constexpr int kClCap = 4;                // Chase-Lev ring capacity
+inline constexpr int kGrowCap0 = 2;             // growable: first buffer
+inline constexpr int kGrowCap1 = 6;             // growable: grown buffer
+
+// One in-flight invocation of a weak machine.
+struct WInvocation {
+  Method method = Method::kIdle;
+  std::uint8_t pc = 0;
+  std::uint8_t arg = 0;  // pushBottom argument
+  std::uint8_t b = 0;    // bottom register
+  std::uint8_t t = 0;    // top register
+  std::uint8_t g = 0;    // tag register (ABP/growable)
+  std::uint8_t x = 0;    // item register
+  std::uint8_t bf = 0;   // buffer id register (growable)
+  std::uint8_t i = 0;    // copy index register (growable grow)
+  std::uint8_t ok = 0;   // CAS outcome register (Chase-Lev popBottom)
+  std::uint8_t result = kWNil;
+
+  bool operator==(const WInvocation&) const = default;
+
+  void start(Method m, std::uint8_t argument = 0) {
+    *this = WInvocation{};
+    method = m;
+    arg = argument;
+  }
+  bool idle() const noexcept { return method == Method::kIdle; }
+};
+
+// Initial (loc, value) pairs for a machine's shared state.
+std::vector<std::pair<Loc, std::uint8_t>> wm_initial(WMachine m);
+
+// The instruction at the invocation's current pc. Pure: no state change.
+Insn wm_peek(WMachine m, const WInvocation& inv, const WAblation& abl);
+
+// Advances the invocation after the explorer executed `insn`: `loaded` is
+// the committed load value (or CAS observed value), `cas_ok` the CAS
+// outcome. Sets method = kIdle and `result` when the invocation retires
+// on this instruction.
+void wm_advance(WMachine m, WInvocation& inv, const Insn& insn,
+                std::uint8_t loaded, bool cas_ok, const WAblation& abl);
+
+// Conservative whole-method footprint (bitmasks over Loc) plus whether
+// the method contains any seq_cst access; used by the persistent-set
+// reduction.
+struct Footprint {
+  std::uint32_t reads = 0;
+  std::uint32_t writes = 0;
+  bool sc = false;
+};
+Footprint wm_footprint(WMachine m, Method method);
+
+// Values still held by the deque at quiescence (bitmask), read from the
+// latest messages.
+std::uint64_t wm_remaining(WMachine m, const WeakMemory& mem);
+
+}  // namespace abp::model

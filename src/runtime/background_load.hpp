@@ -1,4 +1,5 @@
 #pragma once
+// atomics-lint: allow(simple stop flag for the load-generator threads)
 
 // Background load generator: spins CPU-hog threads so that the work
 // stealer's processes receive fewer processors than P — the

@@ -1,4 +1,5 @@
 #pragma once
+// atomics-lint: allow(runtime join/exception counters layered above the modeled deques)
 
 // The Hood-style runtime: P persistent worker threads ("processes" in the
 // paper's vocabulary — the kernel schedules them onto however many

@@ -69,7 +69,7 @@ TEST(ModelCheck, OwnerPlusOneThief) {
       {pop_top(), pop_top()},
   };
   const auto r = explore(scripts);
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
   EXPECT_TRUE(r.nonblocking);
   EXPECT_FALSE(r.truncated);
   EXPECT_GT(r.states, 100u);
@@ -84,7 +84,7 @@ TEST(ModelCheck, OwnerPlusTwoThieves) {
       {pop_top()},
   };
   const auto r = explore(scripts);
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
   EXPECT_TRUE(r.nonblocking);
   EXPECT_FALSE(r.truncated);
 }
@@ -96,7 +96,7 @@ TEST(ModelCheck, InterleavedPushesAndSteals) {
       {pop_top(), pop_top(), pop_top()},
   };
   const auto r = explore(scripts);
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
   EXPECT_TRUE(r.nonblocking);
 }
 
@@ -107,7 +107,7 @@ TEST(ModelCheck, ThievesOnlyOnEmptyDeque) {
       {pop_top()},
   };
   const auto r = explore(scripts);
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
   EXPECT_TRUE(r.nonblocking);
 }
 
@@ -120,7 +120,7 @@ TEST(ModelCheck, SingleItemThreeWayRace) {
       {pop_top()},
   };
   const auto r = explore(scripts);
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
   EXPECT_TRUE(r.nonblocking);
 }
 
@@ -149,7 +149,21 @@ TEST(ModelCheck, SameScriptWithTagIsCorrect) {
       {pop_top()},
   };
   const auto r = explore(scripts);
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
+}
+
+TEST(ModelCheck, TruncatedExplorationIsNotAPass) {
+  const std::vector<Script> scripts = {
+      owner_script({push(1), push(2), pop_bottom(), pop_bottom()}),
+      {pop_top(), pop_top()},
+  };
+  ExploreOptions opts;
+  opts.max_states = 10;  // far below the ~10^3 states this script reaches
+  const auto r = explore(scripts, opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_TRUE(r.ok);  // no violation *found* — which is not a verdict
+  EXPECT_FALSE(r.passed());
+  EXPECT_NE(r.violation.find("truncated"), std::string::npos) << r.violation;
 }
 
 // ---- the spinlock machine: blocking -----------------------------------------
@@ -163,7 +177,7 @@ TEST(ModelCheck, SpinlockDequeIsCorrectButBlocking) {
   opts.use_spinlock = true;
   const auto r = explore(scripts, opts);
   // Mutual exclusion keeps it correct...
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
   // ...but there are reachable states in which a process suspended inside
   // its critical section blocks everyone else forever.
   EXPECT_FALSE(r.nonblocking);
@@ -179,7 +193,7 @@ TEST(ModelCheck, AbpSoloCompletionBounded) {
       {pop_top(), pop_top()},
   };
   const auto r = explore(scripts);
-  EXPECT_TRUE(r.ok) << r.violation;
+  EXPECT_TRUE(r.passed()) << r.violation;
   EXPECT_TRUE(r.nonblocking);
   EXPECT_LE(r.max_solo_steps, kAbpMaxSteps);
   EXPECT_GT(r.max_solo_steps, 0);

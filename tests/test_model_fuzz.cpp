@@ -53,7 +53,7 @@ TEST_P(ModelFuzz, RandomScriptsPassAllChecks) {
   opts.max_states = 2'000'000;
   const auto r = explore(scripts, opts);
   ASSERT_FALSE(r.truncated) << "state space larger than expected";
-  EXPECT_TRUE(r.ok) << r.violation << " (seed " << param.seed << ")";
+  EXPECT_TRUE(r.passed()) << r.violation << " (seed " << param.seed << ")";
   EXPECT_TRUE(r.nonblocking) << "seed " << param.seed;
   EXPECT_LE(r.max_solo_steps, kAbpMaxSteps);
 }
@@ -86,7 +86,7 @@ TEST(ModelFuzzSpin, SafeButBlockingAcrossSeeds) {
     ExploreOptions opts;
     opts.use_spinlock = true;
     const auto r = explore(scripts, opts);
-    EXPECT_TRUE(r.ok) << r.violation;
+    EXPECT_TRUE(r.passed()) << r.violation;
     EXPECT_FALSE(r.nonblocking);
   }
 }

@@ -1,0 +1,336 @@
+#!/usr/bin/env python3
+"""Atomics-discipline lint for the work-stealing deques.
+
+Four checks, all over src/:
+
+  1. explicit-order   Every atomic operation names an explicit
+                      std::memory_order. Implicit seq_cst — `.load()`,
+                      `.store(v)`, `x++`, `x = v`, `fetch_add(1)`,
+                      bare `test_and_set()` — is rejected.
+  2. atomic-scope     `std::atomic` may be declared only under
+                      src/deque, src/obs, src/support. Other files must
+                      carry a `// atomics-lint: allow(<reason>)` waiver.
+  3. chaos-coverage   Every compare_exchange site under src/deque has a
+                      CHAOS_POINT within the preceding lines, so the
+                      fault-injection harness can preempt at the CAS.
+  4. model-drift      Every atomic op in a modeled deque (a file with at
+                      least one named anchor) carries a `// model-site:`
+                      comment naming its row in the model checker's
+                      kOrderTable (src/model/weak_machine.cpp, between
+                      the ATOMICS-LINT-TABLE markers); the source
+                      memory_order must equal the model's declared order,
+                      every table row must be anchored somewhere, and
+                      unmodeled ops must say `model-site: none(<why>)`.
+
+Anchors may list several comma-separated sites when one helper serves
+multiple modeled access points (Chase-Lev's Buffer::get).
+
+Exit status: 0 clean, 1 violations (one per line on stderr).
+Usage: tools/atomics_lint.py [repo-root]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ALLOWED_ATOMIC_DIRS = ("src/deque", "src/obs", "src/support")
+MODEL_TABLE = "src/model/weak_machine.cpp"
+TABLE_BEGIN = "ATOMICS-LINT-TABLE-BEGIN"
+TABLE_END = "ATOMICS-LINT-TABLE-END"
+WAIVER = re.compile(r"//\s*atomics-lint:\s*allow\(")
+ANCHOR = re.compile(r"//\s*model-site:\s*(.*)")
+
+# MemOrder::kX (model) -> std::memory_order_x (source)
+ORDER_NAMES = {
+    "Relaxed": "relaxed",
+    "Acquire": "acquire",
+    "Release": "release",
+    "AcqRel": "acq_rel",
+    "SeqCst": "seq_cst",
+}
+
+OP_RE = re.compile(
+    r"(?:(?:\.|->)\s*(load|store|exchange|compare_exchange_weak|"
+    r"compare_exchange_strong|fetch_add|fetch_sub|fetch_and|fetch_or|"
+    r"fetch_xor|test_and_set)|\b(?:std::)?(atomic_thread_fence))\s*\("
+)
+
+# `x++`, `--x`, `x += 1`, `x = v` on a name declared std::atomic in the
+# same file: the operator forms are implicit seq_cst.
+ATOMIC_DECL_RE = re.compile(
+    r"std::atomic(?:_flag|_bool|_int)?\s*(?:<[^;{}]*?>)?\s*>?\s*"
+    r"(\w+)\s*(?:\{[^}]*\})?\s*[;=]"
+)
+
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replace comments and string/char literals with spaces, keeping
+    newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2 else c)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def match_parens(text: str, open_idx: int) -> int:
+    """Index one past the ')' matching text[open_idx] == '(', or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == "(":
+            depth += 1
+        elif text[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def split_args(argtext: str):
+    """Top-level comma split of the text between the call's parens."""
+    args, depth, start = [], 0, 0
+    for i, c in enumerate(argtext):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(argtext[start:i].strip())
+            start = i + 1
+    tail = argtext[start:].strip()
+    if tail:
+        args.append(tail)
+    return [a for a in args if a]
+
+
+class Op:
+    def __init__(self, kind, line, args):
+        self.kind = kind
+        self.line = line  # 1-based line of the call
+        self.args = args
+        self.argtext = ", ".join(args)
+
+    @property
+    def orders(self):
+        return re.findall(r"memory_order_(\w+)", self.argtext)
+
+
+def find_ops(blanked: str):
+    """All atomic-looking ops with their argument lists."""
+    ops = []
+    for m in OP_RE.finditer(blanked):
+        kind = m.group(1) or m.group(2)
+        open_idx = blanked.index("(", m.end() - 1)
+        close = match_parens(blanked, open_idx)
+        if close < 0:
+            continue
+        line = blanked.count("\n", 0, m.start()) + 1
+        ops.append(Op(kind, line, split_args(blanked[open_idx + 1 : close - 1])))
+    return ops
+
+
+def is_atomic_op(op: Op) -> bool:
+    """Heuristic filter: model-checker methods share names with atomic
+    ops (WeakMemory::store takes 4 args) — classify by arity."""
+    n = len(op.args)
+    has_order = bool(op.orders)
+    if op.kind == "load":
+        return n == 0 or (n == 1 and has_order)
+    if op.kind in ("store", "exchange"):
+        return n == 1 or (n == 2 and has_order)
+    if op.kind.startswith("fetch_"):
+        return n == 1 or (n == 2 and has_order)
+    if op.kind.startswith("compare_exchange"):
+        return 2 <= n <= 4
+    if op.kind in ("test_and_set", "atomic_thread_fence"):
+        return True
+    return False
+
+
+def implicit_order(op: Op) -> bool:
+    n = len(op.args)
+    if op.kind == "load":
+        return n == 0
+    if op.kind in ("store", "exchange") or op.kind.startswith("fetch_"):
+        return n == 1
+    if op.kind.startswith("compare_exchange"):
+        return n == 2
+    if op.kind == "test_and_set":
+        return n == 0
+    if op.kind == "atomic_thread_fence":
+        return not op.orders
+    return False
+
+
+def parse_order_table(root: Path, errors):
+    text = (root / MODEL_TABLE).read_text()
+    begin, end = text.find(TABLE_BEGIN), text.find(TABLE_END)
+    if begin < 0 or end < 0:
+        errors.append(f"{MODEL_TABLE}: {TABLE_BEGIN}/{TABLE_END} markers missing")
+        return {}
+    table = {}
+    for site, order in re.findall(
+        r'\{"([a-z_.0-9]+)",\s*MemOrder::k(\w+)\}', text[begin:end]
+    ):
+        table[site] = ORDER_NAMES.get(order, "?")
+    if not table:
+        errors.append(f"{MODEL_TABLE}: kOrderTable parsed empty")
+    return table
+
+
+def lint_file(path: Path, rel: str, table, anchored_sites, errors):
+    text = path.read_text()
+    lines = text.splitlines()
+    blanked = blank_comments_and_strings(text)
+    ops = [op for op in find_ops(blanked) if is_atomic_op(op)]
+
+    # 1. explicit-order: calls.
+    for op in ops:
+        if implicit_order(op):
+            errors.append(
+                f"{rel}:{op.line}: {op.kind} with implicit "
+                "memory_order_seq_cst — name the order explicitly"
+            )
+    # 1b. explicit-order: operator forms on names declared atomic here.
+    decl_names = set(ATOMIC_DECL_RE.findall(blanked))
+    for name in decl_names:
+        for m in re.finditer(
+            rf"(?:\+\+|--)\s*{re.escape(name)}\b"
+            rf"|\b{re.escape(name)}\s*(?:\+\+|--|[-+|&^]?=(?!=))",
+            blanked,
+        ):
+            line = blanked.count("\n", 0, m.start()) + 1
+            srcline = blanked.splitlines()[line - 1]
+            # Skip declarations (`std::atomic_flag f = ...`, or a plain
+            # member shadowing the atomic's name) and statements that
+            # already name an explicit order (`plain = atomic.load(o)`).
+            if "std::atomic" in srcline or "memory_order" in srcline:
+                continue
+            if re.search(rf"[\w>]\s+{re.escape(name)}\s*=", srcline):
+                continue
+            errors.append(
+                f"{rel}:{line}: operator on atomic '{name}' is implicit "
+                "seq_cst — use .load/.store/.fetch_* with an explicit order"
+            )
+
+    # 2. atomic-scope.
+    if "std::atomic" in blanked and not rel.startswith(ALLOWED_ATOMIC_DIRS):
+        if not WAIVER.search(text):
+            errors.append(
+                f"{rel}: std::atomic outside {'/'.join(ALLOWED_ATOMIC_DIRS)} "
+                "without an `// atomics-lint: allow(<reason>)` waiver"
+            )
+
+    if not rel.startswith("src/deque"):
+        return
+
+    # 3. chaos-coverage: every CAS preceded by a CHAOS_POINT.
+    for op in ops:
+        if not op.kind.startswith("compare_exchange"):
+            continue
+        window = lines[max(0, op.line - 9) : op.line]
+        if not any("CHAOS_POINT(" in ln for ln in window):
+            errors.append(
+                f"{rel}:{op.line}: compare_exchange without a CHAOS_POINT "
+                "in the preceding lines — the chaos harness cannot preempt it"
+            )
+
+    # 4. model-drift. Anchors live in comments, so scan the original text.
+    anchors = []  # (line, payload)
+    for i, ln in enumerate(lines, start=1):
+        m = ANCHOR.search(ln)
+        if m:
+            anchors.append((i, m.group(1).strip()))
+    named = [(l, p) for (l, p) in anchors if not p.startswith("none(")]
+    if not named:
+        return  # not a modeled deque (e.g. the spinlock/mutex baselines)
+
+    for line, payload in named:
+        sites = [s.strip() for s in payload.split(",") if s.strip()]
+        bad = [s for s in sites if s not in table]
+        if bad:
+            errors.append(
+                f"{rel}:{line}: model-site {', '.join(bad)} not in "
+                f"{MODEL_TABLE} kOrderTable"
+            )
+            continue
+        after = [op for op in ops if line < op.line <= line + 6]
+        if not after:
+            errors.append(
+                f"{rel}:{line}: model-site anchor with no atomic op in the "
+                "next lines"
+            )
+            continue
+        op = after[0]
+        # For a CAS the first listed order is the success order, which is
+        # what the model declares.
+        actual = op.orders[0] if op.orders else "seq_cst (implicit)"
+        for site in sites:
+            anchored_sites.add(site)
+            want = table[site]
+            if actual != want:
+                errors.append(
+                    f"{rel}:{op.line}: {site} is memory_order_{actual} in "
+                    f"source but memory_order_{want} in the model — "
+                    "re-prove or fix the drift"
+                )
+
+    anchor_lines = [l for (l, _) in anchors]
+    for op in ops:
+        if not any(0 <= op.line - al <= 5 for al in anchor_lines):
+            errors.append(
+                f"{rel}:{op.line}: atomic {op.kind} without a "
+                "`// model-site:` anchor (use `model-site: none(<why>)` "
+                "for unmodeled ops)"
+            )
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    errors = []
+    table = parse_order_table(root, errors)
+    anchored_sites = set()
+    files = sorted((root / "src").rglob("*.hpp")) + sorted(
+        (root / "src").rglob("*.cpp")
+    )
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        lint_file(path, rel, table, anchored_sites, errors)
+    for site in sorted(set(table) - anchored_sites):
+        errors.append(
+            f"{MODEL_TABLE}: site '{site}' is never anchored in src/deque — "
+            "add a `// model-site:` comment at the implementing access"
+        )
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"atomics-lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    n_ops = len(table)
+    print(f"atomics-lint: clean ({n_ops} model sites cross-checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
