@@ -57,6 +57,21 @@ enum class Action : std::uint8_t {
            // switch)
   kSleep,  // repeat microseconds of sleep — a long de-scheduling, the
            // "process loses its processor for a while" of §2
+  kKill,   // throw WorkerKilledError out of the hitting thread — the
+           // kernel destroying a process outright. Policies must target
+           // only points documented as kill-safe (currently
+           // "sched.loop.job_boundary", where a worker provably holds no
+           // job): killing anywhere else can strand a claimed job and
+           // void the runtime's exactly-once guarantee.
+};
+
+// Thrown by the engine on Action::kKill. Deliberately NOT derived from
+// std::exception: job-level catch(...) wrappers convert it into an
+// ordinary captured job failure (safe), while the scheduler's worker loop
+// catches it by type to retire the worker. Carries the injection site for
+// diagnostics.
+struct WorkerKilledError {
+  PointId point = kInvalidPoint;
 };
 
 struct Decision {
@@ -95,7 +110,9 @@ const char* point_name(PointId id) noexcept;
 PointId find_point(const char* name) noexcept;
 
 // The hot entry: consults the installed policy and performs its decision.
-void hit(PointId id) noexcept;
+// Not noexcept: an Action::kKill decision propagates WorkerKilledError to
+// the caller (every other action returns normally).
+void hit(PointId id);
 
 // Per-point counters, reset when a ChaosScope installs.
 struct PointSnapshot {
@@ -129,11 +146,18 @@ class ChaosScope {
 //                                     stalled-thief / ABA window)
 //   deque.popbottom.post_bot_store  — bottom decremented, age not yet read
 //   deque.popbottom.pre_cas         — last-item race, CAS not yet issued
+//   deque.grow.pre_alloc            — growth decided, buffer not allocated
 //   deque.grow.pre_publish          — resized buffer filled, not yet visible
 //   deque.lock.in_critical          — blocking deque holding its lock
 //   sched.steal.pre_poptop          — thief chose a victim, popTop pending
 //   sched.loop.steal_iter           — one iteration of the Figure 3 loop
 //   sched.loop.pre_yield            — before the configured yield call
+//   sched.loop.job_boundary         — worker holds no job (the only
+//                                     kill-safe window; see Action::kKill)
+//   sched.exec.pre_complete         — job ran, completion not yet counted
+//                                     (the lost-wakeup window wait() parks
+//                                     against)
+//   taskgroup.wait.pre_park         — waiter registered, not yet parked
 #if ABP_CHAOS_ENABLED
 #define CHAOS_POINT(name)                                      \
   do {                                                         \

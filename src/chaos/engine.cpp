@@ -61,7 +61,7 @@ struct ThreadEngine {
 
 thread_local ThreadEngine tls_engine;
 
-void act(const Decision& d) {
+void act(PointId id, const Decision& d) {
   switch (d.action) {
     case Action::kNone:
       break;
@@ -74,6 +74,10 @@ void act(const Decision& d) {
     case Action::kSleep:
       std::this_thread::sleep_for(std::chrono::microseconds(d.repeat));
       break;
+    case Action::kKill:
+      // Propagates to the site that crossed the point; only kill-safe
+      // sites (see chaos.hpp) may be targeted by killing policies.
+      throw WorkerKilledError{id};
   }
 }
 
@@ -107,7 +111,7 @@ PointId find_point(const char* name) noexcept {
   return kInvalidPoint;
 }
 
-void hit(PointId id) noexcept {
+void hit(PointId id) {
   Global& g = global();
   const std::uint64_t gen = g.generation.load(std::memory_order_acquire);
   ThreadEngine& e = tls_engine;
@@ -129,7 +133,7 @@ void hit(PointId id) noexcept {
   const Decision d = e.policy->decide(id, e.ordinal, e.hit_index++, e.rng);
   if (d.action == Action::kNone) return;
   g.injections[id].fetch_add(1, std::memory_order_relaxed);
-  act(d);
+  act(id, d);
 }
 
 std::vector<PointSnapshot> snapshot_points() {

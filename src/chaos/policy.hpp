@@ -113,6 +113,114 @@ class TargetedPolicy final : public Policy {
   std::atomic<PointId> target_{kInvalidPoint};
 };
 
+// Worker suspension: the kernel de-scheduling a process for a long,
+// variable interval (§2's "loses its processor for a while"), driven at a
+// scheduler-loop point so whole steal iterations disappear. Each crossing
+// of the target point suspends with probability `p_suspend` for a seeded
+// random duration in [min_us, max_us]; an optional global budget caps the
+// total number of suspensions per scope so soak tests terminate.
+class WorkerSuspendPolicy final : public Policy {
+ public:
+  struct Config {
+    const char* point = "sched.loop.steal_iter";
+    double p_suspend = 0.01;
+    std::uint32_t min_us = 50;
+    std::uint32_t max_us = 2000;
+    std::uint64_t max_suspensions = 0;  // 0 = unlimited
+  };
+
+  explicit WorkerSuspendPolicy(Config cfg) : cfg_(cfg) {
+    name_ = std::string("worker-suspend(") + cfg_.point + ")";
+  }
+
+  Decision decide(PointId point, std::uint64_t, std::uint64_t,
+                  Xoshiro256& rng) override {
+    if (!matches(point)) return {};
+    if (!rng.chance(cfg_.p_suspend)) return {};
+    const std::uint64_t prior = used_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.max_suspensions != 0 && prior >= cfg_.max_suspensions) return {};
+    return {Action::kSleep,
+            static_cast<std::uint32_t>(rng.range(cfg_.min_us, cfg_.max_us))};
+  }
+
+  const char* name() const noexcept override { return name_.c_str(); }
+
+  std::uint64_t suspensions() const noexcept {
+    // used_ can overshoot past a finite budget by racing threads; clamp.
+    const std::uint64_t u = used_.load(std::memory_order_relaxed);
+    return cfg_.max_suspensions != 0 && u > cfg_.max_suspensions
+               ? cfg_.max_suspensions
+               : u;
+  }
+
+ private:
+  bool matches(PointId point) {
+    PointId cached = target_.load(std::memory_order_relaxed);
+    if (cached != kInvalidPoint) return point == cached;
+    const PointId found = find_point(cfg_.point);
+    if (found == kInvalidPoint) return false;
+    target_.store(found, std::memory_order_relaxed);
+    return point == found;
+  }
+
+  Config cfg_;
+  std::string name_;
+  std::atomic<PointId> target_{kInvalidPoint};
+  std::atomic<std::uint64_t> used_{0};
+};
+
+// Worker death: the kernel destroying a process outright. Each crossing of
+// the target point kills the hitting worker (via Action::kKill, which
+// throws WorkerKilledError) with probability `p_kill`, up to a global
+// budget. The target MUST be a kill-safe point — a site where the crossing
+// thread provably holds no claimed job — or exactly-once delivery is
+// forfeit; the scheduler's only such site is "sched.loop.job_boundary"
+// (see the catalog in chaos.hpp), which is why it is the fixed default.
+class WorkerKillPolicy final : public Policy {
+ public:
+  struct Config {
+    const char* point = "sched.loop.job_boundary";
+    double p_kill = 0.001;
+    std::uint64_t max_kills = 1;  // budget; 0 kills nothing
+  };
+
+  explicit WorkerKillPolicy(Config cfg) : cfg_(cfg) {
+    name_ = std::string("worker-kill(") + cfg_.point + ")";
+  }
+
+  Decision decide(PointId point, std::uint64_t, std::uint64_t,
+                  Xoshiro256& rng) override {
+    if (!matches(point)) return {};
+    if (!rng.chance(cfg_.p_kill)) return {};
+    if (used_.fetch_add(1, std::memory_order_relaxed) >= cfg_.max_kills)
+      return {};
+    return {Action::kKill, 1};
+  }
+
+  const char* name() const noexcept override { return name_.c_str(); }
+
+  std::uint64_t kills() const noexcept {
+    // used_ can overshoot past the budget by racing threads; clamp.
+    const std::uint64_t u = used_.load(std::memory_order_relaxed);
+    return u < cfg_.max_kills ? u : cfg_.max_kills;
+  }
+
+ private:
+  bool matches(PointId point) {
+    PointId cached = target_.load(std::memory_order_relaxed);
+    if (cached != kInvalidPoint) return point == cached;
+    const PointId found = find_point(cfg_.point);
+    if (found == kInvalidPoint) return false;
+    target_.store(found, std::memory_order_relaxed);
+    return point == found;
+  }
+
+  Config cfg_;
+  std::string name_;
+  std::atomic<PointId> target_{kInvalidPoint};
+  std::atomic<std::uint64_t> used_{0};
+};
+
 // Round-based schedule replay: `rounds[r]` lists the proc ids scheduled in
 // round r (cycled when exhausted); a thread's proc id is its binding
 // ordinal mod num_procs. Global time advances by one step per hit across

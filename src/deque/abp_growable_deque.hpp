@@ -24,12 +24,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <optional>
 #include <type_traits>
 #include <vector>
 
 #include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
+#include "deque/push_result.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
 
@@ -51,7 +53,13 @@ class AbpGrowableDeque {
   };
 
  public:
-  explicit AbpGrowableDeque(std::size_t initial_capacity = 64) {
+  // `max_capacity` bounds growth (0 = unbounded): a grow that would exceed
+  // it is reported exactly like an allocation failure, which gives tests a
+  // deterministic way to exercise the push_bottom_ex degradation path and
+  // gives deployments a way to cap per-worker memory.
+  explicit AbpGrowableDeque(std::size_t initial_capacity = 64,
+                            std::size_t max_capacity = 0)
+      : max_capacity_(max_capacity) {
     auto first = std::make_unique<Buffer>(
         initial_capacity < 8 ? 8 : initial_capacity);
     // model-site: none(constructor; no concurrent readers exist yet)
@@ -67,15 +75,27 @@ class AbpGrowableDeque {
     return buf_.load(std::memory_order_acquire)->capacity;
   }
 
-  // pushBottom; owner only. Grows instead of overflowing.
+  // pushBottom; owner only. Grows instead of overflowing; a failed growth
+  // (bad_alloc, or the configured max_capacity) throws bad_alloc — callers
+  // that need a non-throwing path use push_bottom_ex.
   void push_bottom(T node) {
+    if (push_bottom_ex(node) != PushStatus::kOk) throw std::bad_alloc();
+  }
+
+  // pushBottom that reports a failed growth as a typed status instead of
+  // letting bad_alloc unwind the owner out of its steal-critical window.
+  // On kAllocFailed the deque is unchanged and `node` was not pushed.
+  PushStatus push_bottom_ex(T node) {
     // Owner-only counter; the owner's program order suffices.
     // model-site: growable.push_bottom.bottom_load
     const std::uint64_t local_bot = bot_.value.load(std::memory_order_relaxed);
     // The owner is the only writer of buf_; it reads its own last publish.
     // model-site: growable.push_bottom.buffer_load
     Buffer* buf = buf_.load(std::memory_order_relaxed);
-    if (local_bot == buf->capacity) buf = grow(buf, local_bot);
+    if (local_bot == buf->capacity) {
+      buf = grow(buf, local_bot);
+      if (buf == nullptr) return PushStatus::kAllocFailed;
+    }
     CHAOS_POINT("deque.pushbottom.pre_item_store");
     // Ordering comes entirely from the release bot store below.
     // model-site: growable.push_bottom.item_store
@@ -85,6 +105,7 @@ class AbpGrowableDeque {
     // acquire-load the new bot.
     // model-site: growable.push_bottom.bottom_store
     bot_.value.store(local_bot + 1, std::memory_order_release);
+    return PushStatus::kOk;
   }
 
   std::optional<T> pop_top() { return pop_top_ex().item; }
@@ -188,8 +209,24 @@ class AbpGrowableDeque {
   }
 
  private:
+  // Returns the new buffer, or nullptr when growth is impossible (the
+  // capacity bound, or bad_alloc from either the buffer or the retirement
+  // list). Every allocation happens BEFORE the publish: once a thief can
+  // see the new buffer pointer nothing on this path can throw, so a failed
+  // grow leaves the deque exactly as it was.
   Buffer* grow(Buffer* old, std::uint64_t local_bot) {
-    auto bigger = std::make_unique<Buffer>(old->capacity * 2);
+    if (max_capacity_ != 0 && old->capacity * 2 > max_capacity_)
+      return nullptr;
+    CHAOS_POINT("deque.grow.pre_alloc");
+    std::unique_ptr<Buffer> bigger;
+    try {
+      bigger = std::make_unique<Buffer>(old->capacity * 2);
+      // Reserve the retirement slot up front so the push_back after the
+      // publish below is no-throw.
+      buffers_.reserve(buffers_.size() + 1);
+    } catch (const std::bad_alloc&) {
+      return nullptr;
+    }
     // Copy the window that can still be referenced: [top, local_bot). A
     // concurrently advancing top only shrinks the live window, so a
     // relaxed (possibly stale-low) read copies a superset.
@@ -204,11 +241,11 @@ class AbpGrowableDeque {
       bigger->data[i].store(v, std::memory_order_relaxed);
     }
     Buffer* raw = bigger.get();
+    buffers_.push_back(std::move(bigger));  // retire; freed at destruction
     CHAOS_POINT("deque.grow.pre_publish");
     // Release publishes the copied cells with the new buffer pointer.
     // model-site: growable.grow.publish
     buf_.store(raw, std::memory_order_release);
-    buffers_.push_back(std::move(bigger));  // retire; freed at destruction
     return raw;
   }
 
@@ -227,6 +264,7 @@ class AbpGrowableDeque {
   CacheAligned<std::atomic<std::uint64_t>> bot_{};
   std::atomic<Buffer*> buf_{nullptr};
   std::vector<std::unique_ptr<Buffer>> buffers_;  // owner-only mutation
+  std::size_t max_capacity_ = 0;                  // 0 = unbounded
 };
 
 }  // namespace abp::deque

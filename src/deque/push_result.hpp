@@ -1,0 +1,31 @@
+#pragma once
+
+// Typed result of a pushBottom that may fail to make room.
+//
+// The fixed ABP deque never allocates, but the growable variants (ABP
+// growable, Chase-Lev) and the blocking baselines do — and an allocation
+// failure inside pushBottom would otherwise propagate bad_alloc out of the
+// owner's steal-critical window, unwinding the scheduler loop with a job
+// in hand. push_bottom_ex catches that case and reports it as data: the
+// deque is unchanged, the item was NOT pushed, and the caller decides how
+// to degrade (the runtime runs the job inline, serializing it).
+
+#include <cstdint>
+
+namespace abp::deque {
+
+enum class PushStatus : std::uint8_t {
+  kOk,           // item is in the deque
+  kAllocFailed,  // growth failed (bad_alloc or a configured capacity bound);
+                 // the deque is unchanged and the item was not pushed
+};
+
+constexpr const char* to_string(PushStatus s) noexcept {
+  switch (s) {
+    case PushStatus::kOk: return "ok";
+    case PushStatus::kAllocFailed: return "alloc-failed";
+  }
+  return "?";
+}
+
+}  // namespace abp::deque

@@ -376,6 +376,12 @@ void append_snapshots_to_trace(
         case EventType::kYield:
           out.instant(pid, tid, "yield", ts);
           break;
+        case EventType::kJobCancelled:
+          out.instant(pid, tid, "job_cancelled", ts);
+          break;
+        case EventType::kPark:
+          out.instant(pid, tid, "park", ts);
+          break;
         case EventType::kPopBottomHit:
         case EventType::kPopBottomMiss:
         case EventType::kStealAttempt:

@@ -31,6 +31,8 @@ enum class EventType : std::uint8_t {
   kYield,           // yield call between steal attempts
   kJobBegin,        // execution of a job starts
   kJobEnd,          // arg = job run time in ticks
+  kJobCancelled,    // job skipped: cancellation observed at its boundary
+  kPark,            // TaskGroup waiter parked on its condition variable
 };
 
 constexpr const char* to_string(EventType t) noexcept {
@@ -45,6 +47,8 @@ constexpr const char* to_string(EventType t) noexcept {
     case EventType::kYield: return "yield";
     case EventType::kJobBegin: return "job_begin";
     case EventType::kJobEnd: return "job_end";
+    case EventType::kJobCancelled: return "job_cancelled";
+    case EventType::kPark: return "park";
   }
   return "?";
 }

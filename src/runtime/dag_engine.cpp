@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -23,8 +24,18 @@ void spin(std::uint32_t iterations) {
 
 }  // namespace
 
+const char* to_string(DagRunStatus s) noexcept {
+  switch (s) {
+    case DagRunStatus::kCompleted: return "completed";
+    case DagRunStatus::kCancelled: return "cancelled";
+    case DagRunStatus::kNodeFailed: return "node-failed";
+  }
+  return "?";
+}
+
 DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
-                     std::uint32_t spin_per_node) {
+                     std::uint32_t spin_per_node, CancelToken cancel,
+                     DagNodeBody body) {
   ABP_ASSERT_MSG(d.is_valid(), "dag must satisfy structural assumptions");
   std::size_t num_workers = opts.num_workers;
   if (num_workers == 0) num_workers = 1;
@@ -46,7 +57,14 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
 
   std::vector<PaddedWorkerStats> stats(num_workers);
   std::atomic<bool> done{false};
+  // Early-stop flag, distinct from computationDone: raised by the cancel
+  // token or by a throwing node body. Workers observe it at node
+  // boundaries only, so a node either fully runs or never starts.
+  std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> executed{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  dag::NodeId failed_node = dag::kNoNode;
   const dag::NodeId root = d.root();
   const dag::NodeId final_node = d.final_node();
 
@@ -56,10 +74,30 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
     PolyDeque<dag::NodeId>& self = *deques[id];
     dag::NodeId assigned = (id == 0) ? root : dag::kNoNode;
 
-    while (!done.load(std::memory_order_acquire)) {
+    while (!done.load(std::memory_order_acquire) &&
+           !stop.load(std::memory_order_acquire)) {
+      if (cancel.cancelled()) {
+        stop.store(true, std::memory_order_release);
+        break;
+      }
       if (assigned != dag::kNoNode) {
         // Execute the assigned node.
         spin(spin_per_node);
+        if (body) {
+          try {
+            body(assigned);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error == nullptr) {
+                first_error = std::current_exception();
+                failed_node = assigned;
+              }
+            }
+            stop.store(true, std::memory_order_release);
+            break;  // the failed node's children are never enabled
+          }
+        }
         ++st.jobs_executed;
         executed.fetch_add(1, std::memory_order_relaxed);
 
@@ -133,7 +171,18 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   for (const auto& s : stats) result.totals += s.value;
   result.executed_nodes = executed.load(std::memory_order_relaxed);
-  result.ok = result.executed_nodes == d.num_nodes();
+  if (first_error != nullptr) {
+    result.status = DagRunStatus::kNodeFailed;
+    result.error = first_error;
+    result.failed_node = failed_node;
+  } else if (!done.load(std::memory_order_acquire)) {
+    result.status = DagRunStatus::kCancelled;
+    result.cancel_reason = cancel.reason() != CancelReason::kNone
+                               ? cancel.reason()
+                               : CancelReason::kUser;
+  }
+  result.ok = result.status == DagRunStatus::kCompleted &&
+              result.executed_nodes == d.num_nodes();
   return result;
 }
 

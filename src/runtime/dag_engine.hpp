@@ -15,24 +15,57 @@
 // experiments (deque policy and yield policy under multiprogramming).
 
 #include <cstdint>
+#include <exception>
+#include <functional>
 
 #include "dag/dag.hpp"
 #include "runtime/options.hpp"
 #include "runtime/stats.hpp"
+#include "support/cancel.hpp"
 
 namespace abp::runtime {
+
+enum class DagRunStatus : std::uint8_t {
+  kCompleted,   // every node executed exactly once
+  kCancelled,   // the cancel token fired; workers stopped at node boundaries
+  kNodeFailed,  // a node body threw; the first exception is captured
+};
+
+const char* to_string(DagRunStatus s) noexcept;
+
+// Optional per-node user code, run when a node is executed (in addition to
+// the spin_per_node busy-work). May throw: the first exception is captured
+// into the result — the engine's threads never terminate() — and the
+// remaining workers stop at node boundaries.
+using DagNodeBody = std::function<void(dag::NodeId)>;
 
 struct DagRunResult {
   double seconds = 0.0;
   WorkerStats totals;
   std::uint64_t executed_nodes = 0;
   bool ok = false;  // all nodes executed exactly once
+  DagRunStatus status = DagRunStatus::kCompleted;
+  std::exception_ptr error;                   // kNodeFailed: first throw
+  dag::NodeId failed_node = dag::kNoNode;     // kNodeFailed: its node
+  CancelReason cancel_reason = CancelReason::kNone;  // kCancelled
+
+  // Surfaces the run's failure as a typed exception (the captured node
+  // exception, or CancelledError); no-op when status == kCompleted.
+  void rethrow() const {
+    if (status == DagRunStatus::kNodeFailed && error) {
+      std::rethrow_exception(error);
+    }
+    if (status == DagRunStatus::kCancelled) throw CancelledError(cancel_reason);
+  }
 };
 
 // Executes `d` with opts.num_workers processes. `spin_per_node` busy-loop
 // iterations emulate the cost of the instruction a node represents (so that
-// scheduling overhead does not dominate microscopic dags).
+// scheduling overhead does not dominate microscopic dags). `cancel` stops
+// the run cooperatively at node boundaries; `body` is optional per-node
+// user code (may throw, see DagNodeBody).
 DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
-                     std::uint32_t spin_per_node = 0);
+                     std::uint32_t spin_per_node = 0, CancelToken cancel = {},
+                     DagNodeBody body = {});
 
 }  // namespace abp::runtime

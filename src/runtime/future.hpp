@@ -4,6 +4,18 @@
 // working, collect the result (or the exception) later. Non-movable —
 // a Future pins the fork-join structure to the scope that created it,
 // like TaskGroup itself (structured concurrency).
+//
+// Blocking semantics: get() inherits TaskGroup's helping wait — it pops
+// and steals jobs until the spawned computation completes, and (when
+// ResilienceOptions::park_after_failed_steals is set) parks on the
+// scheduler's condition variable after repeated failures instead of
+// spinning. The
+// parking handshake is lost-wakeup safe: the completing job might finish
+// in the window between the waiter's readiness check and its sleep, so the
+// waiter re-checks under the park mutex and the completer passes through
+// that mutex before notifying (see TaskGroup::park / on_complete). A
+// computation that threw has its exception rethrown from get(); a
+// computation skipped by cancellation surfaces CancelledError instead.
 
 #include <optional>
 #include <type_traits>

@@ -24,7 +24,10 @@ class Worker;
 class TaskGroup;
 
 struct alignas(kCacheLineSize) Job {
-  using Fn = void (*)(Job*, Worker&);
+  // One trampoline serves both paths so the record stays one cache line:
+  // destroy-only (cancelled) passes worker == nullptr and the closure is
+  // torn down without running.
+  using Fn = void (*)(Job*, Worker*);
 
   static constexpr std::size_t kInlineBytes = 88;
 
@@ -42,14 +45,17 @@ struct alignas(kCacheLineSize) Job {
                   "or box the state");
     static_assert(alignof(Decayed) <= alignof(std::max_align_t));
     ::new (static_cast<void*>(storage)) Decayed(std::forward<F>(f));
-    fn = [](Job* self, Worker& w) {
+    fn = [](Job* self, Worker* w) {
       auto* callable = std::launder(reinterpret_cast<Decayed*>(self->storage));
-      (*callable)(w);
+      if (w != nullptr) (*callable)(*w);
       callable->~Decayed();
     };
   }
 
-  void run(Worker& w) { fn(this, w); }
+  void run(Worker& w) { fn(this, &w); }
+
+  // Tears down the closure without running it (cancellation path).
+  void destroy() { fn(this, nullptr); }
 };
 
 static_assert(std::is_trivially_copyable_v<Job*>);

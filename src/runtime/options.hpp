@@ -32,6 +32,29 @@ enum class YieldPolicy : std::uint8_t {
 const char* to_string(DequePolicy p) noexcept;
 const char* to_string(YieldPolicy p) noexcept;
 
+// Knobs for the resilience layer (dynamic membership, watchdog, parking,
+// steal backoff). All default OFF / zero so the baseline experiments keep
+// their exact hot path; the chaos/resilience tests opt in per scenario.
+struct ResilienceOptions {
+  // Upper bound on concurrently live workers (worker slots are preallocated
+  // up to this). 0 = num_workers, i.e. no headroom for add_worker().
+  std::size_t max_workers = 0;
+  // Watchdog monitor: a background thread that polls per-worker heartbeats
+  // and re-targets the deque of any worker stalled past the deadline.
+  bool watchdog = false;
+  std::uint32_t watchdog_poll_ms = 10;
+  std::uint32_t stall_deadline_ms = 200;
+  // TaskGroup::wait parking: after this many consecutive failed steal
+  // attempts inside a wait, the waiter parks on a condition variable until
+  // a completion (or the timeout) wakes it. 0 = never park (pure ABP spin
+  // discipline, the paper's model).
+  std::uint32_t park_after_failed_steals = 0;
+  std::uint32_t park_timeout_us = 500;
+  // Bounded exponential backoff with yield escalation on repeated
+  // steal-CAS failure (extends the §3 yield discipline).
+  bool steal_backoff = false;
+};
+
 struct SchedulerOptions {
   std::size_t num_workers = 0;  // 0 = hardware_concurrency()
   // Dag engine only (§3.1's two-children case): execute the current
@@ -42,11 +65,16 @@ struct SchedulerOptions {
   DequePolicy deque = DequePolicy::kAbp;
   YieldPolicy yield = YieldPolicy::kYield;
   std::size_t deque_capacity = 1u << 16;  // for the fixed-size ABP deque
+  // Growth bound for kAbpGrowable (0 = unbounded). A grow past the bound
+  // reports PushStatus::kAllocFailed and the worker degrades by running
+  // the job inline (see Worker::push).
+  std::size_t deque_max_capacity = 0;
   std::uint64_t seed = 0x5eed;
   std::uint32_t sleep_us = 50;  // kSleep pause between steal attempts
   // Per-worker telemetry ring capacity (events; rounded up to a power of
   // two). Only consulted when the WHEN_TRACE hooks are compiled in.
   std::size_t trace_ring_capacity = 1u << 14;
+  ResilienceOptions resilience{};
 };
 
 }  // namespace abp::runtime

@@ -6,6 +6,7 @@
 // that compare deque policies (E10, E15) measure whole workloads, where
 // this overhead is identical across policies.
 
+#include <new>
 #include <optional>
 #include <variant>
 
@@ -21,13 +22,15 @@ namespace abp::runtime {
 template <typename T>
 class PolyDeque {
  public:
-  PolyDeque(DequePolicy policy, std::size_t capacity) {
+  PolyDeque(DequePolicy policy, std::size_t capacity,
+            std::size_t max_capacity = 0) {
     switch (policy) {
       case DequePolicy::kAbp:
         impl_.template emplace<deque::AbpDeque<T>>(capacity);
         break;
       case DequePolicy::kAbpGrowable:
-        impl_.template emplace<deque::AbpGrowableDeque<T>>(capacity);
+        impl_.template emplace<deque::AbpGrowableDeque<T>>(capacity,
+                                                           max_capacity);
         break;
       case DequePolicy::kChaseLev:
         impl_.template emplace<deque::ChaseLevDeque<T>>();
@@ -43,6 +46,26 @@ class PolyDeque {
 
   void push_bottom(T item) {
     std::visit([&](auto& d) { d.push_bottom(item); }, impl_);
+  }
+  // Non-throwing push: implementations with a native typed-status path
+  // (the growable ABP deque) are called directly; for the rest a bad_alloc
+  // from growth is mapped to kAllocFailed so it never unwinds the owner
+  // out of its steal-critical window.
+  deque::PushStatus push_bottom_ex(T item) {
+    return std::visit(
+        [&](auto& d) {
+          if constexpr (requires { d.push_bottom_ex(item); }) {
+            return d.push_bottom_ex(item);
+          } else {
+            try {
+              d.push_bottom(item);
+              return deque::PushStatus::kOk;
+            } catch (const std::bad_alloc&) {
+              return deque::PushStatus::kAllocFailed;
+            }
+          }
+        },
+        impl_);
   }
   std::optional<T> pop_bottom() {
     return std::visit([](auto& d) { return d.pop_bottom(); }, impl_);

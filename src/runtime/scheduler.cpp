@@ -33,36 +33,31 @@ Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts) {
     if (n == 0) n = 1;
   }
   opts_.num_workers = n;
+  max_workers_ = std::max(opts_.resilience.max_workers, n);
+  watchdog_enabled_ = opts_.resilience.watchdog;
+  steal_backoff_enabled_ = opts_.resilience.steal_backoff;
 
-  deques_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    deques_.push_back(std::make_unique<PolyDeque<Job*>>(
-        opts_.deque, opts_.deque_capacity));
-  stats_.resize(n);
+  // Preallocate every per-slot vector to max_workers_ so membership changes
+  // never reallocate under concurrent readers (thieves index deques_ and
+  // slot_state_ without mu_).
+  deques_.resize(max_workers_);
+  stats_.resize(max_workers_);
 #if ABP_TRACE_ENABLED
-  rings_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    rings_.push_back(std::make_unique<obs::TraceRing>(
-        opts_.trace_ring_capacity));
-  telemetry_.resize(n);
+  rings_.resize(max_workers_);
+  telemetry_.resize(max_workers_);
 #endif
-  workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    auto w = std::make_unique<Worker>();
-    w->id_ = i;
-    w->sched_ = this;
-    w->deque_ = deques_[i].get();
-    w->stats_ = &stats_[i];
-#if ABP_TRACE_ENABLED
-    w->ring_ = rings_[i].get();
-    w->telemetry_ = &telemetry_[i];
-#endif
-    w->rng_.reseed(opts_.seed * 0x9e3779b97f4a7c15ULL + i + 1);
-    workers_.push_back(std::move(w));
-  }
-  threads_.reserve(n);
+  workers_.resize(max_workers_);
+  threads_.resize(max_workers_);
+  slot_state_ = decltype(slot_state_)(max_workers_);
+  heartbeats_ = decltype(heartbeats_)(max_workers_);
+  seen_epoch_.assign(max_workers_, 0);
+
+  for (std::size_t i = 0; i < n; ++i) activate_slot(i, /*generation=*/0);
   for (std::size_t i = 0; i < n; ++i)
-    threads_.emplace_back([this, i] { worker_main(i); });
+    threads_[i] = std::thread([this, i] { worker_main(i, /*initial_epoch=*/0); });
+
+  if (watchdog_enabled_)
+    watchdog_thread_ = std::thread([this] { watchdog_main(); });
 }
 
 Scheduler::~Scheduler() {
@@ -71,37 +66,230 @@ Scheduler::~Scheduler() {
     shutdown_ = true;
   }
   cv_workers_.notify_all();
-  for (auto& t : threads_) t.join();
+  join_workers();
+  if (watchdog_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu_);
+      wd_stop_ = true;
+    }
+    wd_cv_.notify_all();
+    watchdog_thread_.join();
+  }
+}
+
+void Scheduler::join_workers() {
+  for (auto& t : threads_)
+    if (t.joinable()) t.join();
+}
+
+// Requires mu_ held (or the constructor, before any thread exists).
+void Scheduler::activate_slot(std::size_t slot, std::uint64_t generation) {
+  if (deques_[slot] == nullptr)
+    deques_[slot] = std::make_unique<PolyDeque<Job*>>(
+        opts_.deque, opts_.deque_capacity, opts_.deque_max_capacity);
+#if ABP_TRACE_ENABLED
+  if (rings_[slot] == nullptr)
+    rings_[slot] = std::make_unique<obs::TraceRing>(opts_.trace_ring_capacity);
+#endif
+  if (workers_[slot] == nullptr) {
+    auto w = std::make_unique<Worker>();
+    w->id_ = slot;
+    w->sched_ = this;
+    w->deque_ = deques_[slot].get();
+    w->stats_ = &stats_[slot];
+#if ABP_TRACE_ENABLED
+    w->ring_ = rings_[slot].get();
+    w->telemetry_ = &telemetry_[slot];
+#endif
+    workers_[slot] = std::move(w);
+  }
+  // Generation 0 reproduces the historical per-worker seeds; a respawned
+  // worker gets a fresh, still-deterministic stream.
+  workers_[slot]->rng_.reseed(opts_.seed * 0x9e3779b97f4a7c15ULL + slot + 1 +
+                              generation * 0xda3e39cb94b95bdbULL);
+  workers_[slot]->heartbeat_seq_ = 0;
+  workers_[slot]->steal_backoff_.reset();
+  heartbeats_[slot].value.store(0, std::memory_order_relaxed);
+  slot_state_[slot].value.store(static_cast<std::uint8_t>(SlotState::kLive),
+                                std::memory_order_release);
+  live_workers_.fetch_add(1, std::memory_order_acq_rel);
+  membership_epoch_.fetch_add(1, std::memory_order_release);
+  const std::size_t count = slot_count_.load(std::memory_order_relaxed);
+  if (slot + 1 > count) slot_count_.store(slot + 1, std::memory_order_release);
+}
+
+// Requires mu_ held.
+void Scheduler::exit_slot(std::size_t slot) {
+  slot_state_[slot].value.store(static_cast<std::uint8_t>(SlotState::kDead),
+                                std::memory_order_release);
+  live_workers_.fetch_sub(1, std::memory_order_acq_rel);
+  membership_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+// Requires mu_ held: every live slot has entered the current epoch.
+bool Scheduler::all_live_entered() const {
+  const std::size_t n = slot_count_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (slot_state(i) == SlotState::kLive && seen_epoch_[i] != epoch_)
+      return false;
+  }
+  return true;
+}
+
+std::size_t Scheduler::add_worker() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_ || shutdown_) throw SchedulerStoppedError();
+  std::size_t slot = max_workers_;
+  for (std::size_t i = 0; i < max_workers_; ++i) {
+    if (slot_state(i) == SlotState::kEmpty) {
+      slot = i;
+      break;
+    }
+  }
+  if (slot == max_workers_) {
+    for (std::size_t i = 0; i < max_workers_; ++i) {
+      if (slot_state(i) == SlotState::kDead) {
+        slot = i;
+        break;
+      }
+    }
+  }
+  if (slot == max_workers_)
+    throw std::runtime_error(
+        "add_worker: no free worker slot (raise ResilienceOptions::max_workers)");
+  if (threads_[slot].joinable()) {
+    // A dead occupant's thread marked its slot kDead and exited without
+    // retaking mu_, so joining it here cannot deadlock.
+    threads_[slot].join();
+  }
+  activate_slot(slot, ++membership_generation_);
+  // Mid-run, hand the new worker a stale epoch so it enters the in-flight
+  // run immediately; idle, have it park until the next run.
+  const bool idle = done_.load(std::memory_order_acquire);
+  const std::uint64_t initial = idle ? epoch_ : epoch_ - 1;
+  seen_epoch_[slot] = initial;
+  threads_[slot] = std::thread([this, slot, initial] {
+    worker_main(slot, initial);
+  });
+  return slot;
+}
+
+bool Scheduler::retire_worker(std::size_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slot >= slot_count_.load(std::memory_order_acquire)) return false;
+  if (slot_state(slot) != SlotState::kLive) return false;
+  slot_state_[slot].value.store(
+      static_cast<std::uint8_t>(SlotState::kRetiring),
+      std::memory_order_release);
+  cv_workers_.notify_all();  // wake it if it is parked between runs
+  return true;
+}
+
+ShutdownReport Scheduler::shutdown(std::chrono::milliseconds deadline) {
+  ShutdownReport rep;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    rep.drained = done_.load(std::memory_order_acquire) &&
+                  active_in_epoch_ == 0;
+    return rep;
+  }
+  stopped_ = true;  // run()/add_worker() refuse from here on
+  cancel_.request(CancelReason::kDeadline);
+  const bool quiesced = cv_main_.wait_for(lock, deadline, [this] {
+    return done_.load(std::memory_order_acquire) && active_in_epoch_ == 0;
+  });
+  if (!quiesced) {
+    rep.timed_out = true;
+    const std::size_t n = slot_count_.load(std::memory_order_acquire);
+    std::size_t abandoned = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      if (deques_[i] != nullptr) abandoned += deques_[i]->size_hint();
+    if (root_job_.load(std::memory_order_acquire) != nullptr) ++abandoned;
+    rep.abandoned_jobs = abandoned;
+    return rep;  // workers keep draining (as cancelled); the dtor joins them
+  }
+  shutdown_ = true;
+  lock.unlock();
+  cv_workers_.notify_all();
+  join_workers();
+  rep.drained = true;
+  return rep;
 }
 
 void Scheduler::run_root(Job* root) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (stopped_) throw SchedulerStoppedError();
   ABP_ASSERT_MSG(done_.load(std::memory_order_acquire),
                  "Scheduler::run is not reentrant");
-  parked_ = 0;
+  cancel_.reset();
   done_.store(false, std::memory_order_release);
   root_job_.store(root, std::memory_order_release);
   ++epoch_;
   cv_workers_.notify_all();
-  cv_main_.wait(lock, [this] { return parked_ == num_workers(); });
+  // Quiesce: every live worker has entered AND exited this epoch, and the
+  // run completed — or every worker died first.
+  cv_main_.wait(lock, [this] {
+    if (active_in_epoch_ != 0) return false;
+    if (!all_live_entered()) return false;
+    return done_.load(std::memory_order_acquire) ||
+           live_workers_.load(std::memory_order_acquire) == 0;
+  });
+  if (!done_.load(std::memory_order_acquire)) {
+    // Every worker died before any of them claimed the root (a claimed
+    // root always runs to completion: no kill-safe point lies between the
+    // claim and the execute, and the claimer cannot be retired mid-job).
+    // Reclaim the root so the caller can destroy it, and surface the loss.
+    root_job_.store(nullptr, std::memory_order_release);
+    done_.store(true, std::memory_order_release);
+    throw AllWorkersLostError();
+  }
 }
 
-void Scheduler::worker_main(std::size_t id) {
-  Worker& self = *workers_[id];
-  std::uint64_t seen_epoch = 0;
+void Scheduler::worker_main(std::size_t slot, std::uint64_t initial_epoch) {
+  Worker& self = *workers_[slot];
+  std::uint64_t seen_epoch = initial_epoch;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_workers_.wait(lock,
-                       [&] { return shutdown_ || epoch_ != seen_epoch; });
-      if (shutdown_) return;
+      cv_workers_.wait(lock, [&] {
+        return shutdown_ || epoch_ != seen_epoch ||
+               slot_state(slot) == SlotState::kRetiring;
+      });
+      if (shutdown_) {
+        // Record this epoch as entered-and-exited so a run_root() caller
+        // racing a concurrent shutdown() is not left waiting on us.
+        seen_epoch_[slot] = epoch_;
+        cv_main_.notify_all();
+        return;
+      }
+      if (slot_state(slot) == SlotState::kRetiring) {
+        exit_slot(slot);
+        cv_main_.notify_all();
+        return;
+      }
       seen_epoch = epoch_;
+      seen_epoch_[slot] = seen_epoch;
+      ++active_in_epoch_;
     }
-    work_loop(self);
+    bool dying = false;
+    try {
+      work_loop(self);
+    } catch (const chaos::WorkerKilledError&) {
+      // The chaos adversary destroyed this worker at a job boundary — the
+      // runtime-level analogue of the kernel killing a process. Its deque
+      // stays in the victim set, so any queued jobs still drain.
+      dying = true;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++parked_;
-      if (parked_ == num_workers()) cv_main_.notify_one();
+      --active_in_epoch_;
+      if (!dying && slot_state(slot) == SlotState::kRetiring) dying = true;
+      if (dying) exit_slot(slot);
+      cv_main_.notify_all();
+    }
+    if (dying) {
+      cv_workers_.notify_all();
+      return;
     }
   }
 }
@@ -112,19 +300,84 @@ void Scheduler::work_loop(Worker& w) {
   WHEN_TRACE(w.loop_start_tsc_ = obs::rdtsc(); w.first_steal_recorded_ = false;)
   Job* j = nullptr;
   for (;;) {
+    if (watchdog_enabled_)
+      heartbeats_[w.id_].value.store(++w.heartbeat_seq_,
+                                     std::memory_order_relaxed);
     if (j != nullptr) {
       w.execute(j);
+      j = nullptr;
+      // No job is in hand between here and the next pop/claim/steal: the
+      // only window where a chaos kill cannot void exactly-once delivery.
+      CHAOS_POINT("sched.loop.job_boundary");
       j = w.pop_bottom();
       continue;
     }
     if (done()) return;
+    if (slot_state(w.id_) == SlotState::kRetiring) return;
     // Thief: claim the root job if it is still unclaimed, otherwise yield
     // and attempt a steal from a random victim.
     CHAOS_POINT("sched.loop.steal_iter");
+    CHAOS_POINT("sched.loop.job_boundary");
     j = root_job_.exchange(nullptr, std::memory_order_acq_rel);
     if (j != nullptr) continue;
     w.yield_between_steals();
     j = w.try_steal();
+  }
+}
+
+void Scheduler::watchdog_main() {
+  const auto poll = std::chrono::milliseconds(opts_.resilience.watchdog_poll_ms);
+  const auto stall_deadline =
+      std::chrono::milliseconds(opts_.resilience.stall_deadline_ms);
+  std::vector<std::uint64_t> last_beat(max_workers_, 0);
+  std::vector<std::chrono::steady_clock::time_point> last_change(max_workers_);
+  std::vector<bool> flagged(max_workers_, false);
+  auto now = std::chrono::steady_clock::now();
+  for (auto& t : last_change) t = now;
+
+  std::unique_lock<std::mutex> lock(wd_mu_);
+  for (;;) {
+    if (wd_cv_.wait_for(lock, poll, [this] { return wd_stop_; })) return;
+    now = std::chrono::steady_clock::now();
+    const std::size_t n = slot_count_.load(std::memory_order_acquire);
+    if (done()) {
+      // Idle between runs: parked workers legitimately stop beating.
+      for (std::size_t i = 0; i < n; ++i) {
+        last_beat[i] = heartbeats_[i].value.load(std::memory_order_relaxed);
+        last_change[i] = now;
+        flagged[i] = false;
+      }
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (slot_state(i) != SlotState::kLive) {
+        flagged[i] = false;
+        continue;
+      }
+      const std::uint64_t beat =
+          heartbeats_[i].value.load(std::memory_order_relaxed);
+      if (beat != last_beat[i]) {
+        last_beat[i] = beat;
+        last_change[i] = now;
+        if (flagged[i]) {
+          flagged[i] = false;
+          // The stalled worker resumed; drop the hint if still ours.
+          std::size_t expected = i;
+          steal_hint_.compare_exchange_strong(expected, kNoStealHint,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed);
+        }
+        continue;
+      }
+      if (!flagged[i] && now - last_change[i] >= stall_deadline) {
+        // The paper's adversarial kernel has descheduled this process (or
+        // its job is wedged). Re-target thieves at its deque so the jobs
+        // it queued drain while it is gone.
+        flagged[i] = true;
+        stalls_detected_.fetch_add(1, std::memory_order_acq_rel);
+        steal_hint_.store(i, std::memory_order_release);
+      }
+    }
   }
 }
 
@@ -139,7 +392,8 @@ void Scheduler::reset_stats() {
                  "reset_stats while running");
   for (auto& s : stats_) s.value.reset();
 #if ABP_TRACE_ENABLED
-  for (auto& r : rings_) r->clear();
+  for (auto& r : rings_)
+    if (r) r->clear();
   for (auto& t : telemetry_) t.value.reset();
 #endif
 }
@@ -156,9 +410,10 @@ std::string Scheduler::chrome_trace_json() const {
   const obs::TscCalibration cal = obs::calibrate_tsc();
   obs::ChromeTraceBuilder b;
   b.process_name(0, "abp runtime");
+  const std::size_t n = num_workers();
   std::vector<std::vector<obs::TraceEvent>> snaps;
-  snaps.reserve(rings_.size());
-  for (const auto& r : rings_) snaps.push_back(r->snapshot());
+  snaps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) snaps.push_back(rings_[i]->snapshot());
   // Anchor the time axis at the earliest retained event so traces start
   // near t=0 regardless of process uptime.
   obs::TscCalibration anchored = cal;
@@ -176,11 +431,15 @@ std::string Scheduler::stats_json() const {
   const obs::WorkerTelemetry tel = aggregate_telemetry();
   std::uint64_t recorded = 0, dropped = 0;
   for (const auto& r : rings_) {
+    if (!r) continue;
     recorded += r->total_recorded();
     dropped += r->dropped();
   }
   obs::JsonObjectWriter w;
   w.add("workers", static_cast<std::uint64_t>(num_workers()));
+  w.add("live_workers", static_cast<std::uint64_t>(live_workers()));
+  w.add("membership_epoch", membership_epoch());
+  w.add("stalls_detected", stalls_detected());
   w.add("jobs_executed", t.jobs_executed);
   w.add("spawns", t.spawns);
   w.add("pop_bottom_hits", t.pop_bottom_hits);
@@ -190,6 +449,10 @@ std::string Scheduler::stats_json() const {
   w.add("steal_empty_victim", t.steal_empty_victim);
   w.add("yields", t.yields);
   w.add("overflow_inline_runs", t.overflow_inline_runs);
+  w.add("cancelled_jobs", t.cancelled_jobs);
+  w.add("parks", t.parks);
+  w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);
+  w.add("backoff_yields", t.backoff_yields);
   w.add("trace_events", recorded);
   w.add("trace_dropped", dropped);
   w.add_raw("steal_latency_ns",
@@ -212,6 +475,9 @@ std::string Scheduler::stats_json() const {
   const WorkerStats t = total_stats();
   obs::JsonObjectWriter w;
   w.add("workers", static_cast<std::uint64_t>(num_workers()));
+  w.add("live_workers", static_cast<std::uint64_t>(live_workers()));
+  w.add("membership_epoch", membership_epoch());
+  w.add("stalls_detected", stalls_detected());
   w.add("jobs_executed", t.jobs_executed);
   w.add("spawns", t.spawns);
   w.add("pop_bottom_hits", t.pop_bottom_hits);
@@ -221,6 +487,10 @@ std::string Scheduler::stats_json() const {
   w.add("steal_empty_victim", t.steal_empty_victim);
   w.add("yields", t.yields);
   w.add("overflow_inline_runs", t.overflow_inline_runs);
+  w.add("cancelled_jobs", t.cancelled_jobs);
+  w.add("parks", t.parks);
+  w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);
+  w.add("backoff_yields", t.backoff_yields);
   w.add("trace_events", std::uint64_t{0});
   return w.str();
 }

@@ -16,6 +16,23 @@
 // which is how the Hood prototype's applications were written. The heavier
 // "user-level threads that block and get re-enabled" model lives in
 // src/fiber; a direct executor of computation dags lives in dag_engine.hpp.
+//
+// Resilience layer (DESIGN.md §11). The paper's kernel adversarially grows
+// and shrinks the set of running processes; this runtime mirrors that with
+// *dynamic membership*: workers occupy preallocated slots (up to
+// ResilienceOptions::max_workers) and can be added (add_worker) or retired
+// (retire_worker) at runtime, each change bumping a membership epoch. A
+// dead or retired worker's deque stays in the victim set forever, so its
+// orphaned jobs are drained by surviving thieves — exactly-once delivery
+// survives membership churn. Jobs that throw are captured into their
+// TaskGroup and rethrown at wait(); chaos-injected worker kills
+// (Action::kKill at the kill-safe "sched.loop.job_boundary" point) retire
+// the worker the same way a kernel destroying a process would. A watchdog
+// (optional) polls per-worker heartbeats and re-targets thieves at the
+// deque of any worker stalled past a deadline. Cancellation is cooperative
+// and quantized at job boundaries; shutdown(deadline) drains or reports
+// abandoned jobs. Membership and shutdown calls are control-plane
+// operations: make them from one thread at a time.
 
 #include <atomic>
 #include <chrono>
@@ -23,6 +40,7 @@
 #include <cstdint>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,11 +57,38 @@
 #include "runtime/stats.hpp"
 #include "support/assert.hpp"
 #include "support/backoff.hpp"
+#include "support/cancel.hpp"
 #include "support/rng.hpp"
 
 namespace abp::runtime {
 
 class Scheduler;
+
+// Thrown by run() when every worker died (chaos kills, or retiring the
+// whole pool) before any of them claimed the root job. The computation
+// provably never started: a claimed root always runs to completion, because
+// no kill-safe point lies between the claim and the execute.
+class AllWorkersLostError : public std::runtime_error {
+ public:
+  AllWorkersLostError()
+      : std::runtime_error("all workers lost before the root job ran") {}
+};
+
+// Thrown by run()/add_worker() after shutdown() has been called.
+class SchedulerStoppedError : public std::runtime_error {
+ public:
+  SchedulerStoppedError() : std::runtime_error("scheduler is shut down") {}
+};
+
+// Outcome of Scheduler::shutdown(deadline).
+struct ShutdownReport {
+  bool drained = false;    // quiesced within the deadline; workers joined
+  bool timed_out = false;  // deadline expired with work still in flight
+  // Jobs still queued (deque contents + an unclaimed root) when the
+  // deadline expired — a snapshot: the surviving workers keep draining
+  // them (as cancelled) after this returns.
+  std::size_t abandoned_jobs = 0;
+};
 
 // Execution context handed to every job; one per worker thread.
 class Worker {
@@ -53,6 +98,10 @@ class Worker {
   Xoshiro256& rng() noexcept { return rng_; }
   WorkerStats& stats() noexcept { return stats_->value; }
   JobPool& pool() noexcept { return pool_; }
+  // True when the scheduler's cancellation flag is up; long-running leaf
+  // jobs poll this to stop early (spawned siblings are skipped
+  // automatically at their job boundary).
+  inline bool cancelled() const noexcept;
 #if ABP_TRACE_ENABLED
   obs::TraceRing& trace() noexcept { return *ring_; }
   obs::WorkerTelemetry& telemetry() noexcept { return telemetry_->value; }
@@ -77,6 +126,8 @@ class Worker {
   std::uint64_t loop_start_tsc_ = 0;  // work_loop entry, for time-to-first-steal
   bool first_steal_recorded_ = false;
 #endif
+  std::uint64_t heartbeat_seq_ = 0;   // published to the watchdog each loop
+  YieldingBackoff steal_backoff_{256};  // armed by resilience.steal_backoff
   Xoshiro256 rng_;
   JobPool pool_;
 };
@@ -91,6 +142,22 @@ class Worker {
 // Exceptions: a child throwing is captured (first one wins) and rethrown
 // from wait(). The destructor drains outstanding children without
 // rethrowing, so a TaskGroup unwinding through an exception stays safe.
+//
+// Parking: with resilience.park_after_failed_steals > 0, a waiter whose
+// pops and steals keep failing parks on a condition variable instead of
+// spinning. The classic lost-wakeup window — the last child completes
+// between the waiter's pending check and its sleep — is closed by the
+// standard protocol: the waiter registers itself, then re-checks pending_
+// under the park mutex before sleeping, while the completer takes (and
+// releases) the mutex before notifying; a bounded park_timeout_us backstops
+// liveness besides. The mutex, condition variable, and waiter count live in
+// the *Scheduler*, not the group: the waiter may destroy the group the
+// instant pending_ hits zero, so the completer's decrement must be its last
+// access to group memory — everything after (the waiter check, the notify)
+// touches only scheduler-owned state, which outlives every job. The
+// registration/decrement pair is seq_cst on both sides (store-buffering
+// pattern): either the completer sees the registration and notifies, or the
+// waiter's re-check sees zero and never sleeps.
 class TaskGroup {
  public:
   explicit TaskGroup(Worker& w) : worker_(w) {}
@@ -102,7 +169,7 @@ class TaskGroup {
   inline void spawn(F&& f);
 
   // Drains until every child completed, then rethrows the first captured
-  // child exception, if any.
+  // child exception, if any (a cancelled child contributes CancelledError).
   inline void wait();
 
   std::int64_t pending() const noexcept {
@@ -116,10 +183,8 @@ class TaskGroup {
  private:
   friend class Worker;
   inline void drain();
-
-  void on_complete() noexcept {
-    pending_.fetch_sub(1, std::memory_order_acq_rel);
-  }
+  inline void park();
+  inline void on_complete() noexcept;  // defined after Scheduler
 
   void capture_exception(std::exception_ptr eptr) noexcept {
     int expected = 0;
@@ -144,13 +209,29 @@ class Scheduler {
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
-  std::size_t num_workers() const noexcept { return workers_.size(); }
+  // Number of worker *slots* ever activated — the victim set for steals
+  // (retired/dead slots stay in it so their deques drain). Equals the
+  // configured worker count until membership changes.
+  std::size_t num_workers() const noexcept {
+    return slot_count_.load(std::memory_order_acquire);
+  }
+  // Workers currently alive (not retired, not chaos-killed).
+  std::size_t live_workers() const noexcept {
+    return live_workers_.load(std::memory_order_acquire);
+  }
+  std::size_t max_workers() const noexcept { return max_workers_; }
+  // Bumped on every membership change (add, retire, kill).
+  std::uint64_t membership_epoch() const noexcept {
+    return membership_epoch_.load(std::memory_order_acquire);
+  }
   const SchedulerOptions& options() const noexcept { return opts_; }
 
   // Runs `f(worker)` as the root job and blocks until it returns; an
   // exception escaping `f` is rethrown here, on the calling thread. Must
   // not be called from inside the pool. `f` should wait on its TaskGroups
-  // before returning (structured parallelism).
+  // before returning (structured parallelism). Throws SchedulerStoppedError
+  // after shutdown(), AllWorkersLostError if every worker died before the
+  // root was claimed.
   template <typename F>
   void run(F&& f) {
     Job root;  // stack-allocated: it never enters a pool
@@ -167,8 +248,49 @@ class Scheduler {
       }
       done->store(true, std::memory_order_release);
     });
-    run_root(&root);
+    try {
+      run_root(&root);
+    } catch (...) {
+      root.destroy();  // the root never ran; tear down its closure
+      throw;
+    }
     if (root_exception) std::rethrow_exception(root_exception);
+  }
+
+  // ---- dynamic membership --------------------------------------------------
+  // Spawns a worker into a free slot (a never-used one, or one whose
+  // occupant died/retired). If a run is in flight the new worker joins it
+  // immediately. Throws SchedulerStoppedError after shutdown(),
+  // std::runtime_error when every slot is occupied.
+  std::size_t add_worker();
+  // Asks the worker in `slot` to exit at its next job boundary (or
+  // immediately if it is parked between runs). Its deque remains stealable
+  // so any queued jobs complete. Returns false if the slot is not live.
+  bool retire_worker(std::size_t slot);
+
+  // ---- cancellation / shutdown ---------------------------------------------
+  // Raises the cancellation flag for the current run: jobs not yet started
+  // are skipped at their boundary and their groups observe CancelledError
+  // at wait(). Reset automatically by the next run().
+  void request_cancel(CancelReason reason = CancelReason::kUser) noexcept {
+    cancel_.request(reason);
+  }
+  bool cancel_requested() const noexcept { return cancel_.requested(); }
+  CancelReason cancel_reason() const noexcept { return cancel_.reason(); }
+  CancelToken cancel_token() const { return cancel_.token(); }
+
+  // Graceful stop: cancels in-flight work, waits up to `deadline` for the
+  // runtime to quiesce, and joins the workers if it does. On timeout the
+  // report carries a snapshot count of still-queued jobs; workers keep
+  // draining them (as cancelled) and the destructor completes the join.
+  // After this returns, run()/add_worker() throw SchedulerStoppedError.
+  ShutdownReport shutdown(std::chrono::milliseconds deadline);
+
+  // ---- watchdog ------------------------------------------------------------
+  // Stalls flagged by the watchdog so far (workers whose heartbeat did not
+  // advance for resilience.stall_deadline_ms during a run).
+  std::uint64_t stalls_detected() const noexcept {
+    return stalls_detected_.load(std::memory_order_acquire);
   }
 
   WorkerStats total_stats() const;
@@ -198,15 +320,50 @@ class Scheduler {
   friend class Worker;
   friend class TaskGroup;
 
+  enum class SlotState : std::uint8_t { kEmpty = 0, kLive, kRetiring, kDead };
+  static constexpr std::size_t kNoStealHint = static_cast<std::size_t>(-1);
+
   void run_root(Job* root);
-  void worker_main(std::size_t id);
+  void worker_main(std::size_t slot, std::uint64_t initial_epoch);
   void work_loop(Worker& w);
+  void watchdog_main();
+  // The next three require mu_ held.
+  void activate_slot(std::size_t slot, std::uint64_t generation);
+  void exit_slot(std::size_t slot);
+  bool all_live_entered() const;
+  void join_workers();
 
   bool done() const noexcept {
     return done_.load(std::memory_order_acquire);
   }
 
+  SlotState slot_state(std::size_t slot) const noexcept {
+    return static_cast<SlotState>(
+        slot_state_[slot].value.load(std::memory_order_relaxed));
+  }
+
+  // Called by TaskGroup::on_complete after its final pending_ decrement.
+  // Deliberately touches only scheduler state: the decremented group may
+  // already be destroyed by its waiter. seq_cst pairs with the waiter's
+  // registration in TaskGroup::park (see the parking comment there).
+  void notify_parked() noexcept {
+    if (parked_waiters_.load(std::memory_order_seq_cst) == 0) return;
+    // Lost-wakeup defense: the waiter re-checks its pending count under
+    // park_mu_ before sleeping, so passing through the (empty) critical
+    // section orders this completion against any in-flight park decision.
+    { std::lock_guard<std::mutex> lk(park_mu_); }
+    park_cv_.notify_all();
+  }
+
   SchedulerOptions opts_;
+  std::size_t max_workers_ = 0;        // slot capacity; fixed at construction
+  bool watchdog_enabled_ = false;      // plain: set once in the constructor
+  bool steal_backoff_enabled_ = false;  // plain: set once in the constructor
+
+  // Per-slot state, preallocated to max_workers_ so membership changes
+  // never reallocate under concurrent readers. deques_/workers_ slots stay
+  // null until first activation and are never freed while the scheduler
+  // lives (dead slots remain valid steal victims).
   std::vector<std::unique_ptr<PolyDeque<Job*>>> deques_;
   std::vector<PaddedWorkerStats> stats_;
 #if ABP_TRACE_ENABLED
@@ -215,6 +372,24 @@ class Scheduler {
 #endif
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
+  std::vector<CacheAligned<std::atomic<std::uint8_t>>> slot_state_;
+  std::vector<CacheAligned<std::atomic<std::uint64_t>>> heartbeats_;
+  std::vector<std::uint64_t> seen_epoch_;  // guarded by mu_
+
+  std::atomic<std::size_t> slot_count_{0};     // slots ever activated
+  std::atomic<std::size_t> live_workers_{0};
+  std::atomic<std::uint64_t> membership_epoch_{0};
+  std::atomic<std::size_t> steal_hint_{kNoStealHint};  // watchdog re-target
+  std::atomic<std::uint64_t> stalls_detected_{0};
+
+  CancelSource cancel_;
+
+  // Parking slow path (TaskGroup::park / notify_parked). Scheduler-owned so
+  // completers never touch group memory after the group may be destroyed;
+  // shared across groups — waiters re-check their own pending count on wake.
+  std::atomic<std::uint32_t> parked_waiters_{0};
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
 
   std::atomic<Job*> root_job_{nullptr};
   std::atomic<bool> done_{true};
@@ -223,11 +398,22 @@ class Scheduler {
   std::condition_variable cv_workers_;
   std::condition_variable cv_main_;
   std::uint64_t epoch_ = 0;
-  std::size_t parked_ = 0;
-  bool shutdown_ = false;
+  std::size_t active_in_epoch_ = 0;          // workers inside work_loop
+  std::uint64_t membership_generation_ = 0;  // reseeds respawned workers
+  bool shutdown_ = false;  // workers exit at next park; set by dtor/shutdown
+  bool stopped_ = false;   // run()/add_worker() refused; set by shutdown()
+
+  std::thread watchdog_thread_;
+  std::mutex wd_mu_;
+  std::condition_variable wd_cv_;
+  bool wd_stop_ = false;
 };
 
 // ---- inline implementations ------------------------------------------------
+
+inline bool Worker::cancelled() const noexcept {
+  return sched_->cancel_requested();
+}
 
 inline void Worker::push(Job* j) {
   // The ABP deque has fixed capacity; if a program spawns without bound,
@@ -239,9 +425,17 @@ inline void Worker::push(Job* j) {
     execute(j);
     return;
   }
+  WHEN_TRACE(const std::size_t depth_hint = deque_->size_hint();)
+  if (deque_->push_bottom_ex(j) != deque::PushStatus::kOk) {
+    // Growth failed (bad_alloc or a configured capacity bound): the typed
+    // status — instead of an exception unwinding the owner with a job in
+    // hand — lets us degrade exactly like the fixed-capacity overflow.
+    ++stats().alloc_fail_inline_runs;
+    execute(j);
+    return;
+  }
   ++stats().spawns;
-  WHEN_TRACE(ring_->record(obs::EventType::kSpawn, deque_->size_hint());)
-  deque_->push_bottom(j);
+  WHEN_TRACE(ring_->record(obs::EventType::kSpawn, depth_hint);)
 }
 
 inline Job* Worker::pop_bottom() {
@@ -260,7 +454,17 @@ inline Job* Worker::try_steal() {
   const std::size_t p = s.num_workers();
   ++stats().steal_attempts;
   WHEN_TRACE(const std::uint64_t t0 = obs::rdtsc();)
-  const auto victim = static_cast<std::size_t>(rng_.below(p));
+  std::size_t victim = static_cast<std::size_t>(rng_.below(p));
+  bool hinted = false;
+  if (s.watchdog_enabled_) {
+    // Prefer the deque the watchdog flagged as stalled, so a descheduled
+    // worker's jobs drain while it is gone.
+    const std::size_t hint = s.steal_hint_.load(std::memory_order_acquire);
+    if (hint != Scheduler::kNoStealHint && hint < p && hint != id_) {
+      victim = hint;
+      hinted = true;
+    }
+  }
   WHEN_TRACE(ring_->record_at(t0, obs::EventType::kStealAttempt, victim);)
   if (victim == id_) {
     // Own deque is empty (we are a thief); counts as an empty victim.
@@ -272,6 +476,7 @@ inline Job* Worker::try_steal() {
   auto r = s.deques_[victim]->pop_top_ex();
   switch (r.status) {
     case deque::PopTopStatus::kSuccess: {
+      if (s.steal_backoff_enabled_) steal_backoff_.reset();
       ++stats().steals;
       WHEN_TRACE({
         const std::uint64_t latency = obs::rdtsc() - t0;
@@ -287,19 +492,47 @@ inline Job* Worker::try_steal() {
     case deque::PopTopStatus::kLostRace:
       ++stats().steal_cas_failures;
       WHEN_TRACE(ring_->record(obs::EventType::kStealAbortCas, victim);)
+      // §3's yield discipline applied to CAS contention: persistent loss
+      // means some other process needs the processor more than we do.
+      if (s.steal_backoff_enabled_ && steal_backoff_.step())
+        ++stats().backoff_yields;
       return nullptr;
     case deque::PopTopStatus::kEmpty:
       break;
   }
+  if (hinted) {
+    // The stalled worker's deque is drained; retire the hint (unless the
+    // watchdog has already re-pointed it at a different slot).
+    std::size_t expected = victim;
+    s.steal_hint_.compare_exchange_strong(expected, Scheduler::kNoStealHint,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed);
+  }
+  if (s.steal_backoff_enabled_) steal_backoff_.reset();
   ++stats().steal_empty_victim;
   WHEN_TRACE(ring_->record(obs::EventType::kStealAbortEmpty, victim);)
   return nullptr;
 }
 
 inline void Worker::execute(Job* j) {
-  ++stats().jobs_executed;
   TaskGroup* group = j->group;
   const bool pooled = j->pooled;
+  if (group != nullptr && sched_->cancel_requested()) {
+    // Cancellation is quantized at job boundaries: this job never starts,
+    // its closure is destroyed, and its group observes CancelledError so
+    // wait() reports a typed error instead of silently dropping work. The
+    // root job (group == nullptr) always runs — it owns the done flag.
+    ++stats().cancelled_jobs;
+    WHEN_TRACE(ring_->record(obs::EventType::kJobCancelled);)
+    j->destroy();
+    if (pooled) pool_.free(j);
+    group->capture_exception(
+        std::make_exception_ptr(CancelledError(sched_->cancel_reason())));
+    CHAOS_POINT("sched.exec.pre_complete");
+    group->on_complete();
+    return;
+  }
+  ++stats().jobs_executed;
   WHEN_TRACE(const std::uint64_t t0 = obs::rdtsc();
              ring_->record_at(t0, obs::EventType::kJobBegin);)
   j->run(*this);
@@ -309,7 +542,13 @@ inline void Worker::execute(Job* j) {
     telemetry_->value.job_run.record(dt);
   })
   if (pooled) pool_.free(j);
-  if (group != nullptr) group->on_complete();
+  if (group != nullptr) {
+    // The lost-wakeup window: the job ran but its completion is not yet
+    // visible to a parking waiter. Chaos stalls here to prove the parking
+    // protocol tolerates an arbitrarily slow completer.
+    CHAOS_POINT("sched.exec.pre_complete");
+    group->on_complete();
+  }
 }
 
 inline void Worker::yield_between_steals() {
@@ -349,16 +588,63 @@ inline void TaskGroup::spawn(F&& f) {
 
 inline void TaskGroup::drain() {
   Worker& w = worker_;
+  const std::uint32_t park_after =
+      w.scheduler().options().resilience.park_after_failed_steals;
+  std::uint32_t consecutive_failures = 0;
   while (pending_.load(std::memory_order_acquire) != 0) {
     if (Job* j = w.pop_bottom()) {
       w.execute(j);
+      consecutive_failures = 0;
       continue;
     }
     // Own deque empty: help by stealing, with the configured yield first
     // (Figure 3, lines 14-17).
     w.yield_between_steals();
-    if (Job* j = w.try_steal()) w.execute(j);
+    if (Job* j = w.try_steal()) {
+      w.execute(j);
+      consecutive_failures = 0;
+      continue;
+    }
+    if (park_after != 0 && ++consecutive_failures >= park_after) {
+      park();
+      consecutive_failures = 0;
+    }
   }
+}
+
+inline void TaskGroup::on_complete() noexcept {
+  // Grab the scheduler *before* the decrement: the instant pending_ hits
+  // zero the waiter may return from drain() and destroy this group, so the
+  // fetch_sub below must be the completer's last access to group memory.
+  // seq_cst (not acq_rel) pairs with the waiter's seq_cst registration in
+  // park(): either we see the registered waiter and notify, or the waiter's
+  // re-check sees our zero and never sleeps (store-buffering guarantee).
+  Scheduler* s = &worker_.scheduler();
+  const std::int64_t left =
+      pending_.fetch_sub(1, std::memory_order_seq_cst) - 1;
+  if (left == 0) s->notify_parked();
+}
+
+inline void TaskGroup::park() {
+  Worker& w = worker_;
+  Scheduler& s = w.scheduler();
+  s.parked_waiters_.fetch_add(1, std::memory_order_seq_cst);
+  // The lost-wakeup window under test: the last child may complete right
+  // here, between the drain loop's pending check and the sleep below. The
+  // re-check of pending_ under the scheduler's park mutex (paired with the
+  // completer's empty critical section in notify_parked) closes it.
+  CHAOS_POINT("taskgroup.wait.pre_park");
+  {
+    std::unique_lock<std::mutex> lk(s.park_mu_);
+    if (pending_.load(std::memory_order_seq_cst) != 0) {
+      ++w.stats().parks;
+      WHEN_TRACE(w.trace().record(obs::EventType::kPark);)
+      s.park_cv_.wait_for(
+          lk, std::chrono::microseconds(
+                  s.options().resilience.park_timeout_us));
+    }
+  }
+  s.parked_waiters_.fetch_sub(1, std::memory_order_release);
 }
 
 inline void TaskGroup::wait() {

@@ -26,6 +26,11 @@ struct WorkerStats {
   std::uint64_t steal_empty_victim = 0;
   std::uint64_t yields = 0;
   std::uint64_t overflow_inline_runs = 0;
+  // Resilience-layer counters (all zero when the layer is idle).
+  std::uint64_t cancelled_jobs = 0;        // jobs skipped after a cancel
+  std::uint64_t parks = 0;                 // TaskGroup::wait cv parks
+  std::uint64_t alloc_fail_inline_runs = 0;  // pushBottom kAllocFailed
+  std::uint64_t backoff_yields = 0;        // steal-CAS backoff escalations
 
   void reset() { *this = WorkerStats{}; }
 
@@ -39,6 +44,10 @@ struct WorkerStats {
     steal_empty_victim += o.steal_empty_victim;
     yields += o.yields;
     overflow_inline_runs += o.overflow_inline_runs;
+    cancelled_jobs += o.cancelled_jobs;
+    parks += o.parks;
+    alloc_fail_inline_runs += o.alloc_fail_inline_runs;
+    backoff_yields += o.backoff_yields;
     return *this;
   }
 };

@@ -27,7 +27,12 @@ RunMetrics run_work_stealer(const dag::Dag& d, sim::Kernel& kernel,
     kernel.attach_timeline(opts.timeline);
   RunMetrics out;
 
+  bool cancelled = false;
   while (!engine.done()) {
+    if (opts.cancel.cancelled()) {  // stop at a round boundary
+      cancelled = true;
+      break;
+    }
     if (engine.rounds_run() >= opts.max_rounds) break;  // starved
     engine.round(kernel.schedule(engine.rounds_run() + 1, engine.views()));
 
@@ -51,6 +56,8 @@ RunMetrics run_work_stealer(const dag::Dag& d, sim::Kernel& kernel,
   std::string structural = std::move(out.structural_violation);
   out = engine.metrics();
   out.structural_violation = std::move(structural);
+  out.cancelled = cancelled;
+  if (cancelled) out.completed = false;
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include "sim/exec.hpp"
 #include "sim/kernel.hpp"
 #include "sim/yield.hpp"
+#include "support/cancel.hpp"
 
 namespace abp::sched {
 
@@ -80,10 +81,16 @@ struct Options {
   // Additionally sample the potential Φ of §4.2 each round (stored as
   // log10 Φ). O(nodes held) per round — simulation-sized runs only.
   bool sample_potential = false;
+  // Cooperative cancellation, checked between rounds: a fired token stops
+  // the simulation at the next round boundary (RunMetrics::cancelled).
+  // Default-constructed = never cancelled.
+  CancelToken cancel{};
 };
 
 struct RunMetrics {
   bool completed = false;  // false: hit max_rounds (e.g. starved, no yield)
+                           // or the run was cancelled
+  bool cancelled = false;  // the Options::cancel token fired mid-run
   sim::Round length = 0;
   std::uint64_t total_scheduled = 0;
   double processor_average = 0.0;

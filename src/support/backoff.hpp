@@ -37,4 +37,38 @@ class Backoff {
   std::uint32_t max_spins_;
 };
 
+// Bounded exponential backoff with yield escalation — the §3 yield
+// discipline applied to steal-CAS contention. While under the spin bound
+// the caller keeps its processor (contention is probably transient: another
+// thief winning a race); once the bound is reached every further step
+// *yields*, on the paper's reasoning that persistent CAS failure means some
+// other process needs the processor more than this spinning thief does
+// (e.g. a preempted victim owner). The escalation is sticky until reset(),
+// so a thief that has proven the deque contended stops burning cycles.
+class YieldingBackoff {
+ public:
+  explicit YieldingBackoff(std::uint32_t max_spins = 256) noexcept
+      : max_spins_(max_spins) {}
+
+  // One failure step. Returns true when the step escalated to a yield
+  // (callers may count these separately from their policy yields).
+  bool step() noexcept {
+    if (spins_ <= max_spins_) {
+      for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+      spins_ *= 2;
+      return false;
+    }
+    std::this_thread::yield();
+    return true;
+  }
+
+  bool saturated() const noexcept { return spins_ > max_spins_; }
+
+  void reset() noexcept { spins_ = 1; }
+
+ private:
+  std::uint32_t spins_ = 1;
+  std::uint32_t max_spins_;
+};
+
 }  // namespace abp

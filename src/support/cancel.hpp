@@ -1,0 +1,135 @@
+#pragma once
+
+// Cooperative cancellation, shared by the real runtime (scheduler,
+// dag_engine) and the round-based simulator (sched::run_work_stealer).
+//
+// The paper's kernel may deny processors forever, but our own callers also
+// need to *stop* a computation: a deadline passed, a watchdog fired, a
+// shutdown began. Cancellation here is cooperative and quantized at job
+// boundaries — a request never interrupts a running job; executors observe
+// the flag before starting the next unit of work and convert the remainder
+// of the computation into typed CancelledError results. This keeps the
+// exactly-once story intact: every job either ran or is reported cancelled,
+// never silently dropped.
+//
+// CancelSource owns the flag; CancelToken is a cheap copyable observer. A
+// default-constructed token is "never cancelled" and costs one pointer test
+// to poll, so APIs can take a token unconditionally.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace abp {
+
+enum class CancelReason : std::uint8_t {
+  kNone = 0,
+  kUser,      // an explicit request_cancel() / source.request()
+  kDeadline,  // a deadline or timeout elapsed (e.g. Scheduler::shutdown)
+  kWatchdog,  // stall-recovery machinery gave up on the computation
+};
+
+constexpr const char* to_string(CancelReason r) noexcept {
+  switch (r) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kUser: return "user";
+    case CancelReason::kDeadline: return "deadline";
+    case CancelReason::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+// The typed error surfaced at wait()/get()/run() when a computation was
+// cancelled instead of completing.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(CancelReason reason)
+      : std::runtime_error(std::string("computation cancelled (") +
+                           to_string(reason) + ")"),
+        reason_(reason) {}
+  CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+// Shared state between a source and its tokens. The first request wins;
+// the reason is immutable once set.
+class CancelState {
+ public:
+  bool requested() const noexcept {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<std::uint8_t>(CancelReason::kNone);
+  }
+
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_acquire));
+  }
+
+  // Returns true if this call transitioned the state (first request).
+  bool request(CancelReason r) noexcept {
+    std::uint8_t expected = static_cast<std::uint8_t>(CancelReason::kNone);
+    return reason_.compare_exchange_strong(
+        expected, static_cast<std::uint8_t>(r), std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+  }
+
+  // Re-arms the state for a new scope (e.g. the scheduler's next run()).
+  // Callers must quiesce executors first; this is not a concurrent undo.
+  void reset() noexcept {
+    reason_.store(static_cast<std::uint8_t>(CancelReason::kNone),
+                  std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint8_t> reason_{
+      static_cast<std::uint8_t>(CancelReason::kNone)};
+};
+
+// Copyable observer handle. Default-constructed = never cancelled.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(std::shared_ptr<const CancelState> state)
+      : state_(std::move(state)) {}
+
+  bool cancellable() const noexcept { return state_ != nullptr; }
+
+  bool cancelled() const noexcept {
+    return state_ != nullptr && state_->requested();
+  }
+
+  CancelReason reason() const noexcept {
+    return state_ != nullptr ? state_->reason() : CancelReason::kNone;
+  }
+
+  void throw_if_cancelled() const {
+    if (cancelled()) throw CancelledError(state_->reason());
+  }
+
+ private:
+  std::shared_ptr<const CancelState> state_;
+};
+
+// Owner handle: create, hand out tokens, request.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<CancelState>()) {}
+
+  CancelToken token() const { return CancelToken(state_); }
+
+  bool request(CancelReason r = CancelReason::kUser) noexcept {
+    return state_->request(r);
+  }
+
+  bool requested() const noexcept { return state_->requested(); }
+  CancelReason reason() const noexcept { return state_->reason(); }
+  void reset() noexcept { state_->reset(); }
+
+ private:
+  std::shared_ptr<CancelState> state_;
+};
+
+}  // namespace abp

@@ -1,0 +1,196 @@
+// Adversarial-kernel soak for the resilience layer (the ISSUE's acceptance
+// gate): seeded worker suspensions and kills injected into the real
+// scheduler must leave every submitted job delivered exactly once, or
+// surface a typed error at the wait boundary — never a hang, never a lost
+// job. Round counts are scaled down under sanitizers (chaos_driver.hpp)
+// but the release totals across the four scenarios exceed the 10k-round
+// acceptance floor.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "chaos/chaos.hpp"
+#include "chaos/policy.hpp"
+#include "chaos_driver.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace abp {
+namespace {
+
+using namespace std::chrono_literals;
+using std::chrono::steady_clock;
+
+static_assert(ABP_CHAOS_ENABLED,
+              "the chaos suite requires -DABP_CHAOS=ON (see CMakeLists)");
+
+std::size_t scaled(std::size_t release_rounds) {
+  const std::size_t r = release_rounds / chaostest::kSanitizerRoundScale;
+  return r == 0 ? 1 : r;
+}
+
+// Runs one fork-join round of `jobs` counter jobs and returns the count
+// observed at wait() — exactly-once delivery means the count equals jobs.
+int counting_round(runtime::Scheduler& s, int jobs) {
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < jobs; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        n.fetch_add(1, std::memory_order_relaxed);
+      });
+    tg.wait();
+  });
+  return n.load(std::memory_order_relaxed);
+}
+
+// Scenario A — suspensions. The kernel repeatedly de-schedules workers for
+// random 1-200us intervals at the steal-iteration point (§2's adversary).
+// Suspension never loses a claimed job, so every round must count exactly;
+// one scope spans all rounds so late rounds see a well-mixed RNG stream.
+TEST(ChaosResilience, SuspendSoakDeliversExactlyOnce) {
+  chaos::WorkerSuspendPolicy::Config cfg;
+  cfg.p_suspend = 0.02;
+  cfg.min_us = 1;
+  cfg.max_us = 200;
+  auto policy = std::make_shared<chaos::WorkerSuspendPolicy>(cfg);
+  chaos::ChaosScope scope(policy, 0x50f7u);
+
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+
+  const std::size_t rounds = scaled(6000);
+  for (std::size_t r = 0; r < rounds; ++r)
+    ASSERT_EQ(counting_round(s, 8), 8) << "round " << r;
+  EXPECT_GT(policy->suspensions(), 0u);
+}
+
+// Scenario B — kills with replenishment. Each round arms a fresh one-kill
+// policy under a new seed; a kill at the job-boundary point (the only
+// kill-safe site) orphans the dead worker's deque, which stays in the
+// victim set and is drained by the survivors. With two live workers and a
+// one-kill budget total loss is impossible, so every round must count
+// exactly; dead slots are replenished via add_worker between rounds.
+TEST(ChaosResilience, KillSoakDeliversExactlyOnceWithReplenishment) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.resilience.max_workers = 4;
+  runtime::Scheduler s(o);
+
+  const std::size_t rounds = scaled(4000);
+  std::uint64_t total_kills = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    chaos::WorkerKillPolicy::Config cfg;
+    cfg.p_kill = 0.05;
+    cfg.max_kills = 1;
+    auto policy = std::make_shared<chaos::WorkerKillPolicy>(cfg);
+    {
+      chaos::ChaosScope scope(policy, 0x4b11u + r);
+      bool all_lost = false;
+      int n = 0;
+      try {
+        n = counting_round(s, 8);
+      } catch (const runtime::AllWorkersLostError&) {
+        all_lost = true;  // unreachable with 2 live and budget 1; keep typed
+      }
+      ASSERT_FALSE(all_lost) << "round " << r;
+      ASSERT_EQ(n, 8) << "round " << r;
+    }
+    total_kills += policy->kills();
+    while (s.live_workers() < 2) s.add_worker();
+  }
+  EXPECT_GT(total_kills, 0u);
+}
+
+// Scenario C — total loss. p_kill = 1 with a two-kill budget deterministically
+// kills both workers at their first thief iteration, before either can claim
+// the root: run() must surface the typed AllWorkersLostError (no hang, no
+// partial count), and the scheduler must stay reusable after replenishment.
+TEST(ChaosResilience, KillAllSurfacesTypedErrorNoHang) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.resilience.max_workers = 4;
+  runtime::Scheduler s(o);
+
+  const std::size_t rounds = scaled(200);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    chaos::WorkerKillPolicy::Config cfg;
+    cfg.p_kill = 1.0;
+    cfg.max_kills = 2;
+    auto policy = std::make_shared<chaos::WorkerKillPolicy>(cfg);
+    {
+      chaos::ChaosScope scope(policy, 0xdeadu + r);
+      std::atomic<int> n{0};
+      EXPECT_THROW(
+          s.run([&](runtime::Worker& w) {
+            runtime::TaskGroup tg(w);
+            for (int i = 0; i < 8; ++i)
+              tg.spawn([&](runtime::Worker&) {
+                n.fetch_add(1, std::memory_order_relaxed);
+              });
+            tg.wait();
+          }),
+          runtime::AllWorkersLostError)
+          << "round " << r;
+      EXPECT_EQ(n.load(std::memory_order_relaxed), 0) << "round " << r;
+    }
+    EXPECT_EQ(policy->kills(), 2u) << "round " << r;
+    while (s.live_workers() < 2) s.add_worker();
+  }
+  // Still whole after repeated total losses.
+  EXPECT_EQ(counting_round(s, 8), 8);
+}
+
+// Scenario D — lost-wakeup regression for the parking protocol, chaos
+// form: a targeted stall pins every completer inside the completion window
+// ("sched.exec.pre_complete" — after the job ran, before on_complete), the
+// exact interval where a waiter that has just re-checked pending can go to
+// sleep. If the completer's notification could be lost the waiter would
+// burn its full 2s park timeout; with the re-check-under-park-mutex
+// handshake each round finishes in the stall time (~2ms) instead.
+TEST(ChaosResilience, ParkingSurvivesChaosStalledCompleter) {
+  chaos::TargetedPolicy::Config cfg;
+  cfg.point = "sched.exec.pre_complete";
+  cfg.action = chaos::Action::kSleep;
+  cfg.repeat = 2000;  // microseconds
+  cfg.every_n = 1;
+  chaos::ChaosScope scope(std::make_shared<chaos::TargetedPolicy>(cfg),
+                          0x9a23u);
+
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.resilience.park_after_failed_steals = 1;
+  o.resilience.park_timeout_us = 2'000'000;
+  runtime::Scheduler s(o);
+
+  const std::size_t rounds = scaled(1000);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    std::atomic<bool> started{false};
+    const auto t0 = steady_clock::now();
+    s.run([&](runtime::Worker& w) {
+      runtime::TaskGroup tg(w);
+      tg.spawn([&](runtime::Worker&) {
+        started.store(true, std::memory_order_release);
+      });
+      // Give the other worker a chance to take the job so this one parks.
+      const auto spin_deadline = steady_clock::now() + 10s;
+      while (!started.load(std::memory_order_acquire) &&
+             steady_clock::now() < spin_deadline) {
+        std::this_thread::yield();
+      }
+      tg.wait();
+    });
+    const auto elapsed = steady_clock::now() - t0;
+    ASSERT_LT(elapsed, 1s)
+        << "round " << r << ": waiter woke by park timeout, not notification";
+  }
+  EXPECT_GE(s.total_stats().parks, 1u);
+}
+
+}  // namespace
+}  // namespace abp

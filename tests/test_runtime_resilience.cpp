@@ -1,0 +1,643 @@
+// The resilience layer, without fault injection (the chaos-driven soak
+// lives in test_chaos_resilience.cpp): exception-safe jobs (throwing
+// leaves, nested groups, throw-after-steal, futures), typed dag-engine
+// failures and cancellation, simulator cancellation, dynamic worker
+// membership (add/retire, total-loss recovery), graceful shutdown with a
+// deadline, watchdog stall detection, lost-wakeup-safe parking, the
+// growable deque's typed allocation-failure path, and the bounded-growth
+// inline-run degradation in Worker::push.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "dag/builders.hpp"
+#include "deque/abp_growable_deque.hpp"
+#include "obs/export.hpp"
+#include "runtime/dag_engine.hpp"
+#include "runtime/future.hpp"
+#include "runtime/scheduler.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+#include "support/backoff.hpp"
+#include "support/cancel.hpp"
+
+namespace abp {
+namespace {
+
+using namespace std::chrono_literals;
+using std::chrono::steady_clock;
+
+// Polls `pred` (a quiesce condition owned by another thread) for up to
+// `budget`; returns whether it became true.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::milliseconds budget = 10'000ms) {
+  const auto deadline = steady_clock::now() + budget;
+  while (!pred()) {
+    if (steady_clock::now() > deadline) return false;
+    std::this_thread::yield();
+  }
+  return true;
+}
+
+// ---- support: cancellation primitives --------------------------------------
+
+TEST(Cancel, FirstRequestWinsAndTokensObserve) {
+  CancelSource src;
+  CancelToken token = src.token();
+  EXPECT_TRUE(token.cancellable());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kNone);
+
+  EXPECT_TRUE(src.request(CancelReason::kDeadline));
+  EXPECT_FALSE(src.request(CancelReason::kUser));  // first reason sticks
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), CancelReason::kDeadline);
+  EXPECT_THROW(token.throw_if_cancelled(), CancelledError);
+
+  src.reset();
+  EXPECT_FALSE(token.cancelled());
+
+  CancelToken never;  // default token: never cancelled, cheap to poll
+  EXPECT_FALSE(never.cancellable());
+  EXPECT_FALSE(never.cancelled());
+  never.throw_if_cancelled();  // no-op
+}
+
+TEST(Cancel, CancelledErrorCarriesReason) {
+  try {
+    throw CancelledError(CancelReason::kWatchdog);
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kWatchdog);
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+  }
+}
+
+// ---- support: yielding backoff ---------------------------------------------
+
+TEST(Backoff, YieldingBackoffEscalatesThenResets) {
+  YieldingBackoff b(4);  // saturates after spins 1,2,4 (next would be 8 > 4)
+  EXPECT_FALSE(b.saturated());
+  int spins = 0;
+  while (!b.step()) ++spins;  // spin steps until the first yield step
+  EXPECT_EQ(spins, 3);
+  EXPECT_TRUE(b.saturated());
+  EXPECT_TRUE(b.step());  // escalation is sticky
+  b.reset();
+  EXPECT_FALSE(b.saturated());
+  EXPECT_FALSE(b.step());  // back to spinning
+}
+
+// ---- deque: typed allocation failure ---------------------------------------
+
+TEST(GrowableDeque, BoundedGrowthReportsAllocFailed) {
+  EXPECT_STREQ(deque::to_string(deque::PushStatus::kOk), "ok");
+  EXPECT_STREQ(deque::to_string(deque::PushStatus::kAllocFailed),
+               "alloc-failed");
+
+  deque::AbpGrowableDeque<std::uint32_t> dq(4, /*max_capacity=*/8);
+  for (std::uint32_t i = 0; i < 8; ++i)
+    ASSERT_EQ(dq.push_bottom_ex(i), deque::PushStatus::kOk) << i;
+  // The next push needs a grow past max_capacity: typed refusal...
+  EXPECT_EQ(dq.push_bottom_ex(99), deque::PushStatus::kAllocFailed);
+  // ...and the throwing wrapper surfaces the same failure as bad_alloc.
+  EXPECT_THROW(dq.push_bottom(100), std::bad_alloc);
+
+  // The failure mutated nothing: all eight items come back in LIFO order.
+  for (int i = 7; i >= 0; --i) {
+    const auto v = dq.pop_bottom();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_FALSE(dq.pop_bottom().has_value());
+}
+
+// A scheduler over the bounded growable deque degrades to inline runs when
+// growth fails, and still executes every job exactly once.
+TEST(SchedulerResilience, AllocFailureDegradesToInlineRuns) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 1;
+  o.deque = runtime::DequePolicy::kAbpGrowable;
+  o.deque_capacity = 4;
+  o.deque_max_capacity = 8;
+  runtime::Scheduler s(o);
+
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 64; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        n.fetch_add(1, std::memory_order_relaxed);
+      });
+    tg.wait();
+  });
+
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 64);
+  EXPECT_GT(s.total_stats().alloc_fail_inline_runs, 0u);
+}
+
+// ---- exception-safe jobs ---------------------------------------------------
+
+TEST(SchedulerResilience, LeafThrowRethrownAtWaitAndGroupReusable) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+
+  bool caught = false;
+  std::atomic<int> after{0};
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    tg.spawn([](runtime::Worker&) {
+      throw std::runtime_error("leaf boom");
+    });
+    try {
+      tg.wait();
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "leaf boom");
+    }
+    // The group reset its exception slot at wait(): it is reusable.
+    tg.spawn([&](runtime::Worker&) {
+      after.fetch_add(1, std::memory_order_relaxed);
+    });
+    tg.wait();
+  });
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(after.load(std::memory_order_relaxed), 1);
+}
+
+TEST(SchedulerResilience, SiblingsStillRunWhenOneThrows) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 3;
+  runtime::Scheduler s(o);
+
+  std::atomic<int> ran{0};
+  bool caught = false;
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 50; ++i) {
+      tg.spawn([&, i](runtime::Worker&) {
+        if (i == 25) throw std::runtime_error("sibling 25 boom");
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    try {
+      tg.wait();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  });
+  EXPECT_TRUE(caught);
+  // Exceptions are captured, not used to cancel siblings: all 49 ran.
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 49);
+}
+
+TEST(SchedulerResilience, InteriorThrowPropagatesThroughNestedGroups) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+
+  bool caught = false;
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup outer(w);
+    outer.spawn([](runtime::Worker& w2) {
+      runtime::TaskGroup inner(w2);
+      inner.spawn([](runtime::Worker&) {
+        throw std::runtime_error("inner boom");
+      });
+      inner.wait();  // rethrows inside the interior job...
+    });
+    try {
+      outer.wait();  // ...which captures into the outer group
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "inner boom");
+    }
+  });
+  EXPECT_TRUE(caught);
+}
+
+// A job that throws *after being stolen* propagates across workers: the
+// exception is captured on the thief and rethrown at the spawner's wait().
+TEST(SchedulerResilience, StolenJobThrowPropagatesToSpawner) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+
+  std::atomic<std::size_t> runner{static_cast<std::size_t>(-1)};
+  bool caught = false;
+  bool stolen = false;
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    tg.spawn([&](runtime::Worker& w2) {
+      runner.store(w2.id(), std::memory_order_release);
+      throw std::runtime_error("stolen boom");
+    });
+    // Hold off wait() until a thief has taken the job out of our deque, so
+    // the rethrow demonstrably crosses threads. (Bounded: if the host never
+    // schedules the thief we fall through and the test still checks the
+    // rethrow, just not the cross-thread part.)
+    stolen = eventually([&] {
+      return runner.load(std::memory_order_acquire) !=
+             static_cast<std::size_t>(-1);
+    });
+    if (stolen) EXPECT_NE(runner.load(std::memory_order_acquire), w.id());
+    try {
+      tg.wait();
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "stolen boom");
+    }
+  });
+  EXPECT_TRUE(caught);
+  EXPECT_TRUE(stolen);
+}
+
+TEST(SchedulerResilience, RootThrowRethrownFromRun) {
+  runtime::Scheduler s(runtime::SchedulerOptions{});
+  EXPECT_THROW(
+      s.run([](runtime::Worker&) { throw std::runtime_error("root boom"); }),
+      std::runtime_error);
+  // The scheduler survives: the next run works.
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker&) { n.store(1, std::memory_order_relaxed); });
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 1);
+}
+
+TEST(SchedulerResilience, FutureValueAndException) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+
+  s.run([&](runtime::Worker& w) {
+    runtime::Future<int> ok(w, [](runtime::Worker&) { return 42; });
+    EXPECT_EQ(ok.get(), 42);
+    EXPECT_TRUE(ok.ready());
+
+    runtime::Future<int> bad(w, [](runtime::Worker&) -> int {
+      throw std::runtime_error("future boom");
+    });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+
+    runtime::Future<void> done(w, [](runtime::Worker&) {});
+    done.get();
+  });
+}
+
+// ---- cancellation ----------------------------------------------------------
+
+TEST(SchedulerResilience, CancelSkipsJobsWithTypedErrorAndResets) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+
+  std::atomic<int> ran{0};
+  bool caught = false;
+  CancelReason reason = CancelReason::kNone;
+  s.run([&](runtime::Worker& w) {
+    w.scheduler().request_cancel();  // raised before any child starts
+    EXPECT_TRUE(w.cancelled());
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 8; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    try {
+      tg.wait();
+    } catch (const CancelledError& e) {
+      caught = true;
+      reason = e.reason();
+    }
+  });
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(reason, CancelReason::kUser);
+  // Exactly-once accounting under cancellation: nothing ran, everything
+  // was delivered as a typed cancellation.
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(s.total_stats().cancelled_jobs, 8u);
+
+  // run() re-arms the flag: the scheduler is reusable after a cancel.
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker& w) {
+    EXPECT_FALSE(w.cancelled());
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 8; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        n.fetch_add(1, std::memory_order_relaxed);
+      });
+    tg.wait();
+  });
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 8);
+}
+
+// ---- dag engine: typed failures and cancellation ---------------------------
+
+TEST(DagEngineResilience, NodeThrowCapturedWithFailedNode) {
+  const auto d = dag::chain(60);
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  const auto r = runtime::run_dag(d, o, /*spin_per_node=*/0, CancelToken{},
+                                  [](dag::NodeId id) {
+                                    if (id == 25)
+                                      throw std::runtime_error("node 25 boom");
+                                  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.status, runtime::DagRunStatus::kNodeFailed);
+  EXPECT_EQ(r.failed_node, dag::NodeId{25});
+  EXPECT_TRUE(static_cast<bool>(r.error));
+  EXPECT_LT(r.executed_nodes, 60u);  // the failed node's children never ran
+  EXPECT_THROW(r.rethrow(), std::runtime_error);
+  EXPECT_STREQ(runtime::to_string(r.status), "node-failed");
+}
+
+TEST(DagEngineResilience, CancelStopsAtNodeBoundaries) {
+  CancelSource src;
+  const auto d = dag::chain(500);
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  const auto r = runtime::run_dag(d, o, /*spin_per_node=*/0, src.token(),
+                                  [&](dag::NodeId id) {
+                                    if (id == 20) src.request();
+                                  });
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.status, runtime::DagRunStatus::kCancelled);
+  EXPECT_EQ(r.cancel_reason, CancelReason::kUser);
+  EXPECT_GT(r.executed_nodes, 0u);
+  EXPECT_LT(r.executed_nodes, 500u);
+  EXPECT_THROW(r.rethrow(), CancelledError);
+  EXPECT_STREQ(runtime::to_string(r.status), "cancelled");
+}
+
+TEST(DagEngineResilience, CompletedRunRethrowIsNoop) {
+  const auto d = dag::chain(10);
+  runtime::SchedulerOptions o;
+  o.num_workers = 1;
+  const auto r = runtime::run_dag(d, o);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.status, runtime::DagRunStatus::kCompleted);
+  r.rethrow();  // must not throw
+}
+
+// ---- simulator cancellation ------------------------------------------------
+
+TEST(SimResilience, CancelStopsAtRoundBoundary) {
+  CancelSource src;
+  sched::Options opts;
+  opts.seed = 7;
+  opts.cancel = src.token();
+  opts.after_round = [&](const sched::EngineView& v) {
+    if (v.round >= 5) src.request();
+  };
+  sim::DedicatedKernel kernel(2);
+  const auto d = dag::random_series_parallel(3, 4000);
+  const auto m = sched::run_work_stealer(d, kernel, opts);
+  EXPECT_TRUE(m.cancelled);
+  EXPECT_FALSE(m.completed);
+  EXPECT_GE(m.length, 5u);
+  EXPECT_LT(m.executed_nodes, 4000u);
+}
+
+// ---- dynamic membership ----------------------------------------------------
+
+TEST(SchedulerResilience, AddWorkerIdleAndMidRun) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 1;
+  o.resilience.max_workers = 4;
+  runtime::Scheduler s(o);
+  EXPECT_EQ(s.num_workers(), 1u);
+  EXPECT_EQ(s.live_workers(), 1u);
+  EXPECT_EQ(s.max_workers(), 4u);
+
+  EXPECT_EQ(s.add_worker(), 1u);  // while idle
+  EXPECT_EQ(s.live_workers(), 2u);
+  EXPECT_EQ(s.num_workers(), 2u);
+
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 200; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        n.fetch_add(1, std::memory_order_relaxed);
+      });
+    EXPECT_EQ(w.scheduler().add_worker(), 2u);  // mid-run growth
+    tg.wait();
+  });
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 200);
+  EXPECT_EQ(s.live_workers(), 3u);
+  EXPECT_GE(s.membership_epoch(), 3u);
+}
+
+TEST(SchedulerResilience, RetireWorkerShrinksThePool) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 3;
+  runtime::Scheduler s(o);
+
+  EXPECT_FALSE(s.retire_worker(99));  // out of range
+  EXPECT_TRUE(s.retire_worker(1));
+  EXPECT_TRUE(eventually([&] { return s.live_workers() == 2; }));
+  EXPECT_FALSE(s.retire_worker(1));  // already gone
+
+  // The shrunken pool still completes work (the dead slot stays a valid,
+  // permanently-empty steal victim).
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 100; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        n.fetch_add(1, std::memory_order_relaxed);
+      });
+    tg.wait();
+  });
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 100);
+}
+
+TEST(SchedulerResilience, TotalWorkerLossIsTypedAndRecoverable) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 1;
+  o.resilience.max_workers = 2;
+  runtime::Scheduler s(o);
+
+  EXPECT_TRUE(s.retire_worker(0));
+  ASSERT_TRUE(eventually([&] { return s.live_workers() == 0; }));
+
+  // No workers: the root provably never runs, and run() says so.
+  EXPECT_THROW(s.run([](runtime::Worker&) {}), runtime::AllWorkersLostError);
+
+  // Replenish and the scheduler is whole again.
+  s.add_worker();
+  EXPECT_EQ(s.live_workers(), 1u);
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker&) { n.store(1, std::memory_order_relaxed); });
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 1);
+}
+
+// ---- graceful shutdown -----------------------------------------------------
+
+TEST(SchedulerResilience, ShutdownIdleDrainsAndStopsFurtherRuns) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+
+  const auto rep = s.shutdown(1000ms);
+  EXPECT_TRUE(rep.drained);
+  EXPECT_FALSE(rep.timed_out);
+  EXPECT_EQ(rep.abandoned_jobs, 0u);
+
+  EXPECT_THROW(s.run([](runtime::Worker&) {}), runtime::SchedulerStoppedError);
+  EXPECT_THROW(s.add_worker(), runtime::SchedulerStoppedError);
+  EXPECT_TRUE(s.shutdown(0ms).drained);  // idempotent
+}
+
+TEST(SchedulerResilience, ShutdownDeadlineReportsAbandonedJobs) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 1;
+  runtime::Scheduler s(o);
+
+  std::atomic<bool> sleeping{false};
+  std::atomic<int> ran{0};
+  bool got_cancelled = false;
+  CancelReason reason = CancelReason::kNone;
+  std::thread runner([&] {
+    try {
+      s.run([&](runtime::Worker& w) {
+        runtime::TaskGroup tg(w);
+        for (int i = 0; i < 8; ++i)
+          tg.spawn([&](runtime::Worker&) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+          });
+        // Pushed last = popped first by the single worker: it blocks with
+        // the eight quick jobs still queued behind it.
+        tg.spawn([&](runtime::Worker&) {
+          sleeping.store(true, std::memory_order_release);
+          std::this_thread::sleep_for(300ms);
+        });
+        tg.wait();
+      });
+    } catch (const CancelledError& e) {
+      got_cancelled = true;
+      reason = e.reason();
+    }
+  });
+
+  ASSERT_TRUE(eventually(
+      [&] { return sleeping.load(std::memory_order_acquire); }));
+  const auto rep = s.shutdown(10ms);  // expires while the sleeper blocks
+  EXPECT_TRUE(rep.timed_out);
+  EXPECT_FALSE(rep.drained);
+  EXPECT_EQ(rep.abandoned_jobs, 8u);  // the queued quick jobs
+
+  runner.join();
+  // The abandoned jobs were not lost: cancellation delivered each as a
+  // typed error at wait(), which run() rethrew.
+  EXPECT_TRUE(got_cancelled);
+  EXPECT_EQ(reason, CancelReason::kDeadline);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 0);
+  EXPECT_EQ(s.total_stats().cancelled_jobs, 8u);
+}
+
+// ---- watchdog --------------------------------------------------------------
+
+TEST(SchedulerResilience, WatchdogFlagsAStalledWorker) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.resilience.watchdog = true;
+  o.resilience.watchdog_poll_ms = 5;
+  o.resilience.stall_deadline_ms = 40;
+  runtime::Scheduler s(o);
+  EXPECT_EQ(s.stalls_detected(), 0u);
+
+  // The root worker's heartbeat goes quiet while its job blocks — the
+  // runtime analogue of the kernel descheduling a process mid-run.
+  s.run([](runtime::Worker&) { std::this_thread::sleep_for(200ms); });
+  EXPECT_GE(s.stalls_detected(), 1u);
+}
+
+// ---- parking ---------------------------------------------------------------
+
+// Lost-wakeup regression, timing form: the waiter parks with a long
+// timeout; if the completer's notification could be lost, the run would
+// take the full park timeout. (The chaos-stalled-completer variant, which
+// injects a stall *inside* the completion window, is in
+// test_chaos_resilience.cpp.)
+TEST(SchedulerResilience, ParkedWaiterWakesOnCompletionNotTimeout) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.resilience.park_after_failed_steals = 2;
+  o.resilience.park_timeout_us = 5'000'000;  // 5s: a lost wakeup costs this
+  runtime::Scheduler s(o);
+
+  std::atomic<bool> started{false};
+  const auto t0 = steady_clock::now();
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    tg.spawn([&](runtime::Worker&) {
+      started.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(100ms);
+    });
+    // Let the other worker steal the job so this one has nothing to do
+    // but park.
+    eventually([&] { return started.load(std::memory_order_acquire); });
+    tg.wait();
+  });
+  const auto elapsed = steady_clock::now() - t0;
+
+  EXPECT_TRUE(started.load(std::memory_order_acquire));
+  EXPECT_GE(s.total_stats().parks, 1u);
+  EXPECT_LT(elapsed, 3s) << "waiter woke by timeout, not by notification";
+}
+
+// ---- idle-hook accounting and observability --------------------------------
+
+TEST(SchedulerResilience, StealBackoffCompletesAndStatsBalance) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 4;
+  o.resilience.steal_backoff = true;
+  runtime::Scheduler s(o);
+
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 500; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        n.fetch_add(1, std::memory_order_relaxed);
+      });
+    tg.wait();
+  });
+  EXPECT_EQ(n.load(std::memory_order_relaxed), 500);
+  const auto t = s.total_stats();
+  EXPECT_EQ(t.steal_attempts,
+            t.steals + t.steal_cas_failures + t.steal_empty_victim);
+}
+
+TEST(SchedulerResilience, StatsJsonCarriesResilienceCounters) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  runtime::Scheduler s(o);
+  std::atomic<int> n{0};
+  s.run([&](runtime::Worker& w) {
+    runtime::TaskGroup tg(w);
+    for (int i = 0; i < 32; ++i)
+      tg.spawn([&](runtime::Worker&) {
+        n.fetch_add(1, std::memory_order_relaxed);
+      });
+    tg.wait();
+  });
+
+  const std::string json = s.stats_json();
+  std::string err;
+  EXPECT_TRUE(obs::json_validate(json, &err)) << err;
+  for (const char* key :
+       {"live_workers", "membership_epoch", "stalls_detected",
+        "cancelled_jobs", "parks", "alloc_fail_inline_runs",
+        "backoff_yields"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace abp
