@@ -1,0 +1,124 @@
+// Experiment E25 — throws vs steal policy (DESIGN.md §12). The ABP bound
+// charges every throw to the T∞·P/PA overhead term, so a policy that
+// avoids throws attacks the bound's constant directly. We run the full
+// (steal, victim) policy matrix over seeded ensembles on three workload
+// regimes and report mean throws normalized to the single/uniform
+// baseline of each workload:
+//
+//   * deep producer, busy consumers (wide 64x40, help-first spawning) —
+//     the steal-half regime: victims hold many long strands, one batch
+//     claim replaces up to 8 single steals;
+//   * producer-limited (wide 400x6, help-first) — the spine generates one
+//     strand per round, deques stay shallow, batching is near-neutral;
+//   * deep recursion (fib, work-first) — the penalty regime for BOTH
+//     layers: batching over-steals (a claim empties a victim whose owner
+//     then becomes a thief), and deterministic ring probing pays extra
+//     throws to find the few loaded deques even as it shortens the mean
+//     victim distance. The policy layer exists because no single policy
+//     wins everywhere; the default stays single/uniform, and the fib rows
+//     are reported, not gated (the statistical merge gate in
+//     tests/test_steal_bounds.cpp covers the bounded-slack claim).
+
+#include "bench_common.hpp"
+#include "support/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace abp;
+  using sched::SpawnOrder;
+  using sched::StealKind;
+  using sched::VictimKind;
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E25: bench_steal_policy", "DESIGN.md §12 (steal policies)",
+                "steal-half cuts mean throws >= 20% vs single stealing on "
+                "the deep-producer workload, and no victim heuristic "
+                "increases throws over the uniform draw on the "
+                "steal-friendly (help-first) workloads");
+
+  struct Workload {
+    const char* name;
+    dag::Dag d;
+    SpawnOrder order;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({"wide(64x40)/help-first", dag::wide(64, 40),
+                       SpawnOrder::kParent});
+  workloads.push_back({"wide(400x6)/help-first", dag::wide(400, 6),
+                       SpawnOrder::kParent});
+  workloads.push_back({"fib/work-first", dag::fib_dag(quick ? 13 : 16),
+                       SpawnOrder::kChild});
+
+  struct Policy {
+    const char* name;
+    StealKind steal;
+    VictimKind victim;
+  };
+  const std::vector<Policy> policies = {
+      {"single/uniform", StealKind::kSingle, VictimKind::kUniform},
+      {"single/nearest", StealKind::kSingle, VictimKind::kNearestNeighbor},
+      {"single/last", StealKind::kSingle, VictimKind::kLastVictim},
+      {"half/uniform", StealKind::kStealHalf, VictimKind::kUniform},
+      {"half/nearest", StealKind::kStealHalf, VictimKind::kNearestNeighbor},
+      {"half/last", StealKind::kStealHalf, VictimKind::kLastVictim},
+  };
+
+  const std::uint64_t seeds = quick ? 10 : 30;
+  const std::size_t p = 8;
+  Table t("Throws vs steal policy, dedicated kernel, P=8",
+          {"workload", "policy", "mean throws", "vs single/uniform",
+           "mean batch size", "mean victim dist"});
+  bool all_ok = true;
+  double headline_cut = 0.0;
+  for (const auto& w : workloads) {
+    double base_mean = 0.0;
+    for (const auto& pol : policies) {
+      OnlineStats throws, batch, dist;
+      for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+        sim::DedicatedKernel k(p);
+        sched::Options opts;
+        opts.yield = sim::YieldKind::kNone;
+        opts.spawn_order = w.order;
+        opts.steal = pol.steal;
+        opts.victim = pol.victim;
+        opts.seed = seed;
+        const auto m = sched::run_work_stealer(w.d, k, opts);
+        if (!m.completed) continue;
+        throws.add(double(m.steal_attempts));
+        if (m.batch_steals > 0)
+          batch.add(double(m.batch_stolen_items) / double(m.batch_steals));
+        if (m.successful_steals > 0)
+          dist.add(double(m.victim_distance_sum) /
+                   double(m.successful_steals));
+      }
+      if (pol.steal == StealKind::kSingle &&
+          pol.victim == VictimKind::kUniform)
+        base_mean = throws.mean();
+      const double rel = base_mean > 0.0 ? throws.mean() / base_mean : 1.0;
+      // Gate the victim heuristics on the help-first workloads only: the
+      // fib/work-first rows document the deep-recursion penalty regime
+      // (for ring probing as much as for batching) and are reported, not
+      // gated. The bounded-slack regression claim lives in
+      // tests/test_steal_bounds.cpp.
+      if (pol.steal == StealKind::kSingle && w.order == SpawnOrder::kParent)
+        all_ok = all_ok && rel <= 1.15;
+      if (pol.steal == StealKind::kStealHalf &&
+          pol.victim == VictimKind::kUniform &&
+          std::string(w.name) == "wide(64x40)/help-first")
+        headline_cut = 1.0 - rel;
+      t.add_row({w.name, pol.name, Table::num(throws.mean(), 0),
+                 Table::num(rel, 3), Table::num(batch.mean(), 2),
+                 Table::num(dist.mean(), 2)});
+    }
+  }
+  bench::emit(t, csv);
+  std::printf("\n(steal-half cut on the deep-producer workload: %.0f%% "
+              "fewer throws than single/uniform; the fib row shows the "
+              "over-steal penalty that keeps single/uniform the default.)\n",
+              headline_cut * 100.0);
+  all_ok = all_ok && headline_cut >= 0.20;
+  bench::verdict(all_ok,
+                 "steal-half >= 20% fewer throws on the deep-producer "
+                 "workload; no victim heuristic regresses single/uniform "
+                 "on the help-first workloads");
+  return 0;
+}

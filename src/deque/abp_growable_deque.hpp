@@ -21,6 +21,7 @@
 // of `bot` between resets, which for work-stealing usage is the maximum
 // number of simultaneously-live nodes pushed without fully draining.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -37,7 +38,10 @@
 
 namespace abp::deque {
 
-template <typename T>
+// `kBatchAblated` (chaos harness only, see BatchAblatedGrowableDeque
+// below) makes pop_top_batch claim its items but CAS-publish top+1 — the
+// seeded bug the differential fuzzer must catch.
+template <typename T, bool kBatchAblated = false>
 class AbpGrowableDeque {
   static_assert(std::is_trivially_copyable_v<T>);
   static_assert(std::atomic<T>::is_always_lock_free);
@@ -57,9 +61,15 @@ class AbpGrowableDeque {
   // it is reported exactly like an allocation failure, which gives tests a
   // deterministic way to exercise the push_bottom_ex degradation path and
   // gives deployments a way to cap per-worker memory.
+  // `enable_batch_steals` arms pop_top_batch AND the owner-side defended
+  // window in pop_bottom that makes it safe (see pop_top_batch). Deques
+  // that never see a batch thief keep the exact single-steal popBottom
+  // fast path.
   explicit AbpGrowableDeque(std::size_t initial_capacity = 64,
-                            std::size_t max_capacity = 0)
-      : max_capacity_(max_capacity) {
+                            std::size_t max_capacity = 0,
+                            bool enable_batch_steals = false)
+      : max_capacity_(max_capacity),
+        batch_steals_enabled_(enable_batch_steals) {
     auto first = std::make_unique<Buffer>(
         initial_capacity < 8 ? 8 : initial_capacity);
     // model-site: none(constructor; no concurrent readers exist yet)
@@ -143,6 +153,72 @@ class AbpGrowableDeque {
     return {std::nullopt, PopTopStatus::kLostRace};
   }
 
+  bool batch_steals_enabled() const noexcept { return batch_steals_enabled_; }
+
+  // Batched steal (steal-half): claims n = min(k, kMaxStealBatch,
+  // ceil(size/2)) items [top, top+n) with ONE age CAS — the same
+  // linearization point as pop_top, extended through the packed (tag, top)
+  // word by publishing top+n instead of top+1. items[0] is the item a
+  // single pop_top would have returned.
+  //
+  // Why one CAS on age suffices for n > 1: the owner removes items without
+  // touching age only while bot stays strictly above top; with batch
+  // steals enabled, popBottom first bumps the tag (defend_cas below)
+  // whenever it returns an item within kMaxStealBatch slots of the top it
+  // observed. A successful CAS here therefore proves no slot in
+  // [top, top+n) was popped or recycled between the item loads and the
+  // CAS — the same staleness argument as single pop_top, widened to the
+  // defended window. Precondition: enable_batch_steals was set.
+  PopTopBatchResult<T> pop_top_batch(std::size_t k) {
+    PopTopBatchResult<T> r;
+    ABP_ASSERT_MSG(batch_steals_enabled_,
+                   "pop_top_batch on a deque without the popBottom defense");
+    if (k == 0) return r;
+    CHAOS_POINT("deque.poptopbatch.pre_read");
+    // Acquire pairs with age's release sequence, as in pop_top.
+    // model-site: growable.pop_top_batch.age_load
+    const std::uint64_t old_age = age_.value.load(std::memory_order_acquire);
+    // seq_cst, stronger than pop_top's acquire: the claim WIDTH is computed
+    // from bot, so this load must order against the owner's seq_cst bot
+    // stores — a stale-high bot would let the claim extend past items the
+    // owner already took below the defended window.
+    // model-site: growable.pop_top_batch.bottom_load
+    const std::uint64_t local_bot = bot_.value.load(std::memory_order_seq_cst);
+    const std::uint64_t t = top_of(old_age);
+    if (local_bot <= t) {
+      r.status = PopTopStatus::kEmpty;
+      return r;
+    }
+    std::uint64_t take = (local_bot - t + 1) / 2;  // steal-half, round up
+    take = std::min<std::uint64_t>({take, k, kMaxStealBatch});
+    // Re-read after bot, as in pop_top: grow() copies [top, bot) so every
+    // claimed cell is present in whichever buffer we observe.
+    // model-site: growable.pop_top_batch.buffer_load
+    Buffer* buf = buf_.load(std::memory_order_acquire);
+    // Stale reads are rejected wholesale by the CAS: recycling any slot in
+    // the claimed range requires an age tag bump first.
+    // model-site: growable.pop_top_batch.item_load
+    for (std::uint64_t i = 0; i < take; ++i)
+      r.items[i] = buf->data[t + i].load(std::memory_order_relaxed);
+    // The ablation publishes a single-steal top while returning the whole
+    // claim: every item past the first stays stealable — double delivery.
+    const std::uint64_t advance = kBatchAblated ? 1 : take;
+    const std::uint64_t new_age = make_age(tag_of(old_age), t + advance);
+    std::uint64_t expected = old_age;
+    CHAOS_POINT("deque.poptopbatch.pre_cas");
+    // seq_cst: totally ordered against popBottom's bot-store / age-load
+    // window and the defend_cas, like the single-steal CAS.
+    // model-site: growable.pop_top_batch.cas
+    if (age_.value.compare_exchange_strong(expected, new_age,
+                                           std::memory_order_seq_cst)) {
+      r.count = static_cast<std::size_t>(take);
+      r.status = PopTopStatus::kSuccess;
+      return r;
+    }
+    r.status = PopTopStatus::kLostRace;
+    return r;
+  }
+
   std::optional<T> pop_bottom() {
     // Owner-only counter: reads back the owner's own latest store.
     // model-site: growable.pop_bottom.bottom_load
@@ -164,8 +240,40 @@ class AbpGrowableDeque {
     // seq_cst: must observe any steal that linearized before the bot
     // store above became visible (see abp_deque.hpp).
     // model-site: growable.pop_bottom.age_load
-    const std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
-    if (local_bot > top_of(old_age)) return node;
+    std::uint64_t old_age = age_.value.load(std::memory_order_seq_cst);
+    if (local_bot > top_of(old_age)) {
+      // Above top: the item is the owner's — unless a batch thief already
+      // read an (age, bot) pair that covers this slot. A batch CAS
+      // validates only (tag, top), so with batch steals enabled the owner
+      // must DEFEND the window [top, top+kMaxStealBatch): bump the tag
+      // before returning an item inside it, which fails every in-flight
+      // steal CAS (single or batch) that could claim the slot. Outside the
+      // window no batch can reach this slot (claims are capped at
+      // kMaxStealBatch items above top), so the fast path stands.
+      if (!batch_steals_enabled_ ||
+          local_bot - top_of(old_age) >= kMaxStealBatch) {
+        return node;
+      }
+      for (;;) {
+        const std::uint64_t defended =
+            make_age(tag_of(old_age) + 1, top_of(old_age));
+        std::uint64_t expected = old_age;
+        CHAOS_POINT("deque.popbottom.pre_defend_cas");
+        // seq_cst: arbitration point against the batch CAS on this word.
+        // model-site: growable.pop_bottom.defend_cas
+        if (age_.value.compare_exchange_strong(expected, defended,
+                                               std::memory_order_seq_cst)) {
+          return node;
+        }
+        // A steal moved the age word. top only grows within a tag, so the
+        // gap shrank: either the slot is still ours (re-defend) or the
+        // batch claimed it / emptied the deque (fall through to the
+        // conflict path below with the fresh age).
+        old_age = expected;
+        if (local_bot > top_of(old_age)) continue;
+        break;
+      }
+    }
     // Owner-only bookkeeping; published by the CAS / age store below.
     // model-site: growable.pop_bottom.bottom_reset
     bot_.value.store(0, std::memory_order_relaxed);
@@ -265,6 +373,13 @@ class AbpGrowableDeque {
   std::atomic<Buffer*> buf_{nullptr};
   std::vector<std::unique_ptr<Buffer>> buffers_;  // owner-only mutation
   std::size_t max_capacity_ = 0;                  // 0 = unbounded
+  bool batch_steals_enabled_ = false;             // arms the defend window
 };
+
+// The batch-claim ablation, for the chaos harness only — never a runtime
+// policy. pop_top_batch returns n items but its CAS publishes top+1, the
+// wrong-top bug the differential fuzzer asserts it can catch.
+template <typename T>
+using BatchAblatedGrowableDeque = AbpGrowableDeque<T, /*kBatchAblated=*/true>;
 
 }  // namespace abp::deque

@@ -8,6 +8,7 @@
 // that deque — and the owner — spins or blocks until the lock holder runs
 // again. Experiment E10 measures exactly this effect.
 
+#include <algorithm>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -57,6 +58,26 @@ class MutexDeque {
   PopTopResult<T> pop_top_ex() {
     auto item = pop_top();
     return {item, item ? PopTopStatus::kSuccess : PopTopStatus::kEmpty};
+  }
+
+  // Batched steal under the lock: the atomic reference semantics for
+  // pop_top_batch — claim min(k, kMaxStealBatch, ceil(size/2)) items off
+  // the top in one critical section. The differential fuzzer checks the
+  // lock-free implementation against this.
+  PopTopBatchResult<T> pop_top_batch(std::size_t k) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHAOS_POINT("deque.lock.in_critical");
+    PopTopBatchResult<T> r;
+    if (items_.empty() || k == 0) return r;
+    std::size_t take = (items_.size() + 1) / 2;
+    take = std::min(std::min(take, k), kMaxStealBatch);
+    for (std::size_t i = 0; i < take; ++i) {
+      r.items[i] = items_.front();
+      items_.pop_front();
+    }
+    r.count = take;
+    r.status = PopTopStatus::kSuccess;
+    return r;
   }
 
   bool empty_hint() const {

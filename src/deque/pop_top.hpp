@@ -11,9 +11,19 @@
 // The lock-based deques can never lose a race (the lock serializes), so
 // they only ever report kSuccess or kEmpty.
 
+#include <array>
+#include <cstddef>
 #include <optional>
 
 namespace abp::deque {
+
+// Hard cap on how many items one pop_top_batch call may claim. This is a
+// correctness constant, not a tuning knob: the owner's popBottom defends
+// exactly this window above top (tag-bumping the age word before returning
+// an item within it), so a batch claim can never overlap an item the owner
+// released without an age CAS having arbitrated the race. Widening the cap
+// without widening the defense re-opens the double-delivery race.
+inline constexpr std::size_t kMaxStealBatch = 8;
 
 enum class PopTopStatus : unsigned char {
   kSuccess,   // item returned
@@ -33,6 +43,18 @@ constexpr const char* to_string(PopTopStatus s) noexcept {
 template <typename T>
 struct PopTopResult {
   std::optional<T> item;
+  PopTopStatus status = PopTopStatus::kEmpty;
+};
+
+// Result of a batched steal (pop_top_batch): up to kMaxStealBatch items
+// claimed in ONE linearized top-side operation. items[0] is the oldest
+// (the one single pop_top would have returned); the caller typically runs
+// items[0] and re-pushes the rest to its own deque. count == 0 iff status
+// != kSuccess.
+template <typename T>
+struct PopTopBatchResult {
+  std::array<T, kMaxStealBatch> items{};
+  std::size_t count = 0;
   PopTopStatus status = PopTopStatus::kEmpty;
 };
 

@@ -13,6 +13,7 @@
 // sleeping its waiters; this one does not, which is what makes it the
 // honest ablation baseline for experiment E10.
 
+#include <algorithm>
 #include <atomic>
 #include <deque>
 #include <optional>
@@ -70,6 +71,25 @@ class SpinlockDeque {
   PopTopResult<T> pop_top_ex() {
     auto item = pop_top();
     return {item, item ? PopTopStatus::kSuccess : PopTopStatus::kEmpty};
+  }
+
+  // Batched steal under the lock (reference semantics; see MutexDeque).
+  PopTopBatchResult<T> pop_top_batch(std::size_t k) {
+    lock();
+    CHAOS_POINT("deque.lock.in_critical");
+    PopTopBatchResult<T> r;
+    if (!items_.empty() && k != 0) {
+      std::size_t take = (items_.size() + 1) / 2;
+      take = std::min(std::min(take, k), kMaxStealBatch);
+      for (std::size_t i = 0; i < take; ++i) {
+        r.items[i] = items_.front();
+        items_.pop_front();
+      }
+      r.count = take;
+      r.status = PopTopStatus::kSuccess;
+    }
+    unlock();
+    return r;
   }
 
   // Hints take the lock too: std::deque has no racy-read-tolerant

@@ -34,6 +34,12 @@ struct SpecDeque {
         if (items.empty() || e.result != items.front()) return false;
         items.pop_front();
         return true;
+      case Method::kPopTopBatch:
+        // Histories are recorded per returned item: a batch of k shows up
+        // as k consecutive front pops at the same linearization point.
+        if (items.empty() || e.result != items.front()) return false;
+        items.pop_front();
+        return true;
       case Method::kIdle:
         return true;
     }

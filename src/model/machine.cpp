@@ -129,6 +129,7 @@ StepOutcome step_abp(SharedDeque& mem, Invocation& inv,
       }
       break;
 
+    case Method::kPopTopBatch:  // weak growable machine only
     case Method::kIdle:
       break;
   }
@@ -177,6 +178,9 @@ StepOutcome step_spin(SharedDeque& mem, Invocation& inv) {
               mem.top = 0;
             }
           }
+          break;
+        case Method::kPopTopBatch:
+          ABP_ASSERT_MSG(false, "batch steal not modeled by the spin machine");
           break;
         case Method::kIdle:
           break;

@@ -49,7 +49,16 @@ struct SharedDeque {
   bool operator==(const SharedDeque&) const = default;
 };
 
-enum class Method : std::uint8_t { kPushBottom, kPopBottom, kPopTop, kIdle };
+// kPopTopBatch (the steal-half claim of DESIGN.md §12) is implemented
+// only by the growable *weak* machine; the SC machines of this header
+// reject it.
+enum class Method : std::uint8_t {
+  kPushBottom,
+  kPopBottom,
+  kPopTop,
+  kPopTopBatch,
+  kIdle,
+};
 
 enum class StepOutcome : std::uint8_t {
   kRunning,   // took a step, invocation still in flight

@@ -127,7 +127,9 @@ void state_key(const WState& s, std::string& k) {
     put(i.bf);
     put(i.i);
     put(i.ok);
+    put(i.x2);
     put(i.result);
+    put(i.result2);
   }
   for (std::uint8_t b : s.next_op) put(b);
   for (int shift = 0; shift < 64; shift += 8)
@@ -145,7 +147,7 @@ bool next_insn(const Ctx& c, const WState& s, std::size_t p, Transition& t) {
     inv.start(op.method, op.value);
     t.needs_start = true;
   }
-  t.insn = wm_peek(c.opts.machine, inv, c.opts.ablation);
+  t.insn = wm_peek(c.opts.machine, inv, c.opts.ablation, c.opts.batch_steals);
   t.access.proc = static_cast<std::uint8_t>(p);
   t.access.is_flush = false;
   t.access.has_loc = t.insn.kind != InsnKind::kFence;
@@ -199,14 +201,12 @@ Footprint remaining_footprint(const Ctx& c, const WState& s, std::size_t p) {
   return f;
 }
 
-void check_retired(Ctx& c, WState& s, std::size_t p, Method method) {
-  const WInvocation& inv = s.inv[p];
-  if (!inv.idle()) return;  // still mid-method
-  if (method == Method::kPushBottom) return;
-  if (inv.result == kWNil) return;
-  const std::uint8_t v = inv.result;
+void claim_value(Ctx& c, WState& s, std::size_t p, Method method,
+                 std::uint8_t v) {
   std::string who = "P" + std::to_string(p) + " " +
-                    (method == Method::kPopTop ? "popTop" : "popBottom");
+                    (method == Method::kPopTop        ? "popTop"
+                     : method == Method::kPopTopBatch ? "popTopBatch"
+                                                      : "popBottom");
   if (v >= 64 || !(c.pushed & (1ULL << v))) {
     fail(c, who + " returned " + std::to_string(v) +
                 ", a value that was never pushed");
@@ -216,6 +216,16 @@ void check_retired(Ctx& c, WState& s, std::size_t p, Method method) {
   } else {
     s.claimed |= 1ULL << v;
   }
+}
+
+void check_retired(Ctx& c, WState& s, std::size_t p, Method method) {
+  const WInvocation& inv = s.inv[p];
+  if (!inv.idle()) return;  // still mid-method
+  if (method == Method::kPushBottom) return;
+  // A batch retires up to kWBatchCap results; each is claimed separately.
+  if (inv.result != kWNil) claim_value(c, s, p, method, inv.result);
+  if (method == Method::kPopTopBatch && inv.result2 != kWNil)
+    claim_value(c, s, p, method, inv.result2);
 }
 
 void check_terminal(Ctx& c, const WState& s) {
@@ -269,7 +279,7 @@ void run_insn_branch(Ctx& c, const WState& s, const Transition& t,
   step.loaded = loaded;
   step.cas_ok = cas_ok;
   wm_advance(c.opts.machine, n.inv[p], t.insn, loaded, cas_ok,
-             c.opts.ablation);
+             c.opts.ablation, c.opts.batch_steals);
   check_retired(c, n, p, method);
 
   ++c.res.nodes;
@@ -384,6 +394,10 @@ WExploreResult wexplore(const std::vector<Script>& scripts,
         ++pushes;
       } else if (op.method == Method::kPopBottom) {
         ABP_ASSERT_MSG(p == 0, "only process 0 (the owner) may popBottom");
+      } else if (op.method == Method::kPopTopBatch) {
+        ABP_ASSERT_MSG(opts.machine == WMachine::kGrowable && opts.batch_steals,
+                       "kPopTopBatch needs the growable machine with "
+                       "batch_steals armed");
       }
     }
   }

@@ -36,6 +36,10 @@ struct WExploreOptions {
   // the weak semantics Chase-Lev's steal CAS must itself be seq_cst;
   // under the strong one the surrounding fences subsume it. See weak.hpp.
   bool weak_sc_fences = false;
+  // Arm the growable machine's steal-half protocol: scripts may contain
+  // Method::kPopTopBatch, and the owner's popBottom runs the
+  // defended-window tag bump (enable_batch_steals in the real deque).
+  bool batch_steals = false;
   bool use_dpor = true;
   bool track_distinct = true;  // count deduplicated states (informational)
   std::size_t max_nodes = 20'000'000;

@@ -76,6 +76,12 @@ constexpr OrderSpec kOrderTable[] = {
     {"growable.pop_bottom.bottom_reset", MemOrder::kRelaxed},
     {"growable.pop_bottom.cas", MemOrder::kSeqCst},
     {"growable.pop_bottom.age_store", MemOrder::kRelease},
+    {"growable.pop_top_batch.age_load", MemOrder::kAcquire},
+    {"growable.pop_top_batch.bottom_load", MemOrder::kSeqCst},
+    {"growable.pop_top_batch.buffer_load", MemOrder::kAcquire},
+    {"growable.pop_top_batch.item_load", MemOrder::kRelaxed},
+    {"growable.pop_top_batch.cas", MemOrder::kSeqCst},
+    {"growable.pop_bottom.defend_cas", MemOrder::kSeqCst},
     {"chase_lev.push_bottom.bottom_load", MemOrder::kRelaxed},
     {"chase_lev.push_bottom.top_load", MemOrder::kAcquire},
     {"chase_lev.push_bottom.item_store", MemOrder::kRelaxed},
@@ -119,6 +125,12 @@ Insn fence(Site s) {
 void retire(WInvocation& inv, std::uint8_t result) {
   inv.method = Method::kIdle;
   inv.result = result;
+}
+
+void retire2(WInvocation& inv, std::uint8_t result, std::uint8_t result2) {
+  inv.method = Method::kIdle;
+  inv.result = result;
+  inv.result2 = result2;
 }
 
 // ---- ABP (Figure 5, weakest proven orders) ---------------------------------
@@ -166,6 +178,7 @@ Insn abp_peek(const WInvocation& inv, const WAblation&) {
         default: break;
       }
       break;
+    case Method::kPopTopBatch:  // growable machine only
     case Method::kIdle: break;
   }
   ABP_ASSERT_MSG(false, "abp_peek: invalid machine state");
@@ -233,6 +246,7 @@ void abp_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
         default: break;
       }
       break;
+    case Method::kPopTopBatch:  // growable machine only
     case Method::kIdle: break;
   }
   (void)insn;
@@ -241,7 +255,13 @@ void abp_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
 
 // ---- growable ABP ----------------------------------------------------------
 
-Insn grow_peek(const WInvocation& inv, const WAblation& abl) {
+// `batch` arms the steal-half protocol (enable_batch_steals in
+// abp_growable_deque.hpp): kPopTopBatch becomes available, and popBottom
+// runs the defended-window tag bump before returning an item. The model
+// capacity (kGrowCap1 = 6) is below kMaxStealBatch = 8, so — exactly as
+// in a real deque shorter than the defended window — *every* armed
+// popBottom defends.
+Insn grow_peek(const WInvocation& inv, const WAblation& abl, bool batch) {
   switch (inv.method) {
     case Method::kPushBottom:
       switch (inv.pc) {
@@ -292,6 +312,35 @@ Insn grow_peek(const WInvocation& inv, const WAblation& abl) {
                      pack_age(inv.x, 0));
         case 7:
           return store(Site::kGrowBotAgeStore, kLocAge, pack_age(inv.x, 0));
+        case 8:
+          // Defended window: bump the tag (top unchanged) so any batch
+          // CAS whose claim was read before this pop fails.
+          return cas(Site::kGrowBotDefendCas, kLocAge,
+                     pack_age(inv.g, inv.t),
+                     pack_age(static_cast<std::uint8_t>((inv.g + 1) & 0x0f),
+                              inv.t));
+        default: break;
+      }
+      break;
+    case Method::kPopTopBatch:
+      ABP_ASSERT_MSG(batch, "kPopTopBatch needs batch_steals armed");
+      switch (inv.pc) {
+        case 0: return load(Site::kGrowBatchAgeLoad, kLocAge);
+        case 1: return load(Site::kGrowBatchBotLoad, kLocBot);
+        case 2: return load(Site::kGrowBatchBufLoad, kLocBuf);
+        case 3: return load(Site::kGrowBatchItemLoad, grow_cell(inv.bf, inv.t));
+        case 4:
+          return load(Site::kGrowBatchItemLoad,
+                      grow_cell(inv.bf, static_cast<std::uint8_t>(inv.t + 1)));
+        case 5: {
+          // One linearized claim of `i` items: top advances by the whole
+          // batch. The ablation publishes top+1 regardless of the claim.
+          const std::uint8_t advance =
+              abl.batch_publish_short ? 1 : inv.i;
+          return cas(Site::kGrowBatchCas, kLocAge, pack_age(inv.g, inv.t),
+                     pack_age(inv.g,
+                              static_cast<std::uint8_t>(inv.t + advance)));
+        }
         default: break;
       }
       break;
@@ -302,7 +351,7 @@ Insn grow_peek(const WInvocation& inv, const WAblation& abl) {
 }
 
 void grow_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
-                  bool cas_ok, const WAblation& abl) {
+                  bool cas_ok, const WAblation& abl, bool batch) {
   switch (inv.method) {
     case Method::kPushBottom:
       switch (inv.pc) {
@@ -363,7 +412,11 @@ void grow_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
         case 4:
           inv.t = top_of(loaded);
           inv.g = tag_of(loaded);
-          if (inv.b > inv.t) { retire(inv, inv.x); return; }
+          if (inv.b > inv.t) {
+            if (!batch || abl.batch_no_defense) { retire(inv, inv.x); return; }
+            inv.pc = 8;  // defended window: tag-bump before returning
+            return;
+          }
           inv.arg = inv.x;
           inv.x = abl.frozen_tag
                       ? inv.g
@@ -377,12 +430,59 @@ void grow_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
           inv.pc = 7;
           return;
         case 7: retire(inv, kWNil); return;
+        case 8:
+          if (cas_ok) { retire(inv, inv.x); return; }
+          // The CAS observed a newer age: re-check against it, exactly as
+          // the retry loop in abp_growable_deque.hpp's pop_bottom.
+          inv.t = top_of(loaded);
+          inv.g = tag_of(loaded);
+          if (inv.b > inv.t) return;  // retry the defend CAS (same pc)
+          // A claim reached our item: fall into the reset/conflict path.
+          inv.arg = inv.x;
+          inv.x = abl.frozen_tag
+                      ? inv.g
+                      : static_cast<std::uint8_t>((inv.g + 1) & 0x0f);
+          if (inv.x == 0 && !abl.frozen_tag) inv.x = inv.g;
+          inv.pc = 5;
+          return;
+        default: break;
+      }
+      break;
+    case Method::kPopTopBatch:
+      switch (inv.pc) {
+        case 0:
+          inv.t = top_of(loaded);
+          inv.g = tag_of(loaded);
+          inv.pc = 1;
+          return;
+        case 1:
+          inv.b = loaded;
+          if (inv.b <= inv.t) { retire2(inv, kWNil, kWNil); return; }
+          // Steal-half, rounded up, capped at the model batch limit.
+          inv.i = static_cast<std::uint8_t>((inv.b - inv.t + 1) / 2);
+          if (inv.i > kWBatchCap) inv.i = kWBatchCap;
+          inv.pc = 2;
+          return;
+        case 2: inv.bf = loaded; inv.pc = 3; return;
+        case 3:
+          inv.x = loaded;
+          inv.pc = inv.i == 2 ? 4 : 5;
+          return;
+        case 4: inv.x2 = loaded; inv.pc = 5; return;
+        case 5:
+          if (cas_ok) {
+            retire2(inv, inv.x, inv.i == 2 ? inv.x2 : kWNil);
+          } else {
+            retire2(inv, kWNil, kWNil);
+          }
+          return;
         default: break;
       }
       break;
     case Method::kIdle: break;
   }
   (void)insn;
+  (void)batch;
   ABP_ASSERT_MSG(false, "grow_advance: invalid machine state");
 }
 
@@ -440,6 +540,7 @@ Insn cl_peek(const WInvocation& inv, const WAblation& abl) {
         default: break;
       }
       break;
+    case Method::kPopTopBatch:  // growable machine only
     case Method::kIdle: break;
   }
   ABP_ASSERT_MSG(false, "cl_peek: invalid machine state");
@@ -502,6 +603,7 @@ void cl_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
         default: break;
       }
       break;
+    case Method::kPopTopBatch:  // growable machine only
     case Method::kIdle: break;
   }
   (void)insn;
@@ -549,23 +651,26 @@ std::vector<std::pair<Loc, std::uint8_t>> wm_initial(WMachine m) {
   return init;
 }
 
-Insn wm_peek(WMachine m, const WInvocation& inv, const WAblation& abl) {
+Insn wm_peek(WMachine m, const WInvocation& inv, const WAblation& abl,
+             bool batch_steals) {
   switch (m) {
     case WMachine::kAbp: return abp_peek(inv, abl);
     case WMachine::kChaseLev: return cl_peek(inv, abl);
-    case WMachine::kGrowable: return grow_peek(inv, abl);
+    case WMachine::kGrowable: return grow_peek(inv, abl, batch_steals);
   }
   ABP_ASSERT(false);
   return Insn{};
 }
 
 void wm_advance(WMachine m, WInvocation& inv, const Insn& insn,
-                std::uint8_t loaded, bool cas_ok, const WAblation& abl) {
+                std::uint8_t loaded, bool cas_ok, const WAblation& abl,
+                bool batch_steals) {
   switch (m) {
     case WMachine::kAbp: abp_advance(inv, insn, loaded, cas_ok, abl); return;
     case WMachine::kChaseLev: cl_advance(inv, insn, loaded, cas_ok, abl);
       return;
-    case WMachine::kGrowable: grow_advance(inv, insn, loaded, cas_ok, abl);
+    case WMachine::kGrowable:
+      grow_advance(inv, insn, loaded, cas_ok, abl, batch_steals);
       return;
   }
   ABP_ASSERT(false);
@@ -597,6 +702,7 @@ Footprint wm_footprint(WMachine m, Method method) {
       f.writes |= cells;
       break;
     case Method::kPopTop:
+    case Method::kPopTopBatch:  // same footprint shape as a single steal
       r(idx);
       r(kLocBot);
       if (m == WMachine::kGrowable) r(kLocBuf);

@@ -52,10 +52,18 @@ struct WAblation {
   // Growable: the grown buffer pointer is published relaxed instead of
   // release — a thief can observe the new buffer but stale cell copies.
   bool grow_relaxed_publish = false;
+  // Growable batch steal: the batch CAS claims two items but publishes
+  // top+1 — the second item is both returned and still in the deque.
+  bool batch_publish_short = false;
+  // Growable batch steal: the owner's pop_bottom skips the defended-window
+  // tag bump, so an in-flight batch CAS can commit a claim window the
+  // owner has already popped from (double delivery).
+  bool batch_no_defense = false;
 
   bool any() const noexcept {
     return frozen_tag || cl_relaxed_bottom_store || cl_no_steal_acquire ||
-           cl_relaxed_cas || grow_relaxed_publish;
+           cl_relaxed_cas || grow_relaxed_publish || batch_publish_short ||
+           batch_no_defense;
   }
 };
 
@@ -96,6 +104,12 @@ enum class Site : std::uint8_t {
   kGrowBotBotReset,
   kGrowBotCas,
   kGrowBotAgeStore,
+  kGrowBatchAgeLoad,
+  kGrowBatchBotLoad,
+  kGrowBatchBufLoad,
+  kGrowBatchItemLoad,
+  kGrowBatchCas,
+  kGrowBotDefendCas,
   kClPushBotLoad,
   kClPushTopLoad,
   kClPushItemStore,
@@ -150,6 +164,7 @@ inline constexpr int kAbpCap = 6;               // ABP model capacity
 inline constexpr int kClCap = 4;                // Chase-Lev ring capacity
 inline constexpr int kGrowCap0 = 2;             // growable: first buffer
 inline constexpr int kGrowCap1 = 6;             // growable: grown buffer
+inline constexpr int kWBatchCap = 2;            // model batch-claim cap
 
 // One in-flight invocation of a weak machine.
 struct WInvocation {
@@ -161,9 +176,11 @@ struct WInvocation {
   std::uint8_t g = 0;    // tag register (ABP/growable)
   std::uint8_t x = 0;    // item register
   std::uint8_t bf = 0;   // buffer id register (growable)
-  std::uint8_t i = 0;    // copy index register (growable grow)
+  std::uint8_t i = 0;    // copy index (growable grow) / batch take count
   std::uint8_t ok = 0;   // CAS outcome register (Chase-Lev popBottom)
+  std::uint8_t x2 = 0;   // second item register (growable popTopBatch)
   std::uint8_t result = kWNil;
+  std::uint8_t result2 = kWNil;  // second result (growable popTopBatch)
 
   bool operator==(const WInvocation&) const = default;
 
@@ -179,14 +196,20 @@ struct WInvocation {
 std::vector<std::pair<Loc, std::uint8_t>> wm_initial(WMachine m);
 
 // The instruction at the invocation's current pc. Pure: no state change.
-Insn wm_peek(WMachine m, const WInvocation& inv, const WAblation& abl);
+// `batch_steals` arms the growable machine's steal-half protocol: the
+// kPopTopBatch method becomes available and pop_bottom runs the
+// defended-window tag bump (mirrors AbpGrowableDeque's
+// enable_batch_steals constructor flag).
+Insn wm_peek(WMachine m, const WInvocation& inv, const WAblation& abl,
+             bool batch_steals = false);
 
 // Advances the invocation after the explorer executed `insn`: `loaded` is
 // the committed load value (or CAS observed value), `cas_ok` the CAS
-// outcome. Sets method = kIdle and `result` when the invocation retires
-// on this instruction.
+// outcome. Sets method = kIdle and `result` (and `result2` for a batch)
+// when the invocation retires on this instruction.
 void wm_advance(WMachine m, WInvocation& inv, const Insn& insn,
-                std::uint8_t loaded, bool cas_ok, const WAblation& abl);
+                std::uint8_t loaded, bool cas_ok, const WAblation& abl,
+                bool batch_steals = false);
 
 // Conservative whole-method footprint (bitmasks over Loc) plus whether
 // the method contains any seq_cst access; used by the persistent-set

@@ -382,6 +382,18 @@ void append_snapshots_to_trace(
         case EventType::kPark:
           out.instant(pid, tid, "park", ts);
           break;
+        case EventType::kStealBatch: {
+          JsonObjectWriter args;
+          args.add("items", e.arg);
+          out.instant(pid, tid, "steal_batch", ts, args.str());
+          break;
+        }
+        case EventType::kVictimDistance: {
+          JsonObjectWriter args;
+          args.add("distance", e.arg);
+          out.instant(pid, tid, "victim_distance", ts, args.str());
+          break;
+        }
         case EventType::kPopBottomHit:
         case EventType::kPopBottomMiss:
         case EventType::kStealAttempt:

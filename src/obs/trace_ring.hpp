@@ -33,6 +33,8 @@ enum class EventType : std::uint8_t {
   kJobEnd,          // arg = job run time in ticks
   kJobCancelled,    // job skipped: cancellation observed at its boundary
   kPark,            // TaskGroup waiter parked on its condition variable
+  kStealBatch,      // successful pop_top_batch; arg = items claimed
+  kVictimDistance,  // successful steal; arg = ring distance |thief-victim|
 };
 
 constexpr const char* to_string(EventType t) noexcept {
@@ -49,6 +51,8 @@ constexpr const char* to_string(EventType t) noexcept {
     case EventType::kJobEnd: return "job_end";
     case EventType::kJobCancelled: return "job_cancelled";
     case EventType::kPark: return "park";
+    case EventType::kStealBatch: return "steal_batch";
+    case EventType::kVictimDistance: return "victim_distance";
   }
   return "?";
 }

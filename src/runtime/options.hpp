@@ -29,8 +29,35 @@ enum class YieldPolicy : std::uint8_t {
            // the sleeper returns, at the cost of latency
 };
 
+// How much a successful steal takes from the victim. kStealHalf requires
+// a deque with a batched top-side operation (kAbpGrowable); other deque
+// policies silently degrade to single-item steals.
+enum class StealPolicy : std::uint8_t {
+  kSingle,     // the paper's popTop: one item per successful steal
+  kStealHalf,  // pop_top_batch: up to half the victim's deque in one
+               // linearized claim; the thief runs the oldest item and
+               // re-pushes the surplus to its own deque
+};
+
+// How a thief picks its victim. All strategies fall back to a fresh
+// uniform draw when their preferred victim yields nothing, so the paper's
+// throw-bound analysis (which assumes uniform victim choice) still upper
+// bounds every policy here.
+enum class VictimPolicy : std::uint8_t {
+  kUniform,          // uniform random victim (the paper's algorithm)
+  kNearestNeighbor,  // ring probing: distance 1, 2, ... from the thief —
+                     // locality-aware (neighbors share cache/NUMA domains)
+  kHintAware,        // follow the watchdog's steal hint (PR-4) when one is
+                     // posted, else uniform
+  kLastVictim,       // re-try the last successfully robbed victim first
+                     // (victims with deep deques stay good for a while),
+                     // else uniform
+};
+
 const char* to_string(DequePolicy p) noexcept;
 const char* to_string(YieldPolicy p) noexcept;
+const char* to_string(StealPolicy p) noexcept;
+const char* to_string(VictimPolicy p) noexcept;
 
 // Knobs for the resilience layer (dynamic membership, watchdog, parking,
 // steal backoff). All default OFF / zero so the baseline experiments keep
@@ -69,6 +96,14 @@ struct SchedulerOptions {
   // reports PushStatus::kAllocFailed and the worker degrades by running
   // the job inline (see Worker::push).
   std::size_t deque_max_capacity = 0;
+  // Steal-policy layer (see DESIGN.md §12). steal_half needs the batched
+  // deque op and therefore the growable ABP deque; with any other deque
+  // policy it degrades to single-item steals.
+  StealPolicy steal_policy = StealPolicy::kSingle;
+  VictimPolicy victim_policy = VictimPolicy::kUniform;
+  // Per-steal batch cap for kStealHalf; clamped to deque::kMaxStealBatch
+  // (the width of the owner-defended window — a hard correctness bound).
+  std::size_t steal_batch_limit = 8;
   std::uint64_t seed = 0x5eed;
   std::uint32_t sleep_us = 50;  // kSleep pause between steal attempts
   // Per-worker telemetry ring capacity (events; rounded up to a power of

@@ -22,15 +22,19 @@ namespace abp::runtime {
 template <typename T>
 class PolyDeque {
  public:
+  // `enable_batch_steals` arms pop_top_batch on implementations that have
+  // a native batched op (the growable ABP deque, which must also arm its
+  // owner-side defended window); the rest ignore it and serve batch
+  // requests as single steals.
   PolyDeque(DequePolicy policy, std::size_t capacity,
-            std::size_t max_capacity = 0) {
+            std::size_t max_capacity = 0, bool enable_batch_steals = false) {
     switch (policy) {
       case DequePolicy::kAbp:
         impl_.template emplace<deque::AbpDeque<T>>(capacity);
         break;
       case DequePolicy::kAbpGrowable:
-        impl_.template emplace<deque::AbpGrowableDeque<T>>(capacity,
-                                                           max_capacity);
+        impl_.template emplace<deque::AbpGrowableDeque<T>>(
+            capacity, max_capacity, enable_batch_steals);
         break;
       case DequePolicy::kChaseLev:
         impl_.template emplace<deque::ChaseLevDeque<T>>();
@@ -76,6 +80,24 @@ class PolyDeque {
   deque::PopTopResult<T> pop_top_ex() {
     return std::visit([](auto& d) { return d.pop_top_ex(); }, impl_);
   }
+  // Batched steal: native on deques that support it AND have it armed
+  // (growable ABP with the popBottom defense enabled); everywhere else a
+  // batch request degrades to a single pop_top_ex wrapped as a batch of
+  // one, so steal_half callers work against every deque policy.
+  deque::PopTopBatchResult<T> pop_top_batch(std::size_t k) {
+    return std::visit(
+        [&](auto& d) -> deque::PopTopBatchResult<T> {
+          if constexpr (requires { d.pop_top_batch(k); }) {
+            if constexpr (requires { d.batch_steals_enabled(); }) {
+              if (!d.batch_steals_enabled()) return single_as_batch(d);
+            }
+            return d.pop_top_batch(k);
+          } else {
+            return single_as_batch(d);
+          }
+        },
+        impl_);
+  }
   bool empty_hint() const {
     return std::visit([](const auto& d) { return d.empty_hint(); }, impl_);
   }
@@ -84,6 +106,18 @@ class PolyDeque {
   }
 
  private:
+  template <typename D>
+  static deque::PopTopBatchResult<T> single_as_batch(D& d) {
+    deque::PopTopBatchResult<T> r;
+    auto one = d.pop_top_ex();
+    r.status = one.status;
+    if (one.item) {
+      r.items[0] = *one.item;
+      r.count = 1;
+    }
+    return r;
+  }
+
   std::variant<deque::AbpDeque<T>, deque::AbpGrowableDeque<T>,
                deque::ChaseLevDeque<T>, deque::MutexDeque<T>,
                deque::SpinlockDeque<T>>

@@ -26,6 +26,24 @@ const char* to_string(YieldPolicy p) noexcept {
   return "?";
 }
 
+const char* to_string(StealPolicy p) noexcept {
+  switch (p) {
+    case StealPolicy::kSingle: return "single";
+    case StealPolicy::kStealHalf: return "steal-half";
+  }
+  return "?";
+}
+
+const char* to_string(VictimPolicy p) noexcept {
+  switch (p) {
+    case VictimPolicy::kUniform: return "uniform";
+    case VictimPolicy::kNearestNeighbor: return "nearest-neighbor";
+    case VictimPolicy::kHintAware: return "hint-aware";
+    case VictimPolicy::kLastVictim: return "last-victim";
+  }
+  return "?";
+}
+
 Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts) {
   std::size_t n = opts_.num_workers;
   if (n == 0) {
@@ -86,7 +104,8 @@ void Scheduler::join_workers() {
 void Scheduler::activate_slot(std::size_t slot, std::uint64_t generation) {
   if (deques_[slot] == nullptr)
     deques_[slot] = std::make_unique<PolyDeque<Job*>>(
-        opts_.deque, opts_.deque_capacity, opts_.deque_max_capacity);
+        opts_.deque, opts_.deque_capacity, opts_.deque_max_capacity,
+        /*enable_batch_steals=*/opts_.steal_policy == StealPolicy::kStealHalf);
 #if ABP_TRACE_ENABLED
   if (rings_[slot] == nullptr)
     rings_[slot] = std::make_unique<obs::TraceRing>(opts_.trace_ring_capacity);
@@ -449,6 +468,11 @@ std::string Scheduler::stats_json() const {
   w.add("steal_empty_victim", t.steal_empty_victim);
   w.add("yields", t.yields);
   w.add("overflow_inline_runs", t.overflow_inline_runs);
+  w.add("batch_steals", t.batch_steals);
+  w.add("batch_stolen_items", t.batch_stolen_items);
+  w.add("batch_surplus_inline_runs", t.batch_surplus_inline_runs);
+  w.add("victim_distance_sum", t.victim_distance_sum);
+  w.add("preferred_victim_hits", t.preferred_victim_hits);
   w.add("cancelled_jobs", t.cancelled_jobs);
   w.add("parks", t.parks);
   w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);
@@ -487,6 +511,11 @@ std::string Scheduler::stats_json() const {
   w.add("steal_empty_victim", t.steal_empty_victim);
   w.add("yields", t.yields);
   w.add("overflow_inline_runs", t.overflow_inline_runs);
+  w.add("batch_steals", t.batch_steals);
+  w.add("batch_stolen_items", t.batch_stolen_items);
+  w.add("batch_surplus_inline_runs", t.batch_surplus_inline_runs);
+  w.add("victim_distance_sum", t.victim_distance_sum);
+  w.add("preferred_victim_hits", t.preferred_victim_hits);
   w.add("cancelled_jobs", t.cancelled_jobs);
   w.add("parks", t.parks);
   w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);

@@ -128,6 +128,11 @@ class Worker {
 #endif
   std::uint64_t heartbeat_seq_ = 0;   // published to the watchdog each loop
   YieldingBackoff steal_backoff_{256};  // armed by resilience.steal_backoff
+  // Victim-selection state (DESIGN.md §12). ring_distance_ is the next
+  // probe distance for kNearestNeighbor (0 = start over at 1);
+  // last_victim_ caches the last successfully robbed slot for kLastVictim.
+  std::size_t ring_distance_ = 0;
+  std::size_t last_victim_ = static_cast<std::size_t>(-1);
   Xoshiro256 rng_;
   JobPool pool_;
 };
@@ -454,9 +459,46 @@ inline Job* Worker::try_steal() {
   const std::size_t p = s.num_workers();
   ++stats().steal_attempts;
   WHEN_TRACE(const std::uint64_t t0 = obs::rdtsc();)
-  std::size_t victim = static_cast<std::size_t>(rng_.below(p));
+  // ---- victim selection (DESIGN.md §12) ----
+  // Every strategy falls back to a fresh uniform draw when its preference
+  // is unavailable, so the paper's uniform-choice throw analysis still
+  // upper bounds the attempt count.
+  bool preferred = false;  // the draw came from a non-uniform preference
+  std::size_t victim = 0;
+  switch (s.opts_.victim_policy) {
+    case VictimPolicy::kNearestNeighbor:
+      // Ring probing: distance 1, 2, ... from this worker, one step per
+      // failed attempt, snapping back to distance 1 after a success.
+      // Near victims share cache/NUMA domains with the thief, and a
+      // deterministic sweep visits every victim within P-1 attempts.
+      if (p > 1) {
+        if (ring_distance_ == 0 || ring_distance_ >= p) ring_distance_ = 1;
+        victim = (id_ + ring_distance_) % p;
+        ++ring_distance_;
+        preferred = true;
+      } else {
+        victim = static_cast<std::size_t>(rng_.below(p));
+      }
+      break;
+    case VictimPolicy::kLastVictim:
+      // A victim with a deep deque stays profitable across several steals;
+      // re-try it until it comes up empty (cleared in the kEmpty arm).
+      if (last_victim_ != static_cast<std::size_t>(-1) && last_victim_ < p &&
+          last_victim_ != id_) {
+        victim = last_victim_;
+        preferred = true;
+      } else {
+        victim = static_cast<std::size_t>(rng_.below(p));
+      }
+      break;
+    case VictimPolicy::kUniform:
+    case VictimPolicy::kHintAware:
+      victim = static_cast<std::size_t>(rng_.below(p));
+      break;
+  }
   bool hinted = false;
-  if (s.watchdog_enabled_) {
+  if (s.watchdog_enabled_ ||
+      s.opts_.victim_policy == VictimPolicy::kHintAware) {
     // Prefer the deque the watchdog flagged as stalled, so a descheduled
     // worker's jobs drain while it is gone.
     const std::size_t hint = s.steal_hint_.load(std::memory_order_acquire);
@@ -473,11 +515,54 @@ inline Job* Worker::try_steal() {
     return nullptr;
   }
   CHAOS_POINT("sched.steal.pre_poptop");
-  auto r = s.deques_[victim]->pop_top_ex();
-  switch (r.status) {
+  // ---- the steal itself: single popTop, or a steal-half batch ----
+  deque::PopTopStatus status;
+  Job* got = nullptr;
+  if (s.opts_.steal_policy == StealPolicy::kStealHalf) {
+    std::size_t limit = s.opts_.steal_batch_limit;
+    if (limit == 0) limit = 1;
+    if (limit > deque::kMaxStealBatch) limit = deque::kMaxStealBatch;
+    auto br = s.deques_[victim]->pop_top_batch(limit);
+    status = br.status;
+    if (br.status == deque::PopTopStatus::kSuccess) {
+      // Run the DEEPEST job of the stolen prefix and push the shallower
+      // surplus in its original top-to-bottom order: the thief then looks
+      // exactly like a Lemma 3 process (assigned node deepest, deque
+      // depths strictly decreasing bottom to top), so the structural
+      // top-heaviness argument survives batching (DESIGN.md §12). A
+      // failed surplus push degrades exactly like Worker::push: run the
+      // job inline, never drop it.
+      got = br.items[br.count - 1];
+      ++stats().batch_steals;
+      stats().batch_stolen_items += br.count;
+      WHEN_TRACE(ring_->record(obs::EventType::kStealBatch, br.count);)
+      for (std::size_t i = 0; i + 1 < br.count; ++i) {
+        if (deque_->push_bottom_ex(br.items[i]) != deque::PushStatus::kOk) {
+          ++stats().batch_surplus_inline_runs;
+          execute(br.items[i]);
+        }
+      }
+    }
+  } else {
+    auto r = s.deques_[victim]->pop_top_ex();
+    status = r.status;
+    if (r.status == deque::PopTopStatus::kSuccess) got = *r.item;
+  }
+  switch (status) {
     case deque::PopTopStatus::kSuccess: {
       if (s.steal_backoff_enabled_) steal_backoff_.reset();
       ++stats().steals;
+      if (preferred || hinted) ++stats().preferred_victim_hits;
+      {
+        // Ring distance |thief - victim| (shorter way around): the
+        // locality metric the victim policies optimize.
+        const std::size_t gap = victim > id_ ? victim - id_ : id_ - victim;
+        const std::size_t dist = gap < p - gap ? gap : p - gap;
+        stats().victim_distance_sum += dist;
+        WHEN_TRACE(ring_->record(obs::EventType::kVictimDistance, dist);)
+      }
+      ring_distance_ = 0;      // nearest-neighbor: restart at distance 1
+      last_victim_ = victim;   // last-victim: this one proved profitable
       WHEN_TRACE({
         const std::uint64_t latency = obs::rdtsc() - t0;
         ring_->record(obs::EventType::kStealSuccess, latency);
@@ -487,7 +572,7 @@ inline Job* Worker::try_steal() {
           telemetry_->value.time_to_first_steal.record(t0 - loop_start_tsc_);
         }
       })
-      return *r.item;
+      return got;
     }
     case deque::PopTopStatus::kLostRace:
       ++stats().steal_cas_failures;
@@ -500,6 +585,7 @@ inline Job* Worker::try_steal() {
     case deque::PopTopStatus::kEmpty:
       break;
   }
+  if (victim == last_victim_) last_victim_ = static_cast<std::size_t>(-1);
   if (hinted) {
     // The stalled worker's deque is drained; retire the hint (unless the
     // watchdog has already re-pointed it at a different slot).

@@ -26,6 +26,23 @@ struct WorkerStats {
   std::uint64_t steal_empty_victim = 0;
   std::uint64_t yields = 0;
   std::uint64_t overflow_inline_runs = 0;
+  // Steal-policy layer (DESIGN.md §12). batch_steals counts successful
+  // pop_top_batch claims (each also counts once in `steals`);
+  // batch_stolen_items is the total items those claims delivered, so
+  // batch_stolen_items / batch_steals is the mean batch size. A batch of 1
+  // still counts here when the steal_half policy issued it.
+  std::uint64_t batch_steals = 0;
+  std::uint64_t batch_stolen_items = 0;
+  // Surplus batch items the thief failed to re-push (deque full/alloc
+  // failure) and ran inline instead — degradation, not loss.
+  std::uint64_t batch_surplus_inline_runs = 0;
+  // Sum over successful steals of ring distance |thief - victim| (mod P);
+  // divided by `steals` this is the mean victim distance the Chrome traces
+  // chart per victim policy.
+  std::uint64_t victim_distance_sum = 0;
+  // Successful steals attributed to a non-uniform preference: the nearest-
+  // neighbor probe, the watchdog hint, or the cached last victim.
+  std::uint64_t preferred_victim_hits = 0;
   // Resilience-layer counters (all zero when the layer is idle).
   std::uint64_t cancelled_jobs = 0;        // jobs skipped after a cancel
   std::uint64_t parks = 0;                 // TaskGroup::wait cv parks
@@ -44,6 +61,11 @@ struct WorkerStats {
     steal_empty_victim += o.steal_empty_victim;
     yields += o.yields;
     overflow_inline_runs += o.overflow_inline_runs;
+    batch_steals += o.batch_steals;
+    batch_stolen_items += o.batch_stolen_items;
+    batch_surplus_inline_runs += o.batch_surplus_inline_runs;
+    victim_distance_sum += o.victim_distance_sum;
+    preferred_victim_hits += o.preferred_victim_hits;
     cancelled_jobs += o.cancelled_jobs;
     parks += o.parks;
     alloc_fail_inline_runs += o.alloc_fail_inline_runs;

@@ -111,15 +111,77 @@ void WorkStealerEngine::process_action(sim::ProcId p) {
       ledger_.on_yield(p, round_, p);
     }
 
-    // Victim chosen uniformly at random over all P processes (balls into
-    // P bins, as in Lemma 7; stealing from oneself just fails).
-    const auto victim = static_cast<sim::ProcId>(rng_.below(num_procs));
+    // Victim selection (DESIGN.md §12). The paper's algorithm draws
+    // uniformly over all P processes (balls into P bins, as in Lemma 7;
+    // stealing from oneself just fails); the alternative kinds prefer a
+    // deterministic candidate and fall back to the uniform draw, so the
+    // Lemma 7 analysis still upper bounds the attempt count.
+    bool preferred = false;
+    sim::ProcId victim = 0;
+    switch (opts_.victim) {
+      case VictimKind::kNearestNeighbor:
+        if (num_procs > 1) {
+          if (self.ring_distance == 0 || self.ring_distance >= num_procs)
+            self.ring_distance = 1;
+          victim = static_cast<sim::ProcId>((p + self.ring_distance) %
+                                            num_procs);
+          ++self.ring_distance;
+          preferred = true;
+        } else {
+          victim = static_cast<sim::ProcId>(rng_.below(num_procs));
+        }
+        break;
+      case VictimKind::kLastVictim:
+        if (self.last_victim != static_cast<std::size_t>(-1) &&
+            self.last_victim < num_procs && self.last_victim != p) {
+          victim = static_cast<sim::ProcId>(self.last_victim);
+          preferred = true;
+        } else {
+          victim = static_cast<sim::ProcId>(rng_.below(num_procs));
+        }
+        break;
+      case VictimKind::kUniform:
+        victim = static_cast<sim::ProcId>(rng_.below(num_procs));
+        break;
+    }
     ++m.steal_attempts;
     ProcState& v = procs_[victim];
     if (victim != p && !v.dq.empty()) {
-      self.assigned = v.dq.front();  // popTop succeeded
+      // popTop succeeded: claim one node, or a steal-half batch — up to
+      // half the victim's deque in the single linearized claim the real
+      // deque's pop_top_batch provides. Either way this is ONE throw.
+      std::size_t take = 1;
+      if (opts_.steal == StealKind::kStealHalf) {
+        take = (v.dq.size() + 1) / 2;
+        if (opts_.steal_batch_limit != 0 && take > opts_.steal_batch_limit)
+          take = opts_.steal_batch_limit;
+        ++m.batch_steals;
+        m.batch_stolen_items += take;
+      }
+      // The deepest node of the stolen prefix becomes the assigned node;
+      // the shallower surplus enters the thief's deque in its original
+      // top-to-bottom order. This keeps Lemma 3 / Corollary 4 intact for
+      // the thief: depths still decrease strictly from bottom to top and
+      // the assigned node is the deepest (see check_structural_lemma).
+      for (std::size_t i = 0; i + 1 < take; ++i) {
+        self.dq.push_back(v.dq.front());
+        v.dq.pop_front();
+      }
+      self.assigned = v.dq.front();
       v.dq.pop_front();
       ++m.successful_steals;
+      if (preferred) ++m.preferred_victim_hits;
+      const std::size_t gap = victim > p ? victim - p : p - victim;
+      m.victim_distance_sum += gap < num_procs - gap ? gap : num_procs - gap;
+      self.ring_distance = 0;
+      // Cache the victim only while it still has work: a steal-half claim
+      // often drains the victim outright, and re-trying a known-empty
+      // deque is a wasted throw. (The real runtime cannot see the victim's
+      // size, so it clears the cache lazily in its kEmpty arm instead.)
+      self.last_victim =
+          v.dq.empty() ? static_cast<std::size_t>(-1) : victim;
+    } else if (victim == self.last_victim) {
+      self.last_victim = static_cast<std::size_t>(-1);
     }
     m.record.record_idle(p);
   }

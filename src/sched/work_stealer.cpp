@@ -16,6 +16,23 @@ const char* to_string(SpawnOrder order) noexcept {
   return "?";
 }
 
+const char* to_string(StealKind k) noexcept {
+  switch (k) {
+    case StealKind::kSingle: return "single";
+    case StealKind::kStealHalf: return "steal-half";
+  }
+  return "?";
+}
+
+const char* to_string(VictimKind k) noexcept {
+  switch (k) {
+    case VictimKind::kUniform: return "uniform";
+    case VictimKind::kNearestNeighbor: return "nearest-neighbor";
+    case VictimKind::kLastVictim: return "last-victim";
+  }
+  return "?";
+}
+
 RunMetrics run_work_stealer(const dag::Dag& d, sim::Kernel& kernel,
                             const Options& opts) {
   ABP_ASSERT_MSG(d.is_valid(),

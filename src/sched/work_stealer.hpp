@@ -48,11 +48,33 @@ enum class SpawnOrder : std::uint8_t {
 
 const char* to_string(SpawnOrder order) noexcept;
 
+// Steal-policy layer (DESIGN.md §12), mirroring the real runtime's
+// StealPolicy / VictimPolicy so the theorem benches can measure policy
+// effect on throws. The simulator has no watchdog, so there is no
+// hint-aware victim kind here.
+enum class StealKind : std::uint8_t {
+  kSingle,     // the paper's popTop: one node per successful steal
+  kStealHalf,  // claim up to half the victim's deque in one steal; the
+               // thief assigns the oldest node and keeps the surplus
+};
+
+enum class VictimKind : std::uint8_t {
+  kUniform,          // uniform random victim (the paper's algorithm)
+  kNearestNeighbor,  // ring probing: distance 1, 2, ... per failed attempt
+  kLastVictim,       // re-try the last successfully robbed victim first
+};
+
+const char* to_string(StealKind k) noexcept;
+const char* to_string(VictimKind k) noexcept;
+
 // Per-process scheduler state, exposed read-only to hooks and invariant
 // checkers.
 struct ProcState {
   std::deque<dag::NodeId> dq;  // bottom = back, top = front
   dag::NodeId assigned = dag::kNoNode;
+  // Victim-selection state (mirrors Worker::ring_distance_/last_victim_).
+  std::size_t ring_distance = 0;
+  std::size_t last_victim = static_cast<std::size_t>(-1);
 };
 
 struct EngineView {
@@ -67,6 +89,10 @@ using RoundHook = std::function<void(const EngineView&)>;
 struct Options {
   sim::YieldKind yield = sim::YieldKind::kToRandom;
   SpawnOrder spawn_order = SpawnOrder::kChild;
+  // Steal-policy layer: how much a steal takes, and from whom.
+  StealKind steal = StealKind::kSingle;
+  VictimKind victim = VictimKind::kUniform;
+  std::size_t steal_batch_limit = 8;  // per-steal cap under kStealHalf
   std::uint64_t seed = 1;
   std::uint64_t max_rounds = 1ull << 32;
   bool keep_record = false;
@@ -97,6 +123,14 @@ struct RunMetrics {
   std::uint64_t executed_nodes = 0;
   std::uint64_t steal_attempts = 0;  // == throws in the round model
   std::uint64_t successful_steals = 0;
+  // Steal-policy layer: batch claims and their total size (a steal-half
+  // claim counts once in successful_steals and once here), successful
+  // steals from a non-uniform preference, and the summed ring distance
+  // |thief - victim| over successful steals.
+  std::uint64_t batch_steals = 0;
+  std::uint64_t batch_stolen_items = 0;
+  std::uint64_t preferred_victim_hits = 0;
+  std::uint64_t victim_distance_sum = 0;
   std::uint64_t yields = 0;
   std::uint64_t pop_bottom_calls = 0;
   std::uint64_t push_bottom_calls = 0;

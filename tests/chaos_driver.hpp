@@ -42,6 +42,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "chaos/chaos.hpp"
@@ -77,6 +78,15 @@ struct DriverConfig {
   // lets the owner push and drain entire rounds uninterrupted and the
   // thieves only ever see an empty deque (zero steals, vacuous fuzz).
   double p_owner_yield = 0.25;
+  // Per steal attempt, chance that a batch-capable thief issues
+  // pop_top_batch(batch_limit) instead of a single pop_top. Deques without
+  // a pop_top_batch method ignore it; AbpGrowableDeque additionally arms
+  // its owner-side popBottom defense at construction iff this is nonzero.
+  // Batches tighten the differential check: every item of a claimed batch
+  // must still obey exactly-once + conservation against the lock-based
+  // references running the identical config.
+  double p_batch_steal = 0.0;
+  std::size_t batch_limit = deque::kMaxStealBatch;
   std::uint64_t seed = 1;
   bool stop_at_first_bad_round = true;
 };
@@ -87,7 +97,9 @@ struct Verdict {
   std::uint64_t lost = 0;        // value pushed but never returned
   std::uint64_t stale = 0;       // value from a different round
   std::uint64_t owner_pops = 0;
-  std::uint64_t thief_steals = 0;
+  std::uint64_t thief_steals = 0;   // items stolen (batch items included)
+  std::uint64_t batch_steals = 0;   // successful pop_top_batch calls
+  std::uint64_t batch_items = 0;    // items delivered by those calls
   std::uint64_t rounds_run = 0;
   std::uint64_t first_bad_round = 0;  // 1-based; 0 = none
   std::string deque;
@@ -102,9 +114,11 @@ struct Verdict {
        << " thieves=" << config.num_thieves << " rounds=" << rounds_run
        << "/" << config.rounds << " items=" << config.items_per_round
        << " p_drain=" << config.p_owner_drain
+       << " p_batch=" << config.p_batch_steal
        << " | duplicates=" << duplicates << " lost=" << lost << " stale="
        << stale << " first_bad_round=" << first_bad_round
-       << " owner_pops=" << owner_pops << " thief_steals=" << thief_steals;
+       << " owner_pops=" << owner_pops << " thief_steals=" << thief_steals
+       << " batch_steals=" << batch_steals << " batch_items=" << batch_items;
     return os.str();
   }
 };
@@ -119,16 +133,34 @@ Verdict run_differential(const char* deque_name, const DriverConfig& cfg,
   v.policy = policy->name();
   v.config = cfg;
 
-  Deque dq(cfg.deque_capacity);
+  // AbpGrowableDeque must arm its owner-side popBottom defense at
+  // construction before it will accept batch steals; the other deques take
+  // just a capacity. (Guaranteed copy elision: Deque stays non-movable.)
+  auto make_deque = [&cfg]() {
+    if constexpr (std::is_constructible_v<Deque, std::size_t, std::size_t,
+                                          bool>) {
+      return Deque(cfg.deque_capacity, /*max_capacity=*/0,
+                   /*enable_batch_steals=*/cfg.p_batch_steal > 0.0);
+    } else {
+      return Deque(cfg.deque_capacity);
+    }
+  };
+  auto dq = make_deque();
   std::atomic<std::uint64_t> round_seq{0};
   std::atomic<bool> pushing_done{false};
   std::atomic<std::size_t> arrived{0};
   std::atomic<bool> quit{false};
+  std::atomic<std::uint64_t> batch_steals{0};
+  std::atomic<std::uint64_t> batch_items{0};
   std::vector<std::vector<std::uint32_t>> thief_popped(cfg.num_thieves);
 
   chaos::ChaosScope scope(policy, cfg.seed);
 
   auto thief_fn = [&](std::size_t me) {
+    // Per-thief steal-mix RNG, split from the scope seed like the owner's,
+    // so the batch/single decision sequence reproduces from the one seed.
+    Xoshiro256 steal_rng;
+    steal_rng.reseed(SplitMix64(cfg.seed ^ (0xba7c45ULL + me)).next());
     std::uint64_t seen_round = 0;
     for (;;) {
       while (round_seq.load(std::memory_order_acquire) == seen_round) {
@@ -137,6 +169,27 @@ Verdict run_differential(const char* deque_name, const DriverConfig& cfg,
       }
       seen_round = round_seq.load(std::memory_order_acquire);
       for (;;) {
+        if constexpr (requires(Deque& d) {
+                        d.pop_top_batch(std::size_t{1});
+                      }) {
+          if (cfg.p_batch_steal > 0.0 &&
+              steal_rng.chance(cfg.p_batch_steal)) {
+            auto br = dq.pop_top_batch(cfg.batch_limit);
+            if (br.status == deque::PopTopStatus::kSuccess) {
+              for (std::size_t i = 0; i < br.count; ++i)
+                thief_popped[me].push_back(br.items[i]);
+              batch_steals.fetch_add(1, std::memory_order_relaxed);
+              batch_items.fetch_add(br.count, std::memory_order_relaxed);
+              continue;
+            }
+            if (br.status == deque::PopTopStatus::kEmpty &&
+                pushing_done.load(std::memory_order_acquire)) {
+              break;
+            }
+            std::this_thread::yield();  // lost race / owner still pushing
+            continue;
+          }
+        }
         auto r = dq.pop_top_ex();
         if (r.item) {
           thief_popped[me].push_back(*r.item);
@@ -218,6 +271,8 @@ Verdict run_differential(const char* deque_name, const DriverConfig& cfg,
 
   quit.store(true, std::memory_order_release);
   for (auto& t : thieves) t.join();
+  v.batch_steals = batch_steals.load(std::memory_order_relaxed);
+  v.batch_items = batch_items.load(std::memory_order_relaxed);
   return v;
 }
 

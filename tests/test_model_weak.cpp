@@ -20,6 +20,7 @@ namespace {
 Op push(std::uint8_t v) { return Op{Method::kPushBottom, v}; }
 Op pop_bottom() { return Op{Method::kPopBottom, 0}; }
 Op pop_top() { return Op{Method::kPopTop, 0}; }
+Op pop_top_batch() { return Op{Method::kPopTopBatch, 0}; }
 
 WExploreOptions options(WMachine m, MemModel model,
                         WAblation ablation = WAblation{}) {
@@ -52,8 +53,19 @@ TEST(WeakModel, OrderTableMatchesTheProvenPlacements) {
   EXPECT_EQ(order_spec(Site::kAbpTopCas).order, MemOrder::kSeqCst);
   EXPECT_EQ(order_spec(Site::kAbpBotBotStore).order, MemOrder::kSeqCst);
   EXPECT_EQ(order_spec(Site::kGrowGrowPublish).order, MemOrder::kRelease);
+  // Batch-steal sites (DESIGN.md §12): the claim CAS and the owner's
+  // defend CAS are seq_cst, and the batch bottom load is seq_cst so a
+  // stale-high bottom can never widen the claim window.
+  EXPECT_EQ(order_spec(Site::kGrowBatchAgeLoad).order, MemOrder::kAcquire);
+  EXPECT_EQ(order_spec(Site::kGrowBatchBotLoad).order, MemOrder::kSeqCst);
+  EXPECT_EQ(order_spec(Site::kGrowBatchCas).order, MemOrder::kSeqCst);
+  EXPECT_EQ(order_spec(Site::kGrowBotDefendCas).order, MemOrder::kSeqCst);
   EXPECT_STREQ(order_spec(Site::kClPushBotStore).site,
                "chase_lev.push_bottom.bottom_store");
+  EXPECT_STREQ(order_spec(Site::kGrowBatchCas).site,
+               "growable.pop_top_batch.cas");
+  EXPECT_STREQ(order_spec(Site::kGrowBotDefendCas).site,
+               "growable.pop_bottom.defend_cas");
 }
 
 // ---- correct machines pass under every model --------------------------------
@@ -281,6 +293,109 @@ TEST(WeakModel, GrowableSameScriptPassesUnablated) {
   };
   const auto r = wexplore(scripts, options(WMachine::kGrowable, MemModel::kRA));
   EXPECT_TRUE(r.passed()) << r.violation;
+}
+
+// ---- batch steal (steal-half): defended-window protocol ---------------------
+
+WExploreOptions batch_options(MemModel model,
+                              WAblation ablation = WAblation{}) {
+  WExploreOptions o = options(WMachine::kGrowable, model, ablation);
+  o.batch_steals = true;
+  return o;
+}
+
+TEST(WeakModel, BatchStealPassesUnderTsoAndRa) {
+  // Three pushes grow the buffer and leave b - t = 3, so the thief's
+  // steal-half claim takes 2 items in one CAS while the owner keeps
+  // popping (every armed popBottom runs the defend CAS here).
+  const std::vector<Script> scripts = {
+      {push(1), push(2), push(3), pop_bottom(), pop_bottom()},
+      {pop_top_batch()},
+  };
+  for (MemModel m : {MemModel::kTSO, MemModel::kRA}) {
+    const auto r = wexplore(scripts, batch_options(m));
+    EXPECT_TRUE(r.passed()) << to_string(m) << ": " << r.violation;
+    EXPECT_GT(r.terminal_states, 0u);
+  }
+}
+
+TEST(WeakModel, BatchAndSingleThievesPassUnderRa) {
+  // A batch thief racing a single-steal thief: the age CAS serializes
+  // them, so each item is still delivered exactly once.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), push(3), pop_bottom()},
+      {pop_top_batch()},
+      {pop_top()},
+  };
+  const auto r = wexplore(scripts, batch_options(MemModel::kRA));
+  EXPECT_TRUE(r.passed()) << r.violation;
+}
+
+TEST(WeakModel, BatchPublishShortCaughtUnderRa) {
+  // The ablation the fuzzer must also catch: the batch CAS claims two
+  // items but publishes top+1, leaving the second item both returned and
+  // still claimable.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), push(3)},
+      {pop_top_batch()},
+  };
+  WAblation ablation;
+  ablation.batch_publish_short = true;
+  const auto r = wexplore(scripts, batch_options(MemModel::kRA, ablation));
+  expect_counterexample(r, "growable.batch_publish_short/RA",
+                        "still in the deque");
+}
+
+TEST(WeakModel, BatchNoDefenseCaughtUnderRa) {
+  // Without the owner's defended-window tag bump, the owner can pop an
+  // item *inside* an in-flight claim window without touching age, and the
+  // batch CAS still commits: the item is delivered twice. This is the
+  // counterexample that makes growable.pop_bottom.defend_cas load-bearing.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), push(3), pop_bottom(), pop_bottom()},
+      {pop_top_batch()},
+  };
+  WAblation ablation;
+  ablation.batch_no_defense = true;
+  const auto r = wexplore(scripts, batch_options(MemModel::kRA, ablation));
+  expect_counterexample(r, "growable.batch_no_defense/RA", "twice");
+}
+
+TEST(WeakModel, BatchDporVerdictMatchesFullSearch) {
+  // DPOR on/off must agree on both the defended (pass) and the ablated
+  // (fail) batch protocol. The unreduced passing run may hit the cap;
+  // when it does, it must at least not have found a violation.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), push(3), pop_bottom()},
+      {pop_top_batch()},
+  };
+  WExploreOptions with = batch_options(MemModel::kRA);
+  WExploreOptions without = with;
+  without.use_dpor = false;
+  const auto reduced = wexplore(scripts, with);
+  const auto full = wexplore(scripts, without);
+  EXPECT_TRUE(reduced.passed()) << reduced.violation;
+  if (full.truncated) {
+    EXPECT_TRUE(full.ok) << full.violation;
+  } else {
+    EXPECT_TRUE(full.passed()) << full.violation;
+    EXPECT_EQ(reduced.ok, full.ok);
+  }
+
+  WAblation ablation;
+  ablation.batch_no_defense = true;
+  WExploreOptions bad_with = batch_options(MemModel::kRA, ablation);
+  WExploreOptions bad_without = bad_with;
+  bad_without.use_dpor = false;
+  const std::vector<Script> bad_scripts = {
+      {push(1), push(2), push(3), pop_bottom(), pop_bottom()},
+      {pop_top_batch()},
+  };
+  const auto bad_reduced = wexplore(bad_scripts, bad_with);
+  const auto bad_full = wexplore(bad_scripts, bad_without);
+  EXPECT_FALSE(bad_reduced.ok);
+  EXPECT_FALSE(bad_full.ok);
+  EXPECT_EQ(bad_reduced.violation.empty(), bad_full.violation.empty());
 }
 
 // ---- DPOR: identical verdicts, >= 5x fewer nodes ----------------------------

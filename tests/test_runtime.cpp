@@ -345,6 +345,69 @@ TEST(OptionNames, Stable) {
   EXPECT_STREQ(to_string(YieldPolicy::kNone), "none");
   EXPECT_STREQ(to_string(YieldPolicy::kYield), "yield");
   EXPECT_STREQ(to_string(YieldPolicy::kSleep), "sleep");
+  EXPECT_STREQ(to_string(StealPolicy::kSingle), "single");
+  EXPECT_STREQ(to_string(StealPolicy::kStealHalf), "steal-half");
+  EXPECT_STREQ(to_string(VictimPolicy::kUniform), "uniform");
+  EXPECT_STREQ(to_string(VictimPolicy::kNearestNeighbor), "nearest-neighbor");
+  EXPECT_STREQ(to_string(VictimPolicy::kHintAware), "hint-aware");
+  EXPECT_STREQ(to_string(VictimPolicy::kLastVictim), "last-victim");
+}
+
+// ---- steal-policy layer (DESIGN.md §12) ------------------------------------
+
+// Every (steal, victim) policy combination computes the right answer on
+// the real runtime, and the policy counters obey their invariants. On
+// this 1-CPU host steals can be rare (a run may finish inside one OS
+// quantum), so the counter assertions are one-sided: never MORE batch
+// claims than steals, never more stolen items than 8x the claims, batch
+// counters exactly zero under single stealing.
+TEST(StealPolicyRuntime, MatrixComputesCorrectlyWithSaneCounters) {
+  const long want = serial_fib(18);
+  for (const StealPolicy sp : {StealPolicy::kSingle, StealPolicy::kStealHalf}) {
+    for (const VictimPolicy vp :
+         {VictimPolicy::kUniform, VictimPolicy::kNearestNeighbor,
+          VictimPolicy::kHintAware, VictimPolicy::kLastVictim}) {
+      SchedulerOptions o;
+      o.num_workers = 4;
+      o.deque = DequePolicy::kAbpGrowable;  // the batch-capable deque
+      o.steal_policy = sp;
+      o.victim_policy = vp;
+      Scheduler s(o);
+      long out = 0;
+      s.run([&](Worker& w) { parallel_fib(w, 18, out); });
+      EXPECT_EQ(out, want) << to_string(sp) << "/" << to_string(vp);
+      const auto st = s.total_stats();
+      EXPECT_GE(st.steal_attempts, st.steals);
+      EXPECT_GE(st.steals, st.batch_steals);
+      EXPECT_GE(st.batch_stolen_items, st.batch_steals);
+      EXPECT_LE(st.batch_stolen_items, st.batch_steals * 8);
+      EXPECT_GE(st.steals, st.preferred_victim_hits);
+      if (sp == StealPolicy::kSingle) {
+        EXPECT_EQ(st.batch_steals, 0u) << to_string(vp);
+        EXPECT_EQ(st.batch_stolen_items, 0u) << to_string(vp);
+      }
+    }
+  }
+}
+
+// steal_policy = kStealHalf on a deque without a batched top operation
+// silently degrades to single-item steals (options.hpp documents this;
+// a degraded claim still counts as a batch of exactly 1 per stats.hpp):
+// the run is correct and no claim ever delivers more than one item.
+TEST(StealPolicyRuntime, StealHalfDegradesOnNonBatchDeques) {
+  for (const DequePolicy dp : {DequePolicy::kAbp, DequePolicy::kChaseLev}) {
+    SchedulerOptions o;
+    o.num_workers = 4;
+    o.deque = dp;
+    o.steal_policy = StealPolicy::kStealHalf;
+    Scheduler s(o);
+    long out = 0;
+    s.run([&](Worker& w) { parallel_fib(w, 18, out); });
+    EXPECT_EQ(out, serial_fib(18)) << to_string(dp);
+    EXPECT_EQ(s.total_stats().batch_stolen_items,
+              s.total_stats().batch_steals)
+        << to_string(dp);
+  }
 }
 
 }  // namespace

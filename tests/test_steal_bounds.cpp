@@ -1,0 +1,253 @@
+// Statistical steal-bound suite for the steal-policy layer (ISSUE PR 5,
+// satellite 1): every (steal, victim) policy combination is run over 30+
+// seeded ensembles per workload, and the suite enforces two things the
+// theory and the design both promise:
+//
+//   * the throw count stays O(P * Tinf) — the Theorem 9 balls-and-bins
+//     argument does not care HOW a thief picks its victim as long as the
+//     victim draw is "random enough"; every policy here falls back to a
+//     fresh uniform draw after a failed preference, so the bound must
+//     survive the policy layer with the usual generous constant;
+//   * no policy makes stealing WORSE: a policy whose mean throws exceed
+//     the uniform/single baseline beyond small-sample slack is a
+//     regression and the suite fails (this is the acceptance gate for
+//     merging any new victim heuristic).
+//
+// The steal-half headline (>= 20% fewer throws on at least one workload)
+// is asserted here too and reported as experiment E25 in EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dag/builders.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+#include "support/stats.hpp"
+
+namespace abp::sched {
+namespace {
+
+using sim::YieldKind;
+
+constexpr std::size_t kP = 8;
+constexpr std::uint64_t kSeeds = 30;  // ensembles per (policy, workload)
+
+struct PolicyCase {
+  const char* name;
+  StealKind steal;
+  VictimKind victim;
+};
+
+// The full policy matrix the engine exposes (the simulator has no
+// hint-aware victim kind; see work_stealer.hpp).
+const std::vector<PolicyCase>& policy_matrix() {
+  static const std::vector<PolicyCase> cases = {
+      {"single/uniform", StealKind::kSingle, VictimKind::kUniform},
+      {"single/nearest", StealKind::kSingle, VictimKind::kNearestNeighbor},
+      {"single/last", StealKind::kSingle, VictimKind::kLastVictim},
+      {"half/uniform", StealKind::kStealHalf, VictimKind::kUniform},
+      {"half/nearest", StealKind::kStealHalf, VictimKind::kNearestNeighbor},
+      {"half/last", StealKind::kStealHalf, VictimKind::kLastVictim},
+  };
+  return cases;
+}
+
+RunMetrics run_policy(const dag::Dag& d, const PolicyCase& pc,
+                      std::uint64_t seed,
+                      SpawnOrder order = SpawnOrder::kChild) {
+  sim::DedicatedKernel k(kP);
+  Options opts;
+  opts.yield = YieldKind::kNone;
+  opts.spawn_order = order;
+  opts.steal = pc.steal;
+  opts.victim = pc.victim;
+  opts.seed = seed;
+  return run_work_stealer(d, k, opts);
+}
+
+// Mean throws over the seeded ensemble; asserts completion for every run.
+OnlineStats throw_ensemble(const dag::Dag& d, const PolicyCase& pc,
+                           SpawnOrder order = SpawnOrder::kChild) {
+  OnlineStats throws;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto m = run_policy(d, pc, seed, order);
+    EXPECT_TRUE(m.completed) << pc.name << " seed=" << seed;
+    throws.add(static_cast<double>(m.steal_attempts));
+  }
+  return throws;
+}
+
+// Every policy keeps E[throws] = O(P * Tinf): the ensemble mean of
+// throws / (P * Tinf) stays under the same generous constant the Theorem 9
+// test uses, on every workload family.
+TEST(StealBounds, ThrowsStayOrderPTinfAcrossPolicies) {
+  const std::vector<std::pair<std::string, dag::Dag>> workloads = {
+      {"fib13", dag::fib_dag(13)},
+      {"grid", dag::grid_wavefront(30, 30)},
+      {"sp", dag::random_series_parallel(21, 3000)},
+  };
+  for (const auto& [wname, d] : workloads) {
+    const double tinf = static_cast<double>(d.critical_path_length());
+    for (const PolicyCase& pc : policy_matrix()) {
+      OnlineStats ratio;
+      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        const auto m = run_policy(d, pc, seed);
+        ASSERT_TRUE(m.completed) << wname << " " << pc.name;
+        ratio.add(static_cast<double>(m.steal_attempts) /
+                  (static_cast<double>(kP) * tinf));
+      }
+      EXPECT_LE(ratio.mean(), 12.0) << wname << " " << pc.name;
+    }
+  }
+}
+
+// The execution-length bound (Theorem 9 shape) survives the policy layer:
+// no policy may trade throws for length.
+TEST(StealBounds, LengthBoundSurvivesPolicyLayer) {
+  const auto d = dag::fib_dag(13);
+  for (const PolicyCase& pc : policy_matrix()) {
+    OnlineStats ratio;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const auto m = run_policy(d, pc, seed);
+      ASSERT_TRUE(m.completed) << pc.name;
+      ratio.add(m.bound_ratio());
+    }
+    EXPECT_LE(ratio.mean(), 3.0) << pc.name;
+    EXPECT_LE(ratio.max(), 4.5) << pc.name;
+  }
+}
+
+// Regression gate: no victim heuristic may increase the mean throw count
+// over the uniform draw with the same steal kind, beyond small-sample
+// slack. The slack term is both relative (10%) and statistical (3
+// standard errors of the difference of means) — a heuristic that
+// genuinely increases throws clears neither, and merging it is a
+// regression this suite exists to block.
+TEST(StealBounds, NoVictimPolicyRegressesMeanThrowsVsUniform) {
+  const std::vector<std::pair<std::string, dag::Dag>> workloads = {
+      {"fib13", dag::fib_dag(13)},
+      {"grid", dag::grid_wavefront(30, 30)},
+  };
+  for (const auto& [wname, d] : workloads) {
+    for (const StealKind steal : {StealKind::kSingle, StealKind::kStealHalf}) {
+      const OnlineStats base = throw_ensemble(
+          d, {"uniform-base", steal, VictimKind::kUniform});
+      for (const PolicyCase& pc : policy_matrix()) {
+        if (pc.steal != steal) continue;
+        const OnlineStats cur = throw_ensemble(d, pc);
+        const double se_diff =
+            std::sqrt(base.variance() / static_cast<double>(base.count()) +
+                      cur.variance() / static_cast<double>(cur.count()));
+        EXPECT_LE(cur.mean(), 1.10 * base.mean() + 3.0 * se_diff)
+            << wname << " " << pc.name << ": mean throws " << cur.mean()
+            << " vs uniform baseline " << base.mean();
+      }
+    }
+  }
+}
+
+// The E25 headline: when victims hold many long-running ready nodes — the
+// wide dag with 40-node strands under help-first (kParent) spawning, so
+// the producer's deque is deep while consumers stay busy between steals —
+// steal-half cuts the ensemble-mean throw count by >= 20% against single
+// stealing with the identical victim policy. The regime matters and is
+// part of the claim: under work-first (kChild) spawning the same dag
+// keeps every deque at depth <= 1 (batching is a no-op), and on deep
+// recursion (fib) batching over-steals and mildly increases throws.
+// EXPERIMENTS.md E25 reports the numbers for all three regimes.
+TEST(StealBounds, StealHalfCutsThrowsOnWideWorkload) {
+  const auto d = dag::wide(64, 40);
+  const OnlineStats single = throw_ensemble(
+      d, {"single/uniform", StealKind::kSingle, VictimKind::kUniform},
+      SpawnOrder::kParent);
+  const OnlineStats half = throw_ensemble(
+      d, {"half/uniform", StealKind::kStealHalf, VictimKind::kUniform},
+      SpawnOrder::kParent);
+  EXPECT_LE(half.mean(), 0.80 * single.mean())
+      << "steal-half mean throws " << half.mean()
+      << " vs single " << single.mean();
+}
+
+// Policy bookkeeping is real, not decorative: the counters that DESIGN.md
+// §12 promises each policy populates are populated, and they mean what
+// they say.
+TEST(StealBounds, PolicyCountersAreConsistent) {
+  const auto d = dag::wide(200, 6);
+  // Steal-half: batch claims happen, claims of more than one node are
+  // real (the deep-deque regime, see StealHalfCutsThrowsOnWideWorkload),
+  // and the per-claim cap is respected.
+  const auto half =
+      run_policy(d, {"half/uniform", StealKind::kStealHalf,
+                     VictimKind::kUniform}, 11, SpawnOrder::kParent);
+  ASSERT_TRUE(half.completed);
+  EXPECT_GT(half.batch_steals, 0u);
+  EXPECT_GT(half.batch_stolen_items, half.batch_steals);
+  EXPECT_LE(half.batch_stolen_items, half.batch_steals * 8);
+
+  // Nearest-neighbor: successful steals record ring distances, and the
+  // mean distance is smaller than uniform's (that is the point).
+  OnlineStats near_dist, uni_dist;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto mn = run_policy(d, {"single/nearest", StealKind::kSingle,
+                                   VictimKind::kNearestNeighbor}, seed);
+    const auto mu = run_policy(d, {"single/uniform", StealKind::kSingle,
+                                   VictimKind::kUniform}, seed);
+    ASSERT_TRUE(mn.completed);
+    ASSERT_TRUE(mu.completed);
+    if (mn.successful_steals > 0)
+      near_dist.add(static_cast<double>(mn.victim_distance_sum) /
+                    static_cast<double>(mn.successful_steals));
+    if (mu.successful_steals > 0)
+      uni_dist.add(static_cast<double>(mu.victim_distance_sum) /
+                   static_cast<double>(mu.successful_steals));
+  }
+  ASSERT_GT(near_dist.count(), 0u);
+  ASSERT_GT(uni_dist.count(), 0u);
+  EXPECT_LT(near_dist.mean(), uni_dist.mean());
+
+  // Last-victim: the cache hits at least sometimes on a workload where
+  // victims stay rich across consecutive steals (deep recursive deques).
+  const auto fib = dag::fib_dag(13);
+  OnlineStats hits;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto m = run_policy(fib, {"single/last", StealKind::kSingle,
+                                    VictimKind::kLastVictim}, seed);
+    ASSERT_TRUE(m.completed);
+    hits.add(static_cast<double>(m.preferred_victim_hits));
+  }
+  EXPECT_GT(hits.mean(), 0.0);
+}
+
+// The policies hold up under multiprogramming too: a benign kernel at half
+// utilization, every policy completes within the usual bound-ratio and the
+// throw bound.
+TEST(StealBounds, PoliciesSurviveMultiprogramming) {
+  const auto d = dag::fib_dag(13);
+  const double tinf = static_cast<double>(d.critical_path_length());
+  for (const PolicyCase& pc : policy_matrix()) {
+    OnlineStats ratio, throws;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      sim::BenignKernel k(kP, sim::constant_profile(4), seed);
+      Options opts;
+      opts.yield = YieldKind::kToRandom;
+      opts.steal = pc.steal;
+      opts.victim = pc.victim;
+      opts.seed = seed * 7 + 1;
+      const auto m = run_work_stealer(d, k, opts);
+      ASSERT_TRUE(m.completed) << pc.name << " seed=" << seed;
+      ratio.add(m.bound_ratio());
+      throws.add(static_cast<double>(m.steal_attempts) /
+                 (static_cast<double>(kP) * tinf));
+    }
+    EXPECT_LE(ratio.mean(), 3.0) << pc.name;
+    EXPECT_LE(throws.mean(), 12.0) << pc.name;
+  }
+}
+
+}  // namespace
+}  // namespace abp::sched

@@ -27,6 +27,9 @@ multiple modeled access points (Chase-Lev's Buffer::get).
 
 Exit status: 0 clean, 1 violations (one per line on stderr).
 Usage: tools/atomics_lint.py [repo-root]
+       tools/atomics_lint.py --self-test   # lint a deliberately broken
+                                           # scratch file; exit 0 iff the
+                                           # lint rejects it
 """
 
 import re
@@ -306,7 +309,72 @@ def lint_file(path: Path, rel: str, table, anchored_sites, errors):
             )
 
 
+# A scratch deque that violates the lint on purpose: an implicit-seq_cst
+# load, a CAS without a CHAOS_POINT, and atomic ops without model-site
+# anchors (the file has one named anchor, so model-drift applies).
+SELF_TEST_SOURCE = """\
+#include <atomic>
+struct ScratchDeque {
+  std::atomic<unsigned> age{0};
+  std::atomic<unsigned> bot{0};
+  unsigned pop_top() {
+    // model-site: growable.pop_top.age_load
+    unsigned a = age.load(std::memory_order_acquire);
+    unsigned b = bot.load();  // implicit seq_cst: must be rejected
+    if (b <= a) return 0;
+    age.compare_exchange_strong(a, a + 1);  // no order, no CHAOS_POINT
+    return b;
+  }
+  unsigned peek_bottom() {
+    // An atomic access with no model-site anchor in the preceding lines:
+    // model-drift must demand an anchor (or a none(<why>) waiver).
+    return bot.load(std::memory_order_relaxed);
+  }
+};
+"""
+
+
+def self_test() -> int:
+    """The lint must reject SELF_TEST_SOURCE; a lint that waves it through
+    has lost one of its checks."""
+    import tempfile
+
+    root = Path(__file__).parent.parent
+    errors = []
+    table = parse_order_table(root, errors)
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch = Path(tmp) / "scratch_selftest.hpp"
+        scratch.write_text(SELF_TEST_SOURCE)
+        lint_file(scratch, "src/deque/scratch_selftest.hpp", table, set(),
+                  errors)
+    expected = [
+        ("implicit-order", "implicit memory_order_seq_cst"),
+        ("chaos-coverage", "without a CHAOS_POINT"),
+        ("model-drift", "without a `// model-site:` anchor"),
+    ]
+    missing = [
+        name for (name, needle) in expected
+        if not any(needle in e for e in errors)
+    ]
+    if missing:
+        print(
+            "atomics-lint self-test FAILED: scratch violations not "
+            f"rejected: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        for e in errors:
+            print(f"  (reported: {e})", file=sys.stderr)
+        return 1
+    print(
+        f"atomics-lint self-test: ok ({len(errors)} scratch violation(s) "
+        "rejected)"
+    )
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--self-test":
+        return self_test()
     root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
     errors = []
     table = parse_order_table(root, errors)

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Bench-regression guard (CI: the `bench` job in .github/workflows/ci.yml).
+
+Compares the current run of the two steady-state benches against the
+checked-in baseline and exits 1 on a >10% throughput regression:
+
+  * bench_deque_micro (google-benchmark, --benchmark_format=json): the
+    single-threaded steady-state loops (BM_OwnerPushPop, BM_OwnerBurst,
+    BM_StealDrain). Raw items/s depends on the runner lottery, so each
+    implementation's throughput is normalized by the MutexDeque entry of
+    the same loop in the same run — the ratio "how much faster than the
+    trivially-correct lock-based deque" is a machine-portable measure of
+    the lock-free fast paths this repo optimizes. The multi-threaded
+    BM_OwnerWithThief loops are excluded: their ratios measure the
+    runner's core count and preemption behavior, not the code.
+  * bench_multiprog (BENCH_JSON line): per-discipline makespans in
+    simulator rounds. These are deterministic given the seeds, so any
+    drift at all is a code change, and the 10% threshold is pure slack.
+
+The two sources get different thresholds: the micro ratios still swing
+~10% between median-of-5 runs on a loaded host (the reference division
+removes the machine, not the scheduler-interference lottery within one
+run), so they are guarded at 15%; the deterministic makespans keep the
+pure-slack 10%.
+
+Usage:
+    bench_regression.py --baseline bench/baseline.json \
+        [--micro micro.json] [--bench-json bench.jsonl] \
+        [--threshold 0.10] [--micro-threshold 0.15] [--update]
+
+--update rewrites the baseline from the current inputs instead of
+comparing. Refresh procedure (documented in EXPERIMENTS.md §E26): rerun
+both benches on a quiet machine, inspect the diff, commit the new
+baseline in the same PR as the change that legitimately moved it.
+"""
+
+import argparse
+import json
+import sys
+
+# Micro loops whose mutex-normalized throughput is guarded. Key: the
+# google-benchmark family name; every "<family><Impl>" entry is compared
+# against "<family><MutexDeque>" from the same run.
+MICRO_FAMILIES = ("BM_OwnerPushPop", "BM_OwnerBurst", "BM_StealDrain")
+MICRO_REFERENCE = "MutexDeque"
+
+
+def fail(msg: str) -> None:
+    print(f"bench-regression: FAIL: {msg}")
+    sys.exit(1)
+
+
+def extract_micro(path: str) -> dict:
+    """Mutex-normalized items/s per guarded micro benchmark.
+
+    Run bench_deque_micro with --benchmark_repetitions (the CI job uses 5)
+    so the medians are available: single runs of the short loops swing
+    well past the threshold on a loaded host, the median does not.
+    """
+    with open(path) as f:
+        data = json.load(f)
+    ips, medians = {}, {}
+    for b in data.get("benchmarks", []):
+        if "items_per_second" not in b:
+            continue
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[b.get("run_name", b.get("name", ""))] = float(
+                    b["items_per_second"])
+        else:
+            ips[b.get("name", "")] = float(b["items_per_second"])
+    if medians:
+        ips = medians
+    metrics = {}
+    for family in MICRO_FAMILIES:
+        ref = None
+        for name, value in ips.items():
+            if name.startswith(family) and MICRO_REFERENCE in name:
+                ref = value
+        if ref is None or ref <= 0.0:
+            fail(f"micro run has no {family}<...{MICRO_REFERENCE}...> "
+                 f"reference entry ({path})")
+        for name, value in sorted(ips.items()):
+            if not name.startswith(family) or MICRO_REFERENCE in name:
+                continue
+            # "micro/BM_OwnerPushPop<abp::deque::AbpDeque<Item>>" etc.;
+            # higher is better.
+            metrics[f"micro/{name}"] = value / ref
+    return metrics
+
+
+def extract_multiprog(path: str) -> dict:
+    """Per-(mix, discipline) makespans from bench_multiprog's BENCH_JSON.
+
+    `path` holds one raw JSON object per line (the ABP_BENCH_JSON file
+    format); lines from benches other than E20 are ignored so the same
+    file may collect several harnesses.
+    """
+    metrics = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "bench_multiprog" not in obj.get("bench", ""):
+                continue
+            if not obj.get("ok", False):
+                fail(f"bench_multiprog reported ok=false ({path})")
+            for table in obj.get("tables", []):
+                cols = table.get("columns", [])
+                if "makespan" not in cols:
+                    continue
+                mk = cols.index("makespan")
+                title = table.get("title", "?").split("(")[0].strip()
+                for row in table.get("rows", []):
+                    # Lower is better (simulator rounds, deterministic).
+                    metrics[f"multiprog/{title}/{row[0]}"] = -float(row[mk])
+    if not metrics:
+        fail(f"no bench_multiprog makespan tables found in {path}")
+    return metrics
+
+
+def collect(args) -> dict:
+    metrics = {}
+    if args.micro:
+        metrics.update(extract_micro(args.micro))
+    if args.bench_json:
+        metrics.update(extract_multiprog(args.bench_json))
+    if not metrics:
+        fail("no inputs: pass --micro and/or --bench-json")
+    return metrics
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--micro", help="bench_deque_micro --benchmark_format=json output")
+    ap.add_argument("--bench-json", help="ABP_BENCH_JSON file from bench_multiprog")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative regression that fails (multiprog)")
+    ap.add_argument("--micro-threshold", type=float, default=0.15,
+                    help="relative regression that fails (micro/ metrics)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline instead of comparing")
+    args = ap.parse_args()
+
+    current = collect(args)
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump({"metrics": current}, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"bench-regression: baseline refreshed with "
+              f"{len(current)} metric(s) -> {args.baseline}")
+        return
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)["metrics"]
+
+    # All metrics are stored higher-is-better (makespans are negated), so
+    # a regression is uniformly "current below baseline by > threshold".
+    regressions, improved, missing = [], [], []
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            missing.append(name)
+            continue
+        threshold = (args.micro_threshold if name.startswith("micro/")
+                     else args.threshold)
+        cur = current[name]
+        rel = (cur - base) / abs(base) if base != 0 else 0.0
+        status = "ok"
+        if rel < -threshold:
+            regressions.append(name)
+            status = "REGRESSED"
+        elif rel > threshold:
+            improved.append(name)
+            status = "improved"
+        print(f"  {name}: baseline={base:.4g} current={cur:.4g} "
+              f"({rel:+.1%}, allowed -{threshold:.0%}) {status}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name}: NEW (not in baseline; run --update to record)")
+
+    if missing:
+        fail(f"{len(missing)} baseline metric(s) missing from this run: "
+             + ", ".join(missing))
+    if regressions:
+        fail(f"{len(regressions)} metric(s) regressed past their "
+             "threshold: " + ", ".join(regressions))
+    note = (" (baseline looks stale; refresh with --update in this PR)"
+            if improved else "")
+    print(f"bench-regression: ok ({len(baseline)} metric(s) within "
+          "threshold of baseline)" + note)
+
+
+if __name__ == "__main__":
+    main()
