@@ -64,6 +64,18 @@ class JsonLineCollector {
     obs::JsonObjectWriter w;
     w.add("bench", bench_);
     w.add("ok", all_ok_);
+    // Provenance: which commit and flag set produced this sample (stamped
+    // by CMake; tools/bench_regression.py echoes and records them).
+#if defined(ABP_GIT_SHA)
+    w.add("git_sha", ABP_GIT_SHA);
+#else
+    w.add("git_sha", "unknown");
+#endif
+#if defined(ABP_BUILD_FLAGS)
+    w.add("build_flags", ABP_BUILD_FLAGS);
+#else
+    w.add("build_flags", "unknown");
+#endif
     w.add_raw("verdicts", join(verdicts_));
     w.add_raw("tables", join(tables_));
     return w.str();

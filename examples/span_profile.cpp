@@ -1,0 +1,140 @@
+// Online work/span profiler: measure T1 and Tinf while the run executes,
+// then cross-check against the statically known DAG.
+//
+// Build the project, then run:  ./build/examples/span_profile
+//   (pipe through tools/span_report.py to re-check and fit the bound)
+//
+// Two profilers are exercised:
+//
+//   * The dag engine (runtime/dag_engine) folds each node's path length
+//     along the enabling edges the run actually takes: path(n) = 1 + max
+//     path over n's executed predecessors, maintained with a CAS-max
+//     BEFORE the indegree decrement that publishes the node. On a
+//     completed run the measured span therefore equals the static
+//     critical_path_length() exactly — printed below as SPAN_JSON lines
+//     and asserted here.
+//   * The fork-join scheduler (runtime/scheduler) runs the same algebra
+//     in cycle units on dynamic task trees, where no static answer
+//     exists: spawn stamps the child's path, joins fold the max child
+//     path back into the waiter. The invariant checked: 0 < Tinf <= T1.
+//
+// Exit status is the self-check; SPAN_JSON output feeds span_report.py's
+// least-squares fit of seconds ~= c1*T1/P + c2*Tinf (EXPERIMENTS.md §E27).
+
+#include <cstdio>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "dag/builders.hpp"
+#include "obs/export.hpp"
+#include "runtime/dag_engine.hpp"
+#include "runtime/scheduler.hpp"
+
+using abp::dag::Dag;
+using abp::runtime::DagRunResult;
+using abp::runtime::SchedulerOptions;
+
+namespace {
+
+bool check(bool ok, const char* what) {
+  if (!ok) std::fprintf(stderr, "span_profile: FAIL: %s\n", what);
+  return ok;
+}
+
+long fib(abp::runtime::Worker& w, int n) {
+  if (n < 12) {
+    return n < 2 ? n : fib(w, n - 1) + fib(w, n - 2);
+  }
+  long a = 0;
+  abp::runtime::TaskGroup tg(w);
+  tg.spawn([&a, n](abp::runtime::Worker& w2) { a = fib(w2, n - 1); });
+  const long b = fib(w, n - 2);
+  tg.wait();
+  return a + b;
+}
+
+}  // namespace
+
+int main() {
+  bool ok = true;
+
+  struct Workload {
+    const char* name;
+    Dag dag;
+  };
+  const Workload workloads[] = {
+      {"fork_join_tree(d=10)", abp::dag::fork_join_tree(10)},
+      {"grid_wavefront(32x32)", abp::dag::grid_wavefront(32, 32)},
+      {"random_series_parallel(4k)",
+       abp::dag::random_series_parallel(42, 4000)},
+      {"chain(2000)", abp::dag::chain(2000)},
+      {"wide(256x4)", abp::dag::wide(256, 4)},
+  };
+
+  for (const Workload& wl : workloads) {
+    const std::uint64_t work = wl.dag.work();
+    const std::uint64_t span = wl.dag.critical_path_length();
+    for (const std::size_t p : {1u, 2u, 4u}) {
+      SchedulerOptions opts;
+      opts.num_workers = p;
+      // Enough per-node busy-work that the makespan reflects the schedule
+      // (work and span terms), not worker-thread startup; span_report.py's
+      // c1/c2 fit needs that signal.
+      const DagRunResult r =
+          abp::runtime::run_dag(wl.dag, opts, /*spin_per_node=*/4000);
+      ok &= check(r.ok, "dag run did not complete");
+      ok &= check(r.measured_work_nodes == work,
+                  "measured work != dag node count");
+      // Acceptance: the online span is never below the static critical
+      // path; on a completed run it is exactly equal (see dag_engine.cpp).
+      ok &= check(r.measured_span_nodes >= span,
+                  "measured span below static critical path");
+      ok &= check(r.measured_span_nodes == span,
+                  "measured span above static critical path");
+      // The paper's makespan bound is in terms of the processor average
+      // P_A, not the requested P: on a host with fewer CPUs than workers
+      // (the multiprogrammed regime), the work term divides by what the
+      // machine can actually deliver. span_report.py fits against p_eff.
+      const std::size_t hw = std::thread::hardware_concurrency();
+      const std::size_t p_eff = hw != 0 && hw < p ? hw : p;
+      abp::obs::JsonObjectWriter j;
+      j.add("workload", std::string_view(wl.name));
+      j.add("p", static_cast<std::uint64_t>(p));
+      j.add("p_eff", static_cast<std::uint64_t>(p_eff));
+      j.add("work_nodes", work);
+      j.add("span_nodes", span);
+      j.add("measured_work_nodes", r.measured_work_nodes);
+      j.add("measured_span_nodes", r.measured_span_nodes);
+      j.add("seconds", r.seconds);
+      std::printf("SPAN_JSON %s\n", j.str().c_str());
+    }
+  }
+
+  // Dynamic fork-join: no static critical path exists, but the measured
+  // profile must satisfy the defining inequality of work and span.
+  {
+    SchedulerOptions opts;
+    opts.num_workers = 4;
+    abp::runtime::Scheduler scheduler(opts);
+    long result = 0;
+    scheduler.run(
+        [&result](abp::runtime::Worker& w) { result = fib(w, 28); });
+    std::printf("fib(28) = %ld\n", result);
+    const abp::obs::SpanProfile prof = scheduler.span_profile();
+    std::printf("fork-join profile: T1=%llu ticks, Tinf=%llu ticks, "
+                "tasks=%llu, parallelism=%.2f\n",
+                (unsigned long long)prof.t1_ticks,
+                (unsigned long long)prof.tinf_ticks,
+                (unsigned long long)prof.tasks, prof.parallelism());
+#if ABP_TRACE_ENABLED
+    ok &= check(prof.tinf_ticks > 0, "fork-join span is zero");
+    ok &= check(prof.t1_ticks >= prof.tinf_ticks,
+                "fork-join span exceeds total work");
+    ok &= check(prof.tasks > 0, "fork-join profile counted no tasks");
+#endif
+  }
+
+  std::printf("span_profile: %s\n", ok ? "ok" : "FAILED");
+  return ok ? 0 : 1;
+}

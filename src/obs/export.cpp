@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace abp::obs {
 
@@ -254,6 +255,166 @@ std::string histogram_summary_json(const LatencyHistogram& h, double scale) {
   return w.str();
 }
 
+// ---- PrometheusWriter ----------------------------------------------------
+
+std::string prometheus_sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (alpha || c == '_' || c == ':' || (digit && i > 0)) out += c;
+    else out += '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+void PrometheusWriter::type_line(std::string_view name, const char* type) {
+  for (const std::string& t : typed_)
+    if (t == name) return;
+  typed_.emplace_back(name);
+  body_ += "# TYPE ";
+  body_ += name;
+  body_ += ' ';
+  body_ += type;
+  body_ += '\n';
+}
+
+void PrometheusWriter::sample(std::string_view name, std::string_view suffix,
+                              std::string_view labels, double v) {
+  body_ += name;
+  body_ += suffix;
+  if (!labels.empty()) {
+    body_ += '{';
+    body_ += labels;
+    body_ += '}';
+  }
+  body_ += ' ';
+  if (std::isnan(v)) body_ += "NaN";
+  else if (std::isinf(v)) body_ += v > 0 ? "+Inf" : "-Inf";
+  else body_ += format_double(v);
+  body_ += '\n';
+}
+
+void PrometheusWriter::gauge(std::string_view name, double v,
+                             std::string_view labels) {
+  const std::string n = prometheus_sanitize(name);
+  type_line(n, "gauge");
+  sample(n, "", labels, v);
+}
+
+void PrometheusWriter::counter(std::string_view name, double v,
+                               std::string_view labels) {
+  const std::string n = prometheus_sanitize(name);
+  type_line(n, "counter");
+  sample(n, "", labels, v);
+}
+
+void PrometheusWriter::histogram(std::string_view name,
+                                 const LatencyHistogram& h, double scale,
+                                 std::string_view labels) {
+  const std::string n = prometheus_sanitize(name);
+  type_line(n, "histogram");
+  // Cumulative buckets up to the highest occupied one; le values are the
+  // scaled inclusive bucket upper bounds, strictly increasing by
+  // construction of the power-of-two bucketing.
+  const int top =
+      h.count() > 0 ? LatencyHistogram::bucket_index(h.max()) : -1;
+  std::uint64_t cum = 0;
+  for (int i = 0; i <= top; ++i) {
+    cum += h.bucket_count(i);
+    std::string le = "le=\"";
+    le += format_double(static_cast<double>(LatencyHistogram::bucket_upper(i)) *
+                        scale);
+    le += '"';
+    if (!labels.empty()) {
+      le += ',';
+      le += labels;
+    }
+    sample(n, "_bucket", le, static_cast<double>(cum));
+  }
+  std::string inf = "le=\"+Inf\"";
+  if (!labels.empty()) {
+    inf += ',';
+    inf += labels;
+  }
+  sample(n, "_bucket", inf, static_cast<double>(h.count()));
+  sample(n, "_sum", labels, static_cast<double>(h.sum()) * scale);
+  sample(n, "_count", labels, static_cast<double>(h.count()));
+}
+
+namespace {
+
+bool prom_name_ok(std::string_view name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+    const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+    if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool prom_value_ok(std::string_view v) {
+  if (v == "+Inf" || v == "-Inf" || v == "Inf" || v == "NaN") return true;
+  if (v.empty()) return false;
+  char* end = nullptr;
+  const std::string tmp(v);
+  std::strtod(tmp.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool prometheus_validate(std::string_view text, std::string* err) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  auto bad = [&](const char* why, std::string_view line) {
+    if (err != nullptr)
+      *err = std::string(why) + " on line " + std::to_string(line_no) + ": " +
+             std::string(line);
+    return false;
+  };
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE name kind" / "# HELP name text" / arbitrary comment.
+      continue;
+    }
+    // name[{labels}] value
+    std::size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string_view::npos)
+      return bad("metric line without value", line);
+    if (!prom_name_ok(line.substr(0, name_end)))
+      return bad("bad metric name", line);
+    std::size_t value_at = name_end;
+    if (line[name_end] == '{') {
+      const std::size_t close = line.find('}', name_end);
+      if (close == std::string_view::npos)
+        return bad("unterminated label set", line);
+      // Label values must be quoted; count quotes for balance.
+      std::size_t quotes = 0;
+      for (std::size_t i = name_end + 1; i < close; ++i)
+        if (line[i] == '"' && (i == 0 || line[i - 1] != '\\')) ++quotes;
+      if (quotes % 2 != 0) return bad("unbalanced label quotes", line);
+      value_at = close + 1;
+    }
+    if (value_at >= line.size() || line[value_at] != ' ')
+      return bad("expected space before value", line);
+    const std::string_view value = line.substr(value_at + 1);
+    if (!prom_value_ok(value)) return bad("bad sample value", line);
+  }
+  return true;
+}
+
 // ---- ChromeTraceBuilder --------------------------------------------------
 
 namespace {
@@ -392,6 +553,12 @@ void append_snapshots_to_trace(
           JsonObjectWriter args;
           args.add("distance", e.arg);
           out.instant(pid, tid, "victim_distance", ts, args.str());
+          break;
+        }
+        case EventType::kTaskStolen: {
+          JsonObjectWriter args;
+          args.add("provenance", e.arg);
+          out.instant(pid, tid, "task_stolen", ts, args.str());
           break;
         }
         case EventType::kPopBottomHit:

@@ -50,6 +50,42 @@ class JsonObjectWriter {
 std::string histogram_summary_json(const LatencyHistogram& h,
                                    double scale = 1.0);
 
+// Prometheus text exposition format (version 0.0.4). gauge()/counter()
+// emit one sample with a # TYPE header the first time a metric name is
+// seen; histogram() renders a LatencyHistogram as the standard cumulative
+// le-bucket family (name_bucket/name_sum/name_count), with `scale`
+// converting the raw samples (e.g. ns_per_tick for TSC ticks). Metric
+// names are sanitized to the Prometheus charset; labels, when given, are
+// the raw inside of the braces, e.g. `worker="3"`.
+class PrometheusWriter {
+ public:
+  void gauge(std::string_view name, double v, std::string_view labels = {});
+  void counter(std::string_view name, double v, std::string_view labels = {});
+  void histogram(std::string_view name, const LatencyHistogram& h,
+                 double scale = 1.0, std::string_view labels = {});
+
+  bool empty() const noexcept { return body_.empty(); }
+  std::string str() const { return body_; }
+
+ private:
+  void type_line(std::string_view name, const char* type);
+  void sample(std::string_view name, std::string_view suffix,
+              std::string_view labels, double v);
+
+  std::string body_;
+  std::vector<std::string> typed_;  // names with an emitted # TYPE line
+};
+
+// Sanitizes a metric name to the Prometheus charset
+// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid characters become '_'.
+std::string prometheus_sanitize(std::string_view name);
+
+// Minimal checker for the text exposition format: every non-comment line
+// must be `name{labels} value`, names in the legal charset, label values
+// quoted, the value a float ('+Inf'/'NaN' allowed). Returns true on
+// success; on failure `err` (if non-null) names the offending line.
+bool prometheus_validate(std::string_view text, std::string* err = nullptr);
+
 // Chrome trace event format ("JSON Object Format": {"traceEvents":[...]}).
 // Timestamps and durations are in microseconds, as the format requires.
 class ChromeTraceBuilder {

@@ -18,6 +18,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace abp::obs {
@@ -122,20 +123,31 @@ class LatencyHistogram {
 // convert with TscCalibration at export time).
 struct WorkerTelemetry {
   LatencyHistogram steal_latency;        // per successful steal attempt
-  LatencyHistogram job_run;              // per job execution
+  LatencyHistogram job_run;              // per job execution (inclusive)
   LatencyHistogram time_to_first_steal;  // work_loop entry -> first steal
+  // Summed task *self* cycles: job run time minus the nested jobs the
+  // worker executed inline while waiting at a join. The sum across workers
+  // is the measured work T1 of the span profile (obs/span.hpp).
+  std::uint64_t exec_self_ticks = 0;
 
   void merge(const WorkerTelemetry& o) noexcept {
     steal_latency.merge(o.steal_latency);
     job_run.merge(o.job_run);
     time_to_first_steal.merge(o.time_to_first_steal);
+    exec_self_ticks += o.exec_self_ticks;
   }
   void reset() noexcept {
     steal_latency.reset();
     job_run.reset();
     time_to_first_steal.reset();
+    exec_self_ticks = 0;
   }
 };
+
+// The live metrics plane publishes WorkerTelemetry through a word-copying
+// Seqlock; both histograms and the struct must stay trivially copyable.
+static_assert(std::is_trivially_copyable_v<LatencyHistogram>);
+static_assert(std::is_trivially_copyable_v<WorkerTelemetry>);
 
 // Name -> histogram map for ad-hoc metrics and for handing a uniform view
 // to the exporters.

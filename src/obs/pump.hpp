@@ -1,0 +1,144 @@
+#pragma once
+// atomics-lint: allow(pump lifecycle flags layered above the modeled deques)
+
+// The background metrics pump (DESIGN.md §13): polls a sampler on an
+// interval, aggregates deltas between consecutive samples into rates, and
+// streams one JSON line per tick into a bounded JsonStream — the live
+// "endpoint" mid-run readers drain without quiescing the runtime.
+//
+// The pump is source-agnostic: the sampler is any callable returning
+// name/value pairs (the scheduler's live_sample() reads per-worker seqlock
+// snapshots; tests use synthetic counters). Counters are expected to be
+// monotone; rates for a sample whose value decreased (e.g. after a stats
+// reset) are clamped to zero rather than reported negative.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace abp::obs {
+
+struct MetricPoint {
+  std::string name;
+  double value = 0.0;
+};
+
+using MetricSampler = std::function<std::vector<MetricPoint>()>;
+
+// Bounded FIFO of streamed JSON lines. push() drops the oldest line when
+// full (the stream must never block the pump); dropped() surfaces the loss
+// exactly like TraceRing::dropped().
+class JsonStream {
+ public:
+  explicit JsonStream(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+  void push(std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (lines_.size() >= capacity_) {
+      lines_.pop_front();
+      ++dropped_;
+    }
+    lines_.push_back(std::move(line));
+    ++pushed_;
+  }
+
+  // Removes and returns every buffered line, oldest first.
+  std::vector<std::string> drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out(lines_.begin(), lines_.end());
+    lines_.clear();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lines_.size();
+  }
+  std::uint64_t pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pushed_;
+  }
+  std::uint64_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::deque<std::string> lines_;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+class MetricsPump {
+ public:
+  struct Options {
+    std::uint32_t interval_ms = 100;   // sampling cadence
+    std::size_t stream_capacity = 1024;  // JsonStream bound
+  };
+
+  explicit MetricsPump(MetricSampler sampler)
+      : MetricsPump(std::move(sampler), Options{}) {}
+  MetricsPump(MetricSampler sampler, Options opts);
+  ~MetricsPump();  // stops and joins
+
+  MetricsPump(const MetricsPump&) = delete;
+  MetricsPump& operator=(const MetricsPump&) = delete;
+
+  void start();
+  void stop();
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  // Sampling iterations completed so far.
+  std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_acquire);
+  }
+
+  // Takes one sample immediately on the calling thread (also what the
+  // background thread does each interval). Useful for deterministic tests
+  // and for a final flush after the workload quiesced.
+  void pump_once();
+
+  // The most recent absolute sample.
+  std::vector<MetricPoint> latest() const;
+  // Per-second rates between the last two samples (clamped at zero).
+  std::vector<MetricPoint> latest_rates() const;
+  // The most recent streamed JSON line ("" before the first tick).
+  std::string latest_json() const;
+
+  JsonStream& stream() noexcept { return stream_; }
+
+ private:
+  void run_();
+  void sample_locked_(std::unique_lock<std::mutex>& lock);
+
+  MetricSampler sampler_;
+  Options opts_;
+  JsonStream stream_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> ticks_{0};
+  std::thread thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::vector<MetricPoint> last_;
+  std::vector<MetricPoint> rates_;
+  std::string last_json_;
+  std::chrono::steady_clock::time_point last_at_{};
+  std::chrono::steady_clock::time_point started_at_{};
+};
+
+}  // namespace abp::obs

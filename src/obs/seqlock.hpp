@@ -1,0 +1,87 @@
+#pragma once
+
+// Seqlock-style epoch-consistent snapshots (DESIGN.md §13).
+//
+// A single writer publishes a trivially-copyable record; any number of
+// readers can take a consistent copy mid-run without blocking the writer
+// and without quiescing it — the substrate of the live metrics plane. The
+// classic protocol: the writer bumps a sequence number to odd, stores the
+// payload, bumps to even; a reader retries whenever it observes an odd
+// sequence or the sequence changed across its copy.
+//
+// The payload is stored as an array of relaxed std::atomic words (not a
+// raw struct) so the torn intermediate states that the sequence check
+// discards are mere stale values, never data races — the protocol is
+// TSan-clean and every access order is explicit for the atomics lint.
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace abp::obs {
+
+template <typename T>
+class Seqlock {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "seqlock payloads are published by word-wise copy");
+
+ public:
+  Seqlock() noexcept {
+    for (std::size_t i = 0; i < kWords; ++i)
+      words_[i].store(0, std::memory_order_relaxed);
+  }
+  Seqlock(const Seqlock&) = delete;
+  Seqlock& operator=(const Seqlock&) = delete;
+
+  // Single writer only. Never blocks; two sequence bumps plus one
+  // word-wise copy of the payload.
+  void publish(const T& value) noexcept {
+    std::uint64_t buf[kWords] = {};
+    std::memcpy(buf, &value, sizeof(T));
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    for (std::size_t i = 0; i < kWords; ++i)
+      words_[i].store(buf[i], std::memory_order_relaxed);
+    seq_.store(s + 2, std::memory_order_release);
+  }
+
+  // One consistency-checked copy attempt. Returns false (leaving `out`
+  // untouched) when a concurrent publish overlapped the copy.
+  bool try_read(T& out) const noexcept {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if (s1 & 1) return false;
+    std::uint64_t buf[kWords];
+    for (std::size_t i = 0; i < kWords; ++i)
+      buf[i] = words_[i].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (seq_.load(std::memory_order_relaxed) != s1) return false;
+    std::memcpy(&out, buf, sizeof(T));
+    return true;
+  }
+
+  // Retries try_read until it succeeds. The writer publishes at a bounded
+  // rate, so a reader starves only if it is descheduled across every
+  // publish — the retry count is for telemetry, not correctness.
+  T read(std::uint64_t* retries = nullptr) const noexcept {
+    T out{};
+    std::uint64_t spins = 0;
+    while (!try_read(out)) ++spins;
+    if (retries != nullptr) *retries = spins;
+    return out;
+  }
+
+  // Publishes completed so far (even; a publish in flight reads odd).
+  std::uint64_t sequence() const noexcept {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
+
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> words_[kWords];
+};
+
+}  // namespace abp::obs

@@ -1,0 +1,88 @@
+#pragma once
+
+// Causal spans: the measured work/span profile and steal provenance of an
+// actual execution (DESIGN.md §13).
+//
+// The paper's bound O(T1/PA + Tinf·P/PA) is stated over the *computation's*
+// work T1 and span Tinf; the runtime measures both online. Every task
+// carries a path value — the length, in task cycles, of the longest
+// spawn/join/steal chain from the root to the task's start — propagated at
+// spawn, folded with an atomic max at joins, and carried across steals by
+// the stolen job itself. The root job's end path is the measured span; the
+// summed task *self* cycles are the measured work. Realized parallelism is
+// their ratio.
+//
+// Steal provenance is the per-thief record of who stole how much from
+// whom; with a locality-domain size configured, steals are additionally
+// classified local vs. cross-domain (the counter family the NUMA roadmap
+// item reports through).
+
+#include <cstdint>
+#include <vector>
+
+namespace abp::obs {
+
+// Measured work/span profile of one run, in TSC ticks (convert with
+// TscCalibration at export time).
+struct SpanProfile {
+  std::uint64_t t1_ticks = 0;    // summed task self cycles (measured T1)
+  std::uint64_t tinf_ticks = 0;  // root's end path (measured Tinf)
+  std::uint64_t tasks = 0;       // jobs executed
+
+  // Realized parallelism T1/Tinf; 0 when nothing was measured.
+  double parallelism() const noexcept {
+    return tinf_ticks > 0
+               ? static_cast<double>(t1_ticks) /
+                     static_cast<double>(tinf_ticks)
+               : 0.0;
+  }
+};
+
+// Per-thief steal provenance: counts by victim slot plus the items those
+// steals delivered. Single-owner discipline (the thief is the only
+// writer); read after quiesce, like WorkerStats.
+struct StealProvenance {
+  std::vector<std::uint64_t> steals_from;  // indexed by victim slot
+  std::vector<std::uint64_t> items_from;   // items (batches count them all)
+
+  void resize(std::size_t num_slots) {
+    steals_from.assign(num_slots, 0);
+    items_from.assign(num_slots, 0);
+  }
+
+  void record(std::size_t victim, std::uint64_t items) noexcept {
+    if (victim < steals_from.size()) {
+      ++steals_from[victim];
+      items_from[victim] += items;
+    }
+  }
+
+  void reset() noexcept {
+    for (auto& v : steals_from) v = 0;
+    for (auto& v : items_from) v = 0;
+  }
+};
+
+// Locality-domain classification: workers i and j share a domain iff
+// i/size == j/size. Size 0 (the default) means one global domain — every
+// steal is local; benches model a NUMA topology by setting the size.
+inline bool same_locality_domain(std::size_t a, std::size_t b,
+                                 std::size_t domain_size) noexcept {
+  if (domain_size == 0) return true;
+  return a / domain_size == b / domain_size;
+}
+
+// Provenance IDs: allocated per spawn, worker id in the top 16 bits so ids
+// are unique across workers without shared state.
+inline std::uint64_t make_provenance_id(std::size_t worker,
+                                        std::uint64_t seq) noexcept {
+  return (static_cast<std::uint64_t>(worker) << 48) | (seq & ((1ull << 48) - 1));
+}
+inline std::size_t provenance_worker(std::uint64_t id) noexcept {
+  return static_cast<std::size_t>(id >> 48);
+}
+inline std::uint64_t provenance_seq(std::uint64_t id) noexcept {
+  return id & ((1ull << 48) - 1);
+}
+
+}  // namespace abp::obs

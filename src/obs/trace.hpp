@@ -87,4 +87,13 @@ inline TscCalibration calibrate_tsc() {
   return cal;
 }
 
+// Process-wide calibration, measured once on first use (thread-safe magic
+// static). For hot callers — the live metrics plane converts a publish
+// interval to ticks per scheduler, and exporters may run per sample — the
+// 2ms spin must not repeat.
+inline const TscCalibration& cached_tsc_calibration() {
+  static const TscCalibration cal = calibrate_tsc();
+  return cal;
+}
+
 }  // namespace abp::obs

@@ -35,6 +35,7 @@ enum class EventType : std::uint8_t {
   kPark,            // TaskGroup waiter parked on its condition variable
   kStealBatch,      // successful pop_top_batch; arg = items claimed
   kVictimDistance,  // successful steal; arg = ring distance |thief-victim|
+  kTaskStolen,      // successful steal; arg = stolen job's provenance id
 };
 
 constexpr const char* to_string(EventType t) noexcept {
@@ -53,6 +54,7 @@ constexpr const char* to_string(EventType t) noexcept {
     case EventType::kPark: return "park";
     case EventType::kStealBatch: return "steal_batch";
     case EventType::kVictimDistance: return "victim_distance";
+    case EventType::kTaskStolen: return "task_stolen";
   }
   return "?";
 }
@@ -61,6 +63,15 @@ struct TraceEvent {
   std::uint64_t tsc = 0;  // rdtsc() at record time
   std::uint64_t arg = 0;  // event-specific payload
   EventType type = EventType::kSpawn;
+};
+
+// snapshot_with_stats(): the retained events plus the wraparound loss, so
+// consumers can report truncation instead of silently presenting a
+// wrapped ring as the full history.
+struct TraceSnapshot {
+  std::vector<TraceEvent> events;     // oldest first
+  std::uint64_t total_recorded = 0;   // every record() since clear()
+  std::uint64_t dropped = 0;          // events lost to wraparound
 };
 
 class TraceRing {
@@ -117,6 +128,11 @@ class TraceRing {
     for (std::uint64_t i = first; i < head_; ++i)
       out.push_back(buf_[i & mask_]);
     return out;
+  }
+
+  // snapshot() plus the drop accounting (see TraceSnapshot).
+  TraceSnapshot snapshot_with_stats() const {
+    return TraceSnapshot{snapshot(), total_recorded(), dropped()};
   }
 
  private:

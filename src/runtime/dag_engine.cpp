@@ -49,6 +49,21 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
   for (dag::NodeId v = 0; v < n; ++v)
     remaining[v].store(d.in_degree(v), std::memory_order_relaxed);
 
+  // Online span profile: path[v] = longest enabling chain root..v, folded
+  // with a CAS max by each executed predecessor *before* its in-degree
+  // decrement. The decrement chain (acq_rel RMWs) then orders every
+  // contribution before the enabled node's acquire read of its own path.
+  auto path = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (dag::NodeId v = 0; v < n; ++v)
+    path[v].store(0, std::memory_order_relaxed);
+  const auto fold_path = [&path](dag::NodeId v, std::uint64_t p) {
+    std::uint64_t cur = path[v].load(std::memory_order_relaxed);
+    while (cur < p && !path[v].compare_exchange_weak(
+                          cur, p, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
+  };
+
   std::vector<std::unique_ptr<PolyDeque<dag::NodeId>>> deques;
   deques.reserve(num_workers);
   for (std::size_t i = 0; i < num_workers; ++i)
@@ -73,6 +88,7 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
     WorkerStats& st = stats[id].value;
     PolyDeque<dag::NodeId>& self = *deques[id];
     dag::NodeId assigned = (id == 0) ? root : dag::kNoNode;
+    if (id == 0) path[root].store(1, std::memory_order_relaxed);
 
     while (!done.load(std::memory_order_acquire) &&
            !stop.load(std::memory_order_acquire)) {
@@ -101,9 +117,13 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
         ++st.jobs_executed;
         executed.fetch_add(1, std::memory_order_relaxed);
 
+        const std::uint64_t my_path =
+            path[assigned].load(std::memory_order_acquire);
         dag::NodeId child[2];
         int num_children = 0;
         for (const dag::NodeId s : d.successors(assigned)) {
+          // Span edge first, then the enabling decrement (see fold_path).
+          fold_path(s, my_path + 1);
           if (remaining[s].fetch_sub(1, std::memory_order_acq_rel) == 1)
             child[num_children++] = s;
         }
@@ -171,6 +191,8 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
   result.seconds = std::chrono::duration<double>(t1 - t0).count();
   for (const auto& s : stats) result.totals += s.value;
   result.executed_nodes = executed.load(std::memory_order_relaxed);
+  result.measured_work_nodes = result.executed_nodes;
+  result.measured_span_nodes = path[final_node].load(std::memory_order_acquire);
   if (first_error != nullptr) {
     result.status = DagRunStatus::kNodeFailed;
     result.error = first_error;

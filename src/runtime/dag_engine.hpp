@@ -43,6 +43,14 @@ struct DagRunResult {
   double seconds = 0.0;
   WorkerStats totals;
   std::uint64_t executed_nodes = 0;
+  // Online work/span profile in *node* terms (each node = one unit of
+  // work, matching dag::Dag::work() / critical_path_length()). The span is
+  // folded along real enabling edges as the run executes: every node's
+  // path is 1 + the max path over its executed predecessors, so on a
+  // completed run measured_span_nodes equals the static critical path —
+  // the cross-check tools/span_report.py performs.
+  std::uint64_t measured_work_nodes = 0;
+  std::uint64_t measured_span_nodes = 0;
   bool ok = false;  // all nodes executed exactly once
   DagRunStatus status = DagRunStatus::kCompleted;
   std::exception_ptr error;                   // kNodeFailed: first throw

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "support/align.hpp"
 #include "support/assert.hpp"
 
@@ -29,11 +30,26 @@ struct alignas(kCacheLineSize) Job {
   // torn down without running.
   using Fn = void (*)(Job*, Worker*);
 
+  // The span-profiler fields below (ABP_TRACE only) take 8 bytes out of
+  // the inline closure budget so the record stays exactly one cache line
+  // either way.
+#if ABP_TRACE_ENABLED
+  static constexpr std::size_t kInlineBytes = 80;
+#else
   static constexpr std::size_t kInlineBytes = 88;
+#endif
 
   Fn fn = nullptr;
   TaskGroup* group = nullptr;  // notified when the job completes
   Job* next_free = nullptr;    // pool freelist link
+#if ABP_TRACE_ENABLED
+  // Causal-span provenance (DESIGN.md §13), stamped at spawn time:
+  // span_path is the spawner's path length (in ticks) at the spawn, the
+  // prefix this job's chain extends; provenance is the globally unique
+  // (worker, seq) id the steal events reference.
+  std::uint64_t span_path = 0;
+  std::uint64_t provenance = 0;
+#endif
   bool pooled = false;         // false for stack-allocated root jobs
   alignas(std::max_align_t) unsigned char storage[kInlineBytes];
 
@@ -59,6 +75,8 @@ struct alignas(kCacheLineSize) Job {
 };
 
 static_assert(std::is_trivially_copyable_v<Job*>);
+// The span fields must not grow the record: same footprint traced or not.
+static_assert(sizeof(Job) == 128);
 
 // Per-worker job allocator: arena blocks plus a freelist. The freelist is
 // touched only by the owning worker, but it may receive jobs that were

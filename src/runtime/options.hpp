@@ -109,6 +109,17 @@ struct SchedulerOptions {
   // Per-worker telemetry ring capacity (events; rounded up to a power of
   // two). Only consulted when the WHEN_TRACE hooks are compiled in.
   std::size_t trace_ring_capacity = 1u << 14;
+  // Locality domains for steal provenance (DESIGN.md §13): workers i and j
+  // share a domain iff i/size == j/size; a successful steal across domains
+  // bumps WorkerStats::cross_domain_steals. 0 = one global domain (every
+  // steal local) — the default keeps the counter inert until a NUMA-style
+  // topology is modeled.
+  std::size_t locality_domain_size = 0;
+  // Live metrics plane (DESIGN.md §13): how often a worker publishes its
+  // counters + histograms into its seqlock slot, checked at job boundaries
+  // against the TSC. Only consulted when WHEN_TRACE is compiled in; 0
+  // disables publication (live_snapshot then reports nothing mid-run).
+  std::uint32_t live_publish_interval_us = 100;
   ResilienceOptions resilience{};
 };
 

@@ -63,6 +63,8 @@ Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts) {
 #if ABP_TRACE_ENABLED
   rings_.resize(max_workers_);
   telemetry_.resize(max_workers_);
+  live_.resize(max_workers_);
+  prov_ = decltype(prov_)(max_workers_);
 #endif
   workers_.resize(max_workers_);
   threads_.resize(max_workers_);
@@ -109,6 +111,10 @@ void Scheduler::activate_slot(std::size_t slot, std::uint64_t generation) {
 #if ABP_TRACE_ENABLED
   if (rings_[slot] == nullptr)
     rings_[slot] = std::make_unique<obs::TraceRing>(opts_.trace_ring_capacity);
+  if (live_[slot] == nullptr)
+    live_[slot] = std::make_unique<obs::Seqlock<LiveWorkerSample>>();
+  if (prov_[slot].value.steals_from.empty())
+    prov_[slot].value.resize(max_workers_);
 #endif
   if (workers_[slot] == nullptr) {
     auto w = std::make_unique<Worker>();
@@ -119,6 +125,17 @@ void Scheduler::activate_slot(std::size_t slot, std::uint64_t generation) {
 #if ABP_TRACE_ENABLED
     w->ring_ = rings_[slot].get();
     w->telemetry_ = &telemetry_[slot];
+    w->live_ = live_[slot].get();
+    w->prov_ = &prov_[slot].value;
+    if (opts_.live_publish_interval_us > 0) {
+      // Convert the configured cadence to ticks once; the hot-path check
+      // is then a single rdtsc compare.
+      const double ns_per_tick = obs::cached_tsc_calibration().ns_per_tick;
+      w->publish_interval_ticks_ = static_cast<std::uint64_t>(
+          static_cast<double>(opts_.live_publish_interval_us) * 1000.0 /
+          (ns_per_tick > 0.0 ? ns_per_tick : 1.0));
+      if (w->publish_interval_ticks_ == 0) w->publish_interval_ticks_ = 1;
+    }
 #endif
     workers_[slot] = std::move(w);
   }
@@ -316,7 +333,8 @@ void Scheduler::worker_main(std::size_t slot, std::uint64_t initial_epoch) {
 void Scheduler::work_loop(Worker& w) {
   // The Figure 3 scheduling loop. The assigned job is `j`; termination is
   // the computationDone flag (here: completion of the root job).
-  WHEN_TRACE(w.loop_start_tsc_ = obs::rdtsc(); w.first_steal_recorded_ = false;)
+  WHEN_TRACE(w.loop_start_tsc_ = obs::rdtsc(); w.first_steal_recorded_ = false;
+             w.set_span(0, w.loop_start_tsc_); w.nested_ticks_ = 0;)
   Job* j = nullptr;
   for (;;) {
     if (watchdog_enabled_)
@@ -331,8 +349,12 @@ void Scheduler::work_loop(Worker& w) {
       j = w.pop_bottom();
       continue;
     }
-    if (done()) return;
-    if (slot_state(w.id_) == SlotState::kRetiring) return;
+    if (done() || slot_state(w.id_) == SlotState::kRetiring) {
+      // Final unthrottled publication: after the epoch drains, the live
+      // plane agrees exactly with the post-quiesce totals.
+      WHEN_TRACE(w.publish_live_now(obs::rdtsc());)
+      return;
+    }
     // Thief: claim the root job if it is still unclaimed, otherwise yield
     // and attempt a steal from a random victim.
     CHAOS_POINT("sched.loop.steal_iter");
@@ -414,6 +436,8 @@ void Scheduler::reset_stats() {
   for (auto& r : rings_)
     if (r) r->clear();
   for (auto& t : telemetry_) t.value.reset();
+  for (auto& p : prov_) p.value.reset();
+  measured_tinf_ticks_ = 0;
 #endif
 }
 
@@ -473,12 +497,19 @@ std::string Scheduler::stats_json() const {
   w.add("batch_surplus_inline_runs", t.batch_surplus_inline_runs);
   w.add("victim_distance_sum", t.victim_distance_sum);
   w.add("preferred_victim_hits", t.preferred_victim_hits);
+  w.add("cross_domain_steals", t.cross_domain_steals);
   w.add("cancelled_jobs", t.cancelled_jobs);
   w.add("parks", t.parks);
   w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);
   w.add("backoff_yields", t.backoff_yields);
   w.add("trace_events", recorded);
   w.add("trace_dropped", dropped);
+  {
+    const obs::SpanProfile sp = span_profile();
+    w.add("measured_t1_ticks", sp.t1_ticks);
+    w.add("measured_tinf_ticks", sp.tinf_ticks);
+    w.add("measured_parallelism", sp.parallelism());
+  }
   w.add_raw("steal_latency_ns",
             obs::histogram_summary_json(tel.steal_latency, cal.ns_per_tick));
   w.add_raw("job_run_ns",
@@ -487,6 +518,136 @@ std::string Scheduler::stats_json() const {
             obs::histogram_summary_json(tel.time_to_first_steal,
                                         cal.ns_per_tick));
   return w.str();
+}
+
+Scheduler::LiveSnapshot Scheduler::live_snapshot() const {
+  LiveSnapshot snap;
+  const std::size_t n = num_workers();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (live_[i] == nullptr) continue;
+    std::uint64_t retries = 0;
+    const LiveWorkerSample s = live_[i]->read(&retries);
+    snap.read_retries += retries;
+    if (s.publish_seq == 0) continue;  // this slot never published
+    snap.stats += s.stats;
+    snap.exec_self_ticks += s.tel.exec_self_ticks;
+    snap.publishes += s.publish_seq;
+    ++snap.workers_published;
+  }
+  return snap;
+}
+
+std::vector<obs::MetricPoint> Scheduler::live_sample() const {
+  const LiveSnapshot s = live_snapshot();
+  std::vector<obs::MetricPoint> out;
+  out.reserve(14);
+  auto add = [&out](const char* name, std::uint64_t v) {
+    out.push_back({name, static_cast<double>(v)});
+  };
+  add("abp_jobs_executed", s.stats.jobs_executed);
+  add("abp_spawns", s.stats.spawns);
+  add("abp_steal_attempts", s.stats.steal_attempts);
+  add("abp_steals", s.stats.steals);
+  add("abp_steal_cas_failures", s.stats.steal_cas_failures);
+  add("abp_steal_empty_victim", s.stats.steal_empty_victim);
+  add("abp_cross_domain_steals", s.stats.cross_domain_steals);
+  add("abp_yields", s.stats.yields);
+  add("abp_cancelled_jobs", s.stats.cancelled_jobs);
+  add("abp_exec_self_ticks", s.exec_self_ticks);
+  add("abp_live_publishes", s.publishes);
+  add("abp_workers_published", s.workers_published);
+  add("abp_live_workers", live_workers());
+  return out;
+}
+
+std::string Scheduler::prometheus_text() const {
+  const obs::TscCalibration& cal = obs::cached_tsc_calibration();
+  // One pass over the live slots: counters summed, histograms merged, all
+  // from the same seqlock-consistent per-worker samples.
+  WorkerStats t;
+  obs::WorkerTelemetry tel;
+  std::uint64_t publishes = 0;
+  const std::size_t n = num_workers();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (live_[i] == nullptr) continue;
+    const LiveWorkerSample s = live_[i]->read();
+    if (s.publish_seq == 0) continue;
+    t += s.stats;
+    tel.merge(s.tel);
+    publishes += s.publish_seq;
+  }
+  obs::PrometheusWriter w;
+  w.gauge("abp_workers", static_cast<double>(num_workers()));
+  w.gauge("abp_live_workers", static_cast<double>(live_workers()));
+  w.counter("abp_live_publishes_total", static_cast<double>(publishes));
+  w.counter("abp_jobs_executed_total",
+            static_cast<double>(t.jobs_executed));
+  w.counter("abp_spawns_total", static_cast<double>(t.spawns));
+  w.counter("abp_steal_attempts_total",
+            static_cast<double>(t.steal_attempts));
+  w.counter("abp_steals_total", static_cast<double>(t.steals));
+  w.counter("abp_steal_cas_failures_total",
+            static_cast<double>(t.steal_cas_failures));
+  w.counter("abp_cross_domain_steals_total",
+            static_cast<double>(t.cross_domain_steals));
+  w.counter("abp_yields_total", static_cast<double>(t.yields));
+  w.counter("abp_cancelled_jobs_total",
+            static_cast<double>(t.cancelled_jobs));
+  w.counter("abp_exec_self_ns_total",
+            cal.ticks_to_ns(tel.exec_self_ticks));
+  w.histogram("abp_steal_latency_ns", tel.steal_latency, cal.ns_per_tick);
+  w.histogram("abp_job_run_ns", tel.job_run, cal.ns_per_tick);
+  return w.str();
+}
+
+obs::SpanProfile Scheduler::span_profile() const {
+  obs::SpanProfile sp;
+  sp.tinf_ticks = measured_tinf_ticks_;
+  for (const auto& t : telemetry_) sp.t1_ticks += t.value.exec_self_ticks;
+  sp.tasks = total_stats().jobs_executed;
+  return sp;
+}
+
+std::string Scheduler::steal_provenance_json() const {
+  const std::size_t n = num_workers();
+  std::string out = "{\"domain_size\":";
+  out += std::to_string(opts_.locality_domain_size);
+  out += ",\"workers\":" + std::to_string(n);
+  std::uint64_t total_steals = 0, total_items = 0;
+  out += ",\"steals\":[";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out += ',';
+    out += '[';
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint64_t c = v < prov_[i].value.steals_from.size()
+                                  ? prov_[i].value.steals_from[v]
+                                  : 0;
+      total_steals += c;
+      if (v) out += ',';
+      out += std::to_string(c);
+    }
+    out += ']';
+  }
+  out += "],\"items\":[";
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i) out += ',';
+    out += '[';
+    for (std::size_t v = 0; v < n; ++v) {
+      const std::uint64_t c = v < prov_[i].value.items_from.size()
+                                  ? prov_[i].value.items_from[v]
+                                  : 0;
+      total_items += c;
+      if (v) out += ',';
+      out += std::to_string(c);
+    }
+    out += ']';
+  }
+  out += "],\"total_steals\":" + std::to_string(total_steals);
+  out += ",\"total_items\":" + std::to_string(total_items);
+  out += ",\"cross_domain_steals\":" +
+         std::to_string(total_stats().cross_domain_steals);
+  out += '}';
+  return out;
 }
 
 #else  // !ABP_TRACE_ENABLED
@@ -516,12 +677,45 @@ std::string Scheduler::stats_json() const {
   w.add("batch_surplus_inline_runs", t.batch_surplus_inline_runs);
   w.add("victim_distance_sum", t.victim_distance_sum);
   w.add("preferred_victim_hits", t.preferred_victim_hits);
+  w.add("cross_domain_steals", t.cross_domain_steals);
   w.add("cancelled_jobs", t.cancelled_jobs);
   w.add("parks", t.parks);
   w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);
   w.add("backoff_yields", t.backoff_yields);
   w.add("trace_events", std::uint64_t{0});
   return w.str();
+}
+
+Scheduler::LiveSnapshot Scheduler::live_snapshot() const { return {}; }
+
+std::vector<obs::MetricPoint> Scheduler::live_sample() const { return {}; }
+
+std::string Scheduler::prometheus_text() const {
+  // No live plane without the trace hooks: fall back to the post-quiesce
+  // counters so dashboards keep working (call while quiesced).
+  const WorkerStats t = total_stats();
+  obs::PrometheusWriter w;
+  w.gauge("abp_workers", static_cast<double>(num_workers()));
+  w.gauge("abp_live_workers", static_cast<double>(live_workers()));
+  w.counter("abp_jobs_executed_total",
+            static_cast<double>(t.jobs_executed));
+  w.counter("abp_spawns_total", static_cast<double>(t.spawns));
+  w.counter("abp_steal_attempts_total",
+            static_cast<double>(t.steal_attempts));
+  w.counter("abp_steals_total", static_cast<double>(t.steals));
+  w.counter("abp_cross_domain_steals_total",
+            static_cast<double>(t.cross_domain_steals));
+  return w.str();
+}
+
+obs::SpanProfile Scheduler::span_profile() const { return {}; }
+
+std::string Scheduler::steal_provenance_json() const {
+  return "{\"domain_size\":" + std::to_string(opts_.locality_domain_size) +
+         ",\"workers\":" + std::to_string(num_workers()) +
+         ",\"steals\":[],\"items\":[],\"total_steals\":0,\"total_items\":0," +
+         "\"cross_domain_steals\":" +
+         std::to_string(total_stats().cross_domain_steals) + "}";
 }
 
 #endif  // ABP_TRACE_ENABLED

@@ -46,9 +46,12 @@
 #include <vector>
 
 #include "chaos/chaos.hpp"
+#include "obs/pump.hpp"  // MetricPoint, for live_sample()
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #if ABP_TRACE_ENABLED
 #include "obs/metrics.hpp"
+#include "obs/seqlock.hpp"
 #include "obs/trace_ring.hpp"
 #endif
 #include "runtime/job.hpp"
@@ -90,6 +93,20 @@ struct ShutdownReport {
   std::size_t abandoned_jobs = 0;
 };
 
+#if ABP_TRACE_ENABLED
+// One worker's live publication (DESIGN.md §13): its counters and
+// histograms, word-copied through a Seqlock so the metrics pump reads a
+// torn-free sample mid-run without stopping the worker. Published at job
+// boundaries and between steals, throttled by live_publish_interval_us.
+struct LiveWorkerSample {
+  std::uint64_t publish_tsc = 0;
+  std::uint64_t publish_seq = 0;  // 0 = never published
+  WorkerStats stats;
+  obs::WorkerTelemetry tel;
+};
+static_assert(std::is_trivially_copyable_v<LiveWorkerSample>);
+#endif
+
 // Execution context handed to every job; one per worker thread.
 class Worker {
  public:
@@ -105,6 +122,40 @@ class Worker {
 #if ABP_TRACE_ENABLED
   obs::TraceRing& trace() noexcept { return *ring_; }
   obs::WorkerTelemetry& telemetry() noexcept { return telemetry_->value; }
+
+  // ---- causal span clock (DESIGN.md §13) ----
+  // Path length, in ticks, of the dependency chain ending at this worker
+  // at TSC `now`: the base path plus the time elapsed since the base was
+  // set. Worker-local; only execute()/spawn()/joins touch the base.
+  std::uint64_t span_now(std::uint64_t now) const noexcept {
+    return span_base_path_ + (now - span_base_tsc_);
+  }
+  // Join fold: adopt `path` as the new base iff it is ahead of the local
+  // clock (a child chain longer than the waiter's own). Monotone max, so
+  // the measured span only grows along true dependency edges.
+  void raise_span(std::uint64_t path, std::uint64_t now) noexcept {
+    if (span_now(now) < path) {
+      span_base_path_ = path;
+      span_base_tsc_ = now;
+    }
+  }
+  // Rebase the clock outright (join entry/exit: a waiter's spin time while
+  // blocked at a join is not chain time).
+  void set_span(std::uint64_t path, std::uint64_t now) noexcept {
+    span_base_path_ = path;
+    span_base_tsc_ = now;
+  }
+  // Globally unique task id: (worker << 48) | per-worker sequence.
+  std::uint64_t alloc_provenance() noexcept {
+    return obs::make_provenance_id(id_, ++provenance_seq_);
+  }
+  // Publish counters + histograms into this worker's seqlock slot if the
+  // configured interval elapsed. Called at job boundaries and between
+  // steals; cheap when throttled (one rdtsc compare).
+  inline void maybe_publish_live(std::uint64_t now) noexcept;
+  // Unthrottled publish; the work loop calls it once on epoch exit so the
+  // post-quiesce live snapshot equals the true totals exactly.
+  inline void publish_live_now(std::uint64_t now) noexcept;
 #endif
 
   // Defined after Scheduler (they need its internals).
@@ -125,6 +176,21 @@ class Worker {
   CacheAligned<obs::WorkerTelemetry>* telemetry_ = nullptr;
   std::uint64_t loop_start_tsc_ = 0;  // work_loop entry, for time-to-first-steal
   bool first_steal_recorded_ = false;
+  // Span clock: the chain ending here had length span_base_path_ at TSC
+  // span_base_tsc_; see span_now(). nested_ticks_ accumulates the inclusive
+  // time of jobs this worker ran *inside* the current job (help-first joins
+  // executing children inline), so the parent's self time excludes them.
+  std::uint64_t span_base_path_ = 0;
+  std::uint64_t span_base_tsc_ = 0;
+  std::uint64_t nested_ticks_ = 0;
+  std::uint64_t provenance_seq_ = 0;
+  // Live metrics plane. live_ is this worker's seqlock slot; prov_ its
+  // who-robbed-whom tallies. publish_interval_ticks_ == 0 disables.
+  obs::Seqlock<LiveWorkerSample>* live_ = nullptr;
+  obs::StealProvenance* prov_ = nullptr;
+  std::uint64_t last_publish_tsc_ = 0;
+  std::uint64_t publish_seq_ = 0;
+  std::uint64_t publish_interval_ticks_ = 0;
 #endif
   std::uint64_t heartbeat_seq_ = 0;   // published to the watchdog each loop
   YieldingBackoff steal_backoff_{256};  // armed by resilience.steal_backoff
@@ -191,6 +257,21 @@ class TaskGroup {
   inline void park();
   inline void on_complete() noexcept;  // defined after Scheduler
 
+#if ABP_TRACE_ENABLED
+  // Span fold across the join: each completing child CAS-maxes its end
+  // path here; the waiter raises its span clock to the max when drain()
+  // observes pending_ == 0. A steal moves the child to another worker, so
+  // this is the cross-worker edge of the measured-span DAG.
+  void fold_child_path(std::uint64_t path) noexcept {
+    std::uint64_t cur = max_child_path_.load(std::memory_order_relaxed);
+    while (cur < path &&
+           !max_child_path_.compare_exchange_weak(cur, path,
+                                                  std::memory_order_acq_rel,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+#endif
+
   void capture_exception(std::exception_ptr eptr) noexcept {
     int expected = 0;
     if (exception_state_.compare_exchange_strong(
@@ -202,6 +283,9 @@ class TaskGroup {
 
   Worker& worker_;
   std::atomic<std::int64_t> pending_{0};
+#if ABP_TRACE_ENABLED
+  std::atomic<std::uint64_t> max_child_path_{0};
+#endif
   std::atomic<int> exception_state_{0};  // 0 none, 1 storing, 2 stored
   std::exception_ptr exception_;
 };
@@ -321,6 +405,35 @@ class Scheduler {
   obs::WorkerTelemetry aggregate_telemetry() const;
 #endif
 
+  // ---- live metrics plane (DESIGN.md §13) ----
+  // Epoch-consistent counters aggregated from the per-worker seqlock
+  // slots. Safe to call mid-run from any thread: each slot is read
+  // torn-free, and each worker's published counters only grow, so repeated
+  // snapshots are monotone and never exceed the post-quiesce totals.
+  // All-zero when the trace hooks are compiled out or nothing published yet.
+  struct LiveSnapshot {
+    WorkerStats stats;               // summed over published samples
+    std::uint64_t exec_self_ticks = 0;
+    std::uint64_t publishes = 0;     // total publications across workers
+    std::uint64_t workers_published = 0;  // slots with >= 1 publication
+    std::uint64_t read_retries = 0;  // seqlock retries while snapshotting
+  };
+  LiveSnapshot live_snapshot() const;
+  // The snapshot flattened to named samples — plugs straight into
+  // obs::MetricsPump as its sampler.
+  std::vector<obs::MetricPoint> live_sample() const;
+  // Prometheus text exposition: counters + steal-latency/job-run
+  // histograms (in ns). Mid-run it reflects the live slots; without trace
+  // hooks it falls back to total_stats() (then call while quiesced).
+  std::string prometheus_text() const;
+  // Measured work/span of the runtime's causal-span profiler (ticks):
+  // t1 = summed per-job self cycles, tinf = longest observed dependency
+  // chain (max over runs since reset_stats). Call while quiesced.
+  obs::SpanProfile span_profile() const;
+  // Steal-provenance tree: who stole how many jobs (and batch items) from
+  // whom, plus the locality-domain split. Call while quiesced.
+  std::string steal_provenance_json() const;
+
  private:
   friend class Worker;
   friend class TaskGroup;
@@ -360,6 +473,14 @@ class Scheduler {
     park_cv_.notify_all();
   }
 
+#if ABP_TRACE_ENABLED
+  // Called by the worker whose execute() finishes the root job (at most
+  // one per run; see the ordering comment on measured_tinf_ticks_).
+  void record_root_span(std::uint64_t path) noexcept {
+    if (path > measured_tinf_ticks_) measured_tinf_ticks_ = path;
+  }
+#endif
+
   SchedulerOptions opts_;
   std::size_t max_workers_ = 0;        // slot capacity; fixed at construction
   bool watchdog_enabled_ = false;      // plain: set once in the constructor
@@ -374,6 +495,14 @@ class Scheduler {
 #if ABP_TRACE_ENABLED
   std::vector<std::unique_ptr<obs::TraceRing>> rings_;
   std::vector<CacheAligned<obs::WorkerTelemetry>> telemetry_;
+  // Live metrics plane: one seqlock slot + provenance tally per slot.
+  std::vector<std::unique_ptr<obs::Seqlock<LiveWorkerSample>>> live_;
+  std::vector<CacheAligned<obs::StealProvenance>> prov_;
+  // Longest dependency chain the span profiler observed, folded in by the
+  // worker that finishes the root job (max across runs since reset_stats).
+  // Plain, not atomic: the writer's mu_ round-trip in worker_main orders
+  // the store before run()/reset_stats() readers.
+  std::uint64_t measured_tinf_ticks_ = 0;
 #endif
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
@@ -419,6 +548,25 @@ class Scheduler {
 inline bool Worker::cancelled() const noexcept {
   return sched_->cancel_requested();
 }
+
+#if ABP_TRACE_ENABLED
+inline void Worker::publish_live_now(std::uint64_t now) noexcept {
+  if (publish_interval_ticks_ == 0 || live_ == nullptr) return;
+  last_publish_tsc_ = now;
+  LiveWorkerSample s;
+  s.publish_tsc = now;
+  s.publish_seq = ++publish_seq_;
+  s.stats = stats_->value;
+  s.tel = telemetry_->value;
+  live_->publish(s);
+}
+
+inline void Worker::maybe_publish_live(std::uint64_t now) noexcept {
+  if (publish_interval_ticks_ == 0 || live_ == nullptr) return;
+  if (now - last_publish_tsc_ < publish_interval_ticks_) return;
+  publish_live_now(now);
+}
+#endif
 
 inline void Worker::push(Job* j) {
   // The ABP deque has fixed capacity; if a program spawns without bound,
@@ -518,6 +666,7 @@ inline Job* Worker::try_steal() {
   // ---- the steal itself: single popTop, or a steal-half batch ----
   deque::PopTopStatus status;
   Job* got = nullptr;
+  WHEN_TRACE(std::size_t stolen_items = 1;)  // per claim; batches override
   if (s.opts_.steal_policy == StealPolicy::kStealHalf) {
     std::size_t limit = s.opts_.steal_batch_limit;
     if (limit == 0) limit = 1;
@@ -533,6 +682,7 @@ inline Job* Worker::try_steal() {
       // failed surplus push degrades exactly like Worker::push: run the
       // job inline, never drop it.
       got = br.items[br.count - 1];
+      WHEN_TRACE(stolen_items = br.count;)
       ++stats().batch_steals;
       stats().batch_stolen_items += br.count;
       WHEN_TRACE(ring_->record(obs::EventType::kStealBatch, br.count);)
@@ -553,6 +703,9 @@ inline Job* Worker::try_steal() {
       if (s.steal_backoff_enabled_) steal_backoff_.reset();
       ++stats().steals;
       if (preferred || hinted) ++stats().preferred_victim_hits;
+      if (!obs::same_locality_domain(id_, victim,
+                                     s.opts_.locality_domain_size))
+        ++stats().cross_domain_steals;
       {
         // Ring distance |thief - victim| (shorter way around): the
         // locality metric the victim policies optimize.
@@ -566,6 +719,10 @@ inline Job* Worker::try_steal() {
       WHEN_TRACE({
         const std::uint64_t latency = obs::rdtsc() - t0;
         ring_->record(obs::EventType::kStealSuccess, latency);
+        // Provenance edge of the steal tree: which task moved, and from
+        // whom (the victim tally feeds steal_provenance_json).
+        ring_->record(obs::EventType::kTaskStolen, got->provenance);
+        prov_->record(victim, stolen_items);
         telemetry_->value.steal_latency.record(latency);
         if (!first_steal_recorded_) {
           first_steal_recorded_ = true;
@@ -619,13 +776,40 @@ inline void Worker::execute(Job* j) {
     return;
   }
   ++stats().jobs_executed;
+  // Span bookkeeping (DESIGN.md §13). On entry the worker's span clock
+  // jumps to the job's spawn-time path (this chain continues the spawner's
+  // prefix, not whatever this worker ran last); the caller's clock and
+  // nested-time tally are saved so a nested execute — a waiter helping at
+  // a join — is carved out of the caller's self time and restored on exit.
   WHEN_TRACE(const std::uint64_t t0 = obs::rdtsc();
-             ring_->record_at(t0, obs::EventType::kJobBegin);)
+             const std::uint64_t caller_path = span_now(t0);
+             const std::uint64_t saved_nested = nested_ticks_;
+             nested_ticks_ = 0;
+             span_base_path_ = j->span_path;
+             span_base_tsc_ = t0;
+             ring_->record_at(t0, obs::EventType::kJobBegin, j->provenance);)
   j->run(*this);
   WHEN_TRACE({
-    const std::uint64_t dt = obs::rdtsc() - t0;
+    const std::uint64_t t1 = obs::rdtsc();
+    const std::uint64_t dt = t1 - t0;
+    // End-of-chain path for this job: includes any child chains folded in
+    // at joins the job waited on. Folded into the group *before*
+    // on_complete below — after the final decrement the waiter may destroy
+    // the group.
+    const std::uint64_t end_path = span_now(t1);
     ring_->record(obs::EventType::kJobEnd, dt);
     telemetry_->value.job_run.record(dt);
+    const std::uint64_t nested = nested_ticks_ < dt ? nested_ticks_ : dt;
+    telemetry_->value.exec_self_ticks += dt - nested;
+    nested_ticks_ = saved_nested + dt;
+    span_base_path_ = caller_path;
+    span_base_tsc_ = t1;
+    if (group != nullptr) {
+      group->fold_child_path(end_path);
+    } else {
+      sched_->record_root_span(end_path);
+    }
+    maybe_publish_live(t1);
   })
   if (pooled) pool_.free(j);
   if (group != nullptr) {
@@ -639,6 +823,9 @@ inline void Worker::execute(Job* j) {
 
 inline void Worker::yield_between_steals() {
   CHAOS_POINT("sched.loop.pre_yield");
+  // A starved thief still keeps its live slot fresh: without this an idle
+  // worker's last publication would age out of the live snapshot.
+  WHEN_TRACE(maybe_publish_live(obs::rdtsc());)
   switch (sched_->opts_.yield) {
     case YieldPolicy::kNone:
       break;
@@ -661,6 +848,11 @@ inline void TaskGroup::spawn(F&& f) {
   Job* j = worker_.pool().alloc();
   j->group = this;
   j->pooled = true;
+  // Stamp the child with the spawner's current path (the chain it extends)
+  // and a globally unique id for the steal-provenance events.
+  WHEN_TRACE(const std::uint64_t now = obs::rdtsc();
+             j->span_path = worker_.span_now(now);
+             j->provenance = worker_.alloc_provenance();)
   j->emplace([this, fn = std::forward<F>(f)](Worker& w) mutable {
     try {
       fn(w);
@@ -674,6 +866,13 @@ inline void TaskGroup::spawn(F&& f) {
 
 inline void TaskGroup::drain() {
   Worker& w = worker_;
+  // The waiter's chain is blocked from here until the last child
+  // completes: freeze its span clock now, and resume it at exit from the
+  // max of its own path and the folded child end paths. Time spent
+  // spinning (or helping — those jobs carry their own chains) below is
+  // deliberately not chain time.
+  WHEN_TRACE(const std::uint64_t join_t0 = obs::rdtsc();
+             const std::uint64_t path_at_join = w.span_now(join_t0);)
   const std::uint32_t park_after =
       w.scheduler().options().resilience.park_after_failed_steals;
   std::uint32_t consecutive_failures = 0;
@@ -696,6 +895,11 @@ inline void TaskGroup::drain() {
       consecutive_failures = 0;
     }
   }
+  WHEN_TRACE({
+    const std::uint64_t t = obs::rdtsc();
+    w.set_span(path_at_join, t);
+    w.raise_span(max_child_path_.load(std::memory_order_acquire), t);
+  })
 }
 
 inline void TaskGroup::on_complete() noexcept {

@@ -43,6 +43,10 @@ struct WorkerStats {
   // Successful steals attributed to a non-uniform preference: the nearest-
   // neighbor probe, the watchdog hint, or the cached last victim.
   std::uint64_t preferred_victim_hits = 0;
+  // Successful steals whose victim sits in a different locality domain
+  // (SchedulerOptions::locality_domain_size; 0 with the default single
+  // domain). steals - cross_domain_steals = local steals.
+  std::uint64_t cross_domain_steals = 0;
   // Resilience-layer counters (all zero when the layer is idle).
   std::uint64_t cancelled_jobs = 0;        // jobs skipped after a cancel
   std::uint64_t parks = 0;                 // TaskGroup::wait cv parks
@@ -66,6 +70,7 @@ struct WorkerStats {
     batch_surplus_inline_runs += o.batch_surplus_inline_runs;
     victim_distance_sum += o.victim_distance_sum;
     preferred_victim_hits += o.preferred_victim_hits;
+    cross_domain_steals += o.cross_domain_steals;
     cancelled_jobs += o.cancelled_jobs;
     parks += o.parks;
     alloc_fail_inline_runs += o.alloc_fail_inline_runs;

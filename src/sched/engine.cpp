@@ -13,6 +13,7 @@ WorkStealerEngine::WorkStealerEngine(const dag::Dag& d,
     : dag_(d),
       opts_(opts),
       remaining_(d.num_nodes()),
+      path_(d.num_nodes(), 0),
       tree_(d),
       procs_(num_processes),
       ledger_(num_processes, opts.yield),
@@ -25,6 +26,7 @@ WorkStealerEngine::WorkStealerEngine(const dag::Dag& d,
     remaining_[n] = d.in_degree(n);
   const dag::NodeId root = d.root();
   procs_[0].assigned = root;  // "processZero" gets the root node (Figure 3)
+  path_[root] = 1;
   tree_.set_root(root);
 
   metrics_.t1 = static_cast<double>(d.work());
@@ -54,9 +56,11 @@ void WorkStealerEngine::process_action(sim::ProcId p) {
   if (self.assigned != dag::kNoNode) {
     // Execute the assigned node (Figure 3, lines 5-13).
     const dag::NodeId node = self.assigned;
+    const std::uint64_t my_path = path_[node];
     dag::NodeId child[2];
     int num_children = 0;
     for (const dag::NodeId s : dag_.successors(node)) {
+      if (path_[s] < my_path + 1) path_[s] = my_path + 1;  // span edge
       if (--remaining_[s] == 0) {
         tree_.record(node, s);  // (node, s) is an enabling edge
         child[num_children++] = s;
@@ -234,6 +238,7 @@ const RunMetrics& WorkStealerEngine::metrics() {
   RunMetrics& m = metrics_;
   m.completed = done_;
   m.executed_nodes = executed_;
+  m.measured_span_nodes = final_node_ != dag::kNoNode ? path_[final_node_] : 0;
   m.length = round_;
   m.total_scheduled = m.record.total_scheduled();
   m.processor_average = m.record.processor_average();

@@ -56,6 +56,8 @@ class WorkStealerEngine {
   const dag::Dag& dag_;
   Options opts_;
   std::vector<std::uint32_t> remaining_;
+  // Online span fold: path_[v] = longest executed enabling chain root..v.
+  std::vector<std::uint64_t> path_;
   dag::EnablingTree tree_;
   std::vector<ProcState> procs_;
   sim::YieldLedger ledger_;

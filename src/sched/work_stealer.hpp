@@ -134,6 +134,11 @@ struct RunMetrics {
   std::uint64_t yields = 0;
   std::uint64_t pop_bottom_calls = 0;
   std::uint64_t push_bottom_calls = 0;
+  // Online span profile (DESIGN.md §13): the longest enabling chain
+  // root..final observed by the run itself, folded per executed edge. On a
+  // completed run this equals the static tinf below — the simulator-side
+  // cross-check of the runtime's measured-span machinery.
+  std::uint64_t measured_span_nodes = 0;
 
   double t1 = 0.0;
   double tinf = 0.0;

@@ -221,5 +221,82 @@ TEST(ChaosScheduler, AllDequePoliciesCompleteUnderChaos) {
   }
 }
 
+#if ABP_TRACE_ENABLED
+
+// ---- span profile under chaos (ISSUE 6 satellite) ------------------------
+//
+// The online span DAG is folded across steal and join edges; the two
+// kernel-adversary faults must not corrupt it: a suspension parks a worker
+// mid-steal with its span clock frozen at the join/idle baseline, and a
+// kill at the job boundary removes a worker that provably holds no chain
+// segment. Either way the measured profile must keep satisfying
+// 0 < Tinf <= T1 and the run's answer must stay exact.
+
+TEST(ChaosSpan, SuspendMidStealKeepsSpanProfileSane) {
+  chaos::WorkerSuspendPolicy::Config cfg;
+  cfg.point = "sched.loop.steal_iter";
+  cfg.p_suspend = 0.5;  // aggressive: short runs cross the point rarely
+  cfg.min_us = 1;
+  cfg.max_us = 200;
+  auto policy = std::make_shared<chaos::WorkerSuspendPolicy>(cfg);
+  chaos::ChaosScope scope(policy, 0x5ba7u);
+
+  runtime::SchedulerOptions o;
+  o.num_workers = 4;
+  runtime::Scheduler s(o);
+  // Keep running rounds until the adversary has landed at least a few
+  // mid-steal suspensions (a fast round may see no thief iterations).
+  for (int r = 0; r < 50 && policy->suspensions() < 3; ++r) {
+    long fib = 0;
+    s.run([&](runtime::Worker& w) { parallel_fib(w, 21, fib); });
+    ASSERT_EQ(fib, serial_fib(21)) << "round " << r;
+  }
+  EXPECT_GT(policy->suspensions(), 0u);
+
+  const obs::SpanProfile prof = s.span_profile();
+  EXPECT_GT(prof.tinf_ticks, 0u);
+  EXPECT_GT(prof.tasks, 0u);
+  // Suspension time is idle time, not chain time: a parked thief's span
+  // clock is frozen, so Tinf cannot be inflated past T1 by the adversary.
+  EXPECT_LE(prof.tinf_ticks, prof.t1_ticks);
+}
+
+TEST(ChaosSpan, KillMidRunKeepsSpanDagUncorrupted) {
+  runtime::SchedulerOptions o;
+  o.num_workers = 3;
+  o.resilience.max_workers = 6;
+  runtime::Scheduler s(o);
+
+  std::uint64_t total_kills = 0;
+  for (std::size_t r = 0; r < 24; ++r) {
+    chaos::WorkerKillPolicy::Config cfg;
+    cfg.p_kill = 0.2;
+    cfg.max_kills = 1;  // survivors always outnumber the dead
+    auto policy = std::make_shared<chaos::WorkerKillPolicy>(cfg);
+    {
+      chaos::ChaosScope scope(policy, 0x4b11u + r);
+      long fib = 0;
+      s.run([&](runtime::Worker& w) { parallel_fib(w, 20, fib); });
+      ASSERT_EQ(fib, serial_fib(20)) << "round " << r;
+    }
+    total_kills += policy->kills();
+
+    // The dead worker folded every completed job's path before the fatal
+    // boundary and held no chain segment at it, so the profile stays a
+    // valid work/span pair every round.
+    const obs::SpanProfile prof = s.span_profile();
+    EXPECT_GT(prof.tinf_ticks, 0u) << "round " << r;
+    EXPECT_LE(prof.tinf_ticks, prof.t1_ticks) << "round " << r;
+    const runtime::WorkerStats t = s.total_stats();
+    EXPECT_EQ(t.steal_attempts,
+              t.steals + t.steal_cas_failures + t.steal_empty_victim)
+        << "round " << r;
+    while (s.live_workers() < 3) s.add_worker();
+  }
+  EXPECT_GT(total_kills, 0u);
+}
+
+#endif  // ABP_TRACE_ENABLED
+
 }  // namespace
 }  // namespace abp

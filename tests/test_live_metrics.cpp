@@ -1,0 +1,277 @@
+// The live metrics plane (ISSUE 6 tentpole): per-worker seqlock
+// publication, the background MetricsPump, and mid-run snapshots that are
+// monotone and consistent with the post-quiesce ground truth.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/pump.hpp"
+#include "obs/seqlock.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace {
+
+using namespace abp;
+
+// ---- seqlock -------------------------------------------------------------
+
+struct Pair {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+TEST(SeqlockTest, ReadReturnsLastPublished) {
+  obs::Seqlock<Pair> sl;
+  EXPECT_EQ(sl.sequence(), 0u);
+  Pair out;
+  EXPECT_TRUE(sl.try_read(out));  // zero-initialized before first publish
+  EXPECT_EQ(out.a, 0u);
+  sl.publish(Pair{7, 9});
+  ASSERT_TRUE(sl.try_read(out));
+  EXPECT_EQ(out.a, 7u);
+  EXPECT_EQ(out.b, 9u);
+  EXPECT_EQ(sl.sequence(), 2u);  // one publish = +2
+}
+
+TEST(SeqlockTest, NeverReturnsTornReads) {
+  // Writer publishes {i, ~i} as fast as it can; every successful read must
+  // see a consistent pair. A torn read would mix two publications.
+  obs::Seqlock<Pair> sl;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      sl.publish(Pair{i, ~i});
+      ++i;
+    }
+  });
+  std::uint64_t reads = 0, last_a = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Pair out;
+    if (!sl.try_read(out)) continue;
+    if (out.a == 0) continue;  // before the first publish
+    ASSERT_EQ(out.b, ~out.a) << "torn read";
+    ASSERT_GE(out.a, last_a) << "went back in time";
+    last_a = out.a;
+    ++reads;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  EXPECT_GT(reads, 0u);
+}
+
+TEST(SeqlockTest, RetryingReadSpinsThroughContention) {
+  obs::Seqlock<Pair> sl;
+  sl.publish(Pair{1, ~1ull});
+  std::uint64_t retries = 0;
+  const Pair out = sl.read(&retries);
+  EXPECT_EQ(out.b, ~out.a);
+}
+
+// ---- json stream ---------------------------------------------------------
+
+TEST(JsonStreamTest, DropsOldestWhenFull) {
+  obs::JsonStream s(4);
+  for (int i = 0; i < 10; ++i) s.push("line" + std::to_string(i));
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(s.pushed(), 10u);
+  EXPECT_EQ(s.dropped(), 6u);
+  const std::vector<std::string> lines = s.drain();
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines.front(), "line6");  // oldest retained
+  EXPECT_EQ(lines.back(), "line9");   // newest
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.dropped(), 6u);  // drain does not reset loss accounting
+}
+
+// ---- metrics pump --------------------------------------------------------
+
+TEST(MetricsPumpTest, PumpOnceAggregatesDeltasIntoRates) {
+  std::atomic<std::uint64_t> counter{0};
+  abp::obs::MetricsPump pump([&] {
+    return std::vector<obs::MetricPoint>{
+        {"jobs", static_cast<double>(counter.load())}};
+  });
+  counter = 100;
+  pump.pump_once();
+  counter = 350;
+  pump.pump_once();
+  const auto latest = pump.latest();
+  ASSERT_EQ(latest.size(), 1u);
+  EXPECT_EQ(latest[0].name, "jobs");
+  EXPECT_DOUBLE_EQ(latest[0].value, 350.0);
+  const auto rates = pump.latest_rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_GE(rates[0].value, 0.0);  // 250 jobs over a tiny dt: huge, but >= 0
+
+  // A counter that goes backwards (stats reset) clamps to zero, never
+  // reports a negative rate.
+  counter = 10;
+  pump.pump_once();
+  EXPECT_DOUBLE_EQ(pump.latest_rates()[0].value, 0.0);
+}
+
+TEST(MetricsPumpTest, StreamedJsonIsWellFormed) {
+  std::uint64_t n = 0;
+  abp::obs::MetricsPump pump([&] {
+    ++n;
+    return std::vector<obs::MetricPoint>{
+        {"ticks", static_cast<double>(n)}};
+  });
+  pump.pump_once();
+  pump.pump_once();
+  std::string err;
+  const std::string line = pump.latest_json();
+  ASSERT_FALSE(line.empty());
+  EXPECT_TRUE(obs::json_validate(line, &err)) << err;
+  EXPECT_NE(line.find("\"seq\""), std::string::npos);
+  EXPECT_NE(line.find("\"totals\""), std::string::npos);
+  EXPECT_NE(line.find("\"rates\""), std::string::npos);
+  EXPECT_NE(line.find("ticks_per_sec"), std::string::npos);
+  const auto lines = pump.stream().drain();
+  EXPECT_EQ(lines.size(), 2u);
+  for (const std::string& l : lines)
+    EXPECT_TRUE(obs::json_validate(l, &err)) << err;
+}
+
+TEST(MetricsPumpTest, BackgroundThreadTicksAndStops) {
+  abp::obs::MetricsPump::Options o;
+  o.interval_ms = 2;
+  abp::obs::MetricsPump pump(
+      [] { return std::vector<obs::MetricPoint>{{"x", 1.0}}; }, o);
+  pump.start();
+  EXPECT_TRUE(pump.running());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (pump.ticks() < 3 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  pump.stop();
+  EXPECT_FALSE(pump.running());
+  EXPECT_GE(pump.ticks(), 3u);
+  EXPECT_GE(pump.stream().pushed(), 3u);
+}
+
+// ---- scheduler live plane ------------------------------------------------
+
+#if ABP_TRACE_ENABLED
+
+void spawn_tree(runtime::Worker& w, int depth) {
+  if (depth == 0) return;
+  runtime::TaskGroup tg(w);
+  tg.spawn([depth](runtime::Worker& w2) { spawn_tree(w2, depth - 1); });
+  spawn_tree(w, depth - 1);
+  tg.wait();
+}
+
+TEST(LiveSnapshotTest, MidRunMonotoneAndConsistentWithQuiesce) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 4;
+  opts.live_publish_interval_us = 20;  // publish aggressively for the test
+  runtime::Scheduler sched(opts);
+
+  std::atomic<bool> done{false};
+  std::thread runner([&] {
+    sched.run([](runtime::Worker& w) { spawn_tree(w, 17); });
+    done.store(true, std::memory_order_release);
+  });
+
+  runtime::Scheduler::LiveSnapshot prev{};
+  std::uint64_t polls = 0;
+  while (true) {
+    const bool finished = done.load(std::memory_order_acquire);
+    const auto snap = sched.live_snapshot();
+    ++polls;
+    // Epoch-consistent reads of monotone counters: never backwards.
+    EXPECT_GE(snap.stats.jobs_executed, prev.stats.jobs_executed);
+    EXPECT_GE(snap.stats.steals, prev.stats.steals);
+    EXPECT_GE(snap.stats.steal_attempts, prev.stats.steal_attempts);
+    EXPECT_GE(snap.stats.spawns, prev.stats.spawns);
+    EXPECT_GE(snap.publishes, prev.publishes);
+    prev = snap;
+    if (finished) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  runner.join();
+  EXPECT_GE(polls, 2u);
+
+  // Post-quiesce: the final epoch-exit publication makes the live plane
+  // agree exactly with the summed ground-truth counters.
+  const auto totals = sched.total_stats();
+  const auto fin = sched.live_snapshot();
+  EXPECT_EQ(fin.stats.jobs_executed, totals.jobs_executed);
+  EXPECT_EQ(fin.stats.steals, totals.steals);
+  EXPECT_EQ(fin.stats.spawns, totals.spawns);
+  EXPECT_LE(prev.stats.jobs_executed, totals.jobs_executed);
+  EXPECT_GE(fin.workers_published, 1u);
+}
+
+TEST(LiveSnapshotTest, DisabledIntervalPublishesNothing) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 2;
+  opts.live_publish_interval_us = 0;  // live plane off
+  runtime::Scheduler sched(opts);
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 8); });
+  const auto snap = sched.live_snapshot();
+  EXPECT_EQ(snap.publishes, 0u);
+  EXPECT_EQ(snap.workers_published, 0u);
+  EXPECT_EQ(snap.stats.jobs_executed, 0u);
+  // Ground truth is unaffected by the live plane being off.
+  EXPECT_GT(sched.total_stats().jobs_executed, 0u);
+}
+
+TEST(LiveSampleTest, PointsMatchSnapshotAfterQuiesce) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 2;
+  runtime::Scheduler sched(opts);
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 10); });
+  const auto points = sched.live_sample();
+  ASSERT_FALSE(points.empty());
+  double jobs = -1.0;
+  for (const auto& p : points)
+    if (p.name == "abp_jobs_executed") jobs = p.value;
+  EXPECT_DOUBLE_EQ(jobs,
+                   static_cast<double>(sched.total_stats().jobs_executed));
+}
+
+TEST(LiveSampleTest, FeedsPumpEndToEnd) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 2;
+  runtime::Scheduler sched(opts);
+  abp::obs::MetricsPump pump([&] { return sched.live_sample(); });
+  pump.pump_once();
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 10); });
+  pump.pump_once();
+  std::string err;
+  const std::string line = pump.latest_json();
+  EXPECT_TRUE(obs::json_validate(line, &err)) << err;
+  EXPECT_NE(line.find("abp_jobs_executed"), std::string::npos);
+}
+
+TEST(PrometheusEndpointTest, SchedulerTextValidatesAndCarriesCoreSeries) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 2;
+  runtime::Scheduler sched(opts);
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 10); });
+  const std::string text = sched.prometheus_text();
+  std::string err;
+  EXPECT_TRUE(obs::prometheus_validate(text, &err)) << err;
+  for (const char* name :
+       {"abp_workers", "abp_jobs_executed_total", "abp_steals_total",
+        "abp_steal_attempts_total", "abp_cross_domain_steals_total",
+        "abp_steal_latency_ns_bucket", "abp_job_run_ns_count"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+#endif  // ABP_TRACE_ENABLED
+
+}  // namespace

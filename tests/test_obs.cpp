@@ -413,6 +413,29 @@ TEST(RuntimeTelemetryTest, ChromeTraceExportParsesBack) {
   EXPECT_NE(doc.find("\"name\":\"job\""), std::string::npos);
 }
 
+TEST(RuntimeTelemetryTest, StatsJsonSurfacesTraceDrops) {
+  // Satellite of the live-metrics plane: wraparound loss must be visible
+  // in the stats document, not silently folded into a full-looking ring.
+  runtime::SchedulerOptions o;
+  o.num_workers = 2;
+  o.trace_ring_capacity = 64;  // tiny: guaranteed wraparound
+  runtime::Scheduler sched(o);
+  run_spawn_heavy(sched, 12);
+  const std::string doc = sched.stats_json();
+  std::string err;
+  ASSERT_TRUE(obs::json_validate(doc, &err)) << err;
+  const auto at = doc.find("\"trace_dropped\":");
+  ASSERT_NE(at, std::string::npos) << doc;
+  const std::uint64_t dropped =
+      std::strtoull(doc.c_str() + at + sizeof("\"trace_dropped\":") - 1,
+                    nullptr, 10);
+  std::uint64_t ring_dropped = 0;
+  for (std::size_t i = 0; i < sched.num_workers(); ++i)
+    ring_dropped += sched.worker_trace(i).dropped();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(dropped, ring_dropped);
+}
+
 TEST(RuntimeTelemetryTest, RingWraparoundUnderLoad) {
   runtime::SchedulerOptions o;
   o.num_workers = 2;
@@ -432,5 +455,115 @@ TEST(RuntimeTelemetryTest, RingWraparoundUnderLoad) {
 }
 
 #endif  // ABP_TRACE_ENABLED
+
+// ---- histogram bucket-edge values + merge guards -------------------------
+
+TEST(LatencyHistogramTest, BucketEdgeValues) {
+  // The extreme representable samples land in the right buckets and never
+  // corrupt the moments: 0 (dedicated zero bucket), 1 (first power), 2^63
+  // and UINT64_MAX (both in the final bucket).
+  LatencyHistogram h;
+  h.record(0);
+  h.record(1);
+  h.record(1ull << 63);
+  h.record(~0ull);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), ~0ull);
+  EXPECT_EQ(h.bucket_count(0), 1u);   // exactly v==0
+  EXPECT_EQ(h.bucket_count(1), 1u);   // [1, 1]
+  EXPECT_EQ(h.bucket_count(64), 2u);  // [2^63, 2^64-1]
+  // Percentiles stay within [min, max] even at the saturated top bucket.
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_GE(h.percentile(p), 0.0);
+    EXPECT_LE(h.percentile(p), static_cast<double>(~0ull));
+  }
+}
+
+TEST(LatencyHistogramTest, MergeEmptyGuards) {
+  // Empty histograms are the identity of merge in every direction; the
+  // min() of an empty histogram must not poison the merged minimum.
+  LatencyHistogram empty1, empty2;
+  empty1.merge(empty2);
+  EXPECT_EQ(empty1.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty1.percentile(50), 0.0);
+
+  LatencyHistogram filled;
+  filled.record(7);
+  filled.record(4096);
+  LatencyHistogram into_empty;
+  into_empty.merge(filled);  // empty.merge(x) == x
+  EXPECT_EQ(into_empty.count(), 2u);
+  EXPECT_EQ(into_empty.min(), 7u);
+  EXPECT_EQ(into_empty.max(), 4096u);
+  EXPECT_EQ(into_empty.sum(), filled.sum());
+
+  filled.merge(empty1);  // x.merge(empty) == x
+  EXPECT_EQ(filled.count(), 2u);
+  EXPECT_EQ(filled.min(), 7u);
+  EXPECT_EQ(filled.max(), 4096u);
+}
+
+TEST(LatencyHistogramTest, MergeAtBucketEdges) {
+  LatencyHistogram a, b;
+  a.record(0);
+  a.record(~0ull);
+  b.record(1);
+  b.record(1ull << 63);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), ~0ull);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  EXPECT_EQ(a.bucket_count(64), 2u);
+}
+
+// ---- ring snapshot drop accounting ---------------------------------------
+
+TEST(TraceRing, SnapshotWithStatsReportsOverflow) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 0; i < 100; ++i) ring.record(EventType::kYield, i);
+  const obs::TraceSnapshot snap = ring.snapshot_with_stats();
+  EXPECT_EQ(snap.total_recorded, 100u);
+  EXPECT_EQ(snap.dropped, 100u - snap.events.size());
+  EXPECT_GT(snap.dropped, 0u);
+  ASSERT_FALSE(snap.events.empty());
+  EXPECT_EQ(snap.events.back().arg, 99u);  // newest retained
+  EXPECT_EQ(snap.events.front().arg, 100u - snap.events.size());
+}
+
+// ---- prometheus text exposition ------------------------------------------
+
+TEST(PrometheusTest, WriterOutputValidates) {
+  LatencyHistogram h;
+  h.record(0);
+  h.record(100);
+  h.record(~0ull);
+  obs::PrometheusWriter w;
+  w.gauge("abp_workers", 4.0);
+  w.counter("abp_steals_total", 17.0, "worker=\"3\"");
+  w.histogram("abp_steal_latency_ns", h, 0.5);
+  const std::string text = w.str();
+  std::string err;
+  EXPECT_TRUE(obs::prometheus_validate(text, &err)) << err;
+  EXPECT_NE(text.find("# TYPE abp_workers gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE abp_steals_total counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE abp_steal_latency_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("abp_steal_latency_ns_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("abp_steal_latency_ns_count 3"), std::string::npos);
+}
+
+TEST(PrometheusTest, ValidatorRejectsMalformedLines) {
+  std::string err;
+  EXPECT_FALSE(obs::prometheus_validate("novalue\n", &err));
+  EXPECT_FALSE(obs::prometheus_validate("9bad_name 1\n", &err));
+  EXPECT_FALSE(obs::prometheus_validate("x{le=\"1} 1\n", &err));
+  EXPECT_FALSE(obs::prometheus_validate("x{a=\"1\"} not_a_number\n", &err));
+  EXPECT_TRUE(obs::prometheus_validate("x{le=\"+Inf\"} 1\nx_sum 2\n", &err))
+      << err;
+}
 
 }  // namespace

@@ -1,0 +1,182 @@
+// The online work/span profiler (ISSUE 6 tentpole): the span folded along
+// real enabling/steal/join edges must reproduce the static DAG answer
+// where one exists (dag engine, simulator), and satisfy the defining
+// work/span algebra where it does not (dynamic fork-join scheduler).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "dag/builders.hpp"
+#include "obs/export.hpp"
+#include "runtime/dag_engine.hpp"
+#include "runtime/scheduler.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+using namespace abp;
+
+// ---- dag engine (real threads): measured == static -----------------------
+
+void expect_dag_span_exact(const dag::Dag& d, std::size_t workers) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = workers;
+  const runtime::DagRunResult r = runtime::run_dag(d, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.measured_work_nodes, d.work());
+  // >= is the acceptance bound (a lost fold would show up as <); on a
+  // completed run the fold is exact, so == is the real invariant.
+  EXPECT_GE(r.measured_span_nodes, d.critical_path_length());
+  EXPECT_EQ(r.measured_span_nodes, d.critical_path_length());
+}
+
+TEST(DagEngineSpan, Figure1MatchesStatic) {
+  expect_dag_span_exact(dag::figure1(), 1);
+  expect_dag_span_exact(dag::figure1(), 3);
+}
+
+TEST(DagEngineSpan, ChainIsAllSpan) {
+  const auto d = dag::chain(300);
+  expect_dag_span_exact(d, 2);
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 2;
+  const auto r = runtime::run_dag(d, opts);
+  EXPECT_EQ(r.measured_span_nodes, r.measured_work_nodes);  // serial dag
+}
+
+TEST(DagEngineSpan, TreesGridsAndRandomSeriesParallel) {
+  expect_dag_span_exact(dag::fork_join_tree(8), 4);
+  expect_dag_span_exact(dag::grid_wavefront(17, 9), 4);
+  expect_dag_span_exact(dag::random_series_parallel(7, 900), 3);
+  expect_dag_span_exact(dag::wide(64, 3), 4);
+  expect_dag_span_exact(dag::imbalanced_tree(9), 4);
+}
+
+TEST(DagEngineSpan, RepeatedRunsStayExact) {
+  // The fold races with concurrent enablers; repeat to shake out a lost
+  // CAS-max (any loss shows as measured < static on some run).
+  const auto d = dag::random_series_parallel(3, 600);
+  for (int i = 0; i < 10; ++i) expect_dag_span_exact(d, 4);
+}
+
+// ---- simulator: measured == static over every discipline -----------------
+
+TEST(SimulatorSpan, MatchesCriticalPathAcrossPolicies) {
+  std::vector<dag::Dag> dags;
+  dags.push_back(dag::fib_dag(11));
+  dags.push_back(dag::chain(64));
+  dags.push_back(dag::grid_wavefront(9, 9));
+  for (const dag::Dag& d : dags) {
+    for (const std::size_t p : {1u, 4u}) {
+      sim::DedicatedKernel k(p);
+      sched::Options opts;
+      const sched::RunMetrics m = sched::run_work_stealer(d, k, opts);
+      ASSERT_TRUE(m.completed);
+      EXPECT_EQ(m.measured_span_nodes, d.critical_path_length());
+    }
+  }
+}
+
+TEST(SimulatorSpan, StealHalfKeepsSpanExact) {
+  const auto d = dag::fib_dag(12);
+  sim::DedicatedKernel k(6);
+  sched::Options opts;
+  opts.steal = sched::StealKind::kStealHalf;
+  const auto m = sched::run_work_stealer(d, k, opts);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.measured_span_nodes, d.critical_path_length());
+}
+
+// ---- dynamic fork-join scheduler: cycle-unit span algebra ----------------
+
+#if ABP_TRACE_ENABLED
+
+void spawn_tree(runtime::Worker& w, int depth) {
+  if (depth == 0) return;
+  runtime::TaskGroup tg(w);
+  tg.spawn([depth](runtime::Worker& w2) { spawn_tree(w2, depth - 1); });
+  spawn_tree(w, depth - 1);
+  tg.wait();
+}
+
+TEST(SchedulerSpan, ProfileSatisfiesWorkSpanAlgebra) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 4;
+  runtime::Scheduler sched(opts);
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 10); });
+  const obs::SpanProfile prof = sched.span_profile();
+  EXPECT_GT(prof.tasks, 0u);
+  EXPECT_GT(prof.t1_ticks, 0u);
+  EXPECT_GT(prof.tinf_ticks, 0u);
+  // The longest chain cannot exceed the total work: join waiters freeze
+  // their span clock while spinning, so idle time never inflates Tinf.
+  EXPECT_LE(prof.tinf_ticks, prof.t1_ticks);
+  EXPECT_GE(prof.parallelism(), 1.0);
+}
+
+TEST(SchedulerSpan, SerialRunHasSpanCloseToWork) {
+  // One worker executing a pure chain of dependent tasks: every cycle of
+  // self work lies on the single chain, so Tinf == T1 exactly (the same
+  // clock readings feed both sums).
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 1;
+  runtime::Scheduler sched(opts);
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 8); });
+  const obs::SpanProfile prof = sched.span_profile();
+  EXPECT_GT(prof.tinf_ticks, 0u);
+  EXPECT_LE(prof.tinf_ticks, prof.t1_ticks);
+}
+
+TEST(SchedulerSpan, ResetStatsClearsProfile) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 2;
+  runtime::Scheduler sched(opts);
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 8); });
+  ASSERT_GT(sched.span_profile().tinf_ticks, 0u);
+  sched.reset_stats();
+  const obs::SpanProfile prof = sched.span_profile();
+  EXPECT_EQ(prof.t1_ticks, 0u);
+  EXPECT_EQ(prof.tinf_ticks, 0u);
+  EXPECT_EQ(prof.tasks, 0u);
+  // The plane comes back after the next run.
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 6); });
+  EXPECT_GT(sched.span_profile().tinf_ticks, 0u);
+}
+
+TEST(SchedulerSpan, ProvenanceIdsAreUniquePerWorker) {
+  // Provenance IDs are (worker << 48) | seq; two spawns never collide.
+  const std::uint64_t a = obs::make_provenance_id(3, 1);
+  const std::uint64_t b = obs::make_provenance_id(3, 2);
+  const std::uint64_t c = obs::make_provenance_id(4, 1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(obs::provenance_worker(a), 3u);
+  EXPECT_EQ(obs::provenance_seq(b), 2u);
+}
+
+TEST(SchedulerSpan, StealProvenanceSumsMatchStealCount) {
+  runtime::SchedulerOptions opts;
+  opts.num_workers = 4;
+  opts.locality_domain_size = 2;
+  runtime::Scheduler sched(opts);
+  sched.run([](runtime::Worker& w) { spawn_tree(w, 12); });
+  const std::string doc = sched.steal_provenance_json();
+  std::string err;
+  ASSERT_TRUE(obs::json_validate(doc, &err)) << err;
+  // total_steals in the document equals the counter plane's steals: both
+  // count the same kSuccess events.
+  const auto at = doc.find("\"total_steals\":");
+  ASSERT_NE(at, std::string::npos) << doc;
+  const std::uint64_t total = std::strtoull(
+      doc.c_str() + at + sizeof("\"total_steals\":") - 1, nullptr, 10);
+  EXPECT_EQ(total, sched.total_stats().steals);
+}
+
+#endif  // ABP_TRACE_ENABLED
+
+}  // namespace

@@ -32,6 +32,19 @@ Usage:
 comparing. Refresh procedure (documented in EXPERIMENTS.md §E26): rerun
 both benches on a quiet machine, inspect the diff, commit the new
 baseline in the same PR as the change that legitimately moved it.
+
+BENCH_JSON lines carry build provenance (git_sha, build_flags — stamped by
+CMake via bench_common.hpp); it is echoed on every run and recorded in the
+baseline on --update so a stale baseline names the commit that produced it.
+
+Overhead mode (CI: the metrics <5% gate, EXPERIMENTS.md §E27) compares two
+bench_deque_micro JSON files from the same machine and run pair — A built
+with -DABP_TRACE=OFF, B with the default ON — and fails when any guarded
+family median in B is slower than its A counterpart by more than the
+threshold:
+
+    bench_regression.py overhead --off traceoff.json --on traceon.json \
+        [--overhead-threshold 0.05]
 """
 
 import argparse
@@ -50,13 +63,9 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
-def extract_micro(path: str) -> dict:
-    """Mutex-normalized items/s per guarded micro benchmark.
-
-    Run bench_deque_micro with --benchmark_repetitions (the CI job uses 5)
-    so the medians are available: single runs of the short loops swing
-    well past the threshold on a loaded host, the median does not.
-    """
+def load_micro_ips(path: str) -> dict:
+    """name -> items/s from a google-benchmark JSON file (medians when
+    --benchmark_repetitions was used, single-run values otherwise)."""
     with open(path) as f:
         data = json.load(f)
     ips, medians = {}, {}
@@ -69,8 +78,17 @@ def extract_micro(path: str) -> dict:
                     b["items_per_second"])
         else:
             ips[b.get("name", "")] = float(b["items_per_second"])
-    if medians:
-        ips = medians
+    return medians if medians else ips
+
+
+def extract_micro(path: str) -> dict:
+    """Mutex-normalized items/s per guarded micro benchmark.
+
+    Run bench_deque_micro with --benchmark_repetitions (the CI job uses 5)
+    so the medians are available: single runs of the short loops swing
+    well past the threshold on a loaded host, the median does not.
+    """
+    ips = load_micro_ips(path)
     metrics = {}
     for family in MICRO_FAMILIES:
         ref = None
@@ -89,7 +107,7 @@ def extract_micro(path: str) -> dict:
     return metrics
 
 
-def extract_multiprog(path: str) -> dict:
+def extract_multiprog(path: str, provenance: dict = None) -> dict:
     """Per-(mix, discipline) makespans from bench_multiprog's BENCH_JSON.
 
     `path` holds one raw JSON object per line (the ABP_BENCH_JSON file
@@ -107,6 +125,9 @@ def extract_multiprog(path: str) -> dict:
                 continue
             if not obj.get("ok", False):
                 fail(f"bench_multiprog reported ok=false ({path})")
+            if provenance is not None and "git_sha" in obj:
+                provenance["git_sha"] = obj["git_sha"]
+                provenance["build_flags"] = obj.get("build_flags", "unknown")
             for table in obj.get("tables", []):
                 cols = table.get("columns", [])
                 if "makespan" not in cols:
@@ -121,18 +142,80 @@ def extract_multiprog(path: str) -> dict:
     return metrics
 
 
-def collect(args) -> dict:
+def collect(args, provenance: dict) -> dict:
     metrics = {}
     if args.micro:
         metrics.update(extract_micro(args.micro))
     if args.bench_json:
-        metrics.update(extract_multiprog(args.bench_json))
+        metrics.update(extract_multiprog(args.bench_json, provenance))
     if not metrics:
         fail("no inputs: pass --micro and/or --bench-json")
     return metrics
 
 
+def overhead_main(argv) -> None:
+    """The telemetry overhead gate: trace-ON vs trace-OFF micro medians.
+
+    Both files must come from the same machine in the same CI job (the
+    runner lottery is the whole reason this is a paired comparison and not
+    a baseline comparison). Guarded: every entry of the MICRO_FAMILIES
+    loops, including the un-instrumented MutexDeque/SpinlockDeque
+    references.
+
+    The gate is the MEDIAN paired slowdown across the guarded suite, not
+    any single benchmark: individual paired readings swing +/-12% in BOTH
+    directions even back-to-back on one machine (a trace-OFF binary has
+    been measured 12% "slower" than its ON twin on loops whose code is
+    bit-identical under both flags), so a per-benchmark 5% check is a coin
+    flip. A real telemetry leak into the deque fast paths shifts the whole
+    guarded set in one direction; symmetric noise leaves the median near
+    zero. Per-benchmark lines are still printed for diagnosis.
+    """
+    ap = argparse.ArgumentParser(prog="bench_regression.py overhead")
+    ap.add_argument("--off", required=True,
+                    help="bench_deque_micro JSON from an -DABP_TRACE=OFF build")
+    ap.add_argument("--on", required=True,
+                    help="bench_deque_micro JSON from an -DABP_TRACE=ON build")
+    ap.add_argument("--overhead-threshold", type=float, default=0.05,
+                    help="max fractional slowdown of ON vs OFF (default 5%%)")
+    args = ap.parse_args(argv)
+
+    off, on = load_micro_ips(args.off), load_micro_ips(args.on)
+    guarded = sorted(
+        name for name in off
+        if any(name.startswith(f) for f in MICRO_FAMILIES))
+    if not guarded:
+        fail(f"no {'/'.join(MICRO_FAMILIES)} entries in {args.off}")
+    slowdowns = []
+    for name in guarded:
+        if name not in on:
+            fail(f"{name} present in OFF run but missing from ON run")
+        base, traced = off[name], on[name]
+        if base <= 0.0:
+            fail(f"{name}: non-positive items/s in OFF run")
+        slowdown = (base - traced) / base  # fraction of throughput lost
+        slowdowns.append(slowdown)
+        flag = " (noisy)" if abs(slowdown) > args.overhead_threshold else ""
+        print(f"  {name}: off={base:.4g} on={traced:.4g} items/s "
+              f"(overhead {slowdown:+.1%}){flag}")
+    slowdowns.sort()
+    n = len(slowdowns)
+    median = (slowdowns[n // 2] if n % 2
+              else 0.5 * (slowdowns[n // 2 - 1] + slowdowns[n // 2]))
+    print(f"  suite median over {n} benchmark(s): {median:+.1%} "
+          f"(budget {args.overhead_threshold:.0%})")
+    if median > args.overhead_threshold:
+        fail(f"telemetry overhead: median paired slowdown {median:+.1%} "
+             f"exceeds the {args.overhead_threshold:.0%} budget")
+    print(f"bench-regression: overhead ok (median {median:+.1%} across "
+          f"{n} benchmark(s), budget {args.overhead_threshold:.0%})")
+
+
 def main() -> None:
+    if len(sys.argv) > 1 and sys.argv[1] == "overhead":
+        overhead_main(sys.argv[2:])
+        return
+
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", required=True)
     ap.add_argument("--micro", help="bench_deque_micro --benchmark_format=json output")
@@ -145,18 +228,32 @@ def main() -> None:
                     help="rewrite the baseline instead of comparing")
     args = ap.parse_args()
 
-    current = collect(args)
+    provenance = {}
+    current = collect(args, provenance)
+    if provenance:
+        print(f"bench-regression: current run provenance: "
+              f"git_sha={provenance.get('git_sha', 'unknown')} "
+              f"build_flags=\"{provenance.get('build_flags', 'unknown')}\"")
 
     if args.update:
+        doc = {"metrics": current}
+        if provenance:
+            doc["provenance"] = provenance
         with open(args.baseline, "w") as f:
-            json.dump({"metrics": current}, f, indent=2, sort_keys=True)
+            json.dump(doc, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"bench-regression: baseline refreshed with "
               f"{len(current)} metric(s) -> {args.baseline}")
         return
 
     with open(args.baseline) as f:
-        baseline = json.load(f)["metrics"]
+        baseline_doc = json.load(f)
+    baseline = baseline_doc["metrics"]
+    base_prov = baseline_doc.get("provenance", {})
+    if base_prov:
+        print(f"bench-regression: baseline provenance: "
+              f"git_sha={base_prov.get('git_sha', 'unknown')} "
+              f"build_flags=\"{base_prov.get('build_flags', 'unknown')}\"")
 
     # All metrics are stored higher-is-better (makespans are negated), so
     # a regression is uniformly "current below baseline by > threshold".

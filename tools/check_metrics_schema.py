@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validates the live metrics plane's two export formats against a golden
+schema (tools/metrics_schema.json). CI's metrics-smoke job pipes
+examples/live_metrics through this script.
+
+Input (stdout of the example, file arg or stdin):
+
+  * METRICS_JSON {...} lines — the MetricsPump's streaming JSON: every
+    line must parse, carry the schema's required keys, have strictly
+    increasing "seq", and each counter under "totals" must be monotone
+    non-decreasing across lines (the epoch-consistent snapshot guarantee:
+    a later read never shows less than an earlier one).
+  * A PROMETHEUS_BEGIN ... PROMETHEUS_END block — Prometheus text
+    exposition: required gauges/counters present with # TYPE lines,
+    counters named *_total, histogram _bucket series cumulative and
+    monotone in le with the +Inf bucket equal to _count.
+
+Usage:
+    check_metrics_schema.py [--schema tools/metrics_schema.json] [out.txt]
+    ./build/examples/live_metrics | python3 tools/check_metrics_schema.py
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+
+JSON_PREFIX = "METRICS_JSON "
+PROM_BEGIN = "PROMETHEUS_BEGIN"
+PROM_END = "PROMETHEUS_END"
+
+
+class Checker:
+    def __init__(self):
+        self.failures = []
+
+    def fail(self, msg):
+        self.failures.append(msg)
+
+    def expect(self, cond, msg):
+        if not cond:
+            self.fail(msg)
+        return cond
+
+
+def check_metrics_json(lines, schema, c: Checker):
+    required = schema.get("required_keys", [])
+    required_totals = schema.get("required_totals", [])
+    prev_seq, prev_totals = None, {}
+    count = 0
+    for i, line in enumerate(lines):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            c.fail(f"METRICS_JSON line {i}: parse error: {e}")
+            continue
+        count += 1
+        for key in required:
+            c.expect(key in obj, f"METRICS_JSON line {i}: missing key "
+                                 f"'{key}'")
+        seq = obj.get("seq")
+        if schema.get("seq_strictly_increasing") and seq is not None:
+            if prev_seq is not None:
+                c.expect(seq > prev_seq,
+                         f"METRICS_JSON line {i}: seq {seq} not greater "
+                         f"than previous {prev_seq}")
+            prev_seq = seq
+        totals = obj.get("totals", {})
+        if isinstance(totals, dict):
+            for key in required_totals:
+                c.expect(key in totals, f"METRICS_JSON line {i}: totals "
+                                        f"missing '{key}'")
+            if schema.get("monotone_totals"):
+                for key, value in totals.items():
+                    if key in prev_totals:
+                        c.expect(
+                            value >= prev_totals[key],
+                            f"METRICS_JSON line {i}: totals['{key}'] went "
+                            f"backwards ({prev_totals[key]} -> {value})")
+                prev_totals.update(totals)
+    c.expect(count >= 1, "no METRICS_JSON lines found")
+    return count
+
+
+# One exposition line: name{labels} value  (labels optional).
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$")
+
+
+def parse_prometheus(block, c: Checker):
+    """Returns (types, samples): metric -> declared type, and a list of
+    (name, labels-dict, value)."""
+    types, samples = {}, []
+    for i, line in enumerate(block):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if c.expect(len(parts) == 4,
+                        f"prometheus line {i}: malformed TYPE: '{line}'"):
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not c.expect(m is not None,
+                        f"prometheus line {i}: unparseable sample: '{line}'"):
+            continue
+        name, _, labelstr, value = m.groups()
+        labels = {}
+        if labelstr:
+            for part in labelstr.split(","):
+                if not part:
+                    continue
+                k, _, v = part.partition("=")
+                labels[k.strip()] = v.strip().strip('"')
+        try:
+            fvalue = float(value)
+        except ValueError:
+            c.fail(f"prometheus line {i}: non-numeric value '{value}'")
+            continue
+        samples.append((name, labels, fvalue))
+    return types, samples
+
+
+def check_prometheus(block, schema, c: Checker):
+    types, samples = parse_prometheus(block, c)
+    present = {name for name, _, _ in samples}
+
+    for g in schema.get("required_gauges", []):
+        c.expect(g in present, f"prometheus: missing gauge {g}")
+        c.expect(types.get(g) == "gauge",
+                 f"prometheus: {g} not declared '# TYPE {g} gauge'")
+    for ct in schema.get("required_counters", []):
+        c.expect(ct in present, f"prometheus: missing counter {ct}")
+        c.expect(types.get(ct) == "counter",
+                 f"prometheus: {ct} not declared '# TYPE {ct} counter'")
+        c.expect(ct.endswith("_total"),
+                 f"prometheus: counter {ct} not named *_total")
+        for name, _, value in samples:
+            if name == ct:
+                c.expect(value >= 0.0,
+                         f"prometheus: counter {ct} negative ({value})")
+
+    for h in schema.get("required_histograms", []):
+        c.expect(types.get(h) == "histogram",
+                 f"prometheus: {h} not declared '# TYPE {h} histogram'")
+        buckets = []
+        count_value, sum_value = None, None
+        for name, labels, value in samples:
+            if name == f"{h}_bucket" and "le" in labels:
+                le = labels["le"]
+                buckets.append((math.inf if le == "+Inf" else float(le),
+                                value))
+            elif name == f"{h}_count":
+                count_value = value
+            elif name == f"{h}_sum":
+                sum_value = value
+        if not c.expect(buckets, f"prometheus: {h} has no _bucket series"):
+            continue
+        c.expect(count_value is not None, f"prometheus: {h} missing _count")
+        c.expect(sum_value is not None, f"prometheus: {h} missing _sum")
+        buckets.sort(key=lambda b: b[0])
+        c.expect(buckets[-1][0] == math.inf,
+                 f"prometheus: {h} missing le=\"+Inf\" bucket")
+        for (le_a, v_a), (le_b, v_b) in zip(buckets, buckets[1:]):
+            c.expect(v_b >= v_a,
+                     f"prometheus: {h} bucket le={le_b} count {v_b} below "
+                     f"le={le_a} count {v_a} (not cumulative)")
+        if count_value is not None:
+            c.expect(buckets[-1][1] == count_value,
+                     f"prometheus: {h} +Inf bucket {buckets[-1][1]} != "
+                     f"_count {count_value}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    default_schema = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  "metrics_schema.json")
+    ap.add_argument("--schema", default=default_schema)
+    ap.add_argument("input", nargs="?", help="example output (default stdin)")
+    args = ap.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+
+    stream = open(args.input) if args.input else sys.stdin
+    json_lines, prom_block = [], []
+    in_prom = False
+    for line in stream:
+        line = line.rstrip("\n")
+        if line.strip() == PROM_BEGIN:
+            in_prom = True
+        elif line.strip() == PROM_END:
+            in_prom = False
+        elif in_prom:
+            prom_block.append(line)
+        elif line.startswith(JSON_PREFIX):
+            json_lines.append(line[len(JSON_PREFIX):])
+
+    c = Checker()
+    n = check_metrics_json(json_lines, schema.get("metrics_json", {}), c)
+    if c.expect(prom_block, "no PROMETHEUS_BEGIN/END block found"):
+        check_prometheus(prom_block, schema.get("prometheus", {}), c)
+
+    if c.failures:
+        for f in c.failures:
+            print(f"metrics-schema: FAIL: {f}")
+        return 1
+    print(f"metrics-schema: ok ({n} METRICS_JSON line(s), "
+          f"{len(prom_block)} prometheus line(s) match the golden schema)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Cross-checks the online work/span profiler against the static DAG.
+
+Consumes SPAN_JSON lines (emitted by examples/span_profile, one JSON
+object per line, prefixed with "SPAN_JSON " on stdout or raw in a file):
+
+    {"workload": "fork_join_tree(d=10)", "p": 4,
+     "work_nodes": 2047, "span_nodes": 11,
+     "measured_work_nodes": 2047, "measured_span_nodes": 11,
+     "seconds": 0.0123}
+
+work_nodes/span_nodes are the static dag::Dag::work() and
+critical_path_length(); measured_* are the runtime dag engine's online
+profile (src/runtime/dag_engine.cpp), folded along the enabling edges the
+run actually took. Two checks (ISSUE 6 acceptance, EXPERIMENTS.md §E27):
+
+  1. Exactness: on a completed run the measured span must equal the static
+     critical path (every node's path is 1 + max over executed
+     predecessors, and each node executes exactly once), and the measured
+     work must equal the node count. A measured span below the static
+     critical path means the profiler lost a fold — corruption, not noise.
+
+  2. Bound shape: across (workload, p) points, the makespan should fit
+        seconds ~= c1 * (work_nodes / p_eff) + c2 * span_nodes
+     i.e. the paper's O(T1/P_A + Tinf) form, where p_eff (emitted by the
+     example as min(P, hardware_concurrency)) stands in for the processor
+     average P_A — on a host with fewer CPUs than workers the work term
+     divides by what the machine can deliver, not by what was asked. The
+     2-parameter least-squares fit is reported; c1 must come out positive
+     (the work term pays for itself), and the fit constants are the c1/c2
+     recorded in EXPERIMENTS.md §E27.
+
+Usage:
+    span_report.py [span.jsonl ...]        # or pipe example output on stdin
+    ./build/examples/span_profile | python3 tools/span_report.py
+"""
+
+import json
+import sys
+
+PREFIX = "SPAN_JSON "
+
+
+def read_points(streams):
+    points = []
+    for stream in streams:
+        for line in stream:
+            line = line.strip()
+            if line.startswith(PREFIX):
+                line = line[len(PREFIX):]
+            if not line.startswith("{"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if "measured_span_nodes" not in obj:
+                continue
+            points.append(obj)
+    return points
+
+
+def check_exactness(points):
+    failures = []
+    for pt in points:
+        tag = f"{pt.get('workload', '?')} p={pt.get('p', '?')}"
+        static_span = int(pt["span_nodes"])
+        measured_span = int(pt["measured_span_nodes"])
+        static_work = int(pt["work_nodes"])
+        measured_work = int(pt.get("measured_work_nodes", static_work))
+        ok = measured_span == static_span and measured_work == static_work
+        print(f"  {tag}: T1 {measured_work}/{static_work} nodes, "
+              f"Tinf {measured_span}/{static_span} nodes "
+              f"(measured/static) {'ok' if ok else 'MISMATCH'}")
+        if measured_span < static_span:
+            failures.append(f"{tag}: measured span {measured_span} < static "
+                            f"critical path {static_span} (lost fold)")
+        elif measured_span > static_span:
+            failures.append(f"{tag}: measured span {measured_span} > static "
+                            f"critical path {static_span} (phantom edge)")
+        if measured_work != static_work:
+            failures.append(f"{tag}: measured work {measured_work} != "
+                            f"{static_work} nodes")
+    return failures
+
+
+def effective_p(pt):
+    return int(pt.get("p_eff", pt["p"]))
+
+
+def fit_bound(points):
+    """Least-squares seconds ~= c1*(work/p_eff) + c2*span; returns
+    (c1, c2, r2) or None when the system is degenerate."""
+    usable = [pt for pt in points
+              if float(pt.get("seconds", 0.0)) > 0.0 and effective_p(pt) > 0]
+    if len(usable) < 2:
+        return None
+    # Normal equations for y = c1*x1 + c2*x2 (no intercept: zero work takes
+    # zero time).
+    s11 = s12 = s22 = sy1 = sy2 = 0.0
+    for pt in usable:
+        x1 = float(pt["work_nodes"]) / float(effective_p(pt))
+        x2 = float(pt["span_nodes"])
+        y = float(pt["seconds"])
+        s11 += x1 * x1
+        s12 += x1 * x2
+        s22 += x2 * x2
+        sy1 += x1 * y
+        sy2 += x2 * y
+    det = s11 * s22 - s12 * s12
+    if abs(det) < 1e-30:
+        return None
+    c1 = (sy1 * s22 - sy2 * s12) / det
+    c2 = (s11 * sy2 - s12 * sy1) / det
+    ss_res = ss_tot = 0.0
+    mean_y = sum(float(pt["seconds"]) for pt in usable) / len(usable)
+    for pt in usable:
+        x1 = float(pt["work_nodes"]) / float(effective_p(pt))
+        x2 = float(pt["span_nodes"])
+        y = float(pt["seconds"])
+        ss_res += (y - (c1 * x1 + c2 * x2)) ** 2
+        ss_tot += (y - mean_y) ** 2
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0.0 else 1.0
+    return c1, c2, r2
+
+
+def main() -> int:
+    streams = ([open(path) for path in sys.argv[1:]]
+               if len(sys.argv) > 1 else [sys.stdin])
+    points = read_points(streams)
+    if not points:
+        print("span-report: FAIL: no SPAN_JSON lines found in input")
+        return 1
+    print(f"span-report: {len(points)} run(s)")
+    failures = check_exactness(points)
+
+    fit = fit_bound(points)
+    if fit is not None:
+        c1, c2, r2 = fit
+        print(f"  bound fit: seconds ~= {c1:.3e} * T1/P + {c2:.3e} * Tinf "
+              f"(R^2 = {r2:.4f})")
+        if c1 <= 0.0:
+            failures.append(f"bound fit has non-positive work coefficient "
+                            f"c1 = {c1:.3e}")
+    else:
+        print("  bound fit: skipped (need >= 2 timed points with distinct "
+              "T1/P, Tinf)")
+
+    if failures:
+        for f in failures:
+            print(f"span-report: FAIL: {f}")
+        return 1
+    print("span-report: ok (measured span == static critical path on every "
+          "run; bound shape holds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
