@@ -23,6 +23,14 @@
 #include "sim/kernel.hpp"
 #include "support/table.hpp"
 
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define ABP_HAVE_PERF_EVENTS 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace abp::bench {
 
 // Collects everything the harness reported; flushed by atexit so no bench
@@ -142,5 +150,85 @@ inline void verdict(bool ok, const std::string& what) {
   JsonLineCollector::instance().add_verdict(ok, what);
   std::printf("[%s] %s\n", ok ? "REPRODUCED" : "MISMATCH", what.c_str());
 }
+
+// Optional hardware cache-counter backend for the cache-complexity harness
+// (E28). Wraps perf_event_open over PERF_COUNT_HW_CACHE_REFERENCES /
+// PERF_COUNT_HW_CACHE_MISSES for the whole process (all threads,
+// inherited). Real-machine numbers are informational only — never gated —
+// because perf_event_paranoid, VMs and CI containers routinely refuse the
+// syscall; available() reports whether the counters actually opened and
+// every accessor degrades to zero when they did not.
+class PerfCacheCounters {
+ public:
+  struct Reading {
+    std::uint64_t references = 0;
+    std::uint64_t misses = 0;
+  };
+
+#if defined(ABP_HAVE_PERF_EVENTS)
+  PerfCacheCounters() {
+    ref_fd_ = open_counter(PERF_COUNT_HW_CACHE_REFERENCES);
+    miss_fd_ = open_counter(PERF_COUNT_HW_CACHE_MISSES);
+    if (ref_fd_ < 0 || miss_fd_ < 0) close_all();
+  }
+  ~PerfCacheCounters() { close_all(); }
+  PerfCacheCounters(const PerfCacheCounters&) = delete;
+  PerfCacheCounters& operator=(const PerfCacheCounters&) = delete;
+
+  bool available() const { return ref_fd_ >= 0 && miss_fd_ >= 0; }
+
+  void start() {
+    if (!available()) return;
+    ioctl(ref_fd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(miss_fd_, PERF_EVENT_IOC_RESET, 0);
+    ioctl(ref_fd_, PERF_EVENT_IOC_ENABLE, 0);
+    ioctl(miss_fd_, PERF_EVENT_IOC_ENABLE, 0);
+  }
+
+  Reading stop() {
+    Reading r;
+    if (!available()) return r;
+    ioctl(ref_fd_, PERF_EVENT_IOC_DISABLE, 0);
+    ioctl(miss_fd_, PERF_EVENT_IOC_DISABLE, 0);
+    r.references = read_counter(ref_fd_);
+    r.misses = read_counter(miss_fd_);
+    return r;
+  }
+
+ private:
+  static int open_counter(std::uint64_t config) {
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = 1;
+    attr.inherit = 1;  // count the worker threads we are about to spawn
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(
+        syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0));
+  }
+
+  static std::uint64_t read_counter(int fd) {
+    std::uint64_t value = 0;
+    if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+    return value;
+  }
+
+  void close_all() {
+    if (ref_fd_ >= 0) close(ref_fd_);
+    if (miss_fd_ >= 0) close(miss_fd_);
+    ref_fd_ = miss_fd_ = -1;
+  }
+
+  int ref_fd_ = -1;
+  int miss_fd_ = -1;
+#else
+  bool available() const { return false; }
+  void start() {}
+  Reading stop() { return Reading{}; }
+#endif
+};
 
 }  // namespace abp::bench

@@ -110,6 +110,61 @@ Segment build_imbalanced(Dag& d, unsigned depth, std::size_t leaf_work) {
   return {s1, j2};
 }
 
+// Shared shape for the rooted-tree families: an internal thread runs a
+// spawn spine s1..sk followed by a join spine j1..jk, with subtree i hung
+// between si and ji. Mirrors build_fjt at arbitrary arity while keeping
+// out-degree <= 2 (each si has one continuation plus one spawn edge).
+Segment build_kary(Dag& d, unsigned k, unsigned depth, std::size_t leaf_work) {
+  if (depth == 0) {
+    const ThreadId t = d.new_thread();
+    const NodeId entry = d.append_to_thread(t);
+    NodeId exit = entry;
+    for (std::size_t i = 1; i < leaf_work; ++i) exit = d.append_to_thread(t);
+    return {entry, exit};
+  }
+  const ThreadId t = d.new_thread();
+  std::vector<NodeId> spawners(k), joiners(k);
+  for (unsigned i = 0; i < k; ++i) spawners[i] = d.append_to_thread(t);
+  for (unsigned i = 0; i < k; ++i) joiners[i] = d.append_to_thread(t);
+  for (unsigned i = 0; i < k; ++i) {
+    const Segment child = build_kary(d, k, depth - 1, leaf_work);
+    d.add_edge(spawners[i], child.entry, EdgeKind::kSpawn);
+    d.add_edge(child.exit, joiners[i], EdgeKind::kJoin);
+  }
+  return {spawners[0], joiners[k - 1]};
+}
+
+Segment build_rrt(Dag& d, Xoshiro256& rng, std::size_t budget,
+                  unsigned max_branch) {
+  // Too small to afford a child (2 spine nodes + >= 1 subtree node):
+  // degenerate into a chain that spends the budget exactly.
+  if (budget < 4) {
+    const ThreadId t = d.new_thread();
+    const NodeId entry = d.append_to_thread(t);
+    NodeId exit = entry;
+    for (std::size_t i = 1; i < budget; ++i) exit = d.append_to_thread(t);
+    return {entry, exit};
+  }
+  unsigned kids = 1 + static_cast<unsigned>(rng.below(max_branch));
+  while (kids > 1 && 3u * kids > budget) --kids;
+  const ThreadId t = d.new_thread();
+  std::vector<NodeId> spawners(kids), joiners(kids);
+  for (unsigned i = 0; i < kids; ++i) spawners[i] = d.append_to_thread(t);
+  for (unsigned i = 0; i < kids; ++i) joiners[i] = d.append_to_thread(t);
+  // Split the rest of the budget randomly among the subtrees, >= 1 each,
+  // so the whole tree lands on target_nodes exactly.
+  std::size_t remaining = budget - 2u * kids;
+  for (unsigned i = 0; i < kids; ++i) {
+    std::size_t share = remaining - (kids - 1 - i);  // leave 1 per sibling
+    if (i + 1 < kids) share = 1 + rng.below(share);
+    remaining -= share;
+    const Segment child = build_rrt(d, rng, share, max_branch);
+    d.add_edge(spawners[i], child.entry, EdgeKind::kSpawn);
+    d.add_edge(child.exit, joiners[i], EdgeKind::kJoin);
+  }
+  return {spawners[0], joiners[kids - 1]};
+}
+
 Segment build_sp(Dag& d, Xoshiro256& rng, std::size_t budget, ThreadId t) {
   if (budget <= 1) {
     const NodeId n = d.append_to_thread(t);
@@ -204,6 +259,44 @@ Dag random_series_parallel(std::uint64_t seed, std::size_t target_nodes) {
   Xoshiro256 rng(seed);
   const ThreadId t = d.new_thread();
   build_sp(d, rng, target_nodes, t);
+  return d;
+}
+
+Dag full_kary_tree(unsigned k, unsigned depth, std::size_t leaf_work) {
+  ABP_ASSERT(k >= 2 && leaf_work >= 1);
+  Dag d;
+  build_kary(d, k, depth, leaf_work);
+  return d;
+}
+
+Dag caterpillar_tree(std::size_t spine, std::size_t leg_len) {
+  ABP_ASSERT(spine >= 1 && leg_len >= 1);
+  Dag d;
+  const ThreadId root = d.new_thread();
+  std::vector<NodeId> body(spine);
+  for (std::size_t i = 0; i < spine; ++i) body[i] = d.append_to_thread(root);
+  std::vector<NodeId> leg_exit(spine);
+  for (std::size_t i = 0; i < spine; ++i) {
+    const ThreadId leg = d.new_thread();
+    const NodeId first = d.append_to_thread(leg);
+    NodeId last = first;
+    for (std::size_t n = 1; n < leg_len; ++n) last = d.append_to_thread(leg);
+    d.add_edge(body[i], first, EdgeKind::kSpawn);
+    leg_exit[i] = last;
+  }
+  for (std::size_t i = 0; i < spine; ++i) {
+    const NodeId j = d.append_to_thread(root);
+    d.add_edge(leg_exit[i], j, EdgeKind::kJoin);
+  }
+  return d;
+}
+
+Dag random_rooted_tree(std::uint64_t seed, std::size_t target_nodes,
+                       unsigned max_branch) {
+  ABP_ASSERT(target_nodes >= 1 && max_branch >= 1);
+  Dag d;
+  Xoshiro256 rng(seed);
+  build_rrt(d, rng, target_nodes, max_branch);
   return d;
 }
 

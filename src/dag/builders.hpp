@@ -65,4 +65,32 @@ Dag random_series_parallel(std::uint64_t seed, std::size_t target_nodes);
 // hopeless; work stealing rebalances it dynamically).
 Dag imbalanced_tree(unsigned depth, std::size_t leaf_work = 1);
 
+// --- rooted-tree families for the steal-bound suite -------------------------
+// The classes analyzed by Leiserson, Schardl & Suksompong (*Upper Bounds on
+// Number of Steals in Rooted Trees*): the steal count of a P-worker
+// execution of a rooted tree is O(P·h) for height h, with the constant
+// depending on the branching shape. tests/test_cache_bounds.cpp gates the
+// measured steals of each family against that shape.
+
+// Full k-ary spawn tree (k >= 2) of the given depth; every internal thread
+// spawns k subtrees via a spawn spine of k nodes and joins them via a join
+// spine of k nodes (out-degree stays <= 2); each leaf thread runs
+// `leaf_work` nodes. depth = 0 is a single leaf thread.
+// Work N(d) = 2k·(k^d - 1)/(k - 1) + leaf_work·k^d.
+Dag full_kary_tree(unsigned k, unsigned depth, std::size_t leaf_work = 1);
+
+// Caterpillar (path-heavy) tree: a spine thread of `spine` segments, each
+// one body node that spawns a leg thread of `leg_len` nodes; all legs are
+// joined by a join spine after the last body node. The available
+// parallelism is O(1) at any instant — the adversarial shape for steal
+// bounds (steals pay for almost no parallelism). Work = spine·(2+leg_len).
+Dag caterpillar_tree(std::size_t spine, std::size_t leg_len = 1);
+
+// Random rooted tree of EXACTLY `target_nodes` nodes: every internal
+// thread draws a branching factor in [1, max_branch] and splits its
+// remaining node budget randomly among the subtrees; budget-starved
+// subtrees degenerate into chains. Deterministic in `seed`.
+Dag random_rooted_tree(std::uint64_t seed, std::size_t target_nodes,
+                       unsigned max_branch = 4);
+
 }  // namespace abp::dag

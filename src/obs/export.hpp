@@ -33,6 +33,12 @@ class JsonObjectWriter {
   void add(std::string_view key, std::int64_t v);
   void add(std::string_view key, double v);
   void add(std::string_view key, std::string_view v);  // quoted + escaped
+  // Without this overload a string literal resolves to add(bool) — the
+  // pointer->bool standard conversion outranks the user-defined conversion
+  // to string_view, so add("git_sha", "abc") would emit "git_sha":true.
+  void add(std::string_view key, const char* v) {
+    add(key, std::string_view(v));
+  }
   void add_raw(std::string_view key, std::string_view raw);  // pre-rendered
   void add(std::string_view key, bool v);
 

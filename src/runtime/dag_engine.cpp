@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "runtime/poly_deque.hpp"
+#include "sim/cache.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -70,6 +71,15 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
     deques.push_back(
         std::make_unique<PolyDeque<dag::NodeId>>(opts.deque, capacity));
 
+  // Simulated cache layer (DESIGN.md §14): opt-in, off the default path.
+  std::unique_ptr<sim::ConcurrentCacheModel> cache;
+  if (opts.cache_model) {
+    sim::CacheModelConfig cfg;
+    cfg.capacity_blocks = opts.cache_capacity_blocks;
+    cfg.nodes_per_block = opts.cache_nodes_per_block;
+    cache = std::make_unique<sim::ConcurrentCacheModel>(d, cfg, num_workers);
+  }
+
   std::vector<PaddedWorkerStats> stats(num_workers);
   std::atomic<bool> done{false};
   // Early-stop flag, distinct from computationDone: raised by the cancel
@@ -116,6 +126,12 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
         }
         ++st.jobs_executed;
         executed.fetch_add(1, std::memory_order_relaxed);
+        if (cache) {
+          const sim::CacheAccess delta = cache->on_execute(id, assigned);
+          st.cache_hits += delta.hits;
+          st.cache_misses += delta.misses;
+          st.cache_steal_misses += delta.steal_misses;
+        }
 
         const std::uint64_t my_path =
             path[assigned].load(std::memory_order_acquire);

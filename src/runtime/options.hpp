@@ -120,6 +120,14 @@ struct SchedulerOptions {
   // against the TSC. Only consulted when WHEN_TRACE is compiled in; 0
   // disables publication (live_snapshot then reports nothing mid-run).
   std::uint32_t live_publish_interval_us = 100;
+  // Simulated per-worker cache model for dag runs (DESIGN.md §14): when
+  // enabled, run_dag charges every node's footprint against the executing
+  // worker's LRU cache and attributes misses to steals vs. intrinsic
+  // (WorkerStats::cache_*). Off by default — the model adds per-node cost
+  // to the execute path, so it must never ride along in benchmarks.
+  bool cache_model = false;
+  std::size_t cache_capacity_blocks = 64;
+  std::size_t cache_nodes_per_block = 4;
   ResilienceOptions resilience{};
 };
 

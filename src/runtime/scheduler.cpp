@@ -502,6 +502,9 @@ std::string Scheduler::stats_json() const {
   w.add("parks", t.parks);
   w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);
   w.add("backoff_yields", t.backoff_yields);
+  w.add("cache_hits", t.cache_hits);
+  w.add("cache_misses", t.cache_misses);
+  w.add("cache_steal_misses", t.cache_steal_misses);
   w.add("trace_events", recorded);
   w.add("trace_dropped", dropped);
   {
@@ -553,6 +556,8 @@ std::vector<obs::MetricPoint> Scheduler::live_sample() const {
   add("abp_cross_domain_steals", s.stats.cross_domain_steals);
   add("abp_yields", s.stats.yields);
   add("abp_cancelled_jobs", s.stats.cancelled_jobs);
+  add("abp_cache_misses", s.stats.cache_misses);
+  add("abp_cache_steal_misses", s.stats.cache_steal_misses);
   add("abp_exec_self_ticks", s.exec_self_ticks);
   add("abp_live_publishes", s.publishes);
   add("abp_workers_published", s.workers_published);
@@ -590,6 +595,9 @@ std::string Scheduler::prometheus_text() const {
             static_cast<double>(t.steal_cas_failures));
   w.counter("abp_cross_domain_steals_total",
             static_cast<double>(t.cross_domain_steals));
+  w.counter("abp_cache_misses_total", static_cast<double>(t.cache_misses));
+  w.counter("abp_cache_steal_misses_total",
+            static_cast<double>(t.cache_steal_misses));
   w.counter("abp_yields_total", static_cast<double>(t.yields));
   w.counter("abp_cancelled_jobs_total",
             static_cast<double>(t.cancelled_jobs));
@@ -682,6 +690,9 @@ std::string Scheduler::stats_json() const {
   w.add("parks", t.parks);
   w.add("alloc_fail_inline_runs", t.alloc_fail_inline_runs);
   w.add("backoff_yields", t.backoff_yields);
+  w.add("cache_hits", t.cache_hits);
+  w.add("cache_misses", t.cache_misses);
+  w.add("cache_steal_misses", t.cache_steal_misses);
   w.add("trace_events", std::uint64_t{0});
   return w.str();
 }
@@ -705,6 +716,9 @@ std::string Scheduler::prometheus_text() const {
   w.counter("abp_steals_total", static_cast<double>(t.steals));
   w.counter("abp_cross_domain_steals_total",
             static_cast<double>(t.cross_domain_steals));
+  w.counter("abp_cache_misses_total", static_cast<double>(t.cache_misses));
+  w.counter("abp_cache_steal_misses_total",
+            static_cast<double>(t.cache_steal_misses));
   return w.str();
 }
 

@@ -52,6 +52,13 @@ struct WorkerStats {
   std::uint64_t parks = 0;                 // TaskGroup::wait cv parks
   std::uint64_t alloc_fail_inline_runs = 0;  // pushBottom kAllocFailed
   std::uint64_t backoff_yields = 0;        // steal-CAS backoff escalations
+  // Simulated cache model (SchedulerOptions::cache_model; DESIGN.md §14).
+  // Populated by the dag engine only; all zero when the model is off.
+  // cache_misses - cache_steal_misses is the intrinsic miss count — the
+  // split the Q1 + O(M/B · steals) cache-complexity gate relies on.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_steal_misses = 0;
 
   void reset() { *this = WorkerStats{}; }
 
@@ -75,6 +82,9 @@ struct WorkerStats {
     parks += o.parks;
     alloc_fail_inline_runs += o.alloc_fail_inline_runs;
     backoff_yields += o.backoff_yields;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_steal_misses += o.cache_steal_misses;
     return *this;
   }
 };

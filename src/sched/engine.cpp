@@ -33,6 +33,8 @@ WorkStealerEngine::WorkStealerEngine(const dag::Dag& d,
   metrics_.tinf = static_cast<double>(d.critical_path_length());
   metrics_.p = static_cast<double>(num_processes);
   metrics_.record = sim::ExecutionRecord(opts.keep_record);
+  if (opts.model_cache)
+    cache_ = std::make_unique<sim::CacheModel>(d, opts.cache, num_processes);
 }
 
 const std::vector<sim::ProcessView>& WorkStealerEngine::views() {
@@ -67,6 +69,7 @@ void WorkStealerEngine::process_action(sim::ProcId p) {
       }
     }
     m.record.record_execute(p, node);
+    if (cache_) cache_->on_execute(p, node);
     ++executed_;
     if (node == final_node_) done_ = true;
 
@@ -98,6 +101,11 @@ void WorkStealerEngine::process_action(sim::ProcId p) {
       ++m.push_bottom_calls;
       self.dq.push_back(child[1 - to_assign]);
       self.assigned = child[to_assign];
+      // Hint board: a producer whose deque grew deep is worth advertising
+      // (the watchdog posts stalled-rich workers in the real runtime).
+      if (opts_.victim == VictimKind::kHintAware &&
+          self.dq.size() >= kHintDepth)
+        steal_hint_ = p;
     }
   } else {
     // Thief (Figure 3, lines 14-17): yield, then one steal attempt.
@@ -144,6 +152,15 @@ void WorkStealerEngine::process_action(sim::ProcId p) {
           victim = static_cast<sim::ProcId>(rng_.below(num_procs));
         }
         break;
+      case VictimKind::kHintAware:
+        if (steal_hint_ != kNoHint && steal_hint_ < num_procs &&
+            steal_hint_ != p) {
+          victim = static_cast<sim::ProcId>(steal_hint_);
+          preferred = true;
+        } else {
+          victim = static_cast<sim::ProcId>(rng_.below(num_procs));
+        }
+        break;
       case VictimKind::kUniform:
         victim = static_cast<sim::ProcId>(rng_.below(num_procs));
         break;
@@ -184,8 +201,12 @@ void WorkStealerEngine::process_action(sim::ProcId p) {
       // size, so it clears the cache lazily in its kEmpty arm instead.)
       self.last_victim =
           v.dq.empty() ? static_cast<std::size_t>(-1) : victim;
-    } else if (victim == self.last_victim) {
-      self.last_victim = static_cast<std::size_t>(-1);
+      // A drained hint victim is retired the same way.
+      if (steal_hint_ == victim && v.dq.empty()) steal_hint_ = kNoHint;
+    } else {
+      if (victim == self.last_victim)
+        self.last_victim = static_cast<std::size_t>(-1);
+      if (steal_hint_ == victim) steal_hint_ = kNoHint;
     }
     m.record.record_idle(p);
   }
@@ -242,6 +263,7 @@ const RunMetrics& WorkStealerEngine::metrics() {
   m.length = round_;
   m.total_scheduled = m.record.total_scheduled();
   m.processor_average = m.record.processor_average();
+  if (cache_) m.cache = cache_->totals();
   if (m.completed) {
     ABP_ASSERT_MSG(executed_ == dag_.num_nodes(),
                    "final node executed before the rest of the dag");

@@ -9,11 +9,13 @@
 // enabling tree, the yield ledger, and the metrics; the caller supplies,
 // per round, the set of its processes the kernel chose to schedule.
 
+#include <memory>
 #include <vector>
 
 #include "dag/dag.hpp"
 #include "dag/enabling.hpp"
 #include "sched/work_stealer.hpp"
+#include "sim/cache.hpp"
 #include "sim/exec.hpp"
 #include "sim/kernel.hpp"
 #include "sim/yield.hpp"
@@ -67,6 +69,14 @@ class WorkStealerEngine {
   bool done_ = false;
   sim::Round round_ = 0;
   std::uint64_t executed_ = 0;
+  // Simulated cache layer (Options::model_cache); null when disabled.
+  std::unique_ptr<sim::CacheModel> cache_;
+  // Hint board for VictimKind::kHintAware: the engine-global analogue of
+  // the runtime watchdog's steal hint. A process posts itself when its
+  // deque grows past kHintDepth; a failed or draining steal retires it.
+  static constexpr std::size_t kNoHint = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kHintDepth = 2;
+  std::size_t steal_hint_ = kNoHint;
   RunMetrics metrics_;
 };
 

@@ -29,6 +29,7 @@ const char* to_string(VictimKind k) noexcept {
     case VictimKind::kUniform: return "uniform";
     case VictimKind::kNearestNeighbor: return "nearest-neighbor";
     case VictimKind::kLastVictim: return "last-victim";
+    case VictimKind::kHintAware: return "hint-aware";
   }
   return "?";
 }

@@ -30,6 +30,7 @@
 #include "dag/dag.hpp"
 #include "dag/enabling.hpp"
 #include "obs/timeline.hpp"
+#include "sim/cache.hpp"
 #include "sim/exec.hpp"
 #include "sim/kernel.hpp"
 #include "sim/yield.hpp"
@@ -50,8 +51,7 @@ const char* to_string(SpawnOrder order) noexcept;
 
 // Steal-policy layer (DESIGN.md §12), mirroring the real runtime's
 // StealPolicy / VictimPolicy so the theorem benches can measure policy
-// effect on throws. The simulator has no watchdog, so there is no
-// hint-aware victim kind here.
+// effect on throws.
 enum class StealKind : std::uint8_t {
   kSingle,     // the paper's popTop: one node per successful steal
   kStealHalf,  // claim up to half the victim's deque in one steal; the
@@ -62,6 +62,10 @@ enum class VictimKind : std::uint8_t {
   kUniform,          // uniform random victim (the paper's algorithm)
   kNearestNeighbor,  // ring probing: distance 1, 2, ... per failed attempt
   kLastVictim,       // re-try the last successfully robbed victim first
+  kHintAware,        // prefer the engine's posted steal hint (the simulator
+                     // stand-in for the runtime watchdog's hint board: a
+                     // process whose deque grows deep posts itself), else
+                     // uniform
 };
 
 const char* to_string(StealKind k) noexcept;
@@ -111,6 +115,12 @@ struct Options {
   // the simulation at the next round boundary (RunMetrics::cancelled).
   // Default-constructed = never cancelled.
   CancelToken cancel{};
+  // Simulated cache layer (DESIGN.md §14): when enabled, every node
+  // execution is charged against the executing process's LRU cache model
+  // and the per-run totals land in RunMetrics::cache. Off by default — the
+  // model costs O(footprint · capacity) per node.
+  bool model_cache = false;
+  sim::CacheModelConfig cache{};
 };
 
 struct RunMetrics {
@@ -134,6 +144,10 @@ struct RunMetrics {
   std::uint64_t yields = 0;
   std::uint64_t pop_bottom_calls = 0;
   std::uint64_t push_bottom_calls = 0;
+  // Simulated cache totals (Options::model_cache; all zero otherwise).
+  // cache.misses - cache.steal_misses is the intrinsic miss count; at
+  // P = 1 it equals the sequential cache complexity Q1 exactly.
+  sim::CacheCounters cache{};
   // Online span profile (DESIGN.md §13): the longest enabling chain
   // root..final observed by the run itself, folded per executed edge. On a
   // completed run this equals the static tinf below — the simulator-side

@@ -1,0 +1,133 @@
+#include "sim/cache.hpp"
+// atomics-lint: allow(shared last-toucher attribution table of the
+// concurrent cache model; measurement layer above the modeled deques)
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace abp::sim {
+
+bool LruBlockSet::touch(std::uint32_t block) {
+  auto it = std::find(blocks_.begin(), blocks_.end(), block);
+  if (it != blocks_.end()) {
+    // Hit: rotate the block to the most-recently-used slot.
+    std::rotate(blocks_.begin(), it, it + 1);
+    return true;
+  }
+  blocks_.insert(blocks_.begin(), block);
+  if (blocks_.size() > capacity_) blocks_.pop_back();  // evict LRU
+  return false;
+}
+
+CacheFootprints::CacheFootprints(const dag::Dag& d,
+                                 std::size_t nodes_per_block) {
+  ABP_ASSERT(nodes_per_block >= 1);
+  const std::size_t n = d.num_nodes();
+  num_blocks_ = (n + nodes_per_block - 1) / nodes_per_block;
+  const auto block_of = [nodes_per_block](dag::NodeId v) {
+    return static_cast<std::uint32_t>(v / nodes_per_block);
+  };
+
+  // Reverse adjacency (predecessors) from the edge list, CSR-packed.
+  std::vector<std::uint32_t> pred_count(n, 0);
+  for (const dag::Edge& e : d.edges()) ++pred_count[e.to];
+  std::vector<std::uint32_t> pred_offset(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v)
+    pred_offset[v + 1] = pred_offset[v] + pred_count[v];
+  std::vector<std::uint32_t> preds(pred_offset[n]);
+  std::vector<std::uint32_t> fill(pred_offset.begin(), pred_offset.end() - 1);
+  for (const dag::Edge& e : d.edges()) preds[fill[e.to]++] = e.from;
+
+  // Footprint of v: predecessor blocks in edge order, then v's own block,
+  // deduplicated (footprints are tiny — in-degree is 1-2 for every builder
+  // family — so the quadratic dedup is exact and cheap).
+  offset_.assign(n + 1, 0);
+  blocks_.reserve(n * 2);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t start = blocks_.size();
+    const auto push_unique = [&](std::uint32_t b) {
+      for (std::size_t i = start; i < blocks_.size(); ++i)
+        if (blocks_[i] == b) return;
+      blocks_.push_back(b);
+    };
+    for (std::uint32_t i = pred_offset[v]; i < pred_offset[v + 1]; ++i)
+      push_unique(block_of(preds[i]));
+    push_unique(block_of(static_cast<dag::NodeId>(v)));
+    offset_[v + 1] = static_cast<std::uint32_t>(blocks_.size());
+  }
+}
+
+CacheModel::CacheModel(const dag::Dag& d, const CacheModelConfig& cfg,
+                       std::size_t num_workers)
+    : footprints_(d, cfg.nodes_per_block),
+      lru_(num_workers),
+      last_toucher_(footprints_.num_blocks(), kNoToucher),
+      counters_(num_workers) {
+  ABP_ASSERT(cfg.capacity_blocks >= 1);
+  for (auto& l : lru_) l.reset(cfg.capacity_blocks);
+}
+
+CacheAccess CacheModel::on_execute(std::size_t worker, dag::NodeId node) {
+  CacheAccess a;
+  const auto w = static_cast<std::uint32_t>(worker);
+  for (const std::uint32_t* b = footprints_.begin(node);
+       b != footprints_.end(node); ++b) {
+    ++a.accesses;
+    const std::uint32_t prev = last_toucher_[*b];
+    last_toucher_[*b] = w;
+    if (lru_[worker].touch(*b)) {
+      ++a.hits;
+    } else {
+      ++a.misses;
+      // The block was last in another worker's cache: this reload exists
+      // only because the work migrated (directly stolen, or a descendant
+      // of stolen work). Cold and self-evicted misses are intrinsic.
+      if (prev != kNoToucher && prev != w) ++a.steal_misses;
+    }
+  }
+  counters_[worker].add(a);
+  return a;
+}
+
+CacheCounters CacheModel::totals() const {
+  CacheCounters t;
+  for (const CacheCounters& c : counters_) t += c;
+  return t;
+}
+
+ConcurrentCacheModel::ConcurrentCacheModel(const dag::Dag& d,
+                                           const CacheModelConfig& cfg,
+                                           std::size_t num_workers)
+    : footprints_(d, cfg.nodes_per_block), lru_(num_workers) {
+  ABP_ASSERT(cfg.capacity_blocks >= 1);
+  for (auto& l : lru_) l.value.reset(cfg.capacity_blocks);
+  const std::size_t blocks = footprints_.num_blocks();
+  last_toucher_ = std::make_unique<std::atomic<std::uint32_t>[]>(blocks);
+  for (std::size_t b = 0; b < blocks; ++b)
+    last_toucher_[b].store(kNoToucher, std::memory_order_relaxed);
+}
+
+CacheAccess ConcurrentCacheModel::on_execute(std::size_t worker,
+                                             dag::NodeId node) {
+  CacheAccess a;
+  const auto w = static_cast<std::uint32_t>(worker);
+  for (const std::uint32_t* b = footprints_.begin(node);
+       b != footprints_.end(node); ++b) {
+    ++a.accesses;
+    // Relaxed: per-slot atomicity is all attribution needs — a racing
+    // exchange only blurs WHICH worker gets charged, never the hit/miss
+    // accounting (the LRU sets are worker-private).
+    const std::uint32_t prev =
+        last_toucher_[*b].exchange(w, std::memory_order_relaxed);
+    if (lru_[worker].value.touch(*b)) {
+      ++a.hits;
+    } else {
+      ++a.misses;
+      if (prev != kNoToucher && prev != w) ++a.steal_misses;
+    }
+  }
+  return a;
+}
+
+}  // namespace abp::sim

@@ -1,0 +1,168 @@
+#pragma once
+// atomics-lint: allow(shared last-toucher attribution table of the
+// concurrent cache model; measurement layer above the modeled deques)
+
+// Pluggable simulated cache layer (DESIGN.md §14).
+//
+// The model follows the one Gu, Napier & Sun analyze (*Analysis of
+// Work-Stealing and Parallel Cache Complexity*): every worker owns a
+// private fully-associative LRU cache of `capacity_blocks` blocks, and dag
+// nodes map to blocks `node / nodes_per_block`. Executing a node touches
+// the blocks of its predecessors (the data the node reads is what its
+// predecessors produced) and then its own block. Each touch is a hit or a
+// miss against the executing worker's cache; a miss is *attributed*:
+//
+//   * steal miss — the block was last touched by a DIFFERENT worker, i.e.
+//     the reload exists only because work migrated (the cold post-steal
+//     reload the paper charges O(M/B) per steal and why Q_P stays within
+//     Q1 + O(M/B · #steals));
+//   * intrinsic miss — cold (never touched) or evicted by the worker's own
+//     capacity pressure; with P = 1 every miss is intrinsic and the totals
+//     are exactly the sequential cache complexity Q1.
+//
+// Two variants share the footprint precomputation: CacheModel is the
+// single-threaded variant the round-based simulator drives (fully
+// deterministic given the schedule), and ConcurrentCacheModel is the
+// real-thread variant the runtime dag engine drives. In both, LRU state is
+// worker-private; only the last-toucher table is shared, and in the
+// concurrent variant it is an array of relaxed atomics — the attribution
+// is a statistical measurement, not a synchronization protocol, so no
+// ordering is required beyond per-slot atomicity.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dag/dag.hpp"
+#include "support/align.hpp"
+
+namespace abp::sim {
+
+struct CacheModelConfig {
+  std::size_t capacity_blocks = 64;  // per-worker cache size M (in blocks)
+  std::size_t nodes_per_block = 4;   // block granularity B (nodes per block)
+};
+
+// Per-execution delta: what one node's footprint cost the executing worker.
+struct CacheAccess {
+  std::uint32_t accesses = 0;
+  std::uint32_t hits = 0;
+  std::uint32_t misses = 0;
+  std::uint32_t steal_misses = 0;
+};
+
+// Aggregate counters (per worker or whole-run totals).
+struct CacheCounters {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t steal_misses = 0;
+
+  std::uint64_t intrinsic_misses() const noexcept {
+    return misses - steal_misses;
+  }
+
+  CacheCounters& operator+=(const CacheCounters& o) noexcept {
+    accesses += o.accesses;
+    hits += o.hits;
+    misses += o.misses;
+    steal_misses += o.steal_misses;
+    return *this;
+  }
+
+  void add(const CacheAccess& a) noexcept {
+    accesses += a.accesses;
+    hits += a.hits;
+    misses += a.misses;
+    steal_misses += a.steal_misses;
+  }
+};
+
+// One worker's fully-associative LRU set over block ids. Touched only by
+// its owning worker in both model variants. The recency list is a flat
+// vector scanned linearly: capacities are tens-to-hundreds of blocks, where
+// the scan beats pointer-chasing structures and stays deterministic.
+class LruBlockSet {
+ public:
+  void reset(std::size_t capacity) {
+    capacity_ = capacity;
+    blocks_.clear();
+    blocks_.reserve(capacity);
+  }
+
+  // Returns true on hit. On miss the block is inserted most-recently-used
+  // and the least-recently-used block is evicted if over capacity.
+  bool touch(std::uint32_t block);
+
+ private:
+  std::size_t capacity_ = 0;
+  std::vector<std::uint32_t> blocks_;  // front = most recently used
+};
+
+// Footprints (the distinct block ids each node touches) precomputed once
+// from the dag, shared by both model variants.
+class CacheFootprints {
+ public:
+  CacheFootprints(const dag::Dag& d, std::size_t nodes_per_block);
+
+  std::size_t num_blocks() const noexcept { return num_blocks_; }
+
+  // Distinct blocks node n touches: its predecessors' blocks in edge
+  // order, then its own block (reads before the node's own write).
+  const std::uint32_t* begin(dag::NodeId n) const {
+    return blocks_.data() + offset_[n];
+  }
+  const std::uint32_t* end(dag::NodeId n) const {
+    return blocks_.data() + offset_[n + 1];
+  }
+
+ private:
+  std::size_t num_blocks_ = 0;
+  std::vector<std::uint32_t> offset_;  // CSR: per-node footprint extent
+  std::vector<std::uint32_t> blocks_;
+};
+
+inline constexpr std::uint32_t kNoToucher = 0xffffffffu;
+
+// Single-threaded variant for the round-based simulator: the engine calls
+// on_execute(p, node) as process p executes node, in the serialization
+// order of the round. Deterministic given the schedule.
+class CacheModel {
+ public:
+  CacheModel(const dag::Dag& d, const CacheModelConfig& cfg,
+             std::size_t num_workers);
+
+  CacheAccess on_execute(std::size_t worker, dag::NodeId node);
+
+  const CacheCounters& counters(std::size_t worker) const {
+    return counters_[worker];
+  }
+  CacheCounters totals() const;
+
+ private:
+  CacheFootprints footprints_;
+  std::vector<LruBlockSet> lru_;
+  std::vector<std::uint32_t> last_toucher_;
+  std::vector<CacheCounters> counters_;
+};
+
+// Real-thread variant for the runtime dag engine. Each worker touches only
+// its own (cache-line padded) LRU set; the shared last-toucher table is
+// relaxed atomics. Counters are returned as a per-execution delta so the
+// caller folds them into its own padded WorkerStats slot.
+class ConcurrentCacheModel {
+ public:
+  ConcurrentCacheModel(const dag::Dag& d, const CacheModelConfig& cfg,
+                       std::size_t num_workers);
+
+  CacheAccess on_execute(std::size_t worker, dag::NodeId node);
+
+ private:
+  CacheFootprints footprints_;
+  std::vector<CacheAligned<LruBlockSet>> lru_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> last_toucher_;
+};
+
+}  // namespace abp::sim

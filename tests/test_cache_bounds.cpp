@@ -1,0 +1,327 @@
+// Cache-complexity & rooted-tree steal-count validation suite (ISSUE PR 7).
+//
+// Two bound families are gated here, over seeded ensembles sharded across
+// ctest instances (3 shards x 10 seeds, label `bounds`):
+//
+//   * rooted-tree steal counts — Leiserson, Schardl & Suksompong (*Upper
+//     Bounds on Number of Steals in Rooted Trees*) prove a P-worker
+//     execution of a rooted tree incurs O(P·h) steals for height h. Every
+//     rooted-tree builder family must keep its measured successful-steal
+//     count within that shape under every steal/victim policy, including
+//     the hint-aware victim kind this PR adds to the simulator;
+//
+//   * parallel cache complexity — Gu, Napier & Sun (*Analysis of
+//     Work-Stealing and Parallel Cache Complexity*) bound Q_P by
+//     Q1 + O(M/B · S) for S steals: the extra misses a parallel execution
+//     pays over the sequential cache complexity are a bounded multiple of
+//     the steal count. The simulated cache model attributes every miss to
+//     steal migration vs. intrinsic cold/capacity pressure, so the suite
+//     checks the shape (Q_P <= Q1 + c·S), the attribution (P = 1 has zero
+//     steal misses and exactly Q1), and the fit (extra misses regress
+//     through the origin on steals with the steal-attributed term
+//     dominating the residual).
+//
+// Gate constants are empirical, calibrated from bench_cache_complexity
+// ensembles with generous head-room (like the Theorem 9 throw constant);
+// they exist to catch regressions in shape, not to re-prove the theorems.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dag/builders.hpp"
+#include "runtime/dag_engine.hpp"
+#include "runtime/options.hpp"
+#include "sched/work_stealer.hpp"
+#include "sim/cache.hpp"
+#include "sim/kernel.hpp"
+#include "support/stats.hpp"
+
+namespace abp::sched {
+namespace {
+
+using sim::YieldKind;
+
+constexpr std::size_t kP = 8;
+constexpr std::uint64_t kSeedsPerShard = 10;  // 3 shards -> 30 seeds total
+
+// Steal-count gates (rooted-tree shape): ensemble-mean successful steals
+// stay under kStealMeanConst * P * h and no single run exceeds
+// kStealMaxConst * P * h, with h the critical-path length (the dag-side
+// stand-in for tree height).
+constexpr double kStealMeanConst = 8.0;
+constexpr double kStealMaxConst = 14.0;
+
+// Cache gates: Q_P <= Q1 + kMissPerSteal * S (+ kMissSlack for the
+// zero-steal runs), and the ensemble-total steal-attributed misses must
+// cover at least kDominanceShare of the ensemble-total |Q_P - Q1| they are
+// supposed to explain.
+constexpr double kMissPerSteal = 48.0;
+constexpr double kMissSlack = 64.0;
+constexpr double kDominanceShare = 0.5;
+
+struct PolicyCase {
+  const char* name;
+  StealKind steal;
+  VictimKind victim;
+};
+
+// Uniform, batched, and hint-aware victim selection — the three regimes
+// the cache-complexity acceptance gate names.
+const std::vector<PolicyCase>& cache_policy_matrix() {
+  static const std::vector<PolicyCase> cases = {
+      {"single/uniform", StealKind::kSingle, VictimKind::kUniform},
+      {"half/uniform", StealKind::kStealHalf, VictimKind::kUniform},
+      {"single/hint", StealKind::kSingle, VictimKind::kHintAware},
+      {"half/hint", StealKind::kStealHalf, VictimKind::kHintAware},
+  };
+  return cases;
+}
+
+struct TreeCase {
+  std::string name;
+  std::function<dag::Dag(std::uint64_t seed)> build;  // seed-parameterized
+};
+
+// The rooted-tree families under test. random_rooted_tree varies its shape
+// with the ensemble seed; the fixed families ignore it.
+const std::vector<TreeCase>& tree_cases() {
+  static const std::vector<TreeCase> cases = {
+      {"kary2d6", [](std::uint64_t) { return dag::full_kary_tree(2, 6, 2); }},
+      {"kary4d3", [](std::uint64_t) { return dag::full_kary_tree(4, 3, 2); }},
+      {"caterpillar", [](std::uint64_t) { return dag::caterpillar_tree(40, 3); }},
+      {"rrt800", [](std::uint64_t s) { return dag::random_rooted_tree(s, 800, 4); }},
+      {"imbalanced", [](std::uint64_t) { return dag::imbalanced_tree(8); }},
+      {"fjt6", [](std::uint64_t) { return dag::fork_join_tree(6); }},
+  };
+  return cases;
+}
+
+RunMetrics run_cached(const dag::Dag& d, const PolicyCase& pc,
+                      std::size_t num_procs, std::uint64_t seed) {
+  sim::DedicatedKernel k(num_procs);
+  Options opts;
+  opts.yield = YieldKind::kNone;
+  opts.steal = pc.steal;
+  opts.victim = pc.victim;
+  opts.seed = seed;
+  opts.model_cache = true;
+  return run_work_stealer(d, k, opts);
+}
+
+// Sequential cache complexity of `d`: a P = 1 run is a fixed serial order,
+// so its miss count is the model's Q1. Also asserts the model's
+// attribution invariant — with one worker nothing migrates.
+std::uint64_t sequential_q1(const dag::Dag& d) {
+  const auto m = run_cached(
+      d, {"single/uniform", StealKind::kSingle, VictimKind::kUniform}, 1, 1);
+  EXPECT_TRUE(m.completed);
+  EXPECT_EQ(m.cache.steal_misses, 0u);
+  EXPECT_EQ(m.cache.intrinsic_misses(), m.cache.misses);
+  return m.cache.misses;
+}
+
+class CacheBoundsShard : public ::testing::TestWithParam<int> {
+ protected:
+  std::uint64_t first_seed() const {
+    return static_cast<std::uint64_t>(GetParam()) * kSeedsPerShard + 1;
+  }
+  std::uint64_t last_seed() const { return first_seed() + kSeedsPerShard - 1; }
+};
+
+// Steal counts stay O(P·h) on every rooted-tree family under every policy
+// (the Leiserson–Schardl–Suksompong shape).
+TEST_P(CacheBoundsShard, StealsStayOrderPTimesHeight) {
+  for (const TreeCase& tc : tree_cases()) {
+    for (const PolicyCase& pc : cache_policy_matrix()) {
+      OnlineStats steals_over_ph;
+      for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
+        const dag::Dag d = tc.build(seed);
+        const double h = static_cast<double>(d.critical_path_length());
+        const auto m = run_cached(d, pc, kP, seed);
+        ASSERT_TRUE(m.completed) << tc.name << " " << pc.name;
+        steals_over_ph.add(static_cast<double>(m.successful_steals) /
+                           (static_cast<double>(kP) * h));
+      }
+      EXPECT_LE(steals_over_ph.mean(), kStealMeanConst)
+          << tc.name << " " << pc.name;
+      EXPECT_LE(steals_over_ph.max(), kStealMaxConst)
+          << tc.name << " " << pc.name;
+    }
+  }
+}
+
+// The cache-complexity shape: Q_P <= Q1 + c·S on every run, and across the
+// ensemble the extra misses (a) regress on the steal count with a positive
+// slope and (b) are explained mostly by the steal-attributed misses the
+// model charges (the residual |Q_P - Q1| - steal_misses stays dominated).
+TEST_P(CacheBoundsShard, MissesFitQ1PlusStealTerm) {
+  for (const TreeCase& tc : tree_cases()) {
+    for (const PolicyCase& pc : cache_policy_matrix()) {
+      std::vector<double> steals, extra;
+      double total_steal_misses = 0.0, total_residual = 0.0;
+      for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
+        const dag::Dag d = tc.build(seed);
+        const double q1 = static_cast<double>(sequential_q1(d));
+        const auto m = run_cached(d, pc, kP, seed);
+        ASSERT_TRUE(m.completed) << tc.name << " " << pc.name;
+        const double qp = static_cast<double>(m.cache.misses);
+        const double s = static_cast<double>(m.successful_steals);
+        EXPECT_LE(qp, q1 + kMissPerSteal * s + kMissSlack)
+            << tc.name << " " << pc.name << " seed=" << seed
+            << ": QP=" << qp << " Q1=" << q1 << " S=" << s;
+        EXPECT_LE(m.cache.steal_misses, m.cache.misses);
+        steals.push_back(s);
+        extra.push_back(qp - q1);
+        total_steal_misses += static_cast<double>(m.cache.steal_misses);
+        total_residual +=
+            std::abs((qp - q1) - static_cast<double>(m.cache.steal_misses));
+      }
+      double total_steals = 0.0;
+      for (const double s : steals) total_steals += s;
+      if (total_steals > 0.0) {
+        // Extra misses grow with steals: the through-origin slope is
+        // positive, and the steal-attributed term carries the bulk of what
+        // Q_P - Q1 leaves to explain.
+        EXPECT_GT(fit_through_origin(steals, extra), 0.0)
+            << tc.name << " " << pc.name;
+        EXPECT_GE(total_steal_misses, kDominanceShare * total_residual)
+            << tc.name << " " << pc.name << ": steal-attributed "
+            << total_steal_misses << " vs residual " << total_residual;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheBoundsShard, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           return "shard" + std::to_string(info.param);
+                         });
+
+// ---- cache-model unit sanity (not sharded; deterministic) ------------------
+
+TEST(CacheModel, DeterministicGivenSchedule) {
+  const dag::Dag d = dag::full_kary_tree(2, 5, 2);
+  const PolicyCase pc{"single/uniform", StealKind::kSingle,
+                      VictimKind::kUniform};
+  const auto a = run_cached(d, pc, kP, 7);
+  const auto b = run_cached(d, pc, kP, 7);
+  ASSERT_TRUE(a.completed);
+  ASSERT_TRUE(b.completed);
+  EXPECT_EQ(a.cache.accesses, b.cache.accesses);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+  EXPECT_EQ(a.cache.misses, b.cache.misses);
+  EXPECT_EQ(a.cache.steal_misses, b.cache.steal_misses);
+}
+
+TEST(CacheModel, HugeCapacitySeesOnlyColdMisses) {
+  // With capacity >= the number of blocks nothing is ever evicted, so a
+  // P = 1 run misses exactly once per distinct block.
+  const dag::Dag d = dag::caterpillar_tree(30, 2);
+  sim::DedicatedKernel k(1);
+  Options opts;
+  opts.yield = YieldKind::kNone;
+  opts.model_cache = true;
+  opts.cache.capacity_blocks = 1u << 20;
+  opts.cache.nodes_per_block = 4;
+  const auto m = run_work_stealer(d, k, opts);
+  ASSERT_TRUE(m.completed);
+  const std::uint64_t blocks = (d.num_nodes() + 3) / 4;
+  EXPECT_EQ(m.cache.misses, blocks);
+  EXPECT_EQ(m.cache.steal_misses, 0u);
+  EXPECT_GT(m.cache.hits, 0u);
+  EXPECT_EQ(m.cache.hits + m.cache.misses, m.cache.accesses);
+}
+
+TEST(CacheModel, OffByDefaultReportsNothing) {
+  const dag::Dag d = dag::fib_dag(10);
+  sim::DedicatedKernel k(4);
+  Options opts;
+  opts.yield = YieldKind::kNone;
+  const auto m = run_work_stealer(d, k, opts);
+  ASSERT_TRUE(m.completed);
+  EXPECT_EQ(m.cache.accesses, 0u);
+  EXPECT_EQ(m.cache.misses, 0u);
+}
+
+// The hint-aware victim kind is real: on a deep-deque workload the hint
+// board produces preferred-victim steals.
+TEST(CacheModel, HintAwareVictimHitsItsHints) {
+  const dag::Dag d = dag::wide(64, 40);
+  OnlineStats hits;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    sim::DedicatedKernel k(kP);
+    Options opts;
+    opts.yield = YieldKind::kNone;
+    opts.spawn_order = SpawnOrder::kParent;
+    opts.victim = VictimKind::kHintAware;
+    opts.seed = seed;
+    const auto m = run_work_stealer(d, k, opts);
+    ASSERT_TRUE(m.completed) << "seed=" << seed;
+    hits.add(static_cast<double>(m.preferred_victim_hits));
+  }
+  EXPECT_GT(hits.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace abp::sched
+
+// ---- the runtime's concurrent cache model ----------------------------------
+
+namespace abp::runtime {
+namespace {
+
+TEST(RuntimeCacheModel, SingleWorkerHasNoStealMisses) {
+  const dag::Dag d = dag::full_kary_tree(2, 6, 2);
+  SchedulerOptions opts;
+  opts.num_workers = 1;
+  opts.cache_model = true;
+  const auto r = run_dag(d, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.totals.cache_misses, 0u);
+  EXPECT_EQ(r.totals.cache_steal_misses, 0u);
+  EXPECT_GT(r.totals.cache_hits, 0u);
+}
+
+TEST(RuntimeCacheModel, ParallelRunAttributesWithinBound) {
+  const dag::Dag d = dag::full_kary_tree(2, 7, 2);
+  SchedulerOptions serial;
+  serial.num_workers = 1;
+  serial.cache_model = true;
+  const auto s = run_dag(d, serial);
+  ASSERT_TRUE(s.ok);
+  const std::uint64_t q1 = s.totals.cache_misses;
+
+  SchedulerOptions par;
+  par.num_workers = 4;
+  par.cache_model = true;
+  const auto p = run_dag(d, par);
+  ASSERT_TRUE(p.ok);
+  EXPECT_LE(p.totals.cache_steal_misses, p.totals.cache_misses);
+  // The real-thread schedule is nondeterministic, so only the bound shape
+  // is gated: extra misses stay a bounded multiple of the steal count.
+  const double extra = static_cast<double>(p.totals.cache_misses) -
+                       static_cast<double>(q1);
+  const double s_count = static_cast<double>(p.totals.steals);
+  EXPECT_LE(extra, 48.0 * s_count + 64.0)
+      << "QP=" << p.totals.cache_misses << " Q1=" << q1
+      << " steals=" << p.totals.steals;
+}
+
+TEST(RuntimeCacheModel, OffByDefaultCountersStayZero) {
+  const dag::Dag d = dag::fib_dag(12);
+  SchedulerOptions opts;
+  opts.num_workers = 4;
+  const auto r = run_dag(d, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.totals.cache_hits, 0u);
+  EXPECT_EQ(r.totals.cache_misses, 0u);
+  EXPECT_EQ(r.totals.cache_steal_misses, 0u);
+}
+
+}  // namespace
+}  // namespace abp::runtime

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -112,8 +113,45 @@ INSTANTIATE_TEST_SUITE_P(
         Family{"grid8x13", [] { return grid_wavefront(8, 13); }},
         Family{"sp_small", [] { return random_series_parallel(1, 10); }},
         Family{"sp_medium", [] { return random_series_parallel(2, 400); }},
-        Family{"sp_large", [] { return random_series_parallel(3, 5000); }}),
+        Family{"sp_large", [] { return random_series_parallel(3, 5000); }},
+        Family{"imb0", [] { return imbalanced_tree(0); }},
+        Family{"imb8", [] { return imbalanced_tree(8); }},
+        Family{"kary2d4", [] { return full_kary_tree(2, 4); }},
+        Family{"kary3d3", [] { return full_kary_tree(3, 3, 2); }},
+        Family{"kary4d2", [] { return full_kary_tree(4, 2, 3); }},
+        Family{"cat1", [] { return caterpillar_tree(1); }},
+        Family{"cat12x3", [] { return caterpillar_tree(12, 3); }},
+        Family{"rrt1", [] { return random_rooted_tree(5, 1); }},
+        Family{"rrt50", [] { return random_rooted_tree(5, 50); }},
+        Family{"rrt1200", [] { return random_rooted_tree(9, 1200, 4); }}),
     [](const auto& info) { return info.param.name; });
+
+// The full structural property set every builder family must satisfy
+// (ISSUE PR 7, satellite 2): exactly one root, acyclicity, and in-degrees
+// consistent with the edge list the scheduler's enabling logic consumes.
+TEST_P(BuilderFamilies, RootedAcyclicAndDegreeConsistent) {
+  const Dag d = GetParam().build();
+  // Recompute in/out degrees from the edge list; they must match the
+  // per-node counters the engines decrement.
+  std::vector<unsigned> in(d.num_nodes(), 0), out(d.num_nodes(), 0);
+  for (const Edge& e : d.edges()) {
+    ++in[e.to];
+    ++out[e.from];
+  }
+  std::size_t roots = 0, finals = 0;
+  for (NodeId n = 0; n < d.num_nodes(); ++n) {
+    EXPECT_EQ(in[n], d.in_degree(n)) << "node " << n;
+    EXPECT_EQ(out[n], d.out_degree(n)) << "node " << n;
+    if (in[n] == 0) ++roots;
+    if (out[n] == 0) ++finals;
+  }
+  EXPECT_EQ(roots, 1u);
+  EXPECT_EQ(finals, 1u);
+  EXPECT_EQ(d.in_degree(d.root()), 0u);
+  EXPECT_EQ(d.out_degree(d.final_node()), 0u);
+  // Acyclic: Kahn's algorithm orders every node.
+  EXPECT_EQ(d.topological_order().size(), d.num_nodes());
+}
 
 // ---- closed-form measures ---------------------------------------------------
 
@@ -236,6 +274,85 @@ TEST(ImbalancedTree, DeeperThanBalancedForSameDepthParam) {
   // The heavy path contributes ~4 nodes of critical path per level.
   EXPECT_GT(imbalanced_tree(10).critical_path_length(),
             imbalanced_tree(5).critical_path_length());
+}
+
+// ---- rooted-tree families (ISSUE PR 7) -------------------------------------
+
+TEST(FullKaryTree, NodeCountClosedForm) {
+  // Internal thread at each of the (k^d - 1)/(k - 1) internal positions
+  // contributes 2k nodes (spawn + join spines); each of the k^d leaves
+  // contributes leaf_work: N = 2k*(k^d - 1)/(k - 1) + leaf_work * k^d.
+  for (unsigned k : {2u, 3u, 4u}) {
+    for (unsigned depth : {0u, 1u, 2u, 3u}) {
+      for (std::size_t leaf : {1u, 3u}) {
+        const Dag d = full_kary_tree(k, depth, leaf);
+        std::size_t kd = 1;
+        for (unsigned i = 0; i < depth; ++i) kd *= k;
+        const std::size_t internal = (kd - 1) / (k - 1);
+        EXPECT_EQ(d.work(), 2 * k * internal + leaf * kd)
+            << "k=" << k << " depth=" << depth << " leaf=" << leaf;
+      }
+    }
+  }
+}
+
+TEST(FullKaryTree, CriticalPathGrowsLinearlyInDepth) {
+  // Each internal level adds a constant number of spine nodes to the
+  // longest chain, so cp(depth+1) - cp(depth) is a positive constant.
+  const std::size_t d1 = full_kary_tree(3, 1).critical_path_length();
+  const std::size_t d2 = full_kary_tree(3, 2).critical_path_length();
+  const std::size_t d3 = full_kary_tree(3, 3).critical_path_length();
+  const std::size_t d4 = full_kary_tree(3, 4).critical_path_length();
+  EXPECT_GT(d2, d1);
+  EXPECT_EQ(d3 - d2, d2 - d1);
+  EXPECT_EQ(d4 - d3, d3 - d2);
+}
+
+TEST(CaterpillarTree, Measures) {
+  // Work = spine * (body + join + leg_len). The longest path either stays
+  // on the spine thread (body chain then join chain, 2*spine nodes) or
+  // detours through one leg (any leg gives spine + leg_len + 1):
+  // cp = spine + max(spine, leg_len + 1). The shape is deliberately
+  // parallelism-starved — that is its role in the steal-bound suite.
+  for (std::size_t spine : {1u, 2u, 13u, 40u}) {
+    for (std::size_t leg : {1u, 3u, 6u}) {
+      const Dag d = caterpillar_tree(spine, leg);
+      EXPECT_EQ(d.work(), spine * (2 + leg)) << spine << "x" << leg;
+      EXPECT_EQ(d.critical_path_length(), spine + std::max(spine, leg + 1))
+          << spine << "x" << leg;
+    }
+  }
+  // O(1) available parallelism regardless of spine length.
+  EXPECT_LT(caterpillar_tree(60, 1).parallelism(), 3.0);
+}
+
+TEST(RandomRootedTree, SpendsItsNodeBudgetExactly) {
+  for (std::size_t target : {1u, 2u, 3u, 5u, 17u, 50u, 500u, 1500u}) {
+    for (std::uint64_t seed : {1u, 7u, 42u}) {
+      const Dag d = random_rooted_tree(seed, target);
+      EXPECT_EQ(d.num_nodes(), target) << "seed=" << seed;
+      EXPECT_TRUE(d.is_valid()) << d.validate();
+    }
+  }
+}
+
+TEST(RandomRootedTree, DeterministicInSeed) {
+  const Dag a = random_rooted_tree(321, 700, 4);
+  const Dag b = random_rooted_tree(321, 700, 4);
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.critical_path_length(), b.critical_path_length());
+  const Dag c = random_rooted_tree(322, 700, 4);
+  EXPECT_TRUE(c.num_edges() != a.num_edges() ||
+              c.critical_path_length() != a.critical_path_length());
+}
+
+TEST(RandomRootedTree, MaxBranchOneDegeneratesTowardsChains) {
+  // max_branch = 1 forces unary branching: far less parallelism than the
+  // default branching at the same size.
+  const Dag narrow = random_rooted_tree(11, 600, 1);
+  const Dag bushy = random_rooted_tree(11, 600, 4);
+  EXPECT_LT(narrow.parallelism(), bushy.parallelism());
 }
 
 }  // namespace

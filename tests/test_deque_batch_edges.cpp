@@ -1,0 +1,178 @@
+// Edge-case suite for pop_top_batch across every batch-capable deque
+// (ISSUE PR 7, satellite 1): the growable ABP deque (the lock-free
+// implementation whose owner-side defended window makes batching safe) and
+// the two lock-based reference deques. Serial edges: a batch request
+// larger than the victim, a single-element victim, k = 0, and the
+// kMaxStealBatch cap. Concurrent edge: a batch thief racing the owner's
+// popBottom inside the defended window — every pushed item must be
+// delivered exactly once, to exactly one side.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "deque/abp_growable_deque.hpp"
+#include "deque/mutex_deque.hpp"
+#include "deque/pop_top.hpp"
+#include "deque/spinlock_deque.hpp"
+
+// atomics-lint: allow(test-local start/stop flags for the race harness)
+
+namespace abp::deque {
+namespace {
+
+template <typename D>
+struct Maker;
+
+template <>
+struct Maker<AbpGrowableDeque<std::uint32_t>> {
+  static std::unique_ptr<AbpGrowableDeque<std::uint32_t>> make() {
+    // Small initial capacity + unbounded growth + batch steals armed (the
+    // third argument also arms the owner-side defended window).
+    return std::make_unique<AbpGrowableDeque<std::uint32_t>>(8, 0, true);
+  }
+};
+
+template <>
+struct Maker<MutexDeque<std::uint32_t>> {
+  static std::unique_ptr<MutexDeque<std::uint32_t>> make() {
+    return std::make_unique<MutexDeque<std::uint32_t>>();
+  }
+};
+
+template <>
+struct Maker<SpinlockDeque<std::uint32_t>> {
+  static std::unique_ptr<SpinlockDeque<std::uint32_t>> make() {
+    return std::make_unique<SpinlockDeque<std::uint32_t>>();
+  }
+};
+
+template <typename D>
+class DequeBatchEdges : public ::testing::Test {};
+
+using BatchDeques =
+    ::testing::Types<AbpGrowableDeque<std::uint32_t>,
+                     MutexDeque<std::uint32_t>, SpinlockDeque<std::uint32_t>>;
+TYPED_TEST_SUITE(DequeBatchEdges, BatchDeques);
+
+// A batch request exceeding the victim's size claims ceil(size/2), never
+// more than the deque holds.
+TYPED_TEST(DequeBatchEdges, RequestLargerThanVictimClaimsHalf) {
+  auto dq = Maker<TypeParam>::make();
+  for (std::uint32_t v = 0; v < 3; ++v) dq->push_bottom(v);
+  const auto r = dq->pop_top_batch(100);
+  EXPECT_EQ(r.status, PopTopStatus::kSuccess);
+  EXPECT_EQ(r.count, 2u);  // ceil(3/2)
+  EXPECT_EQ(r.items[0], 0u);  // oldest first — what single pop_top returns
+  EXPECT_EQ(r.items[1], 1u);
+  // The remaining item is still the owner's.
+  const auto left = dq->pop_bottom();
+  ASSERT_TRUE(left.has_value());
+  EXPECT_EQ(*left, 2u);
+  EXPECT_FALSE(dq->pop_bottom().has_value());
+}
+
+// A single-element victim yields exactly that element; the next batch
+// reports empty.
+TYPED_TEST(DequeBatchEdges, SingleElementVictim) {
+  auto dq = Maker<TypeParam>::make();
+  dq->push_bottom(42);
+  const auto r = dq->pop_top_batch(8);
+  EXPECT_EQ(r.status, PopTopStatus::kSuccess);
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(r.items[0], 42u);
+  const auto again = dq->pop_top_batch(8);
+  EXPECT_EQ(again.status, PopTopStatus::kEmpty);
+  EXPECT_EQ(again.count, 0u);
+}
+
+// k = 0 is a no-op claim: nothing taken, nothing disturbed.
+TYPED_TEST(DequeBatchEdges, ZeroRequestTakesNothing) {
+  auto dq = Maker<TypeParam>::make();
+  for (std::uint32_t v = 0; v < 4; ++v) dq->push_bottom(v);
+  const auto r = dq->pop_top_batch(0);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_NE(r.status, PopTopStatus::kSuccess);
+  std::size_t left = 0;
+  while (dq->pop_bottom().has_value()) ++left;
+  EXPECT_EQ(left, 4u);
+}
+
+// The claim is capped at kMaxStealBatch regardless of k and victim depth —
+// the width of the owner-defended window is a correctness constant.
+TYPED_TEST(DequeBatchEdges, ClaimCappedAtMaxStealBatch) {
+  auto dq = Maker<TypeParam>::make();
+  for (std::uint32_t v = 0; v < 64; ++v) dq->push_bottom(v);
+  const auto r = dq->pop_top_batch(100);
+  EXPECT_EQ(r.status, PopTopStatus::kSuccess);
+  EXPECT_EQ(r.count, kMaxStealBatch);
+  for (std::size_t i = 0; i < r.count; ++i)
+    EXPECT_EQ(r.items[i], static_cast<std::uint32_t>(i));  // oldest run
+}
+
+// Batch on an empty deque: count 0, status kEmpty.
+TYPED_TEST(DequeBatchEdges, EmptyVictimReportsEmpty) {
+  auto dq = Maker<TypeParam>::make();
+  const auto r = dq->pop_top_batch(4);
+  EXPECT_EQ(r.count, 0u);
+  EXPECT_EQ(r.status, PopTopStatus::kEmpty);
+}
+
+// The race the defended window exists for: the owner popBottoms items that
+// sit within kMaxStealBatch slots of top while a thief batch-claims the
+// same region. Conservation gate: every pushed value is delivered exactly
+// once across the two sides, none lost, none duplicated.
+TYPED_TEST(DequeBatchEdges, BatchRacesOwnerPopBottomInDefendedWindow) {
+  constexpr std::uint32_t kIters = 1500;
+  constexpr std::uint32_t kPerIter = 6;  // shallow: everything in-window
+  auto dq = Maker<TypeParam>::make();
+  std::atomic<bool> owner_done{false};
+  std::vector<std::uint32_t> owner_got, thief_got;
+  owner_got.reserve(kIters * kPerIter);
+  thief_got.reserve(kIters * kPerIter);
+
+  std::thread thief([&] {
+    while (!owner_done.load(std::memory_order_acquire)) {
+      const auto r = dq->pop_top_batch(3);
+      for (std::size_t i = 0; i < r.count; ++i) thief_got.push_back(r.items[i]);
+    }
+    // Final sweep in case the owner exited with items still queued.
+    for (;;) {
+      const auto r = dq->pop_top_batch(kMaxStealBatch);
+      if (r.count == 0) break;
+      for (std::size_t i = 0; i < r.count; ++i) thief_got.push_back(r.items[i]);
+    }
+  });
+
+  for (std::uint32_t iter = 0; iter < kIters; ++iter) {
+    for (std::uint32_t j = 0; j < kPerIter; ++j)
+      dq->push_bottom(iter * kPerIter + j);
+    for (std::uint32_t j = 0; j < kPerIter; ++j) {
+      const auto v = dq->pop_bottom();
+      if (v.has_value()) owner_got.push_back(*v);
+    }
+  }
+  // Drain what the thief left behind, then release it.
+  for (auto v = dq->pop_bottom(); v.has_value(); v = dq->pop_bottom())
+    owner_got.push_back(*v);
+  owner_done.store(true, std::memory_order_release);
+  thief.join();
+
+  std::vector<std::uint32_t> all;
+  all.reserve(owner_got.size() + thief_got.size());
+  all.insert(all.end(), owner_got.begin(), owner_got.end());
+  all.insert(all.end(), thief_got.begin(), thief_got.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(kIters) * kPerIter)
+      << "owner=" << owner_got.size() << " thief=" << thief_got.size();
+  std::sort(all.begin(), all.end());
+  for (std::uint32_t v = 0; v < kIters * kPerIter; ++v)
+    ASSERT_EQ(all[v], v) << "value delivered zero or multiple times";
+}
+
+}  // namespace
+}  // namespace abp::deque

@@ -1,5 +1,5 @@
 // Statistical steal-bound suite for the steal-policy layer (ISSUE PR 5,
-// satellite 1): every (steal, victim) policy combination is run over 30+
+// satellite 1): every (steal, victim) policy combination is run over 30
 // seeded ensembles per workload, and the suite enforces two things the
 // theory and the design both promise:
 //
@@ -15,6 +15,12 @@
 //
 // The steal-half headline (>= 20% fewer throws on at least one workload)
 // is asserted here too and reported as experiment E25 in EXPERIMENTS.md.
+//
+// Sharding (ISSUE PR 7, satellite 3): the 30-seed ensembles are split
+// across 3 TEST_P shards of 10 seeds each, so ctest -j runs them as
+// parallel instances (label `bounds`) instead of one long serial test.
+// Mean-based gates computed per shard keep their statistical teeth: the
+// 3-standard-error slack widens automatically with the smaller sample.
 
 #include <gtest/gtest.h>
 
@@ -35,7 +41,7 @@ namespace {
 using sim::YieldKind;
 
 constexpr std::size_t kP = 8;
-constexpr std::uint64_t kSeeds = 30;  // ensembles per (policy, workload)
+constexpr std::uint64_t kSeedsPerShard = 10;  // 3 shards -> 30 seeds total
 
 struct PolicyCase {
   const char* name;
@@ -43,16 +49,19 @@ struct PolicyCase {
   VictimKind victim;
 };
 
-// The full policy matrix the engine exposes (the simulator has no
-// hint-aware victim kind; see work_stealer.hpp).
+// The full policy matrix the engine exposes, including the hint-aware
+// victim kind (PR 7): the simulator's stand-in for the runtime watchdog's
+// steal-hint board.
 const std::vector<PolicyCase>& policy_matrix() {
   static const std::vector<PolicyCase> cases = {
       {"single/uniform", StealKind::kSingle, VictimKind::kUniform},
       {"single/nearest", StealKind::kSingle, VictimKind::kNearestNeighbor},
       {"single/last", StealKind::kSingle, VictimKind::kLastVictim},
+      {"single/hint", StealKind::kSingle, VictimKind::kHintAware},
       {"half/uniform", StealKind::kStealHalf, VictimKind::kUniform},
       {"half/nearest", StealKind::kStealHalf, VictimKind::kNearestNeighbor},
       {"half/last", StealKind::kStealHalf, VictimKind::kLastVictim},
+      {"half/hint", StealKind::kStealHalf, VictimKind::kHintAware},
   };
   return cases;
 }
@@ -70,22 +79,31 @@ RunMetrics run_policy(const dag::Dag& d, const PolicyCase& pc,
   return run_work_stealer(d, k, opts);
 }
 
-// Mean throws over the seeded ensemble; asserts completion for every run.
-OnlineStats throw_ensemble(const dag::Dag& d, const PolicyCase& pc,
-                           SpawnOrder order = SpawnOrder::kChild) {
-  OnlineStats throws;
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
-    const auto m = run_policy(d, pc, seed, order);
-    EXPECT_TRUE(m.completed) << pc.name << " seed=" << seed;
-    throws.add(static_cast<double>(m.steal_attempts));
+// The seed shard [first_seed, last_seed] this ctest instance covers.
+class StealBoundsShard : public ::testing::TestWithParam<int> {
+ protected:
+  std::uint64_t first_seed() const {
+    return static_cast<std::uint64_t>(GetParam()) * kSeedsPerShard + 1;
   }
-  return throws;
-}
+  std::uint64_t last_seed() const { return first_seed() + kSeedsPerShard - 1; }
+
+  // Mean throws over this shard's ensemble; asserts completion per run.
+  OnlineStats throw_ensemble(const dag::Dag& d, const PolicyCase& pc,
+                             SpawnOrder order = SpawnOrder::kChild) {
+    OnlineStats throws;
+    for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
+      const auto m = run_policy(d, pc, seed, order);
+      EXPECT_TRUE(m.completed) << pc.name << " seed=" << seed;
+      throws.add(static_cast<double>(m.steal_attempts));
+    }
+    return throws;
+  }
+};
 
 // Every policy keeps E[throws] = O(P * Tinf): the ensemble mean of
 // throws / (P * Tinf) stays under the same generous constant the Theorem 9
 // test uses, on every workload family.
-TEST(StealBounds, ThrowsStayOrderPTinfAcrossPolicies) {
+TEST_P(StealBoundsShard, ThrowsStayOrderPTinfAcrossPolicies) {
   const std::vector<std::pair<std::string, dag::Dag>> workloads = {
       {"fib13", dag::fib_dag(13)},
       {"grid", dag::grid_wavefront(30, 30)},
@@ -95,7 +113,7 @@ TEST(StealBounds, ThrowsStayOrderPTinfAcrossPolicies) {
     const double tinf = static_cast<double>(d.critical_path_length());
     for (const PolicyCase& pc : policy_matrix()) {
       OnlineStats ratio;
-      for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
         const auto m = run_policy(d, pc, seed);
         ASSERT_TRUE(m.completed) << wname << " " << pc.name;
         ratio.add(static_cast<double>(m.steal_attempts) /
@@ -108,11 +126,11 @@ TEST(StealBounds, ThrowsStayOrderPTinfAcrossPolicies) {
 
 // The execution-length bound (Theorem 9 shape) survives the policy layer:
 // no policy may trade throws for length.
-TEST(StealBounds, LengthBoundSurvivesPolicyLayer) {
+TEST_P(StealBoundsShard, LengthBoundSurvivesPolicyLayer) {
   const auto d = dag::fib_dag(13);
   for (const PolicyCase& pc : policy_matrix()) {
     OnlineStats ratio;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
       const auto m = run_policy(d, pc, seed);
       ASSERT_TRUE(m.completed) << pc.name;
       ratio.add(m.bound_ratio());
@@ -128,7 +146,7 @@ TEST(StealBounds, LengthBoundSurvivesPolicyLayer) {
 // standard errors of the difference of means) — a heuristic that
 // genuinely increases throws clears neither, and merging it is a
 // regression this suite exists to block.
-TEST(StealBounds, NoVictimPolicyRegressesMeanThrowsVsUniform) {
+TEST_P(StealBoundsShard, NoVictimPolicyRegressesMeanThrowsVsUniform) {
   const std::vector<std::pair<std::string, dag::Dag>> workloads = {
       {"fib13", dag::fib_dag(13)},
       {"grid", dag::grid_wavefront(30, 30)},
@@ -160,7 +178,7 @@ TEST(StealBounds, NoVictimPolicyRegressesMeanThrowsVsUniform) {
 // keeps every deque at depth <= 1 (batching is a no-op), and on deep
 // recursion (fib) batching over-steals and mildly increases throws.
 // EXPERIMENTS.md E25 reports the numbers for all three regimes.
-TEST(StealBounds, StealHalfCutsThrowsOnWideWorkload) {
+TEST_P(StealBoundsShard, StealHalfCutsThrowsOnWideWorkload) {
   const auto d = dag::wide(64, 40);
   const OnlineStats single = throw_ensemble(
       d, {"single/uniform", StealKind::kSingle, VictimKind::kUniform},
@@ -176,14 +194,15 @@ TEST(StealBounds, StealHalfCutsThrowsOnWideWorkload) {
 // Policy bookkeeping is real, not decorative: the counters that DESIGN.md
 // §12 promises each policy populates are populated, and they mean what
 // they say.
-TEST(StealBounds, PolicyCountersAreConsistent) {
+TEST_P(StealBoundsShard, PolicyCountersAreConsistent) {
   const auto d = dag::wide(200, 6);
   // Steal-half: batch claims happen, claims of more than one node are
   // real (the deep-deque regime, see StealHalfCutsThrowsOnWideWorkload),
   // and the per-claim cap is respected.
   const auto half =
       run_policy(d, {"half/uniform", StealKind::kStealHalf,
-                     VictimKind::kUniform}, 11, SpawnOrder::kParent);
+                     VictimKind::kUniform}, first_seed() + 10,
+                 SpawnOrder::kParent);
   ASSERT_TRUE(half.completed);
   EXPECT_GT(half.batch_steals, 0u);
   EXPECT_GT(half.batch_stolen_items, half.batch_steals);
@@ -192,7 +211,7 @@ TEST(StealBounds, PolicyCountersAreConsistent) {
   // Nearest-neighbor: successful steals record ring distances, and the
   // mean distance is smaller than uniform's (that is the point).
   OnlineStats near_dist, uni_dist;
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+  for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
     const auto mn = run_policy(d, {"single/nearest", StealKind::kSingle,
                                    VictimKind::kNearestNeighbor}, seed);
     const auto mu = run_policy(d, {"single/uniform", StealKind::kSingle,
@@ -214,7 +233,7 @@ TEST(StealBounds, PolicyCountersAreConsistent) {
   // victims stay rich across consecutive steals (deep recursive deques).
   const auto fib = dag::fib_dag(13);
   OnlineStats hits;
-  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+  for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
     const auto m = run_policy(fib, {"single/last", StealKind::kSingle,
                                     VictimKind::kLastVictim}, seed);
     ASSERT_TRUE(m.completed);
@@ -226,12 +245,12 @@ TEST(StealBounds, PolicyCountersAreConsistent) {
 // The policies hold up under multiprogramming too: a benign kernel at half
 // utilization, every policy completes within the usual bound-ratio and the
 // throw bound.
-TEST(StealBounds, PoliciesSurviveMultiprogramming) {
+TEST_P(StealBoundsShard, PoliciesSurviveMultiprogramming) {
   const auto d = dag::fib_dag(13);
   const double tinf = static_cast<double>(d.critical_path_length());
   for (const PolicyCase& pc : policy_matrix()) {
     OnlineStats ratio, throws;
-    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    for (std::uint64_t seed = first_seed(); seed <= last_seed(); ++seed) {
       sim::BenignKernel k(kP, sim::constant_profile(4), seed);
       Options opts;
       opts.yield = YieldKind::kToRandom;
@@ -248,6 +267,11 @@ TEST(StealBounds, PoliciesSurviveMultiprogramming) {
     EXPECT_LE(throws.mean(), 12.0) << pc.name;
   }
 }
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StealBoundsShard, ::testing::Values(0, 1, 2),
+                         [](const auto& info) {
+                           return "shard" + std::to_string(info.param);
+                         });
 
 }  // namespace
 }  // namespace abp::sched

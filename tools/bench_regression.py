@@ -142,12 +142,49 @@ def extract_multiprog(path: str, provenance: dict = None) -> dict:
     return metrics
 
 
+def extract_cache(path: str) -> dict:
+    """Deterministic steal/miss counts from bench_cache_complexity's
+    regression-guard table (the `cache-regression` table: fixed-seed
+    simulator runs, machine-independent like the multiprog makespans).
+
+    Non-fatal when the file carries no E28 lines — older collections and
+    local runs of just bench_multiprog stay valid; CI always appends both
+    harnesses so the baseline's cache/ metrics are always present there.
+    """
+    metrics = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "bench_cache_complexity" not in obj.get("bench", ""):
+                continue
+            if not obj.get("ok", False):
+                fail(f"bench_cache_complexity reported ok=false ({path})")
+            for table in obj.get("tables", []):
+                cols = table.get("columns", [])
+                if "scenario" not in cols or "misses" not in cols:
+                    continue
+                mi = cols.index("misses")
+                si = cols.index("steals")
+                for row in table.get("rows", []):
+                    # Lower is better for both (deterministic counts).
+                    metrics[f"cache/{row[0]}/misses"] = -float(row[mi])
+                    metrics[f"cache/{row[0]}/steals"] = -float(row[si])
+    if not metrics:
+        print(f"bench-regression: note: no bench_cache_complexity guard "
+              f"table in {path}; cache/ metrics skipped")
+    return metrics
+
+
 def collect(args, provenance: dict) -> dict:
     metrics = {}
     if args.micro:
         metrics.update(extract_micro(args.micro))
     if args.bench_json:
         metrics.update(extract_multiprog(args.bench_json, provenance))
+        metrics.update(extract_cache(args.bench_json))
     if not metrics:
         fail("no inputs: pass --micro and/or --bench-json")
     return metrics

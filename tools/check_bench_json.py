@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Schema validator for BENCH_JSON lines (the machine-readable protocol
+every bench harness emits via bench_common.hpp's JsonLineCollector; see
+DESIGN.md §3). CI validates the collected ABP_BENCH_JSON files before
+uploading them as artifacts, so a malformed line fails the job that
+produced it instead of the consumer that reads it months later.
+
+Checked per line:
+  * parses as a JSON object with the required keys
+    (bench, ok, git_sha, build_flags, verdicts, tables);
+  * every verdict is {"ok": bool, "what": str};
+  * obj["ok"] equals the AND of its verdicts (vacuously true when a
+    harness gated nothing);
+  * every table is {"title": str, "columns": [str], "rows": [[str]]} and
+    each row has exactly len(columns) cells.
+
+Usage:
+    check_bench_json.py [--require-bench NAME]... [file.jsonl ...]
+    some_bench | grep '^BENCH_JSON ' | check_bench_json.py
+    check_bench_json.py --self-test
+
+--require-bench NAME fails unless at least one validated line's "bench"
+contains NAME (CI uses it to prove a harness actually ran and emitted).
+Input lines may carry the "BENCH_JSON " prefix (stdout capture) or be raw
+objects (the ABP_BENCH_JSON file format); both are accepted.
+"""
+
+import argparse
+import json
+import sys
+
+PREFIX = "BENCH_JSON "
+REQUIRED_KEYS = ("bench", "ok", "git_sha", "build_flags", "verdicts",
+                 "tables")
+
+
+def check_line(obj, where, failures):
+    def fail(msg):
+        failures.append(f"{where}: {msg}")
+
+    if not isinstance(obj, dict):
+        fail("not a JSON object")
+        return None
+    for key in REQUIRED_KEYS:
+        if key not in obj:
+            fail(f"missing key '{key}'")
+    if not isinstance(obj.get("bench"), str) or not obj.get("bench"):
+        fail("'bench' must be a non-empty string")
+    if not isinstance(obj.get("ok"), bool):
+        fail("'ok' must be a boolean")
+    for field in ("git_sha", "build_flags"):
+        if field in obj and not isinstance(obj[field], str):
+            fail(f"'{field}' must be a string")
+
+    verdicts = obj.get("verdicts", [])
+    if not isinstance(verdicts, list):
+        fail("'verdicts' must be a list")
+        verdicts = []
+    verdict_and = True
+    for i, v in enumerate(verdicts):
+        if not isinstance(v, dict) or not isinstance(v.get("ok"), bool) \
+                or not isinstance(v.get("what"), str):
+            fail(f"verdict {i} must be {{'ok': bool, 'what': str}}")
+            continue
+        verdict_and = verdict_and and v["ok"]
+    if isinstance(obj.get("ok"), bool) and obj["ok"] != verdict_and:
+        fail(f"'ok' is {obj['ok']} but the AND of {len(verdicts)} "
+             f"verdict(s) is {verdict_and}")
+
+    tables = obj.get("tables", [])
+    if not isinstance(tables, list):
+        fail("'tables' must be a list")
+        tables = []
+    for i, t in enumerate(tables):
+        if not isinstance(t, dict):
+            fail(f"table {i} not an object")
+            continue
+        title = t.get("title")
+        cols = t.get("columns")
+        rows = t.get("rows")
+        if not isinstance(title, str):
+            fail(f"table {i} missing string 'title'")
+        if not isinstance(cols, list) or \
+                not all(isinstance(c, str) for c in cols):
+            fail(f"table {i} 'columns' must be a list of strings")
+            continue
+        if not isinstance(rows, list):
+            fail(f"table {i} 'rows' must be a list")
+            continue
+        for j, row in enumerate(rows):
+            if not isinstance(row, list) or \
+                    not all(isinstance(c, str) for c in row):
+                fail(f"table {i} row {j} must be a list of string cells")
+            elif len(row) != len(cols):
+                fail(f"table {i} row {j} has {len(row)} cell(s), "
+                     f"expected {len(cols)}")
+    return obj.get("bench") if isinstance(obj.get("bench"), str) else None
+
+
+def validate_stream(lines, source, failures, benches):
+    count = 0
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith(PREFIX):
+            line = line[len(PREFIX):]
+        where = f"{source}:{i + 1}"
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            failures.append(f"{where}: parse error: {e}")
+            continue
+        count += 1
+        bench = check_line(obj, where, failures)
+        if bench:
+            benches.append(bench)
+    return count
+
+
+def self_test() -> int:
+    good = json.dumps({
+        "bench": "E99: test", "ok": False, "git_sha": "abc",
+        "build_flags": "-O2",
+        "verdicts": [{"ok": True, "what": "a"}, {"ok": False, "what": "b"}],
+        "tables": [{"title": "t", "columns": ["x", "y"],
+                    "rows": [["1", "2"]]}],
+    })
+    bad_cases = {
+        "ok-mismatch": good.replace('"ok": false', '"ok": true', 1),
+        "ragged-row": good.replace('["1", "2"]', '["1"]'),
+        "missing-key": json.dumps({"bench": "x", "ok": True}),
+        "bad-verdict": good.replace('{"ok": true, "what": "a"}',
+                                    '{"what": "a"}'),
+        "not-json": "BENCH_JSON {nope",
+    }
+    failures, benches = [], []
+    validate_stream([good, PREFIX + good], "good", failures, benches)
+    if failures:
+        print("check-bench-json: self-test FAIL: good line rejected: "
+              + "; ".join(failures))
+        return 1
+    for name, line in bad_cases.items():
+        case_failures = []
+        validate_stream([line], name, case_failures, [])
+        if not case_failures:
+            print(f"check-bench-json: self-test FAIL: bad case '{name}' "
+                  "was accepted")
+            return 1
+    print("check-bench-json: self-test ok "
+          f"(1 good line, {len(bad_cases)} bad cases rejected)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="*",
+                    help="BENCH_JSON files (default: stdin)")
+    ap.add_argument("--require-bench", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless some line's bench name contains NAME")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate the validator against known-good/bad lines")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    failures, benches = [], []
+    total = 0
+    if args.inputs:
+        for path in args.inputs:
+            with open(path) as f:
+                total += validate_stream(f, path, failures, benches)
+    else:
+        total += validate_stream(sys.stdin, "<stdin>", failures, benches)
+
+    if total == 0:
+        failures.append("no BENCH_JSON lines found in input")
+    for name in args.require_bench:
+        if not any(name in b for b in benches):
+            failures.append(f"required bench '{name}' missing from input "
+                            f"(saw: {', '.join(sorted(set(benches))) or 'none'})")
+
+    if failures:
+        for f in failures:
+            print(f"check-bench-json: FAIL: {f}")
+        return 1
+    print(f"check-bench-json: ok ({total} line(s) from "
+          f"{len(set(benches))} bench(es) match the schema)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
