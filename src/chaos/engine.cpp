@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
 
 #include "support/assert.hpp"
 #include "support/backoff.hpp"
+#include "support/sync.hpp"
 
 namespace abp::chaos {
 
@@ -19,7 +19,9 @@ namespace {
 // function-local static, so the mutex is off the per-hit path.
 
 struct Registry {
-  std::mutex mu;
+  sync::Mutex mu;
+  // names[0..count) is written under mu but read lock-free: the release
+  // store of count publishes each appended name, so no guarded_by here.
   const char* names[kMaxPoints] = {};
   std::atomic<std::size_t> count{0};
 };
@@ -36,10 +38,10 @@ struct Global {
   // Bumped on every install/uninstall; thread-local engines detect staleness
   // by comparing generations and rebind (or go quiet) lazily.
   std::atomic<std::uint64_t> generation{0};
-  std::mutex mu;  // guards policy/seed/next_ordinal against binding threads
-  std::shared_ptr<Policy> policy;
-  std::uint64_t seed = 0;
-  std::uint64_t next_ordinal = 0;
+  sync::Mutex mu;  // serializes install/uninstall against binding threads
+  std::shared_ptr<Policy> policy ABP_GUARDED_BY(mu);
+  std::uint64_t seed ABP_GUARDED_BY(mu) = 0;
+  std::uint64_t next_ordinal ABP_GUARDED_BY(mu) = 0;
   std::atomic<std::uint64_t> hits[kMaxPoints] = {};
   std::atomic<std::uint64_t> injections[kMaxPoints] = {};
 };
@@ -87,7 +89,7 @@ bool armed() noexcept { return global().armed.load(std::memory_order_relaxed); }
 
 PointId intern_point(const char* name) noexcept {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  sync::MutexLock lock(r.mu);
   const std::size_t n = r.count.load(std::memory_order_relaxed);
   for (std::size_t i = 0; i < n; ++i)
     if (std::strcmp(r.names[i], name) == 0) return static_cast<PointId>(i);
@@ -117,7 +119,7 @@ void hit(PointId id) {
   ThreadEngine& e = tls_engine;
   if (e.generation != gen) {
     // First hit under this scope (or a stale binding): (re)bind.
-    std::lock_guard<std::mutex> lock(g.mu);
+    sync::MutexLock lock(g.mu);
     e.generation = g.generation.load(std::memory_order_relaxed);
     e.policy = g.policy;
     e.hit_index = 0;
@@ -163,7 +165,7 @@ std::uint64_t hits_at(const char* name) {
 
 ChaosScope::ChaosScope(std::shared_ptr<Policy> policy, std::uint64_t seed) {
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  sync::MutexLock lock(g.mu);
   ABP_ASSERT_MSG(g.policy == nullptr, "nested ChaosScope");
   g.policy = std::move(policy);
   g.seed = seed;
@@ -178,7 +180,7 @@ ChaosScope::ChaosScope(std::shared_ptr<Policy> policy, std::uint64_t seed) {
 
 ChaosScope::~ChaosScope() {
   Global& g = global();
-  std::lock_guard<std::mutex> lock(g.mu);
+  sync::MutexLock lock(g.mu);
   g.armed.store(false, std::memory_order_release);
   g.policy = nullptr;
   g.generation.fetch_add(1, std::memory_order_release);

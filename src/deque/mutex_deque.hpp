@@ -10,11 +10,11 @@
 
 #include <algorithm>
 #include <deque>
-#include <mutex>
 #include <optional>
 
 #include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
+#include "support/sync.hpp"
 
 namespace abp::deque {
 
@@ -31,13 +31,13 @@ class MutexDeque {
   // futex-based waiters sleep instead of spinning, which is exactly the
   // behavioral difference E10 measures.
   void push_bottom(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     CHAOS_POINT("deque.lock.in_critical");
     items_.push_back(item);
   }
 
   std::optional<T> pop_bottom() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     CHAOS_POINT("deque.lock.in_critical");
     if (items_.empty()) return std::nullopt;
     T item = items_.back();
@@ -46,7 +46,7 @@ class MutexDeque {
   }
 
   std::optional<T> pop_top() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     CHAOS_POINT("deque.lock.in_critical");
     if (items_.empty()) return std::nullopt;
     T item = items_.front();
@@ -65,7 +65,7 @@ class MutexDeque {
   // the top in one critical section. The differential fuzzer checks the
   // lock-free implementation against this.
   PopTopBatchResult<T> pop_top_batch(std::size_t k) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     CHAOS_POINT("deque.lock.in_critical");
     PopTopBatchResult<T> r;
     if (items_.empty() || k == 0) return r;
@@ -81,18 +81,18 @@ class MutexDeque {
   }
 
   bool empty_hint() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return items_.empty();
   }
 
   std::size_t size_hint() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::deque<T> items_;
+  mutable sync::Mutex mu_;
+  std::deque<T> items_ ABP_GUARDED_BY(mu_);
 };
 
 }  // namespace abp::deque

@@ -14,13 +14,12 @@
 // honest ablation baseline for experiment E10.
 
 #include <algorithm>
-#include <atomic>
 #include <deque>
 #include <optional>
 
 #include "chaos/chaos.hpp"
 #include "deque/pop_top.hpp"
-#include "support/backoff.hpp"
+#include "support/sync.hpp"
 
 namespace abp::deque {
 
@@ -110,15 +109,15 @@ class SpinlockDeque {
   }
 
  private:
-  void lock() const {
-    // Pure test-and-set spin: no yielding, no sleeping — the behaviour of a
-    // 1990s user-level lock, and the worst case under preemption.
-    while (flag_.test_and_set(std::memory_order_acquire)) cpu_relax();
-  }
-  void unlock() const { flag_.clear(std::memory_order_release); }
+  // Pure test-and-set spin (lock_unyielding): no yielding, no sleeping —
+  // the behaviour of a 1990s user-level lock, and the worst case under
+  // preemption. sync::SpinLock makes it a TRY_ACQUIRE-capable capability
+  // the thread-safety analysis tracks like any mutex.
+  void lock() const ABP_ACQUIRE(lock_) { lock_.lock_unyielding(); }
+  void unlock() const ABP_RELEASE(lock_) { lock_.unlock(); }
 
-  mutable std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
-  std::deque<T> items_;
+  mutable sync::SpinLock lock_;
+  std::deque<T> items_ ABP_GUARDED_BY(lock_);
 };
 
 }  // namespace abp::deque

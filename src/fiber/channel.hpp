@@ -18,7 +18,10 @@ template <typename T>
 class Channel {
  public:
   explicit Channel(std::size_t capacity)
-      : slots_(static_cast<long>(capacity)), items_(0), buf_(capacity) {
+      : slots_(static_cast<long>(capacity)),
+        items_(0),
+        buf_(capacity),
+        cap_(capacity) {
     ABP_ASSERT(capacity >= 1);
   }
 
@@ -28,33 +31,39 @@ class Channel {
   // Blocks while the channel is full.
   void send(T value) {
     slots_.p();
-    lock_.lock();
-    buf_[head_ % buf_.size()] = std::move(value);
-    ++head_;
-    lock_.unlock();
+    {
+      sync::SpinLockHolder hold(lock_);
+      buf_[head_ % buf_.size()] = std::move(value);
+      ++head_;
+    }
     items_.v();
   }
 
   // Blocks while the channel is empty.
   T receive() {
     items_.p();
-    lock_.lock();
-    T value = std::move(buf_[tail_ % buf_.size()]);
-    ++tail_;
-    lock_.unlock();
+    T value = take_();
     slots_.v();
     return value;
   }
 
-  std::size_t capacity() const noexcept { return buf_.size(); }
+  std::size_t capacity() const noexcept { return cap_; }
 
  private:
+  T take_() {
+    sync::SpinLockHolder hold(lock_);
+    T value = std::move(buf_[tail_ % buf_.size()]);
+    ++tail_;
+    return value;
+  }
+
   Semaphore slots_;
   Semaphore items_;
   detail::SpinLock lock_;
-  std::vector<T> buf_;
-  std::size_t head_ = 0;
-  std::size_t tail_ = 0;
+  std::vector<T> buf_ ABP_GUARDED_BY(lock_);
+  std::size_t head_ ABP_GUARDED_BY(lock_) = 0;
+  std::size_t tail_ ABP_GUARDED_BY(lock_) = 0;
+  const std::size_t cap_;  // == buf_.size(); readable without the lock
 };
 
 }  // namespace abp::fiber

@@ -35,7 +35,7 @@
 
 #include "runtime/options.hpp"
 #include "runtime/stats.hpp"
-#include "support/backoff.hpp"
+#include "support/sync.hpp"
 
 namespace abp::fiber {
 
@@ -44,20 +44,12 @@ class Semaphore;
 
 namespace detail {
 
-// Tiny test-and-set spinlock guarding semaphore wait lists and fiber join
+// Test-and-set spinlock guarding semaphore wait lists and fiber join
 // state. These are user-level synchronization objects (dag edges), not the
-// scheduler's own data structures — the deques stay non-blocking.
-class SpinLock {
- public:
-  void lock() noexcept {
-    Backoff backoff;
-    while (flag_.test_and_set(std::memory_order_acquire)) backoff.pause();
-  }
-  void unlock() noexcept { flag_.clear(std::memory_order_release); }
-
- private:
-  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
-};
+// scheduler's own data structures — the deques stay non-blocking. The
+// annotated sync::SpinLock makes each one a capability the thread-safety
+// analysis tracks across the block/enable protocol.
+using SpinLock = sync::SpinLock;
 
 }  // namespace detail
 
@@ -82,8 +74,9 @@ class Fiber {
   std::unique_ptr<char[]> stack_;
   ucontext_t ctx_{};
   std::atomic<State> state_{State::kReady};
-  detail::SpinLock lock_;     // guards joiner_ / done transition
-  Fiber* joiner_ = nullptr;   // fiber blocked joining us (at most one)
+  detail::SpinLock lock_;  // guards joiner_ / done transition
+  // Fiber blocked joining us (at most one).
+  Fiber* joiner_ ABP_GUARDED_BY(lock_) = nullptr;
 };
 
 // Counting semaphore with P (wait) and V (signal), as in [Dijkstra 68].
@@ -100,8 +93,8 @@ class Semaphore {
 
  private:
   detail::SpinLock lock_;
-  long count_;
-  std::vector<Fiber*> waiters_;
+  long count_ ABP_GUARDED_BY(lock_);
+  std::vector<Fiber*> waiters_ ABP_GUARDED_BY(lock_);
 };
 
 // One-shot broadcast event: fibers wait() until some fiber set()s it; a
@@ -120,8 +113,8 @@ class Event {
 
  private:
   detail::SpinLock lock_;
-  std::atomic<bool> set_{false};
-  std::vector<Fiber*> waiters_;
+  std::atomic<bool> set_{false};  // lock-free fast-path read; set under lock_
+  std::vector<Fiber*> waiters_ ABP_GUARDED_BY(lock_);
 };
 
 // Reusable barrier for a fixed number of fibers: the last arriver of each
@@ -137,8 +130,8 @@ class FiberBarrier {
  private:
   detail::SpinLock lock_;
   std::size_t parties_;
-  std::size_t arrived_ = 0;
-  std::vector<Fiber*> waiters_;
+  std::size_t arrived_ ABP_GUARDED_BY(lock_) = 0;
+  std::vector<Fiber*> waiters_ ABP_GUARDED_BY(lock_);
 };
 
 class FiberScheduler {
@@ -176,8 +169,13 @@ class FiberScheduler {
 
   void worker_loop(std::size_t id);
   Fiber* allocate(std::function<void()> fn);
-  void make_ready(Fiber* f);           // enable: push onto current deque
-  static void block_current(detail::SpinLock* to_unlock);  // swap out
+  void make_ready(Fiber* f);  // enable: push onto current deque
+  // Swap out the running fiber. From the caller's perspective this
+  // *releases* to_unlock: the worker performs the actual unlock after the
+  // context switch completes (see worker_loop), and by the time
+  // block_current returns — on resumption — the lock is long gone.
+  static void block_current(detail::SpinLock* to_unlock)
+      ABP_RELEASE(to_unlock);
   static void trampoline_lo(unsigned hi, unsigned lo);
 
   runtime::SchedulerOptions opts_;

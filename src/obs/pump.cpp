@@ -1,5 +1,4 @@
 #include "obs/pump.hpp"
-// atomics-lint: allow(pump lifecycle flags layered above the modeled deques)
 
 #include "obs/export.hpp"
 
@@ -15,7 +14,7 @@ MetricsPump::~MetricsPump() { stop(); }
 void MetricsPump::start() {
   if (running_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     stop_requested_ = false;
     started_at_ = std::chrono::steady_clock::now();
   }
@@ -26,7 +25,7 @@ void MetricsPump::start() {
 void MetricsPump::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     stop_requested_ = true;
   }
   cv_.notify_all();
@@ -34,91 +33,96 @@ void MetricsPump::stop() {
   running_.store(false, std::memory_order_release);
 }
 
-void MetricsPump::pump_once() {
-  std::unique_lock<std::mutex> lock(mu_);
-  sample_locked_(lock);
-}
+void MetricsPump::pump_once() { sample_(); }
 
 void MetricsPump::run_() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
-                     [this] { return stop_requested_; }))
-      return;
-    sample_locked_(lock);
+    {
+      sync::MutexLock lock(mu_);
+      if (cv_.wait_for(mu_, std::chrono::milliseconds(opts_.interval_ms),
+                       [this]() ABP_REQUIRES(mu_) { return stop_requested_; }))
+        return;
+    }
+    sample_();
   }
 }
 
-// Requires mu_ held; releases it around the sampler call (the sampler may
-// be arbitrarily slow — it reads every worker's seqlock) so concurrent
-// latest()/latest_rates() readers never block on it.
-void MetricsPump::sample_locked_(std::unique_lock<std::mutex>& lock) {
-  lock.unlock();
+// One sampling tick, in three phases: poll the sampler unlocked (it may be
+// arbitrarily slow — it reads every worker's seqlock — and concurrent
+// latest()/latest_rates() readers must never block on it), fold the deltas
+// into the published state under mu_, then stream the line unlocked (the
+// JsonStream has its own lock; never hold two).
+void MetricsPump::sample_() {
   std::vector<MetricPoint> sample = sampler_ ? sampler_()
                                              : std::vector<MetricPoint>{};
   const auto now = std::chrono::steady_clock::now();
-  lock.lock();
-  if (started_at_.time_since_epoch().count() == 0) started_at_ = now;
+  std::string line;
+  {
+    sync::MutexLock lock(mu_);
+    if (started_at_.time_since_epoch().count() == 0) started_at_ = now;
 
-  // Delta aggregation: match the previous sample by name (the sampler is
-  // expected to return a stable set, but membership may grow, e.g. when a
-  // worker slot activates mid-run).
-  const double dt =
-      last_at_.time_since_epoch().count() == 0
-          ? 0.0
-          : std::chrono::duration<double>(now - last_at_).count();
-  rates_.clear();
-  for (const MetricPoint& cur : sample) {
-    double rate = 0.0;
-    if (dt > 0.0) {
-      for (const MetricPoint& prev : last_) {
-        if (prev.name == cur.name) {
-          // Counters are monotone; a decrease (stats reset) clamps to 0.
-          rate = cur.value >= prev.value ? (cur.value - prev.value) / dt : 0.0;
-          break;
+    // Delta aggregation: match the previous sample by name (the sampler is
+    // expected to return a stable set, but membership may grow, e.g. when a
+    // worker slot activates mid-run).
+    const double dt =
+        last_at_.time_since_epoch().count() == 0
+            ? 0.0
+            : std::chrono::duration<double>(now - last_at_).count();
+    rates_.clear();
+    for (const MetricPoint& cur : sample) {
+      double rate = 0.0;
+      if (dt > 0.0) {
+        for (const MetricPoint& prev : last_) {
+          if (prev.name == cur.name) {
+            // Counters are monotone; a decrease (stats reset) clamps to 0.
+            rate =
+                cur.value >= prev.value ? (cur.value - prev.value) / dt : 0.0;
+            break;
+          }
         }
       }
+      rates_.push_back({cur.name, rate});
     }
-    rates_.push_back({cur.name, rate});
-  }
-  last_ = std::move(sample);
-  last_at_ = now;
-  const std::uint64_t tick = ticks_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    last_ = std::move(sample);
+    last_at_ = now;
+    const std::uint64_t tick =
+        ticks_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
-  JsonObjectWriter w;
-  w.add("seq", tick);
-  w.add("uptime_ms",
-        std::chrono::duration<double, std::milli>(now - started_at_).count());
-  w.add("interval_ms", static_cast<std::uint64_t>(opts_.interval_ms));
-  {
-    JsonObjectWriter totals;
-    for (const MetricPoint& p : last_) totals.add(p.name, p.value);
-    w.add_raw("totals", totals.str());
+    JsonObjectWriter w;
+    w.add("seq", tick);
+    w.add("uptime_ms",
+          std::chrono::duration<double, std::milli>(now - started_at_)
+              .count());
+    w.add("interval_ms", static_cast<std::uint64_t>(opts_.interval_ms));
+    {
+      JsonObjectWriter totals;
+      for (const MetricPoint& p : last_) totals.add(p.name, p.value);
+      w.add_raw("totals", totals.str());
+    }
+    {
+      JsonObjectWriter rates;
+      for (const MetricPoint& p : rates_)
+        rates.add(p.name + "_per_sec", p.value);
+      w.add_raw("rates", rates.str());
+    }
+    last_json_ = w.str();
+    line = last_json_;
   }
-  {
-    JsonObjectWriter rates;
-    for (const MetricPoint& p : rates_) rates.add(p.name + "_per_sec", p.value);
-    w.add_raw("rates", rates.str());
-  }
-  last_json_ = w.str();
-  const std::string line = last_json_;
-  lock.unlock();
   stream_.push(line);
-  lock.lock();
 }
 
 std::vector<MetricPoint> MetricsPump::latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return last_;
 }
 
 std::vector<MetricPoint> MetricsPump::latest_rates() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return rates_;
 }
 
 std::string MetricsPump::latest_json() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   return last_json_;
 }
 

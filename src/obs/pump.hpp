@@ -1,5 +1,4 @@
 #pragma once
-// atomics-lint: allow(pump lifecycle flags layered above the modeled deques)
 
 // The background metrics pump (DESIGN.md §13): polls a sampler on an
 // interval, aggregates deltas between consecutive samples into rates, and
@@ -14,15 +13,15 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "support/sync.hpp"
 
 namespace abp::obs {
 
@@ -41,7 +40,7 @@ class JsonStream {
   explicit JsonStream(std::size_t capacity = 1024) : capacity_(capacity) {}
 
   void push(std::string line) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     if (lines_.size() >= capacity_) {
       lines_.pop_front();
       ++dropped_;
@@ -52,31 +51,31 @@ class JsonStream {
 
   // Removes and returns every buffered line, oldest first.
   std::vector<std::string> drain() {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     std::vector<std::string> out(lines_.begin(), lines_.end());
     lines_.clear();
     return out;
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return lines_.size();
   }
   std::uint64_t pushed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return pushed_;
   }
   std::uint64_t dropped() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     return dropped_;
   }
 
  private:
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_;
   std::size_t capacity_;
-  std::deque<std::string> lines_;
-  std::uint64_t pushed_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::deque<std::string> lines_ ABP_GUARDED_BY(mu_);
+  std::uint64_t pushed_ ABP_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ ABP_GUARDED_BY(mu_) = 0;
 };
 
 class MetricsPump {
@@ -121,7 +120,7 @@ class MetricsPump {
 
  private:
   void run_();
-  void sample_locked_(std::unique_lock<std::mutex>& lock);
+  void sample_() ABP_EXCLUDES(mu_);
 
   MetricSampler sampler_;
   Options opts_;
@@ -131,14 +130,14 @@ class MetricsPump {
   std::atomic<std::uint64_t> ticks_{0};
   std::thread thread_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_requested_ = false;
-  std::vector<MetricPoint> last_;
-  std::vector<MetricPoint> rates_;
-  std::string last_json_;
-  std::chrono::steady_clock::time_point last_at_{};
-  std::chrono::steady_clock::time_point started_at_{};
+  mutable sync::Mutex mu_;
+  sync::CondVar cv_;
+  bool stop_requested_ ABP_GUARDED_BY(mu_) = false;
+  std::vector<MetricPoint> last_ ABP_GUARDED_BY(mu_);
+  std::vector<MetricPoint> rates_ ABP_GUARDED_BY(mu_);
+  std::string last_json_ ABP_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point last_at_ ABP_GUARDED_BY(mu_){};
+  std::chrono::steady_clock::time_point started_at_ ABP_GUARDED_BY(mu_){};
 };
 
 }  // namespace abp::obs

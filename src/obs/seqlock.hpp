@@ -19,10 +19,19 @@
 #include <cstring>
 #include <type_traits>
 
+#include "support/sync.hpp"
+
 namespace abp::obs {
 
+// The Seqlock is itself a capability (DESIGN.md §15): its writer section —
+// the odd-sequence window between write_begin() and write_end() — is
+// modeled as an acquire/release pair, so the analysis proves publish()
+// never leaves the window open (a stuck-odd sequence would spin every
+// reader forever) and future multi-step writers cannot interleave guarded
+// state mutations outside the window. Readers never acquire anything: the
+// retry loop, not a capability, is their consistency protocol.
 template <typename T>
-class Seqlock {
+class ABP_CAPABILITY("seqlock_writer") Seqlock {
   static_assert(std::is_trivially_copyable_v<T>,
                 "seqlock payloads are published by word-wise copy");
 
@@ -39,12 +48,10 @@ class Seqlock {
   void publish(const T& value) noexcept {
     std::uint64_t buf[kWords] = {};
     std::memcpy(buf, &value, sizeof(T));
-    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
-    seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
-    std::atomic_thread_fence(std::memory_order_release);
+    write_begin();
     for (std::size_t i = 0; i < kWords; ++i)
       words_[i].store(buf[i], std::memory_order_relaxed);
-    seq_.store(s + 2, std::memory_order_release);
+    write_end();
   }
 
   // One consistency-checked copy attempt. Returns false (leaving `out`
@@ -78,6 +85,20 @@ class Seqlock {
   }
 
  private:
+  // Open the writer section: sequence to odd, then a release fence so the
+  // payload stores cannot sink above the odd mark.
+  void write_begin() noexcept ABP_ACQUIRE() {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+  // Close the writer section: sequence back to even with release ordering,
+  // publishing every payload store to acquire readers.
+  void write_end() noexcept ABP_RELEASE() {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);  // odd
+    seq_.store(s + 1, std::memory_order_release);
+  }
+
   static constexpr std::size_t kWords = (sizeof(T) + 7) / 8;
 
   std::atomic<std::uint64_t> seq_{0};

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -12,6 +11,7 @@
 #include "sim/cache.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
+#include "support/sync.hpp"
 
 namespace abp::runtime {
 
@@ -87,12 +87,17 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
   // boundaries only, so a node either fully runs or never starts.
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> executed{0};
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-  dag::NodeId failed_node = dag::kNoNode;
+  // First-failure capture (exactly one node body's exception survives the
+  // run); a struct so the guarded_by relation is expressible.
+  struct ErrorSlot {
+    sync::Mutex mu;
+    std::exception_ptr first ABP_GUARDED_BY(mu);
+    dag::NodeId node ABP_GUARDED_BY(mu) = dag::kNoNode;
+  } error;
   const dag::NodeId root = d.root();
   const dag::NodeId final_node = d.final_node();
 
+  // context-lint: worker-context(dag_engine.worker_fn)
   auto worker_fn = [&](std::size_t id) {
     Xoshiro256 rng(opts.seed * 0x9e3779b97f4a7c15ULL + id + 1);
     WorkerStats& st = stats[id].value;
@@ -114,10 +119,10 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
             body(assigned);
           } catch (...) {
             {
-              std::lock_guard<std::mutex> lock(error_mu);
-              if (first_error == nullptr) {
-                first_error = std::current_exception();
-                failed_node = assigned;
+              sync::MutexLock lock(error.mu);
+              if (error.first == nullptr) {
+                error.first = std::current_exception();
+                error.node = assigned;
               }
             }
             stop.store(true, std::memory_order_release);
@@ -209,6 +214,15 @@ DagRunResult run_dag(const dag::Dag& d, const SchedulerOptions& opts,
   result.executed_nodes = executed.load(std::memory_order_relaxed);
   result.measured_work_nodes = result.executed_nodes;
   result.measured_span_nodes = path[final_node].load(std::memory_order_acquire);
+  std::exception_ptr first_error;
+  dag::NodeId failed_node = dag::kNoNode;
+  {
+    // All workers are joined, but the analysis doesn't know that — take
+    // the lock; it is uncontended here.
+    sync::MutexLock lock(error.mu);
+    first_error = error.first;
+    failed_node = error.node;
+  }
   if (first_error != nullptr) {
     result.status = DagRunStatus::kNodeFailed;
     result.error = first_error;

@@ -82,14 +82,14 @@ Scheduler::Scheduler(SchedulerOptions opts) : opts_(opts) {
 
 Scheduler::~Scheduler() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_workers_.notify_all();
   join_workers();
   if (watchdog_thread_.joinable()) {
     {
-      std::lock_guard<std::mutex> lock(wd_mu_);
+      sync::MutexLock lock(wd_mu_);
       wd_stop_ = true;
     }
     wd_cv_.notify_all();
@@ -102,7 +102,6 @@ void Scheduler::join_workers() {
     if (t.joinable()) t.join();
 }
 
-// Requires mu_ held (or the constructor, before any thread exists).
 void Scheduler::activate_slot(std::size_t slot, std::uint64_t generation) {
   if (deques_[slot] == nullptr)
     deques_[slot] = std::make_unique<PolyDeque<Job*>>(
@@ -154,7 +153,6 @@ void Scheduler::activate_slot(std::size_t slot, std::uint64_t generation) {
   if (slot + 1 > count) slot_count_.store(slot + 1, std::memory_order_release);
 }
 
-// Requires mu_ held.
 void Scheduler::exit_slot(std::size_t slot) {
   slot_state_[slot].value.store(static_cast<std::uint8_t>(SlotState::kDead),
                                 std::memory_order_release);
@@ -162,7 +160,7 @@ void Scheduler::exit_slot(std::size_t slot) {
   membership_epoch_.fetch_add(1, std::memory_order_release);
 }
 
-// Requires mu_ held: every live slot has entered the current epoch.
+// Every live slot has entered the current epoch.
 bool Scheduler::all_live_entered() const {
   const std::size_t n = slot_count_.load(std::memory_order_acquire);
   for (std::size_t i = 0; i < n; ++i) {
@@ -173,7 +171,7 @@ bool Scheduler::all_live_entered() const {
 }
 
 std::size_t Scheduler::add_worker() {
-  std::unique_lock<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (stopped_ || shutdown_) throw SchedulerStoppedError();
   std::size_t slot = max_workers_;
   for (std::size_t i = 0; i < max_workers_; ++i) {
@@ -211,7 +209,7 @@ std::size_t Scheduler::add_worker() {
 }
 
 bool Scheduler::retire_worker(std::size_t slot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (slot >= slot_count_.load(std::memory_order_acquire)) return false;
   if (slot_state(slot) != SlotState::kLive) return false;
   slot_state_[slot].value.store(
@@ -223,29 +221,32 @@ bool Scheduler::retire_worker(std::size_t slot) {
 
 ShutdownReport Scheduler::shutdown(std::chrono::milliseconds deadline) {
   ShutdownReport rep;
-  std::unique_lock<std::mutex> lock(mu_);
-  if (shutdown_) {
-    rep.drained = done_.load(std::memory_order_acquire) &&
-                  active_in_epoch_ == 0;
-    return rep;
-  }
-  stopped_ = true;  // run()/add_worker() refuse from here on
-  cancel_.request(CancelReason::kDeadline);
-  const bool quiesced = cv_main_.wait_for(lock, deadline, [this] {
-    return done_.load(std::memory_order_acquire) && active_in_epoch_ == 0;
-  });
-  if (!quiesced) {
-    rep.timed_out = true;
-    const std::size_t n = slot_count_.load(std::memory_order_acquire);
-    std::size_t abandoned = 0;
-    for (std::size_t i = 0; i < n; ++i)
-      if (deques_[i] != nullptr) abandoned += deques_[i]->size_hint();
-    if (root_job_.load(std::memory_order_acquire) != nullptr) ++abandoned;
-    rep.abandoned_jobs = abandoned;
-    return rep;  // workers keep draining (as cancelled); the dtor joins them
-  }
-  shutdown_ = true;
-  lock.unlock();
+  {
+    sync::MutexLock lock(mu_);
+    if (shutdown_) {
+      rep.drained = done_.load(std::memory_order_acquire) &&
+                    active_in_epoch_ == 0;
+      return rep;
+    }
+    stopped_ = true;  // run()/add_worker() refuse from here on
+    cancel_.request(CancelReason::kDeadline);
+    const bool quiesced =
+        cv_main_.wait_for(mu_, deadline, [this]() ABP_REQUIRES(mu_) {
+          return done_.load(std::memory_order_acquire) &&
+                 active_in_epoch_ == 0;
+        });
+    if (!quiesced) {
+      rep.timed_out = true;
+      const std::size_t n = slot_count_.load(std::memory_order_acquire);
+      std::size_t abandoned = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        if (deques_[i] != nullptr) abandoned += deques_[i]->size_hint();
+      if (root_job_.load(std::memory_order_acquire) != nullptr) ++abandoned;
+      rep.abandoned_jobs = abandoned;
+      return rep;  // workers keep draining (as cancelled); the dtor joins them
+    }
+    shutdown_ = true;
+  }  // release mu_ before joining so exiting workers can retake it
   cv_workers_.notify_all();
   join_workers();
   rep.drained = true;
@@ -253,7 +254,7 @@ ShutdownReport Scheduler::shutdown(std::chrono::milliseconds deadline) {
 }
 
 void Scheduler::run_root(Job* root) {
-  std::unique_lock<std::mutex> lock(mu_);
+  sync::MutexLock lock(mu_);
   if (stopped_) throw SchedulerStoppedError();
   ABP_ASSERT_MSG(done_.load(std::memory_order_acquire),
                  "Scheduler::run is not reentrant");
@@ -264,7 +265,7 @@ void Scheduler::run_root(Job* root) {
   cv_workers_.notify_all();
   // Quiesce: every live worker has entered AND exited this epoch, and the
   // run completed — or every worker died first.
-  cv_main_.wait(lock, [this] {
+  cv_main_.wait(mu_, [this]() ABP_REQUIRES(mu_) {
     if (active_in_epoch_ != 0) return false;
     if (!all_live_entered()) return false;
     return done_.load(std::memory_order_acquire) ||
@@ -286,8 +287,8 @@ void Scheduler::worker_main(std::size_t slot, std::uint64_t initial_epoch) {
   std::uint64_t seen_epoch = initial_epoch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_workers_.wait(lock, [&] {
+      sync::MutexLock lock(mu_);
+      cv_workers_.wait(mu_, [&, this]() ABP_REQUIRES(mu_) {
         return shutdown_ || epoch_ != seen_epoch ||
                slot_state(slot) == SlotState::kRetiring;
       });
@@ -317,7 +318,7 @@ void Scheduler::worker_main(std::size_t slot, std::uint64_t initial_epoch) {
       dying = true;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(mu_);
       --active_in_epoch_;
       if (!dying && slot_state(slot) == SlotState::kRetiring) dying = true;
       if (dying) exit_slot(slot);
@@ -376,9 +377,11 @@ void Scheduler::watchdog_main() {
   auto now = std::chrono::steady_clock::now();
   for (auto& t : last_change) t = now;
 
-  std::unique_lock<std::mutex> lock(wd_mu_);
+  sync::MutexLock lock(wd_mu_);
   for (;;) {
-    if (wd_cv_.wait_for(lock, poll, [this] { return wd_stop_; })) return;
+    if (wd_cv_.wait_for(wd_mu_, poll,
+                        [this]() ABP_REQUIRES(wd_mu_) { return wd_stop_; }))
+      return;
     now = std::chrono::steady_clock::now();
     const std::size_t n = slot_count_.load(std::memory_order_acquire);
     if (done()) {

@@ -36,10 +36,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -62,6 +60,7 @@
 #include "support/backoff.hpp"
 #include "support/cancel.hpp"
 #include "support/rng.hpp"
+#include "support/sync.hpp"
 
 namespace abp::runtime {
 
@@ -445,10 +444,12 @@ class Scheduler {
   void worker_main(std::size_t slot, std::uint64_t initial_epoch);
   void work_loop(Worker& w);
   void watchdog_main();
-  // The next three require mu_ held.
-  void activate_slot(std::size_t slot, std::uint64_t generation);
-  void exit_slot(std::size_t slot);
-  bool all_live_entered() const;
+  // (The constructor also calls activate_slot before any thread exists;
+  // it takes mu_ anyway so the annotation holds unconditionally.)
+  void activate_slot(std::size_t slot, std::uint64_t generation)
+      ABP_REQUIRES(mu_);
+  void exit_slot(std::size_t slot) ABP_REQUIRES(mu_);
+  bool all_live_entered() const ABP_REQUIRES(mu_);
   void join_workers();
 
   bool done() const noexcept {
@@ -469,7 +470,7 @@ class Scheduler {
     // Lost-wakeup defense: the waiter re-checks its pending count under
     // park_mu_ before sleeping, so passing through the (empty) critical
     // section orders this completion against any in-flight park decision.
-    { std::lock_guard<std::mutex> lk(park_mu_); }
+    { sync::MutexLock lk(park_mu_); }
     park_cv_.notify_all();
   }
 
@@ -508,7 +509,7 @@ class Scheduler {
   std::vector<std::thread> threads_;
   std::vector<CacheAligned<std::atomic<std::uint8_t>>> slot_state_;
   std::vector<CacheAligned<std::atomic<std::uint64_t>>> heartbeats_;
-  std::vector<std::uint64_t> seen_epoch_;  // guarded by mu_
+  std::vector<std::uint64_t> seen_epoch_ ABP_GUARDED_BY(mu_);
 
   std::atomic<std::size_t> slot_count_{0};     // slots ever activated
   std::atomic<std::size_t> live_workers_{0};
@@ -522,25 +523,29 @@ class Scheduler {
   // completers never touch group memory after the group may be destroyed;
   // shared across groups — waiters re-check their own pending count on wake.
   std::atomic<std::uint32_t> parked_waiters_{0};
-  std::mutex park_mu_;
-  std::condition_variable park_cv_;
+  sync::Mutex park_mu_;
+  sync::CondVar park_cv_;
 
   std::atomic<Job*> root_job_{nullptr};
   std::atomic<bool> done_{true};
 
-  std::mutex mu_;
-  std::condition_variable cv_workers_;
-  std::condition_variable cv_main_;
-  std::uint64_t epoch_ = 0;
-  std::size_t active_in_epoch_ = 0;          // workers inside work_loop
-  std::uint64_t membership_generation_ = 0;  // reseeds respawned workers
-  bool shutdown_ = false;  // workers exit at next park; set by dtor/shutdown
-  bool stopped_ = false;   // run()/add_worker() refused; set by shutdown()
+  sync::Mutex mu_;
+  sync::CondVar cv_workers_;
+  sync::CondVar cv_main_;
+  std::uint64_t epoch_ ABP_GUARDED_BY(mu_) = 0;
+  // Workers inside work_loop this epoch.
+  std::size_t active_in_epoch_ ABP_GUARDED_BY(mu_) = 0;
+  // Reseeds respawned workers.
+  std::uint64_t membership_generation_ ABP_GUARDED_BY(mu_) = 0;
+  // Workers exit at next park; set by dtor/shutdown.
+  bool shutdown_ ABP_GUARDED_BY(mu_) = false;
+  // run()/add_worker() refused; set by shutdown().
+  bool stopped_ ABP_GUARDED_BY(mu_) = false;
 
   std::thread watchdog_thread_;
-  std::mutex wd_mu_;
-  std::condition_variable wd_cv_;
-  bool wd_stop_ = false;
+  sync::Mutex wd_mu_;
+  sync::CondVar wd_cv_;
+  bool wd_stop_ ABP_GUARDED_BY(wd_mu_) = false;
 };
 
 // ---- inline implementations ------------------------------------------------
@@ -925,13 +930,13 @@ inline void TaskGroup::park() {
   // completer's empty critical section in notify_parked) closes it.
   CHAOS_POINT("taskgroup.wait.pre_park");
   {
-    std::unique_lock<std::mutex> lk(s.park_mu_);
+    sync::MutexLock lk(s.park_mu_);
     if (pending_.load(std::memory_order_seq_cst) != 0) {
       ++w.stats().parks;
       WHEN_TRACE(w.trace().record(obs::EventType::kPark);)
       s.park_cv_.wait_for(
-          lk, std::chrono::microseconds(
-                  s.options().resilience.park_timeout_us));
+          s.park_mu_, std::chrono::microseconds(
+                          s.options().resilience.park_timeout_us));
     }
   }
   s.parked_waiters_.fetch_sub(1, std::memory_order_release);

@@ -1,0 +1,200 @@
+#pragma once
+
+// Compile-time lock discipline (DESIGN.md §15).
+//
+// Annotated synchronization wrappers for every *blocking* primitive in the
+// runtime, built on Clang's Thread Safety Analysis (Hutchins et al., "C/C++
+// Thread Safety Analysis" — the capability model behind -Wthread-safety).
+// The paper's non-blocking guarantees are proven elsewhere (src/model, the
+// atomics lint); this header disciplines the lock-based half of the system
+// — the parking lot, the dag-engine error slot, the metrics pump, the
+// fiber synchronization objects, and the mutex/spinlock reference deques —
+// so that a missing-lock field access or a condition wait without its
+// predicate mutex is a *compile error* under the `analyze` build mode
+// (-DABP_ANALYZE=ON, clang only) instead of a lost-wakeup hunt for the
+// watchdog.
+//
+// Conventions (enforced by tools/context_lint.py in every build):
+//   * no raw std::mutex / std::condition_variable / std::lock_guard /
+//     std::unique_lock outside this header — use sync::Mutex, sync::CondVar
+//     and sync::MutexLock so every acquisition is visible to the analysis;
+//   * every field a mutex guards carries ABP_GUARDED_BY(mu_);
+//   * every function called with a lock held carries ABP_REQUIRES(mu_)
+//     instead of a "requires mu_ held" comment;
+//   * CondVar waits name their predicate mutex (wait(mu, pred)), which the
+//     REQUIRES annotation checks at every call site.
+//
+// The macros expand to nothing on non-clang compilers (and on clang
+// versions without the capability attribute), so gcc builds are
+// byte-identical to the unannotated code.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "support/backoff.hpp"
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ABP_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ABP_THREAD_ANNOTATION
+#define ABP_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// A type that acts as a lock: its instances are capability expressions.
+#define ABP_CAPABILITY(name) ABP_THREAD_ANNOTATION(capability(name))
+// A RAII type whose constructor acquires and destructor releases.
+#define ABP_SCOPED_CAPABILITY ABP_THREAD_ANNOTATION(scoped_lockable)
+// Data members: may only be touched while holding the named capability.
+#define ABP_GUARDED_BY(x) ABP_THREAD_ANNOTATION(guarded_by(x))
+#define ABP_PT_GUARDED_BY(x) ABP_THREAD_ANNOTATION(pt_guarded_by(x))
+// Functions: caller must hold / must not hold the named capabilities.
+#define ABP_REQUIRES(...) \
+  ABP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ABP_EXCLUDES(...) ABP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Functions that acquire / release capabilities as a side effect.
+#define ABP_ACQUIRE(...) \
+  ABP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ABP_RELEASE(...) \
+  ABP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ABP_TRY_ACQUIRE(...) \
+  ABP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Escape hatch for protocols the analysis cannot express (cross-context
+// lock hand-off in the fiber scheduler). Every use carries a comment
+// naming the dynamic argument that replaces the static one.
+#define ABP_NO_THREAD_SAFETY_ANALYSIS \
+  ABP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace abp::sync {
+
+// Annotated std::mutex. Prefer MutexLock over manual lock()/unlock(); the
+// manual pair exists for protocols (chaos engine generation rebind) where
+// a scoped region is impossible.
+class ABP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ABP_ACQUIRE() { mu_.lock(); }
+  void unlock() ABP_RELEASE() { mu_.unlock(); }
+  bool try_lock() ABP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// Scoped acquisition (the lock_guard/unique_lock replacement). The
+// analysis credits the constructor with acquiring `mu` and the destructor
+// with releasing it, so guarded fields are writable exactly within the
+// lexical scope of the lock object.
+class ABP_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ABP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ABP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Annotated condition variable. Every wait names its predicate mutex, and
+// ABP_REQUIRES(mu) makes "cv.wait without the predicate lock held" — the
+// classic lost-wakeup seed — a compile error at the call site. Backed by
+// condition_variable_any waiting on the wrapped std::mutex directly: the
+// waits live on control-plane and parking slow paths, where the
+// (historically minor) size/speed edge of plain condition_variable is
+// irrelevant next to the checked discipline.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) ABP_REQUIRES(mu) { cv_.wait(mu.mu_); }
+
+  // Predicate forms. The wrapper lambda is exempt from analysis: the
+  // predicate runs with `mu` held (the cv re-acquires before each check),
+  // but that fact is dynamic — callers annotate their predicate with
+  // ABP_REQUIRES(mu) and the analysis checks its *body* at the definition
+  // site instead.
+  template <typename Pred>
+  void wait(Mutex& mu, Pred pred) ABP_REQUIRES(mu) {
+    cv_.wait(mu.mu_,
+             [&]() ABP_NO_THREAD_SAFETY_ANALYSIS { return pred(); });
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      ABP_REQUIRES(mu) {
+    return cv_.wait_for(mu.mu_, d);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& d,
+                Pred pred) ABP_REQUIRES(mu) {
+    return cv_.wait_for(
+        mu.mu_, d, [&]() ABP_NO_THREAD_SAFETY_ANALYSIS { return pred(); });
+  }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+// Annotated test-and-set spinlock (a TRY_ACQUIRE capability): the 1998-era
+// user-level lock of the spinlock reference deque, and the fiber layer's
+// wait-list guard. Exposed here so both carry the same capability type —
+// the fiber scheduler's cross-context hand-off (lock released by the
+// worker *after* the blocked fiber swapped out) is annotated at the
+// hand-off functions themselves (fiber.cpp).
+class ABP_CAPABILITY("spinlock") SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept ABP_ACQUIRE() {
+    Backoff backoff;
+    while (flag_.test_and_set(std::memory_order_acquire)) backoff.pause();
+  }
+  // The honest 1990s variant: no backoff, pure test-and-set spin — the
+  // worst case under lock-holder preemption (spinlock_deque.hpp, E10).
+  void lock_unyielding() noexcept ABP_ACQUIRE() {
+    while (flag_.test_and_set(std::memory_order_acquire)) cpu_relax();
+  }
+  void unlock() noexcept ABP_RELEASE() {
+    flag_.clear(std::memory_order_release);
+  }
+  bool try_lock() noexcept ABP_TRY_ACQUIRE(true) {
+    return !flag_.test_and_set(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+// Scoped spinlock acquisition.
+class ABP_SCOPED_CAPABILITY SpinLockHolder {
+ public:
+  explicit SpinLockHolder(SpinLock& l) ABP_ACQUIRE(l) : lock_(l) {
+    lock_.lock();
+  }
+  ~SpinLockHolder() ABP_RELEASE() { lock_.unlock(); }
+
+  SpinLockHolder(const SpinLockHolder&) = delete;
+  SpinLockHolder& operator=(const SpinLockHolder&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace abp::sync

@@ -1,0 +1,72 @@
+// Thread-safety analysis fixture: the CLEAN side of the ablation pair
+// (tools/check_thread_safety.py). Pulls the annotated runtime headers in
+// and exercises correct lock discipline; it must compile with zero
+// -Wthread-safety diagnostics under Clang. The violation_*.cpp siblings
+// seed one discipline break each and must be rejected — together they
+// prove the analysis is actually looking, not silently disabled.
+
+#include "deque/mutex_deque.hpp"
+#include "deque/spinlock_deque.hpp"
+#include "fiber/channel.hpp"
+#include "obs/pump.hpp"
+#include "obs/seqlock.hpp"
+#include "runtime/scheduler.hpp"
+#include "support/sync.hpp"
+
+// Instantiate the templates so their method bodies reach the analysis.
+template class abp::deque::MutexDeque<int>;
+template class abp::deque::SpinlockDeque<int>;
+template class abp::obs::Seqlock<abp::runtime::LiveWorkerSample>;
+
+namespace {
+
+struct Guarded {
+  abp::sync::Mutex mu;
+  abp::sync::CondVar cv;
+  int value ABP_GUARDED_BY(mu) = 0;
+  bool ready ABP_GUARDED_BY(mu) = false;
+
+  // Scoped acquisition covers the guarded writes.
+  void set(int v) {
+    abp::sync::MutexLock lock(mu);
+    value = v;
+    ready = true;
+  }
+
+  // The caller-holds contract, stated instead of re-locking.
+  int get_locked() const ABP_REQUIRES(mu) { return value; }
+
+  // CondVar waits under the lock, with the predicate annotated so its
+  // guarded reads check against the same capability.
+  int await() {
+    abp::sync::MutexLock lock(mu);
+    cv.wait(mu, [this]() ABP_REQUIRES(mu) { return ready; });
+    return get_locked();
+  }
+
+  // Manual lock/unlock balances on every path.
+  void bump() {
+    mu.lock();
+    ++value;
+    mu.unlock();
+  }
+
+  // try_lock: the guarded access sits inside the success branch only.
+  bool try_bump() {
+    if (mu.try_lock()) {
+      ++value;
+      mu.unlock();
+      return true;
+    }
+    return false;
+  }
+};
+
+[[maybe_unused]] void exercise() {
+  Guarded g;
+  g.set(7);
+  g.bump();
+  g.try_bump();
+}
+
+}  // namespace

@@ -1,0 +1,17 @@
+// Seeded ablation: a CondVar wait without holding the mutex it names.
+// CondVar::wait is annotated ABP_REQUIRES(mu), so calling it unlocked
+// must be rejected (tools/check_thread_safety.py).
+// expect-error: requires holding mutex
+
+#include "support/sync.hpp"
+
+struct Waiter {
+  abp::sync::Mutex mu;
+  abp::sync::CondVar cv;
+  bool ready ABP_GUARDED_BY(mu) = false;
+
+  void wait_unlocked() {
+    // Missing abp::sync::MutexLock lock(mu): must not compile.
+    cv.wait(mu, [this]() ABP_REQUIRES(mu) { return ready; });
+  }
+};

@@ -1,0 +1,15 @@
+// Seeded ablation: re-acquiring a mutex already held on the same path —
+// sync::Mutex is non-recursive, so this self-deadlocks at runtime and
+// the analysis must reject it (tools/check_thread_safety.py).
+// expect-error: already held
+
+#include "support/sync.hpp"
+
+struct Twice {
+  abp::sync::Mutex mu;
+
+  void lock_twice() {
+    abp::sync::MutexLock outer(mu);
+    abp::sync::MutexLock inner(mu);  // must not compile
+  }
+};

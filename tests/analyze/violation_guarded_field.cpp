@@ -1,0 +1,15 @@
+// Seeded ablation: a guarded field written without its mutex. The
+// analyze gate must reject this translation unit — if it compiles, the
+// thread-safety analysis is off (tools/check_thread_safety.py).
+// expect-error: requires holding mutex
+
+#include "support/sync.hpp"
+
+struct Account {
+  abp::sync::Mutex mu;
+  int balance ABP_GUARDED_BY(mu) = 0;
+
+  void deposit_unlocked(int v) {
+    balance += v;  // no MutexLock, no ABP_REQUIRES: must not compile
+  }
+};

@@ -1,0 +1,17 @@
+// Seeded ablation: a lock acquired and never released. The analysis
+// tracks capabilities to function exit, so the leak must be rejected
+// (tools/check_thread_safety.py).
+// expect-error: still held at the end of function
+
+#include "support/sync.hpp"
+
+struct Leaky {
+  abp::sync::Mutex mu;
+  int value ABP_GUARDED_BY(mu) = 0;
+
+  void leak() {
+    mu.lock();
+    ++value;
+    // missing mu.unlock(): must not compile
+  }
+};

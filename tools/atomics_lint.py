@@ -244,6 +244,23 @@ def lint_file(path: Path, rel: str, table, anchored_sites, errors):
                 f"{rel}: std::atomic outside {'/'.join(ALLOWED_ATOMIC_DIRS)} "
                 "without an `// atomics-lint: allow(<reason>)` waiver"
             )
+    # 2b. stale waivers: an allow(<reason>) in a directory that already
+    # permits std::atomic, or in a file that no longer uses any, excuses
+    # nothing — fail loudly so waivers cannot outlive the code they
+    # excused (the atomics may have moved behind the sync:: wrappers).
+    waiver_m = WAIVER.search(text)
+    if waiver_m is not None:
+        wline = text.count("\n", 0, waiver_m.start()) + 1
+        if rel.startswith(ALLOWED_ATOMIC_DIRS):
+            errors.append(
+                f"{rel}:{wline}: stale atomics-lint waiver: this directory "
+                "already allows std::atomic — delete the allow(...) comment"
+            )
+        elif "std::atomic" not in blanked:
+            errors.append(
+                f"{rel}:{wline}: stale atomics-lint waiver: the file uses "
+                "no std::atomic — delete the allow(...) comment"
+            )
 
     if not rel.startswith("src/deque"):
         return
@@ -333,6 +350,15 @@ struct ScratchDeque {
 };
 """
 
+# A file whose waiver outlived its atomics: nothing left to excuse, so
+# the stale-waiver rule must reject it.
+SELF_TEST_STALE_WAIVER = """\
+// atomics-lint: allow(counters that were since migrated to sync::Mutex)
+struct NoAtomicsLeft {
+  int plain_counter = 0;
+};
+"""
+
 
 def self_test() -> int:
     """The lint must reject SELF_TEST_SOURCE; a lint that waves it through
@@ -347,10 +373,19 @@ def self_test() -> int:
         scratch.write_text(SELF_TEST_SOURCE)
         lint_file(scratch, "src/deque/scratch_selftest.hpp", table, set(),
                   errors)
+        stale = Path(tmp) / "scratch_stale.hpp"
+        stale.write_text(SELF_TEST_STALE_WAIVER)
+        # Outside the allowed dirs AND with no atomics left: stale.
+        lint_file(stale, "src/runtime/scratch_stale.hpp", table, set(),
+                  errors)
+        # Inside an allowed dir a waiver is redundant by construction.
+        lint_file(stale, "src/obs/scratch_stale.hpp", table, set(), errors)
     expected = [
         ("implicit-order", "implicit memory_order_seq_cst"),
         ("chaos-coverage", "without a CHAOS_POINT"),
         ("model-drift", "without a `// model-site:` anchor"),
+        ("stale-waiver-no-atomics", "uses no std::atomic"),
+        ("stale-waiver-allowed-dir", "already allows std::atomic"),
     ]
     missing = [
         name for (name, needle) in expected

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Staleness check for the sanitizer suppression files.
+
+A suppression entry is a standing exemption from TSan/UBSan, and an
+entry that outlives the code it excused is how a real race or UB report
+gets silently swallowed forever. Every real entry in
+sanitizers/{tsan,ubsan}.supp must therefore:
+
+1. use a suppression kind the owning sanitizer understands (a typo'd
+   kind is accepted by the runtime as a never-matching pattern — the
+   worst failure mode, an entry that looks load-bearing and isn't);
+2. carry a justifying comment on the line(s) directly above it (the
+   files' own house rule: "a bare suppression is how real races hide");
+3. name something that still exists: the pattern's identifier-ish stem
+   must occur somewhere under src/ or tests/, so entries pointing at
+   deleted or renamed code fail the lint instead of rotting.
+
+Run from CI's sanitize jobs and the lint job:
+    tools/check_suppressions.py [--root DIR] [--self-test]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+TSAN_KINDS = frozenset({
+    "race", "race_top", "thread", "mutex", "signal", "deadlock",
+    "called_from_lib",
+})
+UBSAN_KINDS = frozenset({
+    "undefined", "alignment", "bool", "bounds", "enum",
+    "float-cast-overflow", "float-divide-by-zero", "function",
+    "integer-divide-by-zero", "nonnull-attribute", "null", "pointer-overflow",
+    "return", "returns-nonnull-attribute", "shift", "shift-base",
+    "shift-exponent", "signed-integer-overflow", "unreachable", "unsigned-integer-overflow",
+    "vla-bound", "vptr",
+})
+
+SUPP_FILES = [
+    (os.path.join("sanitizers", "tsan.supp"), TSAN_KINDS),
+    (os.path.join("sanitizers", "ubsan.supp"), UBSAN_KINDS),
+]
+
+# The pattern's longest identifier-ish run: for `race:GrowableDeque::grow`
+# that is `GrowableDeque`; for `called_from_lib:libgomp.so` it is
+# `libgomp`. Globs and separators split the stems.
+STEM_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]{2,}")
+
+
+def check_file(path: str, rel: str, kinds: frozenset,
+               source_text: str, errors: list) -> int:
+    """Lints one .supp file; returns the number of real entries."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except FileNotFoundError:
+        errors.append(f"{rel}: missing — CI points the sanitizers at it")
+        return 0
+    entries = 0
+    prev_comment = False
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            prev_comment = False
+            continue
+        if line.startswith("#"):
+            prev_comment = True
+            continue
+        entries += 1
+        if ":" not in line:
+            errors.append(f"{rel}:{lineno}: malformed entry '{line}' — "
+                          "expected kind:pattern")
+            prev_comment = False
+            continue
+        kind, pattern = line.split(":", 1)
+        if kind not in kinds:
+            errors.append(
+                f"{rel}:{lineno}: unknown suppression kind '{kind}' — the "
+                "sanitizer would accept it as a never-matching entry "
+                f"(known: {', '.join(sorted(kinds))})")
+        if not prev_comment:
+            errors.append(
+                f"{rel}:{lineno}: entry '{line}' has no justifying comment "
+                "on the line above — cite the report and why it is benign")
+        stems = STEM_RE.findall(pattern)
+        if stems and not any(stem in source_text for stem in stems):
+            errors.append(
+                f"{rel}:{lineno}: stale entry '{line}' — none of "
+                f"{stems} occurs under src/ or tests/; the code it "
+                "excused is gone, delete the entry")
+        prev_comment = False
+    return entries
+
+
+def gather_sources(root: str) -> str:
+    chunks = []
+    for sub in ("src", "tests"):
+        base = os.path.join(root, sub)
+        for dirpath, _dirs, files in os.walk(base):
+            for fn in files:
+                if fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    with open(os.path.join(dirpath, fn),
+                              encoding="utf-8") as f:
+                        chunks.append(f.read())
+    return "\n".join(chunks)
+
+
+def run(root: str) -> list:
+    errors: list = []
+    source_text = gather_sources(root)
+    total = 0
+    for rel, kinds in SUPP_FILES:
+        total += check_file(os.path.join(root, rel), rel, kinds,
+                            source_text, errors)
+    if not errors:
+        print(f"check_suppressions: clean ({total} live suppression "
+              "entr{}, both files well-formed)".format(
+                  "y" if total == 1 else "ies"))
+    return errors
+
+
+SELF_TEST_TSAN = """\
+# A justified entry naming code that exists: must pass.
+# Report 2026-07-30: benign publish/read pair, see DESIGN.md.
+race:GrowableDeque
+
+race:FunctionThatNeverExisted_xq9
+
+# kind typo'd: 'races' is not a TSan suppression kind.
+races:GrowableDeque
+"""
+
+SELF_TEST_UBSAN = """\
+# Justified but stale: the symbol is gone.
+alignment:RemovedHelper_zz41
+"""
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        os.makedirs(os.path.join(tmp, "sanitizers"))
+        os.makedirs(os.path.join(tmp, "src"))
+        os.makedirs(os.path.join(tmp, "tests"))
+        with open(os.path.join(tmp, "src", "code.hpp"), "w",
+                  encoding="utf-8") as f:
+            f.write("class GrowableDeque {};\n")
+        with open(os.path.join(tmp, "sanitizers", "tsan.supp"), "w",
+                  encoding="utf-8") as f:
+            f.write(SELF_TEST_TSAN)
+        with open(os.path.join(tmp, "sanitizers", "ubsan.supp"), "w",
+                  encoding="utf-8") as f:
+            f.write(SELF_TEST_UBSAN)
+        errors = run(tmp)
+    expected = [
+        ("uncommented entry", lambda e: "no justifying comment" in e and
+         "FunctionThatNeverExisted_xq9" in e),
+        ("stale entry", lambda e: "stale entry" in e and
+         "FunctionThatNeverExisted_xq9" in e),
+        ("unknown kind", lambda e: "unknown suppression kind 'races'" in e),
+        ("stale ubsan entry", lambda e: "stale entry" in e and
+         "RemovedHelper_zz41" in e),
+    ]
+    failures = [label for label, pred in expected
+                if not any(pred(e) for e in errors)]
+    for e in errors:
+        if "race:GrowableDeque" in e and "races" not in e:
+            failures.append(f"false positive on the good entry: {e}")
+    if failures:
+        print("check_suppressions self-test FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  missing/unexpected: {f_}", file=sys.stderr)
+        for e in errors:
+            print(f"  (reported: {e})", file=sys.stderr)
+        return 1
+    print(f"check_suppressions self-test OK ({len(errors)} seeded "
+          "violations rejected, good entry passed)")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    errors = run(args.root)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_suppressions: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Clang thread-safety ablation gate (DESIGN.md §15).
+
+Drives the fixture pair in tests/analyze/: the clean.cpp side must
+compile with zero -Wthread-safety diagnostics, and every
+violation_*.cpp must FAIL to compile with the diagnostic its
+`// expect-error: <substring>` header names. Running both directions
+proves the analysis is live — a gate that only checks the clean side
+cannot tell "no violations" from "analysis silently off" (the
+annotation macros expand to nothing on non-Clang compilers, so that
+failure mode is one misconfigured toolchain away).
+
+Registered as the `analyze` ctest label in Clang builds; the CI analyze
+job runs it after the -Werror=thread-safety build of the whole tree.
+
+Usage: tools/check_thread_safety.py --compiler clang++-18 [--root DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import re
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(r"//\s*expect-error:\s*(.+?)\s*$", re.MULTILINE)
+
+BASE_FLAGS = [
+    "-std=c++20",
+    "-fsyntax-only",
+    "-Wthread-safety",
+    "-Wthread-safety-beta",
+    "-Werror=thread-safety",
+    "-Werror=thread-safety-beta",
+    "-Werror=thread-safety-analysis",
+    # The fixtures deliberately leave values unused.
+    "-Wno-unused",
+    "-DABP_TRACE_ENABLED=1",
+    "-DABP_CHAOS_ENABLED=0",
+]
+
+
+def compile_one(compiler: str, root: str, path: str):
+    cmd = [compiler] + BASE_FLAGS + ["-I", os.path.join(root, "src"), path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stderr
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--compiler", required=True,
+                    help="clang++ to drive (the analyze job pins a version)")
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    args = ap.parse_args()
+
+    probe = subprocess.run([args.compiler, "--version"],
+                           capture_output=True, text=True)
+    if probe.returncode != 0 or "clang" not in probe.stdout.lower():
+        print(f"check_thread_safety: '{args.compiler}' is not a working "
+              "clang — the thread-safety attributes expand to nothing "
+              "elsewhere, so this gate would prove nothing", file=sys.stderr)
+        return 2
+
+    fixtures = os.path.join(args.root, "tests", "analyze")
+    clean = sorted(glob.glob(os.path.join(fixtures, "clean*.cpp")))
+    violations = sorted(glob.glob(os.path.join(fixtures, "violation_*.cpp")))
+    if not clean or len(violations) < 3:
+        print(f"check_thread_safety: fixture set incomplete under "
+              f"{fixtures} ({len(clean)} clean, {len(violations)} "
+              "violations; need >=1 and >=3)", file=sys.stderr)
+        return 1
+
+    failures = []
+    for path in clean:
+        rel = os.path.relpath(path, args.root)
+        rc, err = compile_one(args.compiler, args.root, path)
+        if rc != 0:
+            failures.append(f"{rel}: clean fixture must compile "
+                            f"warning-free, got:\n{err}")
+        else:
+            print(f"  ok: {rel} compiles clean")
+
+    for path in violations:
+        rel = os.path.relpath(path, args.root)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        needles = EXPECT_RE.findall(text)
+        if not needles:
+            failures.append(f"{rel}: violation fixture carries no "
+                            "`// expect-error:` header")
+            continue
+        rc, err = compile_one(args.compiler, args.root, path)
+        if rc == 0:
+            failures.append(f"{rel}: seeded violation COMPILED — the "
+                            "thread-safety analysis is not rejecting it")
+            continue
+        for needle in needles:
+            if needle not in err:
+                failures.append(
+                    f"{rel}: rejected, but the diagnostic does not "
+                    f"mention '{needle}'; got:\n{err}")
+                break
+        else:
+            print(f"  ok: {rel} rejected "
+                  f"({'; '.join(repr(n) for n in needles)})")
+
+    if failures:
+        print("\n".join(failures), file=sys.stderr)
+        print(f"\ncheck_thread_safety: {len(failures)} failure(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_thread_safety: analysis is live ({len(clean)} clean "
+          f"fixture(s) pass, {len(violations)} seeded violations rejected)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,730 @@
+#!/usr/bin/env python3
+"""Lock-discipline and worker-context lint (DESIGN.md §15).
+
+Clang's thread-safety analysis (ABP_ANALYZE=ON) proves lock/data
+consistency, but it cannot express *scheduling-class* discipline: a
+worker executing or stealing jobs must never block, because a blocked
+worker is exactly the descheduled processor the ABP bounds charge for.
+This lint covers that gap, plus the hygiene that makes the Clang
+analysis sound in the first place. Three rules over src/:
+
+1. raw-primitive: std synchronization primitives (std::mutex,
+   std::condition_variable, std::lock_guard, ...) are banned outside
+   src/support/sync.hpp — every acquisition must go through the
+   annotated sync:: wrappers so -Wthread-safety sees it. File-level
+   waiver: `// context-lint: allow-raw(<reason>)`.
+
+2. worker-context blocking: functions reachable from job/steal context
+   — the ROOTS table below, plus any body marked
+   `// context-lint: worker-context(<name>)` (for worker lambdas) —
+   must not contain condition waits, sleeps, annotated-mutex
+   acquisition, thread joins, or I/O. Spinlock acquisition is
+   deliberately NOT a violation: the fiber layer and the reference
+   deques spin by design, and a bounded spin is not a scheduling-class
+   block. Intentional exceptions live in the WAIVERS table with a
+   reason; a waiver that no longer matches anything fails the lint.
+
+3. cv-discipline: every sync::CondVar wait call must either have taken
+   a sync::MutexLock on the mutex it names earlier in the same function
+   body, or sit in a function annotated ABP_REQUIRES(that mutex).
+
+Heuristic, not a compiler: function extraction is textual, and the call
+graph only follows callees whose name resolves to exactly one
+definition inside src/ (virtual dispatch and overload sets are skipped,
+which is why the hot-path roots are enumerated explicitly). The Clang
+analysis is the sound backstop for locking; this lint is the executable
+form of the "workers never block" invariant.
+
+Usage: tools/context_lint.py [--root DIR] [--self-test]
+Exits nonzero and prints one line per violation on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+SRC_DIR = "src"
+SYNC_HPP = os.path.join("src", "support", "sync.hpp")
+
+# ---------------------------------------------------------------------------
+# Rule tables.
+# ---------------------------------------------------------------------------
+
+RAW_PRIMITIVES = [
+    re.compile(
+        r"\bstd\s*::\s*(?:mutex|timed_mutex|recursive_mutex"
+        r"|recursive_timed_mutex|shared_mutex|shared_timed_mutex"
+        r"|condition_variable|condition_variable_any|lock_guard"
+        r"|unique_lock|scoped_lock|shared_lock)\b"),
+    re.compile(r"\bpthread_(?:mutex|cond|rwlock)_\w+"),
+]
+
+ALLOW_RAW_RE = re.compile(r"//\s*context-lint:\s*allow-raw\(([^)]*)\)")
+MARKER_RE = re.compile(r"//\s*context-lint:\s*worker-context\((["
+                       r"\w.]+)\)")
+
+# What counts as blocking in worker context. Order matters only for
+# message stability.
+BLOCKING = [
+    ("cv-wait", re.compile(r"\.\s*wait(?:_for|_until)?\s*\(")),
+    ("sleep", re.compile(r"\bsleep_(?:for|until)\s*\(")),
+    ("mutex-acquire", re.compile(r"\bMutexLock\b")),
+    ("thread-join", re.compile(r"\.\s*join\s*\(\s*\)")),
+    ("io", re.compile(r"\bstd\s*::\s*c(?:out|err|in)\b|\bf?printf\s*\("
+                      r"|\bfopen\s*\(|\bfstream\b|\bofstream\b"
+                      r"|\bifstream\b|\bsystem\s*\(")),
+]
+
+# Entry points of the job/steal context. Everything reachable from these
+# (through unambiguous calls) is held to the no-blocking rule. A root
+# that stops resolving is an error — the table must track the code.
+ROOTS = [
+    ("src/runtime/scheduler.hpp", "Worker::publish_live_now"),
+    ("src/runtime/scheduler.hpp", "Worker::maybe_publish_live"),
+    ("src/runtime/scheduler.hpp", "Worker::push"),
+    ("src/runtime/scheduler.hpp", "Worker::pop_bottom"),
+    ("src/runtime/scheduler.hpp", "Worker::try_steal"),
+    ("src/runtime/scheduler.hpp", "Worker::execute"),
+    ("src/runtime/scheduler.hpp", "Worker::yield_between_steals"),
+    ("src/runtime/scheduler.hpp", "TaskGroup::spawn"),
+    ("src/runtime/scheduler.hpp", "TaskGroup::drain"),
+    ("src/runtime/scheduler.hpp", "TaskGroup::on_complete"),
+    ("src/runtime/scheduler.hpp", "TaskGroup::park"),
+    ("src/runtime/scheduler.hpp", "TaskGroup::wait"),
+    ("src/runtime/scheduler.hpp", "Scheduler::notify_parked"),
+    ("src/runtime/scheduler.cpp", "Scheduler::work_loop"),
+    ("src/runtime/dag_engine.cpp", "dag_engine.worker_fn"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::worker_loop"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::allocate"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::spawn"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::join"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::make_ready"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::block_current"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::trampoline_lo"),
+    ("src/fiber/fiber.cpp", "Semaphore::p"),
+    ("src/fiber/fiber.cpp", "Semaphore::v"),
+    ("src/fiber/fiber.cpp", "Event::wait"),
+    ("src/fiber/fiber.cpp", "Event::set"),
+    ("src/fiber/fiber.cpp", "FiberBarrier::arrive_and_wait"),
+    ("src/fiber/channel.hpp", "Channel::send"),
+    ("src/fiber/channel.hpp", "Channel::receive"),
+    ("src/fiber/channel.hpp", "Channel::take_"),
+]
+
+# Intentional blocking in worker context: (file, function, kind, why).
+# Every entry must suppress at least one finding or the lint fails, so
+# a waiver cannot outlive the code it excuses.
+WAIVERS = [
+    ("src/runtime/scheduler.hpp", "TaskGroup::park", "mutex-acquire",
+     "the designed parking slow path: only entered after "
+     "park_after_failed_steals consecutive failed steals"),
+    ("src/runtime/scheduler.hpp", "TaskGroup::park", "cv-wait",
+     "bounded park behind the lost-wakeup re-check protocol "
+     "(DESIGN.md resilience); the timeout restores non-blocking-ness"),
+    ("src/runtime/scheduler.hpp", "Worker::yield_between_steals",
+     "sleep",
+     "YieldPolicy::kSleep is the paper's yield discipline between "
+     "steal attempts, opt-in via SchedulerOptions::yield"),
+    ("src/runtime/scheduler.hpp", "Scheduler::notify_parked",
+     "mutex-acquire",
+     "empty critical section ordering a completion against an "
+     "in-flight park decision; never held across other work"),
+    ("src/runtime/dag_engine.cpp", "dag_engine.worker_fn", "sleep",
+     "YieldPolicy::kSleep between steal attempts, opt-in"),
+    ("src/runtime/dag_engine.cpp", "dag_engine.worker_fn",
+     "mutex-acquire",
+     "first-failure exception capture: at most one acquisition per "
+     "run, on the path that tears the run down anyway"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::worker_loop", "sleep",
+     "YieldPolicy::kSleep between steal attempts, opt-in"),
+    ("src/fiber/fiber.cpp", "FiberScheduler::allocate",
+     "mutex-acquire",
+     "spawn-path registry append, amortized against the stack "
+     "allocation it guards; never on the steal path"),
+]
+
+KEYWORDS = frozenset("""
+    if for while switch catch return sizeof alignof alignas decltype
+    static_assert new delete throw else do case default assert defined
+    noexcept operator and or not xor co_await co_return co_yield
+    requires static_cast dynamic_cast const_cast reinterpret_cast
+    typeid int bool void char auto double float long short unsigned
+    signed const constexpr template typename using namespace
+""".split())
+
+# Words allowed between a definition's ')' and its body '{'. Anything
+# else (an `if` after a statement macro, an operator, a ternary) means
+# the parenthesized thing was an expression, not a signature.
+TRAILER_WORDS = frozenset({"const", "noexcept", "override", "final",
+                           "mutable", "try"})
+
+
+# ---------------------------------------------------------------------------
+# Text utilities (same approach as tools/atomics_lint.py).
+# ---------------------------------------------------------------------------
+
+def blank_comments_and_strings(text: str) -> str:
+    """Replace comments and string/char literals with spaces.
+
+    Newlines survive so offsets and line numbers stay aligned with the
+    original text.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            chunk = text[i:j]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    j += 1
+                    break
+                if text[j] == "\n":  # unterminated; bail at EOL
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 2) + (quote if j > i + 1 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def match_delim(text: str, open_idx: int, open_ch: str, close_ch: str) -> int:
+    """Index of the delimiter closing text[open_idx], or -1."""
+    depth = 0
+    for i in range(open_idx, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def split_args(arg_text: str) -> list[str]:
+    """Split a call's argument text on top-level commas."""
+    args, depth, start = [], 0, 0
+    for i, c in enumerate(arg_text):
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth -= 1
+        elif c == "," and depth == 0:
+            args.append(arg_text[start:i])
+            start = i + 1
+    tail = arg_text[start:]
+    if tail.strip() or args:
+        args.append(tail)
+    return [a.strip() for a in args]
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+# ---------------------------------------------------------------------------
+# Function extraction.
+# ---------------------------------------------------------------------------
+
+class Function:
+    __slots__ = ("rel", "name", "sig_start", "body_start", "body_end")
+
+    def __init__(self, rel, name, sig_start, body_start, body_end):
+        self.rel = rel
+        self.name = name          # as written: qualified for out-of-class
+        self.sig_start = sig_start
+        self.body_start = body_start  # index of the opening '{'
+        self.body_end = body_end      # index of the closing '}'
+
+    @property
+    def simple(self):
+        return self.name.rsplit("::", 1)[-1]
+
+
+IDENT_CHARS = set("abcdefghijklmnopqrstuvwxyz"
+                  "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_")
+
+
+def extract_functions(blanked: str, rel: str) -> list[Function]:
+    """Best-effort scan for function definitions (things with bodies)."""
+    funcs = []
+    for m in re.finditer(r"\(", blanked):
+        open_idx = m.start()
+        # Walk back over the identifier (possibly ::-qualified, maybe ~).
+        j = open_idx - 1
+        while j >= 0 and blanked[j] in " \t\n":
+            j -= 1
+        end = j + 1
+        while j >= 0 and (blanked[j] in IDENT_CHARS or
+                          blanked[j] == ":" or blanked[j] == "~"):
+            j -= 1
+        name = blanked[j + 1:end].strip(":").lstrip("~")
+        if not name or name[0].isdigit():
+            continue
+        if name.rsplit("::", 1)[-1] in KEYWORDS:
+            continue
+        # Member-access or chained calls are never definitions.
+        k = j
+        while k >= 0 and blanked[k] in " \t\n":
+            k -= 1
+        if k >= 0 and blanked[k] in ".)":
+            continue
+        if k >= 1 and blanked[k] == ">" and blanked[k - 1] == "-":
+            continue
+        close_idx = match_delim(blanked, open_idx, "(", ")")
+        if close_idx == -1:
+            continue
+        # Scan the trailer between ')' and the body '{' (or give up).
+        i = close_idx + 1
+        body_start = -1
+        in_init_list = False
+        limit = i + 600
+        while i < len(blanked) and i < limit:
+            c = blanked[i]
+            if c in " \t\n":
+                i += 1
+                continue
+            if c == "(":
+                j2 = match_delim(blanked, i, "(", ")")
+                if j2 == -1:
+                    break
+                i = j2 + 1
+                continue
+            if c == ";":
+                break  # declaration or plain call
+            if c == "{":
+                if in_init_list and blanked[i - 1] not in " \t\n)":
+                    # brace-init of a member inside the init list
+                    j2 = match_delim(blanked, i, "{", "}")
+                    if j2 == -1:
+                        break
+                    i = j2 + 1
+                    continue
+                body_start = i
+                break
+            if in_init_list:
+                i += 1
+                continue
+            if c == ":":
+                if i + 1 < len(blanked) and blanked[i + 1] == ":":
+                    i += 2
+                    continue
+                in_init_list = True
+                i += 1
+                continue
+            if c.isalpha() or c == "_":
+                m2 = re.match(r"\w+", blanked[i:])
+                word = m2.group(0)
+                if word not in TRAILER_WORDS and \
+                        not word.startswith("ABP_"):
+                    break  # e.g. an `if` after a statement macro
+                i += m2.end()
+                continue
+            if c in "-><&*,":
+                i += 1  # trailing-return arrows, ref-qualifiers
+                continue
+            break  # operators etc: an expression, not a definition
+        if body_start == -1:
+            continue
+        body_end = match_delim(blanked, body_start, "{", "}")
+        if body_end == -1:
+            continue
+        funcs.append(Function(rel, name, j + 1, body_start, body_end))
+    return funcs
+
+
+def extract_markers(raw: str, blanked: str, rel: str) -> list[Function]:
+    """Pseudo-functions from `// context-lint: worker-context(NAME)`."""
+    out = []
+    for m in MARKER_RE.finditer(raw):
+        brace = blanked.find("{", m.end())
+        if brace == -1:
+            raise SystemExit(
+                f"{rel}:{line_of(raw, m.start())}: worker-context marker "
+                "with no following body")
+        body_end = match_delim(blanked, brace, "{", "}")
+        if body_end == -1:
+            raise SystemExit(
+                f"{rel}:{line_of(raw, m.start())}: worker-context marker "
+                "body never closes")
+        out.append(Function(rel, m.group(1), m.start(), brace, body_end))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The lint proper.
+# ---------------------------------------------------------------------------
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*(?:::\w+)*)\s*\(")
+CV_DECL_RE = re.compile(r"\b(?:sync::)?CondVar\s+(\w+)\s*;")
+WAIT_CALL_RE = re.compile(r"\b(\w+)\s*\.\s*wait(?:_for|_until)?\s*(\()")
+REQUIRES_RE = re.compile(r"\bABP_REQUIRES\s*(\()")
+
+
+def norm(expr: str) -> str:
+    return re.sub(r"\s+", "", expr)
+
+
+def collect_sources(root: str) -> list[str]:
+    rels = []
+    src = os.path.join(root, SRC_DIR)
+    for dirpath, _dirnames, filenames in os.walk(src):
+        for fn in sorted(filenames):
+            if fn.endswith((".hpp", ".cpp", ".h", ".cc")):
+                rels.append(os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(rels)
+
+
+def run_lint(root: str, roots=None, waivers=None, errors=None) -> list[str]:
+    roots = ROOTS if roots is None else roots
+    waivers = WAIVERS if waivers is None else waivers
+    errors = [] if errors is None else errors
+
+    raw_by_rel, blanked_by_rel = {}, {}
+    for rel in collect_sources(root):
+        with open(os.path.join(root, rel), encoding="utf-8") as f:
+            raw = f.read()
+        raw_by_rel[rel] = raw
+        blanked_by_rel[rel] = blank_comments_and_strings(raw)
+
+    # ---- rule 1: raw primitives --------------------------------------
+    for rel, blanked in blanked_by_rel.items():
+        if rel.replace(os.sep, "/") == SYNC_HPP.replace(os.sep, "/"):
+            continue
+        raw = raw_by_rel[rel]
+        waiver = ALLOW_RAW_RE.search(raw)
+        hits = []
+        for rx in RAW_PRIMITIVES:
+            hits.extend(rx.finditer(blanked))
+        if hits and waiver is None:
+            for h in hits:
+                errors.append(
+                    f"{rel}:{line_of(blanked, h.start())}: raw-primitive: "
+                    f"'{h.group(0)}' — use the annotated sync:: wrappers "
+                    "(support/sync.hpp), or waive with "
+                    "// context-lint: allow-raw(<reason>)")
+        elif waiver is not None and not hits:
+            errors.append(
+                f"{rel}:{line_of(raw, waiver.start())}: stale waiver: "
+                "allow-raw but the file uses no raw primitives")
+
+    # ---- function index ----------------------------------------------
+    functions: list[Function] = []
+    for rel, blanked in blanked_by_rel.items():
+        if rel.replace(os.sep, "/") == SYNC_HPP.replace(os.sep, "/"):
+            continue
+        functions.extend(extract_functions(blanked, rel))
+        functions.extend(extract_markers(raw_by_rel[rel], blanked, rel))
+
+    by_simple: dict[str, list[Function]] = {}
+    by_full: dict[str, list[Function]] = {}
+    for fn in functions:
+        by_simple.setdefault(fn.simple, []).append(fn)
+        by_full.setdefault(fn.name, []).append(fn)
+
+    # ---- rule 2: worker-context closure ------------------------------
+    def root_candidates(rel: str, name: str) -> list[Function]:
+        simple = name.rsplit("::", 1)[-1]
+        return [fn for fn in by_simple.get(simple, [])
+                if fn.rel.replace(os.sep, "/") == rel and
+                (fn.name == name or "::" not in fn.name or
+                 fn.name.endswith("::" + simple))]
+
+    worklist: list[Function] = []
+    seen_fn: set[tuple] = set()
+    for rel, name in roots:
+        cands = root_candidates(rel, name)
+        if not cands:
+            errors.append(f"{rel}: worker-context root '{name}' not found "
+                          "— update ROOTS in tools/context_lint.py")
+            continue
+        for fn in cands:
+            key = (fn.rel, fn.name, fn.body_start)
+            if key not in seen_fn:
+                seen_fn.add(key)
+                worklist.append(fn)
+
+    used_waivers: set[int] = set()
+
+    def waived(fn: Function, kind: str) -> bool:
+        hit = False
+        for idx, (wrel, wfunc, wkind, _why) in enumerate(waivers):
+            if wkind != kind:
+                continue
+            if wrel != fn.rel.replace(os.sep, "/"):
+                continue
+            if wfunc == fn.name or \
+                    wfunc.rsplit("::", 1)[-1] == fn.simple:
+                used_waivers.add(idx)
+                hit = True
+        return hit
+
+    while worklist:
+        fn = worklist.pop()
+        blanked = blanked_by_rel[fn.rel]
+        body = blanked[fn.body_start + 1:fn.body_end]
+        for kind, rx in BLOCKING:
+            for m in rx.finditer(body):
+                if waived(fn, kind):
+                    continue
+                errors.append(
+                    f"{fn.rel}:{line_of(blanked, fn.body_start + 1 + m.start())}: "
+                    f"blocking-in-worker-context ({kind}): '{m.group(0).strip()}' "
+                    f"in {fn.name}, reachable from the job/steal path — "
+                    "workers must never block (add a WAIVERS entry only "
+                    "with a written justification)")
+        for m in CALL_RE.finditer(body):
+            name = m.group(1)
+            simple = name.rsplit("::", 1)[-1]
+            if simple in KEYWORDS or re.fullmatch(r"[A-Z0-9_]+", name):
+                continue
+            cands = by_full.get(name) if "::" in name else None
+            if not cands:
+                cands = by_simple.get(simple, [])
+                if len(cands) != 1:
+                    continue  # unresolvable or ambiguous: out of scope
+            if len(cands) != 1:
+                continue
+            callee = cands[0]
+            key = (callee.rel, callee.name, callee.body_start)
+            if key not in seen_fn:
+                seen_fn.add(key)
+                worklist.append(callee)
+
+    for idx, (wrel, wfunc, wkind, _why) in enumerate(waivers):
+        if idx not in used_waivers:
+            errors.append(
+                f"{wrel}: stale waiver: ({wfunc}, {wkind}) no longer "
+                "suppresses anything — delete it from WAIVERS")
+
+    # ---- rule 3: cv-discipline ---------------------------------------
+    cv_names: set[str] = set()
+    for rel, blanked in blanked_by_rel.items():
+        if rel.replace(os.sep, "/") == SYNC_HPP.replace(os.sep, "/"):
+            continue
+        for m in CV_DECL_RE.finditer(blanked):
+            cv_names.add(m.group(1))
+
+    fns_by_rel: dict[str, list[Function]] = {}
+    for fn in functions:
+        fns_by_rel.setdefault(fn.rel, []).append(fn)
+
+    for rel, blanked in blanked_by_rel.items():
+        if rel.replace(os.sep, "/") == SYNC_HPP.replace(os.sep, "/"):
+            continue
+        for m in WAIT_CALL_RE.finditer(blanked):
+            if m.group(1) not in cv_names:
+                continue
+            open_idx = m.start(2)
+            close_idx = match_delim(blanked, open_idx, "(", ")")
+            if close_idx == -1:
+                continue
+            args = split_args(blanked[open_idx + 1:close_idx])
+            if not args:
+                continue
+            mutex = norm(args[0])
+            enclosing = None
+            for fn in fns_by_rel.get(rel, []):
+                if fn.body_start < m.start() < fn.body_end:
+                    if enclosing is None or \
+                            (fn.body_end - fn.body_start) < \
+                            (enclosing.body_end - enclosing.body_start):
+                        enclosing = fn
+            ok = False
+            if enclosing is not None:
+                header = blanked[enclosing.sig_start:enclosing.body_start]
+                for rm in REQUIRES_RE.finditer(header):
+                    rclose = match_delim(header, rm.start(1), "(", ")")
+                    if rclose != -1 and mutex in \
+                            [norm(a) for a in
+                             split_args(header[rm.start(1) + 1:rclose])]:
+                        ok = True
+                before = blanked[enclosing.body_start:m.start()]
+                if re.search(r"\bMutexLock\s+\w+\s*\(\s*" +
+                             re.escape(mutex) + r"\s*\)", norm_ws(before)):
+                    ok = True
+            if not ok:
+                errors.append(
+                    f"{rel}:{line_of(blanked, m.start())}: cv-discipline: "
+                    f"{m.group(1)}.wait on '{args[0].strip()}' without a "
+                    "sync::MutexLock of that mutex in scope or an "
+                    "ABP_REQUIRES annotation on the enclosing function")
+    return errors
+
+
+def norm_ws(text: str) -> str:
+    """Collapse whitespace runs so multi-line guards still match."""
+    return re.sub(r"\s+", " ", text)
+
+
+# ---------------------------------------------------------------------------
+# Self-test.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_SCRATCH = """\
+#pragma once
+#include <chrono>
+#include <thread>
+#include "support/sync.hpp"
+
+namespace scratch {
+
+struct Widget {
+  sync::Mutex mu_;
+  sync::CondVar cv_;
+  bool ready_ = false;
+
+  void bad_wait() {
+    cv_.wait(mu_);  // neither holds mu_ nor declares ABP_REQUIRES
+  }
+  void good_wait() {
+    sync::MutexLock lk(mu_);
+    cv_.wait(mu_);
+  }
+  void annotated_wait() ABP_REQUIRES(mu_) { cv_.wait(mu_); }
+};
+
+struct Thief {
+  void try_steal() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  void execute() { helper(); }
+  void helper() { sync::MutexLock lk(mu_); }
+  sync::Mutex mu_;
+};
+
+inline void host() {
+  // context-lint: worker-context(scratch.lam)
+  auto lam = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  lam();
+}
+
+}  // namespace scratch
+"""
+
+SELF_TEST_RAW = """\
+#include <mutex>
+std::mutex bad_raw;  // must be flagged: raw primitive outside sync.hpp
+"""
+
+SELF_TEST_WAIVED_RAW = """\
+// context-lint: allow-raw(third-party interop fixture)
+#include <mutex>
+std::mutex tolerated;
+"""
+
+
+def self_test() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        scratch_dir = os.path.join(tmp, "src", "runtime")
+        os.makedirs(scratch_dir)
+        os.makedirs(os.path.join(tmp, "src", "support"))
+        with open(os.path.join(tmp, SYNC_HPP), "w", encoding="utf-8") as f:
+            f.write("#pragma once\n// excluded from scanning\n")
+        with open(os.path.join(scratch_dir, "scratch.hpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(SELF_TEST_SCRATCH)
+        with open(os.path.join(scratch_dir, "raw.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(SELF_TEST_RAW)
+        with open(os.path.join(scratch_dir, "waived_raw.cpp"), "w",
+                  encoding="utf-8") as f:
+            f.write(SELF_TEST_WAIVED_RAW)
+
+        roots = [
+            ("src/runtime/scratch.hpp", "Thief::try_steal"),
+            ("src/runtime/scratch.hpp", "Thief::execute"),
+            ("src/runtime/scratch.hpp", "scratch.lam"),
+        ]
+        waivers = [
+            ("src/runtime/scratch.hpp", "Thief::nonexistent", "sleep",
+             "bogus entry: must be reported stale"),
+        ]
+        errors = run_lint(tmp, roots=roots, waivers=waivers)
+
+        expectations = [
+            ("raw.cpp flagged", lambda e: "raw.cpp" in e and
+             "raw-primitive" in e),
+            ("bad_wait flagged", lambda e: "cv-discipline" in e and
+             ":14:" in e),
+            ("try_steal sleep flagged", lambda e:
+             "blocking-in-worker-context (sleep)" in e and
+             "try_steal" in e),
+            ("helper mutex flagged via closure", lambda e:
+             "blocking-in-worker-context (mutex-acquire)" in e and
+             "helper" in e),
+            ("marker lambda flagged", lambda e:
+             "blocking-in-worker-context (sleep)" in e and
+             "scratch.lam" in e),
+            ("stale waiver flagged", lambda e: "stale waiver" in e and
+             "Thief::nonexistent" in e),
+        ]
+        failures = []
+        for label, pred in expectations:
+            if not any(pred(e) for e in errors):
+                failures.append(f"self-test: missing expected error: {label}")
+        for e in errors:
+            if "good_wait" in e or "annotated_wait" in e:
+                failures.append(f"self-test: false positive: {e}")
+            if "waived_raw" in e:
+                failures.append(f"self-test: waived file flagged: {e}")
+        unexpected_kinds = [e for e in errors
+                            if "scratch" not in e and "raw.cpp" not in e
+                            and "Thief::nonexistent" not in e]
+        if unexpected_kinds:
+            failures.extend(f"self-test: unexpected error: {e}"
+                            for e in unexpected_kinds)
+        if failures:
+            print("\n".join(failures), file=sys.stderr)
+            print("\nall errors produced:", file=sys.stderr)
+            print("\n".join(f"  {e}" for e in errors), file=sys.stderr)
+            return 1
+        print(f"context_lint self-test OK ({len(errors)} expected errors "
+              "produced, no false positives)")
+        return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--self-test", action="store_true")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    errors = run_lint(args.root)
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        print(f"\ncontext_lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"context_lint: clean ({len(ROOTS)} worker-context roots, "
+          f"{len(WAIVERS)} active waivers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
