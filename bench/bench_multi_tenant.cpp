@@ -1,0 +1,361 @@
+// Experiment E29 — multi-tenant overload harness for the admission/
+// shedding plane (DESIGN.md §16). The paper's contract is that the work
+// stealer makes efficient use of whatever processors the kernel provides;
+// this harness asks the complementary service-level question: when the
+// *offered load* exceeds what those processors can absorb, does the
+// admission controller degrade gracefully — typed rejections, newest-first
+// shedding, bounded latency for what it does admit, and quota-protected
+// fairness across tenants — instead of collapsing into an unbounded queue?
+//
+// Method: an open-loop generator (requests arrive on an absolute schedule,
+// never back-pressured by completions — the arrival process a closed-loop
+// driver cannot produce) drives N tenants at a configured multiple of the
+// measured closed-loop capacity:
+//
+//   1. calibrate   — closed-loop blocking submits measure capacity (req/s)
+//   2. under (0.4x) — every admission completes, shed count must be 0
+//   3. over  (2.0x) — shedding engages; conservation, p99 and fairness gate
+//   4. chaos variants (ABP_CHAOS builds) — the same overload scenario under
+//      TenantBurst, WorkerSuspend and a replayed sim::ObliviousKernel
+//      adversary; the conservation identities must survive all of them.
+//
+// The `tenant-regression` table feeds tools/bench_regression.py (p99 and
+// shed fraction per scenario); METRICS_JSON / PROMETHEUS_* lines feed
+// tools/check_metrics_schema.py --require-tenant.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pump.hpp"
+#include "runtime/tenant/tenant_service.hpp"
+
+#if ABP_CHAOS_ENABLED
+#include "chaos/chaos.hpp"
+#include "chaos/kernel_replay.hpp"
+#include "chaos/policy.hpp"
+#include "sim/kernel.hpp"
+#endif
+
+namespace {
+
+using namespace abp;
+using namespace abp::runtime::tenant;
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+constexpr std::uint32_t kSpinNs = 200'000;  // per node: ~0.8 ms per request
+constexpr int kTenants = 4;
+
+RequestShape shape_for(int i) {
+  // Alternate the two dag families so both the fan-out/fan-in join path
+  // and the sequential pipeline path run under every load level.
+  return (i % 2 == 0) ? RequestShape{RequestKind::kFanOut, 4, kSpinNs}
+                      : RequestShape{RequestKind::kPipeline, 4, kSpinNs};
+}
+
+ServiceOptions make_options() {
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 64;
+  o.overload.enabled = true;
+  o.overload.poll_ms = 5;
+  o.overload.queue_high = 24;
+  o.overload.queue_low = 8;
+  o.overload.stale_p99_ms = 1.0;
+  // 10 polls = 50 ms of sustained backlog before the shedder engages: a
+  // transient stall (sanitizer slowdown, a preempted worker on a loaded
+  // host) must ride out as queueing, not shedding — only genuinely
+  // sustained overload may shed, or the under-capacity shed==0 verdict
+  // would be at the mercy of the runner lottery.
+  o.overload.sustain_polls = 10;
+  return o;
+}
+
+// Closed-loop calibration: two blocking submitters keep the pool saturated
+// for `dur`; capacity is the completion rate they achieve. The overload
+// scenarios are expressed as multiples of this number so the harness lands
+// at the same operating point on fast and slow machines alike.
+double calibrate_capacity_hz(bool quick) {
+  ServiceOptions o = make_options();
+  o.overload.enabled = false;  // calibration must never shed
+  TenantService svc(o);
+  const TenantId t = svc.register_tenant("calibrate", {32, 1});
+  svc.start();
+
+  const auto dur = milliseconds(quick ? 200 : 400);
+  std::atomic<bool> stop{false};
+  auto closed_loop = [&svc, &stop, t] {
+    int i = 0;
+    while (!stop.load(std::memory_order_acquire))
+      (void)svc.submit_blocking(t, shape_for(i++), milliseconds(50));
+  };
+  const auto t0 = Clock::now();
+  std::thread a(closed_loop), b(closed_loop);
+  std::this_thread::sleep_for(dur);
+  stop.store(true, std::memory_order_release);
+  a.join();
+  b.join();
+  (void)svc.drain(milliseconds(10'000));
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  const TenantSnapshot snap = svc.snapshot(t);
+  (void)svc.shutdown(milliseconds(5'000));
+  const double hz = static_cast<double>(snap.completed) / secs;
+  return hz < 50.0 ? 50.0 : hz;  // floor: keep the pacers sane on any host
+}
+
+struct RunOutcome {
+  std::vector<TenantSnapshot> snaps;   // taken after drain, pre-shutdown
+  abp::runtime::tenant::ShutdownReport report;
+  std::vector<std::string> metrics_lines;
+  std::string prom;
+  double duration_s = 0.0;
+};
+
+// One open-loop scenario: `kTenants` pacer threads each submit on an
+// absolute schedule at `per_tenant_hz` for `dur` (sleep_until, so a pacer
+// that falls behind catches up with a burst — arrivals are never throttled
+// by the service). Returns everything the caller needs to judge it.
+RunOutcome run_open_loop(double per_tenant_hz, milliseconds dur,
+                         bool with_pump) {
+  TenantService svc(make_options());
+  std::vector<TenantId> ids;
+  for (int i = 0; i < kTenants; ++i)
+    ids.push_back(svc.register_tenant("tenant-" + std::to_string(i),
+                                      {16, 1}));
+  svc.start();
+
+  obs::MetricsPump::Options popts;
+  popts.interval_ms = 20;
+  obs::MetricsPump pump(
+      [&svc] {
+        std::vector<obs::MetricPoint> v = svc.scheduler().live_sample();
+        std::vector<obs::MetricPoint> tv = svc.live_sample();
+        v.insert(v.end(), tv.begin(), tv.end());
+        return v;
+      },
+      popts);
+  if (with_pump) pump.start();
+
+  const auto interval = std::chrono::nanoseconds(
+      static_cast<std::uint64_t>(1e9 / per_tenant_hz));
+  const int n = static_cast<int>(
+      std::chrono::duration<double>(dur).count() * per_tenant_hz);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pacers;
+  for (int p = 0; p < kTenants; ++p) {
+    pacers.emplace_back([&svc, &ids, t0, interval, n, p] {
+      for (int i = 0; i < n; ++i) {
+        std::this_thread::sleep_until(t0 + i * interval);
+        (void)svc.submit(ids[p], shape_for(i));
+      }
+    });
+  }
+  for (std::thread& t : pacers) t.join();
+
+  RunOutcome out;
+  (void)svc.drain(milliseconds(30'000));
+  out.duration_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  out.snaps = svc.snapshot_all();
+  if (with_pump) {
+    pump.stop();
+    pump.pump_once();
+    out.metrics_lines = pump.stream().drain();
+    out.prom = svc.scheduler().prometheus_text() + svc.prometheus_text();
+  }
+  out.report = svc.shutdown(milliseconds(10'000));
+  return out;
+}
+
+struct Judged {
+  std::uint64_t offered = 0, admitted = 0, completed = 0, shed = 0,
+                rejected = 0;
+  double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0;
+  double shed_frac = 0.0;
+  double fairness = 0.0;  // max/min completed per unit weight
+  bool conserved = false;
+};
+
+Judged judge(const RunOutcome& r) {
+  Judged j;
+  obs::LatencyHistogram agg;
+  double min_share = -1.0, max_share = 0.0;
+  for (const TenantSnapshot& s : r.snaps) {
+    j.offered += s.submitted;
+    j.admitted += s.admitted;
+    j.completed += s.completed;
+    j.shed += s.shed;
+    j.rejected += s.rejected_tenant_quota + s.rejected_global +
+                  s.rejected_stopped + s.timed_out;
+    agg.merge(s.latency);
+    const double share = static_cast<double>(s.completed) /
+                         static_cast<double>(s.weight == 0 ? 1 : s.weight);
+    if (min_share < 0.0 || share < min_share) min_share = share;
+    if (share > max_share) max_share = share;
+  }
+  j.p50_ms = agg.percentile(50.0) / 1e6;
+  j.p95_ms = agg.percentile(95.0) / 1e6;
+  j.p99_ms = agg.percentile(99.0) / 1e6;
+  j.shed_frac = j.admitted == 0
+                    ? 0.0
+                    : static_cast<double>(j.shed) /
+                          static_cast<double>(j.admitted);
+  j.fairness = min_share > 0.0 ? max_share / min_share : 0.0;
+  j.conserved = r.report.drained && r.report.consistent;
+  for (const TenantRow& row : r.report.tenants)
+    j.conserved =
+        j.conserved && row.partitions_ok() && row.abandoned_total() == 0;
+  return j;
+}
+
+void emit_per_tenant(const std::string& title, const RunOutcome& r,
+                     bool csv) {
+  Table t(title, {"tenant", "offered", "admitted", "completed",
+                         "shed", "rejected", "p50 ms", "p95 ms", "p99 ms"});
+  for (const TenantSnapshot& s : r.snaps) {
+    t.add_row(
+        {s.name, Table::integer((long long)s.submitted),
+         Table::integer((long long)s.admitted),
+         Table::integer((long long)s.completed),
+         Table::integer((long long)s.shed),
+         Table::integer((long long)(s.rejected_tenant_quota +
+                                           s.rejected_global +
+                                           s.rejected_stopped + s.timed_out)),
+         Table::num(s.latency.percentile(50.0) / 1e6, 2),
+         Table::num(s.latency.percentile(95.0) / 1e6, 2),
+         Table::num(s.latency.percentile(99.0) / 1e6, 2)});
+  }
+  bench::emit(t, csv);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = bench::csv_mode(argc, argv);
+  const bool quick = bench::quick_mode(argc, argv);
+  bench::banner("E29: bench_multi_tenant",
+                "multi-tenant overload SLO harness (DESIGN.md §16)",
+                "under open-loop overload the admission plane sheds via "
+                "typed statuses only (admitted == completed + shed), keeps "
+                "admitted-request p99 bounded and quota-fair across "
+                "tenants; under capacity it sheds nothing");
+
+  const double capacity_hz = calibrate_capacity_hz(quick);
+  std::printf("calibrated closed-loop capacity: %.0f req/s\n", capacity_hz);
+
+  const milliseconds run_dur(quick ? 500 : 1200);
+  const double under_hz = 0.4 * capacity_hz / kTenants;
+  const double over_hz = 2.0 * capacity_hz / kTenants;
+
+  // --- scenario 1: under capacity -----------------------------------------
+  const RunOutcome under = run_open_loop(under_hz, run_dur, false);
+  const Judged ju = judge(under);
+  emit_per_tenant("Per-tenant outcome (under-capacity, 0.4x)", under, csv);
+  bench::verdict(ju.shed == 0,
+                 "under-capacity run sheds nothing (shed == 0)");
+  bench::verdict(ju.conserved,
+                 "under-capacity conservation: submitted == admitted + "
+                 "rejected, admitted == completed + shed, none abandoned");
+
+  // --- scenario 2: sustained overload (with the live metrics plane) -------
+  const RunOutcome over = run_open_loop(over_hz, run_dur, true);
+  const Judged jo = judge(over);
+  emit_per_tenant("Per-tenant outcome (overload, 2.0x)", over, csv);
+
+  Table summary("Open-loop load summary",
+                       {"scenario", "offered req/s", "admitted", "completed",
+                        "shed", "rejected", "p99 ms", "fairness max/min"});
+  summary.add_row({"under-capacity (0.4x)",
+                   Table::num(under_hz * kTenants, 0),
+                   Table::integer((long long)ju.admitted),
+                   Table::integer((long long)ju.completed),
+                   Table::integer((long long)ju.shed),
+                   Table::integer((long long)ju.rejected),
+                   Table::num(ju.p99_ms, 2),
+                   Table::num(ju.fairness, 2)});
+  summary.add_row({"overload (2.0x)",
+                   Table::num(over_hz * kTenants, 0),
+                   Table::integer((long long)jo.admitted),
+                   Table::integer((long long)jo.completed),
+                   Table::integer((long long)jo.shed),
+                   Table::integer((long long)jo.rejected),
+                   Table::num(jo.p99_ms, 2),
+                   Table::num(jo.fairness, 2)});
+  bench::emit(summary, csv);
+
+  // Regression rows for tools/bench_regression.py (lower is better for
+  // both); thresholds are generous because both metrics are timing-driven
+  // on shared runners.
+  Table reg("tenant-regression", {"scenario", "p99_ms", "shed_frac"});
+  reg.add_row({"overload", Table::num(jo.p99_ms, 3),
+               Table::num(jo.shed_frac, 4)});
+  reg.add_row({"under-capacity", Table::num(ju.p99_ms, 3),
+               Table::num(ju.shed_frac, 4)});
+  bench::emit(reg, csv);
+
+  bench::verdict(jo.shed > 0,
+                 "overload run engages the shedder (shed > 0, every shed "
+                 "a typed CancelReason::kOverload outcome)");
+  bench::verdict(jo.conserved,
+                 "overload conservation: admitted == completed + shed per "
+                 "tenant, nothing lost or double-finalized");
+  bench::verdict(jo.p99_ms > 0.0 && jo.p99_ms < 1500.0,
+                 "admitted-request p99 stays bounded under 2x overload "
+                 "(< 1500 ms)");
+  bench::verdict(jo.fairness > 0.0 && jo.fairness < 4.0,
+                 "per-unit-weight completion share stays within 4x across "
+                 "equally loaded tenants");
+
+  // --- live metrics plane from the overload run ---------------------------
+  for (const std::string& line : over.metrics_lines)
+    std::printf("METRICS_JSON %s\n", line.c_str());
+  std::printf("PROMETHEUS_BEGIN\n%sPROMETHEUS_END\n", over.prom.c_str());
+
+#if ABP_CHAOS_ENABLED
+  // --- scenario 3: the same overload point under seeded adversaries -------
+  const milliseconds chaos_dur(quick ? 250 : 400);
+  {
+    chaos::TenantBurstPolicy::Config cfg;
+    cfg.p_admit = 0.2;
+    cfg.p_requeue = 0.5;
+    cfg.p_shed = 0.5;
+    chaos::ChaosScope scope(std::make_shared<chaos::TenantBurstPolicy>(cfg),
+                            0xE29u);
+    const Judged j = judge(run_open_loop(over_hz, chaos_dur, false));
+    bench::verdict(j.conserved && j.admitted > 0,
+                   "conservation holds under the TenantBurst adversary");
+  }
+  {
+    chaos::WorkerSuspendPolicy::Config cfg;
+    cfg.p_suspend = 0.02;
+    cfg.min_us = 1;
+    cfg.max_us = 300;
+    chaos::ChaosScope scope(
+        std::make_shared<chaos::WorkerSuspendPolicy>(cfg), 0x5105u);
+    const Judged j = judge(run_open_loop(over_hz, chaos_dur, false));
+    bench::verdict(j.conserved && j.admitted > 0,
+                   "conservation holds under the WorkerSuspend adversary");
+  }
+  {
+    // The paper's oblivious kernel, captured from sim::Kernel and replayed
+    // as stalls against the real pool while tenants keep arriving.
+    sim::ObliviousKernel kernel(4, sim::periodic_profile(3, 4, 1, 3), 0xE29);
+    auto policy = chaos::make_kernel_replay(kernel, /*rounds=*/256,
+                                            /*hits_per_round=*/64);
+    chaos::ChaosScope scope(policy, 0x0b11u);
+    const Judged j = judge(run_open_loop(over_hz, chaos_dur, false));
+    bench::verdict(j.conserved && j.admitted > 0,
+                   "conservation holds under a replayed oblivious kernel");
+  }
+#endif
+
+  return 0;
+}

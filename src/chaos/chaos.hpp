@@ -158,6 +158,12 @@ class ChaosScope {
 //                                     (the lost-wakeup window wait() parks
 //                                     against)
 //   taskgroup.wait.pre_park         — waiter registered, not yet parked
+//   tenant.admit.check              — submitter at admission entry, budgets
+//                                     not yet inspected (runtime/tenant)
+//   tenant.submit.requeue           — blocking submitter woken, admission
+//                                     not yet retried (capacity-steal race)
+//   tenant.shed.select              — shedder chose a victim, shed CAS not
+//                                     yet issued (slot-reuse race)
 #if ABP_CHAOS_ENABLED
 #define CHAOS_POINT(name)                                      \
   do {                                                         \

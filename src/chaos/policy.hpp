@@ -253,4 +253,73 @@ class KernelReplayPolicy final : public Policy {
   std::atomic<std::uint64_t> step_{0};
 };
 
+// Tenant burst adversary (DESIGN.md §16): stalls the multi-tenant
+// admission plane at its three named windows —
+//
+//   tenant.admit.check    — a submitter about to take the admission lock
+//                           (stall here and quota checks pile up behind a
+//                           stale view of the budgets)
+//   tenant.submit.requeue — a blocking submitter between its futex wake
+//                           and its admission retry (the window where a
+//                           rival submitter steals the freed capacity)
+//   tenant.shed.select    — the shedder between sampling a victim's
+//                           admit_seq and its shed CAS (the slot-reuse
+//                           race the seq re-check defends)
+//
+// Each window has its own injection probability so tests can aim the
+// burst; actions are spins (admit/shed — cheap, tight interleavings) and
+// sleeps (requeue — models a de-scheduled submitter).
+class TenantBurstPolicy final : public Policy {
+ public:
+  struct Config {
+    double p_admit = 0.2;
+    double p_requeue = 0.5;
+    double p_shed = 0.5;
+    std::uint32_t max_spins = 512;
+    std::uint32_t max_sleep_us = 200;
+  };
+
+  TenantBurstPolicy() : TenantBurstPolicy(Config()) {}
+  explicit TenantBurstPolicy(Config cfg) : cfg_(cfg) {}
+
+  Decision decide(PointId point, std::uint64_t, std::uint64_t,
+                  Xoshiro256& rng) override {
+    if (matches(admit_, "tenant.admit.check", point)) {
+      if (!rng.chance(cfg_.p_admit)) return {};
+      return {Action::kSpin,
+              static_cast<std::uint32_t>(rng.range(1, cfg_.max_spins))};
+    }
+    if (matches(requeue_, "tenant.submit.requeue", point)) {
+      if (!rng.chance(cfg_.p_requeue)) return {};
+      return {Action::kSleep,
+              static_cast<std::uint32_t>(rng.range(1, cfg_.max_sleep_us))};
+    }
+    if (matches(shed_, "tenant.shed.select", point)) {
+      if (!rng.chance(cfg_.p_shed)) return {};
+      return {Action::kSpin,
+              static_cast<std::uint32_t>(rng.range(1, cfg_.max_spins))};
+    }
+    return {};
+  }
+
+  const char* name() const noexcept override { return "tenant-burst"; }
+
+ private:
+  // Same lazy interning as TargetedPolicy, one cache per target point.
+  static bool matches(std::atomic<PointId>& cache, const char* name,
+                      PointId point) {
+    PointId cached = cache.load(std::memory_order_relaxed);
+    if (cached != kInvalidPoint) return point == cached;
+    const PointId found = find_point(name);
+    if (found == kInvalidPoint) return false;
+    cache.store(found, std::memory_order_relaxed);
+    return point == found;
+  }
+
+  Config cfg_;
+  std::atomic<PointId> admit_{kInvalidPoint};
+  std::atomic<PointId> requeue_{kInvalidPoint};
+  std::atomic<PointId> shed_{kInvalidPoint};
+};
+
 }  // namespace abp::chaos

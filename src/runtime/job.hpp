@@ -51,6 +51,12 @@ struct alignas(kCacheLineSize) Job {
   std::uint64_t provenance = 0;
 #endif
   bool pooled = false;         // false for stack-allocated root jobs
+  // Detached jobs (src/runtime/tenant, DESIGN.md §16) have no TaskGroup
+  // and are not the root: they always run (cancellation skipping keys on
+  // group), never notify on_complete, and the span profiler must not fold
+  // their end path into the root's measured T-infinity. Allocation sites
+  // must set it explicitly either way — pool recycling preserves the flag.
+  bool detached = false;
   alignas(std::max_align_t) unsigned char storage[kInlineBytes];
 
   template <typename F>

@@ -238,11 +238,12 @@ ShutdownReport Scheduler::shutdown(std::chrono::milliseconds deadline) {
     if (!quiesced) {
       rep.timed_out = true;
       const std::size_t n = slot_count_.load(std::memory_order_acquire);
-      std::size_t abandoned = 0;
       for (std::size_t i = 0; i < n; ++i)
-        if (deques_[i] != nullptr) abandoned += deques_[i]->size_hint();
-      if (root_job_.load(std::memory_order_acquire) != nullptr) ++abandoned;
-      rep.abandoned_jobs = abandoned;
+        if (deques_[i] != nullptr)
+          rep.abandoned_queued += deques_[i]->size_hint();
+      if (root_job_.load(std::memory_order_acquire) != nullptr)
+        rep.abandoned_root = 1;
+      rep.abandoned_jobs = rep.abandoned_queued + rep.abandoned_root;
       return rep;  // workers keep draining (as cancelled); the dtor joins them
     }
     shutdown_ = true;
@@ -508,6 +509,9 @@ std::string Scheduler::stats_json() const {
   w.add("cache_hits", t.cache_hits);
   w.add("cache_misses", t.cache_misses);
   w.add("cache_steal_misses", t.cache_steal_misses);
+  w.add("tenant_jobs", t.tenant_jobs);
+  w.add("tenant_requests_completed", t.tenant_requests_completed);
+  w.add("tenant_requests_shed", t.tenant_requests_shed);
   w.add("trace_events", recorded);
   w.add("trace_dropped", dropped);
   {
@@ -561,6 +565,9 @@ std::vector<obs::MetricPoint> Scheduler::live_sample() const {
   add("abp_cancelled_jobs", s.stats.cancelled_jobs);
   add("abp_cache_misses", s.stats.cache_misses);
   add("abp_cache_steal_misses", s.stats.cache_steal_misses);
+  add("abp_tenant_jobs", s.stats.tenant_jobs);
+  add("abp_tenant_requests_completed", s.stats.tenant_requests_completed);
+  add("abp_tenant_requests_shed", s.stats.tenant_requests_shed);
   add("abp_exec_self_ticks", s.exec_self_ticks);
   add("abp_live_publishes", s.publishes);
   add("abp_workers_published", s.workers_published);
@@ -604,6 +611,11 @@ std::string Scheduler::prometheus_text() const {
   w.counter("abp_yields_total", static_cast<double>(t.yields));
   w.counter("abp_cancelled_jobs_total",
             static_cast<double>(t.cancelled_jobs));
+  w.counter("abp_tenant_jobs_total", static_cast<double>(t.tenant_jobs));
+  w.counter("abp_tenant_requests_completed_total",
+            static_cast<double>(t.tenant_requests_completed));
+  w.counter("abp_tenant_requests_shed_total",
+            static_cast<double>(t.tenant_requests_shed));
   w.counter("abp_exec_self_ns_total",
             cal.ticks_to_ns(tel.exec_self_ticks));
   w.histogram("abp_steal_latency_ns", tel.steal_latency, cal.ns_per_tick);
@@ -696,6 +708,9 @@ std::string Scheduler::stats_json() const {
   w.add("cache_hits", t.cache_hits);
   w.add("cache_misses", t.cache_misses);
   w.add("cache_steal_misses", t.cache_steal_misses);
+  w.add("tenant_jobs", t.tenant_jobs);
+  w.add("tenant_requests_completed", t.tenant_requests_completed);
+  w.add("tenant_requests_shed", t.tenant_requests_shed);
   w.add("trace_events", std::uint64_t{0});
   return w.str();
 }
@@ -722,6 +737,11 @@ std::string Scheduler::prometheus_text() const {
   w.counter("abp_cache_misses_total", static_cast<double>(t.cache_misses));
   w.counter("abp_cache_steal_misses_total",
             static_cast<double>(t.cache_steal_misses));
+  w.counter("abp_tenant_jobs_total", static_cast<double>(t.tenant_jobs));
+  w.counter("abp_tenant_requests_completed_total",
+            static_cast<double>(t.tenant_requests_completed));
+  w.counter("abp_tenant_requests_shed_total",
+            static_cast<double>(t.tenant_requests_shed));
   return w.str();
 }
 

@@ -86,10 +86,14 @@ class SchedulerStoppedError : public std::runtime_error {
 struct ShutdownReport {
   bool drained = false;    // quiesced within the deadline; workers joined
   bool timed_out = false;  // deadline expired with work still in flight
-  // Jobs still queued (deque contents + an unclaimed root) when the
-  // deadline expired — a snapshot: the surviving workers keep draining
-  // them (as cancelled) after this returns.
+  // Jobs still queued when the deadline expired — a snapshot: the
+  // surviving workers keep draining them (as cancelled) after this
+  // returns. Split by where the job sat (a TenantService further
+  // classifies its requests by tenant and slot state, DESIGN.md §16);
+  // abandoned_jobs stays the back-compat sum of the two.
   std::size_t abandoned_jobs = 0;
+  std::size_t abandoned_queued = 0;  // still in some worker's deque
+  std::size_t abandoned_root = 0;    // the root job, never claimed (0 or 1)
 };
 
 #if ABP_TRACE_ENABLED
@@ -163,6 +167,12 @@ class Worker {
   inline Job* try_steal();
   inline void execute(Job* j);
   inline void yield_between_steals();
+  // Spawns a group-less, always-runs job (the multi-tenant plane's
+  // request dags, DESIGN.md §16). The closure owns its own completion
+  // accounting: no TaskGroup is notified, scheduler-level cancellation
+  // does not skip it, and nothing rethrows — `f` must not leak exceptions.
+  template <typename F>
+  inline void spawn_detached(F&& f);
 
  private:
   friend class Scheduler;
@@ -328,6 +338,7 @@ class Scheduler {
     auto* eptr = &root_exception;
     root.group = nullptr;
     root.pooled = false;
+    root.detached = false;  // the root's end path is the measured span
     root.emplace([fn = std::forward<F>(f), done, eptr](Worker& w) mutable {
       try {
         fn(w);
@@ -811,7 +822,10 @@ inline void Worker::execute(Job* j) {
     span_base_tsc_ = t1;
     if (group != nullptr) {
       group->fold_child_path(end_path);
-    } else {
+    } else if (!j->detached) {
+      // Only the true root folds into measured T-infinity: detached jobs
+      // also have group == nullptr but finish concurrently with each
+      // other, and record_root_span's plain store assumes one writer.
       sched_->record_root_span(end_path);
     }
     maybe_publish_live(t1);
@@ -849,10 +863,27 @@ inline void Worker::yield_between_steals() {
 }
 
 template <typename F>
+inline void Worker::spawn_detached(F&& f) {
+  Job* j = pool_.alloc();
+  j->group = nullptr;
+  j->pooled = true;
+  j->detached = true;
+  // Same spawn-time stamping as TaskGroup::spawn: detached chains still
+  // appear in the steal-provenance tree, they just don't fold into the
+  // root's span at completion.
+  WHEN_TRACE(const std::uint64_t now = obs::rdtsc();
+             j->span_path = span_now(now);
+             j->provenance = alloc_provenance();)
+  j->emplace(std::forward<F>(f));
+  push(j);
+}
+
+template <typename F>
 inline void TaskGroup::spawn(F&& f) {
   Job* j = worker_.pool().alloc();
   j->group = this;
   j->pooled = true;
+  j->detached = false;  // pool recycling: the slot may have been detached
   // Stamp the child with the spawner's current path (the chain it extends)
   // and a globally unique id for the steal-provenance events.
   WHEN_TRACE(const std::uint64_t now = obs::rdtsc();

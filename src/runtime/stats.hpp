@@ -59,6 +59,14 @@ struct WorkerStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_steal_misses = 0;
+  // Multi-tenant plane (src/runtime/tenant, DESIGN.md §16). All zero when
+  // no TenantService runs on this scheduler. tenant_jobs counts detached
+  // request-dag jobs this worker executed; the other two count requests
+  // this worker *finalized* (summed across workers they partition every
+  // admitted request: admitted == completed + shed at quiesce).
+  std::uint64_t tenant_jobs = 0;
+  std::uint64_t tenant_requests_completed = 0;
+  std::uint64_t tenant_requests_shed = 0;
 
   void reset() { *this = WorkerStats{}; }
 
@@ -85,6 +93,9 @@ struct WorkerStats {
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
     cache_steal_misses += o.cache_steal_misses;
+    tenant_jobs += o.tenant_jobs;
+    tenant_requests_completed += o.tenant_requests_completed;
+    tenant_requests_shed += o.tenant_requests_shed;
     return *this;
   }
 };

@@ -1,0 +1,124 @@
+#pragma once
+// atomics-lint: allow(futex-style waiter counts layered above the annotated sync wrappers)
+
+// Futex-discipline parking for blocked submitter threads (DESIGN.md §16).
+//
+// A burst of submitters hitting an exhausted quota must block cheaply and
+// wake without a thundering herd. The shape is the kernel futex's hashed
+// wait queues: waiters hash their tenant id into one of kBuckets bucket
+// queues, so a capacity release wakes only the (hash bucket of the) tenant
+// it freed capacity for, not every blocked submitter in the process.
+//
+// The three futex disciplines, mapped onto the repo's annotated wrappers:
+//
+//   * No-waiter fast path: wake() first reads the bucket's waiter count
+//     (seq_cst) and returns without touching the mutex when it is zero —
+//     the common case for every finalize while nobody is blocked, exactly
+//     futex_wake on an uncontended word.
+//   * Registration before sleep: park_until() bumps the waiter count
+//     (seq_cst), then re-checks its wake predicate *under the bucket
+//     mutex* before sleeping. Paired with the waker's state-update
+//     (seq_cst) happening before its waiter-count read, this is the
+//     store-buffering pattern: either the waker sees the registration and
+//     notifies, or the parker's re-check sees the new state and never
+//     sleeps. No lost wakeups.
+//   * Hash collisions are benign: a colliding wake is a spurious wakeup;
+//     the parker re-evaluates its predicate and parks again. Bounded
+//     wait_for chunks backstop liveness besides.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/tenant/tenant.hpp"
+#include "support/align.hpp"
+#include "support/sync.hpp"
+
+namespace abp::runtime::tenant {
+
+class SubmitterParkingLot {
+ public:
+  static constexpr std::size_t kBuckets = 16;
+
+  // Blocks the calling control-plane thread until pred() holds or
+  // `deadline` passes; returns the final pred() value. pred is evaluated
+  // under the bucket mutex (it should read only atomics). Tolerates
+  // spurious and collision wakeups by looping.
+  template <typename Pred>
+  bool park_until(TenantId key,
+                  std::chrono::steady_clock::time_point deadline,
+                  Pred&& pred) {
+    Bucket& b = bucket(key);
+    b.waiters.fetch_add(1, std::memory_order_seq_cst);
+    bool satisfied = false;
+    {
+      sync::MutexLock lk(b.mu);
+      for (;;) {
+        if (pred()) {
+          satisfied = true;
+          break;
+        }
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) break;
+        // Chunked waits: bounded sleeps keep an overflowing duration (a
+        // "wait forever" deadline) and a missed collision wake both
+        // harmless.
+        auto chunk = deadline - now;
+        if (chunk > kMaxWaitChunk) chunk = kMaxWaitChunk;
+        b.cv.wait_for(b.mu, chunk);
+      }
+    }
+    b.waiters.fetch_sub(1, std::memory_order_seq_cst);
+    return satisfied;
+  }
+
+  // Worker-context wake, called after capacity is released (finalize) or
+  // state changed (shutdown). Futex no-waiter fast path; otherwise the
+  // empty critical section orders this wake against an in-flight park
+  // decision (same protocol as Scheduler::notify_parked).
+  void wake(TenantId key) noexcept {
+    Bucket& b = bucket(key);
+    if (b.waiters.load(std::memory_order_seq_cst) == 0) return;
+    { sync::MutexLock lk(b.mu); }
+    b.cv.notify_all();
+  }
+
+  // Control-plane broadcast (shutdown): every bucket, no fast path.
+  void wake_all() noexcept {
+    for (Bucket& b : buckets_) {
+      { sync::MutexLock lk(b.mu); }
+      b.cv.notify_all();
+    }
+  }
+
+  // Currently parked submitters (approximate while racing registrations).
+  std::uint64_t parked() const noexcept {
+    std::uint64_t n = 0;
+    for (const Bucket& b : buckets_)
+      n += b.waiters.load(std::memory_order_seq_cst);
+    return n;
+  }
+
+ private:
+  static constexpr std::chrono::milliseconds kMaxWaitChunk{2};
+
+  struct alignas(kCacheLineSize) Bucket {
+    sync::Mutex mu;
+    sync::CondVar cv;
+    std::atomic<std::uint32_t> waiters{0};
+  };
+
+  // Fibonacci-hash the tenant id across the buckets so adjacent ids do
+  // not share a bucket (the futex_hash idea, scaled down).
+  Bucket& bucket(TenantId key) noexcept {
+    return buckets_[(key * 2654435761u) % kBuckets];
+  }
+  const Bucket& bucket(TenantId key) const noexcept {
+    return buckets_[(key * 2654435761u) % kBuckets];
+  }
+
+  Bucket buckets_[kBuckets];
+};
+
+}  // namespace abp::runtime::tenant

@@ -1,0 +1,112 @@
+#pragma once
+
+// Multi-tenant overload-protection plane, shared vocabulary (DESIGN.md §16).
+//
+// Many tenants share one work-stealing pool; each submits request-shaped
+// dags (RPC fan-out/fan-in, pipeline stages) through an admission
+// controller carrying per-tenant quotas. Admission NEVER drops silently:
+// every submit() returns a typed AdmitStatus, and every admitted request
+// finishes in exactly one of two typed ways — completed, or shed by the
+// overload watchdog via CancelReason::kOverload. The conservation
+// identities the tests and the E29 harness gate on:
+//
+//   submitted == admitted + rejected_tenant_quota + rejected_global
+//              + rejected_stopped + timed_out          (per tenant)
+//   admitted  == completed + shed                      (per tenant, quiesced)
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "support/backoff.hpp"
+
+namespace abp::runtime::tenant {
+
+using TenantId = std::uint32_t;
+
+// Per-tenant admission budget. `weight` is the tenant's share of reporting
+// interest only (fairness ratios in E29 are measured per unit weight);
+// `max_outstanding` is the hard cap the admission controller enforces.
+struct Quota {
+  std::size_t max_outstanding = 64;  // admitted-but-not-finalized requests
+  std::uint32_t weight = 1;          // relative share, for fairness reports
+};
+
+// Typed admission verdict — the "never silent drops" half of the contract.
+enum class AdmitStatus : std::uint8_t {
+  kAdmitted = 0,
+  kRejectedTenantQuota,  // tenant's max_outstanding budget exhausted
+  kRejectedGlobalLimit,  // global slot table exhausted
+  kRejectedStopped,      // service is shutting down
+  kTimedOut,             // blocking submit: parked past its deadline
+};
+
+constexpr const char* to_string(AdmitStatus s) noexcept {
+  switch (s) {
+    case AdmitStatus::kAdmitted: return "admitted";
+    case AdmitStatus::kRejectedTenantQuota: return "rejected-tenant-quota";
+    case AdmitStatus::kRejectedGlobalLimit: return "rejected-global-limit";
+    case AdmitStatus::kRejectedStopped: return "rejected-stopped";
+    case AdmitStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
+
+// The two request-dag shapes the service knows how to spawn (the E29
+// workload mix). Both quantize their work as `width` nodes of
+// `spin_ns_per_node` busy-work each: kFanOut runs them in parallel
+// (fan-out/fan-in: the last leaf to finish finalizes the request), kPipeline
+// strictly in sequence (each stage spawns the next).
+enum class RequestKind : std::uint8_t { kFanOut = 0, kPipeline };
+
+struct RequestShape {
+  RequestKind kind = RequestKind::kFanOut;
+  std::uint32_t width = 8;             // leaves (fan-out) / stages (pipeline)
+  std::uint32_t spin_ns_per_node = 2000;
+};
+
+// submit() result: the typed verdict plus, when admitted, the globally
+// unique admission sequence number (never 0) that the on_finalize hook and
+// the shed ordering use.
+struct SubmitResult {
+  AdmitStatus status = AdmitStatus::kRejectedStopped;
+  std::uint64_t admit_seq = 0;  // 0 unless status == kAdmitted
+  bool admitted() const noexcept { return status == AdmitStatus::kAdmitted; }
+};
+
+// Overload watchdog policy. The shedder thread polls every poll_ms and
+// declares overload when the global queued (admitted-but-unstarted) depth
+// exceeds queue_high AND the p99 age of those queued requests exceeds
+// stale_p99_ms (0 disables the staleness term; 0 queue_high/low pick the
+// defaults 3/4 and 1/4 of the global slot count). Overload must persist for
+// sustain_polls consecutive polls before anything is shed — then the NEWEST
+// admitted-but-unstarted requests are cancelled (CancelReason::kOverload)
+// until the depth is back at queue_low. Running requests are never touched.
+struct OverloadPolicy {
+  bool enabled = true;
+  std::uint32_t poll_ms = 5;
+  std::size_t queue_high = 0;   // 0 -> 3/4 of max_outstanding_total
+  std::size_t queue_low = 0;    // 0 -> 1/4 of max_outstanding_total
+  double stale_p99_ms = 1.0;    // 0 -> depth-only trigger
+  std::uint32_t sustain_polls = 2;
+};
+
+// Busy-work leaf body: spins for ~ns wall nanoseconds. Worker-context safe
+// (no blocking primitives; steady_clock reads are vDSO calls).
+inline void spin_for_ns(std::uint32_t ns) noexcept {
+  if (ns == 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto dur = std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() - t0 < dur) cpu_relax();
+}
+
+// Steady-clock nanoseconds since an arbitrary epoch (latency arithmetic).
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace abp::runtime::tenant

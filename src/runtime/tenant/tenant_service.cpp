@@ -1,0 +1,720 @@
+#include "runtime/tenant/tenant_service.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "chaos/chaos.hpp"
+#include "obs/export.hpp"
+#include "support/assert.hpp"
+#include "support/backoff.hpp"
+
+namespace abp::runtime::tenant {
+
+namespace {
+
+constexpr std::uint8_t raw(SlotState s) noexcept {
+  return static_cast<std::uint8_t>(s);
+}
+
+// The monotone per-tenant counters whose joint stability defines a
+// consistent shutdown snapshot (build_report's retry loop).
+struct CounterSample {
+  std::uint64_t submitted, admitted, completed, shed;
+  std::uint64_t rej_quota, rej_global, rej_stopped, timed_out;
+
+  static CounterSample read(const TenantCounters& c) noexcept {
+    CounterSample s;
+    s.submitted = c.submitted.load(std::memory_order_seq_cst);
+    s.admitted = c.admitted.load(std::memory_order_seq_cst);
+    s.completed = c.completed.load(std::memory_order_seq_cst);
+    s.shed = c.shed.load(std::memory_order_seq_cst);
+    s.rej_quota = c.rejected_tenant_quota.load(std::memory_order_seq_cst);
+    s.rej_global = c.rejected_global.load(std::memory_order_seq_cst);
+    s.rej_stopped = c.rejected_stopped.load(std::memory_order_seq_cst);
+    s.timed_out = c.timed_out.load(std::memory_order_seq_cst);
+    return s;
+  }
+  bool operator==(const CounterSample& o) const noexcept {
+    return submitted == o.submitted && admitted == o.admitted &&
+           completed == o.completed && shed == o.shed &&
+           rej_quota == o.rej_quota && rej_global == o.rej_global &&
+           rej_stopped == o.rej_stopped && timed_out == o.timed_out;
+  }
+};
+
+}  // namespace
+
+TenantService::TenantService(ServiceOptions opts) : opts_(std::move(opts)) {
+  if (opts_.max_tenants == 0) opts_.max_tenants = 1;
+  slot_count_ =
+      opts_.max_outstanding_total == 0 ? 1 : opts_.max_outstanding_total;
+  // Resolve the watermarks: high defaults to 3/4 of the table, low to 1/4;
+  // high is clamped below the table size so a full table always triggers,
+  // and low is forced strictly below high so a shed pass makes progress.
+  queue_high_ = opts_.overload.queue_high != 0 ? opts_.overload.queue_high
+                                               : (slot_count_ * 3) / 4;
+  if (queue_high_ >= slot_count_) queue_high_ = slot_count_ - 1;
+  queue_low_ = opts_.overload.queue_low != 0 ? opts_.overload.queue_low
+                                             : slot_count_ / 4;
+  if (queue_low_ > queue_high_) queue_low_ = queue_high_ / 2;
+  slots_ = std::make_unique<RequestSlot[]>(slot_count_);
+  // Chain the freelist in reverse index order so admissions pop slots in
+  // ascending order (pure cosmetics; any order is correct).
+  for (std::size_t i = slot_count_; i-- > 0;) {
+    slots_[i].next = free_head_.load(std::memory_order_relaxed);
+    free_head_.store(&slots_[i], std::memory_order_relaxed);
+  }
+  tenants_ = std::make_unique<TenantState[]>(opts_.max_tenants);
+  sched_ = std::make_unique<Scheduler>(opts_.scheduler);
+}
+
+TenantService::~TenantService() {
+  if (!shutdown_called_) shutdown(std::chrono::milliseconds(2000));
+  if (started_ && !server_joined_) {
+    // Timed-out shutdown deferred this join: the dispatcher may have been
+    // wedged inside a job. By destruction time the caller must have
+    // released whatever gated it; force_stop_ makes the dispatcher exit at
+    // its next loop iteration.
+    force_stop_.store(true, std::memory_order_seq_cst);
+    server_thread_.join();
+    server_joined_ = true;
+  }
+}
+
+TenantId TenantService::register_tenant(std::string name, Quota quota) {
+  ABP_ASSERT(!started_ && "register_tenant() must precede start()");
+  const std::uint32_t id = tenant_count_.load(std::memory_order_acquire);
+  ABP_ASSERT(id < opts_.max_tenants && "max_tenants exceeded");
+  TenantState& ts = tenants_[id];
+  ts.name = std::move(name);
+  if (quota.max_outstanding == 0) quota.max_outstanding = 1;
+  if (quota.weight == 0) quota.weight = 1;
+  ts.quota = quota;
+  tenant_count_.store(id + 1, std::memory_order_release);
+  return id;
+}
+
+void TenantService::start() {
+  if (started_) return;
+  started_ = true;
+  server_thread_ = std::thread([this] {
+    try {
+      sched_->run([this](Worker& w) { dispatcher_loop(w); });
+    } catch (...) {
+      // AllWorkersLostError under adversarial chaos: the pool died under
+      // the dispatcher. shutdown() classifies whatever never finalized as
+      // abandoned; nothing to do here.
+    }
+  });
+  if (opts_.overload.enabled)
+    shed_thread_ = std::thread([this] { shedder_main(); });
+}
+
+// ---------------------------------------------------------------------------
+// Admission (control plane)
+
+SubmitResult TenantService::submit(TenantId t, const RequestShape& shape) {
+  return submit_impl(t, shape, /*block=*/false, {});
+}
+
+SubmitResult TenantService::submit_blocking(TenantId t,
+                                            const RequestShape& shape,
+                                            std::chrono::milliseconds timeout) {
+  return submit_impl(t, shape, /*block=*/true,
+                     std::chrono::steady_clock::now() + timeout);
+}
+
+RequestSlot* TenantService::pop_free_slot() {
+  // The caller reserved budget before popping, and every finalize pushes
+  // the slot back *before* releasing budget (seq_cst both sides), so a
+  // reservation always finds a slot; the spin only covers the instant
+  // between a concurrent push's CAS and our (re)read.
+  for (;;) {
+    RequestSlot* head = free_head_.load(std::memory_order_seq_cst);
+    if (head == nullptr) {
+      cpu_relax();
+      continue;
+    }
+    // In-list nodes' next links are stable: pops are serialized under
+    // admit_mu_ and pushes only prepend, so head->next cannot change
+    // between the load and a successful CAS.
+    if (free_head_.compare_exchange_weak(head, head->next,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_seq_cst))
+      return head;
+  }
+}
+
+SubmitResult TenantService::submit_impl(
+    TenantId t, const RequestShape& shape, bool block,
+    std::chrono::steady_clock::time_point deadline) {
+  ABP_ASSERT(t < tenant_count_.load(std::memory_order_acquire));
+  TenantState& ts = tenants_[t];
+  ts.counters.submitted.fetch_add(1, std::memory_order_seq_cst);
+  for (;;) {
+    CHAOS_POINT("tenant.admit.check");
+    AdmitStatus verdict = AdmitStatus::kAdmitted;
+    RequestSlot* slot = nullptr;
+    {
+      sync::MutexLock lk(admit_mu_);
+      if (stopping_.load(std::memory_order_seq_cst)) {
+        verdict = AdmitStatus::kRejectedStopped;
+      } else if (ts.outstanding.load(std::memory_order_seq_cst) >=
+                 ts.quota.max_outstanding) {
+        verdict = AdmitStatus::kRejectedTenantQuota;
+      } else if (global_outstanding_.load(std::memory_order_seq_cst) >=
+                 slot_count_) {
+        verdict = AdmitStatus::kRejectedGlobalLimit;
+      } else {
+        ts.outstanding.fetch_add(1, std::memory_order_seq_cst);
+        global_outstanding_.fetch_add(1, std::memory_order_seq_cst);
+        slot = pop_free_slot();
+      }
+    }
+    if (verdict == AdmitStatus::kAdmitted) {
+      const std::uint64_t seq =
+          admit_seq_.fetch_add(1, std::memory_order_acq_rel);
+      slot->tenant_id.store(t, std::memory_order_relaxed);
+      slot->kind = shape.kind;
+      slot->width = shape.width == 0 ? 1 : shape.width;
+      slot->spin_ns = shape.spin_ns_per_node;
+      slot->admit_seq.store(seq, std::memory_order_relaxed);
+      slot->submit_ns.store(now_ns(), std::memory_order_relaxed);
+      slot->cancel.reset();
+      slot->remaining.store(0, std::memory_order_relaxed);
+      ts.counters.admitted.fetch_add(1, std::memory_order_seq_cst);
+      // Publish: the release store makes every field above visible to the
+      // shedder's acquire scan and (via the intake CAS chain) to the
+      // dispatcher.
+      slot->state.store(raw(SlotState::kQueued), std::memory_order_release);
+      RequestSlot* head = intake_.load(std::memory_order_acquire);
+      do {
+        slot->next = head;
+      } while (!intake_.compare_exchange_weak(head, slot,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire));
+      return {AdmitStatus::kAdmitted, seq};
+    }
+    if (verdict == AdmitStatus::kRejectedStopped) {
+      ts.counters.rejected_stopped.fetch_add(1, std::memory_order_seq_cst);
+      return {verdict, 0};
+    }
+    if (!block) {
+      if (verdict == AdmitStatus::kRejectedTenantQuota)
+        ts.counters.rejected_tenant_quota.fetch_add(1,
+                                                    std::memory_order_seq_cst);
+      else
+        ts.counters.rejected_global.fetch_add(1, std::memory_order_seq_cst);
+      return {verdict, 0};
+    }
+    // Blocking path: park futex-style until capacity looks available (or
+    // the service stops), then loop back and retry admission — the retry
+    // can lose the race to another submitter, exactly like a futex wake.
+    CHAOS_POINT("tenant.submit.requeue");
+    ts.counters.parked.fetch_add(1, std::memory_order_seq_cst);
+    const bool ready = park_lot_.park_until(t, deadline, [&]() {
+      if (stopping_.load(std::memory_order_seq_cst)) return true;
+      return ts.outstanding.load(std::memory_order_seq_cst) <
+                 ts.quota.max_outstanding &&
+             global_outstanding_.load(std::memory_order_seq_cst) <
+                 slot_count_;
+    });
+    if (!ready) {
+      ts.counters.timed_out.fetch_add(1, std::memory_order_seq_cst);
+      return {AdmitStatus::kTimedOut, 0};
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker context: the dispatcher root and the request dags
+
+void TenantService::dispatcher_loop(Worker& w) {
+  for (;;) {
+    // Drain the intake: grab the whole Treiber stack, reverse to FIFO.
+    if (RequestSlot* head = intake_.exchange(nullptr,
+                                             std::memory_order_acq_rel)) {
+      RequestSlot* fifo = nullptr;
+      while (head != nullptr) {
+        RequestSlot* nx = head->next;
+        head->next = fifo;
+        fifo = head;
+        head = nx;
+      }
+      while (fifo != nullptr) {
+        // Read the link BEFORE spawning: the job can be stolen, run, and
+        // the slot recycled (next overwritten) before spawn returns.
+        RequestSlot* nx = fifo->next;
+        spawn_request(w, fifo);
+        fifo = nx;
+      }
+      continue;
+    }
+    if (Job* j = w.pop_bottom()) {
+      w.execute(j);
+      continue;
+    }
+    if (stop_dispatcher_.load(std::memory_order_acquire)) {
+      if (force_stop_.load(std::memory_order_acquire)) return;
+      // outstanding == 0 implies an empty intake too: the admitter's
+      // outstanding increment precedes its intake push, and stopping_
+      // (set before stop_dispatcher_) blocks new admissions.
+      if (global_outstanding_.load(std::memory_order_seq_cst) == 0) return;
+    }
+    w.yield_between_steals();
+    if (Job* j = w.try_steal()) w.execute(j);
+  }
+}
+
+void TenantService::spawn_request(Worker& w, RequestSlot* s) {
+  w.spawn_detached([this, s](Worker& w2) { run_first(w2, s); });
+}
+
+void TenantService::run_first(Worker& w, RequestSlot* s) {
+  ++w.stats().tenant_jobs;
+  // The exactly-once arbiter: exactly one of {this job, the shedder} wins
+  // the CAS out of kQueued. The loser performs no accounting.
+  std::uint8_t expected = raw(SlotState::kQueued);
+  if (!s->state.compare_exchange_strong(expected, raw(SlotState::kRunning),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+    ABP_ASSERT(expected == raw(SlotState::kShed));
+    finalize(w, s, /*completed=*/false);
+    return;
+  }
+  if (s->kind == RequestKind::kPipeline) {
+    run_stage(w, s, 0);
+    return;
+  }
+  // Fan-out/fan-in: `width` leaves; the one that decrements remaining to
+  // zero finalizes. The count is published before any leaf can run (the
+  // spawns below happen after the store, and we run the first leaf
+  // inline).
+  const std::uint32_t width = s->width;
+  s->remaining.store(width, std::memory_order_release);
+  for (std::uint32_t i = 1; i < width; ++i) {
+    w.spawn_detached([this, s](Worker& w2) {
+      ++w2.stats().tenant_jobs;
+      spin_for_ns(s->spin_ns);
+      leaf_done(w2, s);
+    });
+  }
+  spin_for_ns(s->spin_ns);
+  leaf_done(w, s);
+}
+
+void TenantService::leaf_done(Worker& w, RequestSlot* s) {
+  if (s->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    finalize(w, s, /*completed=*/true);
+}
+
+void TenantService::run_stage(Worker& w, RequestSlot* s, std::uint32_t stage) {
+  spin_for_ns(s->spin_ns);
+  const std::uint32_t next = stage + 1;
+  if (next >= s->width) {
+    finalize(w, s, /*completed=*/true);
+    return;
+  }
+  w.spawn_detached([this, s, next](Worker& w2) {
+    ++w2.stats().tenant_jobs;
+    run_stage(w2, s, next);
+  });
+}
+
+void TenantService::finalize(Worker& w, RequestSlot* s, bool completed) {
+  // Copy everything we need first: after push_free() the slot can be
+  // re-admitted instantly, so no access past that point.
+  const TenantId tid = s->tenant_id.load(std::memory_order_relaxed);
+  const std::uint64_t seq = s->admit_seq.load(std::memory_order_relaxed);
+  const std::uint64_t lat_ns =
+      now_ns() - s->submit_ns.load(std::memory_order_relaxed);
+  TenantState& ts = tenants_[tid];
+  if (completed) {
+    ts.counters.completed.fetch_add(1, std::memory_order_seq_cst);
+    {
+      // SpinLock: worker context forbids blocking mutexes. Completed
+      // requests only — shed latencies would poison the SLO histogram.
+      sync::SpinLockHolder hold(ts.lat_mu);
+      ts.latency.record(lat_ns);
+    }
+    ++w.stats().tenant_requests_completed;
+  } else {
+    ts.counters.shed.fetch_add(1, std::memory_order_seq_cst);
+    ++w.stats().tenant_requests_shed;
+  }
+  if (opts_.on_finalize) opts_.on_finalize(tid, seq, completed);
+  s->state.store(raw(SlotState::kFree), std::memory_order_release);
+  push_free(s);
+  // Budget release AFTER the push (pop_free_slot's invariant), then wake
+  // parked submitters of this tenant — both quota and global capacity may
+  // have freed, and a colliding bucket wake is just a spurious wakeup.
+  ts.outstanding.fetch_sub(1, std::memory_order_seq_cst);
+  global_outstanding_.fetch_sub(1, std::memory_order_seq_cst);
+  park_lot_.wake(tid);
+}
+
+void TenantService::push_free(RequestSlot* s) noexcept {
+  RequestSlot* head = free_head_.load(std::memory_order_seq_cst);
+  do {
+    s->next = head;
+  } while (!free_head_.compare_exchange_weak(head, s,
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_seq_cst));
+}
+
+// ---------------------------------------------------------------------------
+// Shedder (control-plane watchdog)
+
+void TenantService::shedder_main() {
+  const auto poll = std::chrono::milliseconds(
+      opts_.overload.poll_ms == 0 ? 1 : opts_.overload.poll_ms);
+  std::vector<std::pair<std::uint64_t, RequestSlot*>> scratch;
+  scratch.reserve(slot_count_);
+  sync::MutexLock lock(shed_mu_);
+  for (;;) {
+    if (shed_cv_.wait_for(shed_mu_, poll,
+                          [this]() ABP_REQUIRES(shed_mu_) { return shed_stop_; }))
+      return;
+    shedder_poll(scratch);
+  }
+}
+
+std::size_t TenantService::shedder_poll(
+    std::vector<std::pair<std::uint64_t, RequestSlot*>>& scratch) {
+  scratch.clear();
+  const std::uint64_t now = now_ns();
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    RequestSlot* s = &slots_[i];
+    if (s->state.load(std::memory_order_acquire) == raw(SlotState::kQueued))
+      scratch.emplace_back(s->admit_seq.load(std::memory_order_relaxed), s);
+  }
+  const std::size_t depth = scratch.size();
+  bool overloaded = depth > queue_high_;
+  if (overloaded && opts_.overload.stale_p99_ms > 0.0) {
+    // p99 age of the queued requests: sort ascending, index at the 99th
+    // percentile rank. Small n degrades to the max, which is what we want.
+    std::vector<std::uint64_t> ages;
+    ages.reserve(depth);
+    for (const auto& [seq, s] : scratch) {
+      const std::uint64_t sub = s->submit_ns.load(std::memory_order_relaxed);
+      ages.push_back(now > sub ? now - sub : 0);
+    }
+    std::sort(ages.begin(), ages.end());
+    const std::size_t rank =
+        std::min(depth - 1, static_cast<std::size_t>(0.99 * depth));
+    const double p99_ms = static_cast<double>(ages[rank]) / 1e6;
+    overloaded = p99_ms > opts_.overload.stale_p99_ms;
+  }
+  if (!overloaded) {
+    shed_sustain_ = 0;
+    return depth;
+  }
+  if (++shed_sustain_ < opts_.overload.sustain_polls) return depth;
+  shed_sustain_ = 0;  // re-arm the hysteresis after this pass
+  // Shed newest-first (largest admit_seq) down to the low watermark.
+  std::sort(scratch.begin(), scratch.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::size_t live = depth;
+  bool shed_any = false;
+  for (const auto& [seq, s] : scratch) {
+    if (live <= queue_low_) break;
+    CHAOS_POINT("tenant.shed.select");
+    // Best-effort newest-first: skip slots recycled since the scan. A
+    // recycle racing *after* this check can still redirect the shed onto
+    // the slot's new occupant — still exactly-once and typed, just not
+    // strictly ordered (header comment).
+    if (s->admit_seq.load(std::memory_order_relaxed) != seq) continue;
+    s->cancel.request(CancelReason::kOverload);
+    std::uint8_t expected = raw(SlotState::kQueued);
+    if (s->state.compare_exchange_strong(expected, raw(SlotState::kShed),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      shed_marked_.fetch_add(1, std::memory_order_seq_cst);
+      shed_any = true;
+      --live;
+    }
+  }
+  if (shed_any) overload_rounds_.fetch_add(1, std::memory_order_seq_cst);
+  return depth;
+}
+
+// ---------------------------------------------------------------------------
+// Drain / shutdown
+
+bool TenantService::drain(std::chrono::milliseconds timeout) {
+  const auto end = std::chrono::steady_clock::now() + timeout;
+  while (global_outstanding_.load(std::memory_order_seq_cst) != 0) {
+    if (std::chrono::steady_clock::now() >= end) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+ShutdownReport TenantService::shutdown(std::chrono::milliseconds deadline) {
+  if (shutdown_called_) return first_report_;
+  shutdown_called_ = true;
+  const auto end = std::chrono::steady_clock::now() + deadline;
+  // 1. Stop admissions; release every parked submitter (their predicates
+  // see stopping_ and they return kRejectedStopped).
+  stopping_.store(true, std::memory_order_seq_cst);
+  park_lot_.wake_all();
+  // 2. Drain admitted requests up to the deadline.
+  bool drained = true;
+  if (started_) {
+    while (global_outstanding_.load(std::memory_order_seq_cst) != 0) {
+      if (std::chrono::steady_clock::now() >= end) {
+        drained = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    // 3. Stop the dispatcher. On the drained path it exits promptly and we
+    // join the server thread here; on the timed-out path it may be wedged
+    // inside a gated job — joining would deadlock the shutdown, so the
+    // destructor joins instead (after the caller unwedges whatever gated
+    // it).
+    stop_dispatcher_.store(true, std::memory_order_seq_cst);
+    if (!drained) force_stop_.store(true, std::memory_order_seq_cst);
+    if (drained) {
+      server_thread_.join();
+      server_joined_ = true;
+    }
+  } else {
+    drained = global_outstanding_.load(std::memory_order_seq_cst) == 0;
+  }
+  // 4. Stop the shedder BEFORE snapshotting: with it gone, the control
+  // plane no longer mutates slot states (workers may still finalize
+  // running dags on the timed-out path; the snapshot retry loop handles
+  // that).
+  if (shed_thread_.joinable()) {
+    {
+      sync::MutexLock lk(shed_mu_);
+      shed_stop_ = true;
+    }
+    shed_cv_.notify_all();
+    shed_thread_.join();
+  }
+  // 5. Shut the pool down with whatever budget remains (floored so a
+  // drained service never hands the scheduler a zero/negative deadline).
+  auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+      end - std::chrono::steady_clock::now());
+  if (remaining < std::chrono::milliseconds(50))
+    remaining = std::chrono::milliseconds(50);
+  runtime::ShutdownReport sched_rep = sched_->shutdown(remaining);
+  first_report_ = build_report(drained, !drained, std::move(sched_rep));
+  return first_report_;
+}
+
+ShutdownReport TenantService::build_report(bool drained, bool timed_out,
+                                           runtime::ShutdownReport sched_rep) {
+  ShutdownReport rep;
+  rep.drained = drained;
+  rep.timed_out = timed_out;
+  rep.scheduler = sched_rep;
+  const std::size_t n = tenant_count_.load(std::memory_order_acquire);
+  // Retry-consistent snapshot: counters, slot scan, counters again — keep
+  // at it until the counters did not move across the scan. On a drained
+  // shutdown the first attempt is already stable.
+  std::vector<CounterSample> before(n), after(n);
+  struct Scan {
+    std::uint64_t queued = 0, running = 0, shed = 0;
+  };
+  std::vector<Scan> scans(n);
+  for (int attempt = 0; attempt < 16 && !rep.consistent; ++attempt) {
+    for (std::size_t t = 0; t < n; ++t)
+      before[t] = CounterSample::read(tenants_[t].counters);
+    for (auto& sc : scans) sc = Scan{};
+    for (std::size_t i = 0; i < slot_count_; ++i) {
+      const RequestSlot& s = slots_[i];
+      const std::uint8_t st = s.state.load(std::memory_order_acquire);
+      if (st == raw(SlotState::kFree)) continue;
+      const TenantId tid = s.tenant_id.load(std::memory_order_relaxed);
+      if (tid >= n) continue;  // torn with a concurrent admit; retry below
+      if (st == raw(SlotState::kQueued))
+        ++scans[tid].queued;
+      else if (st == raw(SlotState::kRunning))
+        ++scans[tid].running;
+      else
+        ++scans[tid].shed;
+    }
+    bool stable = true;
+    for (std::size_t t = 0; t < n; ++t) {
+      after[t] = CounterSample::read(tenants_[t].counters);
+      if (!(before[t] == after[t])) stable = false;
+    }
+    if (stable) rep.consistent = true;
+  }
+  rep.tenants.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    const CounterSample& c = before[t];
+    TenantRow row;
+    row.id = static_cast<TenantId>(t);
+    row.name = tenants_[t].name;
+    row.submitted = c.submitted;
+    row.admitted = c.admitted;
+    row.completed = c.completed;
+    row.shed = c.shed;
+    row.rejected_tenant_quota = c.rej_quota;
+    row.rejected_global = c.rej_global;
+    row.rejected_stopped = c.rej_stopped;
+    row.timed_out = c.timed_out;
+    row.abandoned_queued = scans[t].queued;
+    row.abandoned_running = scans[t].running;
+    row.abandoned_shed = scans[t].shed;
+    rep.tenants.push_back(std::move(row));
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection + exporters
+
+std::size_t TenantService::queued_depth() const noexcept {
+  std::size_t depth = 0;
+  for (std::size_t i = 0; i < slot_count_; ++i)
+    if (slots_[i].state.load(std::memory_order_acquire) ==
+        raw(SlotState::kQueued))
+      ++depth;
+  return depth;
+}
+
+TenantSnapshot TenantService::snapshot(TenantId t) const {
+  ABP_ASSERT(t < tenant_count_.load(std::memory_order_acquire));
+  const TenantState& ts = tenants_[t];
+  const CounterSample c = CounterSample::read(ts.counters);
+  TenantSnapshot snap;
+  snap.id = t;
+  snap.name = ts.name;
+  snap.weight = ts.quota.weight;
+  snap.max_outstanding = ts.quota.max_outstanding;
+  snap.outstanding = ts.outstanding.load(std::memory_order_seq_cst);
+  snap.submitted = c.submitted;
+  snap.admitted = c.admitted;
+  snap.completed = c.completed;
+  snap.shed = c.shed;
+  snap.rejected_tenant_quota = c.rej_quota;
+  snap.rejected_global = c.rej_global;
+  snap.rejected_stopped = c.rej_stopped;
+  snap.timed_out = c.timed_out;
+  snap.parked = ts.counters.parked.load(std::memory_order_seq_cst);
+  {
+    sync::SpinLockHolder hold(ts.lat_mu);
+    snap.latency = ts.latency;
+  }
+  return snap;
+}
+
+std::vector<TenantSnapshot> TenantService::snapshot_all() const {
+  const std::size_t n = tenant_count_.load(std::memory_order_acquire);
+  std::vector<TenantSnapshot> out;
+  out.reserve(n);
+  for (std::size_t t = 0; t < n; ++t)
+    out.push_back(snapshot(static_cast<TenantId>(t)));
+  return out;
+}
+
+std::vector<obs::MetricPoint> TenantService::live_sample() const {
+  // Monotone counters ONLY: the METRICS_JSON schema checker enforces
+  // monotonicity over every totals key, so gauges (outstanding, queued
+  // depth, parked) are exported through prometheus_text() instead.
+  std::uint64_t submitted = 0, admitted = 0, completed = 0, shed = 0;
+  std::uint64_t rejected = 0, timed_out = 0;
+  const std::size_t n = tenant_count_.load(std::memory_order_acquire);
+  for (std::size_t t = 0; t < n; ++t) {
+    const CounterSample c = CounterSample::read(tenants_[t].counters);
+    submitted += c.submitted;
+    admitted += c.admitted;
+    completed += c.completed;
+    shed += c.shed;
+    rejected += c.rej_quota + c.rej_global + c.rej_stopped;
+    timed_out += c.timed_out;
+  }
+  std::vector<obs::MetricPoint> out;
+  out.reserve(8);
+  auto add = [&out](const char* name, std::uint64_t v) {
+    out.push_back({name, static_cast<double>(v)});
+  };
+  add("abp_tenant_submitted", submitted);
+  add("abp_tenant_admitted", admitted);
+  add("abp_tenant_completed", completed);
+  add("abp_tenant_shed", shed);
+  add("abp_tenant_rejected", rejected);
+  add("abp_tenant_timed_out", timed_out);
+  add("abp_tenant_shed_marked", shed_marked_.load(std::memory_order_seq_cst));
+  add("abp_tenant_overload_rounds",
+      overload_rounds_.load(std::memory_order_seq_cst));
+  return out;
+}
+
+std::string TenantService::prometheus_text() const {
+  obs::PrometheusWriter w;
+  w.gauge("abp_tenant_service_outstanding",
+          static_cast<double>(outstanding()));
+  w.gauge("abp_tenant_service_queued_depth",
+          static_cast<double>(queued_depth()));
+  w.gauge("abp_tenant_service_parked_submitters",
+          static_cast<double>(parked_submitters()));
+  w.counter("abp_tenant_service_shed_marked_total",
+            static_cast<double>(shed_marked()));
+  w.counter("abp_tenant_service_overload_rounds_total",
+            static_cast<double>(overload_rounds()));
+  for (const TenantSnapshot& s : snapshot_all()) {
+    const std::string labels =
+        "tenant=\"" + obs::prometheus_sanitize(s.name) + "\"";
+    w.gauge("abp_tenant_outstanding", static_cast<double>(s.outstanding),
+            labels);
+    w.counter("abp_tenant_submitted_total", static_cast<double>(s.submitted),
+              labels);
+    w.counter("abp_tenant_admitted_total", static_cast<double>(s.admitted),
+              labels);
+    w.counter("abp_tenant_completed_total", static_cast<double>(s.completed),
+              labels);
+    w.counter("abp_tenant_shed_total", static_cast<double>(s.shed), labels);
+    w.counter("abp_tenant_rejected_total",
+              static_cast<double>(s.rejected_tenant_quota + s.rejected_global +
+                                  s.rejected_stopped),
+              labels);
+    w.counter("abp_tenant_timed_out_total", static_cast<double>(s.timed_out),
+              labels);
+    w.histogram("abp_tenant_request_latency_ns", s.latency, 1.0, labels);
+  }
+  return w.str();
+}
+
+std::string TenantService::stats_json() const {
+  obs::JsonObjectWriter w;
+  w.add("tenants", static_cast<std::uint64_t>(tenant_count()));
+  w.add("slots", static_cast<std::uint64_t>(slot_count_));
+  w.add("queue_high", static_cast<std::uint64_t>(queue_high_));
+  w.add("queue_low", static_cast<std::uint64_t>(queue_low_));
+  w.add("outstanding", static_cast<std::uint64_t>(outstanding()));
+  w.add("queued_depth", static_cast<std::uint64_t>(queued_depth()));
+  w.add("parked_submitters", parked_submitters());
+  w.add("shed_marked", shed_marked());
+  w.add("overload_rounds", overload_rounds());
+  std::string rows;
+  for (const TenantSnapshot& s : snapshot_all()) {
+    obs::JsonObjectWriter r;
+    r.add("id", static_cast<std::uint64_t>(s.id));
+    r.add("name", s.name);
+    r.add("weight", static_cast<std::uint64_t>(s.weight));
+    r.add("max_outstanding", static_cast<std::uint64_t>(s.max_outstanding));
+    r.add("outstanding", static_cast<std::uint64_t>(s.outstanding));
+    r.add("submitted", s.submitted);
+    r.add("admitted", s.admitted);
+    r.add("completed", s.completed);
+    r.add("shed", s.shed);
+    r.add("rejected_tenant_quota", s.rejected_tenant_quota);
+    r.add("rejected_global", s.rejected_global);
+    r.add("rejected_stopped", s.rejected_stopped);
+    r.add("timed_out", s.timed_out);
+    r.add("parked", s.parked);
+    r.add_raw("latency_ns", obs::histogram_summary_json(s.latency, 1.0));
+    if (!rows.empty()) rows += ",";
+    rows += r.str();
+  }
+  w.add_raw("per_tenant", "[" + rows + "]");
+  return w.str();
+}
+
+}  // namespace abp::runtime::tenant

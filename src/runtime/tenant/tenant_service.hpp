@@ -1,0 +1,355 @@
+#pragma once
+// atomics-lint: allow(request-slot lifecycle CAS and quota counters layered above the modeled deques)
+
+// Multi-tenant overload-protection plane (DESIGN.md §16).
+//
+// N tenants share one ABP work-stealing pool. Scheduler::run is single-root
+// and non-reentrant, so the service owns a *dispatcher root*: a server
+// thread runs scheduler().run(dispatcher_loop), and the dispatcher drains a
+// lock-free MPSC intake stack of admitted requests, spawning each as a
+// detached (group-less) job dag and otherwise participating in the Figure 3
+// loop (pop own deque, yield, steal) like any worker.
+//
+// Exactly-once request outcome. Requests live in a preallocated slot table;
+// each slot's atomic state is the arbiter:
+//
+//   kFree --admit--> kQueued --first-job CAS--> kRunning --done--> kFree
+//                       \---shedder CAS-------> kShed --first-job--> kFree
+//
+// Exactly one CAS out of kQueued succeeds, so a request is *either*
+// completed *or* shed, never both and never neither; the loser of the race
+// observes the winner's transition and performs no accounting. All
+// accounting (tenant counters, latency histogram, WorkerStats
+// tenant_requests_*) happens in finalize(), always in worker context.
+//
+// Admission is serialized under admit_mu_ (control plane); slot release is
+// a lock-free Treiber push from worker context. Serialized pops + lock-free
+// prepends cannot ABA. Quota/global budgets are reserved *before* the slot
+// pop and released *after* the freelist push, so a reservation always finds
+// a free slot.
+//
+// The shedder is a control-plane watchdog thread (same discipline as
+// Scheduler's stall watchdog): it polls queued depth and the p99 age of
+// queued requests, requires the overload to sustain for a configured number
+// of polls, then cancels the NEWEST admitted-but-unstarted requests
+// (CancelReason::kOverload) until depth returns to the low watermark.
+// Victim ordering is best-effort newest-first: a slot can be finalized and
+// reused between the scan and the CAS, which the admit_seq re-check
+// mitigates but cannot fully close — the outcome is still exactly-once and
+// typed, merely not strictly ordered under that race.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/pump.hpp"
+#include "runtime/options.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/tenant/park.hpp"
+#include "runtime/tenant/tenant.hpp"
+#include "support/align.hpp"
+#include "support/cancel.hpp"
+#include "support/sync.hpp"
+
+namespace abp::runtime::tenant {
+
+// Slot lifecycle states; see the header comment for the transition diagram.
+enum class SlotState : std::uint8_t {
+  kFree = 0,  // in the freelist (or being initialized by an admitter)
+  kQueued,    // admitted, published, first job not yet started
+  kRunning,   // first job won the CAS; the request dag is executing
+  kShed,      // shedder won the CAS; first job will observe and finalize
+};
+
+// One admitted request. Preallocated (max_outstanding_total of them);
+// `state` is the exactly-once arbiter, everything else is written by the
+// admitter before the kQueued release-store publishes it. The fields the
+// shedder's scan and the shutdown report read *without* first winning the
+// state CAS (tenant_id, admit_seq, submit_ns) are relaxed atomics: those
+// readers may race a concurrent re-initialization of a recycled slot by
+// design, and every decision they feed is re-validated by a state CAS —
+// the atomicity only keeps the racy reads well-defined. The remaining
+// plain fields (kind, width, spin_ns) are read solely by the worker that
+// acquired the slot through the kQueued->kRunning CAS, which synchronizes
+// with the admitter's release-store.
+struct alignas(kCacheLineSize) RequestSlot {
+  std::atomic<std::uint8_t> state{
+      static_cast<std::uint8_t>(SlotState::kFree)};
+  std::atomic<std::uint32_t> remaining{0};  // fan-in countdown (kFanOut)
+  // Intrusive link: freelist (kFree) or intake stack (kQueued, pre-spawn).
+  // A slot is in at most one list; the publishing CAS chains synchronize
+  // the handoffs.
+  RequestSlot* next = nullptr;
+  std::atomic<TenantId> tenant_id{0};
+  RequestKind kind = RequestKind::kFanOut;
+  std::uint32_t width = 1;    // clamped >= 1 at admit
+  std::uint32_t spin_ns = 0;  // busy-work per node
+  std::atomic<std::uint64_t> admit_seq{0};
+  std::atomic<std::uint64_t> submit_ns{0};  // admission time (latency base)
+  CancelSource cancel;  // shedder requests kOverload; reset at each admit
+};
+
+// Per-tenant monotone counters (seq_cst: they participate in the
+// store-buffering handshakes with the parking lot and the conservation
+// identities the tests gate on).
+struct TenantCounters {
+  std::atomic<std::uint64_t> submitted{0};
+  std::atomic<std::uint64_t> admitted{0};
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> rejected_tenant_quota{0};
+  std::atomic<std::uint64_t> rejected_global{0};
+  std::atomic<std::uint64_t> rejected_stopped{0};
+  std::atomic<std::uint64_t> timed_out{0};
+  std::atomic<std::uint64_t> parked{0};  // blocking submits that slow-pathed
+};
+
+struct alignas(kCacheLineSize) TenantState {
+  std::string name;
+  Quota quota;
+  std::atomic<std::size_t> outstanding{0};  // admitted, not yet finalized
+  TenantCounters counters;
+  // Completed-request latency (admission -> finalize), nanoseconds.
+  // SpinLock, not Mutex: finalize runs in worker context, where blocking
+  // mutex acquisition is forbidden (tools/context_lint.py).
+  mutable sync::SpinLock lat_mu;
+  obs::LatencyHistogram latency ABP_GUARDED_BY(lat_mu);
+};
+
+// Read-only per-tenant view (snapshot(); racy-but-coherent counters).
+struct TenantSnapshot {
+  TenantId id = 0;
+  std::string name;
+  std::uint32_t weight = 1;
+  std::size_t max_outstanding = 0;
+  std::size_t outstanding = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected_tenant_quota = 0;
+  std::uint64_t rejected_global = 0;
+  std::uint64_t rejected_stopped = 0;
+  std::uint64_t timed_out = 0;
+  std::uint64_t parked = 0;
+  obs::LatencyHistogram latency;  // copy, taken under lat_mu
+};
+
+// One tenant's row in the shutdown report. The two partition identities
+// (checked by partitions_ok(), regression-gated by tests/test_tenant.cpp):
+//
+//   submitted == admitted + rejected_tenant_quota + rejected_global
+//              + rejected_stopped + timed_out
+//   admitted  == completed + shed
+//              + abandoned_queued + abandoned_running + abandoned_shed
+struct TenantRow {
+  TenantId id = 0;
+  std::string name;
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected_tenant_quota = 0;
+  std::uint64_t rejected_global = 0;
+  std::uint64_t rejected_stopped = 0;
+  std::uint64_t timed_out = 0;
+  // Admitted but not finalized when the shutdown deadline expired,
+  // classified by the slot state at snapshot time. All zero on a drained
+  // shutdown.
+  std::uint64_t abandoned_queued = 0;   // never started
+  std::uint64_t abandoned_running = 0;  // dag was executing
+  std::uint64_t abandoned_shed = 0;     // shed-marked, not yet finalized
+
+  std::uint64_t rejected_total() const noexcept {
+    return rejected_tenant_quota + rejected_global + rejected_stopped +
+           timed_out;
+  }
+  std::uint64_t abandoned_total() const noexcept {
+    return abandoned_queued + abandoned_running + abandoned_shed;
+  }
+  bool partitions_ok() const noexcept {
+    return submitted == admitted + rejected_total() &&
+           admitted == completed + shed + abandoned_total();
+  }
+};
+
+// Outcome of TenantService::shutdown(deadline).
+struct ShutdownReport {
+  bool drained = false;    // every admitted request finalized in time
+  bool timed_out = false;  // deadline expired with requests in flight
+  // The per-tenant rows were captured with a retry loop (counters, slot
+  // scan, counters again) until stable; false if the snapshot never
+  // stabilized and the rows may be torn. Always true on a drained
+  // shutdown.
+  bool consistent = false;
+  runtime::ShutdownReport scheduler;  // the underlying pool's report
+  std::vector<TenantRow> tenants;
+};
+
+struct ServiceOptions {
+  SchedulerOptions scheduler;
+  std::size_t max_tenants = 16;
+  // Global request-slot count == hard cap on admitted-but-unfinalized
+  // requests across all tenants.
+  std::size_t max_outstanding_total = 256;
+  OverloadPolicy overload;
+  // Test hook, called in worker context from finalize() after the counters
+  // are updated and before the slot is recycled:
+  // (tenant, admit_seq, completed) — completed=false means shed. Must be
+  // worker-context safe (no blocking primitives).
+  std::function<void(TenantId, std::uint64_t, bool)> on_finalize;
+};
+
+// The service. Lifecycle: construct, register_tenant() xN, start(),
+// submit()/submit_blocking() from any thread, shutdown(deadline) (or let
+// the destructor shut down with a default deadline). Registration, start
+// and shutdown are control-plane operations — call them from one thread at
+// a time; submits are fully concurrent.
+class TenantService {
+ public:
+  explicit TenantService(ServiceOptions opts = {});
+  ~TenantService();
+
+  TenantService(const TenantService&) = delete;
+  TenantService& operator=(const TenantService&) = delete;
+
+  // Registers a tenant before start(); returns its id (dense from 0).
+  TenantId register_tenant(std::string name, Quota quota = {});
+
+  // Launches the scheduler pool, the dispatcher root and (if enabled) the
+  // shedder thread. Idempotent.
+  void start();
+
+  // Non-blocking admission: a typed verdict, never a silent drop.
+  SubmitResult submit(TenantId t, const RequestShape& shape);
+  // Blocking admission: on a quota/global rejection, parks on the
+  // futex-style lot and retries when capacity frees, until the timeout.
+  SubmitResult submit_blocking(TenantId t, const RequestShape& shape,
+                               std::chrono::milliseconds timeout);
+
+  // Waits (sleep-polling) until every admitted request finalized; true on
+  // success, false if the timeout expired first.
+  bool drain(std::chrono::milliseconds timeout);
+
+  // Stops admissions, drains up to `deadline`, stops the dispatcher and
+  // shedder, shuts the pool down with the remaining budget, and reports
+  // per-tenant abandonment classified by slot state. Idempotent (later
+  // calls return the first report).
+  ShutdownReport shutdown(std::chrono::milliseconds deadline);
+
+  Scheduler& scheduler() noexcept { return *sched_; }
+  const ServiceOptions& options() const noexcept { return opts_; }
+  std::size_t tenant_count() const noexcept {
+    return tenant_count_.load(std::memory_order_acquire);
+  }
+  std::size_t outstanding() const noexcept {
+    return global_outstanding_.load(std::memory_order_seq_cst);
+  }
+  // Admitted-but-unstarted requests right now (slot scan; racy gauge).
+  std::size_t queued_depth() const noexcept;
+  std::uint64_t parked_submitters() const noexcept {
+    return park_lot_.parked();
+  }
+  // Shed CASes won by the shedder so far (monotone; >= sum of per-tenant
+  // shed counters until the marked slots finalize).
+  std::uint64_t shed_marked() const noexcept {
+    return shed_marked_.load(std::memory_order_seq_cst);
+  }
+  // Polls on which the shedder actually shed (monotone).
+  std::uint64_t overload_rounds() const noexcept {
+    return overload_rounds_.load(std::memory_order_seq_cst);
+  }
+
+  TenantSnapshot snapshot(TenantId t) const;
+  std::vector<TenantSnapshot> snapshot_all() const;
+
+  // Monotone counters only (aggregated across tenants): safe for the
+  // metrics pump's METRICS_JSON stream, whose schema checker enforces
+  // monotonicity over every totals key. Gauges live in prometheus_text().
+  std::vector<obs::MetricPoint> live_sample() const;
+  // Per-tenant labeled counters + latency histograms, plus service gauges.
+  std::string prometheus_text() const;
+  std::string stats_json() const;
+
+ private:
+  // ---- admission (control plane, submitter threads) ----
+  SubmitResult submit_impl(TenantId t, const RequestShape& shape, bool block,
+                           std::chrono::steady_clock::time_point deadline);
+  RequestSlot* pop_free_slot() ABP_REQUIRES(admit_mu_);
+
+  // ---- worker context (reachable from the dispatcher root) ----
+  void dispatcher_loop(Worker& w);
+  void spawn_request(Worker& w, RequestSlot* s);
+  void run_first(Worker& w, RequestSlot* s);
+  void run_stage(Worker& w, RequestSlot* s, std::uint32_t stage);
+  void leaf_done(Worker& w, RequestSlot* s);
+  void finalize(Worker& w, RequestSlot* s, bool completed);
+  void push_free(RequestSlot* s) noexcept;
+
+  // ---- shedder (control-plane watchdog thread) ----
+  void shedder_main();
+  // One overload evaluation + (maybe) shed pass; returns the queued depth
+  // it saw. scratch holds (admit_seq, slot) pairs sampled by the scan — the
+  // seq is re-checked before the shed CAS to skip recycled slots.
+  std::size_t shedder_poll(
+      std::vector<std::pair<std::uint64_t, RequestSlot*>>& scratch)
+      ABP_REQUIRES(shed_mu_);
+
+  ShutdownReport build_report(bool drained, bool timed_out,
+                              runtime::ShutdownReport sched_rep);
+
+  ServiceOptions opts_;
+  std::size_t slot_count_ = 0;
+  std::size_t queue_high_ = 0;  // resolved from OverloadPolicy in ctor
+  std::size_t queue_low_ = 0;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<RequestSlot[]> slots_;
+  std::unique_ptr<TenantState[]> tenants_;
+  std::atomic<std::uint32_t> tenant_count_{0};
+
+  // Admission: budgets + freelist pop serialized here. The freelist head
+  // takes lock-free seq_cst pushes from finalize(); pops happen only under
+  // this mutex.
+  sync::Mutex admit_mu_;
+  std::atomic<RequestSlot*> free_head_{nullptr};
+  std::atomic<std::size_t> global_outstanding_{0};
+  std::atomic<std::uint64_t> admit_seq_{1};  // 0 means "not admitted"
+
+  // MPSC intake: submitters CAS-prepend, the dispatcher exchanges the whole
+  // stack out and reverses it for FIFO spawn order.
+  std::atomic<RequestSlot*> intake_{nullptr};
+
+  SubmitterParkingLot park_lot_;
+
+  // Lifecycle flags. stopping_ gates admissions; stop_dispatcher_ +
+  // force_stop_ drive the dispatcher's exit protocol.
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stop_dispatcher_{false};
+  std::atomic<bool> force_stop_{false};
+
+  // Shedder thread + its park/stop protocol (Scheduler watchdog pattern).
+  sync::Mutex shed_mu_;
+  sync::CondVar shed_cv_;
+  bool shed_stop_ ABP_GUARDED_BY(shed_mu_) = false;
+  // Consecutive overloaded polls (hysteresis); shedder-thread private.
+  std::uint32_t shed_sustain_ ABP_GUARDED_BY(shed_mu_) = 0;
+  std::thread shed_thread_;
+  std::atomic<std::uint64_t> shed_marked_{0};
+  std::atomic<std::uint64_t> overload_rounds_{0};
+
+  std::thread server_thread_;  // runs sched_->run(dispatcher_loop)
+  bool started_ = false;           // control plane
+  bool shutdown_called_ = false;   // control plane
+  bool server_joined_ = false;     // control plane
+  ShutdownReport first_report_;    // control plane (idempotent shutdown)
+};
+
+}  // namespace abp::runtime::tenant

@@ -29,6 +29,7 @@ enum class CancelReason : std::uint8_t {
   kUser,      // an explicit request_cancel() / source.request()
   kDeadline,  // a deadline or timeout elapsed (e.g. Scheduler::shutdown)
   kWatchdog,  // stall-recovery machinery gave up on the computation
+  kOverload,  // load-shedder evicted a queued request (runtime/tenant)
 };
 
 constexpr const char* to_string(CancelReason r) noexcept {
@@ -37,6 +38,7 @@ constexpr const char* to_string(CancelReason r) noexcept {
     case CancelReason::kUser: return "user";
     case CancelReason::kDeadline: return "deadline";
     case CancelReason::kWatchdog: return "watchdog";
+    case CancelReason::kOverload: return "overload";
   }
   return "?";
 }

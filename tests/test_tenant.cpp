@@ -1,0 +1,356 @@
+// Multi-tenant overload-protection plane (DESIGN.md §16): admission
+// control, per-tenant quotas, graceful load-shedding, futex-style
+// submitter parking, and the shutdown(deadline) abandonment report.
+//
+// The two conservation identities gated throughout (per tenant):
+//
+//   submitted == admitted + rejected_tenant_quota + rejected_global
+//              + rejected_stopped + timed_out
+//   admitted  == completed + shed (+ abandoned_* on a timed-out shutdown)
+//
+// "Exactly once" is checked with the on_finalize hook: every admitted
+// admission sequence number finalizes exactly one time, with exactly one
+// typed outcome.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "runtime/tenant/tenant_service.hpp"
+
+namespace abp::runtime::tenant {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Checks both identities on a quiesced (drained) snapshot.
+void expect_conserved(const TenantSnapshot& s) {
+  EXPECT_EQ(s.submitted, s.admitted + s.rejected_tenant_quota +
+                             s.rejected_global + s.rejected_stopped +
+                             s.timed_out)
+      << "tenant " << s.name;
+  EXPECT_EQ(s.admitted, s.completed + s.shed) << "tenant " << s.name;
+}
+
+// Exactly-once ledger: slot `seq` counts finalizations of that admission.
+struct FinalizeLedger {
+  explicit FinalizeLedger(std::size_t max_seqs)
+      : counts(max_seqs), completed(max_seqs) {}
+  std::vector<std::atomic<std::uint32_t>> counts;
+  std::vector<std::atomic<bool>> completed;
+
+  // Worker-context safe (atomics only).
+  void record(std::uint64_t seq, bool was_completed) {
+    ASSERT_LT(seq, counts.size());
+    counts[seq].fetch_add(1, std::memory_order_seq_cst);
+    completed[seq].store(was_completed, std::memory_order_seq_cst);
+  }
+};
+
+TEST(Tenant, UnderCapacityCompletesEverythingWithoutShedding) {
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 128;
+  o.overload.enabled = true;  // armed, but never triggered under capacity
+  o.overload.poll_ms = 2;
+  TenantService svc(o);
+  const TenantId a = svc.register_tenant("alpha", {64, 2});
+  const TenantId b = svc.register_tenant("beta", {64, 1});
+  const TenantId c = svc.register_tenant("gamma", {64, 1});
+  svc.start();
+
+  RequestShape fan{RequestKind::kFanOut, 4, 2000};
+  RequestShape pipe{RequestKind::kPipeline, 3, 2000};
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 20; ++i) {
+    for (TenantId t : {a, b, c}) {
+      const SubmitResult r = svc.submit(t, i % 2 ? fan : pipe);
+      ASSERT_TRUE(r.admitted()) << to_string(r.status);
+      ASSERT_GT(r.admit_seq, 0u);
+      ++admitted;
+    }
+  }
+  ASSERT_TRUE(svc.drain(10s));
+
+  std::uint64_t completed = 0;
+  for (const TenantSnapshot& s : svc.snapshot_all()) {
+    expect_conserved(s);
+    EXPECT_EQ(s.shed, 0u) << "under capacity nothing may be shed";
+    EXPECT_EQ(s.submitted, 20u);
+    completed += s.completed;
+  }
+  EXPECT_EQ(completed, admitted);
+  EXPECT_EQ(svc.shed_marked(), 0u);
+
+  const ShutdownReport rep = svc.shutdown(5s);
+  EXPECT_TRUE(rep.drained);
+  EXPECT_FALSE(rep.timed_out);
+  EXPECT_TRUE(rep.consistent);
+  ASSERT_EQ(rep.tenants.size(), 3u);
+  for (const TenantRow& row : rep.tenants) {
+    EXPECT_TRUE(row.partitions_ok()) << "tenant " << row.name;
+    EXPECT_EQ(row.abandoned_total(), 0u);
+  }
+}
+
+TEST(Tenant, RejectionsAreTypedAndCounted) {
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 4;  // global limit
+  o.overload.enabled = false;
+  TenantService svc(o);
+  const TenantId a = svc.register_tenant("alpha", {2, 1});  // quota 2
+  const TenantId b = svc.register_tenant("beta", {4, 1});
+  svc.start();
+
+  // Slow requests so the backlog holds still while we probe the budgets.
+  RequestShape slow{RequestKind::kPipeline, 1, 30'000'000};  // ~30ms
+
+  // alpha: quota 2 -> third submit is a typed quota rejection.
+  ASSERT_TRUE(svc.submit(a, slow).admitted());
+  ASSERT_TRUE(svc.submit(a, slow).admitted());
+  EXPECT_EQ(svc.submit(a, slow).status, AdmitStatus::kRejectedTenantQuota);
+
+  // beta: quota 4, but only 2 global slots remain -> global rejection.
+  ASSERT_TRUE(svc.submit(b, slow).admitted());
+  ASSERT_TRUE(svc.submit(b, slow).admitted());
+  EXPECT_EQ(svc.submit(b, slow).status, AdmitStatus::kRejectedGlobalLimit);
+
+  ASSERT_TRUE(svc.drain(10s));
+  const TenantSnapshot sa = svc.snapshot(a);
+  const TenantSnapshot sb = svc.snapshot(b);
+  EXPECT_EQ(sa.rejected_tenant_quota, 1u);
+  EXPECT_EQ(sa.rejected_global, 0u);
+  EXPECT_EQ(sb.rejected_global, 1u);
+  EXPECT_EQ(sb.rejected_tenant_quota, 0u);
+  expect_conserved(sa);
+  expect_conserved(sb);
+
+  const ShutdownReport rep = svc.shutdown(5s);
+  EXPECT_TRUE(rep.drained);
+  // Post-shutdown submits are typed too, and counted.
+  EXPECT_EQ(svc.submit(a, slow).status, AdmitStatus::kRejectedStopped);
+  EXPECT_EQ(svc.snapshot(a).rejected_stopped, 1u);
+}
+
+TEST(Tenant, OverloadShedsExactlyOnceWithTypedOutcomes) {
+  FinalizeLedger ledger(4096);
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 32;
+  o.overload.enabled = true;
+  o.overload.poll_ms = 2;
+  o.overload.queue_high = 6;
+  o.overload.queue_low = 2;
+  o.overload.stale_p99_ms = 0.0;  // depth-only trigger
+  o.overload.sustain_polls = 2;
+  o.on_finalize = [&ledger](TenantId, std::uint64_t seq, bool completed) {
+    ledger.record(seq, completed);
+  };
+  TenantService svc(o);
+  const TenantId a = svc.register_tenant("alpha", {32, 1});
+  svc.start();
+
+  // Burst far past the watermarks; each request takes ~5ms, so the queue
+  // is deep for many shedder polls.
+  RequestShape slow{RequestKind::kPipeline, 1, 5'000'000};
+  std::vector<std::uint64_t> admitted_seqs;
+  for (int i = 0; i < 32; ++i) {
+    const SubmitResult r = svc.submit(a, slow);
+    ASSERT_TRUE(r.admitted());
+    admitted_seqs.push_back(r.admit_seq);
+  }
+  ASSERT_TRUE(svc.drain(30s));
+
+  const TenantSnapshot s = svc.snapshot(a);
+  expect_conserved(s);
+  EXPECT_GT(s.shed, 0u) << "sustained overload must shed";
+  EXPECT_LT(s.shed, s.admitted) << "running requests are never shed";
+  EXPECT_GE(svc.shed_marked(), s.shed);
+  EXPECT_GT(svc.overload_rounds(), 0u);
+
+  // Exactly-once, typed: every admitted seq finalized exactly one time,
+  // and the ledger's completed/shed split matches the counters.
+  std::uint64_t completed = 0, shed = 0;
+  for (std::uint64_t seq : admitted_seqs) {
+    ASSERT_EQ(ledger.counts[seq].load(std::memory_order_seq_cst), 1u)
+        << "seq " << seq;
+    if (ledger.completed[seq].load(std::memory_order_seq_cst))
+      ++completed;
+    else
+      ++shed;
+  }
+  EXPECT_EQ(completed, s.completed);
+  EXPECT_EQ(shed, s.shed);
+
+  const ShutdownReport rep = svc.shutdown(5s);
+  EXPECT_TRUE(rep.drained);
+  EXPECT_TRUE(rep.tenants.at(0).partitions_ok());
+}
+
+TEST(Tenant, BlockingSubmitParksThenAdmits) {
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 8;
+  o.overload.enabled = false;
+  TenantService svc(o);
+  const TenantId a = svc.register_tenant("alpha", {1, 1});  // quota 1
+  svc.start();
+
+  RequestShape slow{RequestKind::kPipeline, 1, 50'000'000};  // ~50ms
+  ASSERT_TRUE(svc.submit(a, slow).admitted());
+  // Quota full: the blocking submit must park until the first request
+  // finalizes, then win admission well inside the timeout.
+  const SubmitResult r = svc.submit_blocking(a, slow, 10s);
+  EXPECT_EQ(r.status, AdmitStatus::kAdmitted);
+  EXPECT_GE(svc.snapshot(a).parked, 1u);
+  ASSERT_TRUE(svc.drain(10s));
+  expect_conserved(svc.snapshot(a));
+  EXPECT_TRUE(svc.shutdown(5s).drained);
+}
+
+TEST(Tenant, BlockingSubmitTimesOutWithTypedStatus) {
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 8;
+  o.overload.enabled = false;
+  TenantService svc(o);
+  const TenantId a = svc.register_tenant("alpha", {1, 1});
+  svc.start();
+
+  RequestShape slow{RequestKind::kPipeline, 1, 300'000'000};  // ~300ms
+  ASSERT_TRUE(svc.submit(a, slow).admitted());
+  const auto t0 = std::chrono::steady_clock::now();
+  const SubmitResult r = svc.submit_blocking(a, slow, 30ms);
+  EXPECT_EQ(r.status, AdmitStatus::kTimedOut);
+  EXPECT_EQ(r.admit_seq, 0u);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+  EXPECT_EQ(svc.snapshot(a).timed_out, 1u);
+  ASSERT_TRUE(svc.drain(10s));
+  expect_conserved(svc.snapshot(a));
+  EXPECT_TRUE(svc.shutdown(5s).drained);
+}
+
+// Satellite: the shutdown(deadline) report classifies abandoned work by
+// tenant AND by slot state, and the totals partition the submitted count.
+TEST(Tenant, ShutdownTimeoutClassifiesAbandonedByState) {
+  ServiceOptions o;
+  o.scheduler.num_workers = 1;  // the dispatcher is the only worker
+  o.max_outstanding_total = 16;
+  o.overload.enabled = false;
+  TenantService svc(o);
+  const TenantId a = svc.register_tenant("alpha", {16, 1});
+  svc.start();
+
+  // One long request; give the dispatcher time to start it, then pile
+  // four more behind it — with a single worker they stay queued.
+  RequestShape wedge{RequestKind::kPipeline, 1, 400'000'000};  // ~400ms
+  RequestShape quick{RequestKind::kPipeline, 1, 1'000'000};
+  ASSERT_TRUE(svc.submit(a, wedge).admitted());
+  std::this_thread::sleep_for(50ms);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(svc.submit(a, quick).admitted());
+
+  const ShutdownReport rep = svc.shutdown(60ms);
+  EXPECT_FALSE(rep.drained);
+  EXPECT_TRUE(rep.timed_out);
+  EXPECT_TRUE(rep.consistent);
+  ASSERT_EQ(rep.tenants.size(), 1u);
+  const TenantRow& row = rep.tenants.at(0);
+  EXPECT_TRUE(row.partitions_ok());
+  EXPECT_EQ(row.submitted, 5u);
+  EXPECT_EQ(row.admitted, 5u);
+  EXPECT_EQ(row.abandoned_running, 1u) << "the wedged request was running";
+  EXPECT_EQ(row.abandoned_queued, 4u) << "the pile-up never started";
+  EXPECT_EQ(row.abandoned_shed, 0u);
+  // The destructor completes the teardown once the wedge spins out.
+}
+
+// Satellite: 2-tenant starvation check. A heavy tenant offering far more
+// than capacity must not starve a light tenant: the quota caps the heavy
+// tenant's outstanding share, so the light tenant's requests keep
+// completing with bounded latency while the heavy tenant eats typed quota
+// rejections.
+TEST(Tenant, LightTenantSurvivesHeavyOverload) {
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 64;
+  o.overload.enabled = false;  // quota-only protection in this test
+  TenantService svc(o);
+  const TenantId heavy = svc.register_tenant("heavy", {8, 4});
+  const TenantId light = svc.register_tenant("light", {4, 1});
+  svc.start();
+
+  const auto end = std::chrono::steady_clock::now() + 1200ms;
+  std::thread heavy_thread([&svc, heavy, end] {
+    RequestShape big{RequestKind::kFanOut, 4, 300'000};  // ~1.2ms of work
+    while (std::chrono::steady_clock::now() < end) {
+      (void)svc.submit(heavy, big);
+      std::this_thread::sleep_for(200us);
+    }
+  });
+  RequestShape small{RequestKind::kPipeline, 1, 200'000};  // ~0.2ms
+  std::uint64_t light_submitted = 0;
+  while (std::chrono::steady_clock::now() < end) {
+    (void)svc.submit(light, small);
+    ++light_submitted;
+    std::this_thread::sleep_for(5ms);
+  }
+  heavy_thread.join();
+  ASSERT_TRUE(svc.drain(30s));
+
+  const TenantSnapshot sh = svc.snapshot(heavy);
+  const TenantSnapshot sl = svc.snapshot(light);
+  expect_conserved(sh);
+  expect_conserved(sl);
+  // The heavy tenant really did overload its budget...
+  EXPECT_GT(sh.rejected_tenant_quota, 0u);
+  // ...while the light tenant kept a bounded completion share and p99.
+  EXPECT_EQ(sl.shed, 0u);
+  EXPECT_GE(sl.completed, (light_submitted * 6) / 10)
+      << "light tenant starved: " << sl.completed << "/" << light_submitted;
+  const double p99_ms = sl.latency.percentile(99.0) / 1e6;
+  EXPECT_LT(p99_ms, 500.0) << "light tenant p99 unbounded under overload";
+  EXPECT_TRUE(svc.shutdown(5s).drained);
+}
+
+TEST(Tenant, ExportersAreWellFormed) {
+  ServiceOptions o;
+  o.scheduler.num_workers = 2;
+  o.max_outstanding_total = 16;
+  o.overload.poll_ms = 2;
+  TenantService svc(o);
+  svc.register_tenant("alpha", {8, 1});
+  svc.register_tenant("beta", {8, 1});
+  svc.start();
+  RequestShape shape{RequestKind::kFanOut, 4, 1000};
+  for (int i = 0; i < 8; ++i) {
+    (void)svc.submit(0, shape);
+    (void)svc.submit(1, shape);
+  }
+  ASSERT_TRUE(svc.drain(10s));
+
+  std::string err;
+  EXPECT_TRUE(obs::json_validate(svc.stats_json(), &err)) << err;
+  EXPECT_TRUE(obs::prometheus_validate(svc.prometheus_text(), &err)) << err;
+
+  // live_sample is the METRICS_JSON feed: monotone counters only.
+  const auto before = svc.live_sample();
+  for (int i = 0; i < 8; ++i) (void)svc.submit(0, shape);
+  ASSERT_TRUE(svc.drain(10s));
+  const auto after = svc.live_sample();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].name, after[i].name);
+    EXPECT_GE(after[i].value, before[i].value)
+        << before[i].name << " regressed: a gauge leaked into the stream";
+  }
+  EXPECT_TRUE(svc.shutdown(5s).drained);
+}
+
+}  // namespace
+}  // namespace abp::runtime::tenant

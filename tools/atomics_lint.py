@@ -117,6 +117,10 @@ def split_args(argtext: str):
         if c in "(<[{":
             depth += 1
         elif c in ")>]}":
+            # `->` is the member operator, not a closing angle bracket
+            # (e.g. compare_exchange_weak(head, head->next, ...)).
+            if c == ">" and i > 0 and argtext[i - 1] == "-":
+                continue
             depth -= 1
         elif c == "," and depth == 0:
             args.append(argtext[start:i].strip())

@@ -178,6 +178,48 @@ def extract_cache(path: str) -> dict:
     return metrics
 
 
+def extract_tenant(path: str) -> dict:
+    """Overload-scenario SLO metrics from bench_multi_tenant's
+    `tenant-regression` table (E29): admitted-request p99 and the shed
+    fraction at the calibrated 2x operating point.
+
+    Only the overload row is guarded: the under-capacity row's shed_frac
+    is identically zero (nothing to compare against) and its p99 is a few
+    milliseconds of pure runner noise — the bench's own verdicts (which
+    fail the whole line via ok=false) already gate those absolutely. Both
+    metrics are timing-driven even after the capacity calibration, so they
+    carry their own wide --tenant-threshold rather than the 10% default.
+
+    Non-fatal when the file carries no E29 lines, mirroring extract_cache.
+    """
+    metrics = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if "bench_multi_tenant" not in obj.get("bench", ""):
+                continue
+            if not obj.get("ok", False):
+                fail(f"bench_multi_tenant reported ok=false ({path})")
+            for table in obj.get("tables", []):
+                if table.get("title") != "tenant-regression":
+                    continue
+                cols = table.get("columns", [])
+                pi, si = cols.index("p99_ms"), cols.index("shed_frac")
+                for row in table.get("rows", []):
+                    if row[0] != "overload":
+                        continue
+                    # Lower is better for both.
+                    metrics["tenant/overload/p99_ms"] = -float(row[pi])
+                    metrics["tenant/overload/shed_frac"] = -float(row[si])
+    if not metrics:
+        print(f"bench-regression: note: no bench_multi_tenant guard "
+              f"table in {path}; tenant/ metrics skipped")
+    return metrics
+
+
 def collect(args, provenance: dict) -> dict:
     metrics = {}
     if args.micro:
@@ -185,6 +227,7 @@ def collect(args, provenance: dict) -> dict:
     if args.bench_json:
         metrics.update(extract_multiprog(args.bench_json, provenance))
         metrics.update(extract_cache(args.bench_json))
+        metrics.update(extract_tenant(args.bench_json))
     if not metrics:
         fail("no inputs: pass --micro and/or --bench-json")
     return metrics
@@ -261,6 +304,12 @@ def main() -> None:
                     help="relative regression that fails (multiprog)")
     ap.add_argument("--micro-threshold", type=float, default=0.15,
                     help="relative regression that fails (micro/ metrics)")
+    ap.add_argument("--tenant-threshold", type=float, default=1.0,
+                    help="relative regression that fails (tenant/ metrics; "
+                         "default 100%%: p99 and shed fraction under open-"
+                         "loop overload are timing-driven, so only a "
+                         "doubling — shedder wedged on, latency collapse — "
+                         "should trip the gate)")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline instead of comparing")
     args = ap.parse_args()
@@ -300,6 +349,7 @@ def main() -> None:
             missing.append(name)
             continue
         threshold = (args.micro_threshold if name.startswith("micro/")
+                     else args.tenant_threshold if name.startswith("tenant/")
                      else args.threshold)
         cur = current[name]
         rel = (cur - base) / abs(base) if base != 0 else 0.0

@@ -145,6 +145,24 @@ def check_prometheus(block, schema, c: Checker):
                 c.expect(value >= 0.0,
                          f"prometheus: counter {ct} negative ({value})")
 
+    def check_histogram_series(h, buckets, count_value, sum_value, what):
+        if not c.expect(buckets, f"prometheus: {what} has no _bucket series"):
+            return
+        c.expect(count_value is not None,
+                 f"prometheus: {what} missing _count")
+        c.expect(sum_value is not None, f"prometheus: {what} missing _sum")
+        buckets.sort(key=lambda b: b[0])
+        c.expect(buckets[-1][0] == math.inf,
+                 f"prometheus: {what} missing le=\"+Inf\" bucket")
+        for (le_a, v_a), (le_b, v_b) in zip(buckets, buckets[1:]):
+            c.expect(v_b >= v_a,
+                     f"prometheus: {what} bucket le={le_b} count {v_b} below "
+                     f"le={le_a} count {v_a} (not cumulative)")
+        if count_value is not None:
+            c.expect(buckets[-1][1] == count_value,
+                     f"prometheus: {what} +Inf bucket {buckets[-1][1]} != "
+                     f"_count {count_value}")
+
     for h in schema.get("required_histograms", []):
         c.expect(types.get(h) == "histogram",
                  f"prometheus: {h} not declared '# TYPE {h} histogram'")
@@ -159,21 +177,37 @@ def check_prometheus(block, schema, c: Checker):
                 count_value = value
             elif name == f"{h}_sum":
                 sum_value = value
-        if not c.expect(buckets, f"prometheus: {h} has no _bucket series"):
+        check_histogram_series(h, buckets, count_value, sum_value, h)
+
+    # Labeled histograms (one series per label set, e.g. the per-tenant
+    # abp_tenant_request_latency_ns{tenant="..."}): every label group must
+    # independently satisfy the cumulative/bucket invariants — pooling the
+    # groups would compare counts across unrelated series.
+    for h in schema.get("required_labeled_histograms", []):
+        c.expect(types.get(h) == "histogram",
+                 f"prometheus: {h} not declared '# TYPE {h} histogram'")
+        groups = {}
+        for name, labels, value in samples:
+            if not name.startswith(h):
+                continue
+            key = tuple(sorted((k, v) for k, v in labels.items()
+                               if k != "le"))
+            g = groups.setdefault(key, {"buckets": [], "count": None,
+                                        "sum": None})
+            if name == f"{h}_bucket" and "le" in labels:
+                le = labels["le"]
+                g["buckets"].append(
+                    (math.inf if le == "+Inf" else float(le), value))
+            elif name == f"{h}_count":
+                g["count"] = value
+            elif name == f"{h}_sum":
+                g["sum"] = value
+        if not c.expect(groups, f"prometheus: {h} has no series at all"):
             continue
-        c.expect(count_value is not None, f"prometheus: {h} missing _count")
-        c.expect(sum_value is not None, f"prometheus: {h} missing _sum")
-        buckets.sort(key=lambda b: b[0])
-        c.expect(buckets[-1][0] == math.inf,
-                 f"prometheus: {h} missing le=\"+Inf\" bucket")
-        for (le_a, v_a), (le_b, v_b) in zip(buckets, buckets[1:]):
-            c.expect(v_b >= v_a,
-                     f"prometheus: {h} bucket le={le_b} count {v_b} below "
-                     f"le={le_a} count {v_a} (not cumulative)")
-        if count_value is not None:
-            c.expect(buckets[-1][1] == count_value,
-                     f"prometheus: {h} +Inf bucket {buckets[-1][1]} != "
-                     f"_count {count_value}")
+        for key, g in sorted(groups.items()):
+            what = f"{h}{{{','.join(f'{k}={v}' for k, v in key)}}}"
+            check_histogram_series(h, g["buckets"], g["count"], g["sum"],
+                                   what)
 
 
 def main() -> int:
@@ -181,6 +215,10 @@ def main() -> int:
     default_schema = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                   "metrics_schema.json")
     ap.add_argument("--schema", default=default_schema)
+    ap.add_argument("--require-tenant", action="store_true",
+                    help="additionally validate the multi-tenant counter "
+                         "family (tenant_metrics_json / tenant_prometheus "
+                         "schema sections; fed by bench_multi_tenant)")
     ap.add_argument("input", nargs="?", help="example output (default stdin)")
     args = ap.parse_args()
 
@@ -205,6 +243,12 @@ def main() -> int:
     n = check_metrics_json(json_lines, schema.get("metrics_json", {}), c)
     if c.expect(prom_block, "no PROMETHEUS_BEGIN/END block found"):
         check_prometheus(prom_block, schema.get("prometheus", {}), c)
+    if args.require_tenant:
+        check_metrics_json(json_lines, schema.get("tenant_metrics_json", {}),
+                           c)
+        if prom_block:
+            check_prometheus(prom_block, schema.get("tenant_prometheus", {}),
+                             c)
 
     if c.failures:
         for f in c.failures:

@@ -98,6 +98,12 @@ ROOTS = [
     ("src/runtime/scheduler.hpp", "Scheduler::notify_parked"),
     ("src/runtime/scheduler.cpp", "Scheduler::work_loop"),
     ("src/runtime/dag_engine.cpp", "dag_engine.worker_fn"),
+    ("src/runtime/tenant/tenant_service.cpp",
+     "TenantService::dispatcher_loop"),
+    ("src/runtime/tenant/tenant_service.cpp", "TenantService::run_first"),
+    ("src/runtime/tenant/tenant_service.cpp", "TenantService::run_stage"),
+    ("src/runtime/tenant/tenant_service.cpp", "TenantService::leaf_done"),
+    ("src/runtime/tenant/tenant_service.cpp", "TenantService::finalize"),
     ("src/fiber/fiber.cpp", "FiberScheduler::worker_loop"),
     ("src/fiber/fiber.cpp", "FiberScheduler::allocate"),
     ("src/fiber/fiber.cpp", "FiberScheduler::spawn"),
@@ -145,6 +151,12 @@ WAIVERS = [
      "mutex-acquire",
      "spawn-path registry append, amortized against the stack "
      "allocation it guards; never on the steal path"),
+    ("src/runtime/tenant/park.hpp", "SubmitterParkingLot::wake",
+     "mutex-acquire",
+     "empty critical section ordering a capacity release against an "
+     "in-flight park decision (the notify_parked idiom); guarded by a "
+     "no-waiter fast path so the finalize path takes it only when a "
+     "submitter is actually parked on the bucket"),
 ]
 
 KEYWORDS = frozenset("""
