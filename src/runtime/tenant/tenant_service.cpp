@@ -79,6 +79,13 @@ TenantService::~TenantService() {
     server_thread_.join();
     server_joined_ = true;
   }
+  // Join the pool BEFORE any member dies. After a timed-out shutdown the
+  // pool workers may still be draining their deques, and detached tenant
+  // jobs dereference slots_/tenants_/park_lot_ right up to finalize();
+  // ~Scheduler joins every worker, so running it here (not in member
+  // destruction order, where sched_ outlives the tables) makes the
+  // teardown safe.
+  sched_.reset();
 }
 
 TenantId TenantService::register_tenant(std::string name, Quota quota) {
@@ -279,6 +286,11 @@ void TenantService::run_first(Worker& w, RequestSlot* s) {
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
     ABP_ASSERT(expected == raw(SlotState::kShed));
+    // Stamp the overload cancellation here, in the loser: from this failed
+    // CAS until push_free() this job is the slot's sole owner, so the
+    // request cannot race a re-admission's cancel.reset() the way a
+    // shedder-side request could.
+    s->cancel.request(CancelReason::kOverload);
     finalize(w, s, /*completed=*/false);
     return;
   }
@@ -424,11 +436,15 @@ std::size_t TenantService::shedder_poll(
     // the slot's new occupant — still exactly-once and typed, just not
     // strictly ordered (header comment).
     if (s->admit_seq.load(std::memory_order_relaxed) != seq) continue;
-    s->cancel.request(CancelReason::kOverload);
     std::uint8_t expected = raw(SlotState::kQueued);
     if (s->state.compare_exchange_strong(expected, raw(SlotState::kShed),
                                          std::memory_order_acq_rel,
                                          std::memory_order_acquire)) {
+      // The CAS, not the cancel flag, is the arbiter — and the CancelSource
+      // is stamped by the shed *observer* (run_first's losing branch), not
+      // here. Requesting from this thread could land on a recycled slot's
+      // new occupant: the loser can finalize and the slot be re-admitted
+      // between our CAS and a request issued here.
       shed_marked_.fetch_add(1, std::memory_order_seq_cst);
       shed_any = true;
       --live;
@@ -455,8 +471,16 @@ ShutdownReport TenantService::shutdown(std::chrono::milliseconds deadline) {
   shutdown_called_ = true;
   const auto end = std::chrono::steady_clock::now() + deadline;
   // 1. Stop admissions; release every parked submitter (their predicates
-  // see stopping_ and they return kRejectedStopped).
-  stopping_.store(true, std::memory_order_seq_cst);
+  // see stopping_ and they return kRejectedStopped). The store happens
+  // under admit_mu_ so it serializes with the admission critical section:
+  // any submitter that read stopping_==false has already incremented
+  // global_outstanding_ inside that same section, so once we release the
+  // lock the drain loop below cannot observe 0 while an admission is still
+  // in flight.
+  {
+    sync::MutexLock lk(admit_mu_);
+    stopping_.store(true, std::memory_order_seq_cst);
+  }
   park_lot_.wake_all();
   // 2. Drain admitted requests up to the deadline.
   bool drained = true;
@@ -478,6 +502,13 @@ ShutdownReport TenantService::shutdown(std::chrono::milliseconds deadline) {
     if (drained) {
       server_thread_.join();
       server_joined_ = true;
+      // Belt-and-braces for the never-silent-drop contract: the admit_mu_
+      // handshake above should make a post-drain admission impossible, but
+      // if one ever slipped through, the dispatcher has now exited and the
+      // request is stranded in kQueued — report it as abandoned rather
+      // than claim a clean drain.
+      if (global_outstanding_.load(std::memory_order_seq_cst) != 0)
+        drained = false;
     }
   } else {
     drained = global_outstanding_.load(std::memory_order_seq_cst) == 0;
@@ -494,12 +525,20 @@ ShutdownReport TenantService::shutdown(std::chrono::milliseconds deadline) {
     shed_cv_.notify_all();
     shed_thread_.join();
   }
-  // 5. Shut the pool down with whatever budget remains (floored so a
-  // drained service never hands the scheduler a zero/negative deadline).
+  // 5. Shut the pool down with whatever budget remains. The 50 ms floor
+  // applies only to the drained path (the pool is idle, so the join is
+  // quick and the caller's deadline was met); on the timed-out path the
+  // deadline has already expired, so hand the scheduler a zero budget —
+  // its wait_for returns immediately, it reports abandonment, and the
+  // destructor completes the join.
   auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
       end - std::chrono::steady_clock::now());
-  if (remaining < std::chrono::milliseconds(50))
-    remaining = std::chrono::milliseconds(50);
+  if (drained) {
+    if (remaining < std::chrono::milliseconds(50))
+      remaining = std::chrono::milliseconds(50);
+  } else if (remaining < std::chrono::milliseconds(0)) {
+    remaining = std::chrono::milliseconds(0);
+  }
   runtime::ShutdownReport sched_rep = sched_->shutdown(remaining);
   first_report_ = build_report(drained, !drained, std::move(sched_rep));
   return first_report_;

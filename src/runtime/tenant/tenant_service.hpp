@@ -94,7 +94,9 @@ struct alignas(kCacheLineSize) RequestSlot {
   std::uint32_t spin_ns = 0;  // busy-work per node
   std::atomic<std::uint64_t> admit_seq{0};
   std::atomic<std::uint64_t> submit_ns{0};  // admission time (latency base)
-  CancelSource cancel;  // shedder requests kOverload; reset at each admit
+  // kOverload is stamped by the shed-losing first job (which owns the slot
+  // from its failed CAS to push_free); reset at each admit.
+  CancelSource cancel;
 };
 
 // Per-tenant monotone counters (seq_cst: they participate in the
@@ -310,6 +312,10 @@ class TenantService {
   std::size_t slot_count_ = 0;
   std::size_t queue_high_ = 0;  // resolved from OverloadPolicy in ctor
   std::size_t queue_low_ = 0;
+  // Destroyed explicitly (sched_.reset()) at the end of ~TenantService:
+  // ~Scheduler joins the pool workers, and they dereference slots_,
+  // tenants_ and park_lot_ until the join completes, so the pool must die
+  // before any of those — regardless of member order here.
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<RequestSlot[]> slots_;
   std::unique_ptr<TenantState[]> tenants_;

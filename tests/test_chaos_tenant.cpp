@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -68,8 +69,19 @@ RoundTotals run_round(std::uint64_t seed, std::shared_ptr<chaos::Policy> pol,
       ledger.counts[seq].fetch_add(1, std::memory_order_seq_cst);
   };
   TenantService svc(o);
-  const TenantId a = svc.register_tenant("alpha", {8, 1});
-  const TenantId b = svc.register_tenant("beta", {8, 1});
+  // Quota sized below the per-thread burst so overrunning it is structural
+  // at ANY round scale: sanitizer builds shrink the round to a handful of
+  // submissions, and a fixed quota of 8 could then never be exceeded —
+  // the pressure assertion (rejected + timed_out > 0) would be impossible
+  // rather than merely flaky. Back-to-back submissions land microseconds
+  // apart while every request spins >= 400us, so the first submission past
+  // the quota reliably draws a typed rejection.
+  const std::size_t quota = std::min<std::size_t>(
+      8, std::max<std::size_t>(2, static_cast<std::size_t>(
+                                      submissions_per_thread) /
+                                      3));
+  const TenantId a = svc.register_tenant("alpha", {quota, 1});
+  const TenantId b = svc.register_tenant("beta", {quota, 1});
   svc.start();
 
   // Each thread records every SubmitResult; seqs are validated after the
