@@ -1,23 +1,36 @@
 // Experiment E15 — deque microbenchmarks (google-benchmark). Hood coded
 // the deque methods in assembly because they are the scheduler's hot path;
-// here we measure the three implementations' operation costs: owner-side
+// here we measure the implementations' operation costs: owner-side
 // push/pop cycles, owner throughput with concurrent thieves, and steal
-// throughput under contention.
+// throughput under contention. E30 adds the split deque's owner fast
+// path: push/pop on the private segment touch no fenced or CAS'd word,
+// so BM_OwnerPushPop/BM_OwnerBurst are where the fence elimination shows
+// up (tools/bench_regression.py gates the split-vs-ABP ratio).
 
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstddef>
 #include <thread>
+#include <vector>
 
 #include "deque/abp_deque.hpp"
 #include "deque/abp_growable_deque.hpp"
 #include "deque/chase_lev_deque.hpp"
 #include "deque/mutex_deque.hpp"
 #include "deque/spinlock_deque.hpp"
+#include "deque/split_deque.hpp"
 
 namespace {
 
 using Item = std::uint64_t;
+
+// Split-deque pushes stay private until published; flush before any
+// thief-side phase. No-op for every other deque.
+template <typename D>
+void publish_all(D& d) {
+  if constexpr (requires { d.transfer(); }) d.transfer();
+}
 
 template <typename D>
 void BM_OwnerPushPop(benchmark::State& state) {
@@ -32,6 +45,7 @@ void BM_OwnerPushPop(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::AbpDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::AbpGrowableDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::SplitDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::MutexDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerPushPop, abp::deque::SpinlockDeque<Item>);
 
@@ -50,6 +64,7 @@ void BM_OwnerBurst(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::AbpDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::AbpGrowableDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::SplitDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::MutexDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerBurst, abp::deque::SpinlockDeque<Item>);
 
@@ -61,6 +76,7 @@ void BM_StealDrain(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();
     for (Item i = 0; i < n; ++i) deque.push_bottom(i);
+    publish_all(deque);
     state.ResumeTiming();
     for (Item i = 0; i < n; ++i) benchmark::DoNotOptimize(deque.pop_top());
     state.PauseTiming();
@@ -73,6 +89,7 @@ void BM_StealDrain(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::AbpDeque<Item>);
 BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::AbpGrowableDeque<Item>);
 BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::SplitDeque<Item>);
 BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::MutexDeque<Item>);
 BENCHMARK_TEMPLATE(BM_StealDrain, abp::deque::SpinlockDeque<Item>);
 
@@ -102,8 +119,48 @@ void BM_OwnerWithThief(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::AbpDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::AbpGrowableDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::ChaseLevDeque<Item>);
+BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::SplitDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::MutexDeque<Item>);
 BENCHMARK_TEMPLATE(BM_OwnerWithThief, abp::deque::SpinlockDeque<Item>);
+
+template <typename D>
+void BM_OwnerWithThieves(benchmark::State& state) {
+  // E30: owner fast-path cost as thief pressure scales — Arg(1) is one
+  // thief, Arg(3) stands in for P-1 thieves on the 4-core reference box.
+  // For the split deque the steady state includes hunger-driven
+  // transfers, so this measures the whole publish protocol, not just the
+  // private segment. Multithreaded: excluded from the regression guard
+  // (the ratio measures the runner's core count, not the code).
+  const std::size_t kThieves = static_cast<std::size_t>(state.range(0));
+  D deque(1u << 16);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> thieves;
+  for (std::size_t t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire))
+        benchmark::DoNotOptimize(deque.pop_top());
+    });
+  }
+  Item i = 0;
+  for (auto _ : state) {
+    deque.push_bottom(++i);
+    benchmark::DoNotOptimize(deque.pop_bottom());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  while (deque.pop_bottom().has_value()) {
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK_TEMPLATE(BM_OwnerWithThieves, abp::deque::AbpDeque<Item>)
+    ->Arg(1)
+    ->Arg(3);
+BENCHMARK_TEMPLATE(BM_OwnerWithThieves, abp::deque::ChaseLevDeque<Item>)
+    ->Arg(1)
+    ->Arg(3);
+BENCHMARK_TEMPLATE(BM_OwnerWithThieves, abp::deque::SplitDeque<Item>)
+    ->Arg(1)
+    ->Arg(3);
 
 }  // namespace
 

@@ -1,0 +1,392 @@
+#pragma once
+
+// Split public/private work-stealing deque (owner-fast-path fence
+// elimination), after Rito & Paulino, "Scheduling computations with
+// provably low synchronization overheads" (and the Lace runtime's
+// tail/split word). The ABP and Chase-Lev owners pay ordering costs on
+// every pushBottom/popBottom — a seq_cst age protocol or a release store
+// plus a seq_cst take/steal fence — which dominates the per-task constant
+// at fine grain. Here the deque is cut in two:
+//
+//     top                split            bottom
+//      |-- public --------|--- private -----|
+//      [t, s): stealable  [s, b): owner-only, invisible to thieves
+//
+// The owner's common path touches ONLY the private segment, through two
+// owner-local words accessed entirely with relaxed atomics (which compile
+// to plain loads/stores — the atomicity is free, the *ordering* was the
+// cost being eliminated). Thieves operate on one shared 64-bit word
+// packing (tag:16 | top:24 | split:24):
+//
+//   * a steal is one CAS on the word advancing `top` — read-then-claim,
+//     exactly the ABP shape;
+//   * the owner publishes private work by an explicit `transfer` that
+//     release-CASes `split` up to `bottom`, bumping the tag;
+//   * when the private segment runs dry the owner *reclaims* by CASing
+//     `split` back down toward `top` (shrink-half), bumping the tag.
+//
+// Thieves signal hunger through a relaxed flag when they observe the
+// public segment empty; the owner polls it on every push (a load of a
+// rarely-written line) and transfers when set. Hunger is a liveness
+// hint only — losing a signal delays a transfer, never loses an item,
+// because thieves re-set it on every failed steal.
+//
+// Why the tag: `split` moves both ways, so the word value (top, split)
+// can recur — owner reclaims [ns, s), pops those items, pushes fresh
+// ones, transfers back to the same split — and a thief stalled between
+// its word read and its claim CAS would resurrect an already-consumed
+// item (the ABA the ABP tag exists for, generalized from popBottom
+// resets to split moves). Every owner write of the word bumps the tag;
+// a claim leaves it unchanged (the top advance itself invalidates
+// concurrent expectations). A wrap needs 2^16 owner republishes inside
+// one thief's load-to-CAS window — the same practical-impossibility
+// argument as ABP's 32-bit tag, on a far shorter window.
+//
+// Why no owner-defended batch window (contrast AbpGrowableDeque): the
+// owner's only takes from the public region go through the same
+// word-CAS as thieves (reclaim), so a batch claim and an owner take are
+// arbitrated by a single RMW location. kMaxStealBatch is honored but is
+// not load-bearing for this deque.
+//
+// The memory orders below are the weakest the model checker admits
+// (src/model weak_machine kSplit; tests/test_model_weak.cpp Split*):
+// exactly ONE release (the transfer publish) and one acquire (the
+// thief's word load) carry the only happens-before edge the algorithm
+// needs; the reclaim CAS is provably safe fully relaxed (it needs
+// atomicity, not ordering: the owner reads back only its own slot
+// stores). The claim CAS carries release solely to pin the pre-claim
+// slot read above the claim against local reordering, which an
+// interleaving model cannot express (same convention as the Chase-Lev
+// seq_cst strengthenings).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+
+#include "chaos/chaos.hpp"
+#include "deque/pop_top.hpp"
+#include "deque/push_result.hpp"
+#include "support/align.hpp"
+#include "support/assert.hpp"
+
+namespace abp::deque {
+
+// kSafeTransfer=false is the chaos ablation (TransferAblatedSplitDeque):
+// the transfer publishes with a blind relaxed store instead of the
+// release CAS — "transfer without the release publish". A claim that
+// lands between the owner's word read and the blind store is clobbered
+// (its top advance undone), so the stolen item is served twice; the
+// differential chaos fuzz catches this from a one-line seed
+// (tests/test_chaos_deques.cpp ChaosTransferAblation).
+template <typename T, bool kSafeTransfer = true>
+class SplitDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+  static_assert(std::atomic<T>::is_always_lock_free);
+
+  // Word layout: tag:16 | top:24 | split:24. Indices are 24-bit
+  // monotonic counters (ring-masked for slot access); all index
+  // arithmetic is mod 2^24, valid while the deque holds < 2^23 items.
+  static constexpr unsigned kIdxBits = 24;
+  static constexpr std::uint32_t kIdxMask = (1u << kIdxBits) - 1;
+  static constexpr std::size_t kMaxCapacity = std::size_t{1} << 22;
+
+  static constexpr std::uint64_t pack(std::uint32_t tag, std::uint32_t top,
+                                      std::uint32_t split) noexcept {
+    return (static_cast<std::uint64_t>(tag & 0xffffu) << 48) |
+           (static_cast<std::uint64_t>(top & kIdxMask) << kIdxBits) |
+           (split & kIdxMask);
+  }
+  static constexpr std::uint32_t wtag(std::uint64_t w) noexcept {
+    return static_cast<std::uint32_t>(w >> 48) & 0xffffu;
+  }
+  static constexpr std::uint32_t wtop(std::uint64_t w) noexcept {
+    return static_cast<std::uint32_t>(w >> kIdxBits) & kIdxMask;
+  }
+  static constexpr std::uint32_t wsplit(std::uint64_t w) noexcept {
+    return static_cast<std::uint32_t>(w) & kIdxMask;
+  }
+  // Owner word: bottom:24 (high) | split-mirror:24 (low). Owner-only
+  // writer; thieves read it only through the racy size hints.
+  static constexpr std::uint64_t pack_pb(std::uint32_t bottom,
+                                         std::uint32_t split) noexcept {
+    return (static_cast<std::uint64_t>(bottom & kIdxMask) << 32) |
+           (split & kIdxMask);
+  }
+
+  // Relaxed atomic slots, as in the Chase-Lev formulation: a thief's
+  // read of a ring slot can race the owner's store into the same slot
+  // one lap later; the tagged word CAS rejects the stale read, but the
+  // access itself must be atomic to avoid UB (and TSan reports).
+  struct Slots {
+    explicit Slots(std::size_t cap)
+        : mask(cap - 1), data(std::make_unique<std::atomic<T>[]>(cap)) {
+      ABP_ASSERT((cap & (cap - 1)) == 0);
+    }
+    std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> data;
+
+    T get(std::uint32_t i) const noexcept {
+      // Stale reads are rejected by the tagged word CAS at every
+      // non-owner caller; the owner reads back only its own stores.
+      // model-site: split.pop_bottom.item_load, split.pop_top.item_load, split.pop_top_batch.item_load
+      return data[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::uint32_t i, T v) noexcept {
+      // Unordered here; published to thieves by transfer's release CAS.
+      // model-site: split.push_bottom.item_store
+      data[i & mask].store(v, std::memory_order_relaxed);
+    }
+  };
+
+ public:
+  explicit SplitDeque(std::size_t capacity = 64) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    ABP_ASSERT_MSG(cap <= kMaxCapacity,
+                   "SplitDeque capacity exceeds the 24-bit index space");
+    capacity_ = static_cast<std::uint32_t>(cap);
+    slots_ = std::make_unique<Slots>(cap);
+  }
+
+  SplitDeque(const SplitDeque&) = delete;
+  SplitDeque& operator=(const SplitDeque&) = delete;
+
+  // Owner only. The fast path is the whole point of this deque: one
+  // relaxed load + one relaxed store of the owner word, one relaxed
+  // slot store, one relaxed load of the hunger line. Zero release or
+  // seq_cst operations, zero CAS, no store to any line thieves CAS.
+  void push_bottom(T item) {
+    const PushStatus st = push_bottom_ex(item);
+    ABP_ASSERT_MSG(st == PushStatus::kOk, "SplitDeque overflow");
+  }
+
+  PushStatus push_bottom_ex(T item) {
+    // model-site: split.push_bottom.pb_load
+    const std::uint64_t pb = pb_.value.load(std::memory_order_relaxed);
+    const std::uint32_t b = static_cast<std::uint32_t>(pb >> 32) & kIdxMask;
+    // Capacity check against a cached top: top only advances, so a
+    // stale cache is conservative (may refresh needlessly, never
+    // admits an overwrite of an unconsumed slot).
+    if (((b - top_cache_) & kIdxMask) >= capacity_) {
+      // model-site: split.push_bottom.ts_refresh
+      top_cache_ = wtop(ts_.value.load(std::memory_order_relaxed));
+      if (((b - top_cache_) & kIdxMask) >= capacity_)
+        return PushStatus::kAllocFailed;  // full; deque unchanged
+    }
+    CHAOS_POINT("deque.pushbottom.pre_item_store");
+    slots_->put(b, item);
+    // model-site: split.push_bottom.pb_store
+    pb_.value.store(pack_pb(b + 1, wsplit64(pb)), std::memory_order_relaxed);
+    // Hunger is a rarely-written line: this relaxed load is the entire
+    // cost thieves can impose on a non-transferring owner.
+    // model-site: split.push_bottom.hunger_load
+    if (hunger_.value.load(std::memory_order_relaxed) != 0) transfer();
+    return PushStatus::kOk;
+  }
+
+  // Owner only. Publish the whole private segment [split, bottom) to
+  // thieves. A transfer of size 0 is a no-op (nothing private).
+  void transfer() {
+    // model-site: split.transfer.pb_load
+    const std::uint64_t pb = pb_.value.load(std::memory_order_relaxed);
+    const std::uint32_t b = static_cast<std::uint32_t>(pb >> 32) & kIdxMask;
+    if (b == wsplit64(pb)) return;
+    // Clear before publishing: a hunger set concurrently stays pending
+    // and at worst triggers one spurious future transfer.
+    // model-site: split.transfer.hunger_clear
+    hunger_.value.store(0, std::memory_order_relaxed);
+    // model-site: split.transfer.ts_load
+    std::uint64_t w = ts_.value.load(std::memory_order_relaxed);
+    for (;;) {
+      if constexpr (kSafeTransfer) {
+        // Release: the ONE edge publishing the slot stores; thieves'
+        // acquire word load (or any claim in its release sequence)
+        // synchronizes with it. Must be a CAS: a plain store would
+        // clobber a concurrent claim's top advance (see the ablation
+        // below and model ablation split_blind_publish). Tag bump: see
+        // the header comment on split-move ABA.
+        // model-site: split.transfer.publish_cas
+        CHAOS_POINT("deque.split.transfer.pre_publish");
+        if (ts_.value.compare_exchange_weak(w, pack(wtag(w) + 1, wtop(w), b),
+                                            std::memory_order_release,
+                                            std::memory_order_relaxed))
+          break;
+        // Failure re-read w: only thieves' top advances can interfere.
+      } else {
+        // ABLATION: blind relaxed store — no CAS, no release.
+        // model-site: none(deliberately broken transfer publish; the
+        // chaos differential must catch this, never ship it)
+        CHAOS_POINT("deque.split.transfer.pre_publish");
+        ts_.value.store(pack(wtag(w) + 1, wtop(w), b),
+                        std::memory_order_relaxed);
+        break;
+      }
+    }
+    // model-site: split.transfer.pb_store
+    pb_.value.store(pack_pb(b, b), std::memory_order_relaxed);
+  }
+
+  // Owner only. Fast path (private segment non-empty) is fence-free:
+  // one relaxed load, one relaxed store, one relaxed slot read.
+  std::optional<T> pop_bottom() {
+    // model-site: split.pop_bottom.pb_load
+    const std::uint64_t pb = pb_.value.load(std::memory_order_relaxed);
+    std::uint32_t b = static_cast<std::uint32_t>(pb >> 32) & kIdxMask;
+    std::uint32_t s = wsplit64(pb);
+    if (b == s && !reclaim(s)) return std::nullopt;
+    b = (b - 1) & kIdxMask;
+    // model-site: split.pop_bottom.pb_store
+    pb_.value.store(pack_pb(b, s), std::memory_order_relaxed);
+    return slots_->get(b);
+  }
+
+  // Any process but the owner (the owner uses pop_bottom).
+  std::optional<T> pop_top() { return pop_top_ex().item; }
+
+  PopTopResult<T> pop_top_ex() {
+    CHAOS_POINT("deque.poptop.pre_read");
+    // Acquire: pairs with transfer's release CAS (directly, or through
+    // the release sequence continued by intervening claim RMWs), so
+    // the slot read below sees the published item. The model proves
+    // relaxed here steals unpublished garbage (SplitNoStealAcquire*).
+    // model-site: split.pop_top.ts_load
+    std::uint64_t w = ts_.value.load(std::memory_order_acquire);
+    const std::uint32_t t = wtop(w), s = wsplit(w);
+    if (((s - t) & kIdxMask) == 0) {
+      // Public segment empty: tell the owner we are starving. Relaxed:
+      // pure liveness hint, re-asserted on every failed steal.
+      // model-site: split.pop_top.hunger_store
+      hunger_.value.store(1, std::memory_order_relaxed);
+      return {std::nullopt, PopTopStatus::kEmpty};
+    }
+    T item = slots_->get(t);
+    CHAOS_POINT("deque.poptop.pre_cas");
+    // Read-then-claim: the tag makes the expected word unique, so
+    // success certifies the slot read above was of the live item.
+    // Release (not acq_rel): pins that read above the claim; the
+    // acquire half is unnecessary — visibility arrived with the word
+    // load. Tag unchanged: the top advance invalidates rivals.
+    // model-site: split.pop_top.claim_cas
+    if (!ts_.value.compare_exchange_strong(w, pack(wtag(w), t + 1, s),
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed))
+      return {std::nullopt, PopTopStatus::kLostRace};
+    return {item, PopTopStatus::kSuccess};
+  }
+
+  // Any process but the owner: claim up to ceil(public/2) items (capped
+  // by max_items and kMaxStealBatch) in ONE word CAS. items[0] is the
+  // oldest. No owner-defended window is needed: the owner's reclaim
+  // goes through the same word CAS, so the two claims serialize.
+  PopTopBatchResult<T> pop_top_batch(std::size_t max_items) {
+    PopTopBatchResult<T> r;
+    if (max_items == 0) return r;  // k = 0 is a no-op claim (kEmpty)
+    if (max_items > kMaxStealBatch) max_items = kMaxStealBatch;
+    CHAOS_POINT("deque.poptop.pre_read");
+    // Same edge as pop_top_ex's word load (one release-sequence hop).
+    // model-site: split.pop_top_batch.ts_load
+    std::uint64_t w = ts_.value.load(std::memory_order_acquire);
+    const std::uint32_t t = wtop(w), s = wsplit(w);
+    const std::uint32_t pub = (s - t) & kIdxMask;
+    if (pub == 0) {
+      // model-site: split.pop_top_batch.hunger_store
+      hunger_.value.store(1, std::memory_order_relaxed);
+      return r;
+    }
+    std::uint32_t take = (pub + 1) / 2;
+    if (take > max_items) take = static_cast<std::uint32_t>(max_items);
+    for (std::uint32_t i = 0; i < take; ++i)
+      r.items[i] = slots_->get((t + i) & kIdxMask);
+    CHAOS_POINT("deque.split.batch.pre_cas");
+    // Same contract as the single claim: release success, tag kept.
+    // model-site: split.pop_top_batch.claim_cas
+    if (!ts_.value.compare_exchange_strong(w, pack(wtag(w), t + take, s),
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed)) {
+      r.status = PopTopStatus::kLostRace;
+      return r;
+    }
+    r.count = take;
+    r.status = PopTopStatus::kSuccess;
+    return r;
+  }
+
+  bool empty_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
+    const std::uint32_t t = wtop(ts_.value.load(std::memory_order_acquire));
+    // model-site: none(racy observability hint, not part of the algorithm)
+    const std::uint64_t pb = pb_.value.load(std::memory_order_acquire);
+    const std::uint32_t b = static_cast<std::uint32_t>(pb >> 32) & kIdxMask;
+    return ((b - t) & kIdxMask) == 0;
+  }
+
+  std::size_t size_hint() const {
+    // model-site: none(racy observability hint, not part of the algorithm)
+    const std::uint32_t t = wtop(ts_.value.load(std::memory_order_acquire));
+    // model-site: none(racy observability hint, not part of the algorithm)
+    const std::uint64_t pb = pb_.value.load(std::memory_order_acquire);
+    const std::uint32_t b = static_cast<std::uint32_t>(pb >> 32) & kIdxMask;
+    return (b - t) & kIdxMask;
+  }
+
+  // Test observability: the republish tag (wraps mod 2^16).
+  std::uint32_t tag_hint() const {
+    // model-site: none(test observability only)
+    return wtag(ts_.value.load(std::memory_order_relaxed));
+  }
+
+ private:
+  static constexpr std::uint32_t wsplit64(std::uint64_t pb) noexcept {
+    return static_cast<std::uint32_t>(pb) & kIdxMask;
+  }
+
+  // Private segment empty: shrink split toward top, making the upper
+  // half of the public segment private again (so pop_bottom keeps its
+  // LIFO contract even past a transfer). Returns false iff the deque
+  // is entirely empty. On success, s is the new split (== the new
+  // private segment's lower bound).
+  bool reclaim(std::uint32_t& s) {
+    for (;;) {
+      // model-site: split.reclaim.ts_load
+      std::uint64_t w = ts_.value.load(std::memory_order_relaxed);
+      const std::uint32_t t = wtop(w);
+      const std::uint32_t pub = (wsplit(w) - t) & kIdxMask;
+      if (pub == 0) return false;
+      const std::uint32_t ns = (t + pub / 2) & kIdxMask;
+      CHAOS_POINT("deque.split.reclaim.pre_cas");
+      // Fully relaxed, proven by the model: the RMW's atomicity
+      // arbitrates against claims (same word), and the owner reads
+      // back only its own slot stores — no happens-before edge is
+      // consumed or produced here. Tag bump: split moved.
+      // model-site: split.reclaim.shrink_cas
+      if (ts_.value.compare_exchange_strong(w, pack(wtag(w) + 1, t, ns),
+                                            std::memory_order_relaxed,
+                                            std::memory_order_relaxed)) {
+        s = ns;
+        return true;
+      }
+      // Lost to a claim; re-read and retry (public may now be empty).
+    }
+  }
+
+  std::unique_ptr<Slots> slots_;
+  std::uint32_t capacity_ = 0;
+  // Owner-private plain cache of top for the capacity check; only ever
+  // read/written by the owner.
+  std::uint32_t top_cache_ = 0;
+  // Shared word (tag | top | split): the only line thieves CAS.
+  CacheAligned<std::atomic<std::uint64_t>> ts_{};
+  // Owner word (bottom | split-mirror): owner-only writer, relaxed
+  // everywhere; thieves read it only through the racy size hints.
+  CacheAligned<std::atomic<std::uint64_t>> pb_{};
+  // Thief-to-owner starvation signal; its own line so thief writes do
+  // not invalidate the words above.
+  CacheAligned<std::atomic<std::uint32_t>> hunger_{};
+};
+
+template <typename T>
+using TransferAblatedSplitDeque = SplitDeque<T, false>;
+
+}  // namespace abp::deque

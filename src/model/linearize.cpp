@@ -40,6 +40,9 @@ struct SpecDeque {
         if (items.empty() || e.result != items.front()) return false;
         items.pop_front();
         return true;
+      case Method::kTransfer:
+        // Publishing the private segment moves no items in or out.
+        return true;
       case Method::kIdle:
         return true;
     }

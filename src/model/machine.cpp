@@ -130,6 +130,7 @@ StepOutcome step_abp(SharedDeque& mem, Invocation& inv,
       break;
 
     case Method::kPopTopBatch:  // weak growable machine only
+    case Method::kTransfer:     // weak split machine only
     case Method::kIdle:
       break;
   }
@@ -181,6 +182,9 @@ StepOutcome step_spin(SharedDeque& mem, Invocation& inv) {
           break;
         case Method::kPopTopBatch:
           ABP_ASSERT_MSG(false, "batch steal not modeled by the spin machine");
+          break;
+        case Method::kTransfer:
+          ABP_ASSERT_MSG(false, "transfer not modeled by the spin machine");
           break;
         case Method::kIdle:
           break;

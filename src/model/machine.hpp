@@ -57,6 +57,10 @@ enum class Method : std::uint8_t {
   kPopBottom,
   kPopTop,
   kPopTopBatch,
+  // kTransfer (the split deque's owner-driven publish of the private
+  // segment) exists only on the split *weak* machine; the SC machines
+  // and the other weak machines reject it.
+  kTransfer,
   kIdle,
 };
 

@@ -221,7 +221,7 @@ void claim_value(Ctx& c, WState& s, std::size_t p, Method method,
 void check_retired(Ctx& c, WState& s, std::size_t p, Method method) {
   const WInvocation& inv = s.inv[p];
   if (!inv.idle()) return;  // still mid-method
-  if (method == Method::kPushBottom) return;
+  if (method == Method::kPushBottom || method == Method::kTransfer) return;
   // A batch retires up to kWBatchCap results; each is claimed separately.
   if (inv.result != kWNil) claim_value(c, s, p, method, inv.result);
   if (method == Method::kPopTopBatch && inv.result2 != kWNil)
@@ -394,15 +394,26 @@ WExploreResult wexplore(const std::vector<Script>& scripts,
         ++pushes;
       } else if (op.method == Method::kPopBottom) {
         ABP_ASSERT_MSG(p == 0, "only process 0 (the owner) may popBottom");
+      } else if (op.method == Method::kTransfer) {
+        ABP_ASSERT_MSG(p == 0, "only process 0 (the owner) may transfer");
+        ABP_ASSERT_MSG(opts.machine == WMachine::kSplit,
+                       "kTransfer is a split-machine method");
       } else if (op.method == Method::kPopTopBatch) {
-        ABP_ASSERT_MSG(opts.machine == WMachine::kGrowable && opts.batch_steals,
-                       "kPopTopBatch needs the growable machine with "
-                       "batch_steals armed");
+        ABP_ASSERT_MSG(
+            (opts.machine == WMachine::kGrowable && opts.batch_steals) ||
+                opts.machine == WMachine::kSplit,
+            "kPopTopBatch needs the growable machine with batch_steals "
+            "armed, or the split machine");
       }
     }
   }
+  // The split machine reuses cells after owner pops (its indices are
+  // absolute but bounded by kSplitCap, asserted at push time inside
+  // split_peek), so total pushes may exceed the live capacity; every
+  // other machine's cells are write-once per script.
   const int cap = opts.machine == WMachine::kChaseLev ? kClCap
                   : opts.machine == WMachine::kAbp    ? kAbpCap
+                  : opts.machine == WMachine::kSplit  ? 2 * kSplitCap
                                                       : kGrowCap1;
   ABP_ASSERT_MSG(pushes <= cap, "script pushes exceed the model capacity");
 

@@ -7,12 +7,15 @@ namespace abp::model {
 namespace {
 
 // Shared-location layout (all machines fit in kMaxLocs = 16):
-//   0  age     — ABP/growable packed (tag << 4) | top
-//   1  bot     — ABP/growable bottom; Chase-Lev bottom counter
-//   2  top     — Chase-Lev top counter
+//   0  age     — ABP/growable packed (tag << 4) | top;
+//                split packed (tag:4 | top:2 | split:2) shared word
+//   1  bot     — ABP/growable bottom; Chase-Lev bottom counter;
+//                split packed (bottom:2 | split:2) owner word
+//   2  top     — Chase-Lev top counter; split hunger flag
 //   3  bufptr  — growable buffer id (0 or 1)
 //   4+ cells   — ABP: 4+i (cap 6); Chase-Lev: 4+(i&3) (ring of 4);
-//                growable: buffer 0 at 4+i (cap 2), buffer 1 at 8+i (cap 6)
+//                growable: buffer 0 at 4+i (cap 2), buffer 1 at 8+i (cap 6);
+//                split: 4+i (cap 3)
 constexpr Loc kLocAge = 0;
 constexpr Loc kLocBot = 1;
 constexpr Loc kLocTop = 2;
@@ -33,6 +36,26 @@ constexpr Loc cl_cell(std::uint8_t i) noexcept {
 }
 constexpr Loc grow_cell(std::uint8_t buf, std::uint8_t i) noexcept {
   return static_cast<Loc>(buf == 0 ? kLocCell + i : kLocCell + 4 + i);
+}
+
+// Split packing. Indices are absolute (never masked: scripts stay below
+// kSplitCap), 2 bits each, leaving a 4-bit tag — wide enough that the
+// safe machine's word cannot recur within any scripted history.
+constexpr std::uint8_t pack_ts(std::uint8_t tag, std::uint8_t top,
+                               std::uint8_t split) noexcept {
+  return static_cast<std::uint8_t>((tag << 4) | ((top & 3) << 2) |
+                                   (split & 3));
+}
+constexpr std::uint8_t ts_tag(std::uint8_t w) noexcept { return w >> 4; }
+constexpr std::uint8_t ts_top(std::uint8_t w) noexcept { return (w >> 2) & 3; }
+constexpr std::uint8_t ts_split(std::uint8_t w) noexcept { return w & 3; }
+constexpr std::uint8_t pack_spb(std::uint8_t b, std::uint8_t s) noexcept {
+  return static_cast<std::uint8_t>(((b & 3) << 2) | (s & 3));
+}
+constexpr std::uint8_t spb_b(std::uint8_t w) noexcept { return (w >> 2) & 3; }
+constexpr std::uint8_t spb_s(std::uint8_t w) noexcept { return w & 3; }
+constexpr Loc split_cell(std::uint8_t i) noexcept {
+  return static_cast<Loc>(kLocCell + i);
 }
 
 // ATOMICS-LINT-TABLE-BEGIN
@@ -99,6 +122,29 @@ constexpr OrderSpec kOrderTable[] = {
     {"chase_lev.pop_top.bottom_load", MemOrder::kAcquire},
     {"chase_lev.pop_top.item_load", MemOrder::kRelaxed},
     {"chase_lev.pop_top.cas", MemOrder::kSeqCst},
+    {"split.push_bottom.pb_load", MemOrder::kRelaxed},
+    {"split.push_bottom.ts_refresh", MemOrder::kRelaxed},
+    {"split.push_bottom.item_store", MemOrder::kRelaxed},
+    {"split.push_bottom.pb_store", MemOrder::kRelaxed},
+    {"split.push_bottom.hunger_load", MemOrder::kRelaxed},
+    {"split.transfer.pb_load", MemOrder::kRelaxed},
+    {"split.transfer.hunger_clear", MemOrder::kRelaxed},
+    {"split.transfer.ts_load", MemOrder::kRelaxed},
+    {"split.transfer.publish_cas", MemOrder::kRelease},
+    {"split.transfer.pb_store", MemOrder::kRelaxed},
+    {"split.pop_bottom.pb_load", MemOrder::kRelaxed},
+    {"split.pop_bottom.pb_store", MemOrder::kRelaxed},
+    {"split.pop_bottom.item_load", MemOrder::kRelaxed},
+    {"split.reclaim.ts_load", MemOrder::kRelaxed},
+    {"split.reclaim.shrink_cas", MemOrder::kRelaxed},
+    {"split.pop_top.ts_load", MemOrder::kAcquire},
+    {"split.pop_top.item_load", MemOrder::kRelaxed},
+    {"split.pop_top.hunger_store", MemOrder::kRelaxed},
+    {"split.pop_top.claim_cas", MemOrder::kRelease},
+    {"split.pop_top_batch.ts_load", MemOrder::kAcquire},
+    {"split.pop_top_batch.item_load", MemOrder::kRelaxed},
+    {"split.pop_top_batch.hunger_store", MemOrder::kRelaxed},
+    {"split.pop_top_batch.claim_cas", MemOrder::kRelease},
 };
 // ATOMICS-LINT-TABLE-END
 
@@ -179,6 +225,7 @@ Insn abp_peek(const WInvocation& inv, const WAblation&) {
       }
       break;
     case Method::kPopTopBatch:  // growable machine only
+    case Method::kTransfer:     // split machine only
     case Method::kIdle: break;
   }
   ABP_ASSERT_MSG(false, "abp_peek: invalid machine state");
@@ -247,6 +294,7 @@ void abp_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
       }
       break;
     case Method::kPopTopBatch:  // growable machine only
+    case Method::kTransfer:     // split machine only
     case Method::kIdle: break;
   }
   (void)insn;
@@ -344,6 +392,7 @@ Insn grow_peek(const WInvocation& inv, const WAblation& abl, bool batch) {
         default: break;
       }
       break;
+    case Method::kTransfer:  // split machine only
     case Method::kIdle: break;
   }
   ABP_ASSERT_MSG(false, "grow_peek: invalid machine state");
@@ -479,6 +528,7 @@ void grow_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
         default: break;
       }
       break;
+    case Method::kTransfer:  // split machine only
     case Method::kIdle: break;
   }
   (void)insn;
@@ -541,6 +591,7 @@ Insn cl_peek(const WInvocation& inv, const WAblation& abl) {
       }
       break;
     case Method::kPopTopBatch:  // growable machine only
+    case Method::kTransfer:     // split machine only
     case Method::kIdle: break;
   }
   ABP_ASSERT_MSG(false, "cl_peek: invalid machine state");
@@ -604,10 +655,236 @@ void cl_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
       }
       break;
     case Method::kPopTopBatch:  // growable machine only
+    case Method::kTransfer:     // split machine only
     case Method::kIdle: break;
   }
   (void)insn;
   ABP_ASSERT_MSG(false, "cl_advance: invalid machine state");
+}
+
+// ---- split public/private ---------------------------------------------------
+
+// split_deque.hpp line by line. Registers: b = bottom, i = split mirror
+// (owner) / batch take count (thief), x = the whole loaded ts word,
+// arg = first stolen item (thief; push argument is consumed at pc 1),
+// x2 = second batch item. The owner's inline hunger-triggered transfer
+// is not taken here: scripts schedule kTransfer explicitly, which covers
+// the identical interleavings because owner methods are serial on P0.
+Insn split_peek(const WInvocation& inv, const WAblation& abl) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kSplitPushPbLoad, kLocBot);
+        case 1:
+          ABP_ASSERT_MSG(inv.b < kSplitCap, "split model overflow");
+          return store(Site::kSplitPushItemStore, split_cell(inv.b), inv.arg);
+        case 2:
+          return store(Site::kSplitPushPbStore, kLocBot,
+                       pack_spb(static_cast<std::uint8_t>(inv.b + 1), inv.i));
+        case 3: return load(Site::kSplitPushHungerLoad, kLocTop);
+        default: break;
+      }
+      break;
+    case Method::kTransfer:
+      switch (inv.pc) {
+        case 0: return load(Site::kSplitTransferPbLoad, kLocBot);
+        case 1: return store(Site::kSplitTransferHungerClear, kLocTop, 0);
+        case 2: return load(Site::kSplitTransferTsLoad, kLocAge);
+        case 3: {
+          const std::uint8_t tag =
+              abl.split_frozen_tag
+                  ? ts_tag(inv.x)
+                  : static_cast<std::uint8_t>((ts_tag(inv.x) + 1) & 0x0f);
+          const std::uint8_t desired = pack_ts(tag, ts_top(inv.x), inv.b);
+          if (abl.split_blind_publish)
+            return store(Site::kSplitTransferPublishCas, kLocAge, desired);
+          Insn p =
+              cas(Site::kSplitTransferPublishCas, kLocAge, inv.x, desired);
+          if (abl.split_relaxed_transfer) p.order = MemOrder::kRelaxed;
+          return p;
+        }
+        case 4:
+          return store(Site::kSplitTransferPbStore, kLocBot,
+                       pack_spb(inv.b, inv.b));
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0: return load(Site::kSplitBotPbLoad, kLocBot);
+        case 1:
+          return store(Site::kSplitBotPbStore, kLocBot,
+                       pack_spb(static_cast<std::uint8_t>(inv.b - 1), inv.i));
+        case 2:
+          return load(Site::kSplitBotItemLoad,
+                      split_cell(static_cast<std::uint8_t>(inv.b - 1)));
+        case 3: return load(Site::kSplitReclaimTsLoad, kLocAge);
+        case 4: {
+          const std::uint8_t t = ts_top(inv.x);
+          const std::uint8_t pub =
+              static_cast<std::uint8_t>(ts_split(inv.x) - t);
+          const std::uint8_t ns = static_cast<std::uint8_t>(t + pub / 2);
+          const std::uint8_t tag =
+              abl.split_frozen_tag
+                  ? ts_tag(inv.x)
+                  : static_cast<std::uint8_t>((ts_tag(inv.x) + 1) & 0x0f);
+          return cas(Site::kSplitReclaimShrinkCas, kLocAge, inv.x,
+                     pack_ts(tag, t, ns));
+        }
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0: {
+          Insn p = load(Site::kSplitTopTsLoad, kLocAge);
+          if (abl.split_no_steal_acquire) p.order = MemOrder::kRelaxed;
+          return p;
+        }
+        case 1: return store(Site::kSplitTopHungerStore, kLocTop, 1);
+        case 2:
+          return load(Site::kSplitTopItemLoad, split_cell(ts_top(inv.x)));
+        case 3:
+          return cas(Site::kSplitTopClaimCas, kLocAge, inv.x,
+                     pack_ts(ts_tag(inv.x),
+                             static_cast<std::uint8_t>(ts_top(inv.x) + 1),
+                             ts_split(inv.x)));
+        default: break;
+      }
+      break;
+    case Method::kPopTopBatch:
+      switch (inv.pc) {
+        case 0: {
+          Insn p = load(Site::kSplitBatchTsLoad, kLocAge);
+          if (abl.split_no_steal_acquire) p.order = MemOrder::kRelaxed;
+          return p;
+        }
+        case 1: return store(Site::kSplitBatchHungerStore, kLocTop, 1);
+        case 2:
+          return load(Site::kSplitBatchItemLoad, split_cell(ts_top(inv.x)));
+        case 3:
+          return load(Site::kSplitBatchItemLoad,
+                      split_cell(static_cast<std::uint8_t>(ts_top(inv.x) + 1)));
+        case 4:
+          return cas(
+              Site::kSplitBatchClaimCas, kLocAge, inv.x,
+              pack_ts(ts_tag(inv.x),
+                      static_cast<std::uint8_t>(ts_top(inv.x) + inv.i),
+                      ts_split(inv.x)));
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  ABP_ASSERT_MSG(false, "split_peek: invalid machine state");
+  return Insn{};
+}
+
+void split_advance(WInvocation& inv, const Insn& insn, std::uint8_t loaded,
+                   bool cas_ok, const WAblation& abl) {
+  switch (inv.method) {
+    case Method::kPushBottom:
+      switch (inv.pc) {
+        case 0:
+          inv.b = spb_b(loaded);
+          inv.i = spb_s(loaded);
+          inv.pc = 1;
+          return;
+        case 1: inv.pc = 2; return;
+        case 2: inv.pc = 3; return;
+        case 3: retire(inv, kWNil); return;  // hunger observed; see above
+        default: break;
+      }
+      break;
+    case Method::kTransfer:
+      switch (inv.pc) {
+        case 0:
+          inv.b = spb_b(loaded);
+          inv.i = spb_s(loaded);
+          if (inv.b == inv.i) { retire(inv, kWNil); return; }  // size 0
+          inv.pc = 1;
+          return;
+        case 1: inv.pc = 2; return;
+        case 2: inv.x = loaded; inv.pc = 3; return;
+        case 3:
+          if (abl.split_blind_publish || cas_ok) { inv.pc = 4; return; }
+          inv.x = loaded;  // CAS observed a claim; retry against it
+          return;
+        case 4: retire(inv, kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopBottom:
+      switch (inv.pc) {
+        case 0:
+          inv.b = spb_b(loaded);
+          inv.i = spb_s(loaded);
+          inv.pc = inv.b != inv.i ? 1 : 3;  // private empty -> reclaim
+          return;
+        case 1: inv.pc = 2; return;
+        case 2: retire(inv, loaded); return;
+        case 3:
+          inv.x = loaded;
+          if (ts_split(inv.x) == ts_top(inv.x)) { retire(inv, kWNil); return; }
+          inv.pc = 4;
+          return;
+        case 4:
+          if (cas_ok) {
+            const std::uint8_t t = ts_top(inv.x);
+            inv.i = static_cast<std::uint8_t>(
+                t + static_cast<std::uint8_t>(ts_split(inv.x) - t) / 2);
+            inv.pc = 1;  // fast path against the reclaimed segment
+            return;
+          }
+          inv.pc = 3;  // lost to a claim: re-read the word
+          return;
+        default: break;
+      }
+      break;
+    case Method::kPopTop:
+      switch (inv.pc) {
+        case 0:
+          inv.x = loaded;
+          inv.pc = ts_split(inv.x) == ts_top(inv.x) ? 1 : 2;
+          return;
+        case 1: retire(inv, kWNil); return;
+        case 2: inv.arg = loaded; inv.pc = 3; return;
+        case 3: retire(inv, cas_ok ? inv.arg : kWNil); return;
+        default: break;
+      }
+      break;
+    case Method::kPopTopBatch:
+      switch (inv.pc) {
+        case 0: {
+          inv.x = loaded;
+          const std::uint8_t pub =
+              static_cast<std::uint8_t>(ts_split(inv.x) - ts_top(inv.x));
+          if (pub == 0) { inv.pc = 1; return; }
+          inv.i = static_cast<std::uint8_t>((pub + 1) / 2);
+          if (inv.i > kWBatchCap) inv.i = kWBatchCap;
+          inv.pc = 2;
+          return;
+        }
+        case 1: retire2(inv, kWNil, kWNil); return;
+        case 2:
+          inv.arg = loaded;
+          inv.pc = inv.i == 2 ? 3 : 4;
+          return;
+        case 3: inv.x2 = loaded; inv.pc = 4; return;
+        case 4:
+          if (cas_ok) {
+            retire2(inv, inv.arg, inv.i == 2 ? inv.x2 : kWNil);
+          } else {
+            retire2(inv, kWNil, kWNil);
+          }
+          return;
+        default: break;
+      }
+      break;
+    case Method::kIdle: break;
+  }
+  (void)insn;
+  ABP_ASSERT_MSG(false, "split_advance: invalid machine state");
 }
 
 }  // namespace
@@ -617,6 +894,7 @@ const char* to_string(WMachine m) noexcept {
     case WMachine::kAbp: return "abp";
     case WMachine::kChaseLev: return "chase_lev";
     case WMachine::kGrowable: return "growable";
+    case WMachine::kSplit: return "split";
   }
   return "?";
 }
@@ -647,6 +925,11 @@ std::vector<std::pair<Loc, std::uint8_t>> wm_initial(WMachine m) {
         init.emplace_back(grow_cell(1, static_cast<std::uint8_t>(i)),
                           kWPoison);
       break;
+    case WMachine::kSplit:
+      // ts, pb and hunger all start 0 (the WeakMemory default).
+      for (int i = 0; i < kSplitCap; ++i)
+        init.emplace_back(split_cell(static_cast<std::uint8_t>(i)), kWPoison);
+      break;
   }
   return init;
 }
@@ -657,6 +940,7 @@ Insn wm_peek(WMachine m, const WInvocation& inv, const WAblation& abl,
     case WMachine::kAbp: return abp_peek(inv, abl);
     case WMachine::kChaseLev: return cl_peek(inv, abl);
     case WMachine::kGrowable: return grow_peek(inv, abl, batch_steals);
+    case WMachine::kSplit: return split_peek(inv, abl);
   }
   ABP_ASSERT(false);
   return Insn{};
@@ -672,6 +956,9 @@ void wm_advance(WMachine m, WInvocation& inv, const Insn& insn,
     case WMachine::kGrowable:
       grow_advance(inv, insn, loaded, cas_ok, abl, batch_steals);
       return;
+    case WMachine::kSplit:
+      split_advance(inv, insn, loaded, cas_ok, abl);
+      return;
   }
   ABP_ASSERT(false);
 }
@@ -680,6 +967,42 @@ Footprint wm_footprint(WMachine m, Method method) {
   Footprint f;
   auto r = [&f](Loc l) { f.reads |= 1u << l; };
   auto w = [&f](Loc l) { f.writes |= 1u << l; };
+  if (m == WMachine::kSplit) {
+    // No split method carries a seq_cst access: f.sc stays false.
+    std::uint32_t scells = 0;
+    for (int i = 0; i < kSplitCap; ++i) scells |= 1u << (kLocCell + i);
+    switch (method) {
+      case Method::kPushBottom:
+        r(kLocBot);
+        w(kLocBot);
+        f.writes |= scells;
+        r(kLocTop);  // hunger poll
+        break;
+      case Method::kTransfer:
+        r(kLocBot);
+        w(kLocBot);
+        w(kLocTop);  // hunger clear
+        r(kLocAge);
+        w(kLocAge);
+        break;
+      case Method::kPopBottom:
+        r(kLocBot);
+        w(kLocBot);
+        f.reads |= scells;
+        r(kLocAge);  // reclaim
+        w(kLocAge);
+        break;
+      case Method::kPopTop:
+      case Method::kPopTopBatch:
+        r(kLocAge);
+        w(kLocAge);
+        f.reads |= scells;
+        w(kLocTop);  // hunger signal
+        break;
+      case Method::kIdle: break;
+    }
+    return f;
+  }
   std::uint32_t cells = 0;
   const int ncells = m == WMachine::kChaseLev ? kClCap
                      : m == WMachine::kAbp    ? kAbpCap
@@ -719,6 +1042,7 @@ Footprint wm_footprint(WMachine m, Method method) {
       w(idx);
       f.sc = true;  // seq_cst bottom store / fence / CAS
       break;
+    case Method::kTransfer:  // split machine only; handled above
     case Method::kIdle: break;
   }
   return f;
@@ -748,6 +1072,14 @@ std::uint64_t wm_remaining(WMachine m, const WeakMemory& mem) {
       const std::uint8_t t = mem.latest(kLocTop);
       const std::uint8_t b = mem.latest(kLocBot);
       for (std::uint8_t i = t; i < b; ++i) add(mem.latest(cl_cell(i)));
+      break;
+    }
+    case WMachine::kSplit: {
+      // Held items span [top, bottom): the public [top, split) plus the
+      // private [split, bottom) segments.
+      const std::uint8_t t = ts_top(mem.latest(kLocAge));
+      const std::uint8_t b = spb_b(mem.latest(kLocBot));
+      for (std::uint8_t i = t; i < b; ++i) add(mem.latest(split_cell(i)));
       break;
     }
   }

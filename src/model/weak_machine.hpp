@@ -20,6 +20,10 @@
 //   * GrowableMachine — abp_growable_deque's buffer-publish protocol:
 //                       copy the live window, release-publish the new
 //                       buffer pointer, keep pushing.
+//   * SplitMachine    — split_deque's public/private protocol: a shared
+//                       (tag|top|split) word thieves CAS, an owner word
+//                       accessed only relaxed, and an explicit kTransfer
+//                       method release-publishing the private segment.
 //
 // Ablations demote one declared order (or freeze the ABP tag) so the
 // explorer can produce the concrete violating interleaving that proves
@@ -32,7 +36,7 @@
 
 namespace abp::model {
 
-enum class WMachine : std::uint8_t { kAbp, kChaseLev, kGrowable };
+enum class WMachine : std::uint8_t { kAbp, kChaseLev, kGrowable, kSplit };
 
 const char* to_string(WMachine m) noexcept;
 
@@ -59,11 +63,26 @@ struct WAblation {
   // tag bump, so an in-flight batch CAS can commit a claim window the
   // owner has already popped from (double delivery).
   bool batch_no_defense = false;
+  // Split: transfer's publish CAS is relaxed instead of release — a thief
+  // can observe the advanced split but not the slot stores it covers.
+  bool split_relaxed_transfer = false;
+  // Split: the thief's word load is relaxed instead of acquire — the
+  // thief observes the advanced split without joining the publishing view.
+  bool split_no_steal_acquire = false;
+  // Split: owner word-writes (transfer publish, reclaim shrink) keep the
+  // old tag — the (top, split) pair can recur after a reclaim/republish
+  // cycle and a stalled claim CAS resurrects a consumed item.
+  bool split_frozen_tag = false;
+  // Split: transfer publishes with a blind store instead of a CAS — a
+  // claim committing inside the owner's read-to-store window is clobbered
+  // (its top advance undone), so the stolen item is served twice.
+  bool split_blind_publish = false;
 
   bool any() const noexcept {
     return frozen_tag || cl_relaxed_bottom_store || cl_no_steal_acquire ||
            cl_relaxed_cas || grow_relaxed_publish || batch_publish_short ||
-           batch_no_defense;
+           batch_no_defense || split_relaxed_transfer ||
+           split_no_steal_acquire || split_frozen_tag || split_blind_publish;
   }
 };
 
@@ -127,6 +146,29 @@ enum class Site : std::uint8_t {
   kClTopBotLoad,
   kClTopItemLoad,
   kClTopCas,
+  kSplitPushPbLoad,
+  kSplitPushTsRefresh,
+  kSplitPushItemStore,
+  kSplitPushPbStore,
+  kSplitPushHungerLoad,
+  kSplitTransferPbLoad,
+  kSplitTransferHungerClear,
+  kSplitTransferTsLoad,
+  kSplitTransferPublishCas,
+  kSplitTransferPbStore,
+  kSplitBotPbLoad,
+  kSplitBotPbStore,
+  kSplitBotItemLoad,
+  kSplitReclaimTsLoad,
+  kSplitReclaimShrinkCas,
+  kSplitTopTsLoad,
+  kSplitTopItemLoad,
+  kSplitTopHungerStore,
+  kSplitTopClaimCas,
+  kSplitBatchTsLoad,
+  kSplitBatchItemLoad,
+  kSplitBatchHungerStore,
+  kSplitBatchClaimCas,
   kSiteCount,
 };
 
@@ -165,6 +207,11 @@ inline constexpr int kClCap = 4;                // Chase-Lev ring capacity
 inline constexpr int kGrowCap0 = 2;             // growable: first buffer
 inline constexpr int kGrowCap1 = 6;             // growable: grown buffer
 inline constexpr int kWBatchCap = 2;            // model batch-claim cap
+// Split model capacity: indices fit 2 bits so the packed word keeps a
+// 4-bit tag — wide enough that no sane script wraps it (the scripted
+// frozen-tag counterexample needs 4 owner word-writes; the safe machine
+// would need 16 to recur).
+inline constexpr int kSplitCap = 3;
 
 // One in-flight invocation of a weak machine.
 struct WInvocation {

@@ -14,6 +14,8 @@ enum class DequePolicy : std::uint8_t {
   kAbp,          // the paper's non-blocking deque (Figures 4-5)
   kAbpGrowable,  // extension: same algorithm over a growable buffer
   kChaseLev,     // modern growable non-blocking deque (comparator)
+  kSplit,        // split public/private deque: fence-free owner fast path,
+                 // explicit transfer publishes private work (DESIGN.md §17)
   kMutex,     // blocking deque, futex-based (waiters sleep)
   kSpinlock,  // blocking deque, test-and-set spinlock (1998-style; the
               // ablation baseline that exhibits lock-holder preemption)
@@ -30,8 +32,8 @@ enum class YieldPolicy : std::uint8_t {
 };
 
 // How much a successful steal takes from the victim. kStealHalf requires
-// a deque with a batched top-side operation (kAbpGrowable); other deque
-// policies silently degrade to single-item steals.
+// a deque with a batched top-side operation (kAbpGrowable, kSplit); other
+// deque policies silently degrade to single-item steals.
 enum class StealPolicy : std::uint8_t {
   kSingle,     // the paper's popTop: one item per successful steal
   kStealHalf,  // pop_top_batch: up to half the victim's deque in one
@@ -96,8 +98,8 @@ struct SchedulerOptions {
   // reports PushStatus::kAllocFailed and the worker degrades by running
   // the job inline (see Worker::push).
   std::size_t deque_max_capacity = 0;
-  // Steal-policy layer (see DESIGN.md §12). steal_half needs the batched
-  // deque op and therefore the growable ABP deque; with any other deque
+  // Steal-policy layer (see DESIGN.md §12). steal_half needs a batched
+  // deque op (the growable ABP or split deque); with any other deque
   // policy it degrades to single-item steals.
   StealPolicy steal_policy = StealPolicy::kSingle;
   VictimPolicy victim_policy = VictimPolicy::kUniform;

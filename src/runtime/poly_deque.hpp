@@ -15,6 +15,7 @@
 #include "deque/chase_lev_deque.hpp"
 #include "deque/mutex_deque.hpp"
 #include "deque/spinlock_deque.hpp"
+#include "deque/split_deque.hpp"
 #include "runtime/options.hpp"
 
 namespace abp::runtime {
@@ -38,6 +39,9 @@ class PolyDeque {
         break;
       case DequePolicy::kChaseLev:
         impl_.template emplace<deque::ChaseLevDeque<T>>();
+        break;
+      case DequePolicy::kSplit:
+        impl_.template emplace<deque::SplitDeque<T>>(capacity);
         break;
       case DequePolicy::kMutex:
         impl_.template emplace<deque::MutexDeque<T>>();
@@ -119,8 +123,8 @@ class PolyDeque {
   }
 
   std::variant<deque::AbpDeque<T>, deque::AbpGrowableDeque<T>,
-               deque::ChaseLevDeque<T>, deque::MutexDeque<T>,
-               deque::SpinlockDeque<T>>
+               deque::ChaseLevDeque<T>, deque::SplitDeque<T>,
+               deque::MutexDeque<T>, deque::SpinlockDeque<T>>
       impl_;
 };
 

@@ -11,6 +11,7 @@ const char* to_string(DequePolicy p) noexcept {
     case DequePolicy::kAbp: return "abp";
     case DequePolicy::kAbpGrowable: return "abp-growable";
     case DequePolicy::kChaseLev: return "chase-lev";
+    case DequePolicy::kSplit: return "split";
     case DequePolicy::kMutex: return "mutex";
     case DequePolicy::kSpinlock: return "spinlock";
   }

@@ -18,10 +18,11 @@
 //     past an unconsumed slot).
 //
 // Running the same (config, policy, seed) through AbpDeque,
-// AbpGrowableDeque, ChaseLevDeque and MutexDeque is the differential
-// check: the lock-based deque is the trivially-correct reference, and all
-// four must produce a clean Verdict. TagAblatedAbpDeque must NOT — see
-// test_chaos_deques.cpp, which asserts the harness catches it.
+// AbpGrowableDeque, ChaseLevDeque, SplitDeque and MutexDeque is the
+// differential check: the lock-based deque is the trivially-correct
+// reference, and all must produce a clean Verdict. TagAblatedAbpDeque and
+// TransferAblatedSplitDeque must NOT — see test_chaos_deques.cpp, which
+// asserts the harness catches both.
 //
 // Round protocol (safe barrier even with stalled thieves): the owner bumps
 // `round_seq` to open a round, pushes all items (occasionally draining its
@@ -78,6 +79,15 @@ struct DriverConfig {
   // lets the owner push and drain entire rounds uninterrupted and the
   // thieves only ever see an empty deque (zero steals, vacuous fuzz).
   double p_owner_yield = 0.25;
+  // After each push, chance the owner eagerly publishes its private
+  // segment (transfer), for deques that have one; others ignore it.
+  // Load-bearing for the split deque: hunger-gated transfers always run
+  // against an empty public segment (hunger means a thief just saw it
+  // empty, and only a transfer can repopulate it), so without eager
+  // transfers the publish-racing-claims window never opens and the fuzz
+  // of that window is vacuous. Kept 0.0 by default so every pre-existing
+  // (seed, config) reproduces its exact RNG stream.
+  double p_owner_transfer = 0.0;
   // Per steal attempt, chance that a batch-capable thief issues
   // pop_top_batch(batch_limit) instead of a single pop_top. Deques without
   // a pop_top_batch method ignore it; AbpGrowableDeque additionally arms
@@ -227,6 +237,10 @@ Verdict run_differential(const char* deque_name, const DriverConfig& cfg,
 
     for (std::size_t i = 0; i < cfg.items_per_round; ++i) {
       dq.push_bottom(static_cast<std::uint32_t>((r << 8) | i));
+      if (cfg.p_owner_transfer > 0.0 &&
+          owner_rng.chance(cfg.p_owner_transfer)) {
+        if constexpr (requires { dq.transfer(); }) dq.transfer();
+      }
       if (owner_rng.chance(cfg.p_owner_yield)) std::this_thread::yield();
       if (owner_rng.chance(cfg.p_owner_drain)) {
         while (auto item = dq.pop_bottom()) owner_popped.push_back(*item);
@@ -335,6 +349,12 @@ std::vector<model::HistoryEvent> record_history(
     push.arg = static_cast<std::uint8_t>(i);
     push.start = clock.fetch_add(1, std::memory_order_acq_rel);
     dq.push_bottom(static_cast<std::uint32_t>(i));
+    // Deques with a private segment publish INSIDE the recorded push
+    // window, so the recorded operation is push-and-publish. The §3.2
+    // spec is stated over published work — a popTop is allowed to miss
+    // items the owner has not transferred yet, so an unflushed private
+    // segment would read as a spurious NIL to the checker.
+    if constexpr (requires { dq.transfer(); }) dq.transfer();
     push.end = clock.fetch_add(1, std::memory_order_acq_rel);
     history.push_back(push);
     if (owner_rng.chance(cfg.p_owner_yield)) std::this_thread::yield();

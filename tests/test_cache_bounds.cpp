@@ -288,6 +288,10 @@ TEST(RuntimeCacheModel, SingleWorkerHasNoStealMisses) {
 }
 
 TEST(RuntimeCacheModel, ParallelRunAttributesWithinBound) {
+  // Deque-policy matrix (ISSUE PR 10, satellite 2): Q_P <= Q1 + O(S) must
+  // hold for the split deque too — lazy publication changes WHICH nodes
+  // migrate, but every extra miss is still charged to a steal, so the
+  // shape survives the deque swap. The ABP row is the reference.
   const dag::Dag d = dag::full_kary_tree(2, 7, 2);
   SchedulerOptions serial;
   serial.num_workers = 1;
@@ -296,20 +300,46 @@ TEST(RuntimeCacheModel, ParallelRunAttributesWithinBound) {
   ASSERT_TRUE(s.ok);
   const std::uint64_t q1 = s.totals.cache_misses;
 
-  SchedulerOptions par;
-  par.num_workers = 4;
-  par.cache_model = true;
-  const auto p = run_dag(d, par);
-  ASSERT_TRUE(p.ok);
-  EXPECT_LE(p.totals.cache_steal_misses, p.totals.cache_misses);
-  // The real-thread schedule is nondeterministic, so only the bound shape
-  // is gated: extra misses stay a bounded multiple of the steal count.
-  const double extra = static_cast<double>(p.totals.cache_misses) -
-                       static_cast<double>(q1);
-  const double s_count = static_cast<double>(p.totals.steals);
-  EXPECT_LE(extra, 48.0 * s_count + 64.0)
-      << "QP=" << p.totals.cache_misses << " Q1=" << q1
-      << " steals=" << p.totals.steals;
+  for (const DequePolicy dp : {DequePolicy::kAbp, DequePolicy::kSplit}) {
+    SchedulerOptions par;
+    par.num_workers = 4;
+    par.cache_model = true;
+    par.deque = dp;
+    const auto p = run_dag(d, par);
+    ASSERT_TRUE(p.ok) << to_string(dp);
+    EXPECT_LE(p.totals.cache_steal_misses, p.totals.cache_misses)
+        << to_string(dp);
+    // The real-thread schedule is nondeterministic, so only the bound
+    // shape is gated: extra misses stay a bounded multiple of the steal
+    // count.
+    const double extra = static_cast<double>(p.totals.cache_misses) -
+                         static_cast<double>(q1);
+    const double s_count = static_cast<double>(p.totals.steals);
+    EXPECT_LE(extra, 48.0 * s_count + 64.0)
+        << to_string(dp) << ": QP=" << p.totals.cache_misses << " Q1=" << q1
+        << " steals=" << p.totals.steals;
+  }
+}
+
+// A single split-deque worker keeps its entire run private (no thief ever
+// signals hunger), so nothing migrates and the attribution is exactly the
+// sequential one — the strongest form of the P = 1 invariant.
+TEST(RuntimeCacheModel, SplitDequeSingleWorkerMatchesSequentialQ1) {
+  const dag::Dag d = dag::full_kary_tree(2, 6, 2);
+  SchedulerOptions abp;
+  abp.num_workers = 1;
+  abp.cache_model = true;
+  const auto a = run_dag(d, abp);
+  ASSERT_TRUE(a.ok);
+
+  SchedulerOptions split = abp;
+  split.deque = DequePolicy::kSplit;
+  const auto b = run_dag(d, split);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(b.totals.cache_steal_misses, 0u);
+  // Same dag, same single-worker depth-first order, same LRU model ->
+  // identical miss count regardless of the deque backing the worker.
+  EXPECT_EQ(b.totals.cache_misses, a.totals.cache_misses);
 }
 
 TEST(RuntimeCacheModel, OffByDefaultCountersStayZero) {

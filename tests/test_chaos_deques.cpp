@@ -24,6 +24,7 @@
 #include "deque/chase_lev_deque.hpp"
 #include "deque/mutex_deque.hpp"
 #include "deque/spinlock_deque.hpp"
+#include "deque/split_deque.hpp"
 #include "sim/kernel.hpp"
 #include "sim/profile.hpp"
 
@@ -51,6 +52,14 @@ struct DequeName<deque::ChaseLevDeque<std::uint32_t>> {
   static constexpr const char* value = "chase-lev";
 };
 template <>
+struct DequeName<deque::SplitDeque<std::uint32_t>> {
+  static constexpr const char* value = "split";
+};
+template <>
+struct DequeName<deque::TransferAblatedSplitDeque<std::uint32_t>> {
+  static constexpr const char* value = "split-transfer-ablated";
+};
+template <>
 struct DequeName<deque::MutexDeque<std::uint32_t>> {
   static constexpr const char* value = "mutex";
 };
@@ -66,6 +75,7 @@ using DequeTypes =
     ::testing::Types<deque::AbpDeque<std::uint32_t>,
                      deque::AbpGrowableDeque<std::uint32_t>,
                      deque::ChaseLevDeque<std::uint32_t>,
+                     deque::SplitDeque<std::uint32_t>,
                      deque::MutexDeque<std::uint32_t>,
                      deque::SpinlockDeque<std::uint32_t>>;
 TYPED_TEST_SUITE(ChaosDifferential, DequeTypes);
@@ -208,6 +218,80 @@ TEST(ChaosTagAblation, CaughtVerdictReproducesFromSeed) {
                           << second.repro();
 }
 
+// ---- split deque: transfer-publish window ----------------------------------
+
+// The split deque's dangerous window is the transfer publish racing thief
+// claims over a NON-EMPTY public segment; hunger-gated transfers never
+// open it (hunger implies a thief just saw the public side empty, and
+// only a transfer repopulates it), so these runs mix in eager transfers
+// and park the owner inside the window with the targeted policy. The
+// correct deque — whose publish is a tag-bumping release CAS — must
+// shrug this off for 10k rounds.
+TEST(ChaosTransferAblation, TargetedTransferWindowCleanOnCorrectDeque) {
+  DriverConfig cfg;
+  cfg.rounds = 10'000 / kSanitizerRoundScale;
+  cfg.seed = 0x5b117u;
+  cfg.p_owner_drain = 0.5;
+  cfg.p_owner_transfer = 0.5;
+  chaos::TargetedPolicy::Config pcfg;
+  pcfg.point = "deque.split.transfer.pre_publish";
+  pcfg.action = chaos::Action::kYield;
+  pcfg.repeat = 32;
+  const Verdict v = run_differential<deque::SplitDeque<std::uint32_t>>(
+      "split", cfg, std::make_shared<chaos::TargetedPolicy>(pcfg));
+  EXPECT_TRUE(v.ok) << v.repro();
+  EXPECT_EQ(v.owner_pops + v.thief_steals,
+            v.rounds_run * cfg.items_per_round)
+      << v.repro();
+}
+
+// Harness sharpness for the split deque (ISSUE satellite 1): compile the
+// model's split_blind_publish ablation into real std::atomic code — the
+// transfer publishes with a blind relaxed store instead of the release
+// CAS — and the fuzz MUST catch it: a thief claim that lands while the
+// owner is parked between its word read and the blind store is clobbered
+// (the top advance undone), so the claimed item is served again, and the
+// differential check reports the duplicate with a reproducing seed.
+TEST(ChaosTransferAblation, DifferentialCheckCatchesBlindPublish) {
+  DriverConfig cfg;
+  cfg.rounds = 10'000;  // bound, not budget: the catch lands in round ~1
+  cfg.seed = 0x5b11au;
+  cfg.p_owner_drain = 0.5;
+  cfg.p_owner_transfer = 0.5;
+  chaos::TargetedPolicy::Config pcfg;
+  pcfg.point = "deque.split.transfer.pre_publish";
+  pcfg.action = chaos::Action::kYield;
+  pcfg.repeat = 32;
+  const Verdict bad =
+      run_differential<deque::TransferAblatedSplitDeque<std::uint32_t>>(
+          "split-transfer-ablated", cfg,
+          std::make_shared<chaos::TargetedPolicy>(pcfg));
+  ASSERT_FALSE(bad.ok)
+      << "the transfer ablation survived the adversarial schedule — the "
+         "harness lost its sharpness: "
+      << bad.repro();
+  EXPECT_GT(bad.duplicates + bad.lost + bad.stale, 0u);
+  EXPECT_GT(bad.first_bad_round, 0u);
+  // The printed line is the one-line repro the ISSUE asks for.
+  std::cout << "[chaos] " << bad.repro() << "\n";
+
+  // Replay with exactly the values the repro line prints: same class of
+  // failure from the seed alone.
+  const Verdict again =
+      run_differential<deque::TransferAblatedSplitDeque<std::uint32_t>>(
+          "split-transfer-ablated", bad.config,
+          std::make_shared<chaos::TargetedPolicy>(pcfg));
+  EXPECT_FALSE(again.ok) << "printed seed did not reproduce: "
+                         << again.repro();
+
+  // Control: the release-CAS-publishing deque under the identical config,
+  // policy and seed is clean — the failure above is the blind store, not
+  // the harness or the protocol.
+  const Verdict good = run_differential<deque::SplitDeque<std::uint32_t>>(
+      "split", cfg, std::make_shared<chaos::TargetedPolicy>(pcfg));
+  EXPECT_TRUE(good.ok) << good.repro();
+}
+
 // ---- batched stealing ------------------------------------------------------
 
 // Differential check with steal-half batches in the thief op mix: the
@@ -241,6 +325,23 @@ TEST(ChaosBatchSteal, DifferentialCleanAcrossImplementations) {
       2'000);
   run(std::type_identity<deque::SpinlockDeque<std::uint32_t>>{}, "spinlock",
       400);
+  // The split deque serves the same batch mix natively and with NO
+  // owner-defended window (its reclaim and the batch claim share one word
+  // CAS); eager transfers keep the public segment populated so batches
+  // wider than one item actually form.
+  {
+    DriverConfig c = cfg;
+    c.rounds = 10'000 / kSanitizerRoundScale + 10;
+    c.p_owner_transfer = 0.5;
+    const Verdict split = run_differential<deque::SplitDeque<std::uint32_t>>(
+        "split-batch", c, std::make_shared<chaos::RandomPolicy>());
+    EXPECT_TRUE(split.ok) << split.repro();
+    EXPECT_EQ(split.owner_pops + split.thief_steals,
+              split.rounds_run * c.items_per_round)
+        << split.repro();
+    EXPECT_GT(split.batch_steals, 0u) << split.repro();
+    EXPECT_GE(split.batch_items, split.batch_steals);
+  }
   // The batch path must actually run for the differential to mean anything
   // (p_owner_yield keeps the deque non-empty under the thieves' noses even
   // on the 1-CPU CI host).

@@ -206,8 +206,8 @@ TEST(ChaosScheduler, ObliviousKernelReplayAgainstRealRuntime) {
 TEST(ChaosScheduler, AllDequePoliciesCompleteUnderChaos) {
   for (const auto policy :
        {runtime::DequePolicy::kAbp, runtime::DequePolicy::kAbpGrowable,
-        runtime::DequePolicy::kChaseLev, runtime::DequePolicy::kMutex,
-        runtime::DequePolicy::kSpinlock}) {
+        runtime::DequePolicy::kChaseLev, runtime::DequePolicy::kSplit,
+        runtime::DequePolicy::kMutex, runtime::DequePolicy::kSpinlock}) {
     chaos::RandomPolicy::Config pcfg;
     pcfg.p_inject = 0.05;
     chaos::ChaosScope scope(std::make_shared<chaos::RandomPolicy>(pcfg), 23);

@@ -77,6 +77,7 @@ std::vector<EngineCase> engine_cases() {
       {"mutex", DequePolicy::kMutex},
       {"spinlock", DequePolicy::kSpinlock},
       {"growable", DequePolicy::kAbpGrowable},
+      {"split", DequePolicy::kSplit},
   };
   const std::vector<std::pair<std::string, YieldPolicy>> yields = {
       {"none", YieldPolicy::kNone},

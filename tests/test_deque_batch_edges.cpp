@@ -1,11 +1,16 @@
 // Edge-case suite for pop_top_batch across every batch-capable deque
 // (ISSUE PR 7, satellite 1): the growable ABP deque (the lock-free
-// implementation whose owner-side defended window makes batching safe) and
-// the two lock-based reference deques. Serial edges: a batch request
-// larger than the victim, a single-element victim, k = 0, and the
-// kMaxStealBatch cap. Concurrent edge: a batch thief racing the owner's
-// popBottom inside the defended window — every pushed item must be
-// delivered exactly once, to exactly one side.
+// implementation whose owner-side defended window makes batching safe),
+// the split deque (whose batch claim needs no defense — it shares one
+// word CAS with the owner's reclaim), and the two lock-based reference
+// deques. Serial edges: a batch request larger than the victim, a
+// single-element victim, k = 0, and the kMaxStealBatch cap. Concurrent
+// edge: a batch thief racing the owner's popBottom inside the defended
+// window — every pushed item must be delivered exactly once, to exactly
+// one side. Split-specific edges (ISSUE PR 10, satellite 3): transfer
+// racing a batch claim, transfers of size 0 and 1, private exhaustion
+// during owner pops, and the batch-vs-popBottom conservation race across
+// the reclaim path.
 
 #include <gtest/gtest.h>
 
@@ -20,6 +25,7 @@
 #include "deque/mutex_deque.hpp"
 #include "deque/pop_top.hpp"
 #include "deque/spinlock_deque.hpp"
+#include "deque/split_deque.hpp"
 
 // atomics-lint: allow(test-local start/stop flags for the race harness)
 
@@ -52,12 +58,30 @@ struct Maker<SpinlockDeque<std::uint32_t>> {
   }
 };
 
+template <>
+struct Maker<SplitDeque<std::uint32_t>> {
+  static std::unique_ptr<SplitDeque<std::uint32_t>> make() {
+    // Fixed-capacity (the split deque does not grow): wide enough for the
+    // deepest serial edge below (64 pushes) with headroom for the race.
+    return std::make_unique<SplitDeque<std::uint32_t>>(128);
+  }
+};
+
+// Pushed items on a split deque stay private until the owner publishes
+// them; the serial edges below are stated over stealable work, so after
+// its pushes the owner flushes. No-op for every other deque.
+template <typename D>
+void publish_all(D& d) {
+  if constexpr (requires { d.transfer(); }) d.transfer();
+}
+
 template <typename D>
 class DequeBatchEdges : public ::testing::Test {};
 
 using BatchDeques =
     ::testing::Types<AbpGrowableDeque<std::uint32_t>,
-                     MutexDeque<std::uint32_t>, SpinlockDeque<std::uint32_t>>;
+                     SplitDeque<std::uint32_t>, MutexDeque<std::uint32_t>,
+                     SpinlockDeque<std::uint32_t>>;
 TYPED_TEST_SUITE(DequeBatchEdges, BatchDeques);
 
 // A batch request exceeding the victim's size claims ceil(size/2), never
@@ -65,6 +89,7 @@ TYPED_TEST_SUITE(DequeBatchEdges, BatchDeques);
 TYPED_TEST(DequeBatchEdges, RequestLargerThanVictimClaimsHalf) {
   auto dq = Maker<TypeParam>::make();
   for (std::uint32_t v = 0; v < 3; ++v) dq->push_bottom(v);
+  publish_all(*dq);
   const auto r = dq->pop_top_batch(100);
   EXPECT_EQ(r.status, PopTopStatus::kSuccess);
   EXPECT_EQ(r.count, 2u);  // ceil(3/2)
@@ -82,6 +107,7 @@ TYPED_TEST(DequeBatchEdges, RequestLargerThanVictimClaimsHalf) {
 TYPED_TEST(DequeBatchEdges, SingleElementVictim) {
   auto dq = Maker<TypeParam>::make();
   dq->push_bottom(42);
+  publish_all(*dq);
   const auto r = dq->pop_top_batch(8);
   EXPECT_EQ(r.status, PopTopStatus::kSuccess);
   EXPECT_EQ(r.count, 1u);
@@ -95,6 +121,7 @@ TYPED_TEST(DequeBatchEdges, SingleElementVictim) {
 TYPED_TEST(DequeBatchEdges, ZeroRequestTakesNothing) {
   auto dq = Maker<TypeParam>::make();
   for (std::uint32_t v = 0; v < 4; ++v) dq->push_bottom(v);
+  publish_all(*dq);
   const auto r = dq->pop_top_batch(0);
   EXPECT_EQ(r.count, 0u);
   EXPECT_NE(r.status, PopTopStatus::kSuccess);
@@ -108,6 +135,7 @@ TYPED_TEST(DequeBatchEdges, ZeroRequestTakesNothing) {
 TYPED_TEST(DequeBatchEdges, ClaimCappedAtMaxStealBatch) {
   auto dq = Maker<TypeParam>::make();
   for (std::uint32_t v = 0; v < 64; ++v) dq->push_bottom(v);
+  publish_all(*dq);
   const auto r = dq->pop_top_batch(100);
   EXPECT_EQ(r.status, PopTopStatus::kSuccess);
   EXPECT_EQ(r.count, kMaxStealBatch);
@@ -152,6 +180,11 @@ TYPED_TEST(DequeBatchEdges, BatchRacesOwnerPopBottomInDefendedWindow) {
   for (std::uint32_t iter = 0; iter < kIters; ++iter) {
     for (std::uint32_t j = 0; j < kPerIter; ++j)
       dq->push_bottom(iter * kPerIter + j);
+    // For the split deque this makes each iteration a transfer racing the
+    // thief's in-flight batch claim over the region being republished —
+    // the publish-CAS retry path — followed by owner pops racing batch
+    // claims across the reclaim CAS. Conservation must survive both.
+    publish_all(*dq);
     for (std::uint32_t j = 0; j < kPerIter; ++j) {
       const auto v = dq->pop_bottom();
       if (v.has_value()) owner_got.push_back(*v);
@@ -172,6 +205,115 @@ TYPED_TEST(DequeBatchEdges, BatchRacesOwnerPopBottomInDefendedWindow) {
   std::sort(all.begin(), all.end());
   for (std::uint32_t v = 0; v < kIters * kPerIter; ++v)
     ASSERT_EQ(all[v], v) << "value delivered zero or multiple times";
+}
+
+// ---- split-deque transfer edges (ISSUE PR 10, satellite 3) ------------------
+
+TEST(SplitTransferEdges, EmptyAndAlreadyPublishedTransfersAreNoOps) {
+  SplitDeque<std::uint32_t> dq(16);
+  EXPECT_EQ(dq.tag_hint(), 0u);
+  dq.transfer();  // size-0: nothing private, nothing published
+  EXPECT_EQ(dq.tag_hint(), 0u);
+  EXPECT_EQ(dq.pop_top_batch(4).status, PopTopStatus::kEmpty);
+  dq.push_bottom(1);
+  dq.transfer();  // size-1: publishes the one item, bumps the tag
+  EXPECT_EQ(dq.tag_hint(), 1u);
+  dq.transfer();  // private empty again: no-op, tag untouched
+  EXPECT_EQ(dq.tag_hint(), 1u);
+  const auto r = dq.pop_top_batch(8);
+  EXPECT_EQ(r.status, PopTopStatus::kSuccess);
+  EXPECT_EQ(r.count, 1u);
+  EXPECT_EQ(r.items[0], 1u);
+}
+
+TEST(SplitTransferEdges, SingleItemTransferStaysPopBottomable) {
+  SplitDeque<std::uint32_t> dq(16);
+  dq.push_bottom(7);
+  dq.transfer();
+  // Private is now empty; the owner's pop crosses the reclaim path to
+  // pull the published item back.
+  const auto v = dq.pop_bottom();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7u);
+  EXPECT_FALSE(dq.pop_bottom().has_value());
+}
+
+TEST(SplitTransferEdges, PrivateExhaustionReclaimsPublishedWorkLifo) {
+  SplitDeque<std::uint32_t> dq(16);
+  for (std::uint32_t v = 0; v < 4; ++v) dq.push_bottom(v);
+  dq.transfer();  // everything public, private empty
+  // Owner pops keep the global LIFO order across the reclaim chain
+  // (shrink-half reclaims may run several times on the way down).
+  for (std::uint32_t want = 4; want-- > 0;) {
+    const auto v = dq.pop_bottom();
+    ASSERT_TRUE(v.has_value()) << want;
+    EXPECT_EQ(*v, want);
+  }
+  EXPECT_FALSE(dq.pop_bottom().has_value());
+  // The deque is reusable after full exhaustion.
+  dq.push_bottom(9);
+  dq.transfer();
+  EXPECT_EQ(dq.pop_top().value_or(0), 9u);
+}
+
+TEST(SplitTransferEdges, MixedPrivatePublicPopsDrainPrivateFirst) {
+  SplitDeque<std::uint32_t> dq(16);
+  dq.push_bottom(1);
+  dq.push_bottom(2);
+  dq.transfer();
+  dq.push_bottom(3);  // stays private
+  // A thief takes the oldest PUBLISHED item.
+  EXPECT_EQ(dq.pop_top().value_or(0), 1u);
+  // The owner pops newest first: the private 3, then reclaims 2.
+  EXPECT_EQ(dq.pop_bottom().value_or(0), 3u);
+  EXPECT_EQ(dq.pop_bottom().value_or(0), 2u);
+  EXPECT_FALSE(dq.pop_bottom().has_value());
+}
+
+// Transfer racing pop_top_batch: a dedicated two-thread hammer on just
+// the publish window (the typed race above also crosses the reclaim and
+// popBottom paths). The owner never pops — every value must come out of
+// the thief's batch claims, each exactly once, across ~2000 transfers
+// whose publish CAS races an in-flight claim.
+TEST(SplitTransferEdges, TransferRacesBatchClaimConservation) {
+  constexpr std::uint32_t kIters = 2000;
+  constexpr std::uint32_t kPerIter = 4;
+  SplitDeque<std::uint32_t> dq(64);
+  std::atomic<bool> done{false};
+  std::vector<std::uint32_t> thief_got;
+  thief_got.reserve(kIters * kPerIter);
+
+  std::thread thief([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto r = dq.pop_top_batch(kMaxStealBatch);
+      for (std::size_t i = 0; i < r.count; ++i)
+        thief_got.push_back(r.items[i]);
+    }
+    for (;;) {  // final sweep after the last publish
+      const auto r = dq.pop_top_batch(kMaxStealBatch);
+      if (r.count == 0) break;
+      for (std::size_t i = 0; i < r.count; ++i)
+        thief_got.push_back(r.items[i]);
+    }
+  });
+
+  for (std::uint32_t iter = 0; iter < kIters; ++iter) {
+    for (std::uint32_t j = 0; j < kPerIter; ++j) {
+      // The thief is the only consumer; wait for it to make room rather
+      // than asserting on a full deque.
+      while (dq.push_bottom_ex(iter * kPerIter + j) != PushStatus::kOk)
+        std::this_thread::yield();
+    }
+    dq.transfer();  // the window under test
+    if ((iter & 7u) == 0) std::this_thread::yield();  // 1-CPU interleaving
+  }
+  done.store(true, std::memory_order_release);
+  thief.join();
+
+  ASSERT_EQ(thief_got.size(), static_cast<std::size_t>(kIters) * kPerIter);
+  std::sort(thief_got.begin(), thief_got.end());
+  for (std::uint32_t v = 0; v < kIters * kPerIter; ++v)
+    ASSERT_EQ(thief_got[v], v) << "value delivered zero or multiple times";
 }
 
 }  // namespace

@@ -14,19 +14,28 @@
 #include "deque/chase_lev_deque.hpp"
 #include "deque/mutex_deque.hpp"
 #include "deque/spinlock_deque.hpp"
+#include "deque/split_deque.hpp"
 
 namespace abp::deque {
 namespace {
 
 using Item = std::uint64_t;
 
+// The split deque publishes private work when it notices thief hunger
+// during a push; once the owner stops pushing it must flush explicitly
+// or the tail stays private and thieves spin forever. No-op elsewhere.
+template <typename D>
+void publish_all(D& d) {
+  if constexpr (requires { d.transfer(); }) d.transfer();
+}
+
 template <typename D>
 class DequeConcurrent : public ::testing::Test {};
 
 using DequeTypes =
     ::testing::Types<AbpDeque<Item>, AbpGrowableDeque<Item>,
-                     ChaseLevDeque<Item>, MutexDeque<Item>,
-                     SpinlockDeque<Item>>;
+                     ChaseLevDeque<Item>, SplitDeque<Item>,
+                     MutexDeque<Item>, SpinlockDeque<Item>>;
 TYPED_TEST_SUITE(DequeConcurrent, DequeTypes);
 
 // Owner pushes kItems and pops nothing; thieves drain from the top.
@@ -53,6 +62,7 @@ TYPED_TEST(DequeConcurrent, ThievesDrainEverythingExactlyOnce) {
     });
   }
   for (Item i = 0; i < kItems; ++i) deque.push_bottom(i);
+  publish_all(deque);
   done.store(true, std::memory_order_release);
   for (auto& t : thieves) t.join();
 
@@ -100,6 +110,7 @@ TYPED_TEST(DequeConcurrent, OwnerAndThievesPartitionItems) {
       }
     }
   }
+  publish_all(deque);
   done.store(true, std::memory_order_release);
   for (auto& t : thieves) t.join();
 
@@ -135,6 +146,7 @@ TYPED_TEST(DequeConcurrent, SingleItemRaces) {
       seen[*v].fetch_add(1, std::memory_order_relaxed);
   }
   // Drain whatever the owner lost to thieves that are now asleep.
+  publish_all(deque);
   done.store(true, std::memory_order_release);
   for (auto& t : thieves) t.join();
   while (auto v = deque.pop_top())
@@ -152,6 +164,7 @@ TYPED_TEST(DequeConcurrent, ManyThievesNoDuplicates) {
   constexpr std::size_t kThieves = 6;
   TypeParam deque(kItems + 8);
   for (Item i = 0; i < kItems; ++i) deque.push_bottom(i);
+  publish_all(deque);
 
   std::vector<std::atomic<std::uint32_t>> seen(kItems);
   for (auto& s : seen) s.store(0);
@@ -173,6 +186,42 @@ TYPED_TEST(DequeConcurrent, ManyThievesNoDuplicates) {
   }
   for (auto& t : thieves) t.join();
   for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(seen[i].load(), 1u);
+}
+
+// Empty -> nonempty -> empty cycles with a racing thief, run far past the
+// split deque's 16-bit tag window: every cycle republishes and reclaims
+// (two tag bumps), so a stale-tag ABA across the wrap would surface as a
+// lost or duplicated item. The other deques run the same schedule to keep
+// the property parameterized over every implementation.
+TYPED_TEST(DequeConcurrent, EmptyNonEmptyCyclesPastTagWrapUnderSteals) {
+  constexpr std::size_t kRounds = 70'000;
+  TypeParam deque(64);
+
+  std::vector<std::atomic<std::uint32_t>> seen(kRounds);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+
+  std::thread thief([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      if (auto v = deque.pop_top())
+        seen[*v].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  for (Item i = 0; i < kRounds; ++i) {
+    deque.push_bottom(i);
+    publish_all(deque);
+    if (auto v = deque.pop_bottom())
+      seen[*v].fetch_add(1, std::memory_order_relaxed);
+  }
+  done.store(true, std::memory_order_release);
+  thief.join();
+  // Sweep anything the owner lost to the thief's final claims.
+  while (auto v = deque.pop_top())
+    seen[*v].fetch_add(1, std::memory_order_relaxed);
+
+  for (std::size_t i = 0; i < kRounds; ++i)
+    EXPECT_EQ(seen[i].load(), 1u) << "item " << i;
 }
 
 }  // namespace

@@ -1,6 +1,6 @@
-// Serial-semantics tests for the three work-stealing deques. Typed tests
-// run the same suite against AbpDeque, ChaseLevDeque and MutexDeque; a
-// randomized model check compares each against a reference std::deque.
+// Serial-semantics tests for the work-stealing deques. Typed tests run
+// the same suite against every implementation; a randomized model check
+// compares each against a reference std::deque.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +13,7 @@
 #include "deque/deque_concept.hpp"
 #include "deque/mutex_deque.hpp"
 #include "deque/spinlock_deque.hpp"
+#include "deque/split_deque.hpp"
 #include "support/rng.hpp"
 
 namespace abp::deque {
@@ -25,6 +26,14 @@ static_assert(WorkStealingDeque<AbpGrowableDeque<Item>, Item>);
 static_assert(WorkStealingDeque<ChaseLevDeque<Item>, Item>);
 static_assert(WorkStealingDeque<MutexDeque<Item>, Item>);
 static_assert(WorkStealingDeque<SpinlockDeque<Item>, Item>);
+static_assert(WorkStealingDeque<SplitDeque<Item>, Item>);
+
+// The split deque keeps pushes private until the owner publishes them;
+// top-side semantics tests flush before stealing. No-op for the rest.
+template <typename D>
+void publish_all(D& d) {
+  if constexpr (requires { d.transfer(); }) d.transfer();
+}
 
 template <typename D>
 class DequeSerial : public ::testing::Test {
@@ -34,8 +43,8 @@ class DequeSerial : public ::testing::Test {
 
 using DequeTypes =
     ::testing::Types<AbpDeque<Item>, AbpGrowableDeque<Item>,
-                     ChaseLevDeque<Item>, MutexDeque<Item>,
-                     SpinlockDeque<Item>>;
+                     ChaseLevDeque<Item>, SplitDeque<Item>,
+                     MutexDeque<Item>, SpinlockDeque<Item>>;
 TYPED_TEST_SUITE(DequeSerial, DequeTypes);
 
 TYPED_TEST(DequeSerial, StartsEmpty) {
@@ -57,6 +66,7 @@ TYPED_TEST(DequeSerial, PopBottomIsLifo) {
 
 TYPED_TEST(DequeSerial, PopTopIsFifo) {
   for (Item i = 0; i < 10; ++i) this->deque.push_bottom(i);
+  publish_all(this->deque);
   for (Item i = 0; i < 10; ++i) {
     auto v = this->deque.pop_top();
     ASSERT_TRUE(v.has_value());
@@ -73,6 +83,7 @@ TYPED_TEST(DequeSerial, PopTopExReportsStatus) {
   EXPECT_EQ(r.status, PopTopStatus::kEmpty);
 
   for (Item i = 0; i < 3; ++i) this->deque.push_bottom(i);
+  publish_all(this->deque);
   for (Item i = 0; i < 3; ++i) {
     auto s = this->deque.pop_top_ex();
     EXPECT_EQ(s.status, PopTopStatus::kSuccess);
@@ -84,6 +95,7 @@ TYPED_TEST(DequeSerial, PopTopExReportsStatus) {
 
 TYPED_TEST(DequeSerial, MixedEndsMeetInMiddle) {
   for (Item i = 0; i < 6; ++i) this->deque.push_bottom(i);
+  publish_all(this->deque);
   EXPECT_EQ(*this->deque.pop_top(), 0u);
   EXPECT_EQ(*this->deque.pop_bottom(), 5u);
   EXPECT_EQ(*this->deque.pop_top(), 1u);
@@ -96,6 +108,7 @@ TYPED_TEST(DequeSerial, MixedEndsMeetInMiddle) {
 
 TYPED_TEST(DequeSerial, SingleElementFromEitherEnd) {
   this->deque.push_bottom(42);
+  publish_all(this->deque);
   EXPECT_EQ(*this->deque.pop_top(), 42u);
   this->deque.push_bottom(43);
   EXPECT_EQ(*this->deque.pop_bottom(), 43u);
@@ -104,6 +117,7 @@ TYPED_TEST(DequeSerial, SingleElementFromEitherEnd) {
 TYPED_TEST(DequeSerial, SizeHintTracks) {
   for (Item i = 0; i < 5; ++i) this->deque.push_bottom(i);
   EXPECT_EQ(this->deque.size_hint(), 5u);
+  publish_all(this->deque);
   this->deque.pop_top();
   this->deque.pop_bottom();
   EXPECT_EQ(this->deque.size_hint(), 3u);
@@ -113,6 +127,7 @@ TYPED_TEST(DequeSerial, SizeHintTracks) {
 TYPED_TEST(DequeSerial, DrainAndRefillRepeatedly) {
   for (int cycle = 0; cycle < 50; ++cycle) {
     for (Item i = 0; i < 8; ++i) this->deque.push_bottom(cycle * 100 + i);
+    publish_all(this->deque);
     for (Item i = 0; i < 8; ++i)
       ASSERT_TRUE((cycle % 2 ? this->deque.pop_bottom()
                              : this->deque.pop_top())
@@ -142,6 +157,7 @@ TYPED_TEST(DequeSerial, RandomizedModelCheck) {
         model.pop_back();
       }
     } else if (op == 2) {
+      publish_all(this->deque);
       auto got = this->deque.pop_top();
       if (model.empty()) {
         ASSERT_FALSE(got.has_value());
@@ -153,6 +169,24 @@ TYPED_TEST(DequeSerial, RandomizedModelCheck) {
     }
   }
   EXPECT_EQ(this->deque.size_hint(), model.size());
+}
+
+// Repeated empty -> nonempty -> empty cycles far past any tag/epoch
+// window. The split deque bumps its 16-bit republish tag on every
+// transfer and reclaim (~1.5 bumps/cycle here), so 70k cycles cross the
+// 2^16 wrap; the ABP deques exercise index reset/reuse at the same scale.
+TYPED_TEST(DequeSerial, EmptyNonEmptyCyclesSurviveTagWraparound) {
+  constexpr int kCycles = 70'000;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    this->deque.push_bottom(static_cast<Item>(cycle));
+    publish_all(this->deque);
+    auto v = (cycle & 1) ? this->deque.pop_bottom() : this->deque.pop_top();
+    ASSERT_TRUE(v.has_value()) << "cycle " << cycle;
+    ASSERT_EQ(*v, static_cast<Item>(cycle));
+    ASSERT_TRUE(this->deque.empty_hint());
+  }
+  EXPECT_FALSE(this->deque.pop_bottom().has_value());
+  EXPECT_FALSE(this->deque.pop_top().has_value());
 }
 
 // ---- implementation-specific behaviours -------------------------------------
@@ -213,6 +247,77 @@ TEST(AbpGrowableSpecific, IndexSpaceReclaimedOnReset) {
     ASSERT_TRUE(d.pop_bottom().has_value());
   }
   EXPECT_EQ(d.capacity(), 8u);
+}
+
+TEST(SplitDequeSpecific, PushesStayPrivateUntilTransfer) {
+  // The whole point of the split design: pushes land in the private
+  // segment with no fence, invisible to thieves until the owner
+  // publishes. pop_bottom works on private items without a transfer.
+  SplitDeque<Item> d(64);
+  d.push_bottom(1);
+  d.push_bottom(2);
+  EXPECT_FALSE(d.pop_top().has_value());  // still private
+  EXPECT_EQ(d.size_hint(), 2u);           // but counted
+  d.transfer();
+  EXPECT_EQ(*d.pop_top(), 1u);
+  EXPECT_EQ(*d.pop_bottom(), 2u);  // reclaimed from public
+}
+
+TEST(SplitDequeSpecific, TagBumpsOnPublishAndReclaimNotOnClaims) {
+  SplitDeque<Item> d(64);
+  const auto tag0 = d.tag_hint();
+  d.push_bottom(1);
+  EXPECT_EQ(d.tag_hint(), tag0);  // private push: no shared-word write
+  d.transfer();
+  EXPECT_EQ(d.tag_hint(), tag0 + 1);  // publish bumps
+  d.transfer();
+  EXPECT_EQ(d.tag_hint(), tag0 + 1);  // nothing new to publish: no-op
+  d.push_bottom(2);
+  d.transfer();
+  EXPECT_EQ(d.tag_hint(), tag0 + 2);
+  ASSERT_TRUE(d.pop_top().has_value());
+  EXPECT_EQ(d.tag_hint(), tag0 + 2);  // thief claim leaves the tag alone
+  ASSERT_TRUE(d.pop_bottom().has_value());  // public reclaim bumps
+  EXPECT_EQ(d.tag_hint(), tag0 + 3);
+}
+
+TEST(SplitDequeSpecific, TagWrapsModulo16BitsAndStaysCorrect) {
+  // Each push + transfer + pop_bottom cycle bumps the tag exactly twice
+  // (publish, then reclaim of the lone public item), so 40k cycles push
+  // the 16-bit tag once around the wrap.
+  SplitDeque<Item> d(8);
+  constexpr std::uint32_t kCycles = 40'000;
+  for (std::uint32_t i = 0; i < kCycles; ++i) {
+    d.push_bottom(i);
+    d.transfer();
+    auto v = d.pop_bottom();
+    ASSERT_TRUE(v.has_value()) << "cycle " << i;
+    ASSERT_EQ(*v, i);
+  }
+  EXPECT_EQ(d.tag_hint(), (2 * kCycles) & 0xffffu);
+  EXPECT_TRUE(d.empty_hint());
+  // Still fully functional on the far side of the wrap.
+  d.push_bottom(1);
+  d.push_bottom(2);
+  d.transfer();
+  EXPECT_EQ(*d.pop_top(), 1u);
+  EXPECT_EQ(*d.pop_bottom(), 2u);
+}
+
+TEST(SplitDequeSpecific, CapacityOverflowAborts) {
+  SplitDeque<Item> d(4);
+  for (Item i = 0; i < 4; ++i) d.push_bottom(i);
+  EXPECT_DEATH(d.push_bottom(99), "overflow");
+}
+
+TEST(SplitDequeSpecific, PushExReportsFullAndRecoversAfterSteals) {
+  SplitDeque<Item> d(4);
+  for (Item i = 0; i < 4; ++i)
+    ASSERT_EQ(d.push_bottom_ex(i), PushStatus::kOk);
+  EXPECT_NE(d.push_bottom_ex(99), PushStatus::kOk);
+  d.transfer();
+  ASSERT_TRUE(d.pop_top().has_value());  // a steal frees ring space
+  EXPECT_EQ(d.push_bottom_ex(99), PushStatus::kOk);
 }
 
 TEST(ChaseLevSpecific, GrowsBeyondInitialCapacity) {

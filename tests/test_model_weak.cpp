@@ -21,6 +21,7 @@ Op push(std::uint8_t v) { return Op{Method::kPushBottom, v}; }
 Op pop_bottom() { return Op{Method::kPopBottom, 0}; }
 Op pop_top() { return Op{Method::kPopTop, 0}; }
 Op pop_top_batch() { return Op{Method::kPopTopBatch, 0}; }
+Op transfer() { return Op{Method::kTransfer, 0}; }
 
 WExploreOptions options(WMachine m, MemModel model,
                         WAblation ablation = WAblation{}) {
@@ -66,6 +67,30 @@ TEST(WeakModel, OrderTableMatchesTheProvenPlacements) {
                "growable.pop_top_batch.cas");
   EXPECT_STREQ(order_spec(Site::kGrowBotDefendCas).site,
                "growable.pop_bottom.defend_cas");
+  // Split-deque sites (DESIGN.md §17): ONE release (the transfer publish)
+  // and one acquire (the thief's word load) carry the only happens-before
+  // edge; every owner-word access is relaxed (the fence-free fast path),
+  // and the reclaim CAS is provably safe fully relaxed.
+  EXPECT_EQ(order_spec(Site::kSplitTransferPublishCas).order,
+            MemOrder::kRelease);
+  EXPECT_EQ(order_spec(Site::kSplitTopTsLoad).order, MemOrder::kAcquire);
+  EXPECT_EQ(order_spec(Site::kSplitBatchTsLoad).order, MemOrder::kAcquire);
+  EXPECT_EQ(order_spec(Site::kSplitPushPbLoad).order, MemOrder::kRelaxed);
+  EXPECT_EQ(order_spec(Site::kSplitPushItemStore).order, MemOrder::kRelaxed);
+  EXPECT_EQ(order_spec(Site::kSplitPushPbStore).order, MemOrder::kRelaxed);
+  EXPECT_EQ(order_spec(Site::kSplitPushHungerLoad).order, MemOrder::kRelaxed);
+  EXPECT_EQ(order_spec(Site::kSplitBotPbLoad).order, MemOrder::kRelaxed);
+  EXPECT_EQ(order_spec(Site::kSplitBotPbStore).order, MemOrder::kRelaxed);
+  EXPECT_EQ(order_spec(Site::kSplitReclaimShrinkCas).order,
+            MemOrder::kRelaxed);
+  EXPECT_EQ(order_spec(Site::kSplitTopClaimCas).order, MemOrder::kRelease);
+  EXPECT_EQ(order_spec(Site::kSplitBatchClaimCas).order, MemOrder::kRelease);
+  EXPECT_STREQ(order_spec(Site::kSplitTransferPublishCas).site,
+               "split.transfer.publish_cas");
+  EXPECT_STREQ(order_spec(Site::kSplitReclaimShrinkCas).site,
+               "split.reclaim.shrink_cas");
+  EXPECT_STREQ(order_spec(Site::kSplitTopTsLoad).site,
+               "split.pop_top.ts_load");
 }
 
 // ---- correct machines pass under every model --------------------------------
@@ -398,6 +423,163 @@ TEST(WeakModel, BatchDporVerdictMatchesFullSearch) {
   EXPECT_EQ(bad_reduced.violation.empty(), bad_full.violation.empty());
 }
 
+// ---- split deque: fence-free owner fast path (DESIGN.md §17) ----------------
+
+TEST(WeakModel, SplitOwnerPlusThievesPassesUnderAllModels) {
+  // Owner pushes into the private segment (no fences), publishes it with
+  // one release transfer, then pops — while two thieves race single
+  // steals against the public word.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), transfer(), pop_bottom()},
+      {pop_top()},
+      {pop_top()},
+  };
+  for (MemModel m : {MemModel::kSC, MemModel::kTSO, MemModel::kRA}) {
+    const auto r = wexplore(scripts, options(WMachine::kSplit, m));
+    EXPECT_TRUE(r.passed()) << to_string(m) << ": " << r.violation;
+    EXPECT_GT(r.terminal_states, 0u);
+  }
+}
+
+TEST(WeakModel, SplitReclaimRepublishPassesUnderTsoAndRa) {
+  // Owner drains past the private segment (forcing the fully relaxed
+  // reclaim CAS to shrink the public half back), then refills and
+  // republishes — thieves stealing throughout. This exercises the claim
+  // that the shrink CAS needs no ordering: it only moves the split, and
+  // the tag bump serializes it against every in-flight claim.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), transfer(), pop_bottom(), pop_bottom(), push(3),
+       transfer()},
+      {pop_top()},
+      {pop_top()},
+  };
+  for (MemModel m : {MemModel::kTSO, MemModel::kRA}) {
+    const auto r = wexplore(scripts, options(WMachine::kSplit, m));
+    EXPECT_TRUE(r.passed()) << to_string(m) << ": " << r.violation;
+  }
+}
+
+TEST(WeakModel, SplitBatchStealPassesUnderTsoAndRa) {
+  // pop_top_batch is native on the split deque with NO owner-defended
+  // window: the batch claim and the owner's reclaim race on the same
+  // tagged word, so one CAS arbitrates. kSplit scripts may therefore use
+  // kPopTopBatch without the growable machine's batch_steals arming.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), push(3), transfer(), pop_bottom()},
+      {pop_top_batch()},
+      {pop_top()},
+  };
+  for (MemModel m : {MemModel::kTSO, MemModel::kRA}) {
+    const auto r = wexplore(scripts, options(WMachine::kSplit, m));
+    EXPECT_TRUE(r.passed()) << to_string(m) << ": " << r.violation;
+  }
+}
+
+// ---- split ablations: weakest safe order per site, counterexamples print ----
+
+TEST(WeakModel, SplitRelaxedTransferCaughtUnderRa) {
+  // Demote the transfer publish CAS release -> relaxed: under C11-RA the
+  // thief's acquire load of the public word no longer synchronizes with
+  // the owner's plain item store, so the steal can read the cell before
+  // the item lands — the "extra ordering instructions" §3.3 warns about,
+  // pinned to the one site that carries them.
+  const std::vector<Script> scripts = {{push(1), transfer()}, {pop_top()}};
+  WAblation ablation;
+  ablation.split_relaxed_transfer = true;
+  const auto r =
+      wexplore(scripts, options(WMachine::kSplit, MemModel::kRA, ablation));
+  expect_counterexample(r, "split.relaxed_transfer/RA", "never pushed");
+}
+
+TEST(WeakModel, SplitNoStealAcquireCaughtUnderRa) {
+  // The dual demotion: thief's public-word load acquire -> relaxed. The
+  // release on the publish side has nothing to pair with, same torn read.
+  const std::vector<Script> scripts = {{push(1), transfer()}, {pop_top()}};
+  WAblation ablation;
+  ablation.split_no_steal_acquire = true;
+  const auto r =
+      wexplore(scripts, options(WMachine::kSplit, MemModel::kRA, ablation));
+  expect_counterexample(r, "split.no_steal_acquire/RA", "never pushed");
+}
+
+TEST(WeakModel, SplitOrderingAblationScriptPassesUnablated) {
+  // Control for the two ordering ablations: the declared placements make
+  // the very same script clean under TSO and RA.
+  const std::vector<Script> scripts = {{push(1), transfer()}, {pop_top()}};
+  for (MemModel m : {MemModel::kTSO, MemModel::kRA}) {
+    const auto r = wexplore(scripts, options(WMachine::kSplit, m));
+    EXPECT_TRUE(r.passed()) << to_string(m) << ": " << r.violation;
+  }
+}
+
+TEST(WeakModel, SplitFrozenTagAbaCaughtEvenUnderSc) {
+  // Drop the tag bump from the owner's public-word writes: after a
+  // publish / drain / refill / republish cycle the (top, split) pair
+  // recurs, and a thief's claim CAS stalled across the cycle succeeds on
+  // the recreated word — classic ABA, an algorithmic bug visible even
+  // under sequential consistency. This is why EVERY owner write to the
+  // word bumps the tag, not just the transfer.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), transfer(), pop_bottom(), pop_bottom(), push(3),
+       push(4), transfer()},
+      {pop_top()},
+  };
+  WAblation ablation;
+  ablation.split_frozen_tag = true;
+  const auto r =
+      wexplore(scripts, options(WMachine::kSplit, MemModel::kSC, ablation));
+  expect_counterexample(r, "split.frozen_tag/SC", "twice");
+  const auto safe =
+      wexplore(scripts, options(WMachine::kSplit, MemModel::kSC));
+  EXPECT_TRUE(safe.passed()) << safe.violation;
+}
+
+TEST(WeakModel, SplitBlindPublishCaughtUnderScAndTso) {
+  // Replace the publish CAS with a blind store — exactly what the
+  // chaos-tier TransferAblatedSplitDeque ships. A transfer racing a claim
+  // clobbers the thief's top advance and the same item is handed out
+  // twice. Algorithmic, so SC and TSO both catch it: this is the
+  // x86-visible ablation the hardware fuzz (test_chaos_deques) can
+  // actually reproduce, unlike a pure release->relaxed demotion that TSO
+  // hardware silently repairs.
+  const std::vector<Script> scripts = {
+      {push(1), push(2), transfer(), push(3), transfer()},
+      {pop_top(), pop_top()},
+      {pop_top()},
+  };
+  WAblation ablation;
+  ablation.split_blind_publish = true;
+  for (MemModel m : {MemModel::kSC, MemModel::kTSO}) {
+    const auto r = wexplore(scripts, options(WMachine::kSplit, m, ablation));
+    expect_counterexample(r,
+                          m == MemModel::kSC ? "split.blind_publish/SC"
+                                             : "split.blind_publish/TSO",
+                          "twice");
+  }
+  // Control: the CAS-publishing machine survives the same double-publish
+  // script under TSO (the widest state space this suite fully explores
+  // for the split machine).
+  const auto safe =
+      wexplore(scripts, options(WMachine::kSplit, MemModel::kTSO));
+  EXPECT_TRUE(safe.passed()) << safe.violation;
+}
+
+TEST(WeakModel, SplitDporVerdictMatchesOnAblatedMachine) {
+  // Reduction must not hide the split bugs either: same ablation, same
+  // verdict, with and without DPOR.
+  const std::vector<Script> scripts = {{push(1), transfer()}, {pop_top()}};
+  WAblation ablation;
+  ablation.split_relaxed_transfer = true;
+  WExploreOptions with = options(WMachine::kSplit, MemModel::kRA, ablation);
+  WExploreOptions without = with;
+  without.use_dpor = false;
+  const auto reduced = wexplore(scripts, with);
+  const auto full = wexplore(scripts, without);
+  EXPECT_FALSE(reduced.ok);
+  EXPECT_FALSE(full.ok);
+  EXPECT_EQ(reduced.violation.empty(), full.violation.empty());
+}
+
 // ---- DPOR: identical verdicts, >= 5x fewer nodes ----------------------------
 
 TEST(WeakModel, DporReducesNodesFivefoldOnLongestPassingScript) {
@@ -453,6 +635,13 @@ TEST(WeakModel, DporNodeCountsPerMachine) {
        {{push(1), push(2), push(3), pop_bottom()}, {pop_top()}}},
       {"chase_lev/RA", WMachine::kChaseLev, MemModel::kRA,
        {{push(1), push(2), pop_bottom()}, {pop_top()}}},
+      {"split/TSO", WMachine::kSplit, MemModel::kTSO,
+       {{push(1), push(2), transfer(), pop_bottom()}, {pop_top()}, {pop_top()}},
+       2'000'000},
+      {"split/RA", WMachine::kSplit, MemModel::kRA,
+       {{push(1), push(2), transfer(), pop_bottom()},
+        {pop_top()},
+        {pop_top()}}},
   };
   for (const Case& c : cases) {
     WExploreOptions with = options(c.machine, c.model);

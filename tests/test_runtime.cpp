@@ -195,7 +195,9 @@ INSTANTIATE_TEST_SUITE_P(
                       PolicyCase{DequePolicy::kAbpGrowable,
                                  YieldPolicy::kYield},
                       PolicyCase{DequePolicy::kAbpGrowable,
-                                 YieldPolicy::kNone}),
+                                 YieldPolicy::kNone},
+                      PolicyCase{DequePolicy::kSplit, YieldPolicy::kYield},
+                      PolicyCase{DequePolicy::kSplit, YieldPolicy::kNone}),
     [](const auto& info) {
       std::string name = std::string(to_string(info.param.deque)) + "_" +
                          to_string(info.param.yield);
@@ -342,6 +344,7 @@ TEST(OptionNames, Stable) {
   EXPECT_STREQ(to_string(DequePolicy::kMutex), "mutex");
   EXPECT_STREQ(to_string(DequePolicy::kSpinlock), "spinlock");
   EXPECT_STREQ(to_string(DequePolicy::kAbpGrowable), "abp-growable");
+  EXPECT_STREQ(to_string(DequePolicy::kSplit), "split");
   EXPECT_STREQ(to_string(YieldPolicy::kNone), "none");
   EXPECT_STREQ(to_string(YieldPolicy::kYield), "yield");
   EXPECT_STREQ(to_string(YieldPolicy::kSleep), "sleep");
@@ -363,28 +366,35 @@ TEST(OptionNames, Stable) {
 // counters exactly zero under single stealing.
 TEST(StealPolicyRuntime, MatrixComputesCorrectlyWithSaneCounters) {
   const long want = serial_fib(18);
-  for (const StealPolicy sp : {StealPolicy::kSingle, StealPolicy::kStealHalf}) {
-    for (const VictimPolicy vp :
-         {VictimPolicy::kUniform, VictimPolicy::kNearestNeighbor,
-          VictimPolicy::kHintAware, VictimPolicy::kLastVictim}) {
-      SchedulerOptions o;
-      o.num_workers = 4;
-      o.deque = DequePolicy::kAbpGrowable;  // the batch-capable deque
-      o.steal_policy = sp;
-      o.victim_policy = vp;
-      Scheduler s(o);
-      long out = 0;
-      s.run([&](Worker& w) { parallel_fib(w, 18, out); });
-      EXPECT_EQ(out, want) << to_string(sp) << "/" << to_string(vp);
-      const auto st = s.total_stats();
-      EXPECT_GE(st.steal_attempts, st.steals);
-      EXPECT_GE(st.steals, st.batch_steals);
-      EXPECT_GE(st.batch_stolen_items, st.batch_steals);
-      EXPECT_LE(st.batch_stolen_items, st.batch_steals * 8);
-      EXPECT_GE(st.steals, st.preferred_victim_hits);
-      if (sp == StealPolicy::kSingle) {
-        EXPECT_EQ(st.batch_steals, 0u) << to_string(vp);
-        EXPECT_EQ(st.batch_stolen_items, 0u) << to_string(vp);
+  // Both batch-capable deques: the growable ABP (owner-defended window)
+  // and the split deque (one-word claim, no defense needed).
+  for (const DequePolicy dp :
+       {DequePolicy::kAbpGrowable, DequePolicy::kSplit}) {
+    for (const StealPolicy sp :
+         {StealPolicy::kSingle, StealPolicy::kStealHalf}) {
+      for (const VictimPolicy vp :
+           {VictimPolicy::kUniform, VictimPolicy::kNearestNeighbor,
+            VictimPolicy::kHintAware, VictimPolicy::kLastVictim}) {
+        SchedulerOptions o;
+        o.num_workers = 4;
+        o.deque = dp;
+        o.steal_policy = sp;
+        o.victim_policy = vp;
+        Scheduler s(o);
+        long out = 0;
+        s.run([&](Worker& w) { parallel_fib(w, 18, out); });
+        EXPECT_EQ(out, want) << to_string(dp) << "/" << to_string(sp) << "/"
+                             << to_string(vp);
+        const auto st = s.total_stats();
+        EXPECT_GE(st.steal_attempts, st.steals);
+        EXPECT_GE(st.steals, st.batch_steals);
+        EXPECT_GE(st.batch_stolen_items, st.batch_steals);
+        EXPECT_LE(st.batch_stolen_items, st.batch_steals * 8);
+        EXPECT_GE(st.steals, st.preferred_victim_hits);
+        if (sp == StealPolicy::kSingle) {
+          EXPECT_EQ(st.batch_steals, 0u) << to_string(vp);
+          EXPECT_EQ(st.batch_stolen_items, 0u) << to_string(vp);
+        }
       }
     }
   }

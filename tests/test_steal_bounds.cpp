@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "dag/builders.hpp"
+#include "runtime/dag_engine.hpp"
+#include "runtime/options.hpp"
 #include "sched/work_stealer.hpp"
 #include "sim/kernel.hpp"
 #include "support/stats.hpp"
@@ -275,3 +277,76 @@ INSTANTIATE_TEST_SUITE_P(Seeds, StealBoundsShard, ::testing::Values(0, 1, 2),
 
 }  // namespace
 }  // namespace abp::sched
+
+// ---- the real runtime: split-deque rows (ISSUE PR 10, satellite 2) ----------
+//
+// The shapes above are simulator facts; the split deque changes WHAT is
+// stealable (only the published segment), so the rooted-tree steal shape
+// is re-gated against the real runtime with DequePolicy::kSplit, with the
+// ABP deque as the in-run reference row. Real-thread schedules on the CI
+// host are nondeterministic, so the gates are the same generous
+// shape-regression constants the sim suite uses — lazy publication must
+// not inflate the steal count out of the O(P·h) envelope (steals remain
+// bounded by successful claims on published work, and every published
+// item is claimed at most once).
+
+namespace abp::runtime {
+namespace {
+
+TEST(RuntimeStealBounds, SplitDequeKeepsStealsOrderPTimesHeight) {
+  constexpr std::size_t kWorkers = 4;
+  const std::vector<std::pair<std::string, dag::Dag>> trees = {
+      {"kary2d6", dag::full_kary_tree(2, 6, 2)},
+      {"caterpillar", dag::caterpillar_tree(40, 3)},
+      {"fjt6", dag::fork_join_tree(6)},
+  };
+  for (const auto& [tname, d] : trees) {
+    const double h = static_cast<double>(d.critical_path_length());
+    for (const DequePolicy dp : {DequePolicy::kAbp, DequePolicy::kSplit}) {
+      OnlineStats steals_over_ph;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        SchedulerOptions o;
+        o.num_workers = kWorkers;
+        o.deque = dp;
+        o.seed = seed;
+        // Per-node spin stretches the run across timeslices so thieves
+        // actually run on the 1-CPU host (see DagEngine.StealsHappen*).
+        const auto r = run_dag(d, o, 2000);
+        ASSERT_TRUE(r.ok) << tname << " " << to_string(dp);
+        ASSERT_EQ(r.executed_nodes, d.num_nodes())
+            << tname << " " << to_string(dp);
+        steals_over_ph.add(static_cast<double>(r.totals.steals) /
+                           (static_cast<double>(kWorkers) * h));
+      }
+      EXPECT_LE(steals_over_ph.mean(), 8.0) << tname << " " << to_string(dp);
+      EXPECT_LE(steals_over_ph.max(), 14.0) << tname << " " << to_string(dp);
+    }
+  }
+}
+
+// Steal-half through the split deque's native batch claim keeps the same
+// envelope (batched claims can only reduce the successful-claim count).
+TEST(RuntimeStealBounds, SplitDequeStealHalfKeepsTheEnvelope) {
+  constexpr std::size_t kWorkers = 4;
+  const dag::Dag d = dag::caterpillar_tree(40, 3);
+  const double h = static_cast<double>(d.critical_path_length());
+  OnlineStats steals_over_ph;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    SchedulerOptions o;
+    o.num_workers = kWorkers;
+    o.deque = DequePolicy::kSplit;
+    o.steal_policy = StealPolicy::kStealHalf;
+    o.seed = seed;
+    const auto r = run_dag(d, o, 2000);
+    ASSERT_TRUE(r.ok) << "seed=" << seed;
+    ASSERT_EQ(r.executed_nodes, d.num_nodes());
+    EXPECT_LE(r.totals.batch_stolen_items, r.totals.batch_steals * 8);
+    steals_over_ph.add(static_cast<double>(r.totals.steals) /
+                       (static_cast<double>(kWorkers) * h));
+  }
+  EXPECT_LE(steals_over_ph.mean(), 8.0);
+  EXPECT_LE(steals_over_ph.max(), 14.0);
+}
+
+}  // namespace
+}  // namespace abp::runtime

@@ -57,6 +57,18 @@ import sys
 MICRO_FAMILIES = ("BM_OwnerPushPop", "BM_OwnerBurst", "BM_StealDrain")
 MICRO_REFERENCE = "MutexDeque"
 
+# E30 gate: the split deque exists to make the owner fast path cheaper by
+# eliminating fences/CAS from push_bottom and private pop_bottom. Guard
+# that claim directly with the same-run SplitDeque/AbpDeque items/s ratio
+# on the owner-only loops (the machine cancels out, like the mutex
+# normalization above). The ratio is recorded in the baseline like any
+# micro/ metric AND floored absolutely: the owner path must stay >=20%
+# cheaper than ABP in time per op, i.e. throughput ratio >= 1.25.
+OWNER_FASTPATH_FAMILIES = ("BM_OwnerPushPop", "BM_OwnerBurst")
+OWNER_FASTPATH_SPLIT = "SplitDeque"
+OWNER_FASTPATH_BASELINE = "AbpDeque"
+OWNER_FASTPATH_MIN_RATIO = 1.25
+
 
 def fail(msg: str) -> None:
     print(f"bench-regression: FAIL: {msg}")
@@ -104,6 +116,26 @@ def extract_micro(path: str) -> dict:
             # "micro/BM_OwnerPushPop<abp::deque::AbpDeque<Item>>" etc.;
             # higher is better.
             metrics[f"micro/{name}"] = value / ref
+    for family in OWNER_FASTPATH_FAMILIES:
+        split = abp = None
+        for name, value in ips.items():
+            if not name.startswith(family + "<"):
+                continue
+            if OWNER_FASTPATH_SPLIT in name:
+                split = value
+            elif OWNER_FASTPATH_BASELINE in name:
+                abp = value
+        if split is None or abp is None or abp <= 0.0:
+            fail(f"micro run lacks the {family} SplitDeque/AbpDeque pair "
+                 f"needed for the owner-fast-path gate ({path})")
+        ratio = split / abp
+        print(f"  owner-fastpath {family}: split/abp = {ratio:.3f} "
+              f"(floor {OWNER_FASTPATH_MIN_RATIO})")
+        if ratio < OWNER_FASTPATH_MIN_RATIO:
+            fail(f"owner fast path not >=20% cheaper than ABP: {family} "
+                 f"split/abp throughput ratio {ratio:.3f} < "
+                 f"{OWNER_FASTPATH_MIN_RATIO}")
+        metrics[f"micro/owner_fastpath/{family}/split_vs_abp"] = ratio
     return metrics
 
 
